@@ -1,0 +1,270 @@
+//! A Blogel-like static BSP engine (paper §4.2, §4.7).
+//!
+//! Blogel is the paper's strongest static baseline: C++/MPI, CSR
+//! storage, simple hash vertex partitioning, bulk-synchronous
+//! supersteps. This reproduction keeps those properties: the graph is
+//! an immutable CSR sliced into per-worker vertex ranges by hash;
+//! workers are OS threads; each superstep is compute → barrier →
+//! message shuffle → barrier, like Blogel's MPI all-to-all. There is
+//! deliberately *no* support for updates: any change requires a full
+//! reload, which is exactly the contrast Figures 11/12/15 draw.
+
+use elga_graph::csr::Csr;
+use elga_graph::types::VertexId;
+use elga_hash::wang64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// A static BSP engine over a partitioned CSR.
+pub struct BlogelEngine {
+    csr: Csr,
+    workers: usize,
+    /// Vertex → worker assignment (hash partitioning, as Blogel's
+    /// default vertex partitioner).
+    part: Vec<u32>,
+}
+
+impl BlogelEngine {
+    /// Partition `csr` across `workers` threads.
+    ///
+    /// # Panics
+    /// Panics when `workers == 0`.
+    pub fn new(csr: Csr, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let n = csr.num_vertices();
+        let part = (0..n)
+            .map(|v| (wang64(v as u64) % workers as u64) as u32)
+            .collect();
+        BlogelEngine { csr, workers, part }
+    }
+
+    /// The underlying graph.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Vertices owned by `worker`.
+    fn owned(&self, worker: usize) -> impl Iterator<Item = VertexId> + '_ {
+        self.part
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &p)| p as usize == worker)
+            .map(|(v, _)| v as VertexId)
+    }
+
+    /// Synchronous PageRank for `iters` supersteps; returns the rank
+    /// vector. Identical math to `elga_graph::reference::pagerank`
+    /// (§4.3: "we ensured that all algorithms are the same across each
+    /// system").
+    pub fn pagerank(&self, damping: f64, iters: usize) -> Vec<f64> {
+        let n = self.csr.num_vertices();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Ranks are shared read-only per superstep; each worker writes
+        // only its own vertices in `next`, synchronized by barriers.
+        let rank: Vec<AtomicU64> = (0..n)
+            .map(|_| AtomicU64::new((1.0 / n as f64).to_bits()))
+            .collect();
+        let next: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let dangling = AtomicU64::new(0);
+        let barrier = Barrier::new(self.workers);
+
+        std::thread::scope(|scope| {
+            for w in 0..self.workers {
+                let rank = &rank;
+                let next = &next;
+                let dangling = &dangling;
+                let barrier = &barrier;
+                let engine = &*self;
+                scope.spawn(move || {
+                    for _ in 0..iters {
+                        // Phase 1: dangling mass and message scatter
+                        // (push model: add into targets atomically —
+                        // the message shuffle).
+                        let mut local_dangling = 0.0;
+                        for v in engine.owned(w) {
+                            let r = f64::from_bits(rank[v as usize].load(Ordering::Relaxed));
+                            let deg = engine.csr.out_degree(v);
+                            if deg == 0 {
+                                local_dangling += r;
+                            } else {
+                                let share = r / deg as f64;
+                                for &t in engine.csr.out_neighbors(v) {
+                                    atomic_f64_add(&next[t as usize], share);
+                                }
+                            }
+                        }
+                        atomic_f64_add(dangling, local_dangling);
+                        barrier.wait();
+                        // Phase 2: apply.
+                        let d_total = f64::from_bits(dangling.load(Ordering::SeqCst));
+                        let base = (1.0 - damping) / n as f64 + damping * d_total / n as f64;
+                        for v in engine.owned(w) {
+                            let sum = f64::from_bits(next[v as usize].load(Ordering::Relaxed));
+                            rank[v as usize]
+                                .store((base + damping * sum).to_bits(), Ordering::Relaxed);
+                        }
+                        barrier.wait();
+                        // Phase 3: reset buffers (one worker).
+                        if w == 0 {
+                            dangling.store(0, Ordering::SeqCst);
+                        }
+                        for v in engine.owned(w) {
+                            next[v as usize].store(0, Ordering::Relaxed);
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        rank.into_iter()
+            .map(|a| f64::from_bits(a.into_inner()))
+            .collect()
+    }
+
+    /// Synchronous WCC by min-label propagation over both edge
+    /// directions; returns the label vector. Counts and returns the
+    /// supersteps used.
+    pub fn wcc(&self) -> (Vec<VertexId>, usize) {
+        let n = self.csr.num_vertices();
+        let labels: Vec<AtomicU64> = (0..n).map(|v| AtomicU64::new(v as u64)).collect();
+        let changed = AtomicU64::new(1);
+        let barrier = Barrier::new(self.workers);
+        let steps = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for w in 0..self.workers {
+                let labels = &labels;
+                let changed = &changed;
+                let barrier = &barrier;
+                let steps = &steps;
+                let engine = &*self;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    if changed.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                    barrier.wait();
+                    if w == 0 {
+                        changed.store(0, Ordering::SeqCst);
+                        steps.fetch_add(1, Ordering::SeqCst);
+                    }
+                    barrier.wait();
+                    let mut any = false;
+                    for v in engine.owned(w) {
+                        let mut best = labels[v as usize].load(Ordering::Relaxed);
+                        for &u in engine.csr.out_neighbors(v) {
+                            best = best.min(labels[u as usize].load(Ordering::Relaxed));
+                        }
+                        for &u in engine.csr.in_neighbors(v) {
+                            best = best.min(labels[u as usize].load(Ordering::Relaxed));
+                        }
+                        let cur = labels[v as usize].load(Ordering::Relaxed);
+                        if best < cur {
+                            labels[v as usize].store(best, Ordering::Relaxed);
+                            any = true;
+                        }
+                    }
+                    if any {
+                        changed.store(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        let labels = labels.into_iter().map(AtomicU64::into_inner).collect();
+        (labels, steps.into_inner() as usize)
+    }
+}
+
+/// Lock-free f64 accumulation via CAS on the bit pattern.
+fn atomic_f64_add(cell: &AtomicU64, add: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + add).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elga_graph::reference;
+
+    fn graph() -> Csr {
+        Csr::from_edges(
+            None,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (5, 6)],
+        )
+    }
+
+    #[test]
+    fn pagerank_matches_reference_any_worker_count() {
+        let csr = graph();
+        let expect = reference::pagerank(&csr, 0.85, 25);
+        for workers in [1, 2, 4] {
+            let engine = BlogelEngine::new(graph(), workers);
+            let got = engine.pagerank(0.85, 25);
+            assert!(
+                reference::linf(&got, &expect) < 1e-12,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn wcc_matches_union_find() {
+        let engine = BlogelEngine::new(graph(), 3);
+        let (labels, steps) = engine.wcc();
+        assert!(steps >= 1);
+        let expect = reference::wcc(graph().edges());
+        for (v, &l) in labels.iter().enumerate() {
+            let want = expect.get(&(v as u64)).copied().unwrap_or(v as u64);
+            assert_eq!(l, want, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let engine = BlogelEngine::new(Csr::default(), 2);
+        assert!(engine.pagerank(0.85, 3).is_empty());
+        let (labels, _) = engine.wcc();
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    fn partition_covers_all_vertices() {
+        let engine = BlogelEngine::new(graph(), 3);
+        let mut seen = vec![false; engine.csr().num_vertices()];
+        for w in 0..3 {
+            for v in engine.owned(w) {
+                assert!(!seen[v as usize], "vertex {v} owned twice");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn atomic_add_accumulates() {
+        let cell = AtomicU64::new(0f64.to_bits());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        atomic_f64_add(&cell, 0.5);
+                    }
+                });
+            }
+        });
+        assert_eq!(f64::from_bits(cell.into_inner()), 2000.0);
+    }
+}

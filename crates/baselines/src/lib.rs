@@ -1,0 +1,34 @@
+//! Comparator systems for the ElGA evaluation (paper §4.2, §4.8).
+//!
+//! The paper compares against four systems; each is re-implemented
+//! here from scratch with the architectural property that makes it an
+//! interesting baseline (see DESIGN.md, "Substitutions"):
+//!
+//! * [`blogel`] — a Blogel-like *static* BSP engine: CSR storage, hash
+//!   vertex partitioning, worker threads with barriers and message
+//!   shuffles. Fast on a fixed graph, incapable of updates — the
+//!   "state-of-the-art static system" of §4.2.
+//! * [`snapshot`] — a GraphX-like *snapshot* engine: every batch of
+//!   changes forces a rebuild of the partitioned immutable snapshot,
+//!   after which the iterative algorithm restarts from prior outputs
+//!   with changed vertices re-initialized — the partially dynamic
+//!   baseline of Figure 15.
+//! * [`stinger`] — a STINGER-like shared-memory *dynamic* structure
+//!   maintaining connected components incrementally, with the O(1)
+//!   same-component fast path that produces the paper's bimodal batch
+//!   times (Figure 13).
+//! * [`gap`] — GAPbs-like shared-memory static kernels (parallel
+//!   Shiloach–Vishkin WCC, pull PageRank) for the single-node COST
+//!   comparison (§4.8).
+
+#![warn(missing_docs)]
+
+pub mod blogel;
+pub mod gap;
+pub mod snapshot;
+pub mod stinger;
+
+pub use blogel::BlogelEngine;
+pub use gap::GapGraph;
+pub use snapshot::SnapshotEngine;
+pub use stinger::Stinger;

@@ -1,0 +1,402 @@
+//! A GraphX-like snapshot engine (paper §4.9, Figure 15).
+//!
+//! "For snapshot-based systems or partially dynamic systems, such as
+//! GraphX, the standard approach is to initialize the iterative
+//! algorithm with prior outputs, re-initialize any new or changed
+//! vertices, and run the iterative algorithm to convergence."
+//!
+//! The architectural cost reproduced here is the *rebuild*: snapshots
+//! are immutable, so every batch forces re-materializing the
+//! partitioned CSR from the full edge list before any computation can
+//! start — real work proportional to `m`, not to the batch (no
+//! artificial sleeps; see DESIGN.md). The incremental computation then
+//! reuses prior labels, exactly as the paper's best-case GraphX
+//! baseline ("we completely ignore partitioning costs ... we show the
+//! best achievable performance").
+
+#![allow(clippy::needless_range_loop)] // index-based loops mirror the math
+
+use crate::blogel::BlogelEngine;
+use elga_graph::csr::Csr;
+use elga_graph::types::{Batch, VertexId};
+use elga_hash::{FxHashMap, FxHashSet};
+use std::time::{Duration, Instant};
+
+/// Timing breakdown of one snapshot batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchCost {
+    /// Time to rebuild the immutable snapshot (CSR + partitions).
+    pub rebuild: Duration,
+    /// Time to run the incremental computation to convergence.
+    pub compute: Duration,
+    /// Supersteps until convergence.
+    pub iterations: usize,
+}
+
+/// A snapshot-at-a-time graph engine maintaining WCC labels.
+pub struct SnapshotEngine {
+    edges: FxHashSet<(VertexId, VertexId)>,
+    workers: usize,
+    labels: FxHashMap<VertexId, VertexId>,
+}
+
+impl SnapshotEngine {
+    /// New engine with `workers` compute threads.
+    ///
+    /// # Panics
+    /// Panics when `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0);
+        SnapshotEngine {
+            edges: FxHashSet::default(),
+            workers,
+            labels: FxHashMap::default(),
+        }
+    }
+
+    /// Current edge count.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Current label of `v`, if computed.
+    pub fn label(&self, v: VertexId) -> Option<VertexId> {
+        self.labels.get(&v).copied()
+    }
+
+    /// Load initial edges and compute WCC from scratch.
+    pub fn load(&mut self, edges: impl IntoIterator<Item = (VertexId, VertexId)>) -> BatchCost {
+        self.edges = edges.into_iter().collect();
+        let t0 = Instant::now();
+        let (csr, ids) = self.rebuild();
+        let rebuild = t0.elapsed();
+        let t1 = Instant::now();
+        let engine = BlogelEngine::new(csr, self.workers);
+        let (labels, iterations) = engine.wcc();
+        self.labels = ids
+            .iter()
+            .enumerate()
+            .map(|(dense, &orig)| (orig, ids[labels[dense] as usize]))
+            .collect();
+        BatchCost {
+            rebuild,
+            compute: t1.elapsed(),
+            iterations,
+        }
+    }
+
+    /// Apply a batch: mutate the edge set, rebuild the snapshot, and
+    /// recompute incrementally (prior labels retained; touched and new
+    /// vertices re-initialized).
+    pub fn apply_batch(&mut self, batch: &Batch) -> BatchCost {
+        let mut touched: FxHashSet<VertexId> = FxHashSet::default();
+        let mut any_delete = false;
+        for c in &batch.changes {
+            let e = (c.edge.src, c.edge.dst);
+            if c.is_insert() {
+                self.edges.insert(e);
+            } else if self.edges.remove(&e) {
+                any_delete = true;
+            }
+            touched.insert(e.0);
+            touched.insert(e.1);
+        }
+
+        // The architectural tax: re-materialize the whole snapshot.
+        let t0 = Instant::now();
+        let (csr, ids) = self.rebuild();
+        let rebuild = t0.elapsed();
+
+        let t1 = Instant::now();
+        // Seed labels from prior output; re-initialize touched/new
+        // vertices. Deletions invalidate the affected components
+        // entirely (labels may no longer be reachable).
+        let mut reset_components: FxHashSet<VertexId> = FxHashSet::default();
+        if any_delete {
+            for &v in &touched {
+                if let Some(&l) = self.labels.get(&v) {
+                    reset_components.insert(l);
+                }
+            }
+        }
+        let seed: Vec<VertexId> = ids
+            .iter()
+            .map(|&orig| match self.labels.get(&orig) {
+                Some(&l) if !touched.contains(&orig) && !reset_components.contains(&l) => l,
+                _ => orig,
+            })
+            .collect();
+        let (labels, iterations) = wcc_from_seed(&csr, &ids, seed, self.workers);
+        self.labels = labels;
+        BatchCost {
+            rebuild,
+            compute: t1.elapsed(),
+            iterations,
+        }
+    }
+
+    /// Materialize the dense CSR and the dense→original id map.
+    fn rebuild(&self) -> (Csr, Vec<VertexId>) {
+        let mut ids: Vec<VertexId> = self
+            .edges
+            .iter()
+            .flat_map(|&(u, v)| [u, v])
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let index: FxHashMap<VertexId, VertexId> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as VertexId))
+            .collect();
+        let dense: Vec<(VertexId, VertexId)> = self
+            .edges
+            .iter()
+            .map(|&(u, v)| (index[&u], index[&v]))
+            .collect();
+        (Csr::from_edges(Some(ids.len()), &dense), ids)
+    }
+}
+
+/// Min-label propagation seeded from prior labels (the incremental
+/// computation). Returns converged labels (in original ids) and the
+/// iteration count.
+fn wcc_from_seed(
+    csr: &Csr,
+    ids: &[VertexId],
+    seed: Vec<VertexId>,
+    _workers: usize,
+) -> (FxHashMap<VertexId, VertexId>, usize) {
+    let index: FxHashMap<VertexId, VertexId> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as VertexId))
+        .collect();
+    // Seed labels are original ids; propagate their minimum per
+    // component (labels themselves act as opaque ordered tokens).
+    let mut labels = seed;
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for v in 0..csr.num_vertices() {
+            let mut best = labels[v];
+            for &u in csr.out_neighbors(v as VertexId) {
+                best = best.min(labels[u as usize]);
+            }
+            for &u in csr.in_neighbors(v as VertexId) {
+                best = best.min(labels[u as usize]);
+            }
+            if best < labels[v] {
+                labels[v] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Normalize: a component's label token may be a stale original id;
+    // map through index when it still exists, else keep (it is only an
+    // equivalence-class token, but tests expect min-vertex labels, so
+    // do one canonicalization pass).
+    let mut canon: FxHashMap<VertexId, VertexId> = FxHashMap::default();
+    for (dense, &l) in labels.iter().enumerate() {
+        let orig = ids[dense];
+        let entry = canon.entry(l).or_insert(orig);
+        *entry = (*entry).min(orig);
+    }
+    let out = labels
+        .iter()
+        .enumerate()
+        .map(|(dense, l)| (ids[dense], canon[l]))
+        .collect();
+    let _ = index;
+    (out, iterations)
+}
+
+/// GraphX-style PageRank: each superstep materializes the full message
+/// collection and groups it by destination — the RDD shuffle that
+/// dominates GraphX's per-iteration cost (every iteration produces new
+/// immutable datasets; §4.2's baseline behavior, reproduced as real
+/// allocation/grouping work rather than simulated delay).
+pub fn rdd_pagerank(csr: &Csr, damping: f64, iters: usize) -> Vec<f64> {
+    let n = csr.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    for _ in 0..iters {
+        // Stage 1: materialize the message dataset (like
+        // `triplets.map(...)`).
+        let mut messages: Vec<(VertexId, f64)> = Vec::with_capacity(csr.num_edges());
+        let mut dangling = 0.0;
+        for v in 0..n {
+            let deg = csr.out_degree(v as VertexId);
+            if deg == 0 {
+                dangling += rank[v];
+                continue;
+            }
+            let share = rank[v] / deg as f64;
+            for &t in csr.out_neighbors(v as VertexId) {
+                messages.push((t, share));
+            }
+        }
+        // Stage 2: shuffle — group by destination (sort-based, as a
+        // Spark hash/sort shuffle materializes and reorders).
+        messages.sort_unstable_by_key(|&(t, _)| t);
+        // Stage 3: reduce and join into the new immutable rank dataset.
+        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        let mut next = vec![base; n];
+        for (t, share) in messages {
+            next[t as usize] += damping * share;
+        }
+        rank = next;
+    }
+    rank
+}
+
+/// GraphX-style WCC with the same materialize-shuffle-reduce structure.
+/// Returns `(labels, supersteps)`.
+pub fn rdd_wcc(csr: &Csr) -> (Vec<VertexId>, usize) {
+    let n = csr.num_vertices();
+    let mut labels: Vec<VertexId> = (0..n as u64).collect();
+    let mut steps = 0;
+    loop {
+        steps += 1;
+        let mut messages: Vec<(VertexId, VertexId)> = Vec::with_capacity(csr.num_edges() * 2);
+        for v in 0..n {
+            let l = labels[v];
+            for &t in csr.out_neighbors(v as VertexId) {
+                messages.push((t, l));
+            }
+            for &t in csr.in_neighbors(v as VertexId) {
+                messages.push((t, l));
+            }
+        }
+        messages.sort_unstable();
+        let mut next = labels.clone();
+        let mut changed = false;
+        for (t, l) in messages {
+            if l < next[t as usize] {
+                next[t as usize] = l;
+                changed = true;
+            }
+        }
+        labels = next;
+        if !changed {
+            break;
+        }
+    }
+    (labels, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elga_graph::reference;
+    use elga_graph::types::EdgeChange;
+
+    #[test]
+    fn rdd_pagerank_matches_reference() {
+        let csr = Csr::from_edges(None, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let got = rdd_pagerank(&csr, 0.85, 20);
+        let expect = reference::pagerank(&csr, 0.85, 20);
+        assert!(reference::linf(&got, &expect) < 1e-12);
+    }
+
+    #[test]
+    fn rdd_wcc_matches_reference() {
+        let edges = [(0u64, 1u64), (1, 2), (5, 6), (7, 5)];
+        let csr = Csr::from_edges(None, &edges);
+        let (labels, steps) = rdd_wcc(&csr);
+        assert!(steps >= 1);
+        let expect = reference::wcc(edges.iter().copied());
+        for (v, &l) in labels.iter().enumerate() {
+            let want = expect.get(&(v as u64)).copied().unwrap_or(v as u64);
+            assert_eq!(l, want);
+        }
+    }
+
+    #[test]
+    fn load_computes_wcc() {
+        let mut s = SnapshotEngine::new(2);
+        let cost = s.load([(1, 2), (2, 3), (10, 11)]);
+        assert!(cost.iterations >= 1);
+        assert_eq!(s.label(3), Some(1));
+        assert_eq!(s.label(11), Some(10));
+        assert_eq!(s.num_edges(), 3);
+    }
+
+    #[test]
+    fn insert_batch_merges_components_incrementally() {
+        let mut s = SnapshotEngine::new(2);
+        s.load([(1, 2), (10, 11)]);
+        let cost = s.apply_batch(&Batch::new(1, vec![EdgeChange::insert(2, 10)]));
+        assert!(cost.rebuild > Duration::ZERO);
+        assert_eq!(s.label(11), Some(1));
+        assert_eq!(s.label(1), Some(1));
+    }
+
+    #[test]
+    fn delete_batch_splits_components() {
+        let mut s = SnapshotEngine::new(2);
+        s.load([(1, 2), (2, 3), (3, 4)]);
+        s.apply_batch(&Batch::new(1, vec![EdgeChange::delete(2, 3)]));
+        assert_eq!(s.label(1), Some(1));
+        assert_eq!(s.label(2), Some(1));
+        assert_eq!(s.label(3), Some(3));
+        assert_eq!(s.label(4), Some(3));
+    }
+
+    #[test]
+    fn matches_reference_after_random_batches() {
+        let mut s = SnapshotEngine::new(3);
+        let initial: Vec<(u64, u64)> = (0..40).map(|i| (i, (i * 7 + 3) % 40)).collect();
+        s.load(initial.iter().copied());
+        let b1 = Batch::new(
+            1,
+            vec![
+                EdgeChange::delete(initial[5].0, initial[5].1),
+                EdgeChange::insert(40, 41),
+                EdgeChange::insert(41, 3),
+            ],
+        );
+        s.apply_batch(&b1);
+        let mut model: std::collections::HashSet<(u64, u64)> =
+            initial.iter().copied().collect();
+        model.remove(&initial[5]);
+        model.insert((40, 41));
+        model.insert((41, 3));
+        let expect = reference::wcc(model.iter().copied());
+        for (&v, &l) in &expect {
+            assert_eq!(s.label(v), Some(l), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn rebuild_cost_scales_with_graph_not_batch() {
+        // The defining snapshot property: a 1-edge batch on a larger
+        // graph rebuilds more than on a small graph.
+        let mut small = SnapshotEngine::new(1);
+        small.load((0..200u64).map(|i| (i, i + 1)));
+        let mut large = SnapshotEngine::new(1);
+        large.load((0..20_000u64).map(|i| (i, i + 1)));
+        // Median of several runs to dodge scheduler noise.
+        let mut s_times: Vec<Duration> = Vec::new();
+        let mut l_times: Vec<Duration> = Vec::new();
+        for i in 0..5 {
+            let b = Batch::new(i, vec![EdgeChange::insert(1_000_000 + i, 1_000_001 + i)]);
+            s_times.push(small.apply_batch(&b).rebuild);
+            l_times.push(large.apply_batch(&b).rebuild);
+        }
+        s_times.sort();
+        l_times.sort();
+        assert!(
+            l_times[2] > s_times[2] * 5,
+            "large rebuild {:?} should dwarf small {:?}",
+            l_times[2],
+            s_times[2]
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! A STINGER-like shared-memory dynamic connected-components
+//! maintainer (paper §4.8, Figure 13).
+//!
+//! STINGER is "a specialized inherently shared-memory algorithm and
+//! system" maintaining components under streaming insertions. The
+//! property responsible for the paper's Figure 13 shape is its global
+//! view: an insertion whose endpoints are already in the same
+//! component is O(1) ("STINGER can likely optimize for some easy
+//! batches due to its global view. It has a bimodal distribution"),
+//! while a component merge relabels the smaller side. Deletions fall
+//! back to recomputing the affected component.
+
+use elga_graph::types::VertexId;
+use elga_hash::{FxHashMap, FxHashSet};
+
+/// How an insertion was handled — the two modes of Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Endpoints already shared a component: O(1) fast path.
+    FastPath,
+    /// Components merged; the smaller side was relabeled (work
+    /// proportional to its size).
+    Merged {
+        /// Vertices relabeled.
+        relabeled: usize,
+    },
+}
+
+/// Shared-memory dynamic graph with maintained component labels.
+#[derive(Debug, Default)]
+pub struct Stinger {
+    /// Undirected adjacency (both directions stored).
+    adj: FxHashMap<VertexId, Vec<VertexId>>,
+    edges: FxHashSet<(VertexId, VertexId)>,
+    /// Component label per vertex (min vertex id in component).
+    label: FxHashMap<VertexId, VertexId>,
+    /// Members per component label — the "global view" that enables
+    /// O(size) merges.
+    members: FxHashMap<VertexId, Vec<VertexId>>,
+}
+
+fn norm(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+impl Stinger {
+    /// Empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Component label of `v`.
+    pub fn component(&self, v: VertexId) -> Option<VertexId> {
+        self.label.get(&v).copied()
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.members.len()
+    }
+
+    fn ensure_vertex(&mut self, v: VertexId) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.label.entry(v) {
+            e.insert(v);
+            self.members.insert(v, vec![v]);
+            self.adj.entry(v).or_default();
+        }
+    }
+
+    /// Insert an (undirected) edge, maintaining labels. Returns how
+    /// the insertion was absorbed; `None` if the edge already existed.
+    pub fn insert(&mut self, u: VertexId, v: VertexId) -> Option<InsertOutcome> {
+        let key = norm(u, v);
+        if !self.edges.insert(key) {
+            return None;
+        }
+        self.ensure_vertex(u);
+        self.ensure_vertex(v);
+        if u != v {
+            self.adj.get_mut(&u).expect("ensured").push(v);
+            self.adj.get_mut(&v).expect("ensured").push(u);
+        }
+        let lu = self.label[&u];
+        let lv = self.label[&v];
+        if lu == lv {
+            return Some(InsertOutcome::FastPath);
+        }
+        // Merge the smaller component into the larger (by member count)
+        // but keep the minimum label, matching WCC conventions.
+        let (small, big) = if self.members[&lu].len() <= self.members[&lv].len() {
+            (lu, lv)
+        } else {
+            (lv, lu)
+        };
+        let keep = small.min(big);
+        let moved = self.members.remove(&small).expect("component exists");
+        let relabeled = moved.len();
+        if keep == small {
+            // Relabel the *big* side's label to keep, still moving the
+            // fewer `moved` vertices into `keep`'s list after renaming.
+            let big_members = self.members.remove(&big).expect("component exists");
+            for &m in &big_members {
+                self.label.insert(m, keep);
+            }
+            let mut all = big_members;
+            all.extend(moved);
+            self.members.insert(keep, all);
+            return Some(InsertOutcome::Merged {
+                relabeled: self.members[&keep].len(),
+            });
+        }
+        for &m in &moved {
+            self.label.insert(m, keep);
+        }
+        self.members.get_mut(&keep).expect("kept").extend(moved);
+        Some(InsertOutcome::Merged { relabeled })
+    }
+
+    /// Delete an (undirected) edge; recompute the affected component
+    /// by BFS (the slow path for dynamic deletions). Returns whether
+    /// the edge existed.
+    pub fn delete(&mut self, u: VertexId, v: VertexId) -> bool {
+        let key = norm(u, v);
+        if !self.edges.remove(&key) {
+            return false;
+        }
+        if u != v {
+            if let Some(n) = self.adj.get_mut(&u) {
+                if let Some(p) = n.iter().position(|&x| x == v) {
+                    n.swap_remove(p);
+                }
+            }
+            if let Some(n) = self.adj.get_mut(&v) {
+                if let Some(p) = n.iter().position(|&x| x == u) {
+                    n.swap_remove(p);
+                }
+            }
+        }
+        // Recompute the component that held the edge.
+        let old = self.label[&u];
+        let members = self.members.remove(&old).unwrap_or_default();
+        // BFS-partition the old component's members.
+        let mut unassigned: FxHashSet<VertexId> = members.iter().copied().collect();
+        while let Some(&seed) = unassigned.iter().next() {
+            let mut frontier = vec![seed];
+            let mut comp = vec![];
+            let mut min = seed;
+            unassigned.remove(&seed);
+            while let Some(x) = frontier.pop() {
+                comp.push(x);
+                min = min.min(x);
+                for &y in &self.adj[&x] {
+                    if unassigned.remove(&y) {
+                        frontier.push(y);
+                    }
+                }
+            }
+            for &m in &comp {
+                self.label.insert(m, min);
+            }
+            self.members.insert(min, comp);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elga_graph::reference;
+
+    #[test]
+    fn insert_fast_path_vs_merge() {
+        let mut s = Stinger::new();
+        assert!(matches!(
+            s.insert(1, 2),
+            Some(InsertOutcome::Merged { .. })
+        ));
+        assert!(matches!(
+            s.insert(3, 2),
+            Some(InsertOutcome::Merged { .. })
+        ));
+        // Closing a triangle: same component already.
+        assert_eq!(s.insert(1, 3), Some(InsertOutcome::FastPath));
+        assert_eq!(s.insert(1, 3), None, "duplicate");
+        assert_eq!(s.num_components(), 1);
+        assert_eq!(s.component(3), Some(1));
+    }
+
+    #[test]
+    fn labels_are_component_minimums() {
+        let mut s = Stinger::new();
+        s.insert(10, 11);
+        s.insert(12, 11);
+        s.insert(5, 12);
+        for v in [5, 10, 11, 12] {
+            assert_eq!(s.component(v), Some(5));
+        }
+    }
+
+    #[test]
+    fn delete_splits_component() {
+        let mut s = Stinger::new();
+        s.insert(1, 2);
+        s.insert(2, 3);
+        s.insert(3, 4);
+        assert!(s.delete(2, 3));
+        assert!(!s.delete(2, 3));
+        assert_eq!(s.component(1), Some(1));
+        assert_eq!(s.component(2), Some(1));
+        assert_eq!(s.component(3), Some(3));
+        assert_eq!(s.component(4), Some(3));
+        assert_eq!(s.num_components(), 2);
+    }
+
+    #[test]
+    fn delete_bridge_vs_cycle_edge() {
+        let mut s = Stinger::new();
+        // Triangle: deleting an edge keeps one component.
+        s.insert(1, 2);
+        s.insert(2, 3);
+        s.insert(3, 1);
+        s.delete(1, 2);
+        assert_eq!(s.num_components(), 1);
+        assert_eq!(s.component(2), Some(1));
+    }
+
+    #[test]
+    fn matches_reference_over_random_stream() {
+        let mut s = Stinger::new();
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let edges: Vec<(u64, u64)> = (0..300)
+            .map(|i| {
+                let u = elga_hash::wang64(i) % 60;
+                let v = elga_hash::wang64(i * 31 + 7) % 60;
+                (u, v)
+            })
+            .collect();
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            s.insert(u, v);
+            model.push((u, v));
+            if i % 5 == 4 {
+                // Delete a pseudo-random earlier edge.
+                let idx = (elga_hash::wang64(i as u64) as usize) % model.len();
+                let (du, dv) = model.swap_remove(idx);
+                s.delete(du, dv);
+            }
+        }
+        // Compare against union-find on the surviving edges.
+        let expect = reference::wcc(model.iter().copied().filter(|&(u, v)| u != v));
+        for (&v, &l) in &expect {
+            assert_eq!(s.component(v), Some(l), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn self_loop_is_fast() {
+        let mut s = Stinger::new();
+        assert_eq!(s.insert(7, 7), Some(InsertOutcome::FastPath));
+        assert_eq!(s.component(7), Some(7));
+    }
+}

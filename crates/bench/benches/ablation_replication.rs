@@ -1,0 +1,73 @@
+//! Ablation — sketch-driven vertex replication on vs off (DESIGN.md's
+//! design-choice list; the mechanism behind Goal 1's "skewed degree
+//! distributions" support, §3.4.1).
+//!
+//! A hub-heavy graph is partitioned with (a) replication disabled
+//! (threshold ∞) and (b) a small threshold that splits hubs. We report
+//! the per-agent *edge* load balance and the PageRank per-iteration
+//! time under both.
+
+use elga_bench::{banner, cluster_with, fmt_ms, timed_trials};
+use elga_core::algorithms::PageRank;
+use elga_core::config::SystemConfig;
+use elga_gen::powerlaw::power_law;
+use elga_graph::stats::load_balance;
+use elga_hash::{EdgeLocator, HashKind, LocatorConfig, Ring};
+use elga_sketch::DegreeEstimator;
+
+fn main() {
+    banner(
+        "Ablation",
+        "vertex replication (high-degree splitting) on vs off, hub-heavy graph",
+    );
+    // Severely skewed: a star core plus power-law periphery.
+    let n = 4000u64;
+    let mut edges = power_law(n, 20_000, 1.8, 3);
+    edges.extend((1..1500u64).map(|i| (0, i % n)));
+
+    let mut est = DegreeEstimator::new(1 << 12, 8);
+    for &(u, v) in &edges {
+        est.record_edge(u, v);
+    }
+
+    println!("(a) per-agent edge counts over 16 agents");
+    for (label, threshold) in [("replication off", u64::MAX), ("replication on (t=256)", 256)] {
+        let loc = EdgeLocator::new(
+            Ring::from_agents(HashKind::Wang, 100, 0..16),
+            LocatorConfig {
+                replication_threshold: threshold,
+                max_replicas: 16,
+            },
+        );
+        let mut counts = vec![0u64; 16];
+        for &(u, v) in &edges {
+            if let Some(owner) = loc.owner_of_edge(u, v, est.degree(u)) {
+                counts[owner as usize] += 1;
+            }
+        }
+        let lb = load_balance(&counts);
+        println!(
+            "  {:<24} max {:>7}  mean {:>9.1}  imbalance {:>6.3}x",
+            label, lb.max, lb.mean, lb.imbalance
+        );
+    }
+
+    println!("\n(b) PageRank per-iteration on the live system");
+    for (label, threshold) in [("replication off", u64::MAX), ("replication on (t=256)", 256u64)] {
+        let (mean, ci) = timed_trials(|| {
+            let cfg = SystemConfig {
+                replication_threshold: threshold,
+                ..SystemConfig::default()
+            };
+            let mut c = cluster_with(8, cfg);
+            c.ingest_edges(edges.iter().copied());
+            let stats = c
+                .run(PageRank::new(0.85).with_max_iters(4))
+                .expect("run");
+            let per_iter = stats.mean_iteration();
+            c.shutdown();
+            per_iter
+        });
+        println!("  {:<24} {}", label, fmt_ms(mean, ci));
+    }
+}

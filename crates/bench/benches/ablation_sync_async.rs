@@ -1,0 +1,54 @@
+//! Ablation — synchronous vs asynchronous execution (§3.2/§3.4: ElGA
+//! "supports both synchronous and asynchronous vertex-centric
+//! applications"; the paper does not isolate the two modes, so this is
+//! an extension experiment from DESIGN.md's ablation list).
+//!
+//! WCC is monotone and runs in both modes; async avoids superstep
+//! barriers at the cost of redundant propagation.
+
+use elga_bench::{banner, cluster, fmt_ms, generate, timed_trials};
+use elga_core::algorithms::Wcc;
+use elga_core::program::{ExecutionMode, RunOptions};
+use elga_gen::catalog::find;
+
+fn main() {
+    banner(
+        "Ablation",
+        "synchronous vs asynchronous WCC (barriered supersteps vs event-driven)",
+    );
+    println!(
+        "{:<16} {:>9}  {:>22}  {:>22}",
+        "graph", "m", "sync total", "async total"
+    );
+    for name in ["Twitter-2010", "LiveJournal", "Amazon0601"] {
+        let ds = find(name).expect("catalog");
+        let (_, edges) = generate(&ds, 97);
+        let mut row = vec![];
+        for mode in [ExecutionMode::Sync, ExecutionMode::Async] {
+            let (mean, ci) = timed_trials(|| {
+                let mut c = cluster(4);
+                c.ingest_edges(edges.iter().copied());
+                let stats = c
+                    .run_with(
+                        Wcc::new(),
+                        RunOptions {
+                            reuse_state: false,
+                            mode,
+                        },
+                    )
+                    .expect("run");
+                let total = stats.total;
+                c.shutdown();
+                total
+            });
+            row.push(fmt_ms(mean, ci));
+        }
+        println!(
+            "{:<16} {:>9}  {:>22}  {:>22}",
+            name,
+            edges.len(),
+            row[0],
+            row[1]
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 5 — "The hash function has a large impact on the runtime. We
+//! found that Wang's 64-bit integer hash performs the best. The runtime
+//! performance follows the quality of the edge distributions."
+//!
+//! (a) PageRank iteration runtime with each candidate hash driving the
+//!     consistent-hash ring;
+//! (b) the per-agent edge distribution each hash produces over 2048
+//!     agents (the paper plots the CDF; we print distribution
+//!     percentiles and the max/mean imbalance — "Ideal is a single
+//!     vertical line", i.e. imbalance 1.0).
+
+use elga_bench::{banner, cluster_with, fmt_ms, generate, generate_sized, timed_trials};
+use elga_core::algorithms::PageRank;
+use elga_core::config::SystemConfig;
+use elga_gen::catalog::find;
+use elga_graph::stats::load_balance;
+use elga_hash::{HashKind, Ring};
+
+fn main() {
+    banner(
+        "Figure 5",
+        "hash function impact: PR iteration runtime + edge distribution over 2048 agents",
+    );
+    let tw = find("Twitter-2010").expect("catalog");
+    let (_, edges) = generate(&tw, 3);
+
+    println!("(a) PageRank iteration runtime (4 agents)");
+    for kind in HashKind::ALL {
+        let (mean, ci) = timed_trials(|| {
+            let cfg = SystemConfig {
+                hash: kind,
+                ..SystemConfig::default()
+            };
+            let mut c = cluster_with(4, cfg);
+            c.ingest_edges(edges.iter().copied());
+            let stats = c
+                .run(PageRank::new(0.85).with_max_iters(4))
+                .expect("run");
+            let per_iter = stats.mean_iteration();
+            c.shutdown();
+            per_iter
+        });
+        println!("  {:<7} {}", kind.name(), fmt_ms(mean, ci));
+    }
+
+    println!("\n(b) edge distribution across 2048 agents (100 virtual agents each)");
+    // The distribution needs many more keys than agents; regenerate at
+    // a fixed ~300k edges for the pure-locator measurement.
+    let (_, edges) = generate_sized(&tw, 300_000, 3);
+    println!(
+        "  {:<7} {:>8} {:>8} {:>8} {:>8} {:>8}  {:>9}",
+        "hash", "min", "p25", "p50", "p75", "max", "imbalance"
+    );
+    for kind in HashKind::ALL {
+        let ring = Ring::from_agents(kind, 100, 0..2048);
+        let counts = ring.assignment_counts(edges.iter().map(|&(u, _)| u));
+        let mut sorted: Vec<u64> = counts.iter().map(|&(_, c)| c).collect();
+        sorted.sort_unstable();
+        let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+        let lb = load_balance(&sorted);
+        println!(
+            "  {:<7} {:>8} {:>8} {:>8} {:>8} {:>8}  {:>8.3}x",
+            kind.name(),
+            sorted[0],
+            pct(0.25),
+            pct(0.50),
+            pct(0.75),
+            sorted[sorted.len() - 1],
+            lb.imbalance
+        );
+    }
+    println!("  (ideal is a single vertical line: imbalance 1.0)");
+}

@@ -1,0 +1,55 @@
+//! Figure 6 — "The load balance distributions for 2048 Agents as the
+//! number of virtual agents per Agent is varied from 1 to 1000 for
+//! Twitter-2010. Beyond 100 improvements do not outweigh the
+//! computational cost."
+//!
+//! Also reports the lookup cost per level, making the paper's
+//! trade-off explicit (§3.4.2: "significantly improves the load
+//! balance but increases the lookup time by a constant factor").
+
+use elga_bench::{banner, generate_sized, mean_ci};
+use elga_gen::catalog::find;
+use elga_graph::stats::load_balance;
+use elga_hash::{HashKind, Ring};
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "Figure 6",
+        "load balance over 2048 agents vs virtual agents per agent (Twitter-2010-like)",
+    );
+    let tw = find("Twitter-2010").expect("catalog");
+    // Pure locator math: use ~300k edges regardless of the live-cluster
+    // fraction so 2048 agents see enough keys.
+    let (_, edges) = generate_sized(&tw, 300_000, 5);
+    let keys: Vec<u64> = edges.iter().map(|&(u, _)| u).collect();
+
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>11} {:>14}",
+        "vper", "min", "mean", "max", "imbalance", "lookup (ns)"
+    );
+    for vper in [1u32, 10, 100, 1000] {
+        let ring = Ring::from_agents(HashKind::Wang, vper, 0..2048);
+        let counts = ring.assignment_counts(keys.iter().copied());
+        let values: Vec<u64> = counts.iter().map(|&(_, c)| c).collect();
+        let lb = load_balance(&values);
+
+        // Lookup cost: median of repeated timed sweeps.
+        let mut times = Vec::new();
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            let mut sink = 0u64;
+            for &k in &keys {
+                sink ^= ring.owner(k).unwrap_or(0);
+            }
+            std::hint::black_box(sink);
+            times.push(t0.elapsed().as_nanos() as f64 / keys.len() as f64);
+        }
+        let (lookup, _) = mean_ci(&times);
+        println!(
+            "{:>6} {:>9} {:>9.1} {:>9} {:>10.3}x {:>14.1}",
+            vper, lb.min, lb.mean, lb.max, lb.imbalance, lookup
+        );
+    }
+    println!("(the paper selects 100: balanced, with lookup still O(log P·V))");
+}

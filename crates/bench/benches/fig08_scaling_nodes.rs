@@ -1,0 +1,46 @@
+//! Figure 8 — "The scalability of ElGA reporting PageRank iterations as
+//! the number of nodes are varied. ... For each graph, adding more
+//! nodes results in lower runtimes."
+//!
+//! In the in-process deployment a "node" is a group of agents (2 per
+//! node here); we sweep node counts and report per-iteration PageRank
+//! time per dataset — strong scaling.
+
+use elga_bench::{banner, cluster, fmt_ms, generate_sized, timed_trials};
+use elga_core::algorithms::PageRank;
+use elga_gen::catalog::find;
+
+const AGENTS_PER_NODE: usize = 2;
+const ITERS: u32 = 4;
+
+fn main() {
+    banner(
+        "Figure 8",
+        "strong scaling over nodes (2 agents per node), PageRank per-iteration",
+    );
+    let datasets = ["Twitter-2010", "LiveJournal", "Graph500-30"];
+    print!("{:>7}", "nodes");
+    for d in datasets {
+        print!(" | {d:^24}");
+    }
+    println!();
+    for nodes in [1usize, 2, 4, 8] {
+        print!("{nodes:>7}");
+        for name in datasets {
+            let ds = find(name).expect("catalog");
+            let (_, edges) = generate_sized(&ds, 150000, 21);
+            let (mean, ci) = timed_trials(|| {
+                let mut c = cluster(nodes * AGENTS_PER_NODE);
+                c.ingest_edges(edges.iter().copied());
+                let stats = c
+                    .run(PageRank::new(0.85).with_max_iters(ITERS))
+                    .expect("run");
+                let per_iter = stats.mean_iteration();
+                c.shutdown();
+                per_iter
+            });
+            print!(" | {:^24}", fmt_ms(mean, ci));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 9 — "The scalability of ElGA reporting PageRank iterations as
+//! the number of Agents per node are varied. ... adding more Agents
+//! results in faster runtimes."
+//!
+//! Node count is held fixed (4, the in-process analog of the paper's
+//! 64) while agents per node sweep 1..8.
+
+use elga_bench::{banner, cluster, fmt_ms, generate_sized, timed_trials};
+use elga_core::algorithms::PageRank;
+use elga_gen::catalog::find;
+
+const NODES: usize = 4;
+const ITERS: u32 = 4;
+
+fn main() {
+    banner(
+        "Figure 9",
+        "scaling over agents per node at fixed node count, PageRank per-iteration",
+    );
+    let datasets = ["Twitter-2010", "Pokec-1000"];
+    print!("{:>13}", "agents/node");
+    for d in datasets {
+        print!(" | {d:^24}");
+    }
+    println!();
+    for per_node in [1usize, 2, 4, 8] {
+        print!("{per_node:>13}");
+        for name in datasets {
+            let ds = find(name).expect("catalog");
+            let (_, edges) = generate_sized(&ds, 150000, 23);
+            let (mean, ci) = timed_trials(|| {
+                let mut c = cluster(NODES * per_node);
+                c.ingest_edges(edges.iter().copied());
+                let stats = c
+                    .run(PageRank::new(0.85).with_max_iters(ITERS))
+                    .expect("run");
+                let per_iter = stats.mean_iteration();
+                c.shutdown();
+                per_iter
+            });
+            print!(" | {:^24}", fmt_ms(mean, ci));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 10 — "ElGA's weak scaling with the Pokec dataset. The scale
+//! ranges from ×39 to ×2500. A horizontal line is ideal."
+//!
+//! The graph grows proportionally with the agent count (edges/agent
+//! held constant) using the BTER scaled-replica generator, mirroring
+//! the paper's A-BTER weak-scaling protocol. Per-edge-per-agent time
+//! should stay flat once communication amortizes.
+
+use elga_bench::{banner, cluster, fmt_ms, timed_trials};
+use elga_core::algorithms::PageRank;
+use elga_gen::bter::BterModel;
+use elga_gen::catalog::find;
+
+const ITERS: u32 = 3;
+
+fn main() {
+    banner(
+        "Figure 10",
+        "weak scaling on Pokec-like replicas (edges grow with agents; flat is ideal)",
+    );
+    let pokec = find("Pokec-1000").expect("catalog");
+    // Seed sized so each agent holds ~40k edges; replicas scale with
+    // the agent count (weak scaling).
+    let (_, seed) = elga_bench::generate_sized(&pokec, 40_000, 31);
+    let model = BterModel::from_seed(&seed, 8);
+
+    println!(
+        "{:>7} {:>10} {:>26} {:>16}",
+        "agents", "edges", "per-iteration", "µs/(edge/agent)"
+    );
+    for agents in [1usize, 2, 4, 8, 16] {
+        let rep = model.generate(agents as f64, 37);
+        let m = rep.edges.len();
+        let (mean, ci) = timed_trials(|| {
+            let mut c = cluster(agents);
+            c.ingest_edges(rep.edges.iter().copied());
+            let stats = c
+                .run(PageRank::new(0.85).with_max_iters(ITERS))
+                .expect("run");
+            let per_iter = stats.mean_iteration();
+            c.shutdown();
+            per_iter
+        });
+        let per_edge_agent = mean / (m as f64 / agents as f64) * 1e6;
+        println!(
+            "{:>7} {:>10} {:>26} {:>16.3}",
+            agents,
+            m,
+            fmt_ms(mean, ci),
+            per_edge_agent
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 14 — "The insertion rate of edges from Skitter. ... The
+//! performance is above 2 million edges per second per Agent and
+//! scales well." (Absolute rates differ on the in-process substrate;
+//! the shape under reproduction is near-linear scaling with agents.)
+//!
+//! As in the paper, half of the participants are Streamers: we run
+//! `agents/2` streamer threads, each pushing a shard of the stream.
+
+use elga_bench::{banner, generate, mean_ci, trials};
+use elga_core::cluster::Cluster;
+use elga_core::streamer::Streamer;
+use elga_gen::catalog::find;
+use elga_graph::types::EdgeChange;
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "Figure 14",
+        "edge insertion rate vs agent count (streamers = agents/2)",
+    );
+    let ds = find("Skitter").expect("catalog");
+    let (_, edges) = generate(&ds, 61);
+    println!(
+        "{:>7} {:>10} {:>16} {:>18}",
+        "agents", "streamers", "edges/s", "edges/s/agent"
+    );
+    let mut base_rate = None;
+    for agents in [2usize, 4, 8] {
+        let streamers = (agents / 2).max(1);
+        let mut rates = Vec::new();
+        for trial in 0..trials() {
+            let c = Cluster::builder().agents(agents).build();
+            let shards: Vec<Vec<EdgeChange>> = (0..streamers)
+                .map(|s| {
+                    edges
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % streamers == s)
+                        .map(|(_, &(u, v))| EdgeChange::insert(u, v))
+                        .collect()
+                })
+                .collect();
+            let transport = c.transport();
+            let cfg = c.config().clone();
+            let lead = c.lead_directory();
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for shard in &shards {
+                    let transport = transport.clone();
+                    let cfg = cfg.clone();
+                    let lead = lead.clone();
+                    scope.spawn(move || {
+                        let mut s =
+                            Streamer::connect(transport, cfg, lead).expect("streamer");
+                        for chunk in shard.chunks(8192) {
+                            s.send_batch(chunk).expect("send");
+                        }
+                    });
+                }
+            });
+            c.quiesce();
+            let secs = t0.elapsed().as_secs_f64();
+            rates.push(edges.len() as f64 / secs);
+            c.shutdown();
+            let _ = trial;
+        }
+        let (rate, _) = mean_ci(&rates);
+        println!(
+            "{:>7} {:>10} {:>16.0} {:>18.0}",
+            agents,
+            streamers,
+            rate,
+            rate / agents as f64
+        );
+        base_rate.get_or_insert(rate);
+    }
+    if let Some(b) = base_rate {
+        println!("(dashed ideal line: {:.0} × agents/2)", b);
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 16 — "The cost of adding and removing one Agent, starting
+//! from 2048": (a) the percent of edges moved, (b) the wall time.
+//!
+//! Edge movement at 2048 agents is a pure function of the consistent
+//! hashing scheme, so (a) is computed exactly with the locator over
+//! each dataset — no 2048 live threads needed. (b) is measured on a
+//! live cluster at in-process scale (8 agents).
+
+use elga_bench::{banner, generate, generate_sized, timed_trials};
+use elga_core::cluster::Cluster;
+use elga_gen::catalog::catalog;
+use elga_hash::{EdgeLocator, HashKind, LocatorConfig, Ring};
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "Figure 16",
+        "elasticity cost: % edges moved (at 2048 agents) and add+remove wall time (live, 8 agents)",
+    );
+
+    // (a) Exact movement ratios per dataset, add then remove.
+    println!("(a) percent of edges moved, 2048 agents, 100 virtual agents each");
+    let base = Ring::from_agents(HashKind::Wang, 100, 0..2048);
+    let mut plus = base.clone();
+    plus.add_agent(5000);
+    let mut minus = base.clone();
+    minus.remove_agent(1024);
+    let cfg = LocatorConfig::default();
+    let loc_base = EdgeLocator::new(base, cfg);
+    let loc_plus = EdgeLocator::new(plus, cfg);
+    let loc_minus = EdgeLocator::new(minus, cfg);
+    println!(
+        "  {:<16} {:>9} {:>12} {:>12} {:>10}",
+        "graph", "m", "add moved", "rem moved", "ideal"
+    );
+    for ds in catalog() {
+        // Movement ratios are pure locator math; use ~200k edges each.
+        let (_, edges) = generate_sized(ds, 200_000, 81);
+        let mut add_moved = 0usize;
+        let mut rem_moved = 0usize;
+        for &(u, v) in &edges {
+            let b = loc_base.owner_of_edge(u, v, 0);
+            if loc_plus.owner_of_edge(u, v, 0) != b {
+                add_moved += 1;
+            }
+            if loc_minus.owner_of_edge(u, v, 0) != b {
+                rem_moved += 1;
+            }
+        }
+        let m = edges.len() as f64;
+        println!(
+            "  {:<16} {:>9} {:>11.4}% {:>11.4}% {:>9.4}%",
+            ds.name,
+            edges.len(),
+            add_moved as f64 / m * 100.0,
+            rem_moved as f64 / m * 100.0,
+            100.0 / 2049.0,
+        );
+    }
+
+    // (b) Live add + remove timing at in-process scale.
+    println!("\n(b) wall time to add then remove one agent (live cluster, 8 agents)");
+    for name in ["Twitter-2010", "LiveJournal"] {
+        let ds = elga_gen::catalog::find(name).expect("catalog");
+        let (_, edges) = generate(&ds, 83);
+        let (mean, ci) = timed_trials(|| {
+            let mut c = Cluster::builder().agents(8).build();
+            c.ingest_edges(edges.iter().copied());
+            let t0 = Instant::now();
+            let ids = c.add_agents(1);
+            c.quiesce();
+            c.remove_agent(ids[0]);
+            c.quiesce();
+            let dt = t0.elapsed();
+            c.shutdown();
+            dt
+        });
+        println!("  {:<16} {}", name, elga_bench::fmt_ms(mean, ci));
+    }
+}

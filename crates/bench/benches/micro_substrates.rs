@@ -1,0 +1,182 @@
+//! Criterion microbenchmarks of the substrates on ElGA's hot paths:
+//! the §4.5 hash functions, ring lookups at varying virtual-agent
+//! counts, count-min sketch operations, and frame encode/decode (the
+//! §3.5 "direct memory copies").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elga_hash::{EdgeLocator, HashKind, LocatorConfig, Ring};
+use elga_sketch::CountMinSketch;
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash64");
+    for kind in HashKind::ALL {
+        g.bench_function(kind.name(), |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(0x9E37_79B9);
+                black_box(kind.hash(black_box(x)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ring_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_owner");
+    for vper in [1u32, 10, 100, 1000] {
+        let ring = Ring::from_agents(HashKind::Wang, vper, 0..2048);
+        g.bench_with_input(BenchmarkId::from_parameter(vper), &ring, |b, ring| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                black_box(ring.owner(black_box(k)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_edge_resolve(c: &mut Criterion) {
+    // The full Figure 3 path: sketch estimate + two consistent hashes.
+    let ring = Ring::from_agents(HashKind::Wang, 100, 0..2048);
+    let loc = EdgeLocator::new(
+        ring,
+        LocatorConfig {
+            replication_threshold: 64,
+            max_replicas: 16,
+        },
+    );
+    let mut sketch = CountMinSketch::new(1 << 12, 8);
+    for i in 0..100_000u64 {
+        sketch.inc(i % 1000);
+    }
+    c.bench_function("edge_resolve_full_path", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let u = k % 1000;
+            let d = sketch.estimate(u);
+            black_box(loc.owner_of_edge(u, k, d))
+        })
+    });
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("count_min");
+    for (w, d) in [(1 << 12, 8usize), (1 << 18, 8)] {
+        let mut s = CountMinSketch::new(w, d);
+        for i in 0..10_000u64 {
+            s.inc(i);
+        }
+        g.bench_with_input(
+            BenchmarkId::new("estimate", format!("w{w}d{d}")),
+            &s,
+            |b, s| {
+                let mut k = 0u64;
+                b.iter(|| {
+                    k = k.wrapping_add(7);
+                    black_box(s.estimate(black_box(k)))
+                })
+            },
+        );
+        g.bench_function(BenchmarkId::new("inc", format!("w{w}d{d}")), |b| {
+            let mut s = CountMinSketch::new(w, d);
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(7);
+                s.inc(black_box(k));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_store(c: &mut Criterion) {
+    use elga_graph::adjacency::AdjacencyStore;
+    use elga_graph::csr::Csr;
+    let edges: Vec<(u64, u64)> = (0..50_000u64)
+        .map(|i| {
+            (
+                elga_hash::wang64(i) % 10_000,
+                elga_hash::wang64(i * 13 + 7) % 10_000,
+            )
+        })
+        .collect();
+    c.bench_function("adjacency_insert_50k", |b| {
+        b.iter(|| {
+            let mut g = AdjacencyStore::new();
+            for &(u, v) in &edges {
+                g.insert(u, v);
+            }
+            black_box(g.num_edges())
+        })
+    });
+    c.bench_function("csr_build_50k", |b| {
+        b.iter(|| black_box(Csr::from_edges(Some(10_000), &edges).num_edges()))
+    });
+    let store = AdjacencyStore::from_edges(edges.iter().copied());
+    c.bench_function("adjacency_neighbor_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..10_000u64 {
+                for &w in store.out_neighbors(v) {
+                    acc ^= w;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    let csr = Csr::from_edges(Some(10_000), &edges);
+    c.bench_function("csr_neighbor_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..10_000u64 {
+                for &w in csr.out_neighbors(v) {
+                    acc ^= w;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_frames(c: &mut Criterion) {
+    use elga_net::Frame;
+    c.bench_function("frame_encode_vmsg_batch_256", |b| {
+        let msgs: Vec<(u64, u64)> = (0..256).map(|i| (i, i * 3)).collect();
+        b.iter(|| {
+            let mut builder = Frame::builder(6).u64(1).u32(2).u32(msgs.len() as u32);
+            for &(t, v) in &msgs {
+                builder = builder.u64(t).u64(v);
+            }
+            black_box(builder.finish())
+        })
+    });
+    c.bench_function("frame_decode_vmsg_batch_256", |b| {
+        let msgs: Vec<(u64, u64)> = (0..256).map(|i| (i, i * 3)).collect();
+        let mut builder = Frame::builder(6).u64(1).u32(2).u32(msgs.len() as u32);
+        for &(t, v) in &msgs {
+            builder = builder.u64(t).u64(v);
+        }
+        let frame = builder.finish();
+        b.iter(|| {
+            let mut r = frame.reader();
+            let _run = r.u64().unwrap();
+            let _step = r.u32().unwrap();
+            let n = r.u32().unwrap();
+            let mut acc = 0u64;
+            for _ in 0..n {
+                acc ^= r.u64().unwrap() ^ r.u64().unwrap();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_hashes, bench_ring_lookup, bench_edge_resolve, bench_sketch, bench_graph_store, bench_frames
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! §3.5 transport-latency comparison.
+//!
+//! The paper benchmarks MPI (~1 µs), raw TCP (~4 µs) and ZeroMQ
+//! (>20 µs) sends on its cluster to quantify the messaging overhead
+//! ElGA accepts for flexibility. The analogous comparison here is the
+//! in-process channel backend vs the real-socket TCP backend for both
+//! REQ/REP round trips and PUSH throughput.
+
+use elga_bench::{banner, mean_ci};
+use elga_net::{Addr, Frame, InProcTransport, TcpTransport, Transport};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ROUNDS: usize = 2000;
+
+fn reqrep_roundtrip(transport: Arc<dyn Transport>, server_addr: Addr) -> f64 {
+    // Echo server.
+    let mb = transport.bind(&server_addr).expect("bind");
+    let real_addr = mb.addr().clone();
+    let server = std::thread::spawn(move || {
+        for _ in 0..ROUNDS {
+            let d = mb.recv().expect("recv");
+            if let Some(r) = d.reply {
+                let _ = r.send(Frame::signal(2));
+            }
+        }
+    });
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        let _ = transport
+            .request(&real_addr, Frame::signal(1), Duration::from_secs(5))
+            .expect("req");
+    }
+    let per = t0.elapsed().as_secs_f64() / ROUNDS as f64;
+    server.join().expect("server");
+    per
+}
+
+fn push_throughput(transport: Arc<dyn Transport>, server_addr: Addr) -> f64 {
+    let mb = transport.bind(&server_addr).expect("bind");
+    let real_addr = mb.addr().clone();
+    let n = 200_000usize;
+    let server = std::thread::spawn(move || {
+        for _ in 0..n {
+            let _ = mb.recv().expect("recv");
+        }
+    });
+    let out = transport.sender(&real_addr).expect("sender");
+    let frame = Frame::builder(1).u64(42).u64(43).finish();
+    let t0 = Instant::now();
+    for _ in 0..n {
+        out.send(frame.clone()).expect("send");
+    }
+    server.join().expect("server");
+    n as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    banner(
+        "§3.5 latency",
+        "messaging overhead: in-process channels vs TCP sockets (paper: MPI 1µs / TCP 4µs / ZMQ 20µs)",
+    );
+    let trials = 3;
+
+    let mut inproc_rtt = Vec::new();
+    let mut tcp_rtt = Vec::new();
+    for i in 0..trials {
+        let t: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        inproc_rtt.push(reqrep_roundtrip(t, Addr::inproc(format!("echo-{i}"))));
+        let t: Arc<dyn Transport> = Arc::new(TcpTransport::new());
+        tcp_rtt.push(reqrep_roundtrip(
+            t,
+            Addr::parse("tcp://127.0.0.1:0").expect("addr"),
+        ));
+    }
+    let (im, ic) = mean_ci(&inproc_rtt);
+    let (tm, tc) = mean_ci(&tcp_rtt);
+    println!("REQ/REP round trip:");
+    println!("  inproc {:8.2} ± {:5.2} µs", im * 1e6, ic * 1e6);
+    println!("  tcp    {:8.2} ± {:5.2} µs   ({:.1}x inproc)", tm * 1e6, tc * 1e6, tm / im);
+
+    let t: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+    let inproc_tp = push_throughput(t, Addr::inproc("push"));
+    let t: Arc<dyn Transport> = Arc::new(TcpTransport::new());
+    let tcp_tp = push_throughput(t, Addr::parse("tcp://127.0.0.1:0").expect("addr"));
+    println!("PUSH throughput:");
+    println!("  inproc {:10.0} msgs/s", inproc_tp);
+    println!("  tcp    {:10.0} msgs/s", tcp_tp);
+}

@@ -1,0 +1,60 @@
+//! Table 2 — "The graphs used in our experiments."
+//!
+//! Regenerates the dataset inventory synthetically (see DESIGN.md
+//! substitutions) and prints published vs. generated sizes. The
+//! generated edge-list size assumes 16 bytes per edge (two 64-bit
+//! vertex ids, §4: "all systems ... use 64-bit integers for vertex
+//! IDs").
+
+use elga_bench::{frac, generate};
+use elga_gen::catalog::catalog;
+
+fn human_bytes(b: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = b;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("{v:.1} {}", UNITS[u])
+}
+
+fn main() {
+    elga_bench::banner("Table 2", "datasets (published vs regenerated)");
+    println!(
+        "{:<16} {:>6} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "graph", "ABTER", "n (pub)", "m (pub)", "EL (pub)", "n (gen)", "m (gen)", "EL (gen)"
+    );
+    for d in catalog() {
+        let (n, edges) = generate(d, 1);
+        println!(
+            "{:<16} {:>6} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+            d.name,
+            if d.abter_scale == 1 {
+                "-".to_string()
+            } else {
+                format!("x{}", d.abter_scale)
+            },
+            format_count(d.n_full as f64),
+            format_count(d.m_full as f64),
+            human_bytes(d.m_full as f64 * 16.0),
+            format_count(n as f64),
+            format_count(edges.len() as f64),
+            human_bytes(edges.len() as f64 * 16.0),
+        );
+    }
+    println!("\nGenerated at frac = {:.2e} of published sizes.", frac());
+}
+
+fn format_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.1}B", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}

@@ -1,0 +1,1548 @@
+//! Agents: the workers that hold the graph and run vertex programs
+//! (paper §3.4).
+//!
+//! "Agents are responsible for holding the graph in memory and carrying
+//! out the computation on the graph. ... They operate as a state
+//! machine and, during computation, either execute the algorithms on
+//! their vertices, send updates to other Agents, or receive updates
+//! from Agents. They continuously poll on their communication channel
+//! and act on whatever packet they receive."
+//!
+//! Key behaviors reproduced from the paper:
+//!
+//! * **Ownership checks and forwarding** — every received edge change
+//!   is re-validated against the current view; wrong-destination
+//!   packets are "forwarded to the latest, correct Agent".
+//! * **Buffering** — vertex messages for future phases are stored
+//!   "until the computation can catch up"; edge changes arriving while
+//!   a batch algorithm runs are buffered and applied afterwards.
+//! * **Migration** — on any view change the agent recomputes "the
+//!   correct destination for all current edges" and forwards misplaced
+//!   ones; when leaving, it drains everything and only disconnects
+//!   after the directory confirms.
+//! * **Replication** — high-degree vertices are split: each replica
+//!   holds a slice of the vertex's edges, pre-aggregates its incoming
+//!   messages, and synchronizes state with the primary between
+//!   supersteps.
+
+use crate::config::SystemConfig;
+use crate::directory::{agent_addr, bus_addr};
+use crate::metrics::AgentMetrics;
+use crate::msg::{self, packet, Counters, DirectoryView, MetaRecord, Phase, ReadyReport, RunInfo, Side, StateRecord};
+use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
+use elga_graph::types::{Action, EdgeChange, VertexId};
+use elga_hash::{AgentId, EdgeLocator, FxHashMap, FxHashSet};
+use elga_net::{Addr, Delivery, Frame, NetError, Outbox, Transport};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Frames batched per message to amortize per-frame overhead.
+const BATCH: usize = 4096;
+
+/// Forwarding hop cap (views converge long before this).
+const MAX_HOPS: u8 = 64;
+
+/// Edges grouped by destination agent during migration.
+type MovedEdges = FxHashMap<AgentId, Vec<(VertexId, VertexId)>>;
+
+/// One migration bundle entry: placement side, the sender's replica
+/// snapshot of the vertex (plus whether the state is initialized), and
+/// the edges moving with it.
+type VertexEdgeBundle = (Side, StateRecord, bool, Vec<(VertexId, VertexId)>);
+
+/// Per-vertex data held by an agent. One entry serves all three roles
+/// a vertex can have here: replica (edges + state copy), aggregation
+/// target (partials), and primary (authoritative meta).
+#[derive(Debug, Clone, Default)]
+struct VertexEntry {
+    /// Local out-edges (this agent owns their out-placement).
+    out: Vec<VertexId>,
+    /// Local in-edges (this agent owns their in-placement).
+    inn: Vec<VertexId>,
+    /// Replica state copy (from STATE broadcasts or local apply).
+    state: u64,
+    /// Whether `state` is initialized.
+    has_state: bool,
+    /// Replica copy of the global out-degree.
+    rep_out_degree: u64,
+    /// Active for the next scatter.
+    active: bool,
+    /// Scatter-phase partial aggregate.
+    partial: u64,
+    has_partial: bool,
+    /// Combine-phase aggregate (primary side).
+    ppartial: u64,
+    has_ppartial: bool,
+    /// §3.2 waiting set (async): messages collected so far toward the
+    /// program's `waits_for` requirement.
+    wait_recv: u64,
+    /// Primary-only: authoritative global degrees.
+    g_out: i64,
+    g_in: i64,
+    /// Primary-only: this agent holds the vertex's meta record.
+    is_meta: bool,
+    /// Primary-only: touched by changes since the last run.
+    dirty: bool,
+}
+
+impl VertexEntry {
+    fn is_empty(&self) -> bool {
+        self.out.is_empty()
+            && self.inn.is_empty()
+            && !self.is_meta
+            && !self.has_state
+            && !self.has_partial
+            && !self.has_ppartial
+    }
+}
+
+/// Per-run execution state.
+struct AgentRun {
+    info: RunInfo,
+    program: Arc<dyn VertexProgram>,
+    /// Latest directive from the directory.
+    step: u32,
+    phase: Phase,
+    n_vertices: u64,
+    global: f64,
+    /// Async event-driven mode entered.
+    async_live: bool,
+}
+
+/// One ElGA agent. Spawned on its own thread by the cluster driver.
+pub struct Agent {
+    id: AgentId,
+    #[allow(dead_code)]
+    cfg: SystemConfig,
+    transport: Arc<dyn Transport>,
+    mailbox: elga_net::Mailbox,
+    dir_push: Outbox,
+    view: DirectoryView,
+    locator: EdgeLocator,
+    outboxes: FxHashMap<AgentId, Outbox>,
+    vertices: FxHashMap<VertexId, VertexEntry>,
+    /// Edge sets for O(1) duplicate detection.
+    out_set: FxHashSet<(VertexId, VertexId)>,
+    in_set: FxHashSet<(VertexId, VertexId)>,
+    counters: Counters,
+    metrics: AgentMetrics,
+    run: Option<AgentRun>,
+    /// Changes received while a run was active (§3.4: "While a batch is
+    /// running, the graph does not change: any edge changes are
+    /// buffered").
+    buffered_changes: Vec<Frame>,
+    /// Future-phase frames ("If it is for an iteration in the future,
+    /// the packet is stored").
+    buffered_frames: Vec<Frame>,
+    /// Last READY context reported, for re-reporting on late arrivals.
+    reported: Option<(u64, u32, Phase)>,
+    /// Counter snapshot at the last async idle report.
+    last_idle_counters: Option<Counters>,
+    departing: bool,
+    /// Highest view epoch for which migration ran and was reported.
+    migrated_epoch: u64,
+    metrics_flushed: Instant,
+}
+
+impl Agent {
+    /// Bind the mailbox, subscribe to the bus and join through the
+    /// given directory, using the in-process address conventions.
+    pub fn join(
+        transport: Arc<dyn Transport>,
+        cfg: SystemConfig,
+        id: AgentId,
+        directory: Addr,
+    ) -> Result<Agent, NetError> {
+        Agent::join_at(transport, cfg, id, agent_addr(id), directory, bus_addr())
+    }
+
+    /// Deployment-agnostic join: bind the mailbox at `addr` (for TCP,
+    /// a concrete `tcp://host:port`), subscribe to the broadcast bus at
+    /// `bus`, and register with `directory`. Returns the ready-to-run
+    /// agent.
+    pub fn join_at(
+        transport: Arc<dyn Transport>,
+        cfg: SystemConfig,
+        id: AgentId,
+        addr: Addr,
+        directory: Addr,
+        bus: Addr,
+    ) -> Result<Agent, NetError> {
+        let mailbox = transport.bind(&addr)?;
+        let addr = mailbox.addr().clone();
+        // Subscribe broadcasts into the mailbox *before* joining so no
+        // VIEW/START/ADVANCE can be missed.
+        transport.subscribe_forward(
+            &bus,
+            &[
+                packet::VIEW,
+                packet::ADVANCE,
+                packet::START,
+                packet::SHUTDOWN,
+                packet::RESET_LABELS,
+            ],
+            &addr,
+        )?;
+        let join = Frame::builder(packet::JOIN)
+            .u64(id)
+            .bytes(addr.to_string().as_bytes())
+            .finish();
+        let reply = transport.request(&directory, join, cfg.request_timeout)?;
+        let (view, run_info) =
+            msg::decode_join_reply(&reply).ok_or(NetError::Protocol("bad join reply"))?;
+        let dir_push = transport.sender(&directory)?;
+        let locator = view.locator();
+        let mut agent = Agent {
+            id,
+            cfg,
+            transport,
+            mailbox,
+            dir_push,
+            view,
+            locator,
+            outboxes: FxHashMap::default(),
+            vertices: FxHashMap::default(),
+            out_set: FxHashSet::default(),
+            in_set: FxHashSet::default(),
+            counters: Counters::default(),
+            metrics: AgentMetrics {
+                agent: id,
+                ..Default::default()
+            },
+            run: None,
+            buffered_changes: Vec::new(),
+            buffered_frames: Vec::new(),
+            reported: None,
+            last_idle_counters: None,
+            departing: false,
+            migrated_epoch: 0,
+            metrics_flushed: Instant::now(),
+        };
+        if let Some(info) = run_info {
+            agent.begin_run(info);
+        }
+        Ok(agent)
+    }
+
+    /// Spawn the agent's thread.
+    pub fn spawn(self) -> std::thread::JoinHandle<()> {
+        std::thread::Builder::new()
+            .name(format!("elga-agent-{}", self.id))
+            .spawn(move || self.run_loop())
+            .expect("spawn agent")
+    }
+
+    fn run_loop(mut self) {
+        loop {
+            match self.mailbox.recv_timeout(Duration::from_millis(20)) {
+                Ok(d) => {
+                    if !self.handle(d) {
+                        break;
+                    }
+                    // Drain opportunistically so idle detection sees a
+                    // truly empty mailbox.
+                    loop {
+                        match self.mailbox.try_recv() {
+                            Ok(Some(d)) => {
+                                if !self.handle(d) {
+                                    return;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => return,
+                        }
+                    }
+                    self.on_idle();
+                }
+                Err(NetError::Timeout) => {
+                    self.on_idle();
+                    self.flush_metrics(false);
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, d: Delivery) -> bool {
+        let frame = d.frame;
+        match frame.packet_type() {
+            packet::VIEW => {
+                if let Some(view) = DirectoryView::decode(&frame) {
+                    self.on_view(view);
+                }
+            }
+            packet::START => {
+                if let Some(info) = msg::decode_start(&frame) {
+                    self.begin_run(info);
+                }
+            }
+            packet::ADVANCE => {
+                if let Some(adv) = msg::decode_advance(&frame) {
+                    self.on_advance(adv);
+                }
+            }
+            packet::VMSG => self.on_vmsg(frame),
+            packet::PARTIAL => self.on_partial(frame),
+            packet::STATE => self.on_state(frame),
+            packet::EDGE_CHANGES => self.on_changes(frame),
+            packet::DEG_DELTA => self.on_deg_delta(frame),
+            packet::MIG_EDGES => self.on_mig_edges(frame),
+            packet::MIG_META => self.on_mig_meta(frame),
+            packet::RESET_LABELS => self.on_reset_labels(frame),
+            packet::QUERY => {
+                if let Some(reply) = d.reply {
+                    let v = frame.reader().u64().unwrap_or(0);
+                    self.metrics.queries += 1;
+                    let entry = self.vertices.get(&v);
+                    let (found, state) = match entry {
+                        Some(e) if e.has_state => (1u8, e.state),
+                        _ => (0u8, 0),
+                    };
+                    let _ = reply.send(
+                        Frame::builder(packet::QUERY_REP)
+                            .u8(found)
+                            .u64(state)
+                            .u64(self.view.batch_id)
+                            .finish(),
+                    );
+                }
+            }
+            packet::DUMP => {
+                if let Some(reply) = d.reply {
+                    let mut pairs: Vec<(VertexId, u64)> = Vec::new();
+                    for (&v, e) in &self.vertices {
+                        if e.is_meta && e.has_state && self.is_primary(v) {
+                            pairs.push((v, e.state));
+                        }
+                    }
+                    let mut b = Frame::builder(packet::DUMP).u32(pairs.len() as u32);
+                    for (v, state) in pairs {
+                        b = b.u64(v).u64(state);
+                    }
+                    let _ = reply.send(b.finish());
+                }
+            }
+            packet::DRAIN => {
+                self.flush_metrics(true);
+                if let Some(reply) = d.reply {
+                    let rep = Frame::builder(packet::COUNTERS)
+                        .u64(self.counters.vmsg_sent)
+                        .u64(self.counters.vmsg_recv)
+                        .u64(self.counters.part_sent)
+                        .u64(self.counters.part_recv)
+                        .u64(self.counters.state_sent)
+                        .u64(self.counters.state_recv)
+                        .u64(self.counters.mig_sent)
+                        .u64(self.counters.mig_recv)
+                        .u64(self.counters.chg_sent)
+                        .u64(self.counters.chg_recv)
+                        .u64(self.view.epoch)
+                        .finish();
+                    let _ = reply.send(rep);
+                }
+            }
+            packet::OK
+                // Departure confirmed by the directory.
+                if self.departing => {
+                    return false;
+                }
+            packet::SHUTDOWN => return false,
+            _ => {}
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn estimate(&self, v: VertexId) -> u64 {
+        self.view.sketch.estimate(v)
+    }
+
+    fn is_primary(&self, v: VertexId) -> bool {
+        self.locator.ring().owner(v) == Some(self.id)
+    }
+
+    fn outbox(&mut self, agent: AgentId) -> Option<&Outbox> {
+        if !self.outboxes.contains_key(&agent) {
+            let addr = self
+                .view
+                .addr_of(agent)
+                .cloned()
+                .unwrap_or_else(|| agent_addr(agent));
+            match self.transport.sender(&addr) {
+                Ok(out) => {
+                    self.outboxes.insert(agent, out);
+                }
+                Err(_) => return None,
+            }
+        }
+        self.outboxes.get(&agent)
+    }
+
+    fn push_to(&mut self, agent: AgentId, frame: Frame) {
+        if let Some(out) = self.outbox(agent) {
+            if out.send(frame).is_err() {
+                // Peer gone; senders recover on the next view update.
+                self.outboxes.remove(&agent);
+            }
+        }
+    }
+
+    fn send_ready(&mut self, run: u64, step: u32, phase: Phase, active: u64, contrib: f64, n_primary: u64) {
+        self.reported = Some((run, step, phase));
+        let rep = ReadyReport {
+            agent: self.id,
+            run,
+            step,
+            phase,
+            counters: self.counters,
+            active,
+            global_contrib: contrib,
+            n_primary,
+        };
+        let _ = self.dir_push.send(msg::encode_ready(&rep));
+    }
+
+    /// Re-send the last READY with fresh counters after processing a
+    /// late message (the directory replaces the old report and
+    /// re-evaluates its barrier).
+    fn re_report(&mut self) {
+        if let Some((run, step, phase)) = self.reported {
+            let (active, contrib, n_primary) = if phase == Phase::Apply {
+                self.apply_summary()
+            } else if phase == Phase::Scatter {
+                let (c, n) = self.scatter_summary();
+                (0, c, n)
+            } else {
+                (0, 0.0, 0)
+            };
+            self.send_ready(run, step, phase, active, contrib, n_primary);
+        }
+    }
+
+    /// (active, contrib, n_primary) as reported at Apply barriers.
+    fn apply_summary(&self) -> (u64, f64, u64) {
+        let mut active = 0;
+        let mut n_primary = 0;
+        for (&v, e) in &self.vertices {
+            if e.is_meta && self.is_primary(v) {
+                n_primary += 1;
+                if e.active {
+                    active += 1;
+                }
+            }
+        }
+        (active, 0.0, n_primary)
+    }
+
+    /// (contrib, n_primary) as reported at Scatter barriers.
+    fn scatter_summary(&self) -> (f64, u64) {
+        let Some(run) = self.run.as_ref() else {
+            return (0.0, 0);
+        };
+        let mut contrib = 0.0;
+        let mut n_primary = 0;
+        for (&v, e) in &self.vertices {
+            if e.is_meta && self.is_primary(v) {
+                n_primary += 1;
+                if e.has_state {
+                    let ctx = VertexCtx {
+                        out_degree: e.g_out.max(0) as u64,
+                        in_degree: e.g_in.max(0) as u64,
+                        n_vertices: run.n_vertices,
+                        step: run.step,
+                        global: 0.0,
+                    };
+                    contrib += run.program.global_contrib(v, e.state, &ctx);
+                }
+            }
+        }
+        (contrib, n_primary)
+    }
+
+    // ------------------------------------------------------------------
+    // Run lifecycle
+    // ------------------------------------------------------------------
+
+    fn begin_run(&mut self, info: RunInfo) {
+        let Some(spec) = ProgramSpec::decode(info.tag, info.params) else {
+            return;
+        };
+        let program = spec.instantiate();
+        if !info.reuse_state {
+            for e in self.vertices.values_mut() {
+                e.has_state = false;
+                e.state = 0;
+                e.active = false;
+            }
+        }
+        for e in self.vertices.values_mut() {
+            e.has_partial = false;
+            e.has_ppartial = false;
+            e.wait_recv = 0;
+        }
+        self.buffered_frames.clear();
+        self.run = Some(AgentRun {
+            info,
+            program,
+            step: 0,
+            phase: Phase::Scatter,
+            n_vertices: self.view.n_vertices,
+            global: 0.0,
+            async_live: false,
+        });
+        self.reported = None;
+        self.last_idle_counters = None;
+    }
+
+    fn on_advance(&mut self, adv: msg::Advance) {
+        let Some(run) = self.run.as_mut() else {
+            return;
+        };
+        if adv.run != run.info.run_id {
+            return;
+        }
+        if adv.done {
+            self.finish_run();
+            return;
+        }
+        if run.async_live {
+            // Probe: drain already happened (mailbox FIFO); answer with
+            // current counters.
+            self.send_ready(adv.run, adv.step, Phase::Combine, 0, 0.0, 0);
+            return;
+        }
+        run.step = adv.step;
+        run.phase = adv.phase;
+        run.n_vertices = adv.n_vertices;
+        run.global = adv.global;
+        if run.info.asynchronous && adv.step == 1 && adv.phase == Phase::Scatter {
+            run.async_live = true;
+            self.async_initial_scatter();
+            return;
+        }
+        let t0 = Instant::now();
+        match adv.phase {
+            Phase::Scatter => self.phase_scatter(),
+            Phase::Combine => self.phase_combine(),
+            Phase::Apply => self.phase_apply(),
+            Phase::Migrate => {}
+        }
+        self.metrics.last_step_nanos = t0.elapsed().as_nanos() as u64;
+        self.replay_buffered();
+    }
+
+    fn finish_run(&mut self) {
+        self.run = None;
+        self.reported = None;
+        // Apply the changes that were buffered during the run.
+        let buffered: Vec<Frame> = std::mem::take(&mut self.buffered_changes);
+        for frame in buffered {
+            self.on_changes(frame);
+        }
+        self.flush_metrics(true);
+    }
+
+    /// Re-dispatch buffered frames that now match the current phase.
+    fn replay_buffered(&mut self) {
+        let frames: Vec<Frame> = std::mem::take(&mut self.buffered_frames);
+        for frame in frames {
+            match frame.packet_type() {
+                packet::VMSG => self.on_vmsg(frame),
+                packet::PARTIAL => self.on_partial(frame),
+                packet::STATE => self.on_state(frame),
+                _ => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sync phases
+    // ------------------------------------------------------------------
+
+    fn phase_scatter(&mut self) {
+        let run = self.run.as_ref().expect("scatter without run");
+        let run_id = run.info.run_id;
+        let step = run.step;
+        if step == 0 {
+            // Step 0 is preparation: report the primary vertex count so
+            // the directory can hand `n` to initialization.
+            let (contrib, n_primary) = self.scatter_summary();
+            self.send_ready(run_id, 0, Phase::Scatter, 0, contrib, n_primary);
+            return;
+        }
+        self.scatter_vertices(None);
+        let (contrib, n_primary) = self.scatter_summary();
+        self.send_ready(run_id, step, Phase::Scatter, 0, contrib, n_primary);
+    }
+
+    /// Scatter messages for all eligible vertices (or only `only`),
+    /// routing each message to the target's aggregation replica (sync)
+    /// or directly to its primary (async).
+    fn scatter_vertices(&mut self, only: Option<VertexId>) {
+        let run = self.run.as_ref().expect("scatter without run");
+        let program = run.program.clone();
+        let scatter_all = program.scatter_all();
+        let n_vertices = run.n_vertices;
+        let step = run.step;
+        let asynchronous = run.async_live;
+        let run_id = run.info.run_id;
+
+        let mut batches: FxHashMap<AgentId, Vec<(VertexId, u64)>> = FxHashMap::default();
+        let route = |loc: &EdgeLocator,
+                         view: &DirectoryView,
+                         batches: &mut FxHashMap<AgentId, Vec<(VertexId, u64)>>,
+                         target: VertexId,
+                         origin: VertexId,
+                         value: u64| {
+            let est = view.sketch.estimate(target);
+            let owner = if asynchronous {
+                loc.ring().owner(target)
+            } else {
+                loc.owner_of_edge(target, origin, est)
+            };
+            if let Some(owner) = owner {
+                batches.entry(owner).or_default().push((target, value));
+            }
+        };
+
+        let vertices: Vec<VertexId> = match only {
+            Some(v) => vec![v],
+            None => self.vertices.keys().copied().collect(),
+        };
+        for v in vertices {
+            let Some(e) = self.vertices.get(&v) else {
+                continue;
+            };
+            let eligible = e.has_state && (e.active || scatter_all);
+            if !eligible {
+                continue;
+            }
+            let ctx = VertexCtx {
+                out_degree: e.rep_out_degree,
+                in_degree: 0,
+                n_vertices,
+                step,
+                global: 0.0,
+            };
+            if let Some(val) = program.scatter_out(v, e.state, &ctx) {
+                for &w in &e.out {
+                    let vv = program.along_edge(v, w, val);
+                    route(&self.locator, &self.view, &mut batches, w, v, vv);
+                }
+            }
+            if let Some(val) = program.scatter_in(v, e.state, &ctx) {
+                for &u in &e.inn {
+                    let vv = program.along_edge(v, u, val);
+                    route(&self.locator, &self.view, &mut batches, u, v, vv);
+                }
+            }
+        }
+        // Scatter accomplished; clear active flags (they are re-armed
+        // by STATE broadcasts at the next apply).
+        match only {
+            None => {
+                for e in self.vertices.values_mut() {
+                    e.active = false;
+                }
+            }
+            Some(v) => {
+                if let Some(e) = self.vertices.get_mut(&v) {
+                    e.active = false;
+                }
+            }
+        }
+        for (agent, msgs) in batches {
+            for chunk in msgs.chunks(BATCH) {
+                self.counters.vmsg_sent += chunk.len() as u64;
+                let frame = msg::encode_vmsgs(run_id, step, chunk);
+                self.push_to(agent, frame);
+            }
+        }
+    }
+
+    fn phase_combine(&mut self) {
+        let run = self.run.as_ref().expect("combine without run");
+        let run_id = run.info.run_id;
+        let step = run.step;
+        let mut batches: FxHashMap<AgentId, Vec<(VertexId, u64)>> = FxHashMap::default();
+        for (&v, e) in self.vertices.iter_mut() {
+            if e.has_partial {
+                if let Some(primary) = self.locator.ring().owner(v) {
+                    batches.entry(primary).or_default().push((v, e.partial));
+                }
+                e.has_partial = false;
+                e.partial = 0;
+            }
+        }
+        for (agent, parts) in batches {
+            for chunk in parts.chunks(BATCH) {
+                self.counters.part_sent += chunk.len() as u64;
+                let frame = msg::encode_partials(run_id, step, chunk);
+                self.push_to(agent, frame);
+            }
+        }
+        self.send_ready(run_id, step, Phase::Combine, 0, 0.0, 0);
+    }
+
+    fn phase_apply(&mut self) {
+        let run = self.run.as_ref().expect("apply without run");
+        let run_id = run.info.run_id;
+        let step = run.step;
+        let reuse = run.info.reuse_state;
+        let program = run.program.clone();
+        let n_vertices = run.n_vertices;
+        let global = run.global;
+
+        let mut states: FxHashMap<AgentId, Vec<StateRecord>> = FxHashMap::default();
+        let verts: Vec<VertexId> = self.vertices.keys().copied().collect();
+        for v in verts {
+            if !self.is_primary(v) {
+                continue;
+            }
+            let e = self.vertices.get_mut(&v).expect("vertex exists");
+            if !(e.is_meta || e.has_ppartial) {
+                continue;
+            }
+            let ctx = VertexCtx {
+                out_degree: e.g_out.max(0) as u64,
+                in_degree: e.g_in.max(0) as u64,
+                n_vertices,
+                step,
+                global,
+            };
+            let mut broadcast = false;
+            if step == 0 {
+                // Initialization (fresh) / activation (incremental).
+                if !e.has_state {
+                    e.state = program.init(v, &ctx);
+                    e.has_state = true;
+                    e.active = if reuse {
+                        true // newly appeared vertex in an incremental run
+                    } else {
+                        program.initially_active_ctx(v, &ctx)
+                    };
+                    broadcast = true;
+                } else if reuse {
+                    e.active = e.dirty;
+                    broadcast = e.dirty;
+                }
+                e.dirty = false;
+            } else {
+                let has_msgs = e.has_ppartial;
+                if has_msgs || program.applies_without_messages() {
+                    let agg = has_msgs.then_some(e.ppartial);
+                    let old = e.state;
+                    let (new, changed) = program.apply(v, e.state, agg, &ctx);
+                    e.state = new;
+                    e.has_state = true;
+                    e.active = changed;
+                    broadcast = changed || new != old || program.scatter_all();
+                } else {
+                    e.active = false;
+                }
+            }
+            e.has_ppartial = false;
+            e.ppartial = 0;
+            if broadcast {
+                let rec = StateRecord {
+                    vertex: v,
+                    state: e.state,
+                    out_degree: e.g_out.max(0) as u64,
+                    active: e.active,
+                };
+                let est = self.view.sketch.estimate(v);
+                for replica in self.locator.replicas_of_vertex(v, est) {
+                    states.entry(replica).or_default().push(rec);
+                }
+            }
+        }
+        for (agent, recs) in states {
+            for chunk in recs.chunks(BATCH) {
+                self.counters.state_sent += chunk.len() as u64;
+                let frame = msg::encode_states(run_id, step, chunk);
+                self.push_to(agent, frame);
+            }
+        }
+        let (active, contrib, n_primary) = self.apply_summary();
+        self.send_ready(run_id, step, Phase::Apply, active, contrib, n_primary);
+    }
+
+    // ------------------------------------------------------------------
+    // Message handlers (sync + async)
+    // ------------------------------------------------------------------
+
+    fn current_phase(&self) -> Option<(u64, u32, Phase, bool)> {
+        self.run
+            .as_ref()
+            .map(|r| (r.info.run_id, r.step, r.phase, r.async_live))
+    }
+
+    fn on_vmsg(&mut self, frame: Frame) {
+        let Some((run_id, step, msgs)) = msg::decode_vmsgs(&frame) else {
+            return;
+        };
+        match self.current_phase() {
+            Some((cur_run, _, _, true)) if cur_run == run_id => {
+                // Async: apply immediately at the primary.
+                self.counters.vmsg_recv += msgs.len() as u64;
+                self.metrics.vmsgs += msgs.len() as u64;
+                for (v, value) in msgs {
+                    self.async_apply(v, value);
+                }
+                self.re_report_async();
+            }
+            Some((cur_run, cur_step, cur_phase, false))
+                if cur_run == run_id && cur_step == step && cur_phase == Phase::Scatter =>
+            {
+                self.counters.vmsg_recv += msgs.len() as u64;
+                self.metrics.vmsgs += msgs.len() as u64;
+                let program = self.run.as_ref().expect("run").program.clone();
+                for (v, value) in msgs {
+                    let e = self.vertices.entry(v).or_default();
+                    if e.has_partial {
+                        e.partial = program.combine(e.partial, value);
+                    } else {
+                        e.partial = value;
+                        e.has_partial = true;
+                    }
+                }
+                self.re_report();
+            }
+            Some((cur_run, _, _, _)) if cur_run == run_id => {
+                // Future step or wrong phase: store until we catch up.
+                self.buffered_frames.push(frame);
+            }
+            _ => {} // stale run
+        }
+    }
+
+    fn on_partial(&mut self, frame: Frame) {
+        let Some((run_id, step, parts)) = msg::decode_partials(&frame) else {
+            return;
+        };
+        match self.current_phase() {
+            Some((cur_run, cur_step, cur_phase, false))
+                if cur_run == run_id && cur_step == step && cur_phase == Phase::Combine =>
+            {
+                self.counters.part_recv += parts.len() as u64;
+                let program = self.run.as_ref().expect("run").program.clone();
+                for (v, value) in parts {
+                    let e = self.vertices.entry(v).or_default();
+                    if e.has_ppartial {
+                        e.ppartial = program.combine(e.ppartial, value);
+                    } else {
+                        e.ppartial = value;
+                        e.has_ppartial = true;
+                    }
+                }
+                self.re_report();
+            }
+            Some((cur_run, _, _, _)) if cur_run == run_id => {
+                self.buffered_frames.push(frame);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_state(&mut self, frame: Frame) {
+        let Some((run_id, step, recs)) = msg::decode_states(&frame) else {
+            return;
+        };
+        match self.current_phase() {
+            Some((cur_run, _, _, true)) if cur_run == run_id => {
+                // Async: adopt the state and scatter right away.
+                self.counters.state_recv += recs.len() as u64;
+                for rec in recs {
+                    let e = self.vertices.entry(rec.vertex).or_default();
+                    e.state = rec.state;
+                    e.has_state = true;
+                    e.rep_out_degree = rec.out_degree;
+                    e.active = rec.active;
+                    if rec.active {
+                        self.scatter_vertices(Some(rec.vertex));
+                    }
+                }
+                self.re_report_async();
+            }
+            Some((cur_run, cur_step, cur_phase, false))
+                if cur_run == run_id && cur_step == step && cur_phase == Phase::Apply =>
+            {
+                self.counters.state_recv += recs.len() as u64;
+                for rec in recs {
+                    let e = self.vertices.entry(rec.vertex).or_default();
+                    e.state = rec.state;
+                    e.has_state = true;
+                    e.rep_out_degree = rec.out_degree;
+                    e.active = rec.active;
+                }
+                self.re_report();
+            }
+            Some((cur_run, _, _, _)) if cur_run == run_id => {
+                self.buffered_frames.push(frame);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Async mode
+    // ------------------------------------------------------------------
+
+    /// Initial scatter when entering async mode: all active vertices
+    /// fire once, then execution is event-driven.
+    fn async_initial_scatter(&mut self) {
+        let actives: Vec<VertexId> = self
+            .vertices
+            .iter()
+            .filter(|(_, e)| e.active && e.has_state)
+            .map(|(&v, _)| v)
+            .collect();
+        for v in actives {
+            self.scatter_vertices(Some(v));
+        }
+        self.re_report_async();
+    }
+
+    /// Async apply-at-primary: combine the incoming value, apply, and
+    /// broadcast on change.
+    fn async_apply(&mut self, v: VertexId, value: u64) {
+        let run = self.run.as_ref().expect("async apply without run");
+        let program = run.program.clone();
+        let n_vertices = run.n_vertices;
+        let run_id = run.info.run_id;
+        if !self.is_primary(v) {
+            // Stale routing (view changed mid-run is not supported in
+            // async mode); forward to the true primary.
+            if let Some(primary) = self.locator.ring().owner(v) {
+                self.counters.vmsg_sent += 1;
+                let frame = msg::encode_vmsgs(run_id, 1, &[(v, value)]);
+                self.push_to(primary, frame);
+            }
+            return;
+        }
+        let e = self.vertices.entry(v).or_default();
+        let ctx = VertexCtx {
+            out_degree: e.g_out.max(0) as u64,
+            in_degree: e.g_in.max(0) as u64,
+            n_vertices,
+            step: 1,
+            global: 0.0,
+        };
+        if !e.has_state {
+            e.state = program.init(v, &ctx);
+            e.has_state = true;
+        }
+        // §3.2 waiting set: collect messages until the program's
+        // requirement is met, then process once with the combined
+        // aggregate.
+        let needed = program.waits_for(v, &ctx);
+        let value = if needed > 0 {
+            if e.has_ppartial {
+                e.ppartial = program.combine(e.ppartial, value);
+            } else {
+                e.ppartial = value;
+                e.has_ppartial = true;
+            }
+            e.wait_recv += 1;
+            if e.wait_recv < needed {
+                return; // still waiting on specific messages
+            }
+            let agg = e.ppartial;
+            e.has_ppartial = false;
+            e.ppartial = 0;
+            e.wait_recv = 0;
+            agg
+        } else {
+            value
+        };
+        let (new, changed) = program.apply(v, e.state, Some(value), &ctx);
+        if changed {
+            e.state = new;
+            e.active = true;
+            let rec = StateRecord {
+                vertex: v,
+                state: new,
+                out_degree: e.g_out.max(0) as u64,
+                active: true,
+            };
+            let est = self.view.sketch.estimate(v);
+            let replicas = self.locator.replicas_of_vertex(v, est);
+            for replica in replicas {
+                self.counters.state_sent += 1;
+                let frame = msg::encode_states(run_id, 1, &[rec]);
+                self.push_to(replica, frame);
+            }
+        }
+    }
+
+    /// Push an idle report when the async counters moved.
+    fn re_report_async(&mut self) {
+        // Reports are sent from on_idle; nothing to do here (counters
+        // will differ from the last idle snapshot).
+    }
+
+    fn on_idle(&mut self) {
+        let Some(run) = self.run.as_ref() else {
+            return;
+        };
+        if !run.async_live {
+            return;
+        }
+        if self.last_idle_counters == Some(self.counters) {
+            return;
+        }
+        self.last_idle_counters = Some(self.counters);
+        let run_id = run.info.run_id;
+        let rep = ReadyReport {
+            agent: self.id,
+            run: run_id,
+            step: u32::MAX,
+            phase: Phase::Scatter,
+            counters: self.counters,
+            active: 0,
+            global_contrib: 0.0,
+            n_primary: 0,
+        };
+        let _ = self.dir_push.send(msg::encode_ready(&rep));
+    }
+
+    // ------------------------------------------------------------------
+    // Graph changes
+    // ------------------------------------------------------------------
+
+    fn on_changes(&mut self, frame: Frame) {
+        if self.run.is_some() {
+            self.buffered_changes.push(frame);
+            return;
+        }
+        let Some((side, hop, changes)) = msg::decode_edge_changes(&frame) else {
+            return;
+        };
+        // Streamer-originated records (hop 0) are unmatched on the
+        // send side (Streamers do not participate in barriers); only
+        // agent-to-agent forwards are double counted.
+        if hop > 0 {
+            self.counters.chg_recv += changes.len() as u64;
+        }
+        let mut forwards: FxHashMap<AgentId, Vec<EdgeChange>> = FxHashMap::default();
+        let mut deltas: FxHashMap<VertexId, (i64, i64)> = FxHashMap::default();
+        for change in changes {
+            let (u, v) = (change.edge.src, change.edge.dst);
+            let (key, other) = match side {
+                Side::Out => (u, v),
+                Side::In => (v, u),
+            };
+            let owner = self
+                .locator
+                .owner_of_edge(key, other, self.estimate(key));
+            if owner != Some(self.id) {
+                if let Some(owner) = owner {
+                    if hop < MAX_HOPS {
+                        forwards.entry(owner).or_default().push(change);
+                    }
+                }
+                continue;
+            }
+            let applied = match (side, change.action) {
+                (Side::Out, Action::Insert) => {
+                    if self.out_set.insert((u, v)) {
+                        self.vertices.entry(u).or_default().out.push(v);
+                        deltas.entry(u).or_default().0 += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                (Side::Out, Action::Delete) => {
+                    if self.out_set.remove(&(u, v)) {
+                        let e = self.vertices.entry(u).or_default();
+                        if let Some(pos) = e.out.iter().position(|&x| x == v) {
+                            e.out.swap_remove(pos);
+                        }
+                        deltas.entry(u).or_default().0 -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                (Side::In, Action::Insert) => {
+                    if self.in_set.insert((u, v)) {
+                        self.vertices.entry(v).or_default().inn.push(u);
+                        deltas.entry(v).or_default().1 += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                (Side::In, Action::Delete) => {
+                    if self.in_set.remove(&(u, v)) {
+                        let e = self.vertices.entry(v).or_default();
+                        if let Some(pos) = e.inn.iter().position(|&x| x == u) {
+                            e.inn.swap_remove(pos);
+                        }
+                        deltas.entry(v).or_default().1 -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if applied {
+                self.metrics.changes += 1;
+            }
+        }
+        for (agent, fwd) in forwards {
+            for chunk in fwd.chunks(BATCH) {
+                self.counters.chg_sent += chunk.len() as u64;
+                let frame = msg::encode_edge_changes(side, hop + 1, chunk);
+                self.push_to(agent, frame);
+            }
+        }
+        // Report degree deltas to each vertex's primary.
+        let mut delta_batches: FxHashMap<AgentId, Vec<(VertexId, i64, i64)>> =
+            FxHashMap::default();
+        for (v, (dout, din)) in deltas {
+            if let Some(primary) = self.locator.ring().owner(v) {
+                delta_batches
+                    .entry(primary)
+                    .or_default()
+                    .push((v, dout, din));
+            }
+        }
+        for (agent, ds) in delta_batches {
+            for chunk in ds.chunks(BATCH) {
+                self.counters.chg_sent += chunk.len() as u64;
+                let frame = msg::encode_deg_deltas(chunk);
+                self.push_to(agent, frame);
+            }
+        }
+        self.metrics.edges = self.out_set.len() as u64;
+        self.re_report();
+    }
+
+    fn on_deg_delta(&mut self, frame: Frame) {
+        let Some(deltas) = msg::decode_deg_deltas(&frame) else {
+            return;
+        };
+        self.counters.chg_recv += deltas.len() as u64;
+        for (v, dout, din) in deltas {
+            let e = self.vertices.entry(v).or_default();
+            e.g_out += dout;
+            e.g_in += din;
+            e.dirty = true;
+            e.is_meta = e.g_out > 0 || e.g_in > 0;
+            if !e.is_meta {
+                // Vertex vanished from the graph.
+                e.has_state = false;
+                e.active = false;
+                e.dirty = false;
+                if e.is_empty() {
+                    self.vertices.remove(&v);
+                }
+            }
+        }
+        self.re_report();
+    }
+
+    fn on_reset_labels(&mut self, frame: Frame) {
+        let Some(labels) = msg::decode_reset_labels(&frame) else {
+            return;
+        };
+        let set: FxHashSet<u64> = labels.into_iter().collect();
+        for (_, e) in self.vertices.iter_mut() {
+            if e.is_meta && e.has_state && set.contains(&e.state) {
+                e.has_state = false;
+                e.state = 0;
+                e.dirty = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Elasticity: view changes and migration
+    // ------------------------------------------------------------------
+
+    fn on_view(&mut self, view: DirectoryView) {
+        if view.epoch < self.view.epoch || view.epoch <= self.migrated_epoch {
+            return;
+        }
+        let epoch = view.epoch;
+        // A sketch-only update (same membership, same ring parameters)
+        // cannot move primaries or k=1 placements: only vertices whose
+        // replication factor grew need re-placement. This keeps the
+        // per-batch cost proportional to affected vertices, not edges
+        // (§3.4.3's "graph changes enough to impact load balancing").
+        let membership_same = self.view.agents == view.agents
+            && self.view.hash == view.hash
+            && self.view.virtual_agents == view.virtual_agents
+            && self.view.replication_threshold == view.replication_threshold
+            && self.view.max_replicas == view.max_replicas;
+        let filter = if membership_same && !self.departing {
+            let mut changed: FxHashSet<VertexId> = FxHashSet::default();
+            for (&v, _) in self.vertices.iter() {
+                let k_old = self.locator.replication_factor(self.view.sketch.estimate(v));
+                let k_new = self.locator.replication_factor(view.sketch.estimate(v));
+                if k_old != k_new {
+                    changed.insert(v);
+                }
+            }
+            Some(changed)
+        } else {
+            None
+        };
+        self.view = view;
+        self.locator = self.view.locator();
+        if filter.is_none() {
+            self.outboxes.clear();
+        }
+        if !self.departing && self.view.addr_of(self.id).is_none() {
+            self.departing = true;
+        }
+        self.migrated_epoch = epoch;
+        self.migrate(epoch, filter);
+    }
+
+    /// Re-evaluate the placement of local edges and primary meta
+    /// records; forward whatever no longer belongs here (§3.4.3). With
+    /// `filter = Some(vs)`, only the placements of the given vertices
+    /// are re-evaluated (sketch-only view changes) and primary meta
+    /// never moves (the ring is unchanged).
+    fn migrate(&mut self, epoch: u64, filter: Option<FxHashSet<VertexId>>) {
+        #[derive(Default)]
+        struct Bundle {
+            metas: Vec<MetaRecord>,
+            vertex_edges: Vec<VertexEdgeBundle>,
+        }
+        let mut bundles: FxHashMap<AgentId, Bundle> = FxHashMap::default();
+
+        let verts: Vec<VertexId> = match &filter {
+            Some(set) => set.iter().copied().collect(),
+            None => self.vertices.keys().copied().collect(),
+        };
+        let sketch_only = filter.is_some();
+        for v in verts {
+            if !self.vertices.contains_key(&v) {
+                continue;
+            }
+            let est = self.estimate(v);
+            // Out-placements of v's out-edges.
+            let (mut moved_out, mut moved_in): (MovedEdges, MovedEdges) =
+                (MovedEdges::default(), MovedEdges::default());
+            {
+                let locator = &self.locator;
+                let my_id = self.id;
+                let e = self.vertices.get_mut(&v).expect("exists");
+                e.out.retain(|&w| match locator.owner_of_edge(v, w, est) {
+                    Some(owner) if owner != my_id => {
+                        moved_out.entry(owner).or_default().push((v, w));
+                        false
+                    }
+                    _ => true,
+                });
+                e.inn.retain(|&u| match locator.owner_of_edge(v, u, est) {
+                    Some(owner) if owner != my_id => {
+                        moved_in.entry(owner).or_default().push((u, v));
+                        false
+                    }
+                    _ => true,
+                });
+            }
+            let snapshot = {
+                let e = &self.vertices[&v];
+                (
+                    StateRecord {
+                        vertex: v,
+                        state: e.state,
+                        out_degree: e.rep_out_degree,
+                        active: e.active,
+                    },
+                    e.has_state,
+                )
+            };
+            for (agent, edges) in moved_out {
+                for &(a, b) in &edges {
+                    self.out_set.remove(&(a, b));
+                }
+                bundles.entry(agent).or_default().vertex_edges.push((
+                    Side::Out,
+                    snapshot.0,
+                    snapshot.1,
+                    edges,
+                ));
+            }
+            for (agent, edges) in moved_in {
+                for &(a, b) in &edges {
+                    self.in_set.remove(&(a, b));
+                }
+                bundles.entry(agent).or_default().vertex_edges.push((
+                    Side::In,
+                    snapshot.0,
+                    snapshot.1,
+                    edges,
+                ));
+            }
+            // Primary meta handoff (never needed on sketch-only
+            // changes: the ring did not move).
+            if sketch_only {
+                if self.vertices.get(&v).is_some_and(|e| e.is_empty()) {
+                    self.vertices.remove(&v);
+                }
+                continue;
+            }
+            let is_primary_now = self.is_primary(v);
+            let e = self.vertices.get_mut(&v).expect("exists");
+            if e.is_meta && !is_primary_now {
+                let meta = MetaRecord {
+                    vertex: v,
+                    state: e.state,
+                    out_degree: e.g_out.max(0) as u64,
+                    active: e.active,
+                    dirty: e.dirty,
+                    has_state: e.has_state,
+                };
+                // g_in travels via a degree delta piggybacked in the
+                // meta record's move: encode as a second meta with the
+                // in-degree is ugly; instead extend: reuse out_degree
+                // for out and send g_in through a deg delta.
+                if let Some(new_primary) = self.locator.ring().owner(v) {
+                    let b = bundles.entry(new_primary).or_default();
+                    b.metas.push(meta);
+                    // Move the in-degree alongside.
+                    let g_in = e.g_in;
+                    if g_in != 0 {
+                        b.vertex_edges.push((
+                            Side::Out,
+                            StateRecord {
+                                vertex: v,
+                                state: g_in as u64,
+                                out_degree: 0,
+                                active: false,
+                            },
+                            false,
+                            Vec::new(),
+                        ));
+                    }
+                }
+                e.is_meta = false;
+                e.g_out = 0;
+                e.g_in = 0;
+                e.dirty = false;
+            }
+            if self.vertices.get(&v).is_some_and(|e| e.is_empty()) {
+                self.vertices.remove(&v);
+            }
+        }
+        // Ship the bundles.
+        for (agent, bundle) in bundles {
+            if !bundle.metas.is_empty() {
+                for chunk in bundle.metas.chunks(BATCH) {
+                    self.counters.mig_sent += chunk.len() as u64;
+                    self.push_to(agent, msg::encode_mig_meta(chunk));
+                }
+            }
+            for (side, snap, has_state, edges) in bundle.vertex_edges {
+                self.counters.mig_sent += edges.len() as u64 + 1;
+                let frame = encode_mig_edges(side, &snap, has_state, &edges);
+                self.push_to(agent, frame);
+            }
+        }
+        self.metrics.edges = self.out_set.len() as u64;
+        self.send_ready(0, epoch as u32, Phase::Migrate, 0, 0.0, 0);
+    }
+
+    fn on_mig_edges(&mut self, frame: Frame) {
+        let Some((side, snap, has_state, g_in_delta, edges)) = decode_mig_edges(&frame) else {
+            return;
+        };
+        self.counters.mig_recv += edges.len() as u64 + 1;
+        let v = snap.vertex;
+        let e = self.vertices.entry(v).or_default();
+        if g_in_delta != 0 {
+            // In-degree handoff piggybacking a meta move.
+            e.g_in += g_in_delta;
+            e.is_meta = e.g_out > 0 || e.g_in > 0;
+        }
+        if has_state && !e.has_state {
+            e.state = snap.state;
+            e.has_state = true;
+            e.active = e.active || snap.active;
+        }
+        if has_state {
+            // The snapshot's out-degree is the vertex's global
+            // out-degree; adopt it even when the state itself arrived
+            // first through a MIG_META (scatter shares divide by it).
+            e.rep_out_degree = e.rep_out_degree.max(snap.out_degree);
+        }
+        match side {
+            Side::Out => {
+                for (a, b) in edges {
+                    if self.out_set.insert((a, b)) {
+                        self.vertices.entry(a).or_default().out.push(b);
+                    }
+                }
+            }
+            Side::In => {
+                for (a, b) in edges {
+                    if self.in_set.insert((a, b)) {
+                        self.vertices.entry(b).or_default().inn.push(a);
+                    }
+                }
+            }
+        }
+        self.metrics.edges = self.out_set.len() as u64;
+        self.re_report();
+    }
+
+    fn on_mig_meta(&mut self, frame: Frame) {
+        let Some(metas) = msg::decode_mig_meta(&frame) else {
+            return;
+        };
+        self.counters.mig_recv += metas.len() as u64;
+        for m in metas {
+            let e = self.vertices.entry(m.vertex).or_default();
+            e.g_out += m.out_degree as i64;
+            e.is_meta = true;
+            e.dirty = e.dirty || m.dirty;
+            e.active = e.active || m.active;
+            if m.has_state {
+                e.state = m.state;
+                e.has_state = true;
+                e.rep_out_degree = e.rep_out_degree.max(m.out_degree);
+            }
+        }
+        self.re_report();
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    fn flush_metrics(&mut self, force: bool) {
+        if force || self.metrics_flushed.elapsed() > Duration::from_millis(100) {
+            self.metrics_flushed = Instant::now();
+            let _ = self.dir_push.send(self.metrics.encode());
+        }
+    }
+}
+
+/// MIG_EDGES wire format: side, vertex snapshot (with optional state),
+/// a piggybacked in-degree delta for meta moves, and the edges.
+fn encode_mig_edges(
+    side: Side,
+    snap: &StateRecord,
+    has_state: bool,
+    edges: &[(VertexId, VertexId)],
+) -> Frame {
+    let mut b = Frame::builder(packet::MIG_EDGES)
+        .u8(match side {
+            Side::Out => 0,
+            Side::In => 1,
+        })
+        .u64(snap.vertex)
+        .u64(snap.state)
+        .u64(snap.out_degree)
+        .u8(snap.active as u8)
+        .u8(has_state as u8)
+        .u64(if edges.is_empty() && !has_state {
+            // The "g_in handoff" encoding: state field carries the
+            // delta; flag it via this marker.
+            snap.state
+        } else {
+            0
+        })
+        .u32(edges.len() as u32);
+    for &(x, y) in edges {
+        b = b.u64(x).u64(y);
+    }
+    b.finish()
+}
+
+type DecodedMigEdges = (Side, StateRecord, bool, i64, Vec<(VertexId, VertexId)>);
+
+fn decode_mig_edges(frame: &Frame) -> Option<DecodedMigEdges> {
+    let mut r = frame.reader();
+    let side = match r.u8()? {
+        0 => Side::Out,
+        1 => Side::In,
+        _ => return None,
+    };
+    let vertex = r.u64()?;
+    let state = r.u64()?;
+    let out_degree = r.u64()?;
+    let active = r.u8()? != 0;
+    let has_state = r.u8()? != 0;
+    let g_in_delta = r.u64()? as i64;
+    let n = r.u32()? as usize;
+    let mut edges = Vec::with_capacity(n.min(r.remaining() / 16));
+    for _ in 0..n {
+        edges.push((r.u64()?, r.u64()?));
+    }
+    Some((
+        side,
+        StateRecord {
+            vertex,
+            state,
+            out_degree,
+            active,
+        },
+        has_state,
+        g_in_delta,
+        edges,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mig_edges_roundtrip() {
+        let snap = StateRecord {
+            vertex: 5,
+            state: 42,
+            out_degree: 3,
+            active: true,
+        };
+        let edges = vec![(5u64, 6u64), (5, 7)];
+        let f = encode_mig_edges(Side::Out, &snap, true, &edges);
+        let (side, s2, has_state, g_in, e2) = decode_mig_edges(&f).unwrap();
+        assert_eq!(side, Side::Out);
+        assert_eq!(s2, snap);
+        assert!(has_state);
+        assert_eq!(g_in, 0);
+        assert_eq!(e2, edges);
+    }
+
+    #[test]
+    fn mig_edges_g_in_handoff() {
+        let snap = StateRecord {
+            vertex: 9,
+            state: 7, // the in-degree delta
+            out_degree: 0,
+            active: false,
+        };
+        let f = encode_mig_edges(Side::Out, &snap, false, &[]);
+        let (_, _, has_state, g_in, edges) = decode_mig_edges(&f).unwrap();
+        assert!(!has_state);
+        assert_eq!(g_in, 7);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn vertex_entry_emptiness() {
+        let mut e = VertexEntry::default();
+        assert!(e.is_empty());
+        e.out.push(3);
+        assert!(!e.is_empty());
+        e.out.clear();
+        e.is_meta = true;
+        assert!(!e.is_empty());
+    }
+}

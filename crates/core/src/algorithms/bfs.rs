@@ -1,0 +1,111 @@
+//! Breadth-first search distances — an extension algorithm with a
+//! frontier-style communication pattern (§4.3 notes studying further
+//! algorithms as future work).
+
+use super::UNREACHED;
+use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
+use elga_graph::types::VertexId;
+
+/// Unweighted shortest hop counts from a source, following out-edges.
+#[derive(Debug, Clone, Copy)]
+pub struct Bfs {
+    source: VertexId,
+}
+
+impl Bfs {
+    /// BFS from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Bfs { source }
+    }
+
+    /// Decode a queried state: `None` = unreached.
+    pub fn decode(state: u64) -> Option<u64> {
+        (state != UNREACHED).then_some(state)
+    }
+}
+
+impl From<Bfs> for ProgramSpec {
+    fn from(b: Bfs) -> ProgramSpec {
+        ProgramSpec::Bfs { source: b.source }
+    }
+}
+
+impl VertexProgram for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn supports_async(&self) -> bool {
+        true
+    }
+
+    fn init(&self, v: VertexId, _ctx: &VertexCtx) -> u64 {
+        if v == self.source {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+
+    fn identity(&self) -> u64 {
+        UNREACHED
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+
+    fn apply(&self, _v: VertexId, state: u64, agg: Option<u64>, _ctx: &VertexCtx) -> (u64, bool) {
+        let new = state.min(agg.unwrap_or(UNREACHED));
+        (new, new < state)
+    }
+
+    fn scatter_out(&self, _v: VertexId, state: u64, _ctx: &VertexCtx) -> Option<u64> {
+        (state != UNREACHED).then_some(state)
+    }
+
+    fn along_edge(&self, _from: VertexId, _to: VertexId, value: u64) -> u64 {
+        value.saturating_add(1)
+    }
+
+    fn initially_active(&self, v: VertexId) -> bool {
+        v == self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_source_starts_active_at_zero() {
+        let b = Bfs::new(4);
+        let c = VertexCtx::default();
+        assert_eq!(b.init(4, &c), 0);
+        assert_eq!(b.init(5, &c), UNREACHED);
+        assert!(b.initially_active(4));
+        assert!(!b.initially_active(5));
+    }
+
+    #[test]
+    fn distances_grow_by_one_per_edge() {
+        let b = Bfs::new(0);
+        assert_eq!(b.along_edge(1, 2, 3), 4);
+        assert_eq!(b.along_edge(1, 2, UNREACHED), UNREACHED, "saturates");
+    }
+
+    #[test]
+    fn unreached_vertices_do_not_scatter() {
+        let b = Bfs::new(0);
+        let c = VertexCtx::default();
+        assert_eq!(b.scatter_out(9, UNREACHED, &c), None);
+        assert_eq!(b.scatter_out(9, 2, &c), Some(2));
+        assert_eq!(b.scatter_in(9, 2, &c), None, "directed BFS");
+    }
+
+    #[test]
+    fn decode_distinguishes_unreached() {
+        assert_eq!(Bfs::decode(5), Some(5));
+        assert_eq!(Bfs::decode(UNREACHED), None);
+    }
+}

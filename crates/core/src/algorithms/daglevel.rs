@@ -1,0 +1,137 @@
+//! DAG levels (longest path from any source) — the algorithm that
+//! exercises ElGA's §3.2 *waiting sets* in asynchronous mode.
+//!
+//! A vertex's level is `0` for sources and `1 + max(level of
+//! in-neighbors)` otherwise, so a vertex cannot be processed until
+//! *all* of its in-neighbors have reported: it "places itself in the
+//! waiting set" for exactly `in_degree` messages and is applied once
+//! they have all arrived. On a DAG every vertex is processed exactly
+//! once; on a cyclic input the vertices on and downstream of cycles
+//! never satisfy their waiting sets and finish the run unleveled
+//! (queryable as [`DagLevel::decode`] → `None`) — the run still
+//! terminates because the global message counts settle.
+
+use super::UNREACHED;
+use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
+use elga_graph::types::VertexId;
+
+/// Longest-path levels over a DAG via waiting sets (async mode).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DagLevel;
+
+impl DagLevel {
+    /// A DAG-level program.
+    pub fn new() -> Self {
+        DagLevel
+    }
+
+    /// Decode a queried state: `None` = not leveled (downstream of a
+    /// cycle, or unprocessed).
+    pub fn decode(state: u64) -> Option<u64> {
+        (state != UNREACHED).then_some(state)
+    }
+}
+
+impl From<DagLevel> for ProgramSpec {
+    fn from(_: DagLevel) -> ProgramSpec {
+        ProgramSpec::DagLevel
+    }
+}
+
+impl VertexProgram for DagLevel {
+    fn name(&self) -> &'static str {
+        "dag-level"
+    }
+
+    fn supports_async(&self) -> bool {
+        true
+    }
+
+    fn init(&self, _v: VertexId, ctx: &VertexCtx) -> u64 {
+        if ctx.in_degree == 0 {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    /// Maximum over predecessor levels (each already incremented by
+    /// [`DagLevel::along_edge`]).
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.max(b)
+    }
+
+    fn apply(&self, _v: VertexId, state: u64, agg: Option<u64>, _ctx: &VertexCtx) -> (u64, bool) {
+        match agg {
+            Some(level) => (level, true),
+            None => (state, false),
+        }
+    }
+
+    fn scatter_out(&self, _v: VertexId, state: u64, _ctx: &VertexCtx) -> Option<u64> {
+        (state != UNREACHED).then_some(state)
+    }
+
+    fn along_edge(&self, _from: VertexId, _to: VertexId, value: u64) -> u64 {
+        value.saturating_add(1)
+    }
+
+    fn initially_active_ctx(&self, _v: VertexId, ctx: &VertexCtx) -> bool {
+        // Only sources fire; everyone else waits on predecessors.
+        ctx.in_degree == 0
+    }
+
+    fn waits_for(&self, _v: VertexId, ctx: &VertexCtx) -> u64 {
+        ctx.in_degree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_start_at_zero_and_active() {
+        let d = DagLevel::new();
+        let source = VertexCtx {
+            in_degree: 0,
+            ..VertexCtx::default()
+        };
+        let inner = VertexCtx {
+            in_degree: 3,
+            ..VertexCtx::default()
+        };
+        assert_eq!(d.init(5, &source), 0);
+        assert_eq!(d.init(5, &inner), UNREACHED);
+        assert!(d.initially_active_ctx(5, &source));
+        assert!(!d.initially_active_ctx(5, &inner));
+        assert_eq!(d.waits_for(5, &inner), 3);
+    }
+
+    #[test]
+    fn level_is_max_over_incremented_predecessors() {
+        let d = DagLevel::new();
+        let c = VertexCtx::default();
+        // Two predecessors at levels 2 and 5 → messages 3 and 6.
+        let m1 = d.along_edge(1, 9, 2);
+        let m2 = d.along_edge(2, 9, 5);
+        let agg = d.combine(m1, m2);
+        let (level, active) = d.apply(9, UNREACHED, Some(agg), &c);
+        assert_eq!(level, 6);
+        assert!(active);
+    }
+
+    #[test]
+    fn unleveled_vertices_do_not_scatter() {
+        let d = DagLevel::new();
+        let c = VertexCtx::default();
+        assert_eq!(d.scatter_out(1, UNREACHED, &c), None);
+        assert_eq!(d.scatter_out(1, 4, &c), Some(4));
+        assert_eq!(DagLevel::decode(UNREACHED), None);
+        assert_eq!(DagLevel::decode(7), Some(7));
+    }
+}

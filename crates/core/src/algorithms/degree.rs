@@ -1,0 +1,82 @@
+//! Out-degree readout — a one-superstep program used as a smoke test
+//! and in examples: it exercises initialization, global vertex
+//! counting and state broadcast without any vertex messaging.
+
+use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
+use elga_graph::types::VertexId;
+
+/// Each vertex's state becomes its global out-degree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Degree;
+
+impl Degree {
+    /// A degree program.
+    pub fn new() -> Self {
+        Degree
+    }
+
+    /// Decode a queried state.
+    pub fn decode(state: u64) -> u64 {
+        state
+    }
+}
+
+impl From<Degree> for ProgramSpec {
+    fn from(_: Degree) -> ProgramSpec {
+        ProgramSpec::Degree
+    }
+}
+
+impl VertexProgram for Degree {
+    fn name(&self) -> &'static str {
+        "degree"
+    }
+
+    fn init(&self, _v: VertexId, ctx: &VertexCtx) -> u64 {
+        ctx.out_degree
+    }
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn combine(&self, a: u64, _b: u64) -> u64 {
+        a
+    }
+
+    fn apply(&self, _v: VertexId, _state: u64, _agg: Option<u64>, ctx: &VertexCtx) -> (u64, bool) {
+        (ctx.out_degree, false)
+    }
+
+    fn scatter_out(&self, _v: VertexId, _state: u64, _ctx: &VertexCtx) -> Option<u64> {
+        None
+    }
+
+    fn applies_without_messages(&self) -> bool {
+        true
+    }
+
+    fn max_steps(&self) -> Option<u32> {
+        Some(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_is_out_degree() {
+        let d = Degree::new();
+        let ctx = VertexCtx {
+            out_degree: 7,
+            ..VertexCtx::default()
+        };
+        assert_eq!(d.init(1, &ctx), 7);
+        let (s, active) = d.apply(1, 0, None, &ctx);
+        assert_eq!(s, 7);
+        assert!(!active);
+        assert_eq!(d.scatter_out(1, 7, &ctx), None);
+        assert_eq!(d.max_steps(), Some(1));
+    }
+}

@@ -1,0 +1,27 @@
+//! Built-in vertex-centric algorithms.
+//!
+//! PageRank and weakly connected components are the two algorithms the
+//! paper evaluates ("two iterative vertex-centric algorithms commonly
+//! used in distributed graph system benchmarks", §4.3); BFS, SSSP and
+//! Degree exercise additional communication patterns (§4.3's suggested
+//! future work).
+
+mod bfs;
+mod daglevel;
+mod degree;
+mod pagerank;
+mod ppr;
+mod sssp;
+mod wcc;
+
+pub use bfs::Bfs;
+pub use daglevel::DagLevel;
+pub use degree::Degree;
+pub use pagerank::PageRank;
+pub use ppr::Ppr;
+pub use sssp::Sssp;
+pub use wcc::Wcc;
+
+/// Sentinel for "unreached / no label yet" in min-propagation
+/// programs.
+pub const UNREACHED: u64 = u64::MAX;

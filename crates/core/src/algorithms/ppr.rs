@@ -1,0 +1,159 @@
+//! Personalized PageRank — random walks with restart at a single
+//! source, the per-user ranking variant behind the low-latency query
+//! workloads the paper's autoscaling experiment emulates (§4.9 serves
+//! "client PageRank vertex query rates").
+//!
+//! Identical message structure to PageRank; only the teleport differs:
+//! restart mass (and dangling mass) returns to the source instead of
+//! spreading uniformly, so ranks measure proximity to the source.
+
+use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
+use elga_graph::types::VertexId;
+
+/// Personalized PageRank with restart at `source`.
+#[derive(Debug, Clone, Copy)]
+pub struct Ppr {
+    source: VertexId,
+    damping: f64,
+    max_iters: u32,
+}
+
+impl Ppr {
+    /// PPR from `source` with damping 0.85 and 20 iterations.
+    ///
+    /// # Panics
+    /// Panics unless `damping ∈ [0, 1)`.
+    pub fn new(source: VertexId, damping: f64) -> Self {
+        assert!((0.0..1.0).contains(&damping), "damping must be in [0,1)");
+        Ppr {
+            source,
+            damping,
+            max_iters: 20,
+        }
+    }
+
+    /// Set the superstep bound.
+    pub fn with_max_iters(mut self, iters: u32) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Decode a queried state into a proximity score.
+    pub fn decode(state: u64) -> f64 {
+        f64::from_bits(state)
+    }
+}
+
+impl From<Ppr> for ProgramSpec {
+    fn from(p: Ppr) -> ProgramSpec {
+        ProgramSpec::Ppr {
+            source: p.source,
+            damping: p.damping,
+            max_iters: p.max_iters,
+        }
+    }
+}
+
+impl VertexProgram for Ppr {
+    fn name(&self) -> &'static str {
+        "ppr"
+    }
+
+    fn init(&self, v: VertexId, _ctx: &VertexCtx) -> u64 {
+        if v == self.source { 1.0f64 } else { 0.0 }.to_bits()
+    }
+
+    fn identity(&self) -> u64 {
+        0f64.to_bits()
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        (f64::from_bits(a) + f64::from_bits(b)).to_bits()
+    }
+
+    fn apply(&self, v: VertexId, _state: u64, agg: Option<u64>, ctx: &VertexCtx) -> (u64, bool) {
+        let sum = agg.map_or(0.0, f64::from_bits);
+        // Restart and dangling mass both return to the source.
+        let restart = if v == self.source {
+            (1.0 - self.damping) + self.damping * ctx.global
+        } else {
+            0.0
+        };
+        ((restart + self.damping * sum).to_bits(), true)
+    }
+
+    fn scatter_out(&self, _v: VertexId, state: u64, ctx: &VertexCtx) -> Option<u64> {
+        if ctx.out_degree == 0 {
+            return None;
+        }
+        Some((f64::from_bits(state) / ctx.out_degree as f64).to_bits())
+    }
+
+    fn applies_without_messages(&self) -> bool {
+        true
+    }
+
+    fn scatter_all(&self) -> bool {
+        true
+    }
+
+    fn global_contrib(&self, _v: VertexId, state: u64, ctx: &VertexCtx) -> f64 {
+        if ctx.out_degree == 0 {
+            f64::from_bits(state)
+        } else {
+            0.0
+        }
+    }
+
+    fn max_steps(&self) -> Option<u32> {
+        Some(self.max_iters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(out_degree: u64, global: f64) -> VertexCtx {
+        VertexCtx {
+            out_degree,
+            n_vertices: 10,
+            step: 1,
+            global,
+            ..VertexCtx::default()
+        }
+    }
+
+    #[test]
+    fn mass_starts_entirely_at_source() {
+        let p = Ppr::new(3, 0.85);
+        assert_eq!(Ppr::decode(p.init(3, &ctx(1, 0.0))), 1.0);
+        assert_eq!(Ppr::decode(p.init(4, &ctx(1, 0.0))), 0.0);
+    }
+
+    #[test]
+    fn restart_and_dangling_return_to_source() {
+        let p = Ppr::new(3, 0.85);
+        // Non-source gets only propagated mass.
+        let (s, _) = p.apply(4, 0, Some(0.2f64.to_bits()), &ctx(1, 0.5));
+        assert!((f64::from_bits(s) - 0.85 * 0.2).abs() < 1e-15);
+        // Source additionally receives restart + dangling mass.
+        let (s, _) = p.apply(3, 0, Some(0.2f64.to_bits()), &ctx(1, 0.5));
+        let want = 0.15 + 0.85 * 0.5 + 0.85 * 0.2;
+        assert!((f64::from_bits(s) - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        let spec: ProgramSpec = Ppr::new(9, 0.7).with_max_iters(5).into();
+        let (tag, params) = spec.encode();
+        let back = ProgramSpec::decode(tag, params).unwrap();
+        assert_eq!(format!("{back:?}"), format!("{spec:?}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn invalid_damping_rejected() {
+        Ppr::new(0, -0.1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Single-source shortest paths over deterministic synthetic weights.
+//!
+//! The paper's datasets are unweighted, so every system in this
+//! workspace (including the reference Dijkstra in
+//! `elga_graph::reference`) derives edge weights from the same hash
+//! (`edge_weight`), keeping results comparable.
+
+use super::UNREACHED;
+use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
+use elga_graph::reference::edge_weight;
+use elga_graph::types::VertexId;
+
+/// Distance labels from a source over hash-derived weights in
+/// `1..=16`.
+#[derive(Debug, Clone, Copy)]
+pub struct Sssp {
+    source: VertexId,
+}
+
+impl Sssp {
+    /// SSSP from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Sssp { source }
+    }
+
+    /// Decode a queried state: `None` = unreached.
+    pub fn decode(state: u64) -> Option<u64> {
+        (state != UNREACHED).then_some(state)
+    }
+}
+
+impl From<Sssp> for ProgramSpec {
+    fn from(s: Sssp) -> ProgramSpec {
+        ProgramSpec::Sssp { source: s.source }
+    }
+}
+
+impl VertexProgram for Sssp {
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn supports_async(&self) -> bool {
+        true
+    }
+
+    fn init(&self, v: VertexId, _ctx: &VertexCtx) -> u64 {
+        if v == self.source {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+
+    fn identity(&self) -> u64 {
+        UNREACHED
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+
+    fn apply(&self, _v: VertexId, state: u64, agg: Option<u64>, _ctx: &VertexCtx) -> (u64, bool) {
+        let new = state.min(agg.unwrap_or(UNREACHED));
+        (new, new < state)
+    }
+
+    fn scatter_out(&self, _v: VertexId, state: u64, _ctx: &VertexCtx) -> Option<u64> {
+        (state != UNREACHED).then_some(state)
+    }
+
+    fn along_edge(&self, from: VertexId, to: VertexId, value: u64) -> u64 {
+        value.saturating_add(edge_weight(from, to))
+    }
+
+    fn initially_active(&self, v: VertexId) -> bool {
+        v == self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_transform_adds_hash_weight() {
+        let s = Sssp::new(0);
+        assert_eq!(s.along_edge(1, 2, 10), 10 + edge_weight(1, 2));
+        assert_eq!(s.along_edge(1, 2, UNREACHED), UNREACHED);
+    }
+
+    #[test]
+    fn relaxation_is_monotone() {
+        let s = Sssp::new(0);
+        let c = VertexCtx::default();
+        let (d, ch) = s.apply(3, 20, Some(12), &c);
+        assert_eq!((d, ch), (12, true));
+        let (d, ch) = s.apply(3, 12, Some(15), &c);
+        assert_eq!((d, ch), (12, false));
+    }
+
+    #[test]
+    fn source_initialization() {
+        let s = Sssp::new(9);
+        let c = VertexCtx::default();
+        assert_eq!(s.init(9, &c), 0);
+        assert_eq!(s.init(1, &c), UNREACHED);
+        assert!(s.initially_active(9) && !s.initially_active(1));
+    }
+}

@@ -1,0 +1,112 @@
+//! Weakly connected components (paper §4.3).
+//!
+//! "A vertex aggregates and sends with a minimum instead of a sum and
+//! only sends updated minimums, but to both in- and out-neighbors. In
+//! the static case, WCC initializes each vertex to a unique
+//! identifier." Min-propagation is monotone, so WCC also supports
+//! ElGA's asynchronous mode and the incremental (insertion) case the
+//! paper measures in Figures 13 and 15.
+
+use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
+use elga_graph::types::VertexId;
+
+/// Vertex-centric WCC: labels converge to the minimum vertex id in
+/// each weakly connected component.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Wcc;
+
+impl Wcc {
+    /// A WCC program.
+    pub fn new() -> Self {
+        Wcc
+    }
+
+    /// Decode a queried state into a component label.
+    pub fn decode(state: u64) -> VertexId {
+        state
+    }
+}
+
+impl From<Wcc> for ProgramSpec {
+    fn from(_: Wcc) -> ProgramSpec {
+        ProgramSpec::Wcc
+    }
+}
+
+impl VertexProgram for Wcc {
+    fn name(&self) -> &'static str {
+        "wcc"
+    }
+
+    fn supports_async(&self) -> bool {
+        true
+    }
+
+    fn init(&self, v: VertexId, _ctx: &VertexCtx) -> u64 {
+        v
+    }
+
+    fn identity(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+
+    fn apply(&self, _v: VertexId, state: u64, agg: Option<u64>, _ctx: &VertexCtx) -> (u64, bool) {
+        let new = state.min(agg.unwrap_or(u64::MAX));
+        (new, new < state)
+    }
+
+    fn scatter_out(&self, _v: VertexId, state: u64, _ctx: &VertexCtx) -> Option<u64> {
+        Some(state)
+    }
+
+    fn scatter_in(&self, _v: VertexId, state: u64, _ctx: &VertexCtx) -> Option<u64> {
+        Some(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_own_id() {
+        let c = VertexCtx::default();
+        assert_eq!(Wcc::new().init(17, &c), 17);
+    }
+
+    #[test]
+    fn apply_takes_minimum_and_tracks_change() {
+        let w = Wcc::new();
+        let c = VertexCtx::default();
+        let (s, changed) = w.apply(5, 5, Some(3), &c);
+        assert_eq!(s, 3);
+        assert!(changed);
+        let (s, changed) = w.apply(5, 3, Some(4), &c);
+        assert_eq!(s, 3);
+        assert!(!changed, "no improvement means inactive");
+        let (s, changed) = w.apply(5, 3, None, &c);
+        assert_eq!(s, 3);
+        assert!(!changed);
+    }
+
+    #[test]
+    fn scatters_both_directions() {
+        let w = Wcc::new();
+        let c = VertexCtx::default();
+        assert_eq!(w.scatter_out(1, 9, &c), Some(9));
+        assert_eq!(w.scatter_in(1, 9, &c), Some(9));
+        assert!(!w.scatter_all(), "WCC only sends updated minimums");
+    }
+
+    #[test]
+    fn async_capable_min_monoid() {
+        let w = Wcc::new();
+        assert!(w.supports_async());
+        assert_eq!(w.combine(7, w.identity()), 7);
+        assert_eq!(w.combine(w.combine(3, 9), 5), w.combine(3, w.combine(9, 5)));
+    }
+}

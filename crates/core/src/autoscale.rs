@@ -1,0 +1,194 @@
+//! Reactive autoscaling (paper §3.4.3, §4.9).
+//!
+//! "We implemented a simple reactive autoscaler that computes the
+//! exponential moving average of a metric and scales to the average
+//! divided by a scaling factor" — and, in the Figure 18 experiment,
+//! uses a 30-second EMA of client query rates and waits 60 seconds
+//! between scalings so the EMA can stabilize. [`EmaAutoscaler`] is that
+//! policy with configurable windows; any [`Autoscaler`] can be plugged
+//! into `Cluster::autoscale_once`.
+
+use std::time::{Duration, Instant};
+
+/// An autoscaling policy: observes a metric stream and emits target
+/// agent counts.
+pub trait Autoscaler: Send {
+    /// Observe the metric (e.g. queries/second) at `now`; returns a
+    /// new target agent count when the policy wants to scale.
+    fn observe(&mut self, metric: f64, now: Instant) -> Option<usize>;
+
+    /// The current target, if any has been decided.
+    fn current_target(&self) -> Option<usize>;
+}
+
+/// The paper's reactive EMA policy.
+#[derive(Debug, Clone)]
+pub struct EmaAutoscaler {
+    /// EMA time constant (paper: 30 s of query rates).
+    pub window: Duration,
+    /// Target = EMA / scale_factor (metric units per agent).
+    pub scale_factor: f64,
+    /// Lower bound on agents.
+    pub min_agents: usize,
+    /// Upper bound on agents.
+    pub max_agents: usize,
+    /// Minimum time between scalings (paper: 60 s).
+    pub cooldown: Duration,
+    ema: Option<f64>,
+    last_observation: Option<Instant>,
+    last_scale: Option<Instant>,
+    target: Option<usize>,
+}
+
+impl EmaAutoscaler {
+    /// A policy with the paper's structure; windows are configurable
+    /// because the scaled-down experiments run in seconds, not
+    /// minutes.
+    pub fn new(window: Duration, scale_factor: f64, min_agents: usize, max_agents: usize) -> Self {
+        assert!(scale_factor > 0.0, "scale factor must be positive");
+        assert!(min_agents >= 1 && min_agents <= max_agents, "bad bounds");
+        EmaAutoscaler {
+            window,
+            scale_factor,
+            min_agents,
+            max_agents,
+            cooldown: window.saturating_mul(2),
+            ema: None,
+            last_observation: None,
+            last_scale: None,
+            target: None,
+        }
+    }
+
+    /// Override the cooldown (default 2× window, as 60 s is to 30 s in
+    /// the paper).
+    pub fn with_cooldown(mut self, cooldown: Duration) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// The current smoothed metric.
+    pub fn ema(&self) -> Option<f64> {
+        self.ema
+    }
+
+    /// The raw (unclamped, pre-cooldown) target for a metric value —
+    /// what Figure 18 plots as "Target".
+    pub fn ideal_target(&self, metric: f64) -> usize {
+        ((metric / self.scale_factor).ceil() as usize).clamp(self.min_agents, self.max_agents)
+    }
+}
+
+impl Autoscaler for EmaAutoscaler {
+    fn observe(&mut self, metric: f64, now: Instant) -> Option<usize> {
+        // Time-aware EMA: alpha = 1 - exp(-dt / window).
+        let dt = self
+            .last_observation
+            .map(|t| now.saturating_duration_since(t))
+            .unwrap_or(self.window);
+        self.last_observation = Some(now);
+        let alpha = 1.0 - (-dt.as_secs_f64() / self.window.as_secs_f64().max(1e-9)).exp();
+        self.ema = Some(match self.ema {
+            Some(prev) => prev + alpha * (metric - prev),
+            None => metric,
+        });
+
+        let cooled = self
+            .last_scale
+            .is_none_or(|t| now.saturating_duration_since(t) >= self.cooldown);
+        if !cooled {
+            return None;
+        }
+        let want = self.ideal_target(self.ema.unwrap());
+        if Some(want) != self.target {
+            self.target = Some(want);
+            self.last_scale = Some(now);
+            Some(want)
+        } else {
+            None
+        }
+    }
+
+    fn current_target(&self) -> Option<usize> {
+        self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> EmaAutoscaler {
+        EmaAutoscaler::new(Duration::from_secs(30), 100.0, 1, 64)
+            .with_cooldown(Duration::from_secs(60))
+    }
+
+    #[test]
+    fn first_observation_sets_target() {
+        let mut p = policy();
+        let t0 = Instant::now();
+        assert_eq!(p.observe(800.0, t0), Some(8));
+        assert_eq!(p.current_target(), Some(8));
+    }
+
+    #[test]
+    fn cooldown_blocks_rapid_rescaling() {
+        let mut p = policy();
+        let t0 = Instant::now();
+        p.observe(800.0, t0);
+        // 10s later the load exploded, but cooldown holds.
+        assert_eq!(p.observe(5000.0, t0 + Duration::from_secs(10)), None);
+        // After the cooldown, the EMA has absorbed the new load.
+        let next = p.observe(5000.0, t0 + Duration::from_secs(90));
+        assert!(next.is_some());
+        assert!(next.unwrap() > 8);
+    }
+
+    #[test]
+    fn ema_smooths_spikes() {
+        let mut p = policy();
+        let t0 = Instant::now();
+        p.observe(100.0, t0);
+        // A 1-second spike barely moves a 30-second EMA.
+        p.observe(10_000.0, t0 + Duration::from_secs(1));
+        assert!(p.ema().unwrap() < 500.0, "ema {:?}", p.ema());
+    }
+
+    #[test]
+    fn target_clamped_to_bounds() {
+        let mut p = EmaAutoscaler::new(Duration::from_secs(1), 10.0, 2, 4);
+        assert_eq!(p.observe(0.0, Instant::now()), Some(2));
+        assert_eq!(p.ideal_target(1e9), 4);
+    }
+
+    #[test]
+    fn no_signal_when_target_unchanged() {
+        let mut p = policy();
+        let t0 = Instant::now();
+        assert_eq!(p.observe(800.0, t0), Some(8));
+        assert_eq!(p.observe(800.0, t0 + Duration::from_secs(120)), None);
+    }
+
+    #[test]
+    fn converges_to_step_function() {
+        // Emulate Figure 18: a step in query rate; the target converges
+        // to rate / scale_factor.
+        let mut p = EmaAutoscaler::new(Duration::from_secs(5), 50.0, 1, 64)
+            .with_cooldown(Duration::from_secs(1));
+        let t0 = Instant::now();
+        let mut latest = None;
+        for s in 0..120 {
+            let rate = if s < 10 { 100.0 } else { 1600.0 };
+            if let Some(t) = p.observe(rate, t0 + Duration::from_secs(s)) {
+                latest = Some(t);
+            }
+        }
+        assert_eq!(latest, Some(32), "1600/50 = 32 agents");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn zero_scale_factor_rejected() {
+        EmaAutoscaler::new(Duration::from_secs(1), 0.0, 1, 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! ClientProxies: the query path (paper §3.1: "ClientProxies proxy
+//! end-user queries to Agents to receive algorithm results").
+//!
+//! Queries are ElGA's low-latency REQ/REP traffic (§3.5). A query for
+//! vertex `v` goes to one of `v`'s replicas — "if only *some* Agent
+//! responsible for the vertex is required, e.g., for a vertex query,
+//! then the last consistent hash is bypassed and one replica is chosen
+//! at random" (§3.4.1) — with a fallback to the primary, which always
+//! holds the authoritative state.
+
+use crate::config::SystemConfig;
+use crate::msg::{packet, DirectoryView};
+use elga_graph::types::VertexId;
+use elga_hash::EdgeLocator;
+use elga_net::{Addr, Frame, NetError, Transport};
+use std::sync::Arc;
+
+/// The result of a vertex query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Encoded program state (decode with the algorithm's `decode`).
+    pub state: u64,
+    /// The batch clock at the answering agent — the staleness handle
+    /// of Definition 2.6.
+    pub batch_id: u64,
+}
+
+/// A query client.
+pub struct ClientProxy {
+    transport: Arc<dyn Transport>,
+    cfg: SystemConfig,
+    directory: Addr,
+    view: DirectoryView,
+    locator: EdgeLocator,
+    salt: u64,
+}
+
+impl ClientProxy {
+    /// Connect through a directory address.
+    pub fn connect(
+        transport: Arc<dyn Transport>,
+        cfg: SystemConfig,
+        directory: Addr,
+    ) -> Result<ClientProxy, NetError> {
+        let rep = transport.request(
+            &directory,
+            Frame::signal(packet::GET_VIEW),
+            cfg.request_timeout,
+        )?;
+        let view = DirectoryView::decode(&rep).ok_or(NetError::Protocol("bad view"))?;
+        let locator = view.locator();
+        Ok(ClientProxy {
+            transport,
+            cfg,
+            directory,
+            view,
+            locator,
+            salt: 0,
+        })
+    }
+
+    /// Refresh the view (after elasticity events).
+    pub fn refresh(&mut self) -> Result<(), NetError> {
+        let rep = self.transport.request(
+            &self.directory,
+            Frame::signal(packet::GET_VIEW),
+            self.cfg.request_timeout,
+        )?;
+        let view = DirectoryView::decode(&rep).ok_or(NetError::Protocol("bad view"))?;
+        if view.epoch >= self.view.epoch {
+            self.locator = view.locator();
+            self.view = view;
+        }
+        Ok(())
+    }
+
+    /// The proxy's current view.
+    pub fn view(&self) -> &DirectoryView {
+        &self.view
+    }
+
+    fn query_agent(&self, agent: elga_hash::AgentId, v: VertexId) -> Option<QueryResult> {
+        let addr = self.view.addr_of(agent)?.clone();
+        let rep = self
+            .transport
+            .request(
+                &addr,
+                Frame::builder(packet::QUERY).u64(v).finish(),
+                self.cfg.request_timeout,
+            )
+            .ok()?;
+        let mut r = rep.reader();
+        let found = r.u8()?;
+        let state = r.u64()?;
+        let batch_id = r.u64()?;
+        (found != 0).then_some(QueryResult { state, batch_id })
+    }
+
+    /// Query a random replica of `v` (the paper's fast path), falling
+    /// back to the primary when the replica has no state yet.
+    pub fn query(&mut self, v: VertexId) -> Option<QueryResult> {
+        self.salt = self.salt.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let est = self.view.sketch.estimate(v);
+        let replica = self.locator.any_replica(v, est, self.salt)?;
+        if let Some(r) = self.query_agent(replica, v) {
+            return Some(r);
+        }
+        let primary = self.locator.ring().owner(v)?;
+        if primary != replica {
+            return self.query_agent(primary, v);
+        }
+        None
+    }
+
+    /// Query the primary replica directly (authoritative state; used
+    /// by the correctness tests).
+    pub fn query_primary(&self, v: VertexId) -> Option<QueryResult> {
+        let primary = self.locator.ring().owner(v)?;
+        self.query_agent(primary, v)
+    }
+}

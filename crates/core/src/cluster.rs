@@ -1,0 +1,582 @@
+//! The single-process cluster driver.
+//!
+//! [`Cluster`] assembles a full ElGA deployment over the in-process
+//! transport: a DirectoryMaster, one or more Directories, and N Agents,
+//! each on its own OS thread — the shared-nothing topology of the
+//! paper's Figure 1 with threads standing in for processes (see
+//! DESIGN.md, "Substitutions"). It exposes the operations the paper's
+//! evaluation drives with `pdsh` and client programs:
+//!
+//! * `ingest` — stream edge changes in (a Streamer);
+//! * `run` / `start_run` + `wait_run` — execute vertex programs
+//!   synchronously or asynchronously, optionally incrementally;
+//! * `query_*` — client queries, concurrent with everything else;
+//! * `add_agents` / `remove_agent` — elastic scaling, mid-run included
+//!   (Figure 17: scaling is applied at superstep boundaries);
+//! * `metrics` / `autoscale_once` — the reactive autoscaler loop
+//!   (Figure 18).
+
+use crate::agent::Agent;
+use crate::autoscale::Autoscaler;
+use crate::client::{ClientProxy, QueryResult};
+use crate::config::SystemConfig;
+use crate::directory::{self, bus_addr, directory_addr, master_addr};
+use crate::metrics::ClusterMetrics;
+use crate::msg::{self, packet, Counters, DirectoryView, RunInfo};
+use crate::program::{ProgramSpec, RunOptions};
+use crate::streamer::Streamer;
+use elga_graph::types::EdgeChange;
+use elga_hash::AgentId;
+use elga_net::{Addr, Frame, InProcTransport, Mailbox, NetError, Transport};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Changes per ingest batch (one sketch round-trip each).
+const INGEST_BATCH: usize = 16384;
+
+/// Builder for [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    agents: usize,
+    config: SystemConfig,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            agents: 4,
+            config: SystemConfig::default(),
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Number of initial agents (default 4).
+    pub fn agents(mut self, n: usize) -> Self {
+        self.agents = n.max(1);
+        self
+    }
+
+    /// Number of directories (default 1; agents are assigned
+    /// round-robin by the master).
+    pub fn directories(mut self, n: usize) -> Self {
+        self.config.directories = n.max(1);
+        self
+    }
+
+    /// Full system configuration.
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replication threshold shorthand (degree per replica).
+    pub fn replication_threshold(mut self, t: u64) -> Self {
+        self.config.replication_threshold = t;
+        self
+    }
+
+    /// Virtual agents per agent shorthand.
+    pub fn virtual_agents(mut self, v: u32) -> Self {
+        self.config.virtual_agents = v;
+        self
+    }
+
+    /// Assemble and start the cluster.
+    pub fn build(self) -> Cluster {
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let master = master_addr();
+        let mut handles = vec![directory::spawn_master(transport.clone(), master.clone())];
+        for d in 0..self.config.directories as u64 {
+            handles.push(directory::spawn_directory(
+                transport.clone(),
+                self.config.clone(),
+                d,
+                master.clone(),
+            ));
+        }
+        let mut cluster = Cluster {
+            transport,
+            cfg: self.config,
+            master,
+            lead: directory_addr(0),
+            handles,
+            agent_handles: HashMap::new(),
+            next_agent: 1,
+            streamer: None,
+            proxy: None,
+            alive: true,
+        };
+        cluster.add_agents(self.agents);
+        cluster.quiesce();
+        cluster
+    }
+}
+
+/// Wall-clock results of one run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Run identifier.
+    pub run_id: u64,
+    /// Supersteps executed (sync) — 0-based init step excluded.
+    pub steps: u32,
+    /// Per-superstep durations (sync) or the single total (async).
+    pub step_durations: Vec<Duration>,
+    /// Global vertex count at the end.
+    pub n_vertices: u64,
+    /// Total wall time observed by the driver.
+    pub total: Duration,
+}
+
+impl RunStats {
+    /// Mean per-iteration time, excluding the initialization step —
+    /// the paper's per-iteration PageRank metric.
+    pub fn mean_iteration(&self) -> Duration {
+        let iters: Vec<&Duration> = self.step_durations.iter().skip(1).collect();
+        if iters.is_empty() {
+            return self.total;
+        }
+        let sum: Duration = iters.iter().copied().sum();
+        sum / iters.len() as u32
+    }
+}
+
+/// An in-progress run started with [`Cluster::start_run`].
+pub struct RunHandle {
+    run_id: u64,
+    sub: Mailbox,
+    started: Instant,
+}
+
+/// A fully assembled in-process ElGA deployment.
+pub struct Cluster {
+    transport: Arc<dyn Transport>,
+    cfg: SystemConfig,
+    #[allow(dead_code)]
+    master: Addr,
+    lead: Addr,
+    handles: Vec<JoinHandle<()>>,
+    agent_handles: HashMap<AgentId, JoinHandle<()>>,
+    next_agent: u64,
+    streamer: Option<Streamer>,
+    proxy: Option<ClientProxy>,
+    alive: bool,
+}
+
+impl Cluster {
+    /// Start building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// The shared transport (for spawning extra Streamers/Proxies).
+    pub fn transport(&self) -> Arc<dyn Transport> {
+        self.transport.clone()
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Address of the lead directory.
+    pub fn lead_directory(&self) -> Addr {
+        self.lead.clone()
+    }
+
+    fn request(&self, frame: Frame) -> Result<Frame, NetError> {
+        self.transport
+            .request(&self.lead, frame, self.cfg.request_timeout)
+    }
+
+    /// Current directory view.
+    pub fn view(&self) -> DirectoryView {
+        let rep = self
+            .request(Frame::signal(packet::GET_VIEW))
+            .expect("directory unavailable");
+        DirectoryView::decode(&rep).expect("bad view")
+    }
+
+    /// Registered agent count.
+    pub fn agent_count(&self) -> usize {
+        self.view().agents.len()
+    }
+
+    /// Ids of the registered agents.
+    pub fn agent_ids(&self) -> Vec<AgentId> {
+        self.view().agents.iter().map(|a| a.id).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Elasticity
+    // ------------------------------------------------------------------
+
+    /// Spawn and join `n` new agents; returns their ids. During a run,
+    /// they take effect at the next superstep boundary.
+    pub fn add_agents(&mut self, n: usize) -> Vec<AgentId> {
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = self.next_agent;
+            self.next_agent += 1;
+            let dir = directory::bootstrap_directory(
+                self.transport.as_ref(),
+                &master_addr(),
+                self.cfg.request_timeout,
+            )
+            .unwrap_or_else(|_| self.lead.clone());
+            let agent = Agent::join(self.transport.clone(), self.cfg.clone(), id, dir)
+                .expect("agent join");
+            self.agent_handles.insert(id, agent.spawn());
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Gracefully remove an agent: it migrates all of its data away
+    /// and disconnects only once the directory confirms the drain
+    /// (§3.4.3).
+    pub fn remove_agent(&mut self, id: AgentId) {
+        let _ = self.request(Frame::builder(packet::LEAVE).u64(id).finish());
+        if let Some(handle) = self.agent_handles.remove(&id) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Remove the most recently added agent, if any. Returns its id.
+    pub fn remove_last_agent(&mut self) -> Option<AgentId> {
+        let id = *self.agent_handles.keys().max()?;
+        self.remove_agent(id);
+        Some(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Ingest
+    // ------------------------------------------------------------------
+
+    fn streamer(&mut self) -> &mut Streamer {
+        if self.streamer.is_none() {
+            self.streamer = Some(
+                Streamer::connect(self.transport.clone(), self.cfg.clone(), self.lead.clone())
+                    .expect("streamer connect"),
+            );
+        }
+        self.streamer.as_mut().expect("just set")
+    }
+
+    /// Stream edge changes into the system and wait for quiescence.
+    pub fn ingest(&mut self, changes: impl IntoIterator<Item = EdgeChange>) {
+        let mut buf = Vec::with_capacity(INGEST_BATCH);
+        for c in changes {
+            buf.push(c);
+            if buf.len() == INGEST_BATCH {
+                self.streamer().send_batch(&buf).expect("ingest");
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            self.streamer().send_batch(&buf).expect("ingest");
+        }
+        self.quiesce();
+    }
+
+    /// Convenience: ingest plain edges as insertions.
+    pub fn ingest_edges(&mut self, edges: impl IntoIterator<Item = (u64, u64)>) {
+        self.ingest(edges.into_iter().map(|(u, v)| EdgeChange::insert(u, v)));
+    }
+
+    /// Stream a batch without waiting for quiescence (dynamic-rate
+    /// experiments drive this directly).
+    pub fn ingest_async(&mut self, changes: &[EdgeChange]) {
+        self.streamer().send_batch(changes).expect("ingest");
+    }
+
+    /// Wait until no messages are in flight anywhere: repeated DRAIN
+    /// rounds over all agents until the summed counters are settled
+    /// and stable, and the directory reports no outstanding migration.
+    pub fn quiesce(&self) {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut last: Option<Counters> = None;
+        loop {
+            assert!(Instant::now() < deadline, "quiesce timed out");
+            // Outstanding migrate barrier / queued membership?
+            let migrating = self
+                .request(Frame::signal(packet::RUN_STATUS))
+                .ok()
+                .and_then(|f| msg::decode_run_status(&f))
+                .is_some_and(|s| s.migrating);
+            if migrating {
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            let view = self.view();
+            // Departed agents' final totals (kept by the lead) balance
+            // the sums of the survivors.
+            let mut sum = self
+                .request(Frame::signal(packet::COUNTERS))
+                .ok()
+                .and_then(|f| decode_counters_frame(&f))
+                .unwrap_or_default();
+            let mut ok = true;
+            for a in &view.agents {
+                match self.transport.request(
+                    &a.addr,
+                    Frame::signal(packet::DRAIN),
+                    self.cfg.request_timeout,
+                ) {
+                    Ok(rep) => match decode_counters_frame(&rep) {
+                        Some(c) => sum = sum.add(&c),
+                        None => ok = false,
+                    },
+                    Err(_) => ok = false,
+                }
+            }
+            if ok && sum.settled() && last == Some(sum) {
+                return;
+            }
+            last = ok.then_some(sum);
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Runs
+    // ------------------------------------------------------------------
+
+    /// Run a program to completion with default options.
+    pub fn run(&mut self, spec: impl Into<ProgramSpec>) -> Result<RunStats, NetError> {
+        self.run_with(spec, RunOptions::default())
+    }
+
+    /// Run a program with explicit options.
+    pub fn run_with(
+        &mut self,
+        spec: impl Into<ProgramSpec>,
+        options: RunOptions,
+    ) -> Result<RunStats, NetError> {
+        let handle = self.start_run(spec, options)?;
+        self.wait_run(handle)
+    }
+
+    /// Start a run without blocking; elastic changes may be applied
+    /// while it executes (Figure 17).
+    pub fn start_run(
+        &mut self,
+        spec: impl Into<ProgramSpec>,
+        options: RunOptions,
+    ) -> Result<RunHandle, NetError> {
+        // No changes or migrations may be in flight when a run starts:
+        // agents buffer edge changes during runs without counting them,
+        // so a pre-run in-flight forward would wedge the first barrier.
+        self.quiesce();
+        let spec = spec.into();
+        let (tag, params) = spec.encode();
+        let info = RunInfo {
+            run_id: 0,
+            tag,
+            params,
+            reuse_state: options.reuse_state,
+            asynchronous: matches!(options.mode, crate::program::ExecutionMode::Async),
+        };
+        // Subscribe before starting so the done-advance cannot be
+        // missed.
+        let sub = self.transport.subscribe(&bus_addr(), &[packet::ADVANCE])?;
+        let rep = self.request(msg::encode_start(&info))?;
+        let run_id = rep
+            .reader()
+            .u64()
+            .ok_or(NetError::Protocol("bad start reply"))?;
+        Ok(RunHandle {
+            run_id,
+            sub,
+            started: Instant::now(),
+        })
+    }
+
+    /// Block until the run completes and collect its statistics.
+    pub fn wait_run(&mut self, handle: RunHandle) -> Result<RunStats, NetError> {
+        loop {
+            let d = handle.sub.recv_timeout(self.cfg.request_timeout)?;
+            if let Some(adv) = msg::decode_advance(&d.frame) {
+                if adv.run == handle.run_id && adv.done {
+                    break;
+                }
+            }
+        }
+        let total = handle.started.elapsed();
+        let rep = self.request(Frame::signal(packet::RUN_STATUS))?;
+        let status =
+            msg::decode_run_status(&rep).ok_or(NetError::Protocol("bad run status"))?;
+        Ok(RunStats {
+            run_id: handle.run_id,
+            steps: status.steps,
+            step_durations: status
+                .step_nanos
+                .iter()
+                .map(|&ns| Duration::from_nanos(ns))
+                .collect(),
+            n_vertices: status.n_vertices,
+            total,
+        })
+    }
+
+    /// Broadcast a label-reset (incremental WCC deletion handling):
+    /// every primary vertex whose current state is in `labels` is
+    /// re-initialized and activated on the next incremental run.
+    pub fn reset_labels(&self, labels: &[u64]) {
+        let _ = self.request(msg::encode_reset_labels(labels));
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    fn proxy(&mut self) -> &mut ClientProxy {
+        if self.proxy.is_none() {
+            self.proxy = Some(
+                ClientProxy::connect(self.transport.clone(), self.cfg.clone(), self.lead.clone())
+                    .expect("proxy connect"),
+            );
+        }
+        self.proxy.as_mut().expect("just set")
+    }
+
+    /// Authoritative query (primary replica), decoded as `u64`.
+    pub fn query_u64(&mut self, v: u64) -> Option<u64> {
+        self.proxy().refresh().ok()?;
+        self.proxy().query_primary(v).map(|r| r.state)
+    }
+
+    /// Authoritative query decoded as `f64` (PageRank).
+    pub fn query_f64(&mut self, v: u64) -> Option<f64> {
+        self.query_u64(v).map(f64::from_bits)
+    }
+
+    /// Fast-path query through a random replica (tolerates staleness,
+    /// as client queries in the paper).
+    pub fn query_any(&mut self, v: u64) -> Option<QueryResult> {
+        self.proxy().query(v)
+    }
+
+    /// Bulk-extract the authoritative state of every vertex: one DUMP
+    /// round over the agents, each answering for the vertices it is
+    /// primary for. Decode per the algorithm that ran (e.g.
+    /// `f64::from_bits` for PageRank).
+    pub fn dump_states(&self) -> std::collections::HashMap<u64, u64> {
+        let mut out = std::collections::HashMap::new();
+        for a in &self.view().agents {
+            let Ok(rep) = self.transport.request(
+                &a.addr,
+                Frame::signal(packet::DUMP),
+                self.cfg.request_timeout,
+            ) else {
+                continue;
+            };
+            let mut r = rep.reader();
+            let Some(n) = r.u32() else { continue };
+            for _ in 0..n {
+                let (Some(v), Some(state)) = (r.u64(), r.u64()) else {
+                    break;
+                };
+                out.insert(v, state);
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics and autoscaling
+    // ------------------------------------------------------------------
+
+    /// Aggregated agent metrics from the directory. A DRAIN round
+    /// first forces every agent to flush its report, so the aggregate
+    /// reflects all work finished before this call.
+    pub fn metrics(&self) -> ClusterMetrics {
+        for a in &self.view().agents {
+            let _ = self.transport.request(
+                &a.addr,
+                Frame::signal(packet::DRAIN),
+                self.cfg.request_timeout,
+            );
+        }
+        self.request(Frame::signal(packet::GET_METRICS))
+            .ok()
+            .and_then(|f| ClusterMetrics::decode(&f))
+            .unwrap_or_default()
+    }
+
+    /// Feed a metric observation to an autoscaling policy and apply
+    /// its decision (§4.9). Returns the new agent count if scaled.
+    pub fn autoscale_once(
+        &mut self,
+        policy: &mut dyn Autoscaler,
+        metric: f64,
+    ) -> Option<usize> {
+        let target = policy.observe(metric, Instant::now())?;
+        let current = self.agent_count();
+        use std::cmp::Ordering;
+        match target.cmp(&current) {
+            Ordering::Greater => {
+                self.add_agents(target - current);
+            }
+            Ordering::Less => {
+                for _ in 0..(current - target) {
+                    self.remove_last_agent();
+                }
+            }
+            Ordering::Equal => {}
+        }
+        Some(target)
+    }
+
+    // ------------------------------------------------------------------
+    // Shutdown
+    // ------------------------------------------------------------------
+
+    /// Stop every entity and join their threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if !self.alive {
+            return;
+        }
+        self.alive = false;
+        let _ = self.request(Frame::signal(packet::SHUTDOWN));
+        if let Ok(out) = self.transport.sender(&master_addr()) {
+            let _ = out.send(Frame::signal(packet::SHUTDOWN));
+        }
+        for (_, h) in self.agent_handles.drain() {
+            let _ = h.join();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Decode the ten-counter COUNTERS frame shared by agent DRAIN
+/// replies and the lead's ghost reply.
+fn decode_counters_frame(frame: &Frame) -> Option<Counters> {
+    let mut r = frame.reader();
+    Some(Counters {
+        vmsg_sent: r.u64()?,
+        vmsg_recv: r.u64()?,
+        part_sent: r.u64()?,
+        part_recv: r.u64()?,
+        state_sent: r.u64()?,
+        state_recv: r.u64()?,
+        mig_sent: r.u64()?,
+        mig_recv: r.u64()?,
+        chg_sent: r.u64()?,
+        chg_recv: r.u64()?,
+    })
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

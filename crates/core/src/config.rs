@@ -1,0 +1,81 @@
+//! System-wide configuration.
+
+use elga_hash::{HashKind, LocatorConfig};
+use std::time::Duration;
+
+/// Tunables shared by every Participant. The defaults follow the
+/// paper's recommendations (§3.3.1, §3.4.2, §4.5) scaled to the
+/// in-process deployment.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Ring hash function; the paper selects Wang's 64-bit hash
+    /// (Figure 5).
+    pub hash: HashKind,
+    /// Virtual agents per Agent; the paper selects 100 (Figure 6).
+    pub virtual_agents: u32,
+    /// Count-min sketch width (paper: `2^18` for 100 B edges; scaled
+    /// default here suits millions of edges).
+    pub sketch_width: usize,
+    /// Count-min sketch depth (paper: 8).
+    pub sketch_depth: usize,
+    /// Estimated degree per additional vertex replica (paper: millions
+    /// at full scale; thousands here).
+    pub replication_threshold: u64,
+    /// Hard cap on replicas per vertex.
+    pub max_replicas: u32,
+    /// REQ/REP timeout for control-plane calls.
+    pub request_timeout: Duration,
+    /// Number of Directory entities (paper: scalable directory tier).
+    pub directories: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            hash: HashKind::Wang,
+            virtual_agents: 100,
+            sketch_width: 1 << 12,
+            sketch_depth: 8,
+            replication_threshold: 4096,
+            max_replicas: 16,
+            request_timeout: Duration::from_secs(30),
+            directories: 1,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The locator settings implied by this configuration.
+    pub fn locator_config(&self) -> LocatorConfig {
+        LocatorConfig {
+            replication_threshold: self.replication_threshold,
+            max_replicas: self.max_replicas,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper_choices() {
+        let c = SystemConfig::default();
+        assert_eq!(c.hash, HashKind::Wang);
+        assert_eq!(c.virtual_agents, 100);
+        assert_eq!(c.sketch_depth, 8);
+        assert!(c.directories >= 1);
+    }
+
+    #[test]
+    fn locator_config_mirrors_fields() {
+        let c = SystemConfig {
+            replication_threshold: 99,
+            max_replicas: 3,
+            ..SystemConfig::default()
+        };
+        let lc = c.locator_config();
+        assert_eq!(lc.replication_threshold, 99);
+        assert_eq!(lc.max_replicas, 3);
+    }
+}

@@ -1,0 +1,1019 @@
+//! The directory system (paper §3.3).
+//!
+//! "Inside of the directory system, there are Directories and a single
+//! DirectoryMaster. The DirectoryMaster serves as a bootstrap service
+//! ... When Agents join or leave, or the graph changes enough to
+//! impact load balancing, Agents inform their respective Directory
+//! server. To keep each Directory in sync, all Directories internally
+//! broadcast messages appropriately."
+//!
+//! One directory (id 0) acts as the *lead*: it owns the authoritative
+//! [`DirectoryView`], evaluates every barrier, and publishes VIEW /
+//! START / ADVANCE / SHUTDOWN frames on the global bus. Non-lead
+//! directories serve their connected agents by relaying reports to the
+//! lead and mirroring broadcasts — the paper's "Directories re-broadcast
+//! ready messages among themselves" (Figure 2, step 4).
+//!
+//! Every barrier uses the same condition: all members have reported
+//! the current (run, step, phase) *and* the summed cumulative counters
+//! are settled (every sent counter equals its received counter) —
+//! Mattern-style double counting, which makes in-flight and
+//! out-of-order messages harmless.
+
+use crate::config::SystemConfig;
+use crate::metrics::{AgentMetrics, ClusterMetrics};
+use crate::msg::{self, packet, Advance, AgentInfo, Counters, DirectoryView, Phase, ReadyReport, RunInfo, RunStatus};
+use elga_hash::AgentId;
+use elga_net::{Addr, Frame, Mailbox, NetError, Publisher, Transport};
+use elga_sketch::CountMinSketch;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Coordination state for an in-progress run.
+#[derive(Debug)]
+struct Run {
+    info: RunInfo,
+    max_steps: Option<u32>,
+    step: u32,
+    phase: Phase,
+    n_vertices: u64,
+    global: f64,
+    started: Instant,
+    step_started: Instant,
+    step_nanos: Vec<u64>,
+    /// Async: id of the outstanding confirmation probe.
+    probe: u32,
+    /// Async: counter sums at the previous successful probe.
+    last_probe_sums: Option<Counters>,
+    /// Async mode entered (after initialization phases).
+    async_live: bool,
+}
+
+/// The lead directory's full coordination state. Separated from the
+/// I/O loop so barrier logic is unit-testable.
+struct Lead {
+    view: DirectoryView,
+    publisher: Publisher,
+    transport: Arc<dyn Transport>,
+    reports: HashMap<AgentId, ReadyReport>,
+    metrics: HashMap<AgentId, AgentMetrics>,
+    run: Option<Run>,
+    next_run_id: u64,
+    pending_joins: Vec<AgentInfo>,
+    pending_leaves: Vec<AgentId>,
+    pending_sketch: Vec<CountMinSketch>,
+    /// Epoch of the outstanding migrate barrier, if any.
+    migrate_epoch: Option<u64>,
+    /// Members of the outstanding migrate barrier (view agents plus
+    /// departers).
+    migrate_members: Vec<AgentId>,
+    /// Agents currently draining before departure.
+    departing: Vec<AgentId>,
+    /// Final counter totals of agents that already departed; included
+    /// in every sum so cumulative counts stay balanced.
+    ghost: Counters,
+    /// Resume point once a mid-run migrate barrier settles.
+    resume: Option<Advance>,
+    /// A run requested while the system was migrating; starts once the
+    /// barrier settles.
+    pending_start: Option<RunInfo>,
+    last_status: RunStatus,
+}
+
+impl Lead {
+    fn new(cfg: &SystemConfig, publisher: Publisher, transport: Arc<dyn Transport>) -> Self {
+        Lead {
+            view: DirectoryView {
+                epoch: 1,
+                batch_id: 0,
+                n_vertices: 0,
+                agents: Vec::new(),
+                sketch: CountMinSketch::new(cfg.sketch_width, cfg.sketch_depth),
+                hash: cfg.hash,
+                virtual_agents: cfg.virtual_agents,
+                replication_threshold: cfg.replication_threshold,
+                max_replicas: cfg.max_replicas,
+            },
+            publisher,
+            transport,
+            reports: HashMap::new(),
+            metrics: HashMap::new(),
+            run: None,
+            next_run_id: 1,
+            pending_joins: Vec::new(),
+            pending_leaves: Vec::new(),
+            pending_sketch: Vec::new(),
+            migrate_epoch: None,
+            migrate_members: Vec::new(),
+            departing: Vec::new(),
+            ghost: Counters::default(),
+            resume: None,
+            pending_start: None,
+            last_status: RunStatus::default(),
+        }
+    }
+
+    fn publish(&self, frame: Frame) {
+        self.publisher.publish(&frame);
+    }
+
+    fn busy(&self) -> bool {
+        self.run.is_some() || self.migrate_epoch.is_some()
+    }
+
+    /// Sum counters over `members`, including ghosts of departed
+    /// agents.
+    fn summed(&self, members: &[AgentId]) -> Option<Counters> {
+        let mut total = self.ghost;
+        for id in members {
+            total = total.add(&self.reports.get(id)?.counters);
+        }
+        Some(total)
+    }
+
+    /// All members reported the given context and counts are settled.
+    fn barrier_met(&self, members: &[AgentId], run: u64, step: u32, phase: Phase) -> bool {
+        for id in members {
+            match self.reports.get(id) {
+                Some(r) if r.run == run && r.step == step && r.phase == phase => {}
+                _ => return false,
+            }
+        }
+        self.summed(members).is_some_and(|c| c.settled())
+    }
+
+    fn member_ids(&self) -> Vec<AgentId> {
+        self.view.agents.iter().map(|a| a.id).collect()
+    }
+
+    /// Apply queued membership and sketch changes: bump the epoch,
+    /// broadcast the view, and open a migrate barrier.
+    fn apply_membership(&mut self) {
+        if self.pending_joins.is_empty()
+            && self.pending_leaves.is_empty()
+            && self.pending_sketch.is_empty()
+        {
+            return;
+        }
+        for j in self.pending_joins.drain(..) {
+            if !self.view.agents.iter().any(|a| a.id == j.id) {
+                self.view.agents.push(j);
+            }
+        }
+        for l in self.pending_leaves.drain(..) {
+            if let Some(pos) = self.view.agents.iter().position(|a| a.id == l) {
+                self.view.agents.remove(pos);
+                self.departing.push(l);
+            }
+        }
+        for s in self.pending_sketch.drain(..) {
+            // Mismatched deltas are a client bug; drop them rather than
+            // poisoning the view.
+            let _ = self.view.sketch.merge(&s);
+        }
+        self.view.epoch += 1;
+        self.migrate_epoch = Some(self.view.epoch);
+        self.migrate_members = self.member_ids();
+        self.migrate_members.extend(self.departing.iter().copied());
+        self.publish(self.view.encode());
+    }
+
+    /// Send the post-drain OK to departed agents and absorb their
+    /// final counters into the ghost totals.
+    fn release_departers(&mut self) {
+        for id in self.departing.drain(..) {
+            if let Some(rep) = self.reports.remove(&id) {
+                self.ghost = self.ghost.add(&rep.counters);
+            }
+            self.metrics.remove(&id);
+            // The agent's mailbox address is conventional.
+            if let Some(addr) = agent_addr_from_reports(id, &self.view) {
+                if let Ok(out) = self.transport.sender(&addr) {
+                    let _ = out.send(Frame::signal(packet::OK));
+                }
+            }
+        }
+    }
+
+    /// Re-evaluate all outstanding barriers until no further progress
+    /// is possible; called on every READY (and after start/membership
+    /// changes, so zero-member edge cases cannot stall).
+    fn evaluate(&mut self) {
+        for _ in 0..1024 {
+            if !self.evaluate_once() {
+                break;
+            }
+        }
+    }
+
+    /// One evaluation step. Returns true when a barrier fired.
+    fn evaluate_once(&mut self) -> bool {
+        // Migrate barriers take precedence: nothing else advances while
+        // data is moving.
+        if let Some(epoch) = self.migrate_epoch {
+            let members = self.migrate_members.clone();
+            if !self.barrier_met(&members, 0, epoch as u32, Phase::Migrate) {
+                return false;
+            }
+            self.migrate_epoch = None;
+            self.release_departers();
+            self.migrate_members.clear();
+            if let Some(adv) = self.resume.take() {
+                if let Some(run) = self.run.as_mut() {
+                    run.step = adv.step;
+                    run.phase = adv.phase;
+                    run.step_started = Instant::now();
+                }
+                self.publish(msg::encode_advance(&adv));
+            } else if !self.busy() {
+                // Chain queued membership changes, then any deferred
+                // run start.
+                self.apply_membership();
+                if self.migrate_epoch.is_none() {
+                    if let Some(info) = self.pending_start.take() {
+                        self.launch_run(info);
+                    }
+                }
+            }
+            return true;
+        }
+        let Some(run) = self.run.as_ref() else {
+            return false;
+        };
+        if run.async_live {
+            return self.evaluate_async();
+        }
+        let members = self.member_ids();
+        let (run_id, step, phase) = (run.info.run_id, run.step, run.phase);
+        if !self.barrier_met(&members, run_id, step, phase) {
+            return false;
+        }
+        self.on_phase_complete();
+        true
+    }
+
+    /// Handle completion of the current sync phase.
+    fn on_phase_complete(&mut self) {
+        let members = self.member_ids();
+        let phase = self.run.as_ref().expect("run").phase;
+        match phase {
+            Phase::Scatter => {
+                let mut n = 0;
+                let mut global = 0.0;
+                for id in &members {
+                    let r = &self.reports[id];
+                    n += r.n_primary;
+                    global += r.global_contrib;
+                }
+                self.view.n_vertices = n;
+                let run = self.run.as_mut().expect("run");
+                run.n_vertices = n;
+                run.global = global;
+                run.phase = Phase::Combine;
+                let adv = Advance {
+                    run: run.info.run_id,
+                    step: run.step,
+                    phase: Phase::Combine,
+                    n_vertices: n,
+                    global,
+                    done: false,
+                };
+                self.publish(msg::encode_advance(&adv));
+            }
+            Phase::Combine => {
+                let run = self.run.as_mut().expect("run");
+                run.phase = Phase::Apply;
+                let adv = Advance {
+                    run: run.info.run_id,
+                    step: run.step,
+                    phase: Phase::Apply,
+                    n_vertices: run.n_vertices,
+                    global: run.global,
+                    done: false,
+                };
+                self.publish(msg::encode_advance(&adv));
+            }
+            Phase::Apply => {
+                let active: u64 = members.iter().map(|id| self.reports[id].active).sum();
+                let (max_reached, converged, next) = {
+                    let run = self.run.as_mut().expect("run");
+                    run.step_nanos
+                        .push(run.step_started.elapsed().as_nanos() as u64);
+                    run.step_started = Instant::now();
+                    let max_reached = run.max_steps.is_some_and(|m| run.step >= m);
+                    let converged = active == 0;
+                    let next = Advance {
+                        run: run.info.run_id,
+                        step: run.step + 1,
+                        phase: Phase::Scatter,
+                        n_vertices: run.n_vertices,
+                        global: 0.0,
+                        done: false,
+                    };
+                    (max_reached, converged, next)
+                };
+                if max_reached || converged {
+                    self.finish_run();
+                    return;
+                }
+                if self.run.as_ref().expect("run").info.asynchronous {
+                    // Initialization done; release the agents into
+                    // event-driven execution.
+                    let run = self.run.as_mut().expect("run");
+                    run.async_live = true;
+                    run.step = 1;
+                    run.phase = Phase::Scatter;
+                    let adv = Advance {
+                        run: run.info.run_id,
+                        step: 1,
+                        phase: Phase::Scatter,
+                        n_vertices: run.n_vertices,
+                        global: 0.0,
+                        done: false,
+                    };
+                    self.publish(msg::encode_advance(&adv));
+                    return;
+                }
+                // Elastic scaling happens at superstep boundaries: if
+                // membership changed mid-run, migrate first and resume
+                // after (§3.4.3 / Figure 17).
+                if !self.pending_joins.is_empty()
+                    || !self.pending_leaves.is_empty()
+                    || !self.pending_sketch.is_empty()
+                {
+                    self.resume = Some(next);
+                    self.apply_membership();
+                    return;
+                }
+                let run = self.run.as_mut().expect("run");
+                run.step = next.step;
+                run.phase = Phase::Scatter;
+                self.publish(msg::encode_advance(&next));
+            }
+            Phase::Migrate => unreachable!("migrate handled separately"),
+        }
+    }
+
+    /// Async termination: all agents idle with settled counters twice
+    /// in a row. Returns true when it made progress.
+    fn evaluate_async(&mut self) -> bool {
+        let members = self.member_ids();
+        let (run_id, probe, last_sums, n_vertices) = {
+            let run = self.run.as_ref().expect("run");
+            (
+                run.info.run_id,
+                run.probe,
+                run.last_probe_sums,
+                run.n_vertices,
+            )
+        };
+        if probe > 0 {
+            // Waiting on probe responses.
+            let all = members.iter().all(|id| {
+                self.reports.get(id).is_some_and(|r| {
+                    r.run == run_id && r.phase == Phase::Combine && r.step == probe
+                })
+            });
+            if !all {
+                return false;
+            }
+            let sums = self.summed(&members).expect("all reported");
+            if sums.settled() && last_sums == Some(sums) {
+                self.finish_run();
+                return true;
+            }
+            let run = self.run.as_mut().expect("run");
+            run.last_probe_sums = sums.settled().then_some(sums);
+            run.probe += 1;
+            let adv = Advance {
+                run: run_id,
+                step: run.probe,
+                phase: Phase::Combine,
+                n_vertices,
+                global: 0.0,
+                done: false,
+            };
+            self.publish(msg::encode_advance(&adv));
+            // Progress was made, but re-evaluating immediately cannot
+            // fire again until responses arrive.
+            return false;
+        }
+        // Idle detection: every agent has sent an idle report and the
+        // sums are settled -> start probing.
+        let all_idle = members.iter().all(|id| {
+            self.reports
+                .get(id)
+                .is_some_and(|r| r.run == run_id && r.step == u32::MAX)
+        });
+        if !all_idle {
+            return false;
+        }
+        let sums = self.summed(&members).expect("all reported");
+        if !sums.settled() {
+            return false;
+        }
+        let run = self.run.as_mut().expect("run");
+        run.last_probe_sums = Some(sums);
+        run.probe = 1;
+        let adv = Advance {
+            run: run_id,
+            step: 1,
+            phase: Phase::Combine,
+            n_vertices,
+            global: 0.0,
+            done: false,
+        };
+        self.publish(msg::encode_advance(&adv));
+        false
+    }
+
+    fn finish_run(&mut self) {
+        let run = self.run.take().expect("finishing without run");
+        let adv = Advance {
+            run: run.info.run_id,
+            step: run.step,
+            phase: run.phase,
+            n_vertices: run.n_vertices,
+            global: 0.0,
+            done: true,
+        };
+        self.publish(msg::encode_advance(&adv));
+        self.last_status = RunStatus {
+            run_id: run.info.run_id,
+            running: false,
+            done: true,
+            migrating: false,
+            steps: run.step,
+            step_nanos: if run.info.asynchronous {
+                vec![run.started.elapsed().as_nanos() as u64]
+            } else {
+                run.step_nanos
+            },
+            n_vertices: run.n_vertices,
+        };
+        // Any membership changes queued during the run apply now.
+        self.apply_membership();
+    }
+
+    /// Accept a run request: assigns the id immediately; the run
+    /// launches now or after the outstanding migrate barrier settles.
+    fn start_run(&mut self, mut info: RunInfo) -> u64 {
+        let run_id = self.next_run_id;
+        self.next_run_id += 1;
+        info.run_id = run_id;
+        if self.busy() {
+            self.pending_start = Some(info);
+        } else {
+            self.launch_run(info);
+        }
+        run_id
+    }
+
+    fn launch_run(&mut self, info: RunInfo) {
+        let spec = crate::program::ProgramSpec::decode(info.tag, info.params);
+        let max_steps = spec.as_ref().and_then(|s| s.instantiate().max_steps());
+        self.reports.clear();
+        let now = Instant::now();
+        let run_id = info.run_id;
+        self.run = Some(Run {
+            info,
+            max_steps,
+            step: 0,
+            phase: Phase::Scatter,
+            n_vertices: self.view.n_vertices,
+            global: 0.0,
+            started: now,
+            step_started: now,
+            step_nanos: Vec::new(),
+            probe: 0,
+            last_probe_sums: None,
+            async_live: false,
+        });
+        self.last_status = RunStatus {
+            run_id,
+            running: true,
+            done: false,
+            migrating: false,
+            steps: 0,
+            step_nanos: Vec::new(),
+            n_vertices: self.view.n_vertices,
+        };
+        self.publish(msg::encode_start(&self.run.as_ref().expect("run").info));
+        let adv = Advance {
+            run: run_id,
+            step: 0,
+            phase: Phase::Scatter,
+            n_vertices: self.view.n_vertices,
+            global: 0.0,
+            done: false,
+        };
+        self.publish(msg::encode_advance(&adv));
+        self.evaluate();
+    }
+
+    fn status(&self) -> RunStatus {
+        let mut status = match &self.run {
+            Some(run) => RunStatus {
+                run_id: run.info.run_id,
+                running: true,
+                done: false,
+                migrating: false,
+                steps: run.step,
+                step_nanos: run.step_nanos.clone(),
+                n_vertices: run.n_vertices,
+            },
+            None => self.last_status.clone(),
+        };
+        status.migrating = self.migrate_epoch.is_some()
+            || !self.pending_joins.is_empty()
+            || !self.pending_leaves.is_empty()
+            || !self.pending_sketch.is_empty()
+            || self.pending_start.is_some();
+        status
+    }
+}
+
+/// The agent mailbox address convention shared by the whole workspace.
+pub fn agent_addr(id: AgentId) -> Addr {
+    Addr::inproc(format!("agent-{id}"))
+}
+
+/// Directory mailbox address convention.
+pub fn directory_addr(id: u64) -> Addr {
+    Addr::inproc(format!("dir-{id}"))
+}
+
+/// The global broadcast bus address convention.
+pub fn bus_addr() -> Addr {
+    Addr::inproc("bus")
+}
+
+/// DirectoryMaster bootstrap address convention.
+pub fn master_addr() -> Addr {
+    Addr::inproc("master")
+}
+
+fn agent_addr_from_reports(id: AgentId, view: &DirectoryView) -> Option<Addr> {
+    view.addr_of(id).cloned().or(Some(agent_addr(id)))
+}
+
+/// Spawn the DirectoryMaster: a bootstrap registry handing out
+/// directory addresses round-robin (§3.3: "queried once by any
+/// component to find a Directory").
+pub fn spawn_master(transport: Arc<dyn Transport>, addr: Addr) -> std::thread::JoinHandle<()> {
+    let mailbox = transport.bind(&addr).expect("bind master");
+    std::thread::Builder::new()
+        .name("elga-master".into())
+        .spawn(move || {
+            let mut directories: Vec<Addr> = Vec::new();
+            let mut next = 0usize;
+            while let Ok(d) = mailbox.recv() {
+                match d.frame.packet_type() {
+                    packet::DIR_REGISTER => {
+                        if let Some(s) = d
+                            .frame
+                            .reader()
+                            .bytes()
+                            .and_then(|b| std::str::from_utf8(b).ok())
+                        {
+                            if let Ok(a) = Addr::parse(s) {
+                                directories.push(a);
+                            }
+                        }
+                        if let Some(reply) = d.reply {
+                            let _ = reply.send(Frame::signal(packet::OK));
+                        }
+                    }
+                    packet::GET_DIRECTORY => {
+                        let reply_frame = if directories.is_empty() {
+                            Frame::signal(packet::GET_DIRECTORY)
+                        } else {
+                            let a = &directories[next % directories.len()];
+                            next += 1;
+                            Frame::builder(packet::GET_DIRECTORY)
+                                .bytes(a.to_string().as_bytes())
+                                .finish()
+                        };
+                        if let Some(reply) = d.reply {
+                            let _ = reply.send(reply_frame);
+                        }
+                    }
+                    packet::SHUTDOWN => break,
+                    _ => {}
+                }
+            }
+        })
+        .expect("spawn master")
+}
+
+/// Ask the master for a directory address.
+pub fn bootstrap_directory(
+    transport: &dyn Transport,
+    master: &Addr,
+    timeout: Duration,
+) -> Result<Addr, NetError> {
+    let rep = transport.request(master, Frame::signal(packet::GET_DIRECTORY), timeout)?;
+    let bytes = rep
+        .reader()
+        .bytes()
+        .ok_or(NetError::Protocol("no directory registered"))?;
+    let s = std::str::from_utf8(bytes).map_err(|_| NetError::Protocol("bad directory addr"))?;
+    Addr::parse(s).map_err(|_| NetError::Protocol("bad directory addr"))
+}
+
+/// Spawn a Directory entity using the in-process address conventions.
+///
+/// Directory 0 is the lead: it binds the global bus publisher and owns
+/// all coordination state. Non-lead directories relay their agents'
+/// traffic to the lead (Figure 2's inter-directory re-broadcast).
+pub fn spawn_directory(
+    transport: Arc<dyn Transport>,
+    cfg: SystemConfig,
+    id: u64,
+    master: Addr,
+) -> std::thread::JoinHandle<()> {
+    let role = if id == 0 {
+        DirectoryRole::Lead { bus: bus_addr() }
+    } else {
+        DirectoryRole::Relay {
+            lead: directory_addr(0),
+            bus: bus_addr(),
+        }
+    };
+    spawn_directory_at(transport, cfg, id, master, directory_addr(id), role)
+}
+
+/// Which role a directory plays, with the addresses it needs.
+#[derive(Debug, Clone)]
+pub enum DirectoryRole {
+    /// The lead directory: binds the broadcast bus at this address.
+    Lead {
+        /// PUB endpoint to bind (for TCP, a concrete port).
+        bus: Addr,
+    },
+    /// A relay directory: forwards to the lead and watches the bus for
+    /// shutdown.
+    Relay {
+        /// The lead directory's mailbox address.
+        lead: Addr,
+        /// The broadcast bus to subscribe to.
+        bus: Addr,
+    },
+}
+
+/// Spawn a Directory entity at explicit addresses — the
+/// deployment-agnostic form used by TCP clusters, where every endpoint
+/// is a concrete `tcp://host:port` (the paper's scripts configure
+/// hosts the same way; see its Artifact Description).
+pub fn spawn_directory_at(
+    transport: Arc<dyn Transport>,
+    cfg: SystemConfig,
+    id: u64,
+    master: Addr,
+    addr: Addr,
+    role: DirectoryRole,
+) -> std::thread::JoinHandle<()> {
+    let mailbox = transport.bind(&addr).expect("bind directory");
+    let actual = mailbox.addr().clone();
+    // The lead's bus must be listening before this function returns:
+    // participants subscribe to it immediately after their JOIN.
+    let prepared = match role {
+        DirectoryRole::Lead { bus } => {
+            let publisher = transport.bind_publisher(&bus).expect("bind bus");
+            Ok(publisher)
+        }
+        DirectoryRole::Relay { lead, bus } => Err((lead, bus)),
+    };
+    // Register with the master before serving.
+    let _ = transport.request(
+        &master,
+        Frame::builder(packet::DIR_REGISTER)
+            .bytes(actual.to_string().as_bytes())
+            .finish(),
+        cfg.request_timeout,
+    );
+    std::thread::Builder::new()
+        .name(format!("elga-dir-{id}"))
+        .spawn(move || match prepared {
+            Ok(publisher) => lead_loop(transport, cfg, mailbox, publisher),
+            Err((lead, bus)) => relay_loop(transport, cfg, mailbox, lead, bus),
+        })
+        .expect("spawn directory")
+}
+
+fn lead_loop(
+    transport: Arc<dyn Transport>,
+    cfg: SystemConfig,
+    mailbox: Mailbox,
+    publisher: Publisher,
+) {
+    let mut lead = Lead::new(&cfg, publisher, transport.clone());
+    while let Ok(d) = mailbox.recv() {
+        match d.frame.packet_type() {
+            packet::READY => {
+                if let Some(rep) = msg::decode_ready(&d.frame) {
+                    lead.reports.insert(rep.agent, rep);
+                    lead.evaluate();
+                }
+            }
+            packet::JOIN => {
+                let mut r = d.frame.reader();
+                let info = (|| {
+                    let id = r.u64()?;
+                    let addr = Addr::parse(std::str::from_utf8(r.bytes()?).ok()?).ok()?;
+                    Some(AgentInfo { id, addr })
+                })();
+                if let Some(info) = info {
+                    let run_info = lead.run.as_ref().map(|r| r.info);
+                    lead.pending_joins.push(info);
+                    if !lead.busy() {
+                        lead.apply_membership();
+                    }
+                    if let Some(reply) = d.reply {
+                        let _ = reply.send(msg::encode_join_reply(&lead.view, run_info.as_ref()));
+                    }
+                    lead.evaluate();
+                } else if let Some(reply) = d.reply {
+                    let _ = reply.send(Frame::signal(packet::OK));
+                }
+            }
+            packet::LEAVE => {
+                if let Some(id) = d.frame.reader().u64() {
+                    lead.pending_leaves.push(id);
+                    if !lead.busy() {
+                        lead.apply_membership();
+                    }
+                    lead.evaluate();
+                }
+                if let Some(reply) = d.reply {
+                    let _ = reply.send(Frame::signal(packet::OK));
+                }
+            }
+            packet::SKETCH_DELTA => {
+                if let Some(delta) = msg::decode_sketch_delta(&d.frame) {
+                    lead.view.batch_id += 1;
+                    lead.pending_sketch.push(delta);
+                    if !lead.busy() {
+                        lead.apply_membership();
+                    }
+                    lead.evaluate();
+                }
+                if let Some(reply) = d.reply {
+                    let _ = reply.send(lead.view.encode());
+                }
+            }
+            packet::START => {
+                if let Some(info) = msg::decode_start(&d.frame) {
+                    let run_id = lead.start_run(info);
+                    if let Some(reply) = d.reply {
+                        let _ = reply.send(Frame::builder(packet::OK).u64(run_id).finish());
+                    }
+                } else if let Some(reply) = d.reply {
+                    let _ = reply.send(Frame::signal(packet::OK));
+                }
+            }
+            packet::GET_VIEW => {
+                if let Some(reply) = d.reply {
+                    let _ = reply.send(lead.view.encode());
+                }
+            }
+            packet::RUN_STATUS => {
+                if let Some(reply) = d.reply {
+                    let _ = reply.send(msg::encode_run_status(&lead.status()));
+                }
+            }
+            packet::COUNTERS => {
+                // Ghost totals of departed agents, needed by external
+                // quiescence checks to balance cumulative sums.
+                if let Some(reply) = d.reply {
+                    let g = lead.ghost;
+                    let rep = Frame::builder(packet::COUNTERS)
+                        .u64(g.vmsg_sent)
+                        .u64(g.vmsg_recv)
+                        .u64(g.part_sent)
+                        .u64(g.part_recv)
+                        .u64(g.state_sent)
+                        .u64(g.state_recv)
+                        .u64(g.mig_sent)
+                        .u64(g.mig_recv)
+                        .u64(g.chg_sent)
+                        .u64(g.chg_recv)
+                        .finish();
+                    let _ = reply.send(rep);
+                }
+            }
+            packet::METRICS => {
+                if let Some(m) = AgentMetrics::decode(&d.frame) {
+                    lead.metrics.insert(m.agent, m);
+                }
+            }
+            packet::GET_METRICS => {
+                let mut agg = ClusterMetrics {
+                    agents: lead.view.agents.len() as u64,
+                    ..Default::default()
+                };
+                for m in lead.metrics.values() {
+                    agg.absorb(m);
+                }
+                if let Some(reply) = d.reply {
+                    let _ = reply.send(agg.encode());
+                }
+            }
+            packet::RESET_LABELS => {
+                lead.publish(d.frame.clone());
+                if let Some(reply) = d.reply {
+                    let _ = reply.send(Frame::signal(packet::OK));
+                }
+            }
+            packet::SHUTDOWN => {
+                lead.publish(Frame::signal(packet::SHUTDOWN));
+                if let Some(reply) = d.reply {
+                    let _ = reply.send(Frame::signal(packet::OK));
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Non-lead directories proxy their agents to the lead.
+fn relay_loop(
+    transport: Arc<dyn Transport>,
+    cfg: SystemConfig,
+    mailbox: Mailbox,
+    lead_addr: Addr,
+    bus: Addr,
+) {
+    let lead_push = transport.sender(&lead_addr).expect("lead sender");
+    // Exit alongside the rest of the system.
+    let shutdown = transport
+        .subscribe(&bus, &[packet::SHUTDOWN])
+        .expect("bus subscribe");
+    loop {
+        if shutdown.try_recv().ok().flatten().is_some() {
+            break;
+        }
+        let d = match mailbox.recv_timeout(Duration::from_millis(50)) {
+            Ok(d) => d,
+            Err(NetError::Timeout) => continue,
+            Err(_) => break,
+        };
+        match d.frame.packet_type() {
+            // Pushes relay as pushes (Figure 2 step 4: re-broadcast
+            // ready messages among Directories).
+            packet::READY | packet::LEAVE | packet::METRICS => {
+                let _ = lead_push.send(d.frame);
+            }
+            packet::SHUTDOWN => break,
+            // Requests relay as requests.
+            _ => {
+                let rep = transport.request(&lead_addr, d.frame, cfg.request_timeout);
+                if let (Some(reply), Ok(frame)) = (d.reply, rep) {
+                    let _ = reply.send(frame);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elga_net::InProcTransport;
+
+    fn test_lead() -> Lead {
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let publisher = transport
+            .bind_publisher(&Addr::inproc("test-bus"))
+            .unwrap();
+        Lead::new(&SystemConfig::default(), publisher, transport)
+    }
+
+    fn ready(agent: AgentId, run: u64, step: u32, phase: Phase, c: Counters) -> ReadyReport {
+        ReadyReport {
+            agent,
+            run,
+            step,
+            phase,
+            counters: c,
+            active: 0,
+            global_contrib: 0.0,
+            n_primary: 0,
+        }
+    }
+
+    #[test]
+    fn barrier_requires_all_members_and_settled_counts() {
+        let mut lead = test_lead();
+        let members = vec![1, 2];
+        let unsettled = Counters {
+            vmsg_sent: 5,
+            vmsg_recv: 3,
+            ..Default::default()
+        };
+        lead.reports
+            .insert(1, ready(1, 7, 2, Phase::Scatter, unsettled));
+        assert!(!lead.barrier_met(&members, 7, 2, Phase::Scatter), "missing member");
+        lead.reports.insert(
+            2,
+            ready(2, 7, 2, Phase::Scatter, Counters::default()),
+        );
+        assert!(
+            !lead.barrier_met(&members, 7, 2, Phase::Scatter),
+            "in-flight messages"
+        );
+        let balancing = Counters {
+            vmsg_recv: 2,
+            ..Default::default()
+        };
+        lead.reports
+            .insert(2, ready(2, 7, 2, Phase::Scatter, balancing));
+        assert!(lead.barrier_met(&members, 7, 2, Phase::Scatter));
+        assert!(
+            !lead.barrier_met(&members, 7, 2, Phase::Combine),
+            "wrong phase"
+        );
+    }
+
+    #[test]
+    fn ghost_counters_keep_sums_balanced_after_departure() {
+        let mut lead = test_lead();
+        // Agent 9 departed having sent 4 messages that agent 1 received.
+        lead.ghost = Counters {
+            vmsg_sent: 4,
+            ..Default::default()
+        };
+        let c1 = Counters {
+            vmsg_recv: 4,
+            ..Default::default()
+        };
+        lead.reports.insert(1, ready(1, 1, 0, Phase::Scatter, c1));
+        assert!(lead.barrier_met(&[1], 1, 0, Phase::Scatter));
+    }
+
+    #[test]
+    fn membership_changes_bump_epoch_and_open_migrate_barrier() {
+        let mut lead = test_lead();
+        let e0 = lead.view.epoch;
+        lead.pending_joins.push(AgentInfo {
+            id: 5,
+            addr: agent_addr(5),
+        });
+        lead.apply_membership();
+        assert_eq!(lead.view.epoch, e0 + 1);
+        assert_eq!(lead.migrate_epoch, Some(e0 + 1));
+        assert_eq!(lead.migrate_members, vec![5]);
+        // The migrate barrier settles once agent 5 reports.
+        lead.reports.insert(
+            5,
+            ready(5, 0, (e0 + 1) as u32, Phase::Migrate, Counters::default()),
+        );
+        lead.evaluate();
+        assert_eq!(lead.migrate_epoch, None);
+    }
+
+    #[test]
+    fn leave_moves_agent_to_departing() {
+        let mut lead = test_lead();
+        lead.pending_joins.push(AgentInfo {
+            id: 3,
+            addr: agent_addr(3),
+        });
+        lead.apply_membership();
+        lead.migrate_epoch = None; // pretend join migration settled
+        lead.pending_leaves.push(3);
+        lead.apply_membership();
+        assert!(lead.view.agents.is_empty());
+        assert_eq!(lead.departing, vec![3]);
+        assert!(lead.migrate_members.contains(&3), "departer must drain");
+    }
+
+    #[test]
+    fn start_run_publishes_and_tracks_status() {
+        let mut lead = test_lead();
+        let run_id = lead.start_run(RunInfo {
+            run_id: 0,
+            tag: 1, // WCC
+            params: [0, 0, 0],
+            reuse_state: false,
+            asynchronous: false,
+        });
+        assert_eq!(run_id, 1);
+        // Empty membership: every barrier is trivially met, so the run
+        // completes during launch.
+        let st = lead.status();
+        assert_eq!(st.run_id, 1);
+        assert!(!st.running);
+        assert!(st.done);
+    }
+
+    #[test]
+    fn addr_conventions_are_stable() {
+        assert_eq!(agent_addr(3).to_string(), "inproc://agent-3");
+        assert_eq!(directory_addr(0).to_string(), "inproc://dir-0");
+        assert_eq!(bus_addr().to_string(), "inproc://bus");
+        assert_eq!(master_addr().to_string(), "inproc://master");
+    }
+}

@@ -1,0 +1,69 @@
+//! The ElGA system (paper §3).
+//!
+//! ElGA is a shared-nothing distributed system for analyzing graphs
+//! that change continuously, built so that its own infrastructure can
+//! change continuously too. Every entity is single threaded and
+//! communicates only by message passing (§3.1):
+//!
+//! * **Agents** ([`agent`]) hold graph partitions in memory and run
+//!   vertex-centric programs;
+//! * **Streamers** ([`streamer`]) push turnstile edge changes into the
+//!   system;
+//! * **ClientProxies** ([`client`]) answer end-user queries;
+//! * the **directory system** ([`directory`]) — Directories plus a
+//!   DirectoryMaster bootstrap — broadcasts membership, the count-min
+//!   sketch, and synchronization barriers.
+//!
+//! Edge ownership is resolved with the two-level consistent-hash /
+//! sketch scheme of `elga-hash` + `elga-sketch` (Figure 3): every edge
+//! `(u, v)` is stored twice, once as an out-edge of `u` at
+//! `owner(u, v)` and once as an in-edge of `v` at `owner(v, u)`, so
+//! both directions of vertex-centric scatter are local ("We store both
+//! in and out edges", §4).
+//!
+//! [`cluster::Cluster`] wires everything together for a single-process
+//! deployment over the in-process transport (one OS thread per entity)
+//! and exposes the public driver API: `ingest`, `run`, `query`,
+//! `add_agents`, `remove_agent`, plus the [`autoscale`] policies.
+//!
+//! ## Execution model
+//!
+//! A synchronous superstep is three barriered phases (a faithful
+//! factoring of the paper's Figure 2 round plus its replica
+//! synchronization, §3.4):
+//!
+//! 1. **Scatter** — active vertex replicas send program messages along
+//!    their local edges; messages for vertex `w` land on one of `w`'s
+//!    replicas (second consistent hash), which pre-aggregates them.
+//! 2. **Combine** — replicas forward partial aggregates to the
+//!    vertex's *primary* replica.
+//! 3. **Apply** — primaries run the program's `apply`, then broadcast
+//!    changed state to the vertex's replica set.
+//!
+//! Each barrier is enforced by the directory with Mattern-style
+//! double counting (all agents ready *and* global sent == received), so
+//! out-of-order and in-flight messages are handled exactly as the
+//! paper describes (§3: "ElGA is flexible with receiving messages
+//! out-of-order...").
+//!
+//! Asynchronous mode (for monotone programs such as WCC/BFS/SSSP)
+//! processes vertices the moment updates arrive and terminates through
+//! the same counting argument.
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod algorithms;
+pub mod autoscale;
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod directory;
+pub mod metrics;
+pub mod msg;
+pub mod program;
+pub mod streamer;
+
+pub use cluster::{Cluster, ClusterBuilder, RunStats};
+pub use config::SystemConfig;
+pub use program::{ExecutionMode, ProgramSpec, VertexCtx, VertexProgram};

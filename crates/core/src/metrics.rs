@@ -1,0 +1,158 @@
+//! Metric collection for elastic autoscaling (paper §3.4.3: "ElGA
+//! comes with an API for metric collection and autoscalers. ... We
+//! implemented Agent metrics for graph change rates, client query
+//! rates, and superstep times. Metrics are passed to Directories.")
+
+use crate::msg::packet;
+use elga_hash::AgentId;
+use elga_net::{Frame, FrameReader};
+
+/// Cumulative per-agent activity counters, pushed to the agent's
+/// directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentMetrics {
+    /// Reporting agent.
+    pub agent: AgentId,
+    /// Client queries served.
+    pub queries: u64,
+    /// Edge-change records applied.
+    pub changes: u64,
+    /// Vertex messages processed.
+    pub vmsgs: u64,
+    /// Out-placement edges currently held.
+    pub edges: u64,
+    /// Nanoseconds spent in the last superstep's local work.
+    pub last_step_nanos: u64,
+}
+
+impl AgentMetrics {
+    /// Encode as a METRICS frame.
+    pub fn encode(&self) -> Frame {
+        Frame::builder(packet::METRICS)
+            .u64(self.agent)
+            .u64(self.queries)
+            .u64(self.changes)
+            .u64(self.vmsgs)
+            .u64(self.edges)
+            .u64(self.last_step_nanos)
+            .finish()
+    }
+
+    /// Decode a METRICS frame.
+    pub fn decode(frame: &Frame) -> Option<AgentMetrics> {
+        let mut r = frame.reader();
+        Some(AgentMetrics {
+            agent: r.u64()?,
+            queries: r.u64()?,
+            changes: r.u64()?,
+            vmsgs: r.u64()?,
+            edges: r.u64()?,
+            last_step_nanos: r.u64()?,
+        })
+    }
+}
+
+/// Aggregated view over all agents, returned by the directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterMetrics {
+    /// Number of registered agents.
+    pub agents: u64,
+    /// Total queries served (cumulative).
+    pub queries: u64,
+    /// Total edge-change records applied (cumulative).
+    pub changes: u64,
+    /// Total vertex messages processed (cumulative).
+    pub vmsgs: u64,
+    /// Total out-placement edges held.
+    pub edges: u64,
+    /// Max of agents' last superstep nanos (the straggler).
+    pub max_step_nanos: u64,
+}
+
+impl ClusterMetrics {
+    /// Fold one agent report into the aggregate.
+    pub fn absorb(&mut self, m: &AgentMetrics) {
+        self.queries += m.queries;
+        self.changes += m.changes;
+        self.vmsgs += m.vmsgs;
+        self.edges += m.edges;
+        self.max_step_nanos = self.max_step_nanos.max(m.last_step_nanos);
+    }
+
+    /// Encode as a GET_METRICS reply.
+    pub fn encode(&self) -> Frame {
+        Frame::builder(packet::GET_METRICS)
+            .u64(self.agents)
+            .u64(self.queries)
+            .u64(self.changes)
+            .u64(self.vmsgs)
+            .u64(self.edges)
+            .u64(self.max_step_nanos)
+            .finish()
+    }
+
+    /// Decode a GET_METRICS reply.
+    pub fn decode(frame: &Frame) -> Option<ClusterMetrics> {
+        let mut r: FrameReader<'_> = frame.reader();
+        Some(ClusterMetrics {
+            agents: r.u64()?,
+            queries: r.u64()?,
+            changes: r.u64()?,
+            vmsgs: r.u64()?,
+            edges: r.u64()?,
+            max_step_nanos: r.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agent_metrics_roundtrip() {
+        let m = AgentMetrics {
+            agent: 3,
+            queries: 10,
+            changes: 20,
+            vmsgs: 30,
+            edges: 40,
+            last_step_nanos: 50,
+        };
+        assert_eq!(AgentMetrics::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn cluster_metrics_absorb_and_roundtrip() {
+        let mut c = ClusterMetrics {
+            agents: 2,
+            ..Default::default()
+        };
+        c.absorb(&AgentMetrics {
+            agent: 1,
+            queries: 5,
+            changes: 1,
+            vmsgs: 2,
+            edges: 3,
+            last_step_nanos: 100,
+        });
+        c.absorb(&AgentMetrics {
+            agent: 2,
+            queries: 7,
+            changes: 0,
+            vmsgs: 1,
+            edges: 4,
+            last_step_nanos: 60,
+        });
+        assert_eq!(c.queries, 12);
+        assert_eq!(c.edges, 7);
+        assert_eq!(c.max_step_nanos, 100);
+        assert_eq!(ClusterMetrics::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn decode_rejects_short_frames() {
+        assert!(AgentMetrics::decode(&Frame::signal(packet::METRICS)).is_none());
+        assert!(ClusterMetrics::decode(&Frame::signal(packet::GET_METRICS)).is_none());
+    }
+}

@@ -1,0 +1,1096 @@
+//! Wire protocol: packet types and message encodings.
+//!
+//! "The first byte of any message is a packet type" (§3.5). Every
+//! protocol message is hand-encoded with fixed-width little-endian
+//! fields over [`elga_net::Frame`] — the paper's "direct memory copies
+//! into network buffers". Subscription filtering uses the packet-type
+//! byte, so broadcast topics (VIEW, ADVANCE, START, SHUTDOWN) each get
+//! their own type.
+
+use elga_graph::types::{Action, EdgeChange, VertexId};
+use elga_hash::{AgentId, EdgeLocator, HashKind, LocatorConfig, Ring};
+use elga_net::{Addr, Frame, FrameReader};
+use elga_sketch::CountMinSketch;
+
+/// Packet-type bytes.
+pub mod packet {
+    /// Agent joins (REQ to a Directory; reply is VIEW).
+    pub const JOIN: u8 = 1;
+    /// Agent announces departure (push to a Directory).
+    pub const LEAVE: u8 = 2;
+    /// Directory view broadcast (PUB topic).
+    pub const VIEW: u8 = 3;
+    /// Count-min sketch delta (push, Streamer/Agent → Directory).
+    pub const SKETCH_DELTA: u8 = 4;
+    /// Edge changes (push, Streamer → Agent, or forwarded Agent →
+    /// Agent).
+    pub const EDGE_CHANGES: u8 = 5;
+    /// Vertex messages (push, Agent → Agent, scatter phase).
+    pub const VMSG: u8 = 6;
+    /// Partial aggregates (push, replica → primary, combine phase).
+    pub const PARTIAL: u8 = 7;
+    /// State broadcast (push, primary → replicas, apply phase).
+    pub const STATE: u8 = 8;
+    /// Barrier report (push, Agent → Directory).
+    pub const READY: u8 = 9;
+    /// Barrier advance (PUB topic, Directory → Agents).
+    pub const ADVANCE: u8 = 10;
+    /// Algorithm start (PUB topic).
+    pub const START: u8 = 11;
+    /// Migrated edges (push, Agent → Agent).
+    pub const MIG_EDGES: u8 = 12;
+    /// Migrated vertex metadata (push, Agent → Agent).
+    pub const MIG_META: u8 = 13;
+    /// Vertex query (REQ to an Agent).
+    pub const QUERY: u8 = 14;
+    /// Query reply.
+    pub const QUERY_REP: u8 = 15;
+    /// Drain request (REQ to an Agent; reply carries counters).
+    pub const DRAIN: u8 = 16;
+    /// Drain/ready counter snapshot reply.
+    pub const COUNTERS: u8 = 17;
+    /// Get current view (REQ to a Directory).
+    pub const GET_VIEW: u8 = 18;
+    /// Run status (REQ to a Directory).
+    pub const RUN_STATUS: u8 = 19;
+    /// Run status reply.
+    pub const RUN_STATUS_REP: u8 = 20;
+    /// Metric report (push, Agent → Directory).
+    pub const METRICS: u8 = 21;
+    /// Aggregated metrics (REQ to a Directory + its reply).
+    pub const GET_METRICS: u8 = 22;
+    /// Shutdown broadcast (PUB topic).
+    pub const SHUTDOWN: u8 = 23;
+    /// Directory-to-lead-directory aggregate (push).
+    pub const DIR_AGG: u8 = 24;
+    /// Bootstrap: ask the DirectoryMaster for a Directory (REQ).
+    pub const GET_DIRECTORY: u8 = 25;
+    /// Directory registers itself with the DirectoryMaster (REQ).
+    pub const DIR_REGISTER: u8 = 26;
+    /// Generic OK reply.
+    pub const OK: u8 = 27;
+    /// WCC-style label reset broadcast (PUB topic).
+    pub const RESET_LABELS: u8 = 28;
+    /// Global degree deltas (push, Agent → primary Agent).
+    pub const DEG_DELTA: u8 = 29;
+    /// Join reply (view + optional in-progress run description).
+    pub const JOIN_REP: u8 = 30;
+    /// Bulk state dump (REQ to an Agent; reply lists its primary
+    /// vertices' states).
+    pub const DUMP: u8 = 31;
+}
+
+/// Superstep phases (see crate docs). `Migrate` barriers elastic
+/// membership changes with the same counting machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Phase {
+    /// Scatter program messages along local edges.
+    Scatter = 0,
+    /// Forward partial aggregates to primaries.
+    Combine = 1,
+    /// Apply at primaries and broadcast state to replicas.
+    Apply = 2,
+    /// Migrate edges/state after a membership or sketch change.
+    Migrate = 3,
+}
+
+impl Phase {
+    /// Decode from its wire byte.
+    pub fn from_u8(b: u8) -> Option<Phase> {
+        match b {
+            0 => Some(Phase::Scatter),
+            1 => Some(Phase::Combine),
+            2 => Some(Phase::Apply),
+            3 => Some(Phase::Migrate),
+            _ => None,
+        }
+    }
+}
+
+/// Cumulative per-agent message counters, compared pairwise by the
+/// directory for Mattern-style termination/barrier detection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Scatter messages sent / received (per entry, not per frame).
+    pub vmsg_sent: u64,
+    /// Scatter messages received.
+    pub vmsg_recv: u64,
+    /// Partial aggregates sent.
+    pub part_sent: u64,
+    /// Partial aggregates received.
+    pub part_recv: u64,
+    /// State broadcasts sent.
+    pub state_sent: u64,
+    /// State broadcasts received.
+    pub state_recv: u64,
+    /// Migration records sent.
+    pub mig_sent: u64,
+    /// Migration records received.
+    pub mig_recv: u64,
+    /// Edge-change records sent onward (forwarding).
+    pub chg_sent: u64,
+    /// Edge-change records received.
+    pub chg_recv: u64,
+}
+
+impl Counters {
+    /// Element-wise sum.
+    pub fn add(&self, other: &Counters) -> Counters {
+        Counters {
+            vmsg_sent: self.vmsg_sent + other.vmsg_sent,
+            vmsg_recv: self.vmsg_recv + other.vmsg_recv,
+            part_sent: self.part_sent + other.part_sent,
+            part_recv: self.part_recv + other.part_recv,
+            state_sent: self.state_sent + other.state_sent,
+            state_recv: self.state_recv + other.state_recv,
+            mig_sent: self.mig_sent + other.mig_sent,
+            mig_recv: self.mig_recv + other.mig_recv,
+            chg_sent: self.chg_sent + other.chg_sent,
+            chg_recv: self.chg_recv + other.chg_recv,
+        }
+    }
+
+    /// True when every sent counter equals its received counter — the
+    /// no-messages-in-flight condition.
+    pub fn settled(&self) -> bool {
+        self.vmsg_sent == self.vmsg_recv
+            && self.part_sent == self.part_recv
+            && self.state_sent == self.state_recv
+            && self.mig_sent == self.mig_recv
+            && self.chg_sent == self.chg_recv
+    }
+
+    fn encode_into(&self, b: elga_net::frame::FrameBuilder) -> elga_net::frame::FrameBuilder {
+        b.u64(self.vmsg_sent)
+            .u64(self.vmsg_recv)
+            .u64(self.part_sent)
+            .u64(self.part_recv)
+            .u64(self.state_sent)
+            .u64(self.state_recv)
+            .u64(self.mig_sent)
+            .u64(self.mig_recv)
+            .u64(self.chg_sent)
+            .u64(self.chg_recv)
+    }
+
+    fn decode(r: &mut FrameReader<'_>) -> Option<Counters> {
+        Some(Counters {
+            vmsg_sent: r.u64()?,
+            vmsg_recv: r.u64()?,
+            part_sent: r.u64()?,
+            part_recv: r.u64()?,
+            state_sent: r.u64()?,
+            state_recv: r.u64()?,
+            mig_sent: r.u64()?,
+            mig_recv: r.u64()?,
+            chg_sent: r.u64()?,
+            chg_recv: r.u64()?,
+        })
+    }
+}
+
+/// One agent's registration record in the view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentInfo {
+    /// Agent id (ring key).
+    pub id: AgentId,
+    /// The agent's mailbox address.
+    pub addr: Addr,
+}
+
+/// The broadcast directory view: everything a Participant needs to
+/// locate any edge (§3.3). Size is `O(P + d·w)` as in the paper.
+#[derive(Debug, Clone)]
+pub struct DirectoryView {
+    /// Monotone version; bumped on membership or sketch change.
+    pub epoch: u64,
+    /// Current batch clock (§3.3).
+    pub batch_id: u64,
+    /// Latest known global vertex count (for programs needing `n`).
+    pub n_vertices: u64,
+    /// Registered agents.
+    pub agents: Vec<AgentInfo>,
+    /// Degree sketch.
+    pub sketch: CountMinSketch,
+    /// Ring hash function.
+    pub hash: HashKind,
+    /// Virtual agents per agent.
+    pub virtual_agents: u32,
+    /// Replication threshold (estimated degree per replica).
+    pub replication_threshold: u64,
+    /// Max replicas per vertex.
+    pub max_replicas: u32,
+}
+
+impl DirectoryView {
+    /// Build the locator implied by this view.
+    pub fn locator(&self) -> EdgeLocator {
+        let ring = Ring::from_agents(
+            self.hash,
+            self.virtual_agents,
+            self.agents.iter().map(|a| a.id),
+        );
+        EdgeLocator::new(
+            ring,
+            LocatorConfig {
+                replication_threshold: self.replication_threshold,
+                max_replicas: self.max_replicas,
+            },
+        )
+    }
+
+    /// Address of an agent by id.
+    pub fn addr_of(&self, id: AgentId) -> Option<&Addr> {
+        self.agents.iter().find(|a| a.id == id).map(|a| &a.addr)
+    }
+
+    /// Estimated degree of `v` from the view's sketch.
+    pub fn degree_estimate(&self, v: VertexId) -> u64 {
+        self.sketch.estimate(v)
+    }
+
+    /// Encode as a VIEW frame.
+    pub fn encode(&self) -> Frame {
+        let mut b = Frame::builder(packet::VIEW)
+            .u64(self.epoch)
+            .u64(self.batch_id)
+            .u64(self.n_vertices)
+            .u8(hash_to_u8(self.hash))
+            .u32(self.virtual_agents)
+            .u64(self.replication_threshold)
+            .u32(self.max_replicas)
+            .u32(self.agents.len() as u32);
+        for a in &self.agents {
+            b = b.u64(a.id).bytes(a.addr.to_string().as_bytes());
+        }
+        b = b
+            .u32(self.sketch.width() as u32)
+            .u32(self.sketch.depth() as u32)
+            .u64(self.sketch.items());
+        // Counter table, delta-friendly raw dump.
+        let mut raw = Vec::with_capacity(self.sketch.width() * self.sketch.depth() * 4);
+        for row in 0..self.sketch.depth() {
+            for col in 0..self.sketch.width() {
+                raw.extend_from_slice(&self.sketch.cell(row, col).to_le_bytes());
+            }
+        }
+        b.bytes(&raw).finish()
+    }
+
+    /// Decode a VIEW frame.
+    pub fn decode(frame: &Frame) -> Option<DirectoryView> {
+        if frame.packet_type() != packet::VIEW {
+            return None;
+        }
+        let mut r = frame.reader();
+        let epoch = r.u64()?;
+        let batch_id = r.u64()?;
+        let n_vertices = r.u64()?;
+        let hash = hash_from_u8(r.u8()?)?;
+        let virtual_agents = r.u32()?;
+        let replication_threshold = r.u64()?;
+        let max_replicas = r.u32()?;
+        let n_agents = r.u32()? as usize;
+        // 12 bytes minimum per agent record (id + length-prefixed addr).
+        let mut agents = Vec::with_capacity(n_agents.min(r.remaining() / 12));
+        for _ in 0..n_agents {
+            let id = r.u64()?;
+            let addr = Addr::parse(std::str::from_utf8(r.bytes()?).ok()?).ok()?;
+            agents.push(AgentInfo { id, addr });
+        }
+        let width = r.u32()? as usize;
+        let depth = r.u32()? as usize;
+        let items = r.u64()?;
+        let raw = r.bytes()?;
+        let expected = width.checked_mul(depth).and_then(|x| x.checked_mul(4))?;
+        if raw.len() != expected {
+            return None;
+        }
+        let cells: Vec<u32> = raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let sketch = CountMinSketch::from_parts(width, depth, cells, items)?;
+        Some(DirectoryView {
+            epoch,
+            batch_id,
+            n_vertices,
+            agents,
+            sketch,
+            hash,
+            virtual_agents,
+            replication_threshold,
+            max_replicas,
+        })
+    }
+}
+
+fn hash_to_u8(h: HashKind) -> u8 {
+    match h {
+        HashKind::Wang => 0,
+        HashKind::Mult => 1,
+        HashKind::Abseil => 2,
+        HashKind::Crc64 => 3,
+    }
+}
+
+fn hash_from_u8(b: u8) -> Option<HashKind> {
+    match b {
+        0 => Some(HashKind::Wang),
+        1 => Some(HashKind::Mult),
+        2 => Some(HashKind::Abseil),
+        3 => Some(HashKind::Crc64),
+        _ => None,
+    }
+}
+
+/// Which placement an edge-change record targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Out-edge of the change's `src`, placed by `owner(src, dst)`.
+    Out,
+    /// In-edge of the change's `dst`, placed by `owner(dst, src)`.
+    In,
+}
+
+/// Encode a batch of edge changes for one placement side.
+pub fn encode_edge_changes(side: Side, hop: u8, changes: &[EdgeChange]) -> Frame {
+    let mut b = Frame::builder(packet::EDGE_CHANGES)
+        .u8(match side {
+            Side::Out => 0,
+            Side::In => 1,
+        })
+        .u8(hop)
+        .u32(changes.len() as u32);
+    for c in changes {
+        b = b
+            .u8(match c.action {
+                Action::Insert => 0,
+                Action::Delete => 1,
+            })
+            .u64(c.edge.src)
+            .u64(c.edge.dst);
+    }
+    b.finish()
+}
+
+/// Decode an EDGE_CHANGES frame into `(side, hop, changes)`.
+pub fn decode_edge_changes(frame: &Frame) -> Option<(Side, u8, Vec<EdgeChange>)> {
+    let mut r = frame.reader();
+    let side = match r.u8()? {
+        0 => Side::Out,
+        1 => Side::In,
+        _ => return None,
+    };
+    let hop = r.u8()?;
+    let n = r.u32()? as usize;
+    // Never trust a wire length: bound the preallocation by what the
+    // payload could actually hold (17 bytes per record).
+    let mut changes = Vec::with_capacity(n.min(r.remaining() / 17));
+    for _ in 0..n {
+        let action = match r.u8()? {
+            0 => Action::Insert,
+            1 => Action::Delete,
+            _ => return None,
+        };
+        let src = r.u64()?;
+        let dst = r.u64()?;
+        changes.push(EdgeChange {
+            action,
+            edge: (src, dst).into(),
+        });
+    }
+    Some((side, hop, changes))
+}
+
+/// Encode vertex messages: `(run, step, [(target, value)])`.
+pub fn encode_vmsgs(run: u64, step: u32, msgs: &[(VertexId, u64)]) -> Frame {
+    let mut b = Frame::builder(packet::VMSG)
+        .u64(run)
+        .u32(step)
+        .u32(msgs.len() as u32);
+    for &(t, v) in msgs {
+        b = b.u64(t).u64(v);
+    }
+    b.finish()
+}
+
+/// Decoded vertex-message payload: `(run, step, [(target, value)])`.
+pub type DecodedValues = (u64, u32, Vec<(VertexId, u64)>);
+
+/// Decode a VMSG frame.
+pub fn decode_vmsgs(frame: &Frame) -> Option<DecodedValues> {
+    let mut r = frame.reader();
+    let run = r.u64()?;
+    let step = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut msgs = Vec::with_capacity(n.min(r.remaining() / 16));
+    for _ in 0..n {
+        msgs.push((r.u64()?, r.u64()?));
+    }
+    Some((run, step, msgs))
+}
+
+/// Encode partial aggregates: `(run, step, [(vertex, agg)])`. Shares
+/// the VMSG payload shape under its own packet type.
+pub fn encode_partials(run: u64, step: u32, parts: &[(VertexId, u64)]) -> Frame {
+    let mut b = Frame::builder(packet::PARTIAL)
+        .u64(run)
+        .u32(step)
+        .u32(parts.len() as u32);
+    for &(t, v) in parts {
+        b = b.u64(t).u64(v);
+    }
+    b.finish()
+}
+
+/// Decode a PARTIAL frame (same payload as VMSG).
+pub fn decode_partials(frame: &Frame) -> Option<DecodedValues> {
+    let mut r = frame.reader();
+    let run = r.u64()?;
+    let step = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut parts = Vec::with_capacity(n.min(r.remaining() / 16));
+    for _ in 0..n {
+        parts.push((r.u64()?, r.u64()?));
+    }
+    Some((run, step, parts))
+}
+
+/// One state-broadcast record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateRecord {
+    /// The vertex.
+    pub vertex: VertexId,
+    /// Its new (encoded) state.
+    pub state: u64,
+    /// Its global out-degree.
+    pub out_degree: u64,
+    /// Whether it is active next superstep.
+    pub active: bool,
+}
+
+/// Encode state broadcasts.
+pub fn encode_states(run: u64, step: u32, recs: &[StateRecord]) -> Frame {
+    let mut b = Frame::builder(packet::STATE)
+        .u64(run)
+        .u32(step)
+        .u32(recs.len() as u32);
+    for rec in recs {
+        b = b
+            .u64(rec.vertex)
+            .u64(rec.state)
+            .u64(rec.out_degree)
+            .u8(rec.active as u8);
+    }
+    b.finish()
+}
+
+/// Decode a STATE frame.
+pub fn decode_states(frame: &Frame) -> Option<(u64, u32, Vec<StateRecord>)> {
+    let mut r = frame.reader();
+    let run = r.u64()?;
+    let step = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut recs = Vec::with_capacity(n.min(r.remaining() / 25));
+    for _ in 0..n {
+        recs.push(StateRecord {
+            vertex: r.u64()?,
+            state: r.u64()?,
+            out_degree: r.u64()?,
+            active: r.u8()? != 0,
+        });
+    }
+    Some((run, step, recs))
+}
+
+/// A barrier report from an agent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadyReport {
+    /// Reporting agent.
+    pub agent: AgentId,
+    /// Run id (0 when idle / migrating outside a run).
+    pub run: u64,
+    /// Superstep.
+    pub step: u32,
+    /// Phase the agent finished local work for.
+    pub phase: Phase,
+    /// Cumulative counters.
+    pub counters: Counters,
+    /// Vertices active for the next step (phase Apply only).
+    pub active: u64,
+    /// Program's global-reduce contribution (e.g. dangling PageRank
+    /// mass).
+    pub global_contrib: f64,
+    /// Vertices this agent is primary for.
+    pub n_primary: u64,
+}
+
+/// Encode a READY frame.
+pub fn encode_ready(r: &ReadyReport) -> Frame {
+    let b = Frame::builder(packet::READY)
+        .u64(r.agent)
+        .u64(r.run)
+        .u32(r.step)
+        .u8(r.phase as u8);
+    r.counters
+        .encode_into(b)
+        .u64(r.active)
+        .f64(r.global_contrib)
+        .u64(r.n_primary)
+        .finish()
+}
+
+/// Decode a READY frame.
+pub fn decode_ready(frame: &Frame) -> Option<ReadyReport> {
+    let mut r = frame.reader();
+    Some(ReadyReport {
+        agent: r.u64()?,
+        run: r.u64()?,
+        step: r.u32()?,
+        phase: Phase::from_u8(r.u8()?)?,
+        counters: Counters::decode(&mut r)?,
+        active: r.u64()?,
+        global_contrib: r.f64()?,
+        n_primary: r.u64()?,
+    })
+}
+
+/// A barrier advance broadcast by the directory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Advance {
+    /// Run id.
+    pub run: u64,
+    /// Superstep to execute.
+    pub step: u32,
+    /// Phase to execute.
+    pub phase: Phase,
+    /// Global vertex count.
+    pub n_vertices: u64,
+    /// Global reduce value (Σ `global_contrib`).
+    pub global: f64,
+    /// When set, the run is complete; `step`/`phase` are final.
+    pub done: bool,
+}
+
+/// Encode an ADVANCE frame.
+pub fn encode_advance(a: &Advance) -> Frame {
+    Frame::builder(packet::ADVANCE)
+        .u64(a.run)
+        .u32(a.step)
+        .u8(a.phase as u8)
+        .u64(a.n_vertices)
+        .f64(a.global)
+        .u8(a.done as u8)
+        .finish()
+}
+
+/// Decode an ADVANCE frame.
+pub fn decode_advance(frame: &Frame) -> Option<Advance> {
+    let mut r = frame.reader();
+    Some(Advance {
+        run: r.u64()?,
+        step: r.u32()?,
+        phase: Phase::from_u8(r.u8()?)?,
+        n_vertices: r.u64()?,
+        global: r.f64()?,
+        done: r.u8()? != 0,
+    })
+}
+
+/// Encode one migrated vertex-metadata record batch.
+pub fn encode_mig_meta(recs: &[MetaRecord]) -> Frame {
+    let mut b = Frame::builder(packet::MIG_META).u32(recs.len() as u32);
+    for m in recs {
+        b = b
+            .u64(m.vertex)
+            .u64(m.state)
+            .u64(m.out_degree)
+            .u8(m.active as u8)
+            .u8(m.dirty as u8)
+            .u8(m.has_state as u8);
+    }
+    b.finish()
+}
+
+/// Decode a MIG_META frame.
+pub fn decode_mig_meta(frame: &Frame) -> Option<Vec<MetaRecord>> {
+    let mut r = frame.reader();
+    let n = r.u32()? as usize;
+    let mut recs = Vec::with_capacity(n.min(r.remaining() / 27));
+    for _ in 0..n {
+        recs.push(MetaRecord {
+            vertex: r.u64()?,
+            state: r.u64()?,
+            out_degree: r.u64()?,
+            active: r.u8()? != 0,
+            dirty: r.u8()? != 0,
+            has_state: r.u8()? != 0,
+        });
+    }
+    Some(recs)
+}
+
+/// Primary-side vertex metadata moved during migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaRecord {
+    /// The vertex.
+    pub vertex: VertexId,
+    /// Encoded program state (meaningless when `has_state` is false).
+    pub state: u64,
+    /// Global out-degree accumulated at the primary.
+    pub out_degree: u64,
+    /// Active flag.
+    pub active: bool,
+    /// Touched by changes since the last run.
+    pub dirty: bool,
+    /// Whether `state` is initialized.
+    pub has_state: bool,
+}
+
+/// Encode degree deltas: `[(vertex, out_delta, in_delta)]` sent to each
+/// vertex's primary so it maintains global degrees, existence and the
+/// dirty flag.
+pub fn encode_deg_deltas(deltas: &[(VertexId, i64, i64)]) -> Frame {
+    let mut b = Frame::builder(packet::DEG_DELTA).u32(deltas.len() as u32);
+    for &(v, dout, din) in deltas {
+        b = b.u64(v).u64(dout as u64).u64(din as u64);
+    }
+    b.finish()
+}
+
+/// Decode a DEG_DELTA frame.
+pub fn decode_deg_deltas(frame: &Frame) -> Option<Vec<(VertexId, i64, i64)>> {
+    let mut r = frame.reader();
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(r.remaining() / 24));
+    for _ in 0..n {
+        out.push((r.u64()?, r.u64()? as i64, r.u64()? as i64));
+    }
+    Some(out)
+}
+
+/// Description of an in-progress run, handed to late-joining agents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunInfo {
+    /// Run identifier.
+    pub run_id: u64,
+    /// Program spec tag.
+    pub tag: u8,
+    /// Program spec params.
+    pub params: [u64; 3],
+    /// Whether state is reused (incremental run).
+    pub reuse_state: bool,
+    /// Async flag.
+    pub asynchronous: bool,
+}
+
+/// Encode a JOIN reply: the view plus an optional in-progress run.
+pub fn encode_join_reply(view: &DirectoryView, run: Option<&RunInfo>) -> Frame {
+    let mut b = Frame::builder(packet::JOIN_REP).bytes(view.encode().as_bytes());
+    match run {
+        None => b = b.u8(0),
+        Some(r) => {
+            b = b
+                .u8(1)
+                .u64(r.run_id)
+                .u8(r.tag)
+                .u64(r.params[0])
+                .u64(r.params[1])
+                .u64(r.params[2])
+                .u8(r.reuse_state as u8)
+                .u8(r.asynchronous as u8);
+        }
+    }
+    b.finish()
+}
+
+/// Decode a JOIN reply.
+pub fn decode_join_reply(frame: &Frame) -> Option<(DirectoryView, Option<RunInfo>)> {
+    let mut r = frame.reader();
+    let view_bytes = r.bytes()?.to_vec();
+    let view = DirectoryView::decode(&Frame::from_bytes(view_bytes.into()))?;
+    let run = match r.u8()? {
+        0 => None,
+        _ => Some(RunInfo {
+            run_id: r.u64()?,
+            tag: r.u8()?,
+            params: [r.u64()?, r.u64()?, r.u64()?],
+            reuse_state: r.u8()? != 0,
+            asynchronous: r.u8()? != 0,
+        }),
+    };
+    Some((view, run))
+}
+
+/// Encode a START request/broadcast.
+pub fn encode_start(run: &RunInfo) -> Frame {
+    Frame::builder(packet::START)
+        .u64(run.run_id)
+        .u8(run.tag)
+        .u64(run.params[0])
+        .u64(run.params[1])
+        .u64(run.params[2])
+        .u8(run.reuse_state as u8)
+        .u8(run.asynchronous as u8)
+        .finish()
+}
+
+/// Decode a START frame.
+pub fn decode_start(frame: &Frame) -> Option<RunInfo> {
+    let mut r = frame.reader();
+    Some(RunInfo {
+        run_id: r.u64()?,
+        tag: r.u8()?,
+        params: [r.u64()?, r.u64()?, r.u64()?],
+        reuse_state: r.u8()? != 0,
+        asynchronous: r.u8()? != 0,
+    })
+}
+
+/// Run status snapshot returned by the directory.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunStatus {
+    /// Run id (0 when none has run).
+    pub run_id: u64,
+    /// Whether a run is in progress.
+    pub running: bool,
+    /// Whether the last run completed.
+    pub done: bool,
+    /// Supersteps completed.
+    pub steps: u32,
+    /// Whether a migrate barrier is outstanding (elastic change or
+    /// sketch update still settling).
+    pub migrating: bool,
+    /// Per-superstep wall times in nanoseconds.
+    pub step_nanos: Vec<u64>,
+    /// Global vertex count at the last barrier.
+    pub n_vertices: u64,
+}
+
+/// Encode a RUN_STATUS reply.
+pub fn encode_run_status(s: &RunStatus) -> Frame {
+    let mut b = Frame::builder(packet::RUN_STATUS_REP)
+        .u64(s.run_id)
+        .u8(s.running as u8)
+        .u8(s.done as u8)
+        .u8(s.migrating as u8)
+        .u32(s.steps)
+        .u64(s.n_vertices)
+        .u32(s.step_nanos.len() as u32);
+    for &ns in &s.step_nanos {
+        b = b.u64(ns);
+    }
+    b.finish()
+}
+
+/// Decode a RUN_STATUS reply.
+pub fn decode_run_status(frame: &Frame) -> Option<RunStatus> {
+    let mut r = frame.reader();
+    let run_id = r.u64()?;
+    let running = r.u8()? != 0;
+    let done = r.u8()? != 0;
+    let migrating = r.u8()? != 0;
+    let steps = r.u32()?;
+    let n_vertices = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut step_nanos = Vec::with_capacity(n.min(r.remaining() / 8));
+    for _ in 0..n {
+        step_nanos.push(r.u64()?);
+    }
+    Some(RunStatus {
+        run_id,
+        running,
+        done,
+        migrating,
+        steps,
+        step_nanos,
+        n_vertices,
+    })
+}
+
+/// Encode a RESET_LABELS broadcast (incremental WCC deletion support).
+pub fn encode_reset_labels(labels: &[u64]) -> Frame {
+    let mut b = Frame::builder(packet::RESET_LABELS).u32(labels.len() as u32);
+    for &l in labels {
+        b = b.u64(l);
+    }
+    b.finish()
+}
+
+/// Decode a RESET_LABELS frame.
+pub fn decode_reset_labels(frame: &Frame) -> Option<Vec<u64>> {
+    let mut r = frame.reader();
+    let n = r.u32()? as usize;
+    let mut labels = Vec::with_capacity(n.min(r.remaining() / 8));
+    for _ in 0..n {
+        labels.push(r.u64()?);
+    }
+    Some(labels)
+}
+
+/// Encode a sketch delta (request to the lead directory; the reply is
+/// the refreshed VIEW).
+pub fn encode_sketch_delta(sketch: &CountMinSketch) -> Frame {
+    let mut raw = Vec::with_capacity(sketch.width() * sketch.depth() * 4);
+    for row in 0..sketch.depth() {
+        for col in 0..sketch.width() {
+            raw.extend_from_slice(&sketch.cell(row, col).to_le_bytes());
+        }
+    }
+    Frame::builder(packet::SKETCH_DELTA)
+        .u32(sketch.width() as u32)
+        .u32(sketch.depth() as u32)
+        .u64(sketch.items())
+        .bytes(&raw)
+        .finish()
+}
+
+/// Decode a SKETCH_DELTA frame.
+pub fn decode_sketch_delta(frame: &Frame) -> Option<CountMinSketch> {
+    let mut r = frame.reader();
+    let width = r.u32()? as usize;
+    let depth = r.u32()? as usize;
+    let items = r.u64()?;
+    let raw = r.bytes()?;
+    let expected = width.checked_mul(depth).and_then(|x| x.checked_mul(4))?;
+    if raw.len() != expected {
+        return None;
+    }
+    let cells: Vec<u32> = raw
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    CountMinSketch::from_parts(width, depth, cells, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_view() -> DirectoryView {
+        let mut sketch = CountMinSketch::new(32, 3);
+        sketch.inc(5);
+        sketch.add(6, 7);
+        DirectoryView {
+            epoch: 42,
+            batch_id: 7,
+            n_vertices: 1000,
+            agents: vec![
+                AgentInfo {
+                    id: 1,
+                    addr: Addr::inproc("agent-1"),
+                },
+                AgentInfo {
+                    id: 9,
+                    addr: Addr::parse("tcp://127.0.0.1:7001").unwrap(),
+                },
+            ],
+            sketch,
+            hash: HashKind::Wang,
+            virtual_agents: 100,
+            replication_threshold: 4096,
+            max_replicas: 16,
+        }
+    }
+
+    #[test]
+    fn view_roundtrip() {
+        let v = sample_view();
+        let decoded = DirectoryView::decode(&v.encode()).unwrap();
+        assert_eq!(decoded.epoch, 42);
+        assert_eq!(decoded.batch_id, 7);
+        assert_eq!(decoded.n_vertices, 1000);
+        assert_eq!(decoded.agents, v.agents);
+        assert_eq!(decoded.sketch, v.sketch);
+        assert_eq!(decoded.hash, HashKind::Wang);
+        assert_eq!(decoded.degree_estimate(6), 7);
+    }
+
+    #[test]
+    fn view_locator_places_edges() {
+        let v = sample_view();
+        let loc = v.locator();
+        assert_eq!(loc.ring().len(), 2);
+        let owner = loc.owner_of_edge(1, 2, 0).unwrap();
+        assert!(owner == 1 || owner == 9);
+        assert_eq!(v.addr_of(1), Some(&Addr::inproc("agent-1")));
+        assert_eq!(v.addr_of(99), None);
+    }
+
+    #[test]
+    fn view_decode_rejects_other_packets() {
+        assert!(DirectoryView::decode(&Frame::signal(packet::OK)).is_none());
+    }
+
+    #[test]
+    fn edge_changes_roundtrip() {
+        let changes = vec![EdgeChange::insert(1, 2), EdgeChange::delete(3, 4)];
+        let f = encode_edge_changes(Side::In, 2, &changes);
+        let (side, hop, got) = decode_edge_changes(&f).unwrap();
+        assert_eq!(side, Side::In);
+        assert_eq!(hop, 2);
+        assert_eq!(got, changes);
+    }
+
+    #[test]
+    fn vmsg_and_partial_roundtrip() {
+        let msgs = vec![(10u64, 0.5f64.to_bits()), (11, 7)];
+        let f = encode_vmsgs(3, 4, &msgs);
+        assert_eq!(decode_vmsgs(&f).unwrap(), (3, 4, msgs.clone()));
+        let f = encode_partials(3, 4, &msgs);
+        assert_eq!(decode_partials(&f).unwrap(), (3, 4, msgs));
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let recs = vec![StateRecord {
+            vertex: 8,
+            state: 0.25f64.to_bits(),
+            out_degree: 12,
+            active: true,
+        }];
+        let f = encode_states(1, 2, &recs);
+        assert_eq!(decode_states(&f).unwrap(), (1, 2, recs));
+    }
+
+    #[test]
+    fn ready_advance_roundtrip() {
+        let rep = ReadyReport {
+            agent: 5,
+            run: 2,
+            step: 9,
+            phase: Phase::Combine,
+            counters: Counters {
+                vmsg_sent: 10,
+                vmsg_recv: 10,
+                part_sent: 3,
+                part_recv: 2,
+                ..Counters::default()
+            },
+            active: 4,
+            global_contrib: 0.125,
+            n_primary: 77,
+        };
+        assert_eq!(decode_ready(&encode_ready(&rep)).unwrap(), rep);
+
+        let adv = Advance {
+            run: 2,
+            step: 9,
+            phase: Phase::Apply,
+            n_vertices: 100,
+            global: 1.5,
+            done: false,
+        };
+        assert_eq!(decode_advance(&encode_advance(&adv)).unwrap(), adv);
+    }
+
+    #[test]
+    fn counters_settled_and_add() {
+        let a = Counters {
+            vmsg_sent: 5,
+            vmsg_recv: 2,
+            ..Counters::default()
+        };
+        let b = Counters {
+            vmsg_recv: 3,
+            ..Counters::default()
+        };
+        assert!(!a.settled());
+        assert!(a.add(&b).settled());
+        assert!(Counters::default().settled());
+    }
+
+    #[test]
+    fn mig_meta_roundtrip() {
+        let recs = vec![MetaRecord {
+            vertex: 3,
+            state: 99,
+            out_degree: 4,
+            active: true,
+            dirty: false,
+            has_state: true,
+        }];
+        assert_eq!(decode_mig_meta(&encode_mig_meta(&recs)).unwrap(), recs);
+    }
+
+    #[test]
+    fn phase_wire_codes_roundtrip() {
+        for p in [Phase::Scatter, Phase::Combine, Phase::Apply, Phase::Migrate] {
+            assert_eq!(Phase::from_u8(p as u8), Some(p));
+        }
+        assert_eq!(Phase::from_u8(99), None);
+    }
+
+    #[test]
+    fn deg_delta_roundtrip_with_negatives() {
+        let deltas = vec![(5u64, -2i64, 3i64), (9, 1, -1)];
+        assert_eq!(decode_deg_deltas(&encode_deg_deltas(&deltas)).unwrap(), deltas);
+    }
+
+    #[test]
+    fn join_reply_roundtrip() {
+        let view = sample_view();
+        let run = RunInfo {
+            run_id: 3,
+            tag: 0,
+            params: [1, 2, 3],
+            reuse_state: true,
+            asynchronous: false,
+        };
+        let (v2, r2) = decode_join_reply(&encode_join_reply(&view, Some(&run))).unwrap();
+        assert_eq!(v2.epoch, view.epoch);
+        assert_eq!(r2, Some(run));
+        let (_, none) = decode_join_reply(&encode_join_reply(&view, None)).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn start_and_status_roundtrip() {
+        let run = RunInfo {
+            run_id: 9,
+            tag: 1,
+            params: [0, 0, 0],
+            reuse_state: false,
+            asynchronous: true,
+        };
+        assert_eq!(decode_start(&encode_start(&run)).unwrap(), run);
+
+        let status = RunStatus {
+            run_id: 9,
+            running: false,
+            done: true,
+            migrating: true,
+            steps: 4,
+            step_nanos: vec![100, 200, 300, 400],
+            n_vertices: 55,
+        };
+        assert_eq!(decode_run_status(&encode_run_status(&status)).unwrap(), status);
+    }
+
+    #[test]
+    fn reset_labels_roundtrip() {
+        let labels = vec![1u64, 5, 1 << 40];
+        assert_eq!(
+            decode_reset_labels(&encode_reset_labels(&labels)).unwrap(),
+            labels
+        );
+    }
+
+    #[test]
+    fn sketch_delta_roundtrip() {
+        let mut s = CountMinSketch::new(16, 2);
+        s.add(3, 9);
+        let back = decode_sketch_delta(&encode_sketch_delta(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn truncated_frames_decode_to_none() {
+        let f = Frame::builder(packet::READY).u64(1).finish();
+        assert!(decode_ready(&f).is_none());
+        let f = Frame::builder(packet::VMSG).u64(1).u32(0).u32(5).finish();
+        assert!(decode_vmsgs(&f).is_none());
+    }
+}

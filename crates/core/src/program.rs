@@ -1,0 +1,409 @@
+//! The locally persistent vertex-centric programming model (paper
+//! §3.2).
+//!
+//! Programs run "from the perspective of a vertex": they hold per-
+//! vertex state, receive aggregated messages from neighbors, and send
+//! messages along edges. ElGA executes them either synchronously
+//! (bulk-synchronous supersteps coordinated through the directory,
+//! Figure 2) or asynchronously (vertices are processed the moment all
+//! outstanding updates arrive).
+//!
+//! State, messages and aggregates are all encoded as `u64` words —
+//! every algorithm the paper evaluates (PageRank, WCC) and the
+//! extension algorithms (BFS, SSSP, degree) carry one scalar per
+//! vertex, and a fixed-width encoding keeps agents monomorphic and the
+//! wire format copy-through (§3.5). `f64` state (PageRank) is stored
+//! via `to_bits`/`from_bits`.
+
+use elga_graph::types::VertexId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Synchronous (BSP) or asynchronous execution (§2.1, §3.4: "In ElGA's
+/// asynchronous mode, vertices are individually processed when they no
+/// longer have any outstanding updates").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Bulk-synchronous supersteps with directory barriers.
+    #[default]
+    Sync,
+    /// Event-driven processing; requires a monotone (idempotent,
+    /// commutative) program such as WCC/BFS/SSSP.
+    Async,
+}
+
+/// Per-vertex execution context.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VertexCtx {
+    /// The vertex's *global* out-degree (summed over replicas,
+    /// maintained by its primary).
+    pub out_degree: u64,
+    /// The vertex's global in-degree. Authoritative at the primary
+    /// (apply/init); zero in replica-side scatter contexts.
+    pub in_degree: u64,
+    /// Current global vertex count.
+    pub n_vertices: u64,
+    /// Current superstep (0 = initialization).
+    pub step: u32,
+    /// Global reduce value from the current step's reports (e.g.
+    /// PageRank's dangling mass).
+    pub global: f64,
+}
+
+/// A vertex-centric program. All values are `u64`-encoded.
+pub trait VertexProgram: Send + Sync {
+    /// Program name (diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Whether the program tolerates asynchronous execution.
+    fn supports_async(&self) -> bool {
+        false
+    }
+
+    /// Initial state of vertex `v`.
+    fn init(&self, v: VertexId, ctx: &VertexCtx) -> u64;
+
+    /// Identity element of [`VertexProgram::combine`].
+    fn identity(&self) -> u64;
+
+    /// Commutative, associative combination of two message values.
+    fn combine(&self, a: u64, b: u64) -> u64;
+
+    /// Compute the new state from the old state and the aggregate of
+    /// this step's messages (`None` when no messages arrived). Returns
+    /// `(new_state, changed)`; `changed` keeps the vertex active.
+    fn apply(&self, v: VertexId, state: u64, agg: Option<u64>, ctx: &VertexCtx) -> (u64, bool);
+
+    /// Value sent along each out-edge of an active vertex, or `None`
+    /// to send nothing.
+    fn scatter_out(&self, v: VertexId, state: u64, ctx: &VertexCtx) -> Option<u64>;
+
+    /// Value sent along each *in*-edge (reverse direction); WCC sends
+    /// "to both in- and out-neighbors" (§4.3).
+    fn scatter_in(&self, _v: VertexId, _state: u64, _ctx: &VertexCtx) -> Option<u64> {
+        None
+    }
+
+    /// Per-edge transform of a scattered value (e.g. SSSP adds the
+    /// edge weight).
+    fn along_edge(&self, _from: VertexId, _to: VertexId, value: u64) -> u64 {
+        value
+    }
+
+    /// When true, every vertex applies each superstep even without
+    /// incoming messages (PageRank); otherwise only message receivers
+    /// apply (WCC/BFS).
+    fn applies_without_messages(&self) -> bool {
+        false
+    }
+
+    /// Whether `v` starts active on a fresh (non-incremental) run.
+    fn initially_active(&self, _v: VertexId) -> bool {
+        true
+    }
+
+    /// Degree-aware variant of [`VertexProgram::initially_active`],
+    /// evaluated at the primary with authoritative degrees. Defaults to
+    /// the degree-blind answer.
+    fn initially_active_ctx(&self, v: VertexId, _ctx: &VertexCtx) -> bool {
+        self.initially_active(v)
+    }
+
+    /// §3.2 waiting sets, asynchronous mode only: the number of
+    /// neighbor messages `v` must collect before it is processed ("it
+    /// places itself in the waiting set for that vertex ... When a
+    /// vertex is no longer waiting on any messages, it enters an
+    /// active state and can be processed again"). Zero (default)
+    /// processes on every message. Ignored in synchronous mode, where
+    /// the superstep barrier already delivers all messages at once.
+    fn waits_for(&self, _v: VertexId, _ctx: &VertexCtx) -> u64 {
+        0
+    }
+
+    /// Per-vertex contribution to the global reduce, evaluated at
+    /// scatter time (e.g. PageRank dangling mass).
+    fn global_contrib(&self, _v: VertexId, _state: u64, _ctx: &VertexCtx) -> f64 {
+        0.0
+    }
+
+    /// When true, *every* vertex scatters each superstep regardless of
+    /// its active flag. Sum-aggregating programs (PageRank) need this:
+    /// an apply must see contributions from all in-neighbors, not only
+    /// the recently changed ones. Min-propagating programs leave it
+    /// false and scatter only updated values (§4.3: WCC "only sends
+    /// updated minimums").
+    fn scatter_all(&self) -> bool {
+        false
+    }
+
+    /// Superstep bound; `None` runs to convergence (empty active set).
+    fn max_steps(&self) -> Option<u32> {
+        None
+    }
+}
+
+/// Registry for [`ProgramSpec::Custom`] programs: specs travel the wire
+/// as tokens and resolve through this in-process table (real
+/// deployments distribute algorithm code in the binary, exactly like
+/// the paper's C++ system).
+static CUSTOM_REGISTRY: Mutex<Option<HashMap<u64, Arc<dyn VertexProgram>>>> = Mutex::new(None);
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+fn register_custom(p: Arc<dyn VertexProgram>) -> u64 {
+    let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+    CUSTOM_REGISTRY
+        .lock()
+        .get_or_insert_with(HashMap::new)
+        .insert(token, p);
+    token
+}
+
+fn lookup_custom(token: u64) -> Option<Arc<dyn VertexProgram>> {
+    CUSTOM_REGISTRY.lock().as_ref()?.get(&token).cloned()
+}
+
+/// Serializable description of the program a run executes. Built-in
+/// algorithms carry parameters by value; [`ProgramSpec::Custom`] wraps
+/// any user [`VertexProgram`].
+#[derive(Clone)]
+pub enum ProgramSpec {
+    /// PageRank with damping factor, an iteration bound, and an
+    /// optional convergence tolerance (0 = run all iterations).
+    PageRank {
+        /// Damping factor (paper uses 0.85).
+        damping: f64,
+        /// Superstep bound.
+        max_iters: u32,
+        /// L∞ convergence tolerance; 0 disables early termination.
+        tolerance: f64,
+    },
+    /// Weakly connected components via min-label propagation.
+    Wcc,
+    /// Unweighted BFS distances from a source.
+    Bfs {
+        /// Source vertex.
+        source: VertexId,
+    },
+    /// SSSP over deterministic hash weights (see
+    /// `elga_graph::reference::edge_weight`).
+    Sssp {
+        /// Source vertex.
+        source: VertexId,
+    },
+    /// Each vertex's total degree (one superstep; smoke-test program).
+    Degree,
+    /// DAG levels via §3.2 waiting sets (async mode).
+    DagLevel,
+    /// Personalized PageRank with restart at a source.
+    Ppr {
+        /// Restart vertex.
+        source: VertexId,
+        /// Damping factor.
+        damping: f64,
+        /// Superstep bound.
+        max_iters: u32,
+    },
+    /// Any user-supplied program (in-process only).
+    Custom(Arc<dyn VertexProgram>),
+}
+
+impl std::fmt::Debug for ProgramSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramSpec::PageRank {
+                damping,
+                max_iters,
+                tolerance,
+            } => f
+                .debug_struct("PageRank")
+                .field("damping", damping)
+                .field("max_iters", max_iters)
+                .field("tolerance", tolerance)
+                .finish(),
+            ProgramSpec::Wcc => write!(f, "Wcc"),
+            ProgramSpec::Bfs { source } => write!(f, "Bfs({source})"),
+            ProgramSpec::Sssp { source } => write!(f, "Sssp({source})"),
+            ProgramSpec::Degree => write!(f, "Degree"),
+            ProgramSpec::DagLevel => write!(f, "DagLevel"),
+            ProgramSpec::Ppr {
+                source,
+                damping,
+                max_iters,
+            } => write!(f, "Ppr(src={source}, d={damping}, iters={max_iters})"),
+            ProgramSpec::Custom(p) => write!(f, "Custom({})", p.name()),
+        }
+    }
+}
+
+impl ProgramSpec {
+    /// Build the executable program.
+    pub fn instantiate(&self) -> Arc<dyn VertexProgram> {
+        use crate::algorithms;
+        match self {
+            ProgramSpec::PageRank {
+                damping,
+                max_iters,
+                tolerance,
+            } => Arc::new(
+                algorithms::PageRank::new(*damping)
+                    .with_max_iters(*max_iters)
+                    .with_tolerance(*tolerance),
+            ),
+            ProgramSpec::Wcc => Arc::new(algorithms::Wcc::new()),
+            ProgramSpec::Bfs { source } => Arc::new(algorithms::Bfs::new(*source)),
+            ProgramSpec::Sssp { source } => Arc::new(algorithms::Sssp::new(*source)),
+            ProgramSpec::Degree => Arc::new(algorithms::Degree::new()),
+            ProgramSpec::DagLevel => Arc::new(algorithms::DagLevel::new()),
+            ProgramSpec::Ppr {
+                source,
+                damping,
+                max_iters,
+            } => Arc::new(algorithms::Ppr::new(*source, *damping).with_max_iters(*max_iters)),
+            ProgramSpec::Custom(p) => p.clone(),
+        }
+    }
+
+    /// Encode into `(tag, params)` wire fields.
+    pub fn encode(&self) -> (u8, [u64; 3]) {
+        match self {
+            ProgramSpec::PageRank {
+                damping,
+                max_iters,
+                tolerance,
+            } => (
+                0,
+                [damping.to_bits(), u64::from(*max_iters), tolerance.to_bits()],
+            ),
+            ProgramSpec::Wcc => (1, [0, 0, 0]),
+            ProgramSpec::Bfs { source } => (2, [*source, 0, 0]),
+            ProgramSpec::Sssp { source } => (3, [*source, 0, 0]),
+            ProgramSpec::Degree => (4, [0, 0, 0]),
+            ProgramSpec::Custom(p) => (5, [register_custom(p.clone()), 0, 0]),
+            ProgramSpec::DagLevel => (6, [0, 0, 0]),
+            ProgramSpec::Ppr {
+                source,
+                damping,
+                max_iters,
+            } => (7, [*source, damping.to_bits(), u64::from(*max_iters)]),
+        }
+    }
+
+    /// Decode from wire fields.
+    pub fn decode(tag: u8, params: [u64; 3]) -> Option<ProgramSpec> {
+        Some(match tag {
+            0 => ProgramSpec::PageRank {
+                damping: f64::from_bits(params[0]),
+                max_iters: params[1] as u32,
+                tolerance: f64::from_bits(params[2]),
+            },
+            1 => ProgramSpec::Wcc,
+            2 => ProgramSpec::Bfs { source: params[0] },
+            3 => ProgramSpec::Sssp { source: params[0] },
+            4 => ProgramSpec::Degree,
+            5 => ProgramSpec::Custom(lookup_custom(params[0])?),
+            6 => ProgramSpec::DagLevel,
+            7 => ProgramSpec::Ppr {
+                source: params[0],
+                damping: f64::from_bits(params[1]),
+                max_iters: params[2] as u32,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Options controlling a single run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Reuse state from the previous run and activate only vertices
+    /// touched by intervening batches (Definition 2.5's dynamic
+    /// algorithm). When false, all state is re-initialized.
+    pub reuse_state: bool,
+    /// Execution mode.
+    pub mode: ExecutionMode,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            reuse_state: false,
+            mode: ExecutionMode::Sync,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_specs_roundtrip_the_wire() {
+        let specs = [
+            ProgramSpec::PageRank {
+                damping: 0.85,
+                max_iters: 30,
+                tolerance: 1e-9,
+            },
+            ProgramSpec::Wcc,
+            ProgramSpec::Bfs { source: 7 },
+            ProgramSpec::Sssp { source: 8 },
+            ProgramSpec::Degree,
+            ProgramSpec::DagLevel,
+            ProgramSpec::Ppr {
+                source: 4,
+                damping: 0.85,
+                max_iters: 12,
+            },
+        ];
+        for spec in specs {
+            let (tag, params) = spec.encode();
+            let back = ProgramSpec::decode(tag, params).unwrap();
+            assert_eq!(format!("{spec:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn custom_specs_resolve_through_registry() {
+        struct Noop;
+        impl VertexProgram for Noop {
+            fn name(&self) -> &'static str {
+                "noop"
+            }
+            fn init(&self, _: VertexId, _: &VertexCtx) -> u64 {
+                0
+            }
+            fn identity(&self) -> u64 {
+                0
+            }
+            fn combine(&self, a: u64, _b: u64) -> u64 {
+                a
+            }
+            fn apply(&self, _: VertexId, s: u64, _: Option<u64>, _: &VertexCtx) -> (u64, bool) {
+                (s, false)
+            }
+            fn scatter_out(&self, _: VertexId, _: u64, _: &VertexCtx) -> Option<u64> {
+                None
+            }
+        }
+        let spec = ProgramSpec::Custom(Arc::new(Noop));
+        let (tag, params) = spec.encode();
+        assert_eq!(tag, 5);
+        let back = ProgramSpec::decode(tag, params).unwrap();
+        assert_eq!(back.instantiate().name(), "noop");
+    }
+
+    #[test]
+    fn unknown_tag_decodes_to_none() {
+        assert!(ProgramSpec::decode(250, [0, 0, 0]).is_none());
+        assert!(ProgramSpec::decode(5, [u64::MAX, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn run_options_default_is_fresh_sync() {
+        let o = RunOptions::default();
+        assert!(!o.reuse_state);
+        assert_eq!(o.mode, ExecutionMode::Sync);
+    }
+}

@@ -1,0 +1,152 @@
+//! Streamers: the entities that feed graph changes into ElGA (paper
+//! §3.1: "Streamers send graph updates to Agents").
+//!
+//! A streamer batches a turnstile change stream, first pushing its
+//! local count-min-sketch delta to the directory (which folds it into
+//! the broadcast view — the constant-size global state that drives
+//! replication decisions), then routing each change to *both* of its
+//! placements: the out-edge record to `owner(src, dst)` and the
+//! in-edge record to `owner(dst, src)` (Figure 3).
+
+use crate::config::SystemConfig;
+use crate::msg::{self, packet, DirectoryView, Side};
+use elga_graph::types::EdgeChange;
+use elga_hash::{AgentId, EdgeLocator, FxHashMap};
+use elga_net::{Addr, Frame, NetError, Outbox, Transport};
+use elga_sketch::DegreeEstimator;
+use std::sync::Arc;
+
+/// Records per EDGE_CHANGES frame.
+const BATCH: usize = 4096;
+
+/// A streaming ingest client.
+pub struct Streamer {
+    transport: Arc<dyn Transport>,
+    cfg: SystemConfig,
+    directory: Addr,
+    view: DirectoryView,
+    locator: EdgeLocator,
+    outboxes: FxHashMap<AgentId, Outbox>,
+}
+
+impl Streamer {
+    /// Connect to the system through a directory address.
+    pub fn connect(
+        transport: Arc<dyn Transport>,
+        cfg: SystemConfig,
+        directory: Addr,
+    ) -> Result<Streamer, NetError> {
+        let rep = transport.request(
+            &directory,
+            Frame::signal(packet::GET_VIEW),
+            cfg.request_timeout,
+        )?;
+        let view = DirectoryView::decode(&rep).ok_or(NetError::Protocol("bad view"))?;
+        let locator = view.locator();
+        Ok(Streamer {
+            transport,
+            cfg,
+            directory,
+            view,
+            locator,
+            outboxes: FxHashMap::default(),
+        })
+    }
+
+    /// The streamer's current view of the system.
+    pub fn view(&self) -> &DirectoryView {
+        &self.view
+    }
+
+    /// Refresh the view from the directory.
+    pub fn refresh(&mut self) -> Result<(), NetError> {
+        let rep = self.transport.request(
+            &self.directory,
+            Frame::signal(packet::GET_VIEW),
+            self.cfg.request_timeout,
+        )?;
+        self.adopt(DirectoryView::decode(&rep).ok_or(NetError::Protocol("bad view"))?);
+        Ok(())
+    }
+
+    fn adopt(&mut self, view: DirectoryView) {
+        if view.epoch >= self.view.epoch {
+            self.view = view;
+            self.locator = self.view.locator();
+            self.outboxes.clear();
+        }
+    }
+
+    fn outbox(&mut self, agent: AgentId) -> Option<&Outbox> {
+        if !self.outboxes.contains_key(&agent) {
+            let addr = self.view.addr_of(agent)?.clone();
+            match self.transport.sender(&addr) {
+                Ok(out) => {
+                    self.outboxes.insert(agent, out);
+                }
+                Err(_) => return None,
+            }
+        }
+        self.outboxes.get(&agent)
+    }
+
+    /// Send one batch of changes: update the global sketch, adopt the
+    /// refreshed view, and route every change to both placements.
+    /// Returns the number of change records pushed (2× the batch size:
+    /// one out-placement and one in-placement each).
+    pub fn send_batch(&mut self, changes: &[EdgeChange]) -> Result<usize, NetError> {
+        if changes.is_empty() {
+            return Ok(0);
+        }
+        // 1. Degree counting: insertions grow the sketch (deletions
+        //    leave it in place — count-min never decrements, keeping
+        //    the estimate an upper bound; §2.4).
+        let mut delta =
+            DegreeEstimator::new(self.view.sketch.width(), self.view.sketch.depth());
+        for c in changes {
+            if c.is_insert() {
+                delta.record_edge(c.edge.src, c.edge.dst);
+            }
+        }
+        let rep = self.transport.request(
+            &self.directory,
+            msg::encode_sketch_delta(delta.sketch()),
+            self.cfg.request_timeout,
+        )?;
+        if let Some(view) = DirectoryView::decode(&rep) {
+            self.adopt(view);
+        }
+
+        // 2. Route each change to its two placements.
+        let mut out_batches: FxHashMap<AgentId, Vec<EdgeChange>> = FxHashMap::default();
+        let mut in_batches: FxHashMap<AgentId, Vec<EdgeChange>> = FxHashMap::default();
+        for &c in changes {
+            let (u, v) = (c.edge.src, c.edge.dst);
+            if let Some(owner) = self
+                .locator
+                .owner_of_edge(u, v, self.view.sketch.estimate(u))
+            {
+                out_batches.entry(owner).or_default().push(c);
+            }
+            if let Some(owner) = self
+                .locator
+                .owner_of_edge(v, u, self.view.sketch.estimate(v))
+            {
+                in_batches.entry(owner).or_default().push(c);
+            }
+        }
+        let mut pushed = 0;
+        for (side, batches) in [(Side::Out, out_batches), (Side::In, in_batches)] {
+            for (agent, recs) in batches {
+                for chunk in recs.chunks(BATCH) {
+                    pushed += chunk.len();
+                    let frame = msg::encode_edge_changes(side, 0, chunk);
+                    if let Some(out) = self.outbox(agent) {
+                        let _ = out.send(frame);
+                    }
+                }
+            }
+        }
+        Ok(pushed)
+    }
+}

@@ -1,0 +1,558 @@
+//! End-to-end tests of the full ElGA system: master + directories +
+//! agents on threads, exchanging only messages. Every algorithm result
+//! is validated against the single-threaded references in
+//! `elga_graph::reference`, as in the paper's §4.3 methodology.
+
+use elga_core::algorithms::{Bfs, Degree, PageRank, Sssp, Wcc};
+use elga_core::cluster::Cluster;
+use elga_core::config::SystemConfig;
+use elga_core::program::{ExecutionMode, RunOptions};
+use elga_graph::csr::Csr;
+use elga_graph::reference;
+use elga_graph::types::EdgeChange;
+
+fn small_graph() -> Vec<(u64, u64)> {
+    // Two weakly-connected components with a hub.
+    vec![
+        (0, 1),
+        (1, 2),
+        (2, 0),
+        (2, 3),
+        (3, 4),
+        (4, 2),
+        (0, 3),
+        // second component
+        (10, 11),
+        (11, 12),
+    ]
+}
+
+#[test]
+fn degree_program_reports_out_degrees() {
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(small_graph());
+    cluster.run(Degree::new()).unwrap();
+    assert_eq!(cluster.query_u64(0), Some(2));
+    assert_eq!(cluster.query_u64(2), Some(2));
+    assert_eq!(cluster.query_u64(4), Some(1));
+    assert_eq!(cluster.query_u64(12), Some(0));
+    assert_eq!(cluster.query_u64(999), None, "unknown vertex");
+    cluster.shutdown();
+}
+
+#[test]
+fn pagerank_matches_reference_to_1e8() {
+    let edges = small_graph();
+    let mut cluster = Cluster::builder().agents(4).build();
+    cluster.ingest_edges(edges.iter().copied());
+    let stats = cluster
+        .run(PageRank::new(0.85).with_max_iters(30))
+        .unwrap();
+    assert_eq!(stats.steps, 30);
+
+    // Reference over densely relabeled ids.
+    let mut ids: Vec<u64> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let dense: std::collections::HashMap<u64, u64> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u64))
+        .collect();
+    let dense_edges: Vec<(u64, u64)> = edges
+        .iter()
+        .map(|&(u, v)| (dense[&u], dense[&v]))
+        .collect();
+    let csr = Csr::from_edges(Some(ids.len()), &dense_edges);
+    let expect = reference::pagerank(&csr, 0.85, 30);
+
+    for &v in &ids {
+        let got = cluster.query_f64(v).expect("rank");
+        let want = expect[dense[&v] as usize];
+        assert!(
+            (got - want).abs() < reference::PAGERANK_TOLERANCE,
+            "vertex {v}: got {got}, want {want}"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn wcc_matches_union_find() {
+    let edges = small_graph();
+    let mut cluster = Cluster::builder().agents(4).build();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster.run(Wcc::new()).unwrap();
+    let expect = reference::wcc(edges.iter().copied());
+    for (&v, &label) in &expect {
+        assert_eq!(cluster.query_u64(v), Some(label), "vertex {v}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn bfs_and_sssp_match_references() {
+    let edges = small_graph();
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(edges.iter().copied());
+    let csr = Csr::from_edges(None, &edges);
+
+    cluster.run(Bfs::new(0)).unwrap();
+    let expect = reference::bfs(&csr, 0);
+    for (&v, &d) in &expect {
+        assert_eq!(cluster.query_u64(v).and_then(Bfs::decode), Some(d));
+    }
+    // Unreached component.
+    assert_eq!(cluster.query_u64(10).and_then(Bfs::decode), None);
+
+    cluster.run(Sssp::new(0)).unwrap();
+    let expect = reference::sssp(&csr, 0);
+    for (&v, &d) in &expect {
+        assert_eq!(cluster.query_u64(v).and_then(Sssp::decode), Some(d));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn replication_splits_hubs_and_stays_correct() {
+    // Tiny replication threshold: the hub is split across agents.
+    let mut hub_edges: Vec<(u64, u64)> = (1..=40).map(|i| (0, i)).collect();
+    hub_edges.extend((1..=40).map(|i| (i, (i % 40) + 1)));
+    let cfg = SystemConfig {
+        replication_threshold: 8,
+        ..SystemConfig::default()
+    };
+    let mut cluster = Cluster::builder().agents(4).config(cfg).build();
+    cluster.ingest_edges(hub_edges.iter().copied());
+
+    // The view's sketch must see the hub as high degree.
+    let view = cluster.view();
+    assert!(view.degree_estimate(0) >= 40, "hub degree underestimated");
+    let loc = view.locator();
+    assert!(
+        loc.replication_factor(view.degree_estimate(0)) > 1,
+        "hub should be replicated"
+    );
+
+    cluster.run(Wcc::new()).unwrap();
+    let expect = reference::wcc(hub_edges.iter().copied());
+    for (&v, &label) in &expect {
+        assert_eq!(cluster.query_u64(v), Some(label), "vertex {v}");
+    }
+
+    cluster.run(PageRank::new(0.85).with_max_iters(10)).unwrap();
+    let total: f64 = (0..=40).map(|v| cluster.query_f64(v).unwrap()).sum();
+    assert!((total - 1.0).abs() < 1e-6, "rank mass {total}");
+    cluster.shutdown();
+}
+
+#[test]
+fn incremental_wcc_reuses_state() {
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges([(1, 2), (2, 3), (10, 11)]);
+    cluster.run(Wcc::new()).unwrap();
+    assert_eq!(cluster.query_u64(11), Some(10));
+
+    // Insert a bridging edge; only touched vertices activate.
+    cluster.ingest([EdgeChange::insert(3, 10)]);
+    let stats = cluster
+        .run_with(
+            Wcc::new(),
+            RunOptions {
+                reuse_state: true,
+                mode: ExecutionMode::Sync,
+            },
+        )
+        .unwrap();
+    assert_eq!(cluster.query_u64(11), Some(1), "components merged");
+    assert_eq!(cluster.query_u64(10), Some(1));
+    assert_eq!(cluster.query_u64(1), Some(1));
+    assert!(stats.steps >= 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn incremental_wcc_handles_deletions_via_label_reset() {
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges([(1, 2), (2, 3), (3, 4)]);
+    cluster.run(Wcc::new()).unwrap();
+    assert_eq!(cluster.query_u64(4), Some(1));
+
+    // Cut the chain: delete (2,3). Labels of the affected component
+    // reset, then an incremental run recomputes.
+    let old_label = cluster.query_u64(2).unwrap();
+    cluster.ingest([EdgeChange::delete(2, 3)]);
+    cluster.reset_labels(&[old_label]);
+    cluster
+        .run_with(
+            Wcc::new(),
+            RunOptions {
+                reuse_state: true,
+                mode: ExecutionMode::Sync,
+            },
+        )
+        .unwrap();
+    assert_eq!(cluster.query_u64(1), Some(1));
+    assert_eq!(cluster.query_u64(2), Some(1));
+    assert_eq!(cluster.query_u64(3), Some(3), "split component");
+    assert_eq!(cluster.query_u64(4), Some(3));
+    cluster.shutdown();
+}
+
+#[test]
+fn async_wcc_matches_reference() {
+    let edges = small_graph();
+    let mut cluster = Cluster::builder().agents(4).build();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster
+        .run_with(
+            Wcc::new(),
+            RunOptions {
+                reuse_state: false,
+                mode: ExecutionMode::Async,
+            },
+        )
+        .unwrap();
+    let expect = reference::wcc(edges.iter().copied());
+    for (&v, &label) in &expect {
+        assert_eq!(cluster.query_u64(v), Some(label), "vertex {v}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn elastic_scale_up_and_down_preserves_graph_and_results() {
+    let edges = small_graph();
+    let mut cluster = Cluster::builder().agents(2).build();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster.run(Wcc::new()).unwrap();
+    let expect = reference::wcc(edges.iter().copied());
+
+    // Scale up.
+    let new_ids = cluster.add_agents(3);
+    assert_eq!(new_ids.len(), 3);
+    cluster.quiesce();
+    assert_eq!(cluster.agent_count(), 5);
+    for (&v, &label) in &expect {
+        assert_eq!(cluster.query_u64(v), Some(label), "after scale-up {v}");
+    }
+    cluster.run(Wcc::new()).unwrap();
+    for (&v, &label) in &expect {
+        assert_eq!(cluster.query_u64(v), Some(label), "rerun {v}");
+    }
+
+    // Scale down below the original size.
+    for _ in 0..3 {
+        cluster.remove_last_agent().unwrap();
+    }
+    cluster.quiesce();
+    assert_eq!(cluster.agent_count(), 2);
+    cluster.run(Wcc::new()).unwrap();
+    for (&v, &label) in &expect {
+        assert_eq!(cluster.query_u64(v), Some(label), "after scale-down {v}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn queries_work_through_random_replicas() {
+    let mut cluster = Cluster::builder().agents(4).build();
+    cluster.ingest_edges(small_graph());
+    cluster.run(Wcc::new()).unwrap();
+    for _ in 0..20 {
+        let r = cluster.query_any(2).expect("replica answers");
+        assert_eq!(r.state, 0);
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn deletions_then_reinsertions_roundtrip() {
+    let edges = small_graph();
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(edges.iter().copied());
+    let before = cluster.metrics().edges;
+    cluster.ingest([
+        EdgeChange::delete(0, 1),
+        EdgeChange::delete(2, 3),
+    ]);
+    assert_eq!(cluster.metrics().edges, before - 2);
+    cluster.ingest([
+        EdgeChange::insert(0, 1),
+        EdgeChange::insert(2, 3),
+    ]);
+    assert_eq!(cluster.metrics().edges, before);
+    // Graph is intact: WCC unchanged.
+    cluster.run(Wcc::new()).unwrap();
+    let expect = reference::wcc(edges.iter().copied());
+    for (&v, &label) in &expect {
+        assert_eq!(cluster.query_u64(v), Some(label));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn mid_run_scaling_preserves_pagerank_exactly() {
+    // Regression: a vertex whose meta and edges migrate together must
+    // keep its global out-degree, or its rank mass silently vanishes.
+    let mut edges: Vec<(u64, u64)> = (0..400u64)
+        .map(|i| {
+            (
+                elga_hash::wang64(i) % 120,
+                elga_hash::wang64(i * 31 + 5) % 120,
+            )
+        })
+        .filter(|&(u, v)| u != v)
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    let csr = Csr::from_edges(Some(120), &edges);
+    let expect = reference::pagerank(&csr, 0.85, 8);
+
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(edges.iter().copied());
+    let handle = cluster
+        .start_run(
+            PageRank::new(0.85).with_max_iters(8),
+            RunOptions::default(),
+        )
+        .unwrap();
+    // Join mid-run: applied at a superstep boundary with migration.
+    cluster.add_agents(3);
+    cluster.wait_run(handle).unwrap();
+
+    let mut mass = 0.0;
+    for v in 0..120u64 {
+        if csr.out_degree(v) + csr.in_degree(v) == 0 {
+            continue;
+        }
+        let got = cluster.query_f64(v).expect("rank");
+        mass += got;
+        assert!(
+            (got - expect[v as usize]).abs() < reference::PAGERANK_TOLERANCE,
+            "vertex {v}: got {got}, want {}",
+            expect[v as usize]
+        );
+    }
+    assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+    cluster.shutdown();
+}
+
+#[test]
+fn multi_directory_cluster_works() {
+    // Two Directories: agents are assigned round-robin by the master;
+    // the non-lead relays its agents' reports to the lead (paper
+    // Figure 2 step 4: "Directories re-broadcast ready messages among
+    // themselves").
+    let mut cluster = Cluster::builder().agents(4).directories(2).build();
+    let edges = small_graph();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster.run(Wcc::new()).unwrap();
+    let expect = reference::wcc(edges.iter().copied());
+    for (&v, &label) in &expect {
+        assert_eq!(cluster.query_u64(v), Some(label), "vertex {v}");
+    }
+    // PageRank across the relayed barrier path too.
+    let csr = {
+        let (ids, dense) = {
+            let mut ids: Vec<u64> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let index: std::collections::HashMap<u64, u64> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u64))
+                .collect();
+            let dense: Vec<(u64, u64)> =
+                edges.iter().map(|&(u, v)| (index[&u], index[&v])).collect();
+            (ids, dense)
+        };
+        let n = ids.len();
+        (ids, Csr::from_edges(Some(n), &dense))
+    };
+    cluster.run(PageRank::new(0.85).with_max_iters(10)).unwrap();
+    let expect = reference::pagerank(&csr.1, 0.85, 10);
+    for (i, &v) in csr.0.iter().enumerate() {
+        let got = cluster.query_f64(v).unwrap();
+        assert!((got - expect[i]).abs() < reference::PAGERANK_TOLERANCE);
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn queries_run_concurrently_with_computation() {
+    // Goal 4: maintenance supports concurrent queries. Hammer the
+    // query path from another thread while a run is in flight.
+    let mut cluster = Cluster::builder().agents(3).build();
+    let edges: Vec<(u64, u64)> = (0..300u64).map(|i| (i % 100, (i * 7 + 1) % 100)).collect();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster.run(Wcc::new()).unwrap();
+
+    let transport = cluster.transport();
+    let cfg = cluster.config().clone();
+    let lead = cluster.lead_directory();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let querier = std::thread::spawn(move || {
+        let mut proxy =
+            elga_core::client::ClientProxy::connect(transport, cfg, lead).expect("proxy");
+        let mut served = 0u64;
+        while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+            if proxy.query(served % 100).is_some() {
+                served += 1;
+            }
+        }
+        served
+    });
+    // Several runs while queries hammer the agents.
+    for _ in 0..3 {
+        cluster
+            .run(PageRank::new(0.85).with_max_iters(5))
+            .unwrap();
+        cluster.run(Wcc::new()).unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let served = querier.join().unwrap();
+    assert!(served > 0, "queries must be served during computation");
+    cluster.shutdown();
+}
+
+#[test]
+fn ingest_during_run_is_buffered_and_applied_after() {
+    // §3.4: "While a batch is running, the graph does not change: any
+    // edge changes are buffered."
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges((0..200u64).map(|i| (i, i + 1)));
+    let handle = cluster
+        .start_run(
+            PageRank::new(0.85).with_max_iters(8),
+            RunOptions::default(),
+        )
+        .unwrap();
+    // Push changes mid-run without waiting for quiescence.
+    cluster.ingest_async(&[
+        EdgeChange::insert(500, 501),
+        EdgeChange::delete(0, 1),
+    ]);
+    cluster.wait_run(handle).unwrap();
+    cluster.quiesce();
+    // The buffered changes took effect after the run finished.
+    let m = cluster.metrics().edges;
+    assert_eq!(m, 200); // 200 original + 1 insert - 1 delete
+    cluster.run(Degree::new()).unwrap();
+    assert_eq!(cluster.query_u64(500), Some(1));
+    // Vertex 0 only had the deleted edge: it is now isolated and the
+    // store drops it entirely (Goal 2: memory tracks the current graph).
+    assert_eq!(cluster.query_u64(0), None);
+    cluster.shutdown();
+}
+
+#[test]
+fn dag_levels_via_waiting_sets_match_reference() {
+    // §3.2 waiting sets: each vertex is processed only after all of
+    // its in-neighbors reported (async mode). Random DAG: orient every
+    // edge from the smaller to the larger id.
+    use elga_core::algorithms::DagLevel;
+    let mut edges: Vec<(u64, u64)> = (0..600u64)
+        .map(|i| {
+            let a = elga_hash::wang64(i) % 150;
+            let b = elga_hash::wang64(i * 17 + 3) % 150;
+            (a.min(b), a.max(b))
+        })
+        .filter(|&(u, v)| u != v)
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    let csr = Csr::from_edges(Some(150), &edges);
+    let expect = reference::dag_levels(&csr).expect("acyclic by construction");
+
+    let mut cluster = Cluster::builder().agents(4).build();
+    cluster.ingest_edges(edges.iter().copied());
+    let vmsgs_before = cluster.metrics().vmsgs;
+    cluster
+        .run_with(
+            DagLevel::new(),
+            RunOptions {
+                reuse_state: false,
+                mode: ExecutionMode::Async,
+            },
+        )
+        .unwrap();
+    for (&v, &level) in &expect {
+        let got = cluster.query_u64(v).and_then(DagLevel::decode);
+        assert_eq!(got, Some(level), "vertex {v}");
+    }
+    // The quantitative waiting-set property: every vertex is processed
+    // exactly once, so each edge carries exactly one message.
+    let vmsgs = cluster.metrics().vmsgs - vmsgs_before;
+    assert_eq!(
+        vmsgs as usize,
+        edges.len(),
+        "waiting sets must deliver one message per edge"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn dag_levels_terminate_cleanly_on_cycles() {
+    // A cycle can never satisfy its waiting sets; the run must still
+    // terminate (counters settle) with the cyclic part unleveled.
+    use elga_core::algorithms::DagLevel;
+    let edges = [(0u64, 1u64), (1, 2), (2, 0), (5, 6), (0, 5)];
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster
+        .run_with(
+            DagLevel::new(),
+            RunOptions {
+                reuse_state: false,
+                mode: ExecutionMode::Async,
+            },
+        )
+        .unwrap();
+    for v in [0u64, 1, 2, 5, 6] {
+        let got = cluster.query_u64(v).and_then(DagLevel::decode);
+        assert_eq!(got, None, "vertex {v} is on or downstream of the cycle");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn personalized_pagerank_matches_reference_and_dump_extracts_all() {
+    use elga_core::algorithms::Ppr;
+    let mut edges: Vec<(u64, u64)> = (0..400u64)
+        .map(|i| {
+            (
+                elga_hash::wang64(i) % 90,
+                elga_hash::wang64(i * 11 + 1) % 90,
+            )
+        })
+        .filter(|&(u, v)| u != v)
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    let csr = Csr::from_edges(Some(90), &edges);
+    let expect = reference::personalized_pagerank(&csr, 7, 0.85, 12);
+
+    let mut cluster = Cluster::builder().agents(4).build();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster.run(Ppr::new(7, 0.85).with_max_iters(12)).unwrap();
+
+    // Bulk extraction: one DUMP round instead of per-vertex queries.
+    let dump = cluster.dump_states();
+    let mut mass = 0.0;
+    for v in 0..90u64 {
+        if csr.out_degree(v) + csr.in_degree(v) == 0 {
+            continue;
+        }
+        let got = f64::from_bits(*dump.get(&v).expect("dumped"));
+        mass += got;
+        assert!(
+            (got - expect[v as usize]).abs() < reference::PAGERANK_TOLERANCE,
+            "vertex {v}: {got} vs {}",
+            expect[v as usize]
+        );
+    }
+    assert!((mass - 1.0).abs() < 1e-9, "ppr mass {mass}");
+    cluster.shutdown();
+}

@@ -1,0 +1,139 @@
+//! Property tests for the core wire protocol and autoscaler.
+
+use elga_core::autoscale::{Autoscaler, EmaAutoscaler};
+use elga_core::metrics::{AgentMetrics, ClusterMetrics};
+use elga_core::msg::{self, Counters, Phase, ReadyReport, StateRecord};
+use elga_net::Frame;
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+proptest! {
+    /// No decoder may panic on arbitrary bytes — a malformed or
+    /// truncated frame must surface as `None` ("ensure that the
+    /// endpoint remains valid", §3.4).
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 1..256)) {
+        let frame = Frame::from_bytes(bytes.into());
+        let _ = msg::DirectoryView::decode(&frame);
+        let _ = msg::decode_edge_changes(&frame);
+        let _ = msg::decode_vmsgs(&frame);
+        let _ = msg::decode_partials(&frame);
+        let _ = msg::decode_states(&frame);
+        let _ = msg::decode_ready(&frame);
+        let _ = msg::decode_advance(&frame);
+        let _ = msg::decode_mig_meta(&frame);
+        let _ = msg::decode_deg_deltas(&frame);
+        let _ = msg::decode_join_reply(&frame);
+        let _ = msg::decode_start(&frame);
+        let _ = msg::decode_run_status(&frame);
+        let _ = msg::decode_reset_labels(&frame);
+        let _ = msg::decode_sketch_delta(&frame);
+        let _ = AgentMetrics::decode(&frame);
+        let _ = ClusterMetrics::decode(&frame);
+    }
+
+    /// READY reports round-trip exactly for arbitrary field values.
+    #[test]
+    fn ready_roundtrip(
+        agent in any::<u64>(),
+        run in any::<u64>(),
+        step in any::<u32>(),
+        phase_byte in 0u8..4,
+        counters in prop::collection::vec(any::<u64>(), 10),
+        active in any::<u64>(),
+        contrib in any::<f64>(),
+        n_primary in any::<u64>(),
+    ) {
+        prop_assume!(!contrib.is_nan());
+        let rep = ReadyReport {
+            agent,
+            run,
+            step,
+            phase: Phase::from_u8(phase_byte).unwrap(),
+            counters: Counters {
+                vmsg_sent: counters[0],
+                vmsg_recv: counters[1],
+                part_sent: counters[2],
+                part_recv: counters[3],
+                state_sent: counters[4],
+                state_recv: counters[5],
+                mig_sent: counters[6],
+                mig_recv: counters[7],
+                chg_sent: counters[8],
+                chg_recv: counters[9],
+            },
+            active,
+            global_contrib: contrib,
+            n_primary,
+        };
+        prop_assert_eq!(msg::decode_ready(&msg::encode_ready(&rep)).unwrap(), rep);
+    }
+
+    /// State batches round-trip for arbitrary values.
+    #[test]
+    fn states_roundtrip(
+        run in any::<u64>(),
+        step in any::<u32>(),
+        recs in prop::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()),
+            0..64,
+        ),
+    ) {
+        let records: Vec<StateRecord> = recs
+            .iter()
+            .map(|&(vertex, state, out_degree, active)| StateRecord {
+                vertex,
+                state,
+                out_degree,
+                active,
+            })
+            .collect();
+        let (r2, s2, back) =
+            msg::decode_states(&msg::encode_states(run, step, &records)).unwrap();
+        prop_assert_eq!((r2, s2), (run, step));
+        prop_assert_eq!(back, records);
+    }
+
+    /// Counters settle exactly when each pair matches, and `add` is
+    /// commutative.
+    #[test]
+    fn counters_algebra(a in prop::collection::vec(0u64..1000, 10), b in prop::collection::vec(0u64..1000, 10)) {
+        let mk = |v: &[u64]| Counters {
+            vmsg_sent: v[0], vmsg_recv: v[1],
+            part_sent: v[2], part_recv: v[3],
+            state_sent: v[4], state_recv: v[5],
+            mig_sent: v[6], mig_recv: v[7],
+            chg_sent: v[8], chg_recv: v[9],
+        };
+        let ca = mk(&a);
+        let cb = mk(&b);
+        prop_assert_eq!(ca.add(&cb), cb.add(&ca));
+        let expected = a[0] == a[1] && a[2] == a[3] && a[4] == a[5] && a[6] == a[7] && a[8] == a[9];
+        prop_assert_eq!(ca.settled(), expected);
+    }
+
+    /// The EMA autoscaler's target is always within bounds and the EMA
+    /// always lies between the running min and max of observations.
+    #[test]
+    fn autoscaler_stays_bounded(
+        observations in prop::collection::vec(0.0f64..1e6, 1..50),
+        min_a in 1usize..4,
+        extra in 0usize..20,
+    ) {
+        let max_a = min_a + extra;
+        let mut p = EmaAutoscaler::new(Duration::from_millis(100), 123.0, min_a, max_a)
+            .with_cooldown(Duration::ZERO);
+        let t0 = Instant::now();
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for (i, &obs) in observations.iter().enumerate() {
+            lo = lo.min(obs);
+            hi = hi.max(obs);
+            if let Some(target) = p.observe(obs, t0 + Duration::from_millis(i as u64 * 10)) {
+                prop_assert!(target >= min_a && target <= max_a);
+            }
+            let ema = p.ema().unwrap();
+            prop_assert!(ema >= lo - 1e-9 && ema <= hi + 1e-9, "ema {} not in [{}, {}]", ema, lo, hi);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The Table 2 dataset catalog, regenerated synthetically.
+//!
+//! The paper evaluates on fourteen graphs from 1.3 B to 112 B edges
+//! (Table 2). The real datasets are multi-terabyte downloads; per the
+//! substitution policy (DESIGN.md) each entry here records the
+//! *published* `n`/`m` and a generator family whose degree structure
+//! matches the dataset's domain, and regenerates the graph at a caller
+//! chosen fraction of the published size. Harnesses default to
+//! `frac = 1e-5` (tens of thousands of edges) and scale up with
+//! `ELGA_SCALE`.
+
+use crate::powerlaw::{erdos_renyi, power_law};
+use crate::rmat::{rmat, RmatParams};
+use crate::EdgeList;
+
+/// Generator family standing in for a dataset's domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Family {
+    /// Social network: power law with the given exponent.
+    Social {
+        /// Degree exponent (smaller = more skewed).
+        gamma: f64,
+    },
+    /// Web crawl: R-MAT with heavy diagonal skew.
+    Web,
+    /// Graph500 R-MAT.
+    Rmat,
+    /// Near-uniform degree (road-/location-like).
+    Uniform,
+}
+
+/// One Table 2 row.
+#[derive(Debug, Clone, Copy)]
+pub struct Dataset {
+    /// Dataset name as printed in Table 2.
+    pub name: &'static str,
+    /// A-BTER scale factor from Table 2 (1 for natively large graphs).
+    pub abter_scale: u64,
+    /// Published vertex count.
+    pub n_full: u64,
+    /// Published edge count.
+    pub m_full: u64,
+    /// Generator family for the synthetic stand-in.
+    pub family: Family,
+}
+
+impl Dataset {
+    /// Regenerate the dataset at `frac` of its published size, e.g.
+    /// `1e-5`. Returns `(n, edges)`.
+    ///
+    /// # Panics
+    /// Panics when `frac` is not in `(0, 1]`.
+    pub fn generate(&self, frac: f64, seed: u64) -> (u64, EdgeList) {
+        assert!(frac > 0.0 && frac <= 1.0, "frac must be in (0, 1]");
+        let n = ((self.n_full as f64 * frac).round() as u64).max(16);
+        let m = ((self.m_full as f64 * frac).round() as usize).max(64);
+        let edges = match self.family {
+            Family::Social { gamma } => power_law(n, m, gamma, seed),
+            Family::Web => {
+                let scale = (n as f64).log2().ceil() as u32;
+                rmat(scale, m, RmatParams::WEB, seed)
+            }
+            Family::Rmat => {
+                let scale = (n as f64).log2().ceil() as u32;
+                rmat(scale, m, RmatParams::GRAPH500, seed)
+            }
+            Family::Uniform => erdos_renyi(n.max(2), m, seed),
+        };
+        (n, edges)
+    }
+
+    /// Average published degree `m/n`.
+    pub fn avg_degree(&self) -> f64 {
+        self.m_full as f64 / self.n_full as f64
+    }
+}
+
+/// All Table 2 datasets, in the paper's row order.
+pub fn catalog() -> &'static [Dataset] {
+    const B: u64 = 1_000_000_000;
+    const M: u64 = 1_000_000;
+    &[
+        Dataset {
+            name: "Twitter-2010",
+            abter_scale: 1,
+            n_full: 42 * M,
+            m_full: 1_500 * M,
+            family: Family::Social { gamma: 1.9 },
+        },
+        Dataset {
+            name: "Friendster",
+            abter_scale: 1,
+            n_full: 65 * M,
+            m_full: 1_800 * M,
+            family: Family::Social { gamma: 2.1 },
+        },
+        Dataset {
+            name: "UK-2007-05",
+            abter_scale: 1,
+            n_full: 105 * M,
+            m_full: 3_700 * M,
+            family: Family::Web,
+        },
+        Dataset {
+            name: "Datagen-9.3-zf",
+            abter_scale: 1,
+            n_full: 555 * M,
+            m_full: 1_300 * M,
+            family: Family::Uniform,
+        },
+        Dataset {
+            name: "Datagen-9.4-fb",
+            abter_scale: 1,
+            n_full: 29 * M,
+            m_full: 2_600 * M,
+            family: Family::Social { gamma: 2.3 },
+        },
+        Dataset {
+            name: "Email-EuAll",
+            abter_scale: 5000,
+            n_full: 1_300 * M,
+            m_full: 5_600 * M,
+            family: Family::Social { gamma: 2.2 },
+        },
+        Dataset {
+            name: "Skitter",
+            abter_scale: 200,
+            n_full: 339 * M,
+            m_full: 6_300 * M,
+            family: Family::Social { gamma: 2.1 },
+        },
+        Dataset {
+            name: "LiveJournal",
+            abter_scale: 100,
+            n_full: 484 * M,
+            m_full: 8_600 * M,
+            family: Family::Social { gamma: 2.0 },
+        },
+        Dataset {
+            name: "Amazon0601",
+            abter_scale: 2000,
+            n_full: 807 * M,
+            m_full: 9_800 * M,
+            family: Family::Uniform,
+        },
+        Dataset {
+            name: "Graph500-30",
+            abter_scale: 1,
+            n_full: 448 * M,
+            m_full: 17 * B,
+            family: Family::Rmat,
+        },
+        Dataset {
+            name: "Gowalla",
+            abter_scale: 10_000,
+            n_full: 2 * B,
+            m_full: 28 * B,
+            family: Family::Social { gamma: 2.2 },
+        },
+        Dataset {
+            name: "Patents",
+            abter_scale: 1000,
+            n_full: 3_700 * M,
+            m_full: 33 * B,
+            family: Family::Uniform,
+        },
+        Dataset {
+            name: "Pokec-1000",
+            abter_scale: 1000,
+            n_full: 1_600 * M,
+            m_full: 44 * B,
+            family: Family::Social { gamma: 2.0 },
+        },
+        Dataset {
+            name: "Pokec-2500",
+            abter_scale: 2500,
+            n_full: 4 * B,
+            m_full: 112 * B,
+            family: Family::Social { gamma: 2.0 },
+        },
+    ]
+}
+
+/// Find a dataset by name.
+pub fn find(name: &str) -> Option<Dataset> {
+    catalog().iter().find(|d| d.name == name).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table2_shape() {
+        let c = catalog();
+        assert_eq!(c.len(), 14);
+        // All names are unique and sizes are the published ones.
+        let names: std::collections::HashSet<_> = c.iter().map(|d| d.name).collect();
+        assert_eq!(names.len(), 14);
+        assert_eq!(c.last().unwrap().m_full, 112_000_000_000);
+        assert_eq!(c[0].m_full, 1_500_000_000);
+    }
+
+    #[test]
+    fn find_by_name() {
+        assert!(find("Twitter-2010").is_some());
+        assert!(find("LiveJournal").is_some());
+        assert!(find("NoSuchGraph").is_none());
+    }
+
+    #[test]
+    fn generate_scales_published_sizes() {
+        let d = find("Twitter-2010").unwrap();
+        let (n, edges) = d.generate(1e-5, 1);
+        assert_eq!(n, 420);
+        // power_law drops self-loops, so allow slight shortfall
+        let target = (d.m_full as f64 * 1e-5) as usize;
+        assert!(edges.len() >= target * 9 / 10);
+        assert!(edges.iter().all(|&(u, v)| u < n && v < n));
+    }
+
+    #[test]
+    fn every_family_generates() {
+        for d in catalog() {
+            let (n, edges) = d.generate(2e-7, 3);
+            assert!(!edges.is_empty(), "{} empty", d.name);
+            // R-MAT rounds n up to a power of two.
+            let bound = n.next_power_of_two();
+            assert!(
+                edges.iter().all(|&(u, v)| u < bound && v < bound),
+                "{} out of range",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn avg_degree_reflects_table() {
+        let zf = find("Datagen-9.3-zf").unwrap();
+        assert!(zf.avg_degree() < 3.0, "zf is sparse");
+        let fb = find("Datagen-9.4-fb").unwrap();
+        assert!(fb.avg_degree() > 50.0, "fb is dense");
+    }
+
+    #[test]
+    #[should_panic(expected = "frac")]
+    fn zero_frac_rejected() {
+        find("Skitter").unwrap().generate(0.0, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Workload generators for the ElGA evaluation (paper §4.4).
+//!
+//! The paper evaluates on public graphs (LAW, SNAP, LDBC) and on
+//! *scaled-up replicas* produced by A-BTER, which preserves a seed
+//! graph's degree and clustering-coefficient distributions. Those
+//! datasets are not redistributable here, so this crate provides (see
+//! DESIGN.md, "Substitutions"):
+//!
+//! * [`mod@rmat`] — the R-MAT recursive-matrix generator with Graph500
+//!   parameters (the paper's Graph500-30 dataset);
+//! * [`powerlaw`] — a configuration-model power-law generator and an
+//!   Erdős–Rényi control;
+//! * [`bter`] — a BTER-style scaled-replica generator standing in for
+//!   A-BTER: it measures a seed graph's degree histogram and per-degree
+//!   clustering, then emits a scaled graph matching both;
+//! * [`mod@catalog`] — the Table 2 dataset inventory, regenerated
+//!   synthetically at a configurable fraction of the published sizes.
+//!
+//! All generators are deterministic given their seed.
+
+#![warn(missing_docs)]
+
+pub mod bter;
+pub mod catalog;
+pub mod powerlaw;
+pub mod rmat;
+
+pub use bter::{BterModel, ScaledReplica};
+pub use catalog::{catalog, Dataset, Family};
+pub use powerlaw::{erdos_renyi, power_law};
+pub use rmat::{rmat, RmatParams};
+
+/// Edge list type produced by every generator.
+pub type EdgeList = Vec<(u64, u64)>;

@@ -1,0 +1,143 @@
+//! Configuration-model power-law generator and an Erdős–Rényi control.
+//!
+//! Social-network datasets in the paper's Table 2 (Twitter, Friendster,
+//! LiveJournal, Pokec, …) share heavy-tailed degree distributions; the
+//! power-law generator reproduces that family with a tunable exponent.
+//! The Erdős–Rényi generator provides an unskewed control used by
+//! load-balance tests.
+
+use crate::EdgeList;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Sample a degree from `P(d) ∝ d^{-gamma}` over `1..=dmax` via
+/// inverse-transform on the precomputed CDF.
+fn degree_cdf(gamma: f64, dmax: usize) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(dmax);
+    let mut total = 0.0;
+    for d in 1..=dmax {
+        total += (d as f64).powf(-gamma);
+        cdf.push(total);
+    }
+    for v in cdf.iter_mut() {
+        *v /= total;
+    }
+    cdf
+}
+
+/// Generate a directed power-law graph with `n` vertices and roughly
+/// `target_m` edges using the configuration model: sample a degree
+/// sequence with exponent `gamma`, create stubs, shuffle, and pair.
+/// Self-loops are dropped; duplicates are kept (downstream stores
+/// deduplicate, matching how real edge lists repeat).
+///
+/// # Panics
+/// Panics when `n == 0`.
+pub fn power_law(n: u64, target_m: usize, gamma: f64, seed: u64) -> EdgeList {
+    assert!(n > 0, "need at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dmax = ((n as f64).sqrt() as usize).clamp(4, 100_000);
+    let cdf = degree_cdf(gamma, dmax);
+    // Sample degrees until the stub total reaches 2 * target_m, cycling
+    // vertices so every vertex gets at least a chance of degree.
+    let mut stubs: Vec<u64> = Vec::with_capacity(target_m * 2);
+    let mut v = 0u64;
+    while stubs.len() < target_m * 2 {
+        let roll: f64 = rng.gen();
+        let d = cdf.partition_point(|&c| c < roll) + 1;
+        for _ in 0..d {
+            stubs.push(v);
+        }
+        v = (v + 1) % n;
+    }
+    stubs.truncate(target_m * 2);
+    stubs.shuffle(&mut rng);
+    let mut edges = Vec::with_capacity(target_m);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            edges.push((pair[0], pair[1]));
+        }
+    }
+    edges
+}
+
+/// `G(n, m)`: `m` uniformly random directed edges (self-loops
+/// excluded).
+///
+/// # Panics
+/// Panics when `n < 2`.
+pub fn erdos_renyi(n: u64, m: usize, seed: u64) -> EdgeList {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_size_and_range() {
+        let edges = power_law(1000, 10_000, 2.0, 1);
+        assert!(edges.len() <= 10_000);
+        assert!(edges.len() > 9_000, "few self-loops expected");
+        assert!(edges.iter().all(|&(u, v)| u < 1000 && v < 1000 && u != v));
+    }
+
+    #[test]
+    fn power_law_is_deterministic() {
+        assert_eq!(power_law(100, 500, 2.2, 9), power_law(100, 500, 2.2, 9));
+        assert_ne!(power_law(100, 500, 2.2, 9), power_law(100, 500, 2.2, 10));
+    }
+
+    #[test]
+    fn smaller_gamma_is_more_skewed() {
+        let skew = |gamma: f64| {
+            let edges = power_law(2000, 30_000, gamma, 5);
+            let mut deg = vec![0u64; 2000];
+            for &(u, v) in &edges {
+                deg[u as usize] += 1;
+                deg[v as usize] += 1;
+            }
+            let max = *deg.iter().max().unwrap() as f64;
+            let mean = deg.iter().sum::<u64>() as f64 / deg.len() as f64;
+            max / mean
+        };
+        assert!(skew(1.8) > skew(3.5));
+    }
+
+    #[test]
+    fn erdos_renyi_is_flat() {
+        let edges = erdos_renyi(500, 20_000, 2);
+        assert_eq!(edges.len(), 20_000);
+        let mut deg = vec![0u64; 500];
+        for &(u, v) in &edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap() as f64;
+        let mean = deg.iter().sum::<u64>() as f64 / deg.len() as f64;
+        assert!(max < 2.0 * mean, "ER should be balanced: {max} vs {mean}");
+    }
+
+    #[test]
+    fn erdos_renyi_no_self_loops() {
+        assert!(erdos_renyi(2, 50, 3).iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let cdf = degree_cdf(2.0, 50);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for the workload generators.
+
+use elga_gen::bter::BterModel;
+use elga_gen::catalog::catalog;
+use elga_gen::powerlaw::{erdos_renyi, power_law};
+use elga_gen::rmat::{rmat, RmatParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// R-MAT respects its vertex bound and is seed-deterministic.
+    #[test]
+    fn rmat_bounds_and_determinism(scale in 2u32..12, m in 1usize..2000, seed in any::<u64>()) {
+        let edges = rmat(scale, m, RmatParams::GRAPH500, seed);
+        prop_assert_eq!(edges.len(), m);
+        let n = 1u64 << scale;
+        prop_assert!(edges.iter().all(|&(u, v)| u < n && v < n));
+        prop_assert_eq!(rmat(scale, m, RmatParams::GRAPH500, seed), edges);
+    }
+
+    /// Power-law output is within the vertex range, loop-free, and
+    /// near the requested size.
+    #[test]
+    fn power_law_contract(n in 2u64..2000, m in 1usize..4000, seed in any::<u64>()) {
+        let edges = power_law(n, m, 2.1, seed);
+        prop_assert!(edges.len() <= m);
+        prop_assert!(edges.iter().all(|&(u, v)| u < n && v < n && u != v));
+    }
+
+    /// Erdős–Rényi returns exactly m loop-free edges.
+    #[test]
+    fn erdos_renyi_contract(n in 2u64..500, m in 0usize..2000, seed in any::<u64>()) {
+        let edges = erdos_renyi(n, m, seed);
+        prop_assert_eq!(edges.len(), m);
+        prop_assert!(edges.iter().all(|&(u, v)| u < n && v < n && u != v));
+    }
+
+    /// Every catalog dataset generates within bounds at any valid
+    /// fraction.
+    #[test]
+    fn catalog_generates_at_any_fraction(idx in 0usize..14, frac in 1e-8f64..1e-5) {
+        let ds = catalog()[idx];
+        let (n, edges) = ds.generate(frac, 3);
+        prop_assert!(!edges.is_empty());
+        let bound = n.next_power_of_two(); // R-MAT rounds up
+        prop_assert!(edges.iter().all(|&(u, v)| u < bound && v < bound));
+    }
+
+    /// BTER replicas roughly track the requested scale in edges and
+    /// vertices.
+    #[test]
+    fn bter_scale_tracks_request(scale in 1u32..6, seed in any::<u64>()) {
+        let seed_edges = power_law(300, 2400, 2.0, 17);
+        let model = BterModel::from_seed(&seed_edges, 8);
+        let rep = model.generate(f64::from(scale), seed);
+        let expect_m = model.num_edges() as f64 * f64::from(scale);
+        let ratio = rep.edges.len() as f64 / expect_m;
+        prop_assert!((0.6..1.6).contains(&ratio), "edge ratio {}", ratio);
+        prop_assert!(rep.edges.iter().all(|&(u, v)| u < rep.n && v < rep.n));
+    }
+}

@@ -1,0 +1,201 @@
+//! Compressed sparse row (CSR) layout for the static baselines.
+//!
+//! The paper attributes part of Blogel's speed to its CSR ("Blogel uses
+//! a CSR internally to hold the graph which is faster than our flat
+//! hash maps (but do not easily support dynamic graphs)", §4.7). The
+//! Blogel-like and GAPbs-like baselines in `elga-baselines` run over
+//! this structure; rebuilding it from scratch is exactly the cost the
+//! snapshot (GraphX-like) baseline pays per batch in Figure 15.
+
+use crate::adjacency::AdjacencyStore;
+use crate::types::VertexId;
+
+/// An immutable directed graph in CSR form over dense vertex ids
+/// `0..n`. Optionally carries the transposed (in-edge) structure for
+/// pull-style algorithms.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` with `v`'s
+    /// out-neighbors.
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    /// Transposed offsets (in-edges), built on demand.
+    in_offsets: Vec<usize>,
+    in_targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Build from an edge list. `n` must exceed every vertex id; pass
+    /// `None` to infer `n = max_id + 1`.
+    pub fn from_edges(n: Option<usize>, edges: &[(VertexId, VertexId)]) -> Self {
+        let n = n.unwrap_or_else(|| {
+            edges
+                .iter()
+                .map(|&(u, v)| u.max(v) as usize + 1)
+                .max()
+                .unwrap_or(0)
+        });
+        let mut out_deg = vec![0usize; n];
+        let mut in_deg = vec![0usize; n];
+        for &(u, v) in edges {
+            out_deg[u as usize] += 1;
+            in_deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for d in &out_deg {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        in_offsets.push(0);
+        for d in &in_deg {
+            in_offsets.push(in_offsets.last().unwrap() + d);
+        }
+        let m = edges.len();
+        let mut targets = vec![0; m];
+        let mut in_targets = vec![0; m];
+        let mut out_cursor = offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        for &(u, v) in edges {
+            targets[out_cursor[u as usize]] = v;
+            out_cursor[u as usize] += 1;
+            in_targets[in_cursor[v as usize]] = u;
+            in_cursor[v as usize] += 1;
+        }
+        Csr {
+            offsets,
+            targets,
+            in_offsets,
+            in_targets,
+        }
+    }
+
+    /// Build from a dynamic store (vertex ids must already be dense —
+    /// generator output always is).
+    pub fn from_store(store: &AdjacencyStore) -> Self {
+        let edges: Vec<(VertexId, VertexId)> =
+            store.edges().map(|e| (e.src, e.dst)).collect();
+        Csr::from_edges(None, &edges)
+    }
+
+    /// Number of vertices (`n`).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of edges (`m`).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors of `v`.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// In-neighbors of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.in_targets[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Iterate over all edges in vertex order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// A symmetrized copy: every edge also present reversed, duplicates
+    /// removed. The paper symmetrizes inputs for WCC after finding the
+    /// Blogel bug (§4.7).
+    pub fn symmetrized(&self) -> Csr {
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.num_edges() * 2);
+        for (u, v) in self.edges() {
+            edges.push((u, v));
+            edges.push((v, u));
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Csr::from_edges(Some(self.num_vertices()), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Csr::from_edges(None, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn sizes_and_neighbors() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(3), &[] as &[VertexId]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(None, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn explicit_n_allows_isolated_vertices() {
+        let g = Csr::from_edges(Some(10), &[(0, 1)]);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.out_degree(9), 0);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrips() {
+        let g = diamond();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn from_store_matches_edge_list() {
+        let store = AdjacencyStore::from_edges([(0, 1), (1, 2), (2, 0)]);
+        let g = Csr::from_store(&store);
+        assert_eq!(g.num_edges(), 3);
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn symmetrized_adds_reverse_edges_once() {
+        let g = Csr::from_edges(None, &[(0, 1), (1, 0), (1, 2)]);
+        let s = g.symmetrized();
+        assert_eq!(s.num_edges(), 4); // (0,1),(1,0),(1,2),(2,1)
+        assert_eq!(s.in_degree(1), s.out_degree(1));
+    }
+}

@@ -1,0 +1,202 @@
+//! Edge-list I/O.
+//!
+//! The paper stores graphs as edge lists on a distributed filesystem
+//! ("we run Ceph ... for storing edge lists", §4.1); every system
+//! loads the same files. This module reads and writes the two common
+//! on-disk forms:
+//!
+//! * **text** — one `src dst` pair per line (whitespace separated),
+//!   `#`-prefixed comment lines ignored — the SNAP/LAW interchange
+//!   format;
+//! * **binary** — packed little-endian `u64` pairs, 16 bytes per edge
+//!   (the "EL size" column of Table 2 assumes exactly this layout).
+
+use crate::types::VertexId;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Read a whitespace-separated text edge list; `#` lines are comments.
+///
+/// # Errors
+/// I/O errors propagate; malformed lines yield
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn read_text_edges<R: Read>(reader: R) -> std::io::Result<Vec<(VertexId, VertexId)>> {
+    let mut edges = Vec::new();
+    let buf = BufReader::new(reader);
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> std::io::Result<VertexId> {
+            tok.and_then(|t| t.parse().ok()).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad edge on line {}", lineno + 1),
+                )
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+/// Write a text edge list (one `src dst` pair per line).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_text_edges<W: Write>(
+    writer: W,
+    edges: &[(VertexId, VertexId)],
+) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for &(u, v) in edges {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Read a packed binary edge list (little-endian `u64` pairs).
+///
+/// # Errors
+/// A trailing partial record yields
+/// [`std::io::ErrorKind::UnexpectedEof`].
+pub fn read_binary_edges<R: Read>(reader: R) -> std::io::Result<Vec<(VertexId, VertexId)>> {
+    let mut bytes = Vec::new();
+    BufReader::new(reader).read_to_end(&mut bytes)?;
+    if bytes.len() % 16 != 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "torn trailing edge record",
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(16)
+        .map(|rec| {
+            (
+                u64::from_le_bytes(rec[..8].try_into().expect("8 bytes")),
+                u64::from_le_bytes(rec[8..].try_into().expect("8 bytes")),
+            )
+        })
+        .collect())
+}
+
+/// Write a packed binary edge list (16 bytes per edge, as Table 2's
+/// edge-list sizes assume).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_binary_edges<W: Write>(
+    writer: W,
+    edges: &[(VertexId, VertexId)],
+) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for &(u, v) in edges {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Load an edge list from a path, choosing the format by extension:
+/// `.bel`/`.bin` binary, anything else text.
+///
+/// # Errors
+/// Propagates I/O and format errors.
+pub fn load_edges(path: &Path) -> std::io::Result<Vec<(VertexId, VertexId)>> {
+    let f = std::fs::File::open(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("bel") | Some("bin") => read_binary_edges(f),
+        _ => read_text_edges(f),
+    }
+}
+
+/// Save an edge list to a path, choosing the format by extension as
+/// [`load_edges`] does.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_edges(path: &Path, edges: &[(VertexId, VertexId)]) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("bel") | Some("bin") => write_binary_edges(f, edges),
+        _ => write_text_edges(f, edges),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<(u64, u64)> {
+        vec![(0, 1), (1, 2), (1 << 40, 7), (7, 0)]
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut buf = Vec::new();
+        write_text_edges(&mut buf, &sample()).unwrap();
+        let back = read_text_edges(&buf[..]).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn text_skips_comments_and_blank_lines() {
+        let input = "# SNAP header\n\n0\t1\n # indented comment\n2 3\n";
+        let edges = read_text_edges(input.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn text_rejects_malformed_lines() {
+        let err = read_text_edges("0 1\nnot an edge\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"));
+        let err = read_text_edges("5\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_roundtrip_and_size() {
+        let mut buf = Vec::new();
+        write_binary_edges(&mut buf, &sample()).unwrap();
+        assert_eq!(buf.len(), sample().len() * 16, "Table 2 sizing");
+        let back = read_binary_edges(&buf[..]).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn binary_rejects_torn_records() {
+        let mut buf = Vec::new();
+        write_binary_edges(&mut buf, &sample()).unwrap();
+        buf.pop(); // tear the last record
+        let err = read_binary_edges(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn binary_empty_is_ok() {
+        assert!(read_binary_edges(&[][..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn path_dispatch_by_extension() {
+        let dir = std::env::temp_dir().join(format!("elga-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["g.el", "g.bel"] {
+            let path = dir.join(name);
+            save_edges(&path, &sample()).unwrap();
+            assert_eq!(load_edges(&path).unwrap(), sample());
+        }
+        // Text and binary files differ on disk.
+        let text = std::fs::read(dir.join("g.el")).unwrap();
+        let bin = std::fs::read(dir.join("g.bel")).unwrap();
+        assert_ne!(text, bin);
+        assert_eq!(bin.len(), sample().len() * 16);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

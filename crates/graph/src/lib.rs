@@ -1,0 +1,31 @@
+//! Graph substrate for ElGA.
+//!
+//! This crate defines the data model of the paper's §2.1 (directed
+//! graphs, turnstile streams of edge changes, batches) and the two
+//! storage layouts the evaluation contrasts:
+//!
+//! * [`adjacency::AdjacencyStore`] — the dynamic layout ElGA agents use
+//!   ("our dynamic graph is stored as a flat hash map with vectors",
+//!   §4), storing both in- and out-edges and supporting O(1) insert
+//!   and constant-amortized delete;
+//! * [`csr::Csr`] — the static compressed-sparse-row layout the Blogel
+//!   and GAPbs baselines use, which is faster to traverse but cannot be
+//!   updated in place (§4.7).
+//!
+//! [`mod@reference`] holds single-threaded reference algorithms (PageRank,
+//! WCC via union-find, BFS, Dijkstra) used to validate every system in
+//! the workspace, mirroring the paper's §4 correctness methodology.
+
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod csr;
+pub mod io;
+pub mod reference;
+pub mod stats;
+pub mod stream;
+pub mod types;
+
+pub use adjacency::AdjacencyStore;
+pub use csr::Csr;
+pub use types::{Action, Batch, Edge, EdgeChange, VertexId};

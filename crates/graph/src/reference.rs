@@ -1,0 +1,381 @@
+//! Single-threaded reference algorithms.
+//!
+//! The paper validates every system against the baselines "and, when
+//! applicable, against ground truth", with floating point agreement to
+//! `1e-8` (§4.3). These implementations are the workspace's ground
+//! truth: exact for WCC/BFS/SSSP, standard power iteration for
+//! PageRank. Every distributed and parallel implementation in
+//! `elga-core` and `elga-baselines` is tested against them.
+
+#![allow(clippy::needless_range_loop)] // index-based loops mirror the math
+
+use crate::csr::Csr;
+use crate::types::VertexId;
+use elga_hash::FxHashMap;
+
+/// Tolerance at which two PageRank vectors are considered equal (§4.3).
+pub const PAGERANK_TOLERANCE: f64 = 1e-8;
+
+/// Plain power-iteration PageRank with uniform teleport, handling
+/// dangling vertices by redistributing their mass uniformly. Runs a
+/// fixed number of supersteps — all systems in the workspace are
+/// configured with identical iteration counts and termination
+/// conditions, as the paper requires (§4.3).
+pub fn pagerank(csr: &Csr, damping: f64, iters: usize) -> Vec<f64> {
+    let n = csr.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..iters {
+        let mut dangling = 0.0;
+        for v in 0..n {
+            if csr.out_degree(v as VertexId) == 0 {
+                dangling += rank[v];
+            }
+        }
+        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        next.fill(0.0);
+        for u in 0..n {
+            let deg = csr.out_degree(u as VertexId);
+            if deg > 0 {
+                let share = damping * rank[u] / deg as f64;
+                for &v in csr.out_neighbors(u as VertexId) {
+                    next[v as usize] += share;
+                }
+            }
+        }
+        for v in 0..n {
+            next[v] += base;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Personalized PageRank with restart at `source`: restart and
+/// dangling mass return to the source instead of spreading uniformly.
+pub fn personalized_pagerank(csr: &Csr, source: VertexId, damping: f64, iters: usize) -> Vec<f64> {
+    let n = csr.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![0.0; n];
+    rank[source as usize] = 1.0;
+    let mut next = vec![0.0; n];
+    for _ in 0..iters {
+        let mut dangling = 0.0;
+        for v in 0..n {
+            if csr.out_degree(v as VertexId) == 0 {
+                dangling += rank[v];
+            }
+        }
+        next.fill(0.0);
+        for u in 0..n {
+            let deg = csr.out_degree(u as VertexId);
+            if deg > 0 {
+                let share = damping * rank[u] / deg as f64;
+                for &v in csr.out_neighbors(u as VertexId) {
+                    next[v as usize] += share;
+                }
+            }
+        }
+        next[source as usize] += (1.0 - damping) + damping * dangling;
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Maximum absolute difference between two rank vectors.
+pub fn linf(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// A union-find (disjoint set) structure over arbitrary `u64` ids,
+/// used as the exact reference for weakly connected components.
+#[derive(Debug, Default, Clone)]
+pub struct UnionFind {
+    parent: FxHashMap<VertexId, VertexId>,
+}
+
+impl UnionFind {
+    /// Empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Find with path compression; unknown ids are their own roots.
+    pub fn find(&mut self, x: VertexId) -> VertexId {
+        let p = *self.parent.get(&x).unwrap_or(&x);
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    /// Union by smaller root id (so component labels are the minimum
+    /// vertex id, matching the distributed WCC's min-propagation).
+    pub fn union(&mut self, a: VertexId, b: VertexId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(hi, lo);
+    }
+
+    /// Whether two ids share a component.
+    pub fn connected(&mut self, a: VertexId, b: VertexId) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Exact weakly connected components over an edge list: edge direction
+/// is ignored (the "weak" in WCC). Returns each vertex's component
+/// label, the minimum vertex id in its component.
+pub fn wcc(edges: impl IntoIterator<Item = (VertexId, VertexId)>) -> FxHashMap<VertexId, VertexId> {
+    let mut uf = UnionFind::new();
+    let mut seen: Vec<VertexId> = Vec::new();
+    for (u, v) in edges {
+        uf.union(u, v);
+        seen.push(u);
+        seen.push(v);
+    }
+    seen.sort_unstable();
+    seen.dedup();
+    seen.into_iter().map(|v| (v, uf.find(v))).collect()
+}
+
+/// Unweighted BFS distances from `source`; unreachable vertices are
+/// absent from the map. Follows out-edges only (directed BFS).
+pub fn bfs(csr: &Csr, source: VertexId) -> FxHashMap<VertexId, u64> {
+    let mut dist = FxHashMap::default();
+    if (source as usize) >= csr.num_vertices() {
+        return dist;
+    }
+    let mut frontier = std::collections::VecDeque::new();
+    dist.insert(source, 0);
+    frontier.push_back(source);
+    while let Some(u) = frontier.pop_front() {
+        let d = dist[&u];
+        for &v in csr.out_neighbors(u) {
+            dist.entry(v).or_insert_with(|| {
+                frontier.push_back(v);
+                d + 1
+            });
+        }
+    }
+    dist
+}
+
+/// Deterministic pseudo-weight for edge `(u, v)`: hash-derived in
+/// `1..=16`. The public datasets are unweighted, so all systems use
+/// this same synthetic weighting for SSSP.
+#[inline]
+pub fn edge_weight(u: VertexId, v: VertexId) -> u64 {
+    (elga_hash::wang64(u.wrapping_mul(0x1F0E_563A).wrapping_add(v)) % 16) + 1
+}
+
+/// Longest-path levels over a DAG: sources are 0, every other vertex
+/// is `1 + max(level of in-neighbors)`. Returns `None` when the graph
+/// has a cycle (Kahn's algorithm fails to consume every vertex).
+pub fn dag_levels(csr: &Csr) -> Option<FxHashMap<VertexId, u64>> {
+    let n = csr.num_vertices();
+    let mut indeg: Vec<usize> = (0..n).map(|v| csr.in_degree(v as VertexId)).collect();
+    let mut level = vec![0u64; n];
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut seen = 0;
+    while let Some(u) = queue.pop_front() {
+        seen += 1;
+        for &w in csr.out_neighbors(u as VertexId) {
+            let w = w as usize;
+            level[w] = level[w].max(level[u] + 1);
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    if seen != n {
+        return None; // cyclic
+    }
+    Some(
+        (0..n)
+            .filter(|&v| csr.out_degree(v as VertexId) + csr.in_degree(v as VertexId) > 0)
+            .map(|v| (v as VertexId, level[v]))
+            .collect(),
+    )
+}
+
+/// Dijkstra over [`edge_weight`]-weighted out-edges.
+pub fn sssp(csr: &Csr, source: VertexId) -> FxHashMap<VertexId, u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist = FxHashMap::default();
+    if (source as usize) >= csr.num_vertices() {
+        return dist;
+    }
+    let mut heap = BinaryHeap::new();
+    dist.insert(source, 0u64);
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if dist.get(&u).is_some_and(|&best| d > best) {
+            continue;
+        }
+        for &v in csr.out_neighbors(u) {
+            let nd = d + edge_weight(u, v);
+            if dist.get(&v).is_none_or(|&cur| nd < cur) {
+                dist.insert(v, nd);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> Csr {
+        Csr::from_edges(None, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = Csr::from_edges(None, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 2)]);
+        let pr = pagerank(&g, 0.85, 50);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total mass {total}");
+        assert!(pr.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn pagerank_symmetric_cycle_is_uniform() {
+        let g = Csr::from_edges(None, &[(0, 1), (1, 2), (2, 0)]);
+        let pr = pagerank(&g, 0.85, 100);
+        for &r in &pr {
+            assert!((r - 1.0 / 3.0).abs() < PAGERANK_TOLERANCE);
+        }
+    }
+
+    #[test]
+    fn pagerank_hub_ranks_higher() {
+        // Everybody links to 0.
+        let g = Csr::from_edges(None, &[(1, 0), (2, 0), (3, 0), (0, 1)]);
+        let pr = pagerank(&g, 0.85, 60);
+        assert!(pr[0] > pr[2]);
+        assert!(pr[0] > pr[3]);
+    }
+
+    #[test]
+    fn pagerank_empty_graph() {
+        assert!(pagerank(&Csr::default(), 0.85, 10).is_empty());
+    }
+
+    #[test]
+    fn personalized_pagerank_mass_and_locality() {
+        let g = Csr::from_edges(None, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let pr = personalized_pagerank(&g, 0, 0.85, 60);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+        // The source's own neighborhood outranks the far vertex.
+        assert!(pr[0] > pr[3]);
+        assert!(pr[1] > pr[3]);
+    }
+
+    #[test]
+    fn linf_measures_max_gap() {
+        assert_eq!(linf(&[0.0, 1.0], &[0.5, 1.25]), 0.5);
+    }
+
+    #[test]
+    fn wcc_two_components() {
+        let labels = wcc([(1, 2), (2, 3), (10, 11)]);
+        assert_eq!(labels[&1], 1);
+        assert_eq!(labels[&2], 1);
+        assert_eq!(labels[&3], 1);
+        assert_eq!(labels[&10], 10);
+        assert_eq!(labels[&11], 10);
+    }
+
+    #[test]
+    fn wcc_ignores_direction() {
+        let labels = wcc([(5, 1), (1, 9)]);
+        assert_eq!(labels[&5], 1);
+        assert_eq!(labels[&9], 1);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new();
+        assert!(!uf.connected(1, 2));
+        uf.union(1, 2);
+        uf.union(2, 3);
+        assert!(uf.connected(1, 3));
+        assert_eq!(uf.find(3), 1, "labels are minimum ids");
+    }
+
+    #[test]
+    fn bfs_line_distances() {
+        let d = bfs(&line(), 0);
+        assert_eq!(d[&0], 0);
+        assert_eq!(d[&3], 3);
+        // Directed: nothing reaches 0 from 3.
+        let d3 = bfs(&line(), 3);
+        assert_eq!(d3.len(), 1);
+    }
+
+    #[test]
+    fn bfs_out_of_range_source() {
+        assert!(bfs(&line(), 99).is_empty());
+    }
+
+    #[test]
+    fn sssp_respects_weights_and_dominates_bfs() {
+        let g = Csr::from_edges(None, &[(0, 1), (1, 2), (0, 2)]);
+        let d = sssp(&g, 0);
+        // Distances are positive and consistent with edge weights.
+        assert_eq!(d[&0], 0);
+        assert_eq!(d[&1], edge_weight(0, 1));
+        let direct = edge_weight(0, 2);
+        let via = edge_weight(0, 1) + edge_weight(1, 2);
+        assert_eq!(d[&2], direct.min(via));
+    }
+
+    #[test]
+    fn dag_levels_longest_paths() {
+        // 0→1→3, 0→2→3, 2→4 ; longest path to 3 has length 2.
+        let g = Csr::from_edges(None, &[(0, 1), (1, 3), (0, 2), (2, 3), (2, 4)]);
+        let levels = dag_levels(&g).unwrap();
+        assert_eq!(levels[&0], 0);
+        assert_eq!(levels[&1], 1);
+        assert_eq!(levels[&2], 1);
+        assert_eq!(levels[&3], 2);
+        assert_eq!(levels[&4], 2);
+    }
+
+    #[test]
+    fn dag_levels_reject_cycles() {
+        let g = Csr::from_edges(None, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(dag_levels(&g).is_none());
+    }
+
+    #[test]
+    fn edge_weight_in_range_and_deterministic() {
+        for (u, v) in [(0u64, 1u64), (7, 9), (1 << 40, 3)] {
+            let w = edge_weight(u, v);
+            assert!((1..=16).contains(&w));
+            assert_eq!(w, edge_weight(u, v));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Graph statistics used by the generators and experiment harnesses.
+//!
+//! The A-BTER substitution (see DESIGN.md) needs a seed graph's degree
+//! distribution and a clustering proxy; the load-balance experiments
+//! (Figures 5 and 6) need imbalance summaries of per-agent edge counts.
+
+use crate::csr::Csr;
+use crate::types::VertexId;
+use elga_hash::FxHashSet;
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(degrees: impl IntoIterator<Item = usize>) -> Vec<u64> {
+    let mut hist: Vec<u64> = Vec::new();
+    for d in degrees {
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Out-degree histogram of a CSR graph.
+pub fn out_degree_histogram(csr: &Csr) -> Vec<u64> {
+    degree_histogram((0..csr.num_vertices()).map(|v| csr.out_degree(v as VertexId)))
+}
+
+/// Total-degree (in+out) histogram of a CSR graph.
+pub fn total_degree_histogram(csr: &Csr) -> Vec<u64> {
+    degree_histogram(
+        (0..csr.num_vertices())
+            .map(|v| csr.out_degree(v as VertexId) + csr.in_degree(v as VertexId)),
+    )
+}
+
+/// Local clustering coefficient of `v` on the symmetrized graph
+/// induced by out+in neighborhoods: |edges among neighbors| /
+/// (k·(k−1)/2). Exact but O(k²) — sample vertices for large graphs.
+pub fn local_clustering(csr: &Csr, v: VertexId) -> f64 {
+    let mut nbrs: Vec<VertexId> = csr
+        .out_neighbors(v)
+        .iter()
+        .chain(csr.in_neighbors(v))
+        .copied()
+        .filter(|&u| u != v)
+        .collect();
+    nbrs.sort_unstable();
+    nbrs.dedup();
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let set: FxHashSet<VertexId> = nbrs.iter().copied().collect();
+    let mut links = 0usize;
+    for &u in &nbrs {
+        for &w in csr.out_neighbors(u) {
+            if w > u && set.contains(&w) {
+                links += 1;
+            }
+        }
+        // count undirected closure through in-edges too, avoiding
+        // double counting with the w > u guard on a symmetrized view
+        for &w in csr.in_neighbors(u) {
+            if w > u && set.contains(&w) && !csr.out_neighbors(u).contains(&w) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (k * (k - 1)) as f64
+}
+
+/// Mean local clustering over a deterministic sample of `sample`
+/// vertices (every ceil(n/sample)-th vertex).
+pub fn mean_clustering(csr: &Csr, sample: usize) -> f64 {
+    let n = csr.num_vertices();
+    if n == 0 || sample == 0 {
+        return 0.0;
+    }
+    let step = n.div_ceil(sample).max(1);
+    let picked: Vec<usize> = (0..n).step_by(step).collect();
+    let total: f64 = picked
+        .iter()
+        .map(|&v| local_clustering(csr, v as VertexId))
+        .sum();
+    total / picked.len() as f64
+}
+
+/// Summary of a load distribution (per-agent edge counts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadBalance {
+    /// Largest share.
+    pub max: u64,
+    /// Smallest share.
+    pub min: u64,
+    /// Arithmetic mean share.
+    pub mean: f64,
+    /// max / mean — 1.0 is perfect balance; the metric in Figure 6.
+    pub imbalance: f64,
+}
+
+/// Compute balance statistics over per-agent counts.
+pub fn load_balance(counts: &[u64]) -> LoadBalance {
+    if counts.is_empty() {
+        return LoadBalance {
+            max: 0,
+            min: 0,
+            mean: 0.0,
+            imbalance: 1.0,
+        };
+    }
+    let max = *counts.iter().max().unwrap();
+    let min = *counts.iter().min().unwrap();
+    let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+    let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+    LoadBalance {
+        max,
+        min,
+        mean,
+        imbalance,
+    }
+}
+
+/// Relative error between two degree histograms, as the paper's A-BTER
+/// tuning targets "under 5% error for degree distributions" (Appendix).
+/// Computed as L1 distance over the union of bins, normalized by the
+/// total mass of `a`.
+pub fn histogram_error(a: &[u64], b: &[u64]) -> f64 {
+    let len = a.len().max(b.len());
+    let total: u64 = a.iter().sum();
+    if total == 0 {
+        return if b.iter().sum::<u64>() == 0 { 0.0 } else { 1.0 };
+    }
+    let mut diff = 0u64;
+    for i in 0..len {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff += x.abs_diff(y);
+    }
+    diff as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let h = degree_histogram([0, 1, 1, 3]);
+        assert_eq!(h, vec![1, 2, 0, 1]);
+        assert!(degree_histogram(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let g = Csr::from_edges(None, &[(0, 1), (1, 2), (2, 0)]);
+        for v in 0..3 {
+            assert!((local_clustering(&g, v) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = Csr::from_edges(None, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(local_clustering(&g, 0), 0.0);
+        assert_eq!(local_clustering(&g, 1), 0.0, "degree-1 vertex");
+    }
+
+    #[test]
+    fn mean_clustering_between_extremes() {
+        // Triangle plus a pendant vertex.
+        let g = Csr::from_edges(None, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let c = mean_clustering(&g, 10);
+        assert!(c > 0.0 && c < 1.0, "got {c}");
+    }
+
+    #[test]
+    fn load_balance_metrics() {
+        let lb = load_balance(&[10, 20, 30]);
+        assert_eq!(lb.max, 30);
+        assert_eq!(lb.min, 10);
+        assert!((lb.mean - 20.0).abs() < 1e-12);
+        assert!((lb.imbalance - 1.5).abs() < 1e-12);
+        assert_eq!(load_balance(&[]).imbalance, 1.0);
+    }
+
+    #[test]
+    fn histogram_error_zero_for_identical() {
+        assert_eq!(histogram_error(&[1, 2, 3], &[1, 2, 3]), 0.0);
+        assert!(histogram_error(&[4, 0], &[0, 4]) > 0.0);
+        assert_eq!(histogram_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn degree_histograms_on_csr() {
+        let g = Csr::from_edges(None, &[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(out_degree_histogram(&g), vec![1, 1, 1]); // degs 2,1,0
+        // total degrees: v0=2, v1=2, v2=2
+        assert_eq!(total_degree_histogram(&g), vec![0, 0, 3]);
+    }
+}

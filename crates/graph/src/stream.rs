@@ -1,0 +1,202 @@
+//! Turnstile stream utilities (paper §2.1, §4.4).
+//!
+//! The datasets the paper uses carry no insertion/deletion timestamps,
+//! so it "model\[s\] their dynamic change by first deleting a random
+//! sample of edges and second adding the sample back in, as a batch"
+//! (§4.4). [`delete_reinsert_batches`] reproduces that protocol;
+//! [`Batcher`] segments any change stream into numbered batches.
+
+use crate::types::{Batch, EdgeChange, VertexId};
+
+/// Groups a change stream into consecutive [`Batch`]es of at most
+/// `batch_size` changes, assigning monotonically increasing ids.
+#[derive(Debug)]
+pub struct Batcher<I> {
+    inner: I,
+    batch_size: usize,
+    next_id: u64,
+}
+
+impl<I> Batcher<I> {
+    /// Wrap a change iterator.
+    ///
+    /// # Panics
+    /// Panics when `batch_size` is zero.
+    pub fn new(inner: I, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batcher {
+            inner,
+            batch_size,
+            next_id: 0,
+        }
+    }
+}
+
+impl<I: Iterator<Item = EdgeChange>> Iterator for Batcher<I> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        let mut changes = Vec::with_capacity(self.batch_size);
+        while changes.len() < self.batch_size {
+            match self.inner.next() {
+                Some(c) => changes.push(c),
+                None => break,
+            }
+        }
+        if changes.is_empty() {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        Some(Batch::new(id, changes))
+    }
+}
+
+/// A deterministic xorshift generator for sampling; keeps this crate
+/// free of the `rand` dependency (generators in `elga-gen` use `rand`).
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeded generator; zero seeds are remapped.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9 } else { seed },
+        }
+    }
+
+    /// Next pseudo-random value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform value in `0..bound` (bound > 0).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Sample `count` distinct edge indices from `edges`, emit a deletion
+/// batch for the sample followed by an insertion batch restoring it —
+/// the paper's §4.4 dynamic-change model. Returns `(deletions,
+/// insertions)`.
+pub fn delete_reinsert_batches(
+    edges: &[(VertexId, VertexId)],
+    count: usize,
+    seed: u64,
+) -> (Batch, Batch) {
+    let count = count.min(edges.len());
+    let mut rng = XorShift64::new(seed);
+    // Floyd's algorithm for a distinct sample of indices.
+    let n = edges.len() as u64;
+    let mut chosen = std::collections::BTreeSet::new();
+    for j in n - count as u64..n {
+        let t = rng.below(j + 1);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let dels: Vec<EdgeChange> = chosen
+        .iter()
+        .map(|&i| {
+            let (u, v) = edges[i as usize];
+            EdgeChange::delete(u, v)
+        })
+        .collect();
+    let ins: Vec<EdgeChange> = chosen
+        .iter()
+        .map(|&i| {
+            let (u, v) = edges[i as usize];
+            EdgeChange::insert(u, v)
+        })
+        .collect();
+    (Batch::new(0, dels), Batch::new(1, ins))
+}
+
+/// Convert an edge list into a pure insertion stream.
+pub fn insertions(
+    edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+) -> impl Iterator<Item = EdgeChange> {
+    edges
+        .into_iter()
+        .map(|(u, v)| EdgeChange::insert(u, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::AdjacencyStore;
+
+    #[test]
+    fn batcher_respects_size_and_ids() {
+        let stream = insertions((0..10).map(|i| (i, i + 1)));
+        let batches: Vec<Batch> = Batcher::new(stream, 4).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[1].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        assert_eq!(
+            batches.iter().map(|b| b.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn batcher_empty_stream_yields_nothing() {
+        let mut b = Batcher::new(std::iter::empty::<EdgeChange>(), 8);
+        assert!(b.next().is_none());
+    }
+
+    #[test]
+    fn delete_reinsert_roundtrips_the_graph() {
+        let edges: Vec<(VertexId, VertexId)> =
+            (0..50).map(|i| (i, (i * 3 + 1) % 50)).collect();
+        let mut g = AdjacencyStore::from_edges(edges.iter().copied());
+        let before = g.edges_sorted();
+        let (dels, ins) = delete_reinsert_batches(&edges, 10, 42);
+        assert_eq!(dels.len(), 10);
+        assert_eq!(ins.len(), 10);
+        assert_eq!(g.apply_batch(&dels), 10);
+        assert_eq!(g.num_edges(), before.len() - 10);
+        assert_eq!(g.apply_batch(&ins), 10);
+        assert_eq!(g.edges_sorted(), before);
+    }
+
+    #[test]
+    fn delete_reinsert_sample_is_distinct() {
+        let edges: Vec<(VertexId, VertexId)> = (0..100).map(|i| (i, i + 1)).collect();
+        let (dels, _) = delete_reinsert_batches(&edges, 30, 7);
+        let set: std::collections::HashSet<_> =
+            dels.changes.iter().map(|c| c.edge).collect();
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    fn delete_reinsert_caps_at_edge_count() {
+        let edges = vec![(1u64, 2u64), (2, 3)];
+        let (dels, ins) = delete_reinsert_batches(&edges, 10, 1);
+        assert_eq!(dels.len(), 2);
+        assert_eq!(ins.len(), 2);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = XorShift64::new(5);
+        let mut b = XorShift64::new(5);
+        for _ in 0..100 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            assert_ne!(x, 0);
+        }
+        assert!(XorShift64::new(0).next_u64() != 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the graph substrate.
+
+use elga_graph::adjacency::AdjacencyStore;
+use elga_graph::csr::Csr;
+use elga_graph::reference;
+use elga_graph::stream::{delete_reinsert_batches, insertions, Batcher};
+use elga_graph::types::{EdgeChange, VertexId};
+use proptest::prelude::*;
+
+fn arb_edges(max_v: u64, max_len: usize) -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {
+    prop::collection::vec((0..max_v, 0..max_v), 0..max_len)
+}
+
+proptest! {
+    /// The adjacency store is a set of edges: membership, counts and
+    /// degrees always agree with a model HashSet.
+    #[test]
+    fn store_matches_set_semantics(ops in prop::collection::vec((any::<bool>(), 0u64..20, 0u64..20), 0..300)) {
+        let mut store = AdjacencyStore::new();
+        let mut model = std::collections::HashSet::new();
+        for (ins, u, v) in ops {
+            if ins {
+                prop_assert_eq!(store.insert(u, v), model.insert((u, v)));
+            } else {
+                prop_assert_eq!(store.remove(u, v), model.remove(&(u, v)));
+            }
+        }
+        prop_assert_eq!(store.num_edges(), model.len());
+        for &(u, v) in &model {
+            prop_assert!(store.has_edge(u, v));
+        }
+        // degrees agree
+        for v in 0..20u64 {
+            let out = model.iter().filter(|&&(a, _)| a == v).count();
+            let inn = model.iter().filter(|&&(_, b)| b == v).count();
+            prop_assert_eq!(store.out_degree(v), out);
+            prop_assert_eq!(store.in_degree(v), inn);
+        }
+    }
+
+    /// CSR construction preserves the edge multiset.
+    #[test]
+    fn csr_preserves_edges(edges in arb_edges(64, 200)) {
+        let csr = Csr::from_edges(None, &edges);
+        let mut expect = edges.clone();
+        expect.sort_unstable();
+        let mut got: Vec<_> = csr.edges().collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(csr.num_edges(), edges.len());
+        // in/out degree totals match
+        let dout: usize = (0..csr.num_vertices()).map(|v| csr.out_degree(v as u64)).sum();
+        let din: usize = (0..csr.num_vertices()).map(|v| csr.in_degree(v as u64)).sum();
+        prop_assert_eq!(dout, edges.len());
+        prop_assert_eq!(din, edges.len());
+    }
+
+    /// Symmetrization is idempotent and in-degree equals out-degree.
+    #[test]
+    fn symmetrize_idempotent(edges in arb_edges(32, 100)) {
+        let csr = Csr::from_edges(None, &edges);
+        let s1 = csr.symmetrized();
+        let s2 = s1.symmetrized();
+        prop_assert_eq!(s1.num_edges(), s2.num_edges());
+        for v in 0..s1.num_vertices() as u64 {
+            prop_assert_eq!(s1.out_degree(v), s1.in_degree(v));
+        }
+    }
+
+    /// Batching a stream then concatenating reproduces the stream.
+    #[test]
+    fn batcher_concat_roundtrip(
+        edges in arb_edges(50, 150),
+        batch_size in 1usize..17,
+    ) {
+        let stream: Vec<EdgeChange> = insertions(edges.iter().copied()).collect();
+        let rebuilt: Vec<EdgeChange> = Batcher::new(stream.iter().copied(), batch_size)
+            .flat_map(|b| b.changes)
+            .collect();
+        prop_assert_eq!(rebuilt, stream);
+    }
+
+    /// Applying delete-then-reinsert batches restores the graph exactly
+    /// (the paper's §4.4 protocol is graph-preserving).
+    #[test]
+    fn delete_reinsert_is_identity(
+        edges in prop::collection::hash_set((0u64..40, 0u64..40), 1..80),
+        count in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let edges: Vec<_> = edges.into_iter().collect();
+        let mut g = AdjacencyStore::from_edges(edges.iter().copied());
+        let before = g.edges_sorted();
+        let (dels, ins) = delete_reinsert_batches(&edges, count, seed);
+        g.apply_batch(&dels);
+        g.apply_batch(&ins);
+        prop_assert_eq!(g.edges_sorted(), before);
+    }
+
+    /// Reference WCC labels are minimum ids and consistent: two
+    /// vertices get the same label iff they're connected (checked via
+    /// an independent BFS on the symmetrized graph).
+    #[test]
+    fn wcc_labels_consistent(edges in arb_edges(24, 60)) {
+        let labels = reference::wcc(edges.iter().copied());
+        for (&v, &l) in &labels {
+            prop_assert!(l <= v, "label is the min id of the component");
+            prop_assert_eq!(labels[&l], l, "the label vertex is its own root");
+        }
+        // symmetric reachability check on a sample
+        if !edges.is_empty() {
+            let csr = Csr::from_edges(None, &edges).symmetrized();
+            let (u, _) = edges[0];
+            let reach = reference::bfs(&csr, u);
+            for (&v, &l) in &labels {
+                if reach.contains_key(&v) {
+                    prop_assert_eq!(l, labels[&u]);
+                }
+            }
+        }
+    }
+
+    /// Reference PageRank conserves probability mass.
+    #[test]
+    fn pagerank_mass_conserved(edges in arb_edges(30, 120), iters in 1usize..30) {
+        prop_assume!(!edges.is_empty());
+        let csr = Csr::from_edges(None, &edges);
+        let pr = reference::pagerank(&csr, 0.85, iters);
+        let total: f64 = pr.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "mass {total}");
+        prop_assert!(pr.iter().all(|&x| x >= 0.0));
+    }
+
+    /// SSSP distances satisfy the triangle inequality over relaxed
+    /// edges and BFS lower-bounds hop-scaled SSSP.
+    #[test]
+    fn sssp_is_relaxed_fixpoint(edges in arb_edges(24, 80)) {
+        prop_assume!(!edges.is_empty());
+        let csr = Csr::from_edges(None, &edges);
+        let src = edges[0].0;
+        let dist = reference::sssp(&csr, src);
+        for (&(u, v), _) in edges.iter().zip(0..) {
+            if let (Some(&du), Some(&dv)) = (dist.get(&u), dist.get(&v)) {
+                prop_assert!(dv <= du + reference::edge_weight(u, v));
+            }
+        }
+        // every reached vertex in BFS is reached in SSSP and vice versa
+        let hops = reference::bfs(&csr, src);
+        prop_assert_eq!(hops.len(), dist.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! A fast, non-cryptographic [`Hasher`] for in-memory hash maps.
+//!
+//! The paper stores its dynamic graph "as a flat hash map with vectors"
+//! (§4); with SipHash (std's default) the per-vertex map operations
+//! dominate. This is a from-scratch implementation of the Fx word-at-a-
+//! time multiply-rotate hash used by rustc, which is the standard choice
+//! for integer-keyed maps in performance-sensitive Rust.
+//!
+//! HashDoS resistance is irrelevant here: all keys are internal vertex
+//! and agent identifiers.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiplicative hasher (Fx algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`]. Drop-in for `std::collections::HashMap`.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`]. Drop-in for `std::collections::HashSet`.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_eq!(hash_one("elga"), hash_one("elga"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_one(1u64), hash_one(2u64));
+        assert_ne!(hash_one((1u64, 2u64)), hash_one((2u64, 1u64)));
+    }
+
+    #[test]
+    fn byte_stream_tail_lengths_differ() {
+        // The padded-tail encoding must not alias different lengths.
+        let mut a = FxHasher::default();
+        a.write(&[1, 0]);
+        let mut b = FxHasher::default();
+        b.write(&[1]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_basic_usage() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(11, "eleven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.len(), 2);
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+    }
+
+    #[test]
+    fn collision_rate_reasonable_for_sequential_keys() {
+        let mut buckets = vec![0u32; 1024];
+        for k in 0..100_000u64 {
+            buckets[(hash_one(k) >> 54) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        let avg = 100_000 / 1024;
+        assert!(max < avg * 3, "bucket skew too high: {max} vs {avg}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Hashing building blocks for ElGA.
+//!
+//! This crate provides the three hashing layers the paper's edge-location
+//! scheme is built from (ElGA §3.4.1, Figure 3):
+//!
+//! 1. [`funcs`] — the 64-bit integer hash functions evaluated in the
+//!    paper's Figure 5 (Thomas Wang's hash, a multiplicative hash, an
+//!    Abseil-style seeded hash, and CRC64).
+//! 2. [`ring`] — a consistent-hash ring with *virtual agents*
+//!    (§3.4.2), giving `O(log P)` successor lookups and minimal key
+//!    movement when agents join or leave.
+//! 3. [`locator`] — the two-level edge locator: a degree estimate
+//!    chooses how many replicas a vertex is split into, the first
+//!    consistent hash finds the replica set, and a second consistent
+//!    hash over that set picks the owner of a particular edge.
+//!
+//! It also provides [`fx`], a fast non-cryptographic `Hasher` used for
+//! in-memory hash maps throughout the workspace (the paper stores its
+//! dynamic graph in flat hash maps; SipHash would dominate runtime).
+
+#![warn(missing_docs)]
+
+pub mod fx;
+pub mod funcs;
+pub mod locator;
+pub mod ring;
+
+pub use funcs::{abseil64, crc64, mult64, wang64, HashKind};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use locator::{EdgeLocator, LocatorConfig};
+pub use ring::{AgentId, Ring};

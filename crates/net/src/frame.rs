@@ -1,0 +1,257 @@
+//! Message frames.
+//!
+//! "The first byte of any message is a packet type which determines how
+//! a Participant will handle the message. ElGA's protocols typically
+//! involve direct memory copies into ZeroMQ's network buffers" (§3.5).
+//! A [`Frame`] is a cheaply cloneable byte buffer (`bytes::Bytes`)
+//! whose first byte is the packet type; [`Frame::builder`] and
+//! [`FrameReader`] provide the fixed-width little-endian serialization
+//! the protocols use.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// An immutable wire message. Clones share the underlying buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    bytes: Bytes,
+}
+
+impl Frame {
+    /// Frame from raw bytes.
+    ///
+    /// # Panics
+    /// Panics on an empty buffer — every ElGA message carries at least
+    /// its packet-type byte.
+    pub fn from_bytes(bytes: Bytes) -> Self {
+        assert!(!bytes.is_empty(), "frames must carry a packet type");
+        Frame { bytes }
+    }
+
+    /// Start building a frame with the given packet type.
+    pub fn builder(packet_type: u8) -> FrameBuilder {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(packet_type);
+        FrameBuilder { buf }
+    }
+
+    /// A frame carrying only its packet type.
+    pub fn signal(packet_type: u8) -> Frame {
+        Frame::builder(packet_type).finish()
+    }
+
+    /// The packet type (first byte).
+    #[inline]
+    pub fn packet_type(&self) -> u8 {
+        self.bytes[0]
+    }
+
+    /// The payload after the packet type.
+    #[inline]
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes[1..]
+    }
+
+    /// Reader positioned at the start of the payload.
+    #[inline]
+    pub fn reader(&self) -> FrameReader<'_> {
+        FrameReader {
+            buf: self.payload(),
+        }
+    }
+
+    /// Whole frame including the type byte.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Total length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Frames are never empty; provided for clippy symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The underlying shared buffer.
+    pub fn into_bytes(self) -> Bytes {
+        self.bytes
+    }
+}
+
+/// Incremental frame construction with fixed-width little-endian
+/// fields.
+#[derive(Debug)]
+pub struct FrameBuilder {
+    buf: BytesMut,
+}
+
+impl FrameBuilder {
+    /// Append a `u8`.
+    pub fn u8(mut self, v: u8) -> Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Append a little-endian `f64`.
+    pub fn f64(mut self, v: f64) -> Self {
+        self.buf.put_f64_le(v);
+        self
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Append raw bytes with no length prefix (caller knows the
+    /// framing).
+    pub fn raw(mut self, v: &[u8]) -> Self {
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Finish into an immutable [`Frame`].
+    pub fn finish(self) -> Frame {
+        Frame {
+            bytes: self.buf.freeze(),
+        }
+    }
+}
+
+/// Sequential reader over a frame payload. Every accessor returns
+/// `None` once the buffer is exhausted, so malformed frames surface as
+/// parse failures rather than panics.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> FrameReader<'a> {
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Option<u8> {
+        let (&first, rest) = self.buf.split_first()?;
+        self.buf = rest;
+        Some(first)
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        let (head, rest) = self.buf.split_at_checked(4)?;
+        self.buf = rest;
+        Some(u32::from_le_bytes(head.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        let (head, rest) = self.buf.split_at_checked(8)?;
+        self.buf = rest;
+        Some(u64::from_le_bytes(head.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn f64(&mut self) -> Option<f64> {
+        let (head, rest) = self.buf.split_at_checked(8)?;
+        self.buf = rest;
+        Some(f64::from_le_bytes(head.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        let (head, rest) = self.buf.split_at_checked(len)?;
+        self.buf = rest;
+        Some(head)
+    }
+
+    /// Remaining unread payload.
+    pub fn rest(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_read_roundtrip() {
+        let f = Frame::builder(7)
+            .u8(1)
+            .u32(0xDEAD_BEEF)
+            .u64(42)
+            .f64(0.5)
+            .bytes(b"elga")
+            .finish();
+        assert_eq!(f.packet_type(), 7);
+        let mut r = f.reader();
+        assert_eq!(r.u8(), Some(1));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(42));
+        assert_eq!(r.f64(), Some(0.5));
+        assert_eq!(r.bytes(), Some(&b"elga"[..]));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u8(), None, "exhausted reader yields None");
+    }
+
+    #[test]
+    fn signal_frames_are_one_byte() {
+        let f = Frame::signal(9);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.packet_type(), 9);
+        assert!(f.payload().is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_return_none() {
+        let f = Frame::builder(1).u8(5).finish();
+        let mut r = f.reader();
+        assert_eq!(r.u64(), None, "not enough bytes for a u64");
+        // reader is unchanged after a failed read
+        assert_eq!(r.u8(), Some(5));
+    }
+
+    #[test]
+    fn length_prefixed_bytes_guard_against_overrun() {
+        // Claim 100 bytes but provide 2.
+        let f = Frame::builder(1).u32(100).raw(b"xy").finish();
+        let mut r = f.reader();
+        assert_eq!(r.bytes(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "packet type")]
+    fn empty_frame_rejected() {
+        let _ = Frame::from_bytes(Bytes::new());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let f = Frame::builder(3).raw(&[0u8; 1024]).finish();
+        let g = f.clone();
+        assert_eq!(f.as_bytes().as_ptr(), g.as_bytes().as_ptr());
+    }
+}

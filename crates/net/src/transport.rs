@@ -1,0 +1,219 @@
+//! The transport abstraction: mailboxes, outboxes, publishers, and the
+//! [`Transport`] trait implemented by the in-process and TCP backends.
+
+use crate::addr::Addr;
+use crate::frame::Frame;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::Duration;
+
+/// Errors surfaced by the messaging layer.
+#[derive(Debug)]
+pub enum NetError {
+    /// The address is already bound.
+    AddrInUse(Addr),
+    /// The peer's mailbox is gone (agent left / process exited).
+    Disconnected,
+    /// A blocking operation timed out.
+    Timeout,
+    /// Malformed frame on the wire.
+    Protocol(&'static str),
+    /// Underlying socket error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::AddrInUse(a) => write!(f, "address in use: {a}"),
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout => write!(f, "operation timed out"),
+            NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            NetError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// How a reply is routed back to a requester.
+#[derive(Debug)]
+pub(crate) enum ReplyRoute {
+    /// In-process: a one-shot channel the requester blocks on.
+    Chan(Sender<Frame>),
+    /// TCP: a handle to the per-connection writer.
+    Writer(Sender<Frame>),
+}
+
+/// Capability to answer a REQ with exactly one REP.
+#[derive(Debug)]
+pub struct ReplyHandle {
+    pub(crate) route: ReplyRoute,
+}
+
+impl ReplyHandle {
+    /// Send the reply. Consumes the handle: REQ/REP is strictly
+    /// one-for-one (§3.5, "designed for blocking requests and
+    /// responses").
+    pub fn send(self, frame: Frame) -> Result<(), NetError> {
+        let tx = match self.route {
+            ReplyRoute::Chan(tx) => tx,
+            ReplyRoute::Writer(tx) => tx,
+        };
+        tx.send(frame).map_err(|_| NetError::Disconnected)
+    }
+}
+
+/// One received message: the frame plus, for REQ deliveries, the means
+/// to reply.
+#[derive(Debug)]
+pub struct Delivery {
+    /// The message.
+    pub frame: Frame,
+    /// Present iff the sender used [`Transport::request`] and is
+    /// blocked awaiting a reply.
+    pub reply: Option<ReplyHandle>,
+}
+
+impl Delivery {
+    /// A PUSH delivery (no reply expected).
+    pub fn push(frame: Frame) -> Self {
+        Delivery { frame, reply: None }
+    }
+}
+
+/// Receiving end of a bound endpoint. Entities poll this continuously —
+/// "They continuously poll on their communication channel and act on
+/// whatever packet they receive" (§3.4).
+#[derive(Debug)]
+pub struct Mailbox {
+    pub(crate) addr: Addr,
+    pub(crate) rx: Receiver<Delivery>,
+}
+
+impl Mailbox {
+    /// The bound address.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Block until a message arrives or all senders are gone.
+    pub fn recv(&self) -> Result<Delivery, NetError> {
+        self.rx.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    /// Block up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Delivery, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive; `Ok(None)` when the mailbox is empty.
+    pub fn try_recv(&self) -> Result<Option<Delivery>, NetError> {
+        match self.rx.try_recv() {
+            Ok(d) => Ok(Some(d)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Number of queued messages (approximate under concurrency).
+    pub fn backlog(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+/// Non-blocking send handle to a peer (the PUSH pattern: "a
+/// non-blocking send ... allows the client to continue executing while
+/// [the transport] finishes sending the message", §3.5).
+#[derive(Debug, Clone)]
+pub struct Outbox {
+    pub(crate) tx: Sender<Delivery>,
+}
+
+impl Outbox {
+    /// Queue a frame for delivery. Fails only if the peer is gone.
+    pub fn send(&self, frame: Frame) -> Result<(), NetError> {
+        self.tx
+            .send(Delivery::push(frame))
+            .map_err(|_| NetError::Disconnected)
+    }
+}
+
+/// A bound PUB endpoint fanning frames out to matching subscribers.
+pub struct Publisher {
+    pub(crate) addr: Addr,
+    pub(crate) sink: Box<dyn Fn(&Frame) -> usize + Send + Sync>,
+}
+
+impl std::fmt::Debug for Publisher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Publisher").finish_non_exhaustive()
+    }
+}
+
+impl Publisher {
+    /// The bound address (with the actual port for TCP binds to
+    /// ephemeral port 0).
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Publish a frame to every subscriber whose topic filter matches
+    /// the frame's packet type. Returns the number of subscribers
+    /// reached (useful for tests; ZeroMQ offers no such feedback).
+    pub fn publish(&self, frame: &Frame) -> usize {
+        (self.sink)(frame)
+    }
+}
+
+/// A message-passing backend. All methods are callable from any
+/// thread; entities share one `Arc<dyn Transport>`.
+pub trait Transport: Send + Sync + 'static {
+    /// Bind a PULL/REP endpoint and obtain its mailbox.
+    fn bind(&self, addr: &Addr) -> Result<Mailbox, NetError>;
+
+    /// Obtain a PUSH handle to `addr`. Binding order does not matter
+    /// for in-process endpoints; TCP requires the peer to be listening.
+    fn sender(&self, addr: &Addr) -> Result<Outbox, NetError>;
+
+    /// Blocking REQ/REP round trip.
+    fn request(&self, addr: &Addr, frame: Frame, timeout: Duration) -> Result<Frame, NetError>;
+
+    /// Bind a PUB endpoint.
+    fn bind_publisher(&self, addr: &Addr) -> Result<Publisher, NetError>;
+
+    /// Subscribe to the packet types in `topics` from the publisher at
+    /// `addr` (empty `topics` = all messages, as in ZeroMQ).
+    fn subscribe(&self, addr: &Addr, topics: &[u8]) -> Result<Mailbox, NetError>;
+
+    /// Subscribe and deliver matching frames into the mailbox bound at
+    /// `target`, so a single-threaded entity can poll one channel for
+    /// both direct and broadcast traffic (the paper's agents poll one
+    /// communication channel, §3.4). The default implementation relays
+    /// through a thread; backends may wire it directly.
+    fn subscribe_forward(
+        &self,
+        addr: &Addr,
+        topics: &[u8],
+        target: &Addr,
+    ) -> Result<(), NetError> {
+        let sub = self.subscribe(addr, topics)?;
+        let out = self.sender(target)?;
+        std::thread::spawn(move || {
+            while let Ok(d) = sub.recv() {
+                if out.send(d.frame).is_err() {
+                    break;
+                }
+            }
+        });
+        Ok(())
+    }
+}

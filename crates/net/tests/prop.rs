@@ -1,0 +1,83 @@
+//! Property tests for the messaging substrate.
+
+use elga_net::{Addr, Frame, InProcTransport, Transport};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NAME: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_name(prefix: &str) -> Addr {
+    Addr::inproc(format!("{prefix}-{}", NAME.fetch_add(1, Ordering::Relaxed)))
+}
+
+proptest! {
+    /// Frames round-trip through the builder/reader for arbitrary
+    /// field sequences.
+    #[test]
+    fn frame_field_roundtrip(
+        ptype in any::<u8>(),
+        u8s in prop::collection::vec(any::<u8>(), 0..8),
+        u32s in prop::collection::vec(any::<u32>(), 0..8),
+        u64s in prop::collection::vec(any::<u64>(), 0..8),
+        blob in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut b = Frame::builder(ptype);
+        for &x in &u8s { b = b.u8(x); }
+        for &x in &u32s { b = b.u32(x); }
+        for &x in &u64s { b = b.u64(x); }
+        b = b.bytes(&blob);
+        let f = b.finish();
+        prop_assert_eq!(f.packet_type(), ptype);
+        let mut r = f.reader();
+        for &x in &u8s { prop_assert_eq!(r.u8(), Some(x)); }
+        for &x in &u32s { prop_assert_eq!(r.u32(), Some(x)); }
+        for &x in &u64s { prop_assert_eq!(r.u64(), Some(x)); }
+        prop_assert_eq!(r.bytes(), Some(&blob[..]));
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// The in-process transport preserves per-sender FIFO order for
+    /// arbitrary message sequences.
+    #[test]
+    fn inproc_preserves_fifo(values in prop::collection::vec(any::<u64>(), 1..100)) {
+        let t = Arc::new(InProcTransport::new());
+        let addr = fresh_name("fifo");
+        let mb = t.bind(&addr).unwrap();
+        let out = t.sender(&addr).unwrap();
+        for &v in &values {
+            out.send(Frame::builder(1).u64(v).finish()).unwrap();
+        }
+        for &v in &values {
+            let d = mb.recv().unwrap();
+            prop_assert_eq!(d.frame.reader().u64(), Some(v));
+        }
+    }
+
+    /// Pub/sub filtering delivers exactly the matching packet types,
+    /// in order.
+    #[test]
+    fn pubsub_filters_exactly(
+        topics in prop::collection::hash_set(any::<u8>(), 0..4),
+        stream in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let t = Arc::new(InProcTransport::new());
+        let addr = fresh_name("bus");
+        let publ = t.bind_publisher(&addr).unwrap();
+        let topic_vec: Vec<u8> = topics.iter().copied().collect();
+        let sub = t.subscribe(&addr, &topic_vec).unwrap();
+        for &pt in &stream {
+            publ.publish(&Frame::signal(pt));
+        }
+        let expected: Vec<u8> = stream
+            .iter()
+            .copied()
+            .filter(|pt| topics.is_empty() || topics.contains(pt))
+            .collect();
+        for want in expected {
+            let d = sub.recv().unwrap();
+            prop_assert_eq!(d.frame.packet_type(), want);
+        }
+        prop_assert!(sub.try_recv().unwrap().is_none(), "no extra deliveries");
+    }
+}

@@ -1,0 +1,319 @@
+//! Count-min sketch (Cormode & Muthukrishnan), the sketch ElGA
+//! broadcasts through its directory system (§3.3.1).
+//!
+//! The table is `depth` rows of `width` counters. Each update hashes the
+//! key once per row and increments one counter per row; a query takes
+//! the minimum over rows. Because counters only grow ("only going in one
+//! direction", §2.4), an estimate can exceed the true count but never
+//! under-count — exactly the bias ElGA wants for replication decisions:
+//! a heavy vertex is never missed, at worst a light vertex is split
+//! unnecessarily.
+//!
+//! Sizing (§3.3.1): `width = ceil(e / ε)` and `depth = ceil(ln(1/δ))`
+//! guarantee additive error at most `ε·m` after `m` updates with
+//! probability `1 − δ`. The paper's example: 100 B edges, width `2^18`,
+//! depth 8 → every degree estimate within ~1 M at 99.965 % probability,
+//! in 8 MB.
+
+use elga_hash::funcs::wang64;
+use serde::{Deserialize, Serialize};
+
+/// A count-min sketch over `u64` keys with saturating `u32` counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    /// Row-major `depth × width` counter table.
+    table: Vec<u32>,
+    /// Total updates applied (the stream length `m`).
+    items: u64,
+}
+
+/// Per-row seed: decorrelates the row hash functions.
+#[inline]
+fn row_seed(row: usize) -> u64 {
+    // splitmix-style sequence of seeds
+    wang64((row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD6E8_FEB8_6659_FD93)
+}
+
+impl CountMinSketch {
+    /// Create a `depth × width` sketch.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero.
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width > 0 && depth > 0, "sketch dimensions must be nonzero");
+        CountMinSketch {
+            width,
+            depth,
+            table: vec![0; width * depth],
+            items: 0,
+        }
+    }
+
+    /// Create a sketch sized for additive error `ε·m` with failure
+    /// probability `δ`: `width = ceil(e/ε)`, `depth = ceil(ln(1/δ))`.
+    pub fn with_error(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        CountMinSketch::new(width, depth)
+    }
+
+    /// Width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Depth (number of rows / hash functions).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total updates applied across all keys.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Size of the counter table in bytes (what the directory
+    /// broadcasts; the paper's `O(P + d·w)` term).
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u32>()
+    }
+
+    /// The additive error bound `ε·m = (e/width)·items` the sketch
+    /// currently guarantees with probability `1 − e^{-depth}`.
+    pub fn current_error_bound(&self) -> f64 {
+        std::f64::consts::E / self.width as f64 * self.items as f64
+    }
+
+    #[inline]
+    fn index(&self, row: usize, key: u64) -> usize {
+        let h = wang64(key ^ row_seed(row));
+        row * self.width + (h % self.width as u64) as usize
+    }
+
+    /// Add `count` to `key`.
+    pub fn add(&mut self, key: u64, count: u32) {
+        for row in 0..self.depth {
+            let idx = self.index(row, key);
+            self.table[idx] = self.table[idx].saturating_add(count);
+        }
+        self.items += u64::from(count);
+    }
+
+    /// Add one to `key`.
+    #[inline]
+    pub fn inc(&mut self, key: u64) {
+        self.add(key, 1);
+    }
+
+    /// Point estimate for `key`: minimum counter across rows. Never
+    /// less than the true count.
+    pub fn estimate(&self, key: u64) -> u64 {
+        let mut min = u32::MAX;
+        for row in 0..self.depth {
+            min = min.min(self.table[self.index(row, key)]);
+        }
+        u64::from(min)
+    }
+
+    /// Merge another sketch of identical dimensions (counter-wise sum).
+    /// Agents accumulate local sketches and directories merge them into
+    /// the broadcast view.
+    ///
+    /// # Errors
+    /// Returns `Err` when dimensions differ.
+    pub fn merge(&mut self, other: &CountMinSketch) -> Result<(), DimensionMismatch> {
+        if self.width != other.width || self.depth != other.depth {
+            return Err(DimensionMismatch {
+                expected: (self.width, self.depth),
+                got: (other.width, other.depth),
+            });
+        }
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a = a.saturating_add(*b);
+        }
+        self.items += other.items;
+        Ok(())
+    }
+
+    /// Raw counter at `(row, col)` — used by the directory's wire
+    /// encoding of the broadcast sketch.
+    ///
+    /// # Panics
+    /// Panics when out of range.
+    #[inline]
+    pub fn cell(&self, row: usize, col: usize) -> u32 {
+        assert!(row < self.depth && col < self.width, "cell out of range");
+        self.table[row * self.width + col]
+    }
+
+    /// Reassemble a sketch from its wire parts. Returns `None` when the
+    /// cell count does not match `width × depth` or a dimension is
+    /// zero.
+    pub fn from_parts(
+        width: usize,
+        depth: usize,
+        cells: Vec<u32>,
+        items: u64,
+    ) -> Option<CountMinSketch> {
+        if width == 0 || depth == 0 || cells.len() != width * depth {
+            return None;
+        }
+        Some(CountMinSketch {
+            width,
+            depth,
+            table: cells,
+            items,
+        })
+    }
+
+    /// Reset every counter to zero.
+    pub fn clear(&mut self) {
+        self.table.fill(0);
+        self.items = 0;
+    }
+
+    /// True when no updates have been applied.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+}
+
+/// Error returned by [`CountMinSketch::merge`] on shape mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimensionMismatch {
+    /// `(width, depth)` of the receiver.
+    pub expected: (usize, usize),
+    /// `(width, depth)` of the argument.
+    pub got: (usize, usize),
+}
+
+impl std::fmt::Display for DimensionMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sketch dimension mismatch: expected {:?}, got {:?}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for DimensionMismatch {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let s = CountMinSketch::new(64, 4);
+        assert!(s.is_empty());
+        assert_eq!(s.estimate(42), 0);
+        assert_eq!(s.items(), 0);
+    }
+
+    #[test]
+    fn single_key_exact_without_collisions() {
+        let mut s = CountMinSketch::new(1024, 4);
+        for _ in 0..100 {
+            s.inc(7);
+        }
+        assert_eq!(s.estimate(7), 100);
+        assert_eq!(s.items(), 100);
+    }
+
+    #[test]
+    fn never_underestimates() {
+        // Deliberately tiny sketch to force collisions.
+        let mut s = CountMinSketch::new(8, 2);
+        let mut truth = std::collections::HashMap::new();
+        for k in 0..100u64 {
+            let c = (k % 7 + 1) as u32;
+            s.add(k, c);
+            *truth.entry(k).or_insert(0u64) += u64::from(c);
+        }
+        for (k, t) in truth {
+            assert!(s.estimate(k) >= t, "under-estimate for {k}");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_for_most_keys() {
+        let mut s = CountMinSketch::with_error(0.01, 0.01);
+        let n = 10_000u64;
+        for k in 0..n {
+            s.inc(k);
+        }
+        let bound = s.current_error_bound().ceil() as u64;
+        let violations = (0..n).filter(|&k| s.estimate(k) > 1 + bound).count();
+        // delta = 1% failure probability per key; allow generous slack.
+        assert!(
+            violations < (n / 20) as usize,
+            "{violations} of {n} keys exceeded the error bound"
+        );
+    }
+
+    #[test]
+    fn with_error_sizes_match_formula() {
+        let s = CountMinSketch::with_error(0.001, 0.000_35);
+        assert_eq!(s.width(), (std::f64::consts::E / 0.001).ceil() as usize);
+        assert_eq!(s.depth(), 8); // ln(1/0.00035) ≈ 7.96 → paper's depth 8
+    }
+
+    #[test]
+    fn paper_sizing_example_fits_8mb() {
+        // §3.3.1: width 2^18, depth 8 → 8 MB table.
+        let s = CountMinSketch::new(1 << 18, 8);
+        assert_eq!(s.table_bytes(), 8 << 20);
+    }
+
+    #[test]
+    fn merge_matches_sequential_updates() {
+        let mut a = CountMinSketch::new(256, 4);
+        let mut b = CountMinSketch::new(256, 4);
+        let mut whole = CountMinSketch::new(256, 4);
+        for k in 0..500u64 {
+            if k % 2 == 0 {
+                a.inc(k);
+            } else {
+                b.inc(k);
+            }
+            whole.inc(k);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.items(), whole.items());
+        for k in 0..500u64 {
+            assert_eq!(a.estimate(k), whole.estimate(k));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_dimensions() {
+        let mut a = CountMinSketch::new(128, 4);
+        let b = CountMinSketch::new(64, 4);
+        let err = a.merge(&b).unwrap_err();
+        assert_eq!(err.expected, (128, 4));
+        assert_eq!(err.got, (64, 4));
+        assert!(err.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = CountMinSketch::new(64, 2);
+        s.add(1, 10);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.estimate(1), 0);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut s = CountMinSketch::new(4, 1);
+        s.add(0, u32::MAX);
+        s.add(0, 10);
+        assert_eq!(s.estimate(0), u64::from(u32::MAX));
+    }
+}

@@ -1,0 +1,160 @@
+//! The Count Sketch of Charikar, Chen and Farach-Colton — the
+//! predecessor design discussed in the paper's §2.4.
+//!
+//! Unlike the count-min sketch, each update *adds or subtracts* one per
+//! row (a second hash chooses the sign) and a query takes the median of
+//! the signed row estimates. The estimate is unbiased but can
+//! under-count, which is why ElGA does not use it for replication
+//! decisions; it is kept here for the design-choice discussion and as a
+//! cross-check in tests and benchmarks.
+
+use elga_hash::funcs::wang64;
+use serde::{Deserialize, Serialize};
+
+/// A count sketch over `u64` keys with signed 64-bit counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountSketch {
+    width: usize,
+    depth: usize,
+    table: Vec<i64>,
+    items: u64,
+}
+
+#[inline]
+fn bucket_seed(row: usize) -> u64 {
+    wang64((row as u64).wrapping_mul(0xA076_1D64_78BD_642F) ^ 0x1234_5678_9ABC_DEF0)
+}
+
+#[inline]
+fn sign_seed(row: usize) -> u64 {
+    wang64((row as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB) ^ 0x0FED_CBA9_8765_4321)
+}
+
+impl CountSketch {
+    /// Create a `depth × width` count sketch.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero.
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width > 0 && depth > 0, "sketch dimensions must be nonzero");
+        CountSketch {
+            width,
+            depth,
+            table: vec![0; width * depth],
+            items: 0,
+        }
+    }
+
+    /// Width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Depth (number of rows).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total magnitude of updates applied.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, key: u64) -> (usize, i64) {
+        let b = wang64(key ^ bucket_seed(row)) % self.width as u64;
+        let sign = if wang64(key ^ sign_seed(row)) & 1 == 0 {
+            1
+        } else {
+            -1
+        };
+        (row * self.width + b as usize, sign)
+    }
+
+    /// Add `count` (may be negative: turnstile updates are supported).
+    pub fn add(&mut self, key: u64, count: i64) {
+        for row in 0..self.depth {
+            let (idx, sign) = self.cell(row, key);
+            self.table[idx] += sign * count;
+        }
+        self.items += count.unsigned_abs();
+    }
+
+    /// Add one to `key`.
+    #[inline]
+    pub fn inc(&mut self, key: u64) {
+        self.add(key, 1);
+    }
+
+    /// Median-of-rows point estimate for `key`. Unbiased, but unlike
+    /// count-min it may under-count.
+    pub fn estimate(&self, key: u64) -> i64 {
+        let mut rows: Vec<i64> = (0..self.depth)
+            .map(|row| {
+                let (idx, sign) = self.cell(row, key);
+                sign * self.table[idx]
+            })
+            .collect();
+        rows.sort_unstable();
+        let n = rows.len();
+        if n % 2 == 1 {
+            rows[n / 2]
+        } else {
+            (rows[n / 2 - 1] + rows[n / 2]) / 2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_sparse() {
+        let mut s = CountSketch::new(512, 5);
+        s.add(3, 41);
+        assert_eq!(s.estimate(3), 41);
+        assert_eq!(s.estimate(4), 0);
+    }
+
+    #[test]
+    fn supports_deletions() {
+        let mut s = CountSketch::new(512, 5);
+        s.add(9, 10);
+        s.add(9, -4);
+        assert_eq!(s.estimate(9), 6);
+    }
+
+    #[test]
+    fn roughly_unbiased_under_collisions() {
+        let mut s = CountSketch::new(16, 7);
+        for k in 0..1000u64 {
+            s.inc(k);
+        }
+        // Mean signed error over many keys should be near zero.
+        let total: i64 = (0..1000u64).map(|k| s.estimate(k) - 1).sum();
+        let mean = total as f64 / 1000.0;
+        assert!(mean.abs() < 20.0, "bias too large: {mean}");
+    }
+
+    #[test]
+    fn can_underestimate_unlike_cms() {
+        // Demonstrate the §2.4 distinction: with heavy collisions, some
+        // count-sketch estimate falls below truth, while count-min never
+        // does (see cms::tests::never_underestimates).
+        let mut s = CountSketch::new(4, 1);
+        for k in 0..64u64 {
+            s.add(k, 8);
+        }
+        let under = (0..64u64).any(|k| s.estimate(k) < 8);
+        assert!(under, "expected at least one under-estimate");
+    }
+
+    #[test]
+    fn items_tracks_magnitude() {
+        let mut s = CountSketch::new(8, 2);
+        s.add(1, 5);
+        s.add(2, -3);
+        assert_eq!(s.items(), 8);
+    }
+}

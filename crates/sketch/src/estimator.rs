@@ -1,0 +1,139 @@
+//! Degree estimation on top of the count-min sketch.
+//!
+//! ElGA counts every edge endpoint it ingests into a local sketch;
+//! directories merge agent sketches and broadcast the result, so every
+//! Participant can estimate any vertex's degree in `O(d)` (§3.4.1,
+//! "Querying the degree estimate takes O(d), where d is typically 8").
+//! Because the sketch only grows, deletions leave estimates in place —
+//! the estimate remains an upper bound on the true degree, which is the
+//! safe direction for replication.
+
+use crate::cms::{CountMinSketch, DimensionMismatch};
+use serde::{Deserialize, Serialize};
+
+/// Counts edge endpoints and answers degree queries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegreeEstimator {
+    sketch: CountMinSketch,
+}
+
+impl DegreeEstimator {
+    /// New estimator over a `depth × width` count-min sketch.
+    pub fn new(width: usize, depth: usize) -> Self {
+        DegreeEstimator {
+            sketch: CountMinSketch::new(width, depth),
+        }
+    }
+
+    /// Wrap an existing sketch (e.g. one received from a directory).
+    pub fn from_sketch(sketch: CountMinSketch) -> Self {
+        DegreeEstimator { sketch }
+    }
+
+    /// Record the insertion of edge `(u, v)`: both endpoints gain a
+    /// degree (ElGA stores in- and out-edges, §4).
+    #[inline]
+    pub fn record_edge(&mut self, u: u64, v: u64) {
+        self.sketch.inc(u);
+        if u != v {
+            self.sketch.inc(v);
+        }
+    }
+
+    /// Record `count` additional incident edges on a single vertex.
+    #[inline]
+    pub fn record_endpoint(&mut self, v: u64, count: u32) {
+        self.sketch.add(v, count);
+    }
+
+    /// Estimated (never under-counted) degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u64) -> u64 {
+        self.sketch.estimate(v)
+    }
+
+    /// Total endpoint count seen (2× the number of non-loop edges).
+    pub fn endpoints(&self) -> u64 {
+        self.sketch.items()
+    }
+
+    /// The wrapped sketch, for broadcast.
+    pub fn sketch(&self) -> &CountMinSketch {
+        &self.sketch
+    }
+
+    /// Merge another estimator's counts (agent → directory roll-up).
+    pub fn merge(&mut self, other: &DegreeEstimator) -> Result<(), DimensionMismatch> {
+        self.sketch.merge(&other.sketch)
+    }
+
+    /// Replace the sketch with a broadcast copy, keeping dimensions.
+    pub fn replace(&mut self, sketch: CountMinSketch) {
+        self.sketch = sketch;
+    }
+
+    /// Forget all counts.
+    pub fn clear(&mut self) {
+        self.sketch.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_counted_on_both_endpoints() {
+        let mut d = DegreeEstimator::new(1024, 4);
+        d.record_edge(1, 2);
+        d.record_edge(1, 3);
+        assert_eq!(d.degree(1), 2);
+        assert_eq!(d.degree(2), 1);
+        assert_eq!(d.degree(3), 1);
+        assert_eq!(d.degree(99), 0);
+        assert_eq!(d.endpoints(), 4);
+    }
+
+    #[test]
+    fn self_loop_counts_once() {
+        let mut d = DegreeEstimator::new(1024, 4);
+        d.record_edge(5, 5);
+        assert_eq!(d.degree(5), 1);
+    }
+
+    #[test]
+    fn estimates_upper_bound_true_degree() {
+        let mut d = DegreeEstimator::new(32, 4); // small: force collisions
+        let mut truth = vec![0u64; 200];
+        for i in 0..1000u64 {
+            let (u, v) = (i % 200, (i * 7 + 1) % 200);
+            if u != v {
+                d.record_edge(u, v);
+                truth[u as usize] += 1;
+                truth[v as usize] += 1;
+            }
+        }
+        for (v, &t) in truth.iter().enumerate() {
+            assert!(d.degree(v as u64) >= t, "under-estimate at {v}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_agent_views() {
+        let mut a = DegreeEstimator::new(256, 4);
+        let mut b = DegreeEstimator::new(256, 4);
+        a.record_edge(1, 2);
+        b.record_edge(1, 3);
+        a.merge(&b).unwrap();
+        assert_eq!(a.degree(1), 2);
+    }
+
+    #[test]
+    fn replace_adopts_broadcast() {
+        let mut local = DegreeEstimator::new(256, 4);
+        let mut global = DegreeEstimator::new(256, 4);
+        global.record_endpoint(9, 55);
+        local.replace(global.sketch().clone());
+        assert_eq!(local.degree(9), 55);
+    }
+}

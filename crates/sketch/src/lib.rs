@@ -1,0 +1,23 @@
+//! Sketches for ElGA's constant-size global state (paper §2.4, §3.3.1).
+//!
+//! ElGA's partitioning needs one piece of global knowledge: approximate
+//! vertex degrees, to decide which vertices to split across multiple
+//! agents. Storing exact degrees would take `O(n)` space on every
+//! participant (violating Goal 2), so ElGA broadcasts a
+//! [`CountMinSketch`] instead: a `d × w` table of counters whose
+//! estimates never under-count and over-count by at most `ε·m` with
+//! probability `1 − δ`, in `O(d·w)` space independent of the graph.
+//!
+//! A classic [`CountSketch`] is included for comparison (it is the
+//! predecessor discussed in §2.4 but is not used by the system: its
+//! estimates can under-count, which would *unsplit* a heavy vertex).
+
+#![warn(missing_docs)]
+
+pub mod cms;
+pub mod countsketch;
+pub mod estimator;
+
+pub use cms::CountMinSketch;
+pub use countsketch::CountSketch;
+pub use estimator::DegreeEstimator;

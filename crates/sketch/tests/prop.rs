@@ -1,0 +1,92 @@
+//! Property-based tests for the sketch layer.
+
+use elga_sketch::{CountMinSketch, CountSketch, DegreeEstimator};
+use proptest::prelude::*;
+
+proptest! {
+    /// The count-min invariant: estimates never fall below truth,
+    /// regardless of table size or update pattern.
+    #[test]
+    fn cms_never_underestimates(
+        width in 1usize..64,
+        depth in 1usize..8,
+        updates in prop::collection::vec((0u64..64, 1u32..16), 0..256),
+    ) {
+        let mut s = CountMinSketch::new(width, depth);
+        let mut truth = std::collections::HashMap::new();
+        for (k, c) in &updates {
+            s.add(*k, *c);
+            *truth.entry(*k).or_insert(0u64) += u64::from(*c);
+        }
+        for (k, t) in truth {
+            prop_assert!(s.estimate(k) >= t);
+        }
+    }
+
+    /// Merging sketches is equivalent to applying both update streams
+    /// to one sketch.
+    #[test]
+    fn cms_merge_equals_union(
+        left in prop::collection::vec((0u64..128, 1u32..8), 0..128),
+        right in prop::collection::vec((0u64..128, 1u32..8), 0..128),
+    ) {
+        let mut a = CountMinSketch::new(64, 4);
+        let mut b = CountMinSketch::new(64, 4);
+        let mut u = CountMinSketch::new(64, 4);
+        for (k, c) in &left { a.add(*k, *c); u.add(*k, *c); }
+        for (k, c) in &right { b.add(*k, *c); u.add(*k, *c); }
+        a.merge(&b).unwrap();
+        prop_assert_eq!(a.items(), u.items());
+        for k in 0..128u64 {
+            prop_assert_eq!(a.estimate(k), u.estimate(k));
+        }
+    }
+
+    /// Update order never affects a count-min sketch.
+    #[test]
+    fn cms_is_order_invariant(
+        mut updates in prop::collection::vec((0u64..64, 1u32..8), 1..64),
+    ) {
+        let mut forward = CountMinSketch::new(32, 3);
+        for (k, c) in &updates { forward.add(*k, *c); }
+        updates.reverse();
+        let mut backward = CountMinSketch::new(32, 3);
+        for (k, c) in &updates { backward.add(*k, *c); }
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Count sketch supports turnstile streams: inserting then deleting
+    /// the same amount restores the zero estimate for sparse keys.
+    #[test]
+    fn countsketch_turnstile_cancels(
+        key in any::<u64>(),
+        count in 1i64..1000,
+    ) {
+        let mut s = CountSketch::new(128, 5);
+        s.add(key, count);
+        s.add(key, -count);
+        prop_assert_eq!(s.estimate(key), 0);
+    }
+
+    /// Degree estimator over any edge list upper-bounds the true degree
+    /// of every vertex.
+    #[test]
+    fn estimator_upper_bounds_degree(
+        edges in prop::collection::vec((0u64..40, 0u64..40), 0..200),
+    ) {
+        let mut est = DegreeEstimator::new(16, 3);
+        let mut truth = vec![0u64; 40];
+        for &(u, v) in &edges {
+            est.record_edge(u, v);
+            if u == v {
+                truth[u as usize] += 1;
+            } else {
+                truth[u as usize] += 1;
+                truth[v as usize] += 1;
+            }
+        }
+        for v in 0..40u64 {
+            prop_assert!(est.degree(v) >= truth[v as usize]);
+        }
+    }
+}

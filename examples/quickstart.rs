@@ -1,0 +1,82 @@
+//! Quickstart: assemble an ElGA cluster, stream a graph in, run
+//! PageRank and WCC, and query results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use elga::prelude::*;
+
+fn main() {
+    // A 4-agent shared-nothing cluster over the in-process transport:
+    // one DirectoryMaster, one Directory, four Agents — the paper's
+    // Figure 1 topology in one process.
+    let mut cluster = Cluster::builder().agents(4).build();
+
+    // Stream a small follower graph in as a turnstile batch.
+    let edges: &[(u64, u64)] = &[
+        (1, 2),
+        (2, 3),
+        (3, 1),
+        (3, 4),
+        (4, 5),
+        (5, 3),
+        (1, 4),
+        // an island
+        (10, 11),
+        (11, 10),
+    ];
+    cluster.ingest(edges.iter().map(|&(u, v)| EdgeChange::insert(u, v)));
+    println!(
+        "ingested {} edges across {} agents",
+        cluster.metrics().edges,
+        cluster.agent_count()
+    );
+
+    // PageRank, 25 synchronous supersteps.
+    let stats = cluster
+        .run(PageRank::new(0.85).with_max_iters(25))
+        .expect("pagerank");
+    println!(
+        "pagerank: {} supersteps in {:?} ({:?}/iteration)",
+        stats.steps,
+        stats.total,
+        stats.mean_iteration()
+    );
+    let mut ranked: Vec<(u64, f64)> = [1, 2, 3, 4, 5, 10, 11]
+        .iter()
+        .map(|&v| (v, cluster.query_f64(v).expect("rank")))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (v, r) in &ranked {
+        println!("  vertex {v:>2}: rank {r:.4}");
+    }
+
+    // Weakly connected components on the same live graph.
+    cluster.run(Wcc::new()).expect("wcc");
+    for v in [1u64, 5, 10] {
+        println!(
+            "  vertex {v:>2}: component {}",
+            cluster.query_u64(v).expect("label")
+        );
+    }
+
+    // The graph keeps changing: connect the island and re-run
+    // incrementally — only touched vertices recompute.
+    cluster.ingest([EdgeChange::insert(5, 10)]);
+    cluster
+        .run_with(
+            Wcc::new(),
+            elga::core::program::RunOptions {
+                reuse_state: true,
+                mode: ExecutionMode::Sync,
+            },
+        )
+        .expect("incremental wcc");
+    println!(
+        "after inserting (5,10): vertex 11 is now in component {}",
+        cluster.query_u64(11).expect("label")
+    );
+
+    cluster.shutdown();
+}

@@ -1,0 +1,56 @@
+//! # ElGA — elastic and scalable dynamic graph analysis
+//!
+//! A Rust reproduction of *"ElGA: Elastic and Scalable Dynamic Graph
+//! Analysis"* (Gabert et al., SC '21). This facade crate re-exports the
+//! workspace's public API; see the individual crates for details:
+//!
+//! * [`hash`] — hash functions, consistent-hash ring, edge locator.
+//! * [`sketch`] — count-min sketch degree estimation.
+//! * [`graph`] — edge-change streams, batches, adjacency stores, CSR.
+//! * [`net`] — shared-nothing messaging (REQ/REP, PUSH, PUB/SUB).
+//! * [`gen`] — workload generators and the dataset catalog.
+//! * [`core`] — the ElGA system: directories, agents, streamers, client
+//!   proxies, vertex programs, elasticity and autoscaling.
+//! * [`baselines`] — Blogel-like, GraphX-like, STINGER-like, GAPbs-like
+//!   comparators used by the evaluation harnesses.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use elga::prelude::*;
+//!
+//! // Build a 4-agent in-process cluster.
+//! let mut cluster = Cluster::builder().agents(4).build();
+//!
+//! // Stream a small graph in as a batch of edge insertions.
+//! let edges = [(0, 1), (1, 2), (2, 0), (2, 3)];
+//! cluster.ingest(edges.iter().map(|&(u, v)| EdgeChange::insert(u, v)));
+//!
+//! // Run PageRank for 10 supersteps and query a vertex.
+//! cluster.run(PageRank::new(0.85).with_max_iters(10)).unwrap();
+//! let rank = cluster.query_f64(2).unwrap();
+//! assert!(rank > 0.0);
+//! cluster.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub use elga_baselines as baselines;
+pub use elga_core as core;
+pub use elga_gen as gen;
+pub use elga_graph as graph;
+pub use elga_hash as hash;
+pub use elga_net as net;
+pub use elga_sketch as sketch;
+
+/// Convenient single-import surface for examples and applications.
+pub mod prelude {
+    pub use elga_core::algorithms::{Bfs, DagLevel, Degree, PageRank, Ppr, Sssp, Wcc};
+    pub use elga_core::autoscale::{Autoscaler, EmaAutoscaler};
+    pub use elga_core::cluster::{Cluster, ClusterBuilder};
+    pub use elga_core::config::SystemConfig;
+    pub use elga_core::program::{VertexProgram, ExecutionMode};
+    pub use elga_graph::{Batch, EdgeChange, VertexId};
+    pub use elga_hash::{EdgeLocator, HashKind, LocatorConfig, Ring};
+    pub use elga_sketch::CountMinSketch;
+}

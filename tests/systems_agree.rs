@@ -1,0 +1,182 @@
+//! Cross-crate integration: every system in the workspace — ElGA, the
+//! Blogel-like BSP engine, the GraphX-like snapshot engine, the
+//! STINGER-like dynamic structure, the GAPbs-like kernels, and the
+//! single-threaded references — must agree on the paper's two
+//! evaluation algorithms over generated catalog datasets (§4.3: "All
+//! results were checked for correctness among the baselines and ElGA").
+
+use elga::baselines::{snapshot, BlogelEngine, GapGraph, SnapshotEngine, Stinger};
+use elga::core::program::{ExecutionMode, RunOptions};
+use elga::graph::csr::Csr;
+use elga::graph::reference;
+use elga::prelude::*;
+
+fn densify(edges: &[(u64, u64)]) -> (Vec<u64>, Vec<(u64, u64)>) {
+    let mut ids: Vec<u64> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let index: std::collections::HashMap<u64, u64> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u64))
+        .collect();
+    let dense = edges
+        .iter()
+        .map(|&(u, v)| (index[&u], index[&v]))
+        .collect();
+    (ids, dense)
+}
+
+fn dataset(name: &str, seed: u64) -> Vec<(u64, u64)> {
+    let ds = elga::gen::catalog::find(name).expect("catalog");
+    let (_, mut edges) = ds.generate(4e-7, seed);
+    edges.sort_unstable();
+    edges.dedup();
+    edges.retain(|&(u, v)| u != v);
+    edges
+}
+
+#[test]
+fn all_systems_agree_on_wcc() {
+    let edges = dataset("LiveJournal", 3);
+    let truth = reference::wcc(edges.iter().copied());
+    let (ids, dense) = densify(&edges);
+    let csr = Csr::from_edges(Some(ids.len()), &dense);
+
+    // ElGA.
+    let mut cluster = Cluster::builder().agents(4).build();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster.run(Wcc::new()).expect("elga wcc");
+
+    // Blogel-like.
+    let blogel = BlogelEngine::new(csr.clone(), 3);
+    let (blogel_labels, _) = blogel.wcc();
+
+    // GraphX-like (RDD style).
+    let (rdd_labels, _) = snapshot::rdd_wcc(&csr);
+
+    // GAPbs-like.
+    let gap = GapGraph::build(&dense, 3);
+    let gap_labels = gap.wcc();
+
+    // STINGER-like.
+    let mut stinger = Stinger::new();
+    for &(u, v) in &edges {
+        stinger.insert(u, v);
+    }
+
+    for (dense_id, &orig) in ids.iter().enumerate() {
+        let want = truth[&orig];
+        let want_dense = ids.binary_search(&want).expect("label is a vertex") as u64;
+        assert_eq!(cluster.query_u64(orig), Some(want), "elga v{orig}");
+        assert_eq!(blogel_labels[dense_id], want_dense, "blogel v{orig}");
+        assert_eq!(rdd_labels[dense_id], want_dense, "rdd v{orig}");
+        assert_eq!(gap_labels[dense_id], want_dense, "gap v{orig}");
+        assert_eq!(stinger.component(orig), Some(want), "stinger v{orig}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn all_systems_agree_on_pagerank() {
+    let edges = dataset("Twitter-2010", 5);
+    let (ids, dense) = densify(&edges);
+    let csr = Csr::from_edges(Some(ids.len()), &dense);
+    let iters = 15;
+    let expect = reference::pagerank(&csr, 0.85, iters);
+
+    let mut cluster = Cluster::builder().agents(4).build();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster
+        .run(PageRank::new(0.85).with_max_iters(iters as u32))
+        .expect("elga pr");
+
+    let blogel = BlogelEngine::new(csr.clone(), 3).pagerank(0.85, iters);
+    let rdd = snapshot::rdd_pagerank(&csr, 0.85, iters);
+    let gap = GapGraph::build(&dense, 3).pagerank(0.85, iters);
+
+    for (dense_id, &orig) in ids.iter().enumerate() {
+        let want = expect[dense_id];
+        let got = cluster.query_f64(orig).expect("rank");
+        assert!(
+            (got - want).abs() < reference::PAGERANK_TOLERANCE,
+            "elga v{orig}: {got} vs {want}"
+        );
+        assert!((blogel[dense_id] - want).abs() < 1e-12, "blogel v{orig}");
+        assert!((rdd[dense_id] - want).abs() < 1e-12, "rdd v{orig}");
+        assert!((gap[dense_id] - want).abs() < 1e-12, "gap v{orig}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn dynamic_maintainers_agree_over_a_change_stream() {
+    // ElGA (incremental runs), the snapshot engine, and STINGER must
+    // track identical components through a mixed stream.
+    let base = dataset("Amazon0601", 7);
+    let (keep, play) = base.split_at(base.len() * 3 / 4);
+
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(keep.iter().copied());
+    cluster.run(Wcc::new()).expect("initial");
+
+    let mut snap = SnapshotEngine::new(2);
+    snap.load(keep.iter().copied());
+
+    let mut stinger = Stinger::new();
+    for &(u, v) in keep {
+        stinger.insert(u, v);
+    }
+
+    let mut model: Vec<(u64, u64)> = keep.to_vec();
+    for chunk in play.chunks(16) {
+        let batch: Vec<EdgeChange> = chunk
+            .iter()
+            .map(|&(u, v)| EdgeChange::insert(u, v))
+            .collect();
+        cluster.ingest(batch.iter().copied());
+        cluster
+            .run_with(
+                Wcc::new(),
+                RunOptions {
+                    reuse_state: true,
+                    mode: ExecutionMode::Sync,
+                },
+            )
+            .expect("incremental");
+        snap.apply_batch(&elga::graph::types::Batch::new(0, batch));
+        for &(u, v) in chunk {
+            stinger.insert(u, v);
+        }
+        model.extend_from_slice(chunk);
+
+        let truth = reference::wcc(model.iter().copied());
+        for &(u, _) in chunk {
+            let want = truth[&u];
+            assert_eq!(cluster.query_u64(u), Some(want), "elga v{u}");
+            assert_eq!(snap.label(u), Some(want), "snapshot v{u}");
+            assert_eq!(stinger.component(u), Some(want), "stinger v{u}");
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn prelude_covers_the_quickstart_surface() {
+    // The facade's prelude must be sufficient for the README flow.
+    let mut cluster = Cluster::builder()
+        .agents(2)
+        .config(SystemConfig::default())
+        .build();
+    cluster.ingest([EdgeChange::insert(1, 2), EdgeChange::insert(2, 1)]);
+    cluster.run(PageRank::new(0.85).with_max_iters(5)).unwrap();
+    let r = cluster.query_f64(1).unwrap();
+    assert!((r - 0.5).abs() < 1e-9, "symmetric pair splits mass: {r}");
+    let ring = Ring::from_agents(HashKind::Wang, 10, 0..4);
+    assert!(ring.owner(1).is_some());
+    let mut sketch = CountMinSketch::new(64, 4);
+    sketch.inc(9);
+    assert_eq!(sketch.estimate(9), 1);
+    let _ = EdgeLocator::new(ring, LocatorConfig::default());
+    cluster.shutdown();
+}

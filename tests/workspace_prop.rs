@@ -1,0 +1,111 @@
+//! Workspace-level property tests: randomized change streams and
+//! elasticity schedules driven against the full system, checked
+//! against the references. These are the heaviest invariants in the
+//! suite, so case counts are modest.
+
+use elga::core::program::{ExecutionMode, RunOptions};
+use elga::graph::reference;
+use elga::prelude::*;
+use proptest::prelude::*;
+
+fn apply_model(model: &mut std::collections::HashSet<(u64, u64)>, c: &EdgeChange) {
+    let e = (c.edge.src, c.edge.dst);
+    if c.is_insert() {
+        model.insert(e);
+    } else {
+        model.remove(&e);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any interleaving of batches and incremental WCC runs tracks the
+    /// union-find ground truth (insertion-only streams).
+    #[test]
+    fn incremental_wcc_tracks_reference(
+        batches in prop::collection::vec(
+            prop::collection::vec((0u64..48, 0u64..48), 1..24),
+            1..5,
+        ),
+        agents in 2usize..5,
+    ) {
+        let mut cluster = Cluster::builder().agents(agents).build();
+        let mut model: std::collections::HashSet<(u64, u64)> = Default::default();
+        let mut first = true;
+        for batch in &batches {
+            let changes: Vec<EdgeChange> = batch
+                .iter()
+                .filter(|&&(u, v)| u != v)
+                .map(|&(u, v)| EdgeChange::insert(u, v))
+                .collect();
+            for c in &changes {
+                apply_model(&mut model, c);
+            }
+            cluster.ingest(changes.iter().copied());
+            let opts = RunOptions {
+                reuse_state: !first,
+                mode: ExecutionMode::Sync,
+            };
+            first = false;
+            cluster.run_with(Wcc::new(), opts).expect("run");
+            let truth = reference::wcc(model.iter().copied());
+            for (&v, &label) in &truth {
+                prop_assert_eq!(cluster.query_u64(v), Some(label), "vertex {}", v);
+            }
+        }
+        cluster.shutdown();
+    }
+
+    /// Elastic churn (random join/leave schedule) never corrupts the
+    /// graph: WCC recomputed after each change matches ground truth.
+    #[test]
+    fn elastic_churn_preserves_graph(
+        edges in prop::collection::hash_set((0u64..40, 0u64..40), 10..60),
+        schedule in prop::collection::vec(any::<bool>(), 1..4),
+    ) {
+        let edges: Vec<(u64, u64)> = edges.into_iter().filter(|&(u, v)| u != v).collect();
+        prop_assume!(!edges.is_empty());
+        let mut cluster = Cluster::builder().agents(2).build();
+        cluster.ingest_edges(edges.iter().copied());
+        let truth = reference::wcc(edges.iter().copied());
+        for grow in schedule {
+            if grow {
+                cluster.add_agents(1);
+            } else if cluster.agent_count() > 1 {
+                cluster.remove_last_agent();
+            }
+            cluster.quiesce();
+            cluster.run(Wcc::new()).expect("wcc");
+            for (&v, &label) in &truth {
+                prop_assert_eq!(cluster.query_u64(v), Some(label), "vertex {}", v);
+            }
+        }
+        cluster.shutdown();
+    }
+
+    /// Sync and async execution agree for monotone programs.
+    #[test]
+    fn sync_and_async_wcc_agree(
+        edges in prop::collection::hash_set((0u64..32, 0u64..32), 5..40),
+    ) {
+        let edges: Vec<(u64, u64)> = edges.into_iter().filter(|&(u, v)| u != v).collect();
+        prop_assume!(!edges.is_empty());
+        let mut cluster = Cluster::builder().agents(3).build();
+        cluster.ingest_edges(edges.iter().copied());
+        cluster
+            .run_with(Wcc::new(), RunOptions { reuse_state: false, mode: ExecutionMode::Sync })
+            .expect("sync");
+        let vertices: Vec<u64> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+        let sync: Vec<_> = vertices.iter().map(|&v| cluster.query_u64(v)).collect();
+        cluster
+            .run_with(Wcc::new(), RunOptions { reuse_state: false, mode: ExecutionMode::Async })
+            .expect("async");
+        let asyn: Vec<_> = vertices.iter().map(|&v| cluster.query_u64(v)).collect();
+        prop_assert_eq!(sync, asyn);
+        cluster.shutdown();
+    }
+}
