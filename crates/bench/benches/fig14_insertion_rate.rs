@@ -58,7 +58,7 @@ fn main() {
                     });
                 }
             });
-            c.quiesce();
+            c.quiesce().expect("quiesce");
             let secs = t0.elapsed().as_secs_f64();
             rates.push(edges.len() as f64 / secs);
             c.shutdown();

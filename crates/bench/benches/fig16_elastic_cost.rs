@@ -68,9 +68,9 @@ fn main() {
             c.ingest_edges(edges.iter().copied());
             let t0 = Instant::now();
             let ids = c.add_agents(1);
-            c.quiesce();
+            c.quiesce().expect("quiesce");
             c.remove_agent(ids[0]);
-            c.quiesce();
+            c.quiesce().expect("quiesce");
             let dt = t0.elapsed();
             c.shutdown();
             dt

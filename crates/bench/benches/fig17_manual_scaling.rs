@@ -74,7 +74,7 @@ fn main() {
     while c.agent_count() > SMALL {
         c.remove_last_agent();
     }
-    c.quiesce();
+    c.quiesce().expect("quiesce");
     println!(
         "scaled back {LARGE} -> {SMALL} agents in {:.1} ms (cost savings resume)",
         t1.elapsed().as_secs_f64() * 1e3

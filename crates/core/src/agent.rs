@@ -32,7 +32,7 @@ use crate::msg::{self, packet, Counters, DirectoryView, MetaRecord, Phase, Ready
 use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
 use elga_graph::types::{Action, EdgeChange, VertexId};
 use elga_hash::{AgentId, EdgeLocator, FxHashMap, FxHashSet};
-use elga_net::{Addr, Delivery, Frame, NetError, Outbox, Transport};
+use elga_net::{Addr, Delivery, Frame, NetError, Outbox, Transport, TransportExt};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -112,7 +112,6 @@ struct AgentRun {
 /// One ElGA agent. Spawned on its own thread by the cluster driver.
 pub struct Agent {
     id: AgentId,
-    #[allow(dead_code)]
     cfg: SystemConfig,
     transport: Arc<dyn Transport>,
     mailbox: elga_net::Mailbox,
@@ -136,12 +135,23 @@ pub struct Agent {
     buffered_frames: Vec<Frame>,
     /// Last READY context reported, for re-reporting on late arrivals.
     reported: Option<(u64, u32, Phase)>,
+    /// Counters snapshot at the last READY send. Sync re-reports are
+    /// debounced to the post-drain idle point and only fire when the
+    /// counters moved, so a burst of late frames costs one READY.
+    reported_counters: Option<Counters>,
     /// Counter snapshot at the last async idle report.
     last_idle_counters: Option<Counters>,
     departing: bool,
     /// Highest view epoch for which migration ran and was reported.
     migrated_epoch: u64,
     metrics_flushed: Instant,
+    /// Last liveness heartbeat pushed to the directory.
+    heartbeat_sent: Instant,
+    /// Monotone READY sequence, so the lead can discard reports a
+    /// retransmitting transport delivered out of order. Never reset —
+    /// not even by recovery — or stale pre-reset reports could
+    /// outrank fresh ones.
+    ready_seq: u64,
 }
 
 impl Agent {
@@ -180,6 +190,7 @@ impl Agent {
                 packet::START,
                 packet::SHUTDOWN,
                 packet::RESET_LABELS,
+                packet::RECOVER,
             ],
             &addr,
         )?;
@@ -187,7 +198,8 @@ impl Agent {
             .u64(id)
             .bytes(addr.to_string().as_bytes())
             .finish();
-        let reply = transport.request(&directory, join, cfg.request_timeout)?;
+        let (reply, join_retries) =
+            transport.request_with_retry(&directory, join, cfg.request_timeout, &cfg.send_policy)?;
         let (view, run_info) =
             msg::decode_join_reply(&reply).ok_or(NetError::Protocol("bad join reply"))?;
         let dir_push = transport.sender(&directory)?;
@@ -207,16 +219,20 @@ impl Agent {
             counters: Counters::default(),
             metrics: AgentMetrics {
                 agent: id,
+                retries_attempted: join_retries as u64,
                 ..Default::default()
             },
             run: None,
             buffered_changes: Vec::new(),
             buffered_frames: Vec::new(),
             reported: None,
+            reported_counters: None,
             last_idle_counters: None,
             departing: false,
             migrated_epoch: 0,
             metrics_flushed: Instant::now(),
+            heartbeat_sent: Instant::now(),
+            ready_seq: 0,
         };
         if let Some(info) = run_info {
             agent.begin_run(info);
@@ -253,13 +269,25 @@ impl Agent {
                         }
                     }
                     self.on_idle();
+                    self.maybe_heartbeat();
                 }
                 Err(NetError::Timeout) => {
                     self.on_idle();
                     self.flush_metrics(false);
+                    self.maybe_heartbeat();
                 }
                 Err(_) => break,
             }
+        }
+    }
+
+    /// Push a liveness heartbeat if one is due. Heartbeats are cheap
+    /// pushes; the lead directory evicts us after
+    /// `heartbeat_interval * heartbeat_misses` of silence.
+    fn maybe_heartbeat(&mut self) {
+        if self.heartbeat_sent.elapsed() >= self.cfg.heartbeat_interval {
+            self.heartbeat_sent = Instant::now();
+            let _ = self.dir_push.send(msg::encode_heartbeat(self.id));
         }
     }
 
@@ -345,6 +373,17 @@ impl Agent {
                     let _ = reply.send(rep);
                 }
             }
+            packet::RECOVER => {
+                if let Some(rec) = msg::decode_recover(&frame) {
+                    return self.on_recover(rec);
+                }
+            }
+            packet::KILL => {
+                // Crash simulation: die without LEAVE, drains, or
+                // goodbyes. Peers see a dead mailbox; the lead notices
+                // missing heartbeats.
+                return false;
+            }
             packet::OK
                 // Departure confirmed by the directory.
                 if self.departing => {
@@ -353,6 +392,40 @@ impl Agent {
             packet::SHUTDOWN => return false,
             _ => {}
         }
+        true
+    }
+
+    /// A peer was declared dead. Exact counter reconciliation is
+    /// impossible (messages in flight to/from the dead agent are
+    /// unaccounted on one side), so recovery is a full reset: drop all
+    /// graph state and counters, adopt the post-eviction view, and
+    /// settle the recovery migrate-barrier trivially with zeroed
+    /// counters. The driver then replays the retained change log and
+    /// restarts any aborted run.
+    fn on_recover(&mut self, rec: msg::Recover) -> bool {
+        if rec.view.addr_of(self.id).is_none() {
+            // We were the one evicted (a false positive if we are still
+            // alive). Fail-stop: exiting keeps the cluster's view of
+            // the world consistent.
+            return false;
+        }
+        let epoch = rec.epoch;
+        self.vertices.clear();
+        self.out_set.clear();
+        self.in_set.clear();
+        self.outboxes.clear();
+        self.counters = Counters::default();
+        self.buffered_changes.clear();
+        self.buffered_frames.clear();
+        self.run = None;
+        self.reported = None;
+        self.reported_counters = None;
+        self.last_idle_counters = None;
+        self.metrics.edges = 0;
+        self.view = rec.view;
+        self.locator = self.view.locator();
+        self.migrated_epoch = epoch;
+        self.send_ready(0, epoch as u32, Phase::Migrate, 0, 0.0, 0);
         true
     }
 
@@ -386,16 +459,41 @@ impl Agent {
     }
 
     fn push_to(&mut self, agent: AgentId, frame: Frame) {
-        if let Some(out) = self.outbox(agent) {
-            if out.send(frame).is_err() {
+        let Some(out) = self.outbox(agent) else {
+            return;
+        };
+        if out.send(frame.clone()).is_ok() {
+            return;
+        }
+        // The cached outbox is dead (TCP writer broke, or the peer's
+        // mailbox went away). Retry with fresh senders under the
+        // configured policy; if the peer is really gone, failure
+        // detection will evict it and recovery re-owns its edges.
+        self.outboxes.remove(&agent);
+        let addr = self
+            .view
+            .addr_of(agent)
+            .cloned()
+            .unwrap_or_else(|| agent_addr(agent));
+        self.metrics.retries_attempted += 1;
+        match self.transport.push_with_retry(&addr, frame, &self.cfg.send_policy) {
+            Ok(retries) => {
+                self.metrics.retries_attempted += retries as u64;
+                // Re-cache a working sender for subsequent pushes.
+                if let Ok(out) = self.transport.sender(&addr) {
+                    self.outboxes.insert(agent, out);
+                }
+            }
+            Err(_) => {
                 // Peer gone; senders recover on the next view update.
-                self.outboxes.remove(&agent);
             }
         }
     }
 
     fn send_ready(&mut self, run: u64, step: u32, phase: Phase, active: u64, contrib: f64, n_primary: u64) {
         self.reported = Some((run, step, phase));
+        self.reported_counters = Some(self.counters);
+        self.ready_seq += 1;
         let rep = ReadyReport {
             agent: self.id,
             run,
@@ -405,6 +503,7 @@ impl Agent {
             active,
             global_contrib: contrib,
             n_primary,
+            seq: self.ready_seq,
         };
         let _ = self.dir_push.send(msg::encode_ready(&rep));
     }
@@ -498,6 +597,7 @@ impl Agent {
             async_live: false,
         });
         self.reported = None;
+        self.reported_counters = None;
         self.last_idle_counters = None;
     }
 
@@ -525,6 +625,12 @@ impl Agent {
         if run.info.asynchronous && adv.step == 1 && adv.phase == Phase::Scatter {
             run.async_live = true;
             self.async_initial_scatter();
+            // A faster peer's initial scatter can race ahead of this
+            // advance; those frames were buffered under the sync rules
+            // and would otherwise be stranded (their send was counted,
+            // their receive never would be — the run could not
+            // terminate). Release them into the async handlers.
+            self.replay_buffered();
             return;
         }
         let t0 = Instant::now();
@@ -541,10 +647,15 @@ impl Agent {
     fn finish_run(&mut self) {
         self.run = None;
         self.reported = None;
-        // Apply the changes that were buffered during the run.
+        self.reported_counters = None;
+        // Apply the changes that were buffered during the run. Their
+        // receives were counted when they arrived; decode and apply
+        // directly so they are not counted twice.
         let buffered: Vec<Frame> = std::mem::take(&mut self.buffered_changes);
         for frame in buffered {
-            self.on_changes(frame);
+            if let Some((side, hop, changes)) = msg::decode_edge_changes(&frame) {
+                self.apply_changes(side, hop, changes);
+            }
         }
         self.flush_metrics(true);
     }
@@ -813,7 +924,8 @@ impl Agent {
                         e.has_partial = true;
                     }
                 }
-                self.re_report();
+                // Late-arrival re-report happens from on_idle, once
+                // per drain batch, not once per frame.
             }
             Some((cur_run, _, _, _)) if cur_run == run_id => {
                 // Future step or wrong phase: store until we catch up.
@@ -842,7 +954,6 @@ impl Agent {
                         e.has_ppartial = true;
                     }
                 }
-                self.re_report();
             }
             Some((cur_run, _, _, _)) if cur_run == run_id => {
                 self.buffered_frames.push(frame);
@@ -882,7 +993,6 @@ impl Agent {
                     e.rep_out_degree = rec.out_degree;
                     e.active = rec.active;
                 }
-                self.re_report();
             }
             Some((cur_run, _, _, _)) if cur_run == run_id => {
                 self.buffered_frames.push(frame);
@@ -993,6 +1103,14 @@ impl Agent {
             return;
         };
         if !run.async_live {
+            // Sync mode: late counted frames (retransmits, delayed
+            // deliveries) moved the counters since the last READY, so
+            // re-send it once now that the mailbox drained. Doing this
+            // here instead of per-frame keeps the barrier live without
+            // flooding the directory under chaos.
+            if self.reported.is_some() && self.reported_counters != Some(self.counters) {
+                self.re_report();
+            }
             return;
         }
         if self.last_idle_counters == Some(self.counters) {
@@ -1000,6 +1118,7 @@ impl Agent {
         }
         self.last_idle_counters = Some(self.counters);
         let run_id = run.info.run_id;
+        self.ready_seq += 1;
         let rep = ReadyReport {
             agent: self.id,
             run: run_id,
@@ -1009,6 +1128,7 @@ impl Agent {
             active: 0,
             global_contrib: 0.0,
             n_primary: 0,
+            seq: self.ready_seq,
         };
         let _ = self.dir_push.send(msg::encode_ready(&rep));
     }
@@ -1018,19 +1138,27 @@ impl Agent {
     // ------------------------------------------------------------------
 
     fn on_changes(&mut self, frame: Frame) {
-        if self.run.is_some() {
-            self.buffered_changes.push(frame);
-            return;
-        }
         let Some((side, hop, changes)) = msg::decode_edge_changes(&frame) else {
             return;
         };
         // Streamer-originated records (hop 0) are unmatched on the
         // send side (Streamers do not participate in barriers); only
-        // agent-to-agent forwards are double counted.
+        // agent-to-agent forwards are double counted. The receive is
+        // counted even when the apply is deferred below: the sender's
+        // chg_sent is already in the barrier sums, and deferring the
+        // matching count would hold settled() false for the whole run
+        // — no barrier (or async termination probe) could ever fire.
         if hop > 0 {
             self.counters.chg_recv += changes.len() as u64;
         }
+        if self.run.is_some() {
+            self.buffered_changes.push(frame);
+            return;
+        }
+        self.apply_changes(side, hop, changes);
+    }
+
+    fn apply_changes(&mut self, side: Side, hop: u8, changes: Vec<EdgeChange>) {
         let mut forwards: FxHashMap<AgentId, Vec<EdgeChange>> = FxHashMap::default();
         let mut deltas: FxHashMap<VertexId, (i64, i64)> = FxHashMap::default();
         for change in changes {

@@ -12,7 +12,7 @@ use crate::config::SystemConfig;
 use crate::msg::{packet, DirectoryView};
 use elga_graph::types::VertexId;
 use elga_hash::EdgeLocator;
-use elga_net::{Addr, Frame, NetError, Transport};
+use elga_net::{Addr, Frame, NetError, Transport, TransportExt};
 use std::sync::Arc;
 
 /// The result of a vertex query.
@@ -61,10 +61,11 @@ impl ClientProxy {
 
     /// Refresh the view (after elasticity events).
     pub fn refresh(&mut self) -> Result<(), NetError> {
-        let rep = self.transport.request(
+        let (rep, _) = self.transport.request_with_retry(
             &self.directory,
             Frame::signal(packet::GET_VIEW),
             self.cfg.request_timeout,
+            &self.cfg.send_policy,
         )?;
         let view = DirectoryView::decode(&rep).ok_or(NetError::Protocol("bad view"))?;
         if view.epoch >= self.view.epoch {
@@ -81,12 +82,13 @@ impl ClientProxy {
 
     fn query_agent(&self, agent: elga_hash::AgentId, v: VertexId) -> Option<QueryResult> {
         let addr = self.view.addr_of(agent)?.clone();
-        let rep = self
+        let (rep, _) = self
             .transport
-            .request(
+            .request_with_retry(
                 &addr,
                 Frame::builder(packet::QUERY).u64(v).finish(),
                 self.cfg.request_timeout,
+                &self.cfg.send_policy,
             )
             .ok()?;
         let mut r = rep.reader();

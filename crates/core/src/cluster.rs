@@ -27,7 +27,10 @@ use crate::program::{ProgramSpec, RunOptions};
 use crate::streamer::Streamer;
 use elga_graph::types::EdgeChange;
 use elga_hash::AgentId;
-use elga_net::{Addr, Frame, InProcTransport, Mailbox, NetError, Transport};
+use elga_net::{
+    Addr, FaultPlan, FaultyTransport, Frame, InProcTransport, Mailbox, NetError,
+    ReliableTransport, Transport, TransportExt,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -41,6 +44,7 @@ const INGEST_BATCH: usize = 16384;
 pub struct ClusterBuilder {
     agents: usize,
     config: SystemConfig,
+    chaos: Option<(FaultPlan, u64)>,
 }
 
 impl Default for ClusterBuilder {
@@ -48,6 +52,7 @@ impl Default for ClusterBuilder {
         ClusterBuilder {
             agents: 4,
             config: SystemConfig::default(),
+            chaos: None,
         }
     }
 }
@@ -84,9 +89,32 @@ impl ClusterBuilder {
         self
     }
 
+    /// Run the whole cluster over a fault-injecting transport seeded
+    /// for determinism. The chaos stack is `Reliable(Faulty(InProc))`:
+    /// the reliability layer (sequence numbers, acknowledgements,
+    /// retransmits) recovers every frame the fault layer drops,
+    /// duplicates, or delays — including its own acknowledgements.
+    pub fn chaos(mut self, plan: FaultPlan, seed: u64) -> Self {
+        self.chaos = Some((plan, seed));
+        self
+    }
+
     /// Assemble and start the cluster.
     pub fn build(self) -> Cluster {
-        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let (transport, fault): (Arc<dyn Transport>, Option<Arc<FaultyTransport>>) =
+            match self.chaos {
+                Some((plan, seed)) => {
+                    let faulty = Arc::new(FaultyTransport::new(
+                        Arc::new(InProcTransport::new()),
+                        plan,
+                        seed,
+                    ));
+                    let reliable = ReliableTransport::new(faulty.clone())
+                        .expect("bind reliability ack mailbox");
+                    (Arc::new(reliable), Some(faulty))
+                }
+                None => (Arc::new(InProcTransport::new()), None),
+            };
         let master = master_addr();
         let mut handles = vec![directory::spawn_master(transport.clone(), master.clone())];
         for d in 0..self.config.directories as u64 {
@@ -99,6 +127,7 @@ impl ClusterBuilder {
         }
         let mut cluster = Cluster {
             transport,
+            fault,
             cfg: self.config,
             master,
             lead: directory_addr(0),
@@ -110,7 +139,7 @@ impl ClusterBuilder {
             alive: true,
         };
         cluster.add_agents(self.agents);
-        cluster.quiesce();
+        cluster.quiesce().expect("initial quiesce");
         cluster
     }
 }
@@ -144,15 +173,24 @@ impl RunStats {
 }
 
 /// An in-progress run started with [`Cluster::start_run`].
+///
+/// Retains the program spec so the driver can restart the run when a
+/// mid-run agent failure aborts it.
 pub struct RunHandle {
     run_id: u64,
     sub: Mailbox,
     started: Instant,
+    spec: ProgramSpec,
+    options: RunOptions,
+    /// Highest recovery epoch already handled for this run.
+    recovered_epoch: u64,
 }
 
 /// A fully assembled in-process ElGA deployment.
 pub struct Cluster {
     transport: Arc<dyn Transport>,
+    /// Fault-injection handle when built with [`ClusterBuilder::chaos`].
+    fault: Option<Arc<FaultyTransport>>,
     cfg: SystemConfig,
     #[allow(dead_code)]
     master: Addr,
@@ -188,7 +226,15 @@ impl Cluster {
 
     fn request(&self, frame: Frame) -> Result<Frame, NetError> {
         self.transport
-            .request(&self.lead, frame, self.cfg.request_timeout)
+            .request_with_retry(&self.lead, frame, self.cfg.request_timeout, &self.cfg.send_policy)
+            .map(|(rep, _)| rep)
+    }
+
+    /// REQ/REP to an agent, retried under the configured policy.
+    fn request_agent(&self, addr: &Addr, frame: Frame) -> Result<Frame, NetError> {
+        self.transport
+            .request_with_retry(addr, frame, self.cfg.request_timeout, &self.cfg.send_policy)
+            .map(|(rep, _)| rep)
     }
 
     /// Current directory view.
@@ -251,6 +297,26 @@ impl Cluster {
         Some(id)
     }
 
+    /// Crash an agent without the LEAVE drain protocol: it dies
+    /// holding its share of the graph and whatever was in flight.
+    /// Failure detection must notice the silence, evict it, and
+    /// broadcast RECOVER (handled by [`Cluster::wait_run`]).
+    pub fn kill_agent(&mut self, id: AgentId) {
+        if let Ok(out) = self.transport.sender(&directory::agent_addr(id)) {
+            let _ = out.send(Frame::signal(packet::KILL));
+        }
+        if let Some(handle) = self.agent_handles.remove(&id) {
+            let _ = handle.join();
+        }
+    }
+
+    /// The fault-injection handle, when built with
+    /// [`ClusterBuilder::chaos`] (drive disconnects, read drop/dup
+    /// counts).
+    pub fn fault(&self) -> Option<&Arc<FaultyTransport>> {
+        self.fault.as_ref()
+    }
+
     // ------------------------------------------------------------------
     // Ingest
     // ------------------------------------------------------------------
@@ -278,7 +344,7 @@ impl Cluster {
         if !buf.is_empty() {
             self.streamer().send_batch(&buf).expect("ingest");
         }
-        self.quiesce();
+        self.quiesce().expect("quiesce after ingest");
     }
 
     /// Convenience: ingest plain edges as insertions.
@@ -295,11 +361,17 @@ impl Cluster {
     /// Wait until no messages are in flight anywhere: repeated DRAIN
     /// rounds over all agents until the summed counters are settled
     /// and stable, and the directory reports no outstanding migration.
-    pub fn quiesce(&self) {
-        let deadline = Instant::now() + Duration::from_secs(60);
+    ///
+    /// Bounded by `SystemConfig::quiesce_deadline`; a wedged system
+    /// (e.g. a dead peer with failure detection off) yields
+    /// `NetError::Timeout` instead of blocking forever.
+    pub fn quiesce(&self) -> Result<(), NetError> {
+        let deadline = Instant::now() + self.cfg.quiesce_deadline;
         let mut last: Option<Counters> = None;
         loop {
-            assert!(Instant::now() < deadline, "quiesce timed out");
+            if Instant::now() >= deadline {
+                return Err(NetError::Timeout);
+            }
             // Outstanding migrate barrier / queued membership?
             let migrating = self
                 .request(Frame::signal(packet::RUN_STATUS))
@@ -320,11 +392,7 @@ impl Cluster {
                 .unwrap_or_default();
             let mut ok = true;
             for a in &view.agents {
-                match self.transport.request(
-                    &a.addr,
-                    Frame::signal(packet::DRAIN),
-                    self.cfg.request_timeout,
-                ) {
+                match self.request_agent(&a.addr, Frame::signal(packet::DRAIN)) {
                     Ok(rep) => match decode_counters_frame(&rep) {
                         Some(c) => sum = sum.add(&c),
                         None => ok = false,
@@ -333,7 +401,7 @@ impl Cluster {
                 }
             }
             if ok && sum.settled() && last == Some(sum) {
-                return;
+                return Ok(());
             }
             last = ok.then_some(sum);
             std::thread::sleep(Duration::from_micros(200));
@@ -369,19 +437,14 @@ impl Cluster {
         // No changes or migrations may be in flight when a run starts:
         // agents buffer edge changes during runs without counting them,
         // so a pre-run in-flight forward would wedge the first barrier.
-        self.quiesce();
+        self.quiesce()?;
         let spec = spec.into();
-        let (tag, params) = spec.encode();
-        let info = RunInfo {
-            run_id: 0,
-            tag,
-            params,
-            reuse_state: options.reuse_state,
-            asynchronous: matches!(options.mode, crate::program::ExecutionMode::Async),
-        };
-        // Subscribe before starting so the done-advance cannot be
-        // missed.
-        let sub = self.transport.subscribe(&bus_addr(), &[packet::ADVANCE])?;
+        let info = run_info(&spec, options);
+        // Subscribe before starting so neither the done-advance nor a
+        // mid-run recovery broadcast can be missed.
+        let sub = self
+            .transport
+            .subscribe(&bus_addr(), &[packet::ADVANCE, packet::RECOVER])?;
         let rep = self.request(msg::encode_start(&info))?;
         let run_id = rep
             .reader()
@@ -391,17 +454,46 @@ impl Cluster {
             run_id,
             sub,
             started: Instant::now(),
+            spec,
+            options,
+            recovered_epoch: 0,
         })
     }
 
     /// Block until the run completes and collect its statistics.
-    pub fn wait_run(&mut self, handle: RunHandle) -> Result<RunStats, NetError> {
+    ///
+    /// Bounded by `SystemConfig::run_deadline` (yielding
+    /// `NetError::Timeout` past it). If an agent dies mid-run, the
+    /// lead's RECOVER broadcast arrives here; the driver waits out the
+    /// survivors' reset, replays the retained change log, and restarts
+    /// the aborted run — all under the same deadline.
+    pub fn wait_run(&mut self, mut handle: RunHandle) -> Result<RunStats, NetError> {
+        let deadline = handle.started + self.cfg.run_deadline;
         loop {
-            let d = handle.sub.recv_timeout(self.cfg.request_timeout)?;
-            if let Some(adv) = msg::decode_advance(&d.frame) {
-                if adv.run == handle.run_id && adv.done {
-                    break;
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout);
+            }
+            let slice = (deadline - now).min(Duration::from_millis(100));
+            let d = match handle.sub.recv_timeout(slice) {
+                Ok(d) => d,
+                Err(NetError::Timeout) => continue,
+                Err(e) => return Err(e),
+            };
+            match d.frame.packet_type() {
+                packet::ADVANCE => {
+                    if let Some(adv) = msg::decode_advance(&d.frame) {
+                        if adv.run == handle.run_id && adv.done {
+                            break;
+                        }
+                    }
                 }
+                packet::RECOVER => {
+                    if let Some(rec) = msg::decode_recover(&d.frame) {
+                        self.recover_and_restart(&mut handle, rec)?;
+                    }
+                }
+                _ => {}
             }
         }
         let total = handle.started.elapsed();
@@ -419,6 +511,41 @@ impl Cluster {
             n_vertices: status.n_vertices,
             total,
         })
+    }
+
+    /// Drive recovery after the lead evicted a dead agent: reap its
+    /// thread, wait for the survivors' reset barrier to settle, replay
+    /// the retained change log into the rebuilt membership, and — when
+    /// the failure aborted this handle's run — restart it (the handle
+    /// adopts the new run id).
+    fn recover_and_restart(
+        &mut self,
+        handle: &mut RunHandle,
+        rec: msg::Recover,
+    ) -> Result<(), NetError> {
+        if let Some(h) = self.agent_handles.remove(&rec.dead_agent) {
+            let _ = h.join();
+        }
+        if rec.epoch <= handle.recovered_epoch {
+            return Ok(());
+        }
+        handle.recovered_epoch = rec.epoch;
+        // Survivors report the zeroed-counter migrate barrier; once it
+        // settles the system is empty and consistent.
+        self.quiesce()?;
+        if let Some(streamer) = self.streamer.as_mut() {
+            streamer.replay()?;
+        }
+        self.quiesce()?;
+        if rec.aborted_run == handle.run_id {
+            let info = run_info(&handle.spec, handle.options);
+            let rep = self.request(msg::encode_start(&info))?;
+            handle.run_id = rep
+                .reader()
+                .u64()
+                .ok_or(NetError::Protocol("bad start reply"))?;
+        }
+        Ok(())
     }
 
     /// Broadcast a label-reset (incremental WCC deletion handling):
@@ -466,11 +593,7 @@ impl Cluster {
     pub fn dump_states(&self) -> std::collections::HashMap<u64, u64> {
         let mut out = std::collections::HashMap::new();
         for a in &self.view().agents {
-            let Ok(rep) = self.transport.request(
-                &a.addr,
-                Frame::signal(packet::DUMP),
-                self.cfg.request_timeout,
-            ) else {
+            let Ok(rep) = self.request_agent(&a.addr, Frame::signal(packet::DUMP)) else {
                 continue;
             };
             let mut r = rep.reader();
@@ -494,16 +617,18 @@ impl Cluster {
     /// reflects all work finished before this call.
     pub fn metrics(&self) -> ClusterMetrics {
         for a in &self.view().agents {
-            let _ = self.transport.request(
-                &a.addr,
-                Frame::signal(packet::DRAIN),
-                self.cfg.request_timeout,
-            );
+            let _ = self.request_agent(&a.addr, Frame::signal(packet::DRAIN));
         }
-        self.request(Frame::signal(packet::GET_METRICS))
+        let mut agg = self
+            .request(Frame::signal(packet::GET_METRICS))
             .ok()
             .and_then(|f| ClusterMetrics::decode(&f))
-            .unwrap_or_default()
+            .unwrap_or_default();
+        // The fault layer is driver-owned; agents never see drops.
+        if let Some(fault) = &self.fault {
+            agg.messages_dropped = fault.stats().dropped();
+        }
+        agg
     }
 
     /// Feed a metric observation to an autoscaling policy and apply
@@ -554,6 +679,18 @@ impl Cluster {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+/// Build the wire `RunInfo` for a spec (run id assigned by the lead).
+fn run_info(spec: &ProgramSpec, options: RunOptions) -> RunInfo {
+    let (tag, params) = spec.encode();
+    RunInfo {
+        run_id: 0,
+        tag,
+        params,
+        reuse_state: options.reuse_state,
+        asynchronous: matches!(options.mode, crate::program::ExecutionMode::Async),
     }
 }
 

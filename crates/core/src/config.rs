@@ -1,6 +1,7 @@
 //! System-wide configuration.
 
 use elga_hash::{HashKind, LocatorConfig};
+use elga_net::SendPolicy;
 use std::time::Duration;
 
 /// Tunables shared by every Participant. The defaults follow the
@@ -27,6 +28,28 @@ pub struct SystemConfig {
     pub request_timeout: Duration,
     /// Number of Directory entities (paper: scalable directory tier).
     pub directories: usize,
+    /// Retry budget applied to control-plane REQ/REP and data-plane
+    /// PUSH calls when a transient failure occurs.
+    pub send_policy: SendPolicy,
+    /// How often each agent pushes a liveness heartbeat to its
+    /// directory.
+    pub heartbeat_interval: Duration,
+    /// Consecutive missed heartbeat intervals before the lead declares
+    /// an agent dead.
+    pub heartbeat_misses: u32,
+    /// Whether the lead evicts unresponsive agents and broadcasts
+    /// RECOVER. Off, a crashed agent wedges the barrier (the
+    /// pre-chaos behavior).
+    pub failure_detection: bool,
+    /// Deadline for `Cluster::quiesce`; exceeded, it returns
+    /// `NetError::Timeout` instead of blocking forever.
+    pub quiesce_deadline: Duration,
+    /// Deadline for `Cluster::wait_run`, including any mid-run
+    /// recovery and restart.
+    pub run_deadline: Duration,
+    /// Whether the streamer retains every ingested batch so edges
+    /// owned by a dead agent can be replayed during recovery.
+    pub retain_change_log: bool,
 }
 
 impl Default for SystemConfig {
@@ -40,6 +63,13 @@ impl Default for SystemConfig {
             max_replicas: 16,
             request_timeout: Duration::from_secs(30),
             directories: 1,
+            send_policy: SendPolicy::default(),
+            heartbeat_interval: Duration::from_millis(100),
+            heartbeat_misses: 50,
+            failure_detection: true,
+            quiesce_deadline: Duration::from_secs(60),
+            run_deadline: Duration::from_secs(300),
+            retain_change_log: true,
         }
     }
 }
@@ -65,6 +95,19 @@ mod tests {
         assert_eq!(c.virtual_agents, 100);
         assert_eq!(c.sketch_depth, 8);
         assert!(c.directories >= 1);
+    }
+
+    #[test]
+    fn failure_detection_defaults_are_sane() {
+        let c = SystemConfig::default();
+        assert!(c.failure_detection);
+        assert!(c.retain_change_log);
+        // Detection latency must stay well under the quiesce deadline,
+        // or a dead agent stalls every barrier past its budget.
+        let detect = c.heartbeat_interval * c.heartbeat_misses;
+        assert!(detect < c.quiesce_deadline);
+        assert!(c.quiesce_deadline <= c.run_deadline);
+        assert!(c.send_policy.retries > 0);
     }
 
     #[test]

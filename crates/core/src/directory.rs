@@ -79,6 +79,10 @@ struct Lead {
     /// barrier settles.
     pending_start: Option<RunInfo>,
     last_status: RunStatus,
+    /// Last heartbeat (or any agent-originated push) per live agent.
+    last_seen: HashMap<AgentId, Instant>,
+    /// Agents declared dead and evicted by failure detection.
+    agents_recovered: u64,
 }
 
 impl Lead {
@@ -111,7 +115,14 @@ impl Lead {
             resume: None,
             pending_start: None,
             last_status: RunStatus::default(),
+            last_seen: HashMap::new(),
+            agents_recovered: 0,
         }
+    }
+
+    /// Record liveness for an agent-originated push.
+    fn saw(&mut self, id: AgentId) {
+        self.last_seen.insert(id, Instant::now());
     }
 
     fn publish(&self, frame: Frame) {
@@ -194,6 +205,89 @@ impl Lead {
                 }
             }
         }
+    }
+
+    /// View members whose last sign of life is older than the
+    /// detection window. Members with no recorded liveness are stamped
+    /// now rather than reported, so a freshly joined agent gets a full
+    /// window before its first heartbeat is due.
+    fn dead_agents(&mut self, window: Duration) -> Vec<AgentId> {
+        let mut dead = Vec::new();
+        for id in self.member_ids() {
+            match self.last_seen.get(&id) {
+                Some(t) if t.elapsed() > window => dead.push(id),
+                Some(_) => {}
+                None => self.saw(id),
+            }
+        }
+        dead
+    }
+
+    /// Evict a dead agent and rewind the whole system.
+    ///
+    /// Exact reconciliation is impossible after an unplanned loss:
+    /// messages in flight to or from the dead agent are unaccounted
+    /// for, and its primary vertex state is gone. Instead survivors
+    /// drop all graph state and zero their counters (so the fresh
+    /// migrate barrier settles trivially), any active run is aborted,
+    /// and the driver replays the retained change log before
+    /// restarting the run.
+    fn recover(&mut self, dead: AgentId) {
+        // Fold queued joins in so a joiner racing the recovery is not
+        // evicted by the broadcast view; queued leaves and departers
+        // exit on receipt of RECOVER — after the reset they hold no
+        // data worth draining.
+        for j in self.pending_joins.drain(..) {
+            if !self.view.agents.iter().any(|a| a.id == j.id) {
+                self.view.agents.push(j);
+            }
+        }
+        for l in self.pending_leaves.drain(..) {
+            self.view.agents.retain(|a| a.id != l);
+        }
+        self.departing.clear();
+        self.view.agents.retain(|a| a.id != dead);
+        self.last_seen.remove(&dead);
+        self.metrics.remove(&dead);
+        // Queued sketch deltas describe batches that were already
+        // routed; the replayed edges must see the same estimates.
+        for s in self.pending_sketch.drain(..) {
+            let _ = self.view.sketch.merge(&s);
+        }
+        // The reset rewinds every cumulative counter to zero,
+        // survivors and ghosts alike.
+        self.reports.clear();
+        self.ghost = Counters::default();
+        self.resume = None;
+        let aborted = self
+            .run
+            .take()
+            .map(|r| r.info.run_id)
+            .or_else(|| self.pending_start.take().map(|i| i.run_id))
+            .unwrap_or(0);
+        if aborted != 0 {
+            self.last_status = RunStatus {
+                run_id: aborted,
+                running: false,
+                done: false,
+                migrating: false,
+                steps: 0,
+                step_nanos: Vec::new(),
+                n_vertices: self.view.n_vertices,
+            };
+        }
+        self.view.epoch += 1;
+        self.migrate_epoch = Some(self.view.epoch);
+        self.migrate_members = self.member_ids();
+        self.agents_recovered += 1;
+        self.publish(msg::encode_recover(&msg::Recover {
+            epoch: self.view.epoch,
+            dead_agent: dead,
+            aborted_run: aborted,
+            view: self.view.clone(),
+        }));
+        // Zero survivors: the barrier is trivially met.
+        self.evaluate();
     }
 
     /// Re-evaluate all outstanding barriers until no further progress
@@ -426,6 +520,29 @@ impl Lead {
         };
         self.publish(msg::encode_advance(&adv));
         false
+    }
+
+    /// An idle report accepted while a confirmation probe is
+    /// outstanding means an agent saw new traffic after (or instead
+    /// of) answering — its probe response is masked by the newer idle
+    /// report and will never be re-sent once the agent is quiescent.
+    /// The responses collected so far may also predate that activity.
+    /// Restart the double probe so both compared rounds postdate it.
+    fn restart_probe(&mut self) {
+        let Some(run) = self.run.as_mut() else {
+            return;
+        };
+        run.probe += 1;
+        run.last_probe_sums = None;
+        let adv = Advance {
+            run: run.info.run_id,
+            step: run.probe,
+            phase: Phase::Combine,
+            n_vertices: run.n_vertices,
+            global: 0.0,
+            done: false,
+        };
+        self.publish(msg::encode_advance(&adv));
     }
 
     fn finish_run(&mut self) {
@@ -709,12 +826,48 @@ fn lead_loop(
     publisher: Publisher,
 ) {
     let mut lead = Lead::new(&cfg, publisher, transport.clone());
-    while let Ok(d) = mailbox.recv() {
+    let window = cfg.heartbeat_interval * cfg.heartbeat_misses;
+    let mut checked = Instant::now();
+    loop {
+        // Failure detection ticks between messages and (throttled)
+        // under load, so a busy mailbox cannot starve it.
+        if cfg.failure_detection && checked.elapsed() >= cfg.heartbeat_interval {
+            checked = Instant::now();
+            for dead in lead.dead_agents(window) {
+                lead.recover(dead);
+            }
+        }
+        let d = match mailbox.recv_timeout(Duration::from_millis(20)) {
+            Ok(d) => d,
+            Err(NetError::Timeout) => continue,
+            Err(_) => break,
+        };
         match d.frame.packet_type() {
             packet::READY => {
                 if let Some(rep) = msg::decode_ready(&d.frame) {
-                    lead.reports.insert(rep.agent, rep);
-                    lead.evaluate();
+                    lead.saw(rep.agent);
+                    // A retransmitting transport can reorder pushes;
+                    // never let a stale report overwrite a fresh one.
+                    let stale = lead
+                        .reports
+                        .get(&rep.agent)
+                        .is_some_and(|old| old.seq > rep.seq);
+                    if !stale {
+                        let probe_reset = rep.step == u32::MAX
+                            && lead.run.as_ref().is_some_and(|r| {
+                                r.async_live && r.probe > 0 && r.info.run_id == rep.run
+                            });
+                        lead.reports.insert(rep.agent, rep);
+                        if probe_reset {
+                            lead.restart_probe();
+                        }
+                        lead.evaluate();
+                    }
+                }
+            }
+            packet::HEARTBEAT => {
+                if let Some(id) = msg::decode_heartbeat(&d.frame) {
+                    lead.saw(id);
                 }
             }
             packet::JOIN => {
@@ -726,6 +879,7 @@ fn lead_loop(
                 })();
                 if let Some(info) = info {
                     let run_info = lead.run.as_ref().map(|r| r.info);
+                    lead.saw(info.id);
                     lead.pending_joins.push(info);
                     if !lead.busy() {
                         lead.apply_membership();
@@ -805,12 +959,14 @@ fn lead_loop(
             }
             packet::METRICS => {
                 if let Some(m) = AgentMetrics::decode(&d.frame) {
+                    lead.saw(m.agent);
                     lead.metrics.insert(m.agent, m);
                 }
             }
             packet::GET_METRICS => {
                 let mut agg = ClusterMetrics {
                     agents: lead.view.agents.len() as u64,
+                    agents_recovered: lead.agents_recovered,
                     ..Default::default()
                 };
                 for m in lead.metrics.values() {
@@ -863,7 +1019,7 @@ fn relay_loop(
         match d.frame.packet_type() {
             // Pushes relay as pushes (Figure 2 step 4: re-broadcast
             // ready messages among Directories).
-            packet::READY | packet::LEAVE | packet::METRICS => {
+            packet::READY | packet::LEAVE | packet::METRICS | packet::HEARTBEAT => {
                 let _ = lead_push.send(d.frame);
             }
             packet::SHUTDOWN => break,
@@ -901,6 +1057,7 @@ mod tests {
             active: 0,
             global_contrib: 0.0,
             n_primary: 0,
+            seq: 0,
         }
     }
 
@@ -1007,6 +1164,71 @@ mod tests {
         assert_eq!(st.run_id, 1);
         assert!(!st.running);
         assert!(st.done);
+    }
+
+    #[test]
+    fn recover_evicts_agent_aborts_run_and_resets_counters() {
+        let mut lead = test_lead();
+        lead.pending_joins.push(AgentInfo {
+            id: 1,
+            addr: agent_addr(1),
+        });
+        lead.pending_joins.push(AgentInfo {
+            id: 2,
+            addr: agent_addr(2),
+        });
+        lead.apply_membership();
+        let epoch = lead.view.epoch;
+        lead.reports
+            .insert(1, ready(1, 0, epoch as u32, Phase::Migrate, Counters::default()));
+        lead.reports
+            .insert(2, ready(2, 0, epoch as u32, Phase::Migrate, Counters::default()));
+        lead.evaluate();
+        assert_eq!(lead.migrate_epoch, None);
+        let run_id = lead.start_run(RunInfo {
+            run_id: 0,
+            tag: 1, // WCC
+            params: [0, 0, 0],
+            reuse_state: false,
+            asynchronous: false,
+        });
+        assert!(lead.run.is_some());
+        lead.ghost = Counters {
+            vmsg_sent: 3,
+            ..Default::default()
+        };
+        lead.recover(2);
+        assert_eq!(lead.member_ids(), vec![1]);
+        assert_eq!(lead.agents_recovered, 1);
+        assert!(lead.run.is_none(), "active run must abort");
+        assert_eq!(lead.ghost, Counters::default(), "ghosts rewind with the reset");
+        assert_eq!(lead.migrate_epoch, Some(epoch + 1));
+        let st = lead.status();
+        assert_eq!(st.run_id, run_id);
+        assert!(!st.running && !st.done, "aborted run is neither running nor done");
+        // The lone survivor reports the recover barrier with zeroed
+        // counters and the system unwedges.
+        lead.reports.insert(
+            1,
+            ready(1, 0, (epoch + 1) as u32, Phase::Migrate, Counters::default()),
+        );
+        lead.evaluate();
+        assert_eq!(lead.migrate_epoch, None);
+    }
+
+    #[test]
+    fn silent_agents_are_detected_after_the_window() {
+        let mut lead = test_lead();
+        lead.view.agents.push(AgentInfo {
+            id: 7,
+            addr: agent_addr(7),
+        });
+        // First pass stamps unknown members instead of reporting them.
+        assert!(lead.dead_agents(Duration::from_millis(0)).is_empty());
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(lead.dead_agents(Duration::from_millis(1)), vec![7]);
+        lead.saw(7);
+        assert!(lead.dead_agents(Duration::from_millis(1)).is_empty());
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub struct AgentMetrics {
     pub edges: u64,
     /// Nanoseconds spent in the last superstep's local work.
     pub last_step_nanos: u64,
+    /// Transient send/request failures that were retried successfully
+    /// (chaos observability).
+    pub retries_attempted: u64,
 }
 
 impl AgentMetrics {
@@ -35,6 +38,7 @@ impl AgentMetrics {
             .u64(self.vmsgs)
             .u64(self.edges)
             .u64(self.last_step_nanos)
+            .u64(self.retries_attempted)
             .finish()
     }
 
@@ -48,6 +52,7 @@ impl AgentMetrics {
             vmsgs: r.u64()?,
             edges: r.u64()?,
             last_step_nanos: r.u64()?,
+            retries_attempted: r.u64()?,
         })
     }
 }
@@ -67,6 +72,13 @@ pub struct ClusterMetrics {
     pub edges: u64,
     /// Max of agents' last superstep nanos (the straggler).
     pub max_step_nanos: u64,
+    /// Total transient failures retried across agents and the driver.
+    pub retries_attempted: u64,
+    /// Frames dropped by an injected fault layer (0 outside chaos
+    /// runs; merged in by the driver, which owns the fault handle).
+    pub messages_dropped: u64,
+    /// Agents declared dead and evicted by failure detection.
+    pub agents_recovered: u64,
 }
 
 impl ClusterMetrics {
@@ -77,6 +89,7 @@ impl ClusterMetrics {
         self.vmsgs += m.vmsgs;
         self.edges += m.edges;
         self.max_step_nanos = self.max_step_nanos.max(m.last_step_nanos);
+        self.retries_attempted += m.retries_attempted;
     }
 
     /// Encode as a GET_METRICS reply.
@@ -88,6 +101,9 @@ impl ClusterMetrics {
             .u64(self.vmsgs)
             .u64(self.edges)
             .u64(self.max_step_nanos)
+            .u64(self.retries_attempted)
+            .u64(self.messages_dropped)
+            .u64(self.agents_recovered)
             .finish()
     }
 
@@ -101,6 +117,9 @@ impl ClusterMetrics {
             vmsgs: r.u64()?,
             edges: r.u64()?,
             max_step_nanos: r.u64()?,
+            retries_attempted: r.u64()?,
+            messages_dropped: r.u64()?,
+            agents_recovered: r.u64()?,
         })
     }
 }
@@ -118,6 +137,7 @@ mod tests {
             vmsgs: 30,
             edges: 40,
             last_step_nanos: 50,
+            retries_attempted: 60,
         };
         assert_eq!(AgentMetrics::decode(&m.encode()).unwrap(), m);
     }
@@ -135,6 +155,7 @@ mod tests {
             vmsgs: 2,
             edges: 3,
             last_step_nanos: 100,
+            retries_attempted: 2,
         });
         c.absorb(&AgentMetrics {
             agent: 2,
@@ -143,10 +164,14 @@ mod tests {
             vmsgs: 1,
             edges: 4,
             last_step_nanos: 60,
+            retries_attempted: 1,
         });
+        c.messages_dropped = 9;
+        c.agents_recovered = 1;
         assert_eq!(c.queries, 12);
         assert_eq!(c.edges, 7);
         assert_eq!(c.max_step_nanos, 100);
+        assert_eq!(c.retries_attempted, 3);
         assert_eq!(ClusterMetrics::decode(&c.encode()).unwrap(), c);
     }
 

@@ -78,6 +78,14 @@ pub mod packet {
     /// Bulk state dump (REQ to an Agent; reply lists its primary
     /// vertices' states).
     pub const DUMP: u8 = 31;
+    /// Liveness heartbeat (push, Agent → Directory → lead).
+    pub const HEARTBEAT: u8 = 32;
+    /// Failure-recovery broadcast (PUB topic): an agent was declared
+    /// dead; survivors reset and the driver replays retained changes.
+    pub const RECOVER: u8 = 33;
+    /// Test-harness kill switch (push to an Agent): die immediately
+    /// without the polite LEAVE protocol, simulating a crash.
+    pub const KILL: u8 = 34;
 }
 
 /// Superstep phases (see crate docs). `Migrate` barriers elastic
@@ -525,6 +533,11 @@ pub struct ReadyReport {
     pub global_contrib: f64,
     /// Vertices this agent is primary for.
     pub n_primary: u64,
+    /// Per-agent monotone report sequence. A retransmitting transport
+    /// can reorder pushes; the lead discards any report older than the
+    /// one it already holds, so a stale snapshot can never overwrite a
+    /// fresh one and wedge a barrier.
+    pub seq: u64,
 }
 
 /// Encode a READY frame.
@@ -539,6 +552,7 @@ pub fn encode_ready(r: &ReadyReport) -> Frame {
         .u64(r.active)
         .f64(r.global_contrib)
         .u64(r.n_primary)
+        .u64(r.seq)
         .finish()
 }
 
@@ -554,6 +568,7 @@ pub fn decode_ready(frame: &Frame) -> Option<ReadyReport> {
         active: r.u64()?,
         global_contrib: r.f64()?,
         n_primary: r.u64()?,
+        seq: r.u64()?,
     })
 }
 
@@ -865,6 +880,61 @@ pub fn decode_sketch_delta(frame: &Frame) -> Option<CountMinSketch> {
     CountMinSketch::from_parts(width, depth, cells, items)
 }
 
+/// Encode a HEARTBEAT push from an agent.
+pub fn encode_heartbeat(agent: AgentId) -> Frame {
+    Frame::builder(packet::HEARTBEAT).u64(agent).finish()
+}
+
+/// Decode a HEARTBEAT frame.
+pub fn decode_heartbeat(frame: &Frame) -> Option<AgentId> {
+    frame.reader().u64()
+}
+
+/// Failure-recovery broadcast published by the lead directory after it
+/// declares an agent dead: survivors drop all graph state and counters,
+/// adopt the embedded view, and settle a fresh migrate barrier; the
+/// driver replays the retained change log and restarts any aborted run.
+#[derive(Debug, Clone)]
+pub struct Recover {
+    /// The post-eviction view epoch.
+    pub epoch: u64,
+    /// The agent declared dead.
+    pub dead_agent: AgentId,
+    /// Run id aborted by the failure (0 when no run was active).
+    pub aborted_run: u64,
+    /// The post-eviction directory view.
+    pub view: DirectoryView,
+}
+
+/// Encode a RECOVER broadcast.
+pub fn encode_recover(r: &Recover) -> Frame {
+    Frame::builder(packet::RECOVER)
+        .u64(r.epoch)
+        .u64(r.dead_agent)
+        .u64(r.aborted_run)
+        .bytes(r.view.encode().as_bytes())
+        .finish()
+}
+
+/// Decode a RECOVER frame.
+pub fn decode_recover(frame: &Frame) -> Option<Recover> {
+    if frame.packet_type() != packet::RECOVER {
+        return None;
+    }
+    let mut r = frame.reader();
+    let epoch = r.u64()?;
+    let dead_agent = r.u64()?;
+    let aborted_run = r.u64()?;
+    let view_bytes = r.bytes()?.to_vec();
+    let view = DirectoryView::decode(&Frame::from_bytes(view_bytes.into()))?;
+    Some(Recover {
+        epoch,
+        dead_agent,
+        aborted_run,
+        view,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -972,6 +1042,7 @@ mod tests {
             active: 4,
             global_contrib: 0.125,
             n_primary: 77,
+            seq: 12,
         };
         assert_eq!(decode_ready(&encode_ready(&rep)).unwrap(), rep);
 
@@ -1084,6 +1155,28 @@ mod tests {
         s.add(3, 9);
         let back = decode_sketch_delta(&encode_sketch_delta(&s)).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn heartbeat_roundtrip() {
+        assert_eq!(decode_heartbeat(&encode_heartbeat(17)), Some(17));
+    }
+
+    #[test]
+    fn recover_roundtrip() {
+        let rec = Recover {
+            epoch: 8,
+            dead_agent: 3,
+            aborted_run: 2,
+            view: sample_view(),
+        };
+        let back = decode_recover(&encode_recover(&rec)).unwrap();
+        assert_eq!(back.epoch, 8);
+        assert_eq!(back.dead_agent, 3);
+        assert_eq!(back.aborted_run, 2);
+        assert_eq!(back.view.epoch, rec.view.epoch);
+        assert_eq!(back.view.agents, rec.view.agents);
+        assert!(decode_recover(&Frame::signal(packet::OK)).is_none());
     }
 
     #[test]

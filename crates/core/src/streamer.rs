@@ -12,7 +12,7 @@ use crate::config::SystemConfig;
 use crate::msg::{self, packet, DirectoryView, Side};
 use elga_graph::types::EdgeChange;
 use elga_hash::{AgentId, EdgeLocator, FxHashMap};
-use elga_net::{Addr, Frame, NetError, Outbox, Transport};
+use elga_net::{Addr, Frame, NetError, Outbox, Transport, TransportExt};
 use elga_sketch::DegreeEstimator;
 use std::sync::Arc;
 
@@ -27,6 +27,9 @@ pub struct Streamer {
     view: DirectoryView,
     locator: EdgeLocator,
     outboxes: FxHashMap<AgentId, Outbox>,
+    /// Every ingested change, retained (when configured) so edges
+    /// lost with a dead agent can be replayed during recovery.
+    log: Vec<EdgeChange>,
 }
 
 impl Streamer {
@@ -50,6 +53,7 @@ impl Streamer {
             view,
             locator,
             outboxes: FxHashMap::default(),
+            log: Vec::new(),
         })
     }
 
@@ -60,10 +64,11 @@ impl Streamer {
 
     /// Refresh the view from the directory.
     pub fn refresh(&mut self) -> Result<(), NetError> {
-        let rep = self.transport.request(
+        let (rep, _) = self.transport.request_with_retry(
             &self.directory,
             Frame::signal(packet::GET_VIEW),
             self.cfg.request_timeout,
+            &self.cfg.send_policy,
         )?;
         self.adopt(DirectoryView::decode(&rep).ok_or(NetError::Protocol("bad view"))?);
         Ok(())
@@ -108,16 +113,45 @@ impl Streamer {
                 delta.record_edge(c.edge.src, c.edge.dst);
             }
         }
-        let rep = self.transport.request(
+        let (rep, _) = self.transport.request_with_retry(
             &self.directory,
             msg::encode_sketch_delta(delta.sketch()),
             self.cfg.request_timeout,
+            &self.cfg.send_policy,
         )?;
         if let Some(view) = DirectoryView::decode(&rep) {
             self.adopt(view);
         }
+        if self.cfg.retain_change_log {
+            self.log.extend_from_slice(changes);
+        }
 
-        // 2. Route each change to its two placements.
+        // 2. Route each change to both placements.
+        Ok(self.route(changes))
+    }
+
+    /// Number of change records retained for recovery replay.
+    pub fn retained_changes(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Re-route the entire retained change log after a recovery reset.
+    ///
+    /// The sketch delta is *not* re-pushed — the view's sketch already
+    /// counts every logged batch, and the replayed edges must see the
+    /// same degree estimates — and the records are not re-logged.
+    /// Returns the number of change records pushed.
+    pub fn replay(&mut self) -> Result<usize, NetError> {
+        self.refresh()?;
+        let log = std::mem::take(&mut self.log);
+        let pushed = self.route(&log);
+        self.log = log;
+        Ok(pushed)
+    }
+
+    /// Route each change to its two placements: the out-edge record to
+    /// `owner(src, dst)` and the in-edge record to `owner(dst, src)`.
+    fn route(&mut self, changes: &[EdgeChange]) -> usize {
         let mut out_batches: FxHashMap<AgentId, Vec<EdgeChange>> = FxHashMap::default();
         let mut in_batches: FxHashMap<AgentId, Vec<EdgeChange>> = FxHashMap::default();
         for &c in changes {
@@ -140,13 +174,33 @@ impl Streamer {
             for (agent, recs) in batches {
                 for chunk in recs.chunks(BATCH) {
                     pushed += chunk.len();
-                    let frame = msg::encode_edge_changes(side, 0, chunk);
-                    if let Some(out) = self.outbox(agent) {
-                        let _ = out.send(frame);
-                    }
+                    self.push_to(agent, msg::encode_edge_changes(side, 0, chunk));
                 }
             }
         }
-        Ok(pushed)
+        pushed
+    }
+
+    /// Push through the cached outbox; on failure, re-resolve the
+    /// address and retry under the configured policy.
+    fn push_to(&mut self, agent: AgentId, frame: Frame) {
+        if let Some(out) = self.outbox(agent) {
+            if out.send(frame.clone()).is_ok() {
+                return;
+            }
+        }
+        self.outboxes.remove(&agent);
+        let Some(addr) = self.view.addr_of(agent).cloned() else {
+            return;
+        };
+        if self
+            .transport
+            .push_with_retry(&addr, frame, &self.cfg.send_policy)
+            .is_ok()
+        {
+            if let Ok(out) = self.transport.sender(&addr) {
+                self.outboxes.insert(agent, out);
+            }
+        }
     }
 }

@@ -231,7 +231,7 @@ fn elastic_scale_up_and_down_preserves_graph_and_results() {
     // Scale up.
     let new_ids = cluster.add_agents(3);
     assert_eq!(new_ids.len(), 3);
-    cluster.quiesce();
+    cluster.quiesce().expect("quiesce");
     assert_eq!(cluster.agent_count(), 5);
     for (&v, &label) in &expect {
         assert_eq!(cluster.query_u64(v), Some(label), "after scale-up {v}");
@@ -245,7 +245,7 @@ fn elastic_scale_up_and_down_preserves_graph_and_results() {
     for _ in 0..3 {
         cluster.remove_last_agent().unwrap();
     }
-    cluster.quiesce();
+    cluster.quiesce().expect("quiesce");
     assert_eq!(cluster.agent_count(), 2);
     cluster.run(Wcc::new()).unwrap();
     for (&v, &label) in &expect {
@@ -435,7 +435,7 @@ fn ingest_during_run_is_buffered_and_applied_after() {
         EdgeChange::delete(0, 1),
     ]);
     cluster.wait_run(handle).unwrap();
-    cluster.quiesce();
+    cluster.quiesce().expect("quiesce");
     // The buffered changes took effect after the run finished.
     let m = cluster.metrics().edges;
     assert_eq!(m, 200); // 200 original + 1 insert - 1 delete

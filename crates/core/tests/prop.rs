@@ -43,6 +43,7 @@ proptest! {
         active in any::<u64>(),
         contrib in any::<f64>(),
         n_primary in any::<u64>(),
+        seq in any::<u64>(),
     ) {
         prop_assume!(!contrib.is_nan());
         let rep = ReadyReport {
@@ -65,6 +66,7 @@ proptest! {
             active,
             global_contrib: contrib,
             n_primary,
+            seq,
         };
         prop_assert_eq!(msg::decode_ready(&msg::encode_ready(&rep)).unwrap(), rep);
     }

@@ -30,13 +30,19 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod fault;
 pub mod frame;
 pub mod inproc;
+pub mod reliable;
+pub mod retry;
 pub mod tcp;
 pub mod transport;
 
 pub use addr::Addr;
+pub use fault::{FaultPlan, FaultStats, FaultyTransport, RouteFault};
 pub use frame::{Frame, FrameReader};
 pub use inproc::InProcTransport;
+pub use reliable::ReliableTransport;
+pub use retry::{SendPolicy, TransportExt};
 pub use tcp::TcpTransport;
 pub use transport::{Delivery, Mailbox, NetError, Outbox, Publisher, ReplyHandle, Transport};

@@ -1,0 +1,477 @@
+//! At-least-once delivery with receiver-side dedup, layered over any
+//! [`Transport`].
+//!
+//! ElGA's Mattern-style termination detection counts every data-plane
+//! message sent and received; a single silently dropped (or duplicated)
+//! PUSH frame unbalances those counters forever and wedges the
+//! superstep barrier. [`ReliableTransport`] restores the exactly-once
+//! *accounting* the algorithm needs on top of a lossy substrate:
+//!
+//! * every PUSH is wrapped in a `SEQ` envelope carrying a per-route
+//!   sequence number and an acknowledgement return address;
+//! * the receiving side ACKs each envelope, suppresses duplicates by
+//!   sequence number, and forwards the original frame to the bound
+//!   mailbox;
+//! * a retransmit thread re-sends unacknowledged envelopes with
+//!   exponential backoff, giving up after [`GIVE_UP`] (at which point
+//!   the peer is presumed dead — heartbeat-based failure detection in
+//!   `elga-core` handles eviction).
+//!
+//! REQ/REP traffic and PUB/SUB broadcasts pass through untouched:
+//! requests already surface loss as [`NetError::Timeout`] for the retry
+//! layer, and the bus is treated as reliable (see `fault.rs`).
+//!
+//! Stack order for chaos testing: `Reliable(Faulty(inner))` — the ACKs
+//! themselves then traverse the faulty layer, exercising retransmit and
+//! dedup for real.
+
+use crate::addr::Addr;
+use crate::frame::Frame;
+use crate::transport::{Delivery, Mailbox, NetError, Outbox, Publisher, Transport};
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Packet type of the sequencing envelope. Top of the u8 range so it
+/// can never collide with ElGA protocol packets (which grow upward
+/// from 1).
+pub const SEQ: u8 = 250;
+/// Packet type of the acknowledgement frame.
+pub const ACK: u8 = 251;
+
+/// How long retransmission keeps trying before presuming the peer dead.
+pub const GIVE_UP: Duration = Duration::from_secs(10);
+
+const RETX_TICK: Duration = Duration::from_millis(10);
+const INITIAL_RTO: Duration = Duration::from_millis(40);
+const MAX_RTO: Duration = Duration::from_secs(1);
+
+static NEXT_NONCE: AtomicU64 = AtomicU64::new(1);
+
+fn addr_hash(addr: &Addr) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in addr.to_string().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// An envelope awaiting acknowledgement.
+struct Pending {
+    envelope: Frame,
+    route: u64,
+    next_retx: Instant,
+    rto: Duration,
+    deadline: Instant,
+}
+
+/// Per-(sender, route) duplicate suppression: everything below `floor`
+/// has been seen; `above` holds seen sequence numbers >= floor.
+#[derive(Default)]
+struct DedupWindow {
+    floor: u64,
+    above: HashSet<u64>,
+}
+
+impl DedupWindow {
+    /// Returns true when `seq` is fresh (first sighting).
+    fn admit(&mut self, seq: u64) -> bool {
+        if seq < self.floor || !self.above.insert(seq) {
+            return false;
+        }
+        while self.above.remove(&self.floor) {
+            self.floor += 1;
+        }
+        true
+    }
+}
+
+/// Counters describing the reliability machinery's work.
+#[derive(Debug, Default)]
+pub struct ReliableStats {
+    retransmits: AtomicU64,
+    gave_up: AtomicU64,
+    dups_suppressed: AtomicU64,
+}
+
+impl ReliableStats {
+    /// Envelopes re-sent after a missing ACK.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes abandoned after [`GIVE_UP`] (peer presumed dead).
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up.load(Ordering::Relaxed)
+    }
+
+    /// Duplicate envelopes discarded by receivers.
+    pub fn dups_suppressed(&self) -> u64 {
+        self.dups_suppressed.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared mutable state between the transport handle, its relay
+/// threads, and the retransmit thread.
+struct Shared {
+    inner: Arc<dyn Transport>,
+    nonce: u64,
+    ack_addr: Addr,
+    stats: ReliableStats,
+    /// Unacknowledged envelopes keyed by (route, seq).
+    pending: Mutex<HashMap<(u64, u64), Pending>>,
+    /// Next sequence number per route (routes are destination-address
+    /// hashes, shared across all outboxes to the same destination).
+    next_seq: Mutex<HashMap<u64, u64>>,
+    /// Cached raw inner outboxes per route, for retransmission.
+    route_out: Mutex<HashMap<u64, Outbox>>,
+    /// Cached outboxes for sending ACKs back to each sender.
+    ack_out: Mutex<HashMap<String, Outbox>>,
+}
+
+impl Shared {
+    fn envelope(&self, route: u64, seq: u64, payload: &Frame) -> Frame {
+        Frame::builder(SEQ)
+            .u64(self.nonce)
+            .u64(route)
+            .u64(seq)
+            .bytes(self.ack_addr.to_string().as_bytes())
+            .bytes(payload.as_bytes())
+            .finish()
+    }
+}
+
+/// A decorator adding at-least-once PUSH delivery + dedup to any
+/// [`Transport`]. See module docs.
+pub struct ReliableTransport {
+    shared: Arc<Shared>,
+}
+
+impl ReliableTransport {
+    /// Wrap `inner`, binding the acknowledgement mailbox at an
+    /// in-process address (sufficient whenever `inner` routes
+    /// `inproc://` traffic; for pure-TCP deployments bind the ACK
+    /// endpoint on a reachable address via
+    /// [`ReliableTransport::with_ack_addr`]).
+    pub fn new(inner: Arc<dyn Transport>) -> Result<Self, NetError> {
+        let nonce = NEXT_NONCE.fetch_add(1, Ordering::Relaxed);
+        let ack_addr = Addr::inproc(format!("reliable-ack-{nonce}"));
+        Self::with_ack_addr(inner, ack_addr)
+    }
+
+    /// Wrap `inner`, binding the acknowledgement mailbox at `ack_addr`
+    /// (must be bindable on `inner` and reachable by every peer).
+    pub fn with_ack_addr(inner: Arc<dyn Transport>, ack_addr: Addr) -> Result<Self, NetError> {
+        let ack_mb = inner.bind(&ack_addr)?;
+        let nonce = NEXT_NONCE.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(Shared {
+            inner,
+            nonce,
+            ack_addr: ack_mb.addr().clone(),
+            stats: ReliableStats::default(),
+            pending: Mutex::new(HashMap::new()),
+            next_seq: Mutex::new(HashMap::new()),
+            route_out: Mutex::new(HashMap::new()),
+            ack_out: Mutex::new(HashMap::new()),
+        });
+
+        // ACK sink: each acknowledgement retires one pending envelope.
+        let ack_shared = Arc::downgrade(&shared);
+        std::thread::spawn(move || {
+            while let Ok(d) = ack_mb.recv() {
+                let Some(shared) = ack_shared.upgrade() else {
+                    break;
+                };
+                let mut r = d.frame.reader();
+                if d.frame.packet_type() != ACK {
+                    continue;
+                }
+                let (Some(_nonce), Some(route), Some(seq)) = (r.u64(), r.u64(), r.u64()) else {
+                    continue;
+                };
+                shared.pending.lock().remove(&(route, seq));
+            }
+        });
+
+        // Retransmit loop: exits once the transport handle is dropped.
+        let retx_shared = Arc::downgrade(&shared);
+        std::thread::spawn(move || retransmit_loop(retx_shared));
+
+        Ok(Self { shared })
+    }
+
+    /// Counters describing retransmits / give-ups / suppressed dups.
+    pub fn stats(&self) -> &ReliableStats {
+        &self.shared.stats
+    }
+
+    /// Number of envelopes still awaiting acknowledgement.
+    pub fn in_flight(&self) -> usize {
+        self.shared.pending.lock().len()
+    }
+}
+
+fn retransmit_loop(shared: Weak<Shared>) {
+    loop {
+        std::thread::sleep(RETX_TICK);
+        let Some(shared) = shared.upgrade() else {
+            return;
+        };
+        let now = Instant::now();
+        let mut resend: Vec<(u64, Frame)> = Vec::new();
+        {
+            let mut pending = shared.pending.lock();
+            pending.retain(|_, p| {
+                if now >= p.deadline {
+                    shared.stats.gave_up.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                if now >= p.next_retx {
+                    resend.push((p.route, p.envelope.clone()));
+                    p.rto = (p.rto * 2).min(MAX_RTO);
+                    p.next_retx = now + p.rto;
+                    shared.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+                }
+                true
+            });
+        }
+        for (route, envelope) in resend {
+            let out = shared.route_out.lock().get(&route).cloned();
+            if let Some(out) = out {
+                // A failed resend means the destination mailbox is
+                // gone; the give-up deadline will reap the entry.
+                let _ = out.send(envelope);
+            }
+        }
+    }
+}
+
+impl Transport for ReliableTransport {
+    fn bind(&self, addr: &Addr) -> Result<Mailbox, NetError> {
+        let inner_mb = self.shared.inner.bind(addr)?;
+        let bound = inner_mb.addr().clone();
+        let (tx, rx) = unbounded::<Delivery>();
+        let shared = Arc::downgrade(&self.shared);
+        std::thread::spawn(move || {
+            // Dedup state per sending transport instance and route.
+            let mut windows: HashMap<(u64, u64), DedupWindow> = HashMap::new();
+            while let Ok(d) = inner_mb.recv() {
+                if d.frame.packet_type() != SEQ {
+                    // REQ deliveries, bus forwards, raw pushes: pass
+                    // through untouched (reply handle intact).
+                    if tx.send(d).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                let Some(shared) = shared.upgrade() else {
+                    break;
+                };
+                let mut r = d.frame.reader();
+                let (Some(nonce), Some(route), Some(seq)) = (r.u64(), r.u64(), r.u64()) else {
+                    continue;
+                };
+                let Some(ack_addr) = r.bytes().map(|b| String::from_utf8_lossy(b).into_owned())
+                else {
+                    continue;
+                };
+                let Some(payload) = r.bytes() else {
+                    continue;
+                };
+                // Always acknowledge — the previous ACK may have been
+                // the lost frame.
+                let ack = Frame::builder(ACK).u64(nonce).u64(route).u64(seq).finish();
+                let cached = shared.ack_out.lock().get(&ack_addr).cloned();
+                let out = match cached {
+                    Some(o) => Some(o),
+                    None => match Addr::parse(&ack_addr)
+                        .ok()
+                        .and_then(|a| shared.inner.sender(&a).ok())
+                    {
+                        Some(o) => {
+                            shared.ack_out.lock().insert(ack_addr.clone(), o.clone());
+                            Some(o)
+                        }
+                        None => None,
+                    },
+                };
+                if let Some(out) = out {
+                    let _ = out.send(ack);
+                }
+                if !windows.entry((nonce, route)).or_default().admit(seq) {
+                    shared
+                        .stats
+                        .dups_suppressed
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let frame = Frame::from_bytes(bytes::Bytes::copy_from_slice(payload));
+                if tx.send(Delivery::push(frame)).is_err() {
+                    break;
+                }
+            }
+        });
+        Ok(Mailbox { addr: bound, rx })
+    }
+
+    fn sender(&self, addr: &Addr) -> Result<Outbox, NetError> {
+        let route = addr_hash(addr);
+        let inner_out = self.shared.inner.sender(addr)?;
+        self.shared
+            .route_out
+            .lock()
+            .entry(route)
+            .or_insert_with(|| inner_out.clone());
+        let (tx, rx) = unbounded::<Delivery>();
+        let shared = Arc::downgrade(&self.shared);
+        std::thread::spawn(move || {
+            while let Ok(d) = rx.recv() {
+                let Some(shared) = shared.upgrade() else {
+                    break;
+                };
+                let seq = {
+                    let mut next = shared.next_seq.lock();
+                    let slot = next.entry(route).or_insert(0);
+                    let seq = *slot;
+                    *slot += 1;
+                    seq
+                };
+                let envelope = shared.envelope(route, seq, &d.frame);
+                let now = Instant::now();
+                shared.pending.lock().insert(
+                    (route, seq),
+                    Pending {
+                        envelope: envelope.clone(),
+                        route,
+                        next_retx: now + INITIAL_RTO,
+                        rto: INITIAL_RTO,
+                        deadline: now + GIVE_UP,
+                    },
+                );
+                if inner_out.send(envelope).is_err() {
+                    // Destination mailbox gone; pending entries will be
+                    // reaped by the give-up deadline.
+                    break;
+                }
+            }
+        });
+        Ok(Outbox { tx })
+    }
+
+    fn request(&self, addr: &Addr, frame: Frame, timeout: Duration) -> Result<Frame, NetError> {
+        self.shared.inner.request(addr, frame, timeout)
+    }
+
+    fn bind_publisher(&self, addr: &Addr) -> Result<Publisher, NetError> {
+        self.shared.inner.bind_publisher(addr)
+    }
+
+    fn subscribe(&self, addr: &Addr, topics: &[u8]) -> Result<Mailbox, NetError> {
+        self.shared.inner.subscribe(addr, topics)
+    }
+
+    fn subscribe_forward(&self, addr: &Addr, topics: &[u8], target: &Addr) -> Result<(), NetError> {
+        self.shared.inner.subscribe_forward(addr, topics, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultyTransport};
+    use crate::inproc::InProcTransport;
+
+    fn reliable_over_faulty(plan: FaultPlan, seed: u64) -> ReliableTransport {
+        let inproc: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let faulty: Arc<dyn Transport> = Arc::new(FaultyTransport::new(inproc, plan, seed));
+        ReliableTransport::new(faulty).unwrap()
+    }
+
+    fn collect(mb: &Mailbox, n: usize, budget: Duration) -> Vec<Frame> {
+        let deadline = Instant::now() + budget;
+        let mut got = Vec::new();
+        while got.len() < n && Instant::now() < deadline {
+            if let Ok(d) = mb.recv_timeout(Duration::from_millis(50)) {
+                got.push(d.frame);
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn lossless_when_substrate_is_clean() {
+        let t = reliable_over_faulty(FaultPlan::default(), 0);
+        let addr = Addr::inproc("clean");
+        let mb = t.bind(&addr).unwrap();
+        let out = t.sender(&addr).unwrap();
+        for i in 0..100u64 {
+            out.send(Frame::builder(1).u64(i).finish()).unwrap();
+        }
+        let got = collect(&mb, 100, Duration::from_secs(5));
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn recovers_every_frame_despite_drops_and_dups() {
+        let plan = FaultPlan::uniform(0.2, 0.1, Duration::ZERO, Duration::from_micros(100));
+        let t = reliable_over_faulty(plan, 99);
+        let addr = Addr::inproc("lossy");
+        let mb = t.bind(&addr).unwrap();
+        let out = t.sender(&addr).unwrap();
+        let n = 300u64;
+        for i in 0..n {
+            out.send(Frame::builder(7).u64(i).finish()).unwrap();
+        }
+        let got = collect(&mb, n as usize, Duration::from_secs(30));
+        assert_eq!(got.len(), n as usize, "every frame must arrive");
+        let mut seen: Vec<u64> = got
+            .iter()
+            .map(|f| {
+                assert_eq!(f.packet_type(), 7);
+                f.reader().u64().unwrap()
+            })
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), n as usize, "exactly once, no dups");
+        assert!(t.stats().retransmits() > 0, "drops must force retransmits");
+    }
+
+    #[test]
+    fn req_rep_passes_through() {
+        let t = reliable_over_faulty(FaultPlan::default(), 0);
+        let addr = Addr::inproc("server");
+        let mb = t.bind(&addr).unwrap();
+        let handle = std::thread::spawn(move || {
+            let d = mb.recv().unwrap();
+            assert_eq!(d.frame.packet_type(), 9);
+            d.reply.unwrap().send(Frame::signal(10)).unwrap();
+        });
+        let rep = t
+            .request(&addr, Frame::signal(9), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(rep.packet_type(), 10);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn in_flight_drains_after_acks() {
+        let t = reliable_over_faulty(FaultPlan::default(), 0);
+        let addr = Addr::inproc("drain");
+        let mb = t.bind(&addr).unwrap();
+        let out = t.sender(&addr).unwrap();
+        for _ in 0..20 {
+            out.send(Frame::signal(1)).unwrap();
+        }
+        let _ = collect(&mb, 20, Duration::from_secs(5));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while t.in_flight() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(t.in_flight(), 0, "ACKs must retire all pending frames");
+    }
+}

@@ -49,20 +49,43 @@ fn write_msg(stream: &mut TcpStream, op: u8, payload: &[u8]) -> std::io::Result<
 }
 
 fn read_msg(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
-    let mut lenb = [0u8; 4];
-    stream.read_exact(&mut lenb)?;
-    let len = u32::from_le_bytes(lenb) as usize;
+    // Read length + opcode as one 5-byte header so the payload lands
+    // directly in its final buffer (no O(n) shift to peel the opcode).
+    let mut head = [0u8; 5];
+    stream.read_exact(&mut head)?;
+    let len = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
     if len == 0 || len > MAX_WIRE_LEN {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "bad wire length",
         ));
     }
-    let mut buf = vec![0u8; len];
+    let op = head[4];
+    let mut buf = vec![0u8; len - 1];
     stream.read_exact(&mut buf)?;
-    let op = buf[0];
-    buf.remove(0);
     Ok((op, buf))
+}
+
+/// Connection teardowns that are part of normal peer lifecycle; not
+/// worth a log line.
+fn is_benign_disconnect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Log an unexpected per-connection error. One bad peer must never
+/// panic the process; reader/writer threads log and exit instead.
+fn log_conn_error(what: &str, peer: &str, e: &std::io::Error) {
+    if !is_benign_disconnect(e) {
+        eprintln!("elga-net: tcp {what} ({peer}): {e}");
+    }
 }
 
 /// TCP backend. Keeps a cache of REQ connections per peer.
@@ -87,16 +110,35 @@ impl TcpTransport {
 /// frames go to the mailbox; REQ frames carry a reply handle routed to
 /// this connection's writer thread.
 fn serve_conn(mut stream: TcpStream, inbox: Sender<Delivery>) {
-    let mut writer = stream.try_clone().expect("clone tcp stream");
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".into());
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            log_conn_error("clone stream", &peer, &e);
+            return;
+        }
+    };
     let (rep_tx, rep_rx) = unbounded::<Frame>();
+    let writer_peer = peer.clone();
     std::thread::spawn(move || {
         while let Ok(frame) = rep_rx.recv() {
-            if write_msg(&mut writer, OP_REP, frame.as_bytes()).is_err() {
+            if let Err(e) = write_msg(&mut writer, OP_REP, frame.as_bytes()) {
+                log_conn_error("write reply", &writer_peer, &e);
                 break;
             }
         }
     });
-    while let Ok((op, payload)) = read_msg(&mut stream) {
+    loop {
+        let (op, payload) = match read_msg(&mut stream) {
+            Ok(msg) => msg,
+            Err(e) => {
+                log_conn_error("read", &peer, &e);
+                break;
+            }
+        };
         if payload.is_empty() {
             break; // frames must carry a packet type
         }
@@ -141,9 +183,11 @@ impl Transport for TcpTransport {
         let mut stream = TcpStream::connect(sock)?;
         stream.set_nodelay(true)?;
         let (tx, rx) = unbounded::<Delivery>();
+        let peer = sock.to_string();
         std::thread::spawn(move || {
             while let Ok(d) = rx.recv() {
-                if write_msg(&mut stream, OP_PUSH, d.frame.as_bytes()).is_err() {
+                if let Err(e) = write_msg(&mut stream, OP_PUSH, d.frame.as_bytes()) {
+                    log_conn_error("write push", &peer, &e);
                     break;
                 }
             }
@@ -165,7 +209,9 @@ impl Transport for TcpTransport {
             s.set_nodelay(true)?;
             *guard = Some(s);
         }
-        let stream = guard.as_mut().expect("connection just established");
+        let Some(stream) = guard.as_mut() else {
+            return Err(NetError::Disconnected);
+        };
         stream.set_read_timeout(Some(timeout))?;
         let outcome = (|| -> Result<Frame, NetError> {
             write_msg(stream, OP_REQ, frame.as_bytes())?;
@@ -208,10 +254,15 @@ impl Transport for TcpTransport {
                     let Ok((OP_SUB, topics)) = read_msg(&mut stream) else {
                         return;
                     };
+                    let peer = stream
+                        .peer_addr()
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|_| "<unknown>".into());
                     let (tx, rx) = unbounded::<Frame>();
                     subs.lock().push((topics, tx));
                     while let Ok(frame) = rx.recv() {
-                        if write_msg(&mut stream, OP_PUSH, frame.as_bytes()).is_err() {
+                        if let Err(e) = write_msg(&mut stream, OP_PUSH, frame.as_bytes()) {
+                            log_conn_error("write publication", &peer, &e);
                             break;
                         }
                     }
@@ -248,15 +299,22 @@ impl Transport for TcpTransport {
         write_msg(&mut stream, OP_SUB, topics)?;
         let (tx, rx) = unbounded();
         let local = Addr::Tcp(stream.local_addr()?);
-        std::thread::spawn(move || {
-            while let Ok((OP_PUSH, payload)) = read_msg(&mut stream) {
-                if payload.is_empty()
-                    || tx
-                        .send(Delivery::push(Frame::from_bytes(Bytes::from(payload))))
-                        .is_err()
-                {
+        let peer = sock.to_string();
+        std::thread::spawn(move || loop {
+            let payload = match read_msg(&mut stream) {
+                Ok((OP_PUSH, payload)) => payload,
+                Ok(_) => break, // publishers only ever push
+                Err(e) => {
+                    log_conn_error("read subscription", &peer, &e);
                     break;
                 }
+            };
+            if payload.is_empty()
+                || tx
+                    .send(Delivery::push(Frame::from_bytes(Bytes::from(payload))))
+                    .is_err()
+            {
+                break;
             }
         });
         Ok(Mailbox { addr: local, rx })

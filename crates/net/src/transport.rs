@@ -33,6 +33,31 @@ impl std::fmt::Display for NetError {
     }
 }
 
+impl NetError {
+    /// Whether retrying the operation could plausibly succeed.
+    ///
+    /// Timeouts and connection-level socket errors are transient: the
+    /// peer may be slow, restarting, or the message may have been
+    /// dropped by a lossy link. A closed mailbox
+    /// ([`NetError::Disconnected`]), a bind conflict, or a protocol
+    /// violation will not heal on retry.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            NetError::Timeout => true,
+            NetError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::Interrupted
+            ),
+            NetError::AddrInUse(_) | NetError::Disconnected | NetError::Protocol(_) => false,
+        }
+    }
+}
+
 impl std::error::Error for NetError {}
 
 impl From<std::io::Error> for NetError {

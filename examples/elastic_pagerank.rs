@@ -57,7 +57,7 @@ fn main() {
     while cluster.agent_count() > 4 {
         cluster.remove_last_agent();
     }
-    cluster.quiesce();
+    cluster.quiesce().expect("quiesce");
     println!("scaled back down to {} agents", cluster.agent_count());
     // Results are still served after the scale-down.
     let sample = edges[0].0;

@@ -1,0 +1,157 @@
+//! Fault-injection tests: ElGA must produce fault-free results over a
+//! transport that drops, delays, and duplicates frames, and must
+//! detect, evict, and recover from an agent that dies mid-run without
+//! the LEAVE drain protocol.
+//!
+//! Every fault sequence is driven by a fixed seed, so failures here
+//! reproduce deterministically.
+
+use elga::core::program::RunOptions;
+use elga::graph::csr::Csr;
+use elga::graph::reference;
+use elga::net::{FaultPlan, SendPolicy};
+use elga::prelude::*;
+use std::time::Duration;
+
+/// A deterministic ring-with-chords graph: connected, with enough
+/// degree skew to exercise routing, small enough that chaos runs stay
+/// fast.
+fn chain_graph(n: u64) -> Vec<(u64, u64)> {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        if i % 3 == 0 {
+            edges.push((i, (i * 7 + 3) % n));
+        }
+    }
+    edges.retain(|&(u, v)| u != v);
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+fn densify(edges: &[(u64, u64)]) -> (Vec<u64>, Vec<(u64, u64)>) {
+    let mut ids: Vec<u64> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let index: std::collections::HashMap<u64, u64> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u64))
+        .collect();
+    let dense = edges.iter().map(|&(u, v)| (index[&u], index[&v])).collect();
+    (ids, dense)
+}
+
+/// Config for runs over a faulty transport: a deeper retry budget (so
+/// driver REQ/REP survives repeated drop rolls) and deadlines that
+/// cover retransmission latency.
+fn chaos_config() -> SystemConfig {
+    SystemConfig {
+        request_timeout: Duration::from_secs(5),
+        send_policy: SendPolicy {
+            retries: 6,
+            base_delay: Duration::from_millis(2),
+            deadline: Duration::from_secs(10),
+        },
+        quiesce_deadline: Duration::from_secs(60),
+        run_deadline: Duration::from_secs(120),
+        ..SystemConfig::default()
+    }
+}
+
+#[test]
+fn chaos_pagerank_and_wcc_match_fault_free_results() {
+    let edges = chain_graph(120);
+    // 5% drop, 1% duplicate, 0-5ms delay on every data-plane route.
+    let plan = FaultPlan::uniform(0.05, 0.01, Duration::ZERO, Duration::from_millis(5));
+    let mut chaos = Cluster::builder()
+        .agents(4)
+        .config(chaos_config())
+        .chaos(plan, 0xE16A)
+        .build();
+    let mut clean = Cluster::builder().agents(4).config(chaos_config()).build();
+    chaos.ingest_edges(edges.iter().copied());
+    clean.ingest_edges(edges.iter().copied());
+
+    chaos
+        .run(PageRank::new(0.85).with_max_iters(10))
+        .expect("chaos pagerank");
+    clean
+        .run(PageRank::new(0.85).with_max_iters(10))
+        .expect("clean pagerank");
+    let got = chaos.dump_states();
+    let want = clean.dump_states();
+    assert_eq!(got.len(), want.len(), "same vertex set");
+    for (v, &bits) in &want {
+        let w = f64::from_bits(bits);
+        let g = f64::from_bits(*got.get(v).unwrap_or_else(|| panic!("missing v{v}")));
+        assert!((g - w).abs() < 1e-9, "pagerank v{v}: {g} vs {w}");
+    }
+
+    chaos.run(Wcc::new()).expect("chaos wcc");
+    let truth = reference::wcc(edges.iter().copied());
+    for &(u, _) in &edges {
+        assert_eq!(chaos.query_u64(u), Some(truth[&u]), "wcc v{u}");
+    }
+
+    // The fault layer must have actually interfered.
+    let stats = chaos.fault().expect("chaos handle").stats();
+    assert!(stats.dropped() > 0, "no frames dropped — chaos was a no-op");
+    assert!(chaos.metrics().messages_dropped > 0);
+
+    chaos.shutdown();
+    clean.shutdown();
+}
+
+#[test]
+fn killed_agent_is_evicted_and_run_restarts_to_correct_results() {
+    let edges = chain_graph(150);
+    let cfg = SystemConfig {
+        // Fast failure detection so the test turns around quickly:
+        // 25ms heartbeats, dead after 12 missed (300ms of silence).
+        heartbeat_interval: Duration::from_millis(25),
+        heartbeat_misses: 12,
+        quiesce_deadline: Duration::from_secs(30),
+        run_deadline: Duration::from_secs(60),
+        ..SystemConfig::default()
+    };
+    let mut cluster = Cluster::builder().agents(4).config(cfg).build();
+    cluster.ingest_edges(edges.iter().copied());
+    assert_eq!(cluster.agent_count(), 4);
+
+    let iters = 40u32;
+    let handle = cluster
+        .start_run(
+            PageRank::new(0.85).with_max_iters(iters),
+            RunOptions::default(),
+        )
+        .expect("start run");
+    // Crash an agent mid-run: the barrier wedges on its silence until
+    // the lead evicts it and broadcasts RECOVER; wait_run then replays
+    // the change log and restarts the run.
+    let victim = cluster.agent_ids()[1];
+    cluster.kill_agent(victim);
+    let stats = cluster
+        .wait_run(handle)
+        .expect("run must complete despite the crash");
+
+    let (ids, dense) = densify(&edges);
+    assert_eq!(stats.n_vertices, ids.len() as u64, "replay restored every vertex");
+    assert_eq!(cluster.agent_count(), 3, "victim evicted from the view");
+    assert!(!cluster.agent_ids().contains(&victim));
+    assert!(cluster.metrics().agents_recovered >= 1);
+
+    // Results equal the fault-free single-threaded reference.
+    let csr = Csr::from_edges(Some(ids.len()), &dense);
+    let want = reference::pagerank(&csr, 0.85, iters as usize);
+    for (i, &orig) in ids.iter().enumerate() {
+        let got = cluster.query_f64(orig).expect("rank");
+        assert!(
+            (got - want[i]).abs() < reference::PAGERANK_TOLERANCE,
+            "v{orig}: {got} vs {}",
+            want[i]
+        );
+    }
+    cluster.shutdown();
+}

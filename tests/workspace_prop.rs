@@ -78,7 +78,7 @@ proptest! {
             } else if cluster.agent_count() > 1 {
                 cluster.remove_last_agent();
             }
-            cluster.quiesce();
+            cluster.quiesce().expect("quiesce");
             cluster.run(Wcc::new()).expect("wcc");
             for (&v, &label) in &truth {
                 prop_assert_eq!(cluster.query_u64(v), Some(label), "vertex {}", v);
