@@ -5,6 +5,11 @@
 //!
 //! As in the paper, half of the participants are Streamers: we run
 //! `agents/2` streamer threads, each pushing a shard of the stream.
+//!
+//! Besides the console table, the run writes `BENCH_fig14.json` at the
+//! workspace root (override with `ELGA_BENCH_OUT`): per agent count,
+//! the mean insertion rate and the streamers' owner-cache hit rate —
+//! the two numbers CI tracks for the ingest hot path.
 
 use elga_bench::{banner, generate, mean_ci, trials};
 use elga_core::cluster::Cluster;
@@ -12,6 +17,13 @@ use elga_core::streamer::Streamer;
 use elga_gen::catalog::find;
 use elga_graph::types::EdgeChange;
 use std::time::Instant;
+
+struct Row {
+    agents: usize,
+    streamers: usize,
+    rate: f64,
+    hit_rate: f64,
+}
 
 fn main() {
     banner(
@@ -21,13 +33,14 @@ fn main() {
     let ds = find("Skitter").expect("catalog");
     let (_, edges) = generate(&ds, 61);
     println!(
-        "{:>7} {:>10} {:>16} {:>18}",
-        "agents", "streamers", "edges/s", "edges/s/agent"
+        "{:>7} {:>10} {:>16} {:>18} {:>10}",
+        "agents", "streamers", "edges/s", "edges/s/agent", "cache-hit"
     );
-    let mut base_rate = None;
+    let mut rows: Vec<Row> = Vec::new();
     for agents in [2usize, 4, 8] {
         let streamers = (agents / 2).max(1);
         let mut rates = Vec::new();
+        let (mut hits, mut misses) = (0u64, 0u64);
         for trial in 0..trials() {
             let c = Cluster::builder().agents(agents).build();
             let shards: Vec<Vec<EdgeChange>> = (0..streamers)
@@ -44,37 +57,84 @@ fn main() {
             let cfg = c.config().clone();
             let lead = c.lead_directory();
             let t0 = Instant::now();
-            std::thread::scope(|scope| {
-                for shard in &shards {
-                    let transport = transport.clone();
-                    let cfg = cfg.clone();
-                    let lead = lead.clone();
-                    scope.spawn(move || {
-                        let mut s =
-                            Streamer::connect(transport, cfg, lead).expect("streamer");
-                        for chunk in shard.chunks(8192) {
-                            s.send_batch(chunk).expect("send");
-                        }
-                    });
-                }
+            let stats: Vec<(u64, u64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| {
+                        let transport = transport.clone();
+                        let cfg = cfg.clone();
+                        let lead = lead.clone();
+                        scope.spawn(move || {
+                            let mut s =
+                                Streamer::connect(transport, cfg, lead).expect("streamer");
+                            for chunk in shard.chunks(8192) {
+                                s.send_batch(chunk).expect("send");
+                            }
+                            s.cache_stats()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("streamer")).collect()
             });
             c.quiesce().expect("quiesce");
             let secs = t0.elapsed().as_secs_f64();
             rates.push(edges.len() as f64 / secs);
+            for (h, m) in stats {
+                hits += h;
+                misses += m;
+            }
             c.shutdown();
             let _ = trial;
         }
         let (rate, _) = mean_ci(&rates);
+        let hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
         println!(
-            "{:>7} {:>10} {:>16.0} {:>18.0}",
+            "{:>7} {:>10} {:>16.0} {:>18.0} {:>9.1}%",
             agents,
             streamers,
             rate,
-            rate / agents as f64
+            rate / agents as f64,
+            hit_rate * 100.0
         );
-        base_rate.get_or_insert(rate);
+        rows.push(Row {
+            agents,
+            streamers,
+            rate,
+            hit_rate,
+        });
     }
-    if let Some(b) = base_rate {
-        println!("(dashed ideal line: {:.0} × agents/2)", b);
+    if let Some(r) = rows.first() {
+        println!("(dashed ideal line: {:.0} × agents/2)", r.rate);
+    }
+    write_json(&rows, edges.len());
+}
+
+/// Hand-rolled JSON (the workspace carries no serializer dependency).
+fn write_json(rows: &[Row], edges: usize) {
+    let path = std::env::var("ELGA_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig14.json").to_string()
+    });
+    let mut body = String::from("{\n  \"figure\": \"fig14_insertion_rate\",\n");
+    body.push_str(&format!("  \"edges_per_trial\": {edges},\n"));
+    body.push_str(&format!("  \"trials\": {},\n  \"rows\": [\n", trials()));
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"agents\": {}, \"streamers\": {}, \"edges_per_sec\": {:.0}, \
+             \"owner_cache_hit_rate\": {:.4}}}{}\n",
+            r.agents,
+            r.streamers,
+            r.rate,
+            r.hit_rate,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

@@ -30,9 +30,11 @@ use crate::directory::{agent_addr, bus_addr};
 use crate::metrics::AgentMetrics;
 use crate::msg::{self, packet, Counters, DirectoryView, MetaRecord, Phase, ReadyReport, RunInfo, Side, StateRecord};
 use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
+use crate::store::{Shard, VertexStore, SHARDS};
 use elga_graph::types::{Action, EdgeChange, VertexId};
-use elga_hash::{AgentId, EdgeLocator, FxHashMap, FxHashSet};
+use elga_hash::{AgentId, EdgeLocator, FxHashMap, FxHashSet, OwnerCache};
 use elga_net::{Addr, Delivery, Frame, NetError, Outbox, Transport, TransportExt};
+use elga_sketch::CountMinSketch;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -54,35 +56,35 @@ type VertexEdgeBundle = (Side, StateRecord, bool, Vec<(VertexId, VertexId)>);
 /// a vertex can have here: replica (edges + state copy), aggregation
 /// target (partials), and primary (authoritative meta).
 #[derive(Debug, Clone, Default)]
-struct VertexEntry {
+pub(crate) struct VertexEntry {
     /// Local out-edges (this agent owns their out-placement).
-    out: Vec<VertexId>,
+    pub(crate) out: Vec<VertexId>,
     /// Local in-edges (this agent owns their in-placement).
-    inn: Vec<VertexId>,
+    pub(crate) inn: Vec<VertexId>,
     /// Replica state copy (from STATE broadcasts or local apply).
-    state: u64,
+    pub(crate) state: u64,
     /// Whether `state` is initialized.
-    has_state: bool,
+    pub(crate) has_state: bool,
     /// Replica copy of the global out-degree.
-    rep_out_degree: u64,
+    pub(crate) rep_out_degree: u64,
     /// Active for the next scatter.
-    active: bool,
+    pub(crate) active: bool,
     /// Scatter-phase partial aggregate.
-    partial: u64,
-    has_partial: bool,
+    pub(crate) partial: u64,
+    pub(crate) has_partial: bool,
     /// Combine-phase aggregate (primary side).
-    ppartial: u64,
-    has_ppartial: bool,
+    pub(crate) ppartial: u64,
+    pub(crate) has_ppartial: bool,
     /// §3.2 waiting set (async): messages collected so far toward the
     /// program's `waits_for` requirement.
-    wait_recv: u64,
+    pub(crate) wait_recv: u64,
     /// Primary-only: authoritative global degrees.
-    g_out: i64,
-    g_in: i64,
+    pub(crate) g_out: i64,
+    pub(crate) g_in: i64,
     /// Primary-only: this agent holds the vertex's meta record.
-    is_meta: bool,
+    pub(crate) is_meta: bool,
     /// Primary-only: touched by changes since the last run.
-    dirty: bool,
+    pub(crate) dirty: bool,
 }
 
 impl VertexEntry {
@@ -109,6 +111,45 @@ struct AgentRun {
     async_live: bool,
 }
 
+/// Reusable per-superstep buffers. The kernels write per-shard batch
+/// maps which are merged (in shard order, for determinism) into the
+/// `merged` maps before encoding; all inner `Vec`s are cleared but
+/// never dropped, so steady-state supersteps allocate nothing.
+#[derive(Default)]
+struct StepScratch {
+    /// Per-shard `(vertex, value)` batches (scatter vmsgs, combine
+    /// partials). Indexed like the vertex shards.
+    per_shard: Vec<FxHashMap<AgentId, Vec<(VertexId, u64)>>>,
+    merged: FxHashMap<AgentId, Vec<(VertexId, u64)>>,
+    /// Per-shard state broadcasts (apply).
+    per_shard_states: Vec<FxHashMap<AgentId, Vec<StateRecord>>>,
+    merged_states: FxHashMap<AgentId, Vec<StateRecord>>,
+}
+
+impl StepScratch {
+    fn new() -> Self {
+        StepScratch {
+            per_shard: (0..SHARDS).map(|_| FxHashMap::default()).collect(),
+            per_shard_states: (0..SHARDS).map(|_| FxHashMap::default()).collect(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Shared read-only context handed to the parallel shard kernels.
+#[derive(Clone, Copy)]
+struct KernelCtx<'a> {
+    program: &'a dyn VertexProgram,
+    locator: &'a EdgeLocator,
+    sketch: &'a CountMinSketch,
+    my_id: AgentId,
+    n_vertices: u64,
+    step: u32,
+    scatter_all: bool,
+    reuse: bool,
+    global: f64,
+}
+
 /// One ElGA agent. Spawned on its own thread by the cluster driver.
 pub struct Agent {
     id: AgentId,
@@ -119,10 +160,20 @@ pub struct Agent {
     view: DirectoryView,
     locator: EdgeLocator,
     outboxes: FxHashMap<AgentId, Outbox>,
-    vertices: FxHashMap<VertexId, VertexEntry>,
-    /// Edge sets for O(1) duplicate detection.
-    out_set: FxHashSet<(VertexId, VertexId)>,
-    in_set: FxHashSet<(VertexId, VertexId)>,
+    vertices: VertexStore,
+    /// Position of out-edge `(u, v)` in `vertices[u].out` — O(1)
+    /// duplicate detection *and* O(1) deletion (swap_remove + index
+    /// fix-up instead of an O(deg) scan).
+    out_pos: FxHashMap<(VertexId, VertexId), u32>,
+    /// Position of in-edge `(u, v)` in `vertices[v].inn`.
+    in_pos: FxHashMap<(VertexId, VertexId), u32>,
+    /// Resolved superstep worker count.
+    workers: usize,
+    /// Owner cache for serial paths (change apply, migration, async).
+    route_cache: OwnerCache,
+    /// One owner cache per worker, used by the parallel kernels.
+    worker_caches: Vec<OwnerCache>,
+    scratch: StepScratch,
     counters: Counters,
     metrics: AgentMetrics,
     run: Option<AgentRun>,
@@ -204,18 +255,30 @@ impl Agent {
             msg::decode_join_reply(&reply).ok_or(NetError::Protocol("bad join reply"))?;
         let dir_push = transport.sender(&directory)?;
         let locator = view.locator();
+        let workers = cfg.workers_effective();
+        let new_cache = || {
+            if cfg.owner_cache {
+                OwnerCache::new()
+            } else {
+                OwnerCache::disabled()
+            }
+        };
         let mut agent = Agent {
             id,
-            cfg,
+            cfg: cfg.clone(),
             transport,
             mailbox,
             dir_push,
             view,
             locator,
             outboxes: FxHashMap::default(),
-            vertices: FxHashMap::default(),
-            out_set: FxHashSet::default(),
-            in_set: FxHashSet::default(),
+            vertices: VertexStore::default(),
+            out_pos: FxHashMap::default(),
+            in_pos: FxHashMap::default(),
+            workers,
+            route_cache: new_cache(),
+            worker_caches: (0..workers).map(|_| new_cache()).collect(),
+            scratch: StepScratch::new(),
             counters: Counters::default(),
             metrics: AgentMetrics {
                 agent: id,
@@ -342,7 +405,7 @@ impl Agent {
             packet::DUMP => {
                 if let Some(reply) = d.reply {
                     let mut pairs: Vec<(VertexId, u64)> = Vec::new();
-                    for (&v, e) in &self.vertices {
+                    for (&v, e) in self.vertices.iter() {
                         if e.is_meta && e.has_state && self.is_primary(v) {
                             pairs.push((v, e.state));
                         }
@@ -411,8 +474,8 @@ impl Agent {
         }
         let epoch = rec.epoch;
         self.vertices.clear();
-        self.out_set.clear();
-        self.in_set.clear();
+        self.out_pos.clear();
+        self.in_pos.clear();
         self.outboxes.clear();
         self.counters = Counters::default();
         self.buffered_changes.clear();
@@ -433,12 +496,63 @@ impl Agent {
     // Helpers
     // ------------------------------------------------------------------
 
-    fn estimate(&self, v: VertexId) -> u64 {
-        self.view.sketch.estimate(v)
-    }
-
     fn is_primary(&self, v: VertexId) -> bool {
         self.locator.ring().owner(v) == Some(self.id)
+    }
+
+    /// Record out-edge `(u, v)`; false when already present.
+    fn insert_out_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if self.out_pos.contains_key(&(u, v)) {
+            return false;
+        }
+        let e = self.vertices.entry_or_default(u);
+        self.out_pos.insert((u, v), e.out.len() as u32);
+        e.out.push(v);
+        true
+    }
+
+    /// Remove out-edge `(u, v)` in O(1): swap_remove at its indexed
+    /// position, then re-index the edge that swapped into the hole.
+    fn remove_out_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let Some(pos) = self.out_pos.remove(&(u, v)) else {
+            return false;
+        };
+        let pos = pos as usize;
+        if let Some(e) = self.vertices.get_mut(&u) {
+            e.out.swap_remove(pos);
+            if pos < e.out.len() {
+                let moved = e.out[pos];
+                self.out_pos.insert((u, moved), pos as u32);
+            }
+        }
+        true
+    }
+
+    /// Record in-edge `(u, v)` (stored on `v`); false when present.
+    fn insert_in_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if self.in_pos.contains_key(&(u, v)) {
+            return false;
+        }
+        let e = self.vertices.entry_or_default(v);
+        self.in_pos.insert((u, v), e.inn.len() as u32);
+        e.inn.push(u);
+        true
+    }
+
+    /// Remove in-edge `(u, v)` in O(1), as [`Agent::remove_out_edge`].
+    fn remove_in_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let Some(pos) = self.in_pos.remove(&(u, v)) else {
+            return false;
+        };
+        let pos = pos as usize;
+        if let Some(e) = self.vertices.get_mut(&v) {
+            e.inn.swap_remove(pos);
+            if pos < e.inn.len() {
+                let moved = e.inn[pos];
+                self.in_pos.insert((moved, v), pos as u32);
+            }
+        }
+        true
     }
 
     fn outbox(&mut self, agent: AgentId) -> Option<&Outbox> {
@@ -529,7 +643,7 @@ impl Agent {
     fn apply_summary(&self) -> (u64, f64, u64) {
         let mut active = 0;
         let mut n_primary = 0;
-        for (&v, e) in &self.vertices {
+        for (&v, e) in self.vertices.iter() {
             if e.is_meta && self.is_primary(v) {
                 n_primary += 1;
                 if e.active {
@@ -545,9 +659,11 @@ impl Agent {
         let Some(run) = self.run.as_ref() else {
             return (0.0, 0);
         };
+        // Folded in shard order (VertexStore iteration), so the f64 sum
+        // is identical for any worker count.
         let mut contrib = 0.0;
         let mut n_primary = 0;
-        for (&v, e) in &self.vertices {
+        for (&v, e) in self.vertices.iter() {
             if e.is_meta && self.is_primary(v) {
                 n_primary += 1;
                 if e.has_state {
@@ -586,6 +702,7 @@ impl Agent {
             e.has_ppartial = false;
             e.wait_recv = 0;
         }
+        self.vertices.clear_partial_dirty();
         self.buffered_frames.clear();
         self.run = Some(AgentRun {
             info,
@@ -640,7 +757,14 @@ impl Agent {
             Phase::Apply => self.phase_apply(),
             Phase::Migrate => {}
         }
-        self.metrics.last_step_nanos = t0.elapsed().as_nanos() as u64;
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.metrics.last_step_nanos = nanos;
+        match adv.phase {
+            Phase::Scatter => self.metrics.scatter_nanos += nanos,
+            Phase::Combine => self.metrics.combine_nanos += nanos,
+            Phase::Apply => self.metrics.apply_nanos += nanos,
+            Phase::Migrate => {}
+        }
         self.replay_buffered();
     }
 
@@ -688,117 +812,16 @@ impl Agent {
             self.send_ready(run_id, 0, Phase::Scatter, 0, contrib, n_primary);
             return;
         }
-        self.scatter_vertices(None);
+        self.run_kernel(Phase::Scatter);
         let (contrib, n_primary) = self.scatter_summary();
         self.send_ready(run_id, step, Phase::Scatter, 0, contrib, n_primary);
-    }
-
-    /// Scatter messages for all eligible vertices (or only `only`),
-    /// routing each message to the target's aggregation replica (sync)
-    /// or directly to its primary (async).
-    fn scatter_vertices(&mut self, only: Option<VertexId>) {
-        let run = self.run.as_ref().expect("scatter without run");
-        let program = run.program.clone();
-        let scatter_all = program.scatter_all();
-        let n_vertices = run.n_vertices;
-        let step = run.step;
-        let asynchronous = run.async_live;
-        let run_id = run.info.run_id;
-
-        let mut batches: FxHashMap<AgentId, Vec<(VertexId, u64)>> = FxHashMap::default();
-        let route = |loc: &EdgeLocator,
-                         view: &DirectoryView,
-                         batches: &mut FxHashMap<AgentId, Vec<(VertexId, u64)>>,
-                         target: VertexId,
-                         origin: VertexId,
-                         value: u64| {
-            let est = view.sketch.estimate(target);
-            let owner = if asynchronous {
-                loc.ring().owner(target)
-            } else {
-                loc.owner_of_edge(target, origin, est)
-            };
-            if let Some(owner) = owner {
-                batches.entry(owner).or_default().push((target, value));
-            }
-        };
-
-        let vertices: Vec<VertexId> = match only {
-            Some(v) => vec![v],
-            None => self.vertices.keys().copied().collect(),
-        };
-        for v in vertices {
-            let Some(e) = self.vertices.get(&v) else {
-                continue;
-            };
-            let eligible = e.has_state && (e.active || scatter_all);
-            if !eligible {
-                continue;
-            }
-            let ctx = VertexCtx {
-                out_degree: e.rep_out_degree,
-                in_degree: 0,
-                n_vertices,
-                step,
-                global: 0.0,
-            };
-            if let Some(val) = program.scatter_out(v, e.state, &ctx) {
-                for &w in &e.out {
-                    let vv = program.along_edge(v, w, val);
-                    route(&self.locator, &self.view, &mut batches, w, v, vv);
-                }
-            }
-            if let Some(val) = program.scatter_in(v, e.state, &ctx) {
-                for &u in &e.inn {
-                    let vv = program.along_edge(v, u, val);
-                    route(&self.locator, &self.view, &mut batches, u, v, vv);
-                }
-            }
-        }
-        // Scatter accomplished; clear active flags (they are re-armed
-        // by STATE broadcasts at the next apply).
-        match only {
-            None => {
-                for e in self.vertices.values_mut() {
-                    e.active = false;
-                }
-            }
-            Some(v) => {
-                if let Some(e) = self.vertices.get_mut(&v) {
-                    e.active = false;
-                }
-            }
-        }
-        for (agent, msgs) in batches {
-            for chunk in msgs.chunks(BATCH) {
-                self.counters.vmsg_sent += chunk.len() as u64;
-                let frame = msg::encode_vmsgs(run_id, step, chunk);
-                self.push_to(agent, frame);
-            }
-        }
     }
 
     fn phase_combine(&mut self) {
         let run = self.run.as_ref().expect("combine without run");
         let run_id = run.info.run_id;
         let step = run.step;
-        let mut batches: FxHashMap<AgentId, Vec<(VertexId, u64)>> = FxHashMap::default();
-        for (&v, e) in self.vertices.iter_mut() {
-            if e.has_partial {
-                if let Some(primary) = self.locator.ring().owner(v) {
-                    batches.entry(primary).or_default().push((v, e.partial));
-                }
-                e.has_partial = false;
-                e.partial = 0;
-            }
-        }
-        for (agent, parts) in batches {
-            for chunk in parts.chunks(BATCH) {
-                self.counters.part_sent += chunk.len() as u64;
-                let frame = msg::encode_partials(run_id, step, chunk);
-                self.push_to(agent, frame);
-            }
-        }
+        self.run_kernel(Phase::Combine);
         self.send_ready(run_id, step, Phase::Combine, 0, 0.0, 0);
     }
 
@@ -806,83 +829,131 @@ impl Agent {
         let run = self.run.as_ref().expect("apply without run");
         let run_id = run.info.run_id;
         let step = run.step;
-        let reuse = run.info.reuse_state;
-        let program = run.program.clone();
-        let n_vertices = run.n_vertices;
-        let global = run.global;
-
-        let mut states: FxHashMap<AgentId, Vec<StateRecord>> = FxHashMap::default();
-        let verts: Vec<VertexId> = self.vertices.keys().copied().collect();
-        for v in verts {
-            if !self.is_primary(v) {
-                continue;
-            }
-            let e = self.vertices.get_mut(&v).expect("vertex exists");
-            if !(e.is_meta || e.has_ppartial) {
-                continue;
-            }
-            let ctx = VertexCtx {
-                out_degree: e.g_out.max(0) as u64,
-                in_degree: e.g_in.max(0) as u64,
-                n_vertices,
-                step,
-                global,
-            };
-            let mut broadcast = false;
-            if step == 0 {
-                // Initialization (fresh) / activation (incremental).
-                if !e.has_state {
-                    e.state = program.init(v, &ctx);
-                    e.has_state = true;
-                    e.active = if reuse {
-                        true // newly appeared vertex in an incremental run
-                    } else {
-                        program.initially_active_ctx(v, &ctx)
-                    };
-                    broadcast = true;
-                } else if reuse {
-                    e.active = e.dirty;
-                    broadcast = e.dirty;
-                }
-                e.dirty = false;
-            } else {
-                let has_msgs = e.has_ppartial;
-                if has_msgs || program.applies_without_messages() {
-                    let agg = has_msgs.then_some(e.ppartial);
-                    let old = e.state;
-                    let (new, changed) = program.apply(v, e.state, agg, &ctx);
-                    e.state = new;
-                    e.has_state = true;
-                    e.active = changed;
-                    broadcast = changed || new != old || program.scatter_all();
-                } else {
-                    e.active = false;
-                }
-            }
-            e.has_ppartial = false;
-            e.ppartial = 0;
-            if broadcast {
-                let rec = StateRecord {
-                    vertex: v,
-                    state: e.state,
-                    out_degree: e.g_out.max(0) as u64,
-                    active: e.active,
-                };
-                let est = self.view.sketch.estimate(v);
-                for replica in self.locator.replicas_of_vertex(v, est) {
-                    states.entry(replica).or_default().push(rec);
-                }
-            }
-        }
-        for (agent, recs) in states {
-            for chunk in recs.chunks(BATCH) {
-                self.counters.state_sent += chunk.len() as u64;
-                let frame = msg::encode_states(run_id, step, chunk);
-                self.push_to(agent, frame);
-            }
-        }
+        self.run_kernel(Phase::Apply);
         let (active, contrib, n_primary) = self.apply_summary();
         self.send_ready(run_id, step, Phase::Apply, active, contrib, n_primary);
+    }
+
+    /// Run one superstep kernel over all vertex shards on the worker
+    /// pool, then merge and send the per-shard batches.
+    ///
+    /// Determinism: the shard count is fixed (independent of the worker
+    /// count), each shard is processed by exactly one worker, and the
+    /// per-shard batches are merged in shard index order — so the
+    /// per-destination byte streams are identical for any worker count.
+    fn run_kernel(&mut self, phase: Phase) {
+        let run = self.run.as_ref().expect("kernel without run");
+        let program = run.program.clone();
+        let run_id = run.info.run_id;
+        let step = run.step;
+        let ctx = KernelCtx {
+            program: &*program,
+            locator: &self.locator,
+            sketch: &self.view.sketch,
+            my_id: self.id,
+            n_vertices: run.n_vertices,
+            step,
+            scatter_all: program.scatter_all(),
+            reuse: run.info.reuse_state,
+            global: run.global,
+        };
+        let epoch = self.view.epoch;
+        for c in &mut self.worker_caches {
+            c.ensure_epoch(epoch);
+        }
+        // Tiny stores run serially: thread-spawn overhead would dwarf
+        // the kernel. Harmless for determinism — output bytes do not
+        // depend on the worker count.
+        let workers = if self.vertices.len() < 1024 {
+            1
+        } else {
+            self.workers.clamp(1, SHARDS)
+        };
+        let chunk = SHARDS.div_ceil(workers);
+        {
+            let shards = self.vertices.shards_mut();
+            let scratch = &mut self.scratch.per_shard;
+            let scratch_states = &mut self.scratch.per_shard_states;
+            let caches = &mut self.worker_caches;
+            if workers == 1 {
+                // Serial fast path: no thread spawn overhead.
+                let cache = &mut caches[0];
+                for (i, shard) in shards.iter_mut().enumerate() {
+                    kernel_shard(phase, ctx, cache, shard, &mut scratch[i], &mut scratch_states[i]);
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    let work = shards
+                        .chunks_mut(chunk)
+                        .zip(scratch.chunks_mut(chunk))
+                        .zip(scratch_states.chunks_mut(chunk))
+                        .zip(caches.iter_mut());
+                    for (((sh, sc), scs), cache) in work {
+                        scope.spawn(move || {
+                            for ((shard, out), out_states) in
+                                sh.iter_mut().zip(sc.iter_mut()).zip(scs.iter_mut())
+                            {
+                                kernel_shard(phase, ctx, cache, shard, out, out_states);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        // Merge per-shard batches in shard index order: each
+        // destination's messages end up in the same order no matter how
+        // many workers produced them.
+        match phase {
+            Phase::Apply => {
+                let mut merged = std::mem::take(&mut self.scratch.merged_states);
+                for shard_states in &mut self.scratch.per_shard_states {
+                    for (&agent, recs) in shard_states.iter_mut() {
+                        if !recs.is_empty() {
+                            merged.entry(agent).or_default().append(recs);
+                        }
+                    }
+                }
+                for (&agent, recs) in merged.iter_mut() {
+                    if recs.is_empty() {
+                        continue;
+                    }
+                    for chunk in recs.chunks(BATCH) {
+                        self.counters.state_sent += chunk.len() as u64;
+                        let frame = msg::encode_states(run_id, step, chunk);
+                        self.push_to(agent, frame);
+                    }
+                    recs.clear();
+                }
+                self.scratch.merged_states = merged;
+            }
+            _ => {
+                let mut merged = std::mem::take(&mut self.scratch.merged);
+                for shard_batches in &mut self.scratch.per_shard {
+                    for (&agent, msgs) in shard_batches.iter_mut() {
+                        if !msgs.is_empty() {
+                            merged.entry(agent).or_default().append(msgs);
+                        }
+                    }
+                }
+                for (&agent, msgs) in merged.iter_mut() {
+                    if msgs.is_empty() {
+                        continue;
+                    }
+                    for chunk in msgs.chunks(BATCH) {
+                        let frame = if phase == Phase::Scatter {
+                            self.counters.vmsg_sent += chunk.len() as u64;
+                            msg::encode_vmsgs(run_id, step, chunk)
+                        } else {
+                            self.counters.part_sent += chunk.len() as u64;
+                            msg::encode_partials(run_id, step, chunk)
+                        };
+                        self.push_to(agent, frame);
+                    }
+                    msgs.clear();
+                }
+                self.scratch.merged = merged;
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -916,12 +987,15 @@ impl Agent {
                 self.metrics.vmsgs += msgs.len() as u64;
                 let program = self.run.as_ref().expect("run").program.clone();
                 for (v, value) in msgs {
-                    let e = self.vertices.entry(v).or_default();
+                    let (e, dirty) = self.vertices.entry_and_dirty(v);
                     if e.has_partial {
                         e.partial = program.combine(e.partial, value);
                     } else {
                         e.partial = value;
                         e.has_partial = true;
+                        // First partial since the last combine: record
+                        // it so phase_combine only walks receivers.
+                        dirty.push(v);
                     }
                 }
                 // Late-arrival re-report happens from on_idle, once
@@ -946,7 +1020,7 @@ impl Agent {
                 self.counters.part_recv += parts.len() as u64;
                 let program = self.run.as_ref().expect("run").program.clone();
                 for (v, value) in parts {
-                    let e = self.vertices.entry(v).or_default();
+                    let e = self.vertices.entry_or_default(v);
                     if e.has_ppartial {
                         e.ppartial = program.combine(e.ppartial, value);
                     } else {
@@ -971,13 +1045,13 @@ impl Agent {
                 // Async: adopt the state and scatter right away.
                 self.counters.state_recv += recs.len() as u64;
                 for rec in recs {
-                    let e = self.vertices.entry(rec.vertex).or_default();
+                    let e = self.vertices.entry_or_default(rec.vertex);
                     e.state = rec.state;
                     e.has_state = true;
                     e.rep_out_degree = rec.out_degree;
                     e.active = rec.active;
                     if rec.active {
-                        self.scatter_vertices(Some(rec.vertex));
+                        self.scatter_one(rec.vertex);
                     }
                 }
                 self.re_report_async();
@@ -987,7 +1061,7 @@ impl Agent {
             {
                 self.counters.state_recv += recs.len() as u64;
                 for rec in recs {
-                    let e = self.vertices.entry(rec.vertex).or_default();
+                    let e = self.vertices.entry_or_default(rec.vertex);
                     e.state = rec.state;
                     e.has_state = true;
                     e.rep_out_degree = rec.out_degree;
@@ -1015,9 +1089,65 @@ impl Agent {
             .map(|(&v, _)| v)
             .collect();
         for v in actives {
-            self.scatter_vertices(Some(v));
+            self.scatter_one(v);
         }
         self.re_report_async();
+    }
+
+    /// Event-driven single-vertex scatter (async mode): messages route
+    /// straight to the target's primary.
+    fn scatter_one(&mut self, v: VertexId) {
+        let run = self.run.as_ref().expect("scatter without run");
+        let program = run.program.clone();
+        let scatter_all = program.scatter_all();
+        let n_vertices = run.n_vertices;
+        let step = run.step;
+        let run_id = run.info.run_id;
+        self.route_cache.ensure_epoch(self.view.epoch);
+        let mut batches: FxHashMap<AgentId, Vec<(VertexId, u64)>> = FxHashMap::default();
+        {
+            let locator = &self.locator;
+            let sketch = &self.view.sketch;
+            let cache = &mut self.route_cache;
+            let Some(e) = self.vertices.get(&v) else {
+                return;
+            };
+            if e.has_state && (e.active || scatter_all) {
+                let ctx = VertexCtx {
+                    out_degree: e.rep_out_degree,
+                    in_degree: 0,
+                    n_vertices,
+                    step,
+                    global: 0.0,
+                };
+                if let Some(val) = program.scatter_out(v, e.state, &ctx) {
+                    for &w in &e.out {
+                        let vv = program.along_edge(v, w, val);
+                        if let Some(owner) = cache.primary(locator, w, || sketch.estimate(w)) {
+                            batches.entry(owner).or_default().push((w, vv));
+                        }
+                    }
+                }
+                if let Some(val) = program.scatter_in(v, e.state, &ctx) {
+                    for &u in &e.inn {
+                        let vv = program.along_edge(v, u, val);
+                        if let Some(owner) = cache.primary(locator, u, || sketch.estimate(u)) {
+                            batches.entry(owner).or_default().push((u, vv));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(e) = self.vertices.get_mut(&v) {
+            e.active = false;
+        }
+        for (agent, msgs) in batches {
+            for chunk in msgs.chunks(BATCH) {
+                self.counters.vmsg_sent += chunk.len() as u64;
+                let frame = msg::encode_vmsgs(run_id, step, chunk);
+                self.push_to(agent, frame);
+            }
+        }
     }
 
     /// Async apply-at-primary: combine the incoming value, apply, and
@@ -1037,7 +1167,7 @@ impl Agent {
             }
             return;
         }
-        let e = self.vertices.entry(v).or_default();
+        let e = self.vertices.entry_or_default(v);
         let ctx = VertexCtx {
             out_degree: e.g_out.max(0) as u64,
             in_degree: e.g_in.max(0) as u64,
@@ -1082,8 +1212,13 @@ impl Agent {
                 out_degree: e.g_out.max(0) as u64,
                 active: true,
             };
-            let est = self.view.sketch.estimate(v);
-            let replicas = self.locator.replicas_of_vertex(v, est);
+            self.route_cache.ensure_epoch(self.view.epoch);
+            let replicas: Vec<AgentId> = {
+                let sketch = &self.view.sketch;
+                self.route_cache
+                    .replicas(&self.locator, v, || sketch.estimate(v))
+                    .to_vec()
+            };
             for replica in replicas {
                 self.counters.state_sent += 1;
                 let frame = msg::encode_states(run_id, 1, &[rec]);
@@ -1161,15 +1296,18 @@ impl Agent {
     fn apply_changes(&mut self, side: Side, hop: u8, changes: Vec<EdgeChange>) {
         let mut forwards: FxHashMap<AgentId, Vec<EdgeChange>> = FxHashMap::default();
         let mut deltas: FxHashMap<VertexId, (i64, i64)> = FxHashMap::default();
+        self.route_cache.ensure_epoch(self.view.epoch);
         for change in changes {
             let (u, v) = (change.edge.src, change.edge.dst);
             let (key, other) = match side {
                 Side::Out => (u, v),
                 Side::In => (v, u),
             };
-            let owner = self
-                .locator
-                .owner_of_edge(key, other, self.estimate(key));
+            let owner = {
+                let sketch = &self.view.sketch;
+                self.route_cache
+                    .owner_of_edge(&self.locator, key, other, || sketch.estimate(key))
+            };
             if owner != Some(self.id) {
                 if let Some(owner) = owner {
                     if hop < MAX_HOPS {
@@ -1180,45 +1318,27 @@ impl Agent {
             }
             let applied = match (side, change.action) {
                 (Side::Out, Action::Insert) => {
-                    if self.out_set.insert((u, v)) {
-                        self.vertices.entry(u).or_default().out.push(v);
+                    self.insert_out_edge(u, v) && {
                         deltas.entry(u).or_default().0 += 1;
                         true
-                    } else {
-                        false
                     }
                 }
                 (Side::Out, Action::Delete) => {
-                    if self.out_set.remove(&(u, v)) {
-                        let e = self.vertices.entry(u).or_default();
-                        if let Some(pos) = e.out.iter().position(|&x| x == v) {
-                            e.out.swap_remove(pos);
-                        }
+                    self.remove_out_edge(u, v) && {
                         deltas.entry(u).or_default().0 -= 1;
                         true
-                    } else {
-                        false
                     }
                 }
                 (Side::In, Action::Insert) => {
-                    if self.in_set.insert((u, v)) {
-                        self.vertices.entry(v).or_default().inn.push(u);
+                    self.insert_in_edge(u, v) && {
                         deltas.entry(v).or_default().1 += 1;
                         true
-                    } else {
-                        false
                     }
                 }
                 (Side::In, Action::Delete) => {
-                    if self.in_set.remove(&(u, v)) {
-                        let e = self.vertices.entry(v).or_default();
-                        if let Some(pos) = e.inn.iter().position(|&x| x == u) {
-                            e.inn.swap_remove(pos);
-                        }
+                    self.remove_in_edge(u, v) && {
                         deltas.entry(v).or_default().1 -= 1;
                         true
-                    } else {
-                        false
                     }
                 }
             };
@@ -1251,7 +1371,7 @@ impl Agent {
                 self.push_to(agent, frame);
             }
         }
-        self.metrics.edges = self.out_set.len() as u64;
+        self.metrics.edges = self.out_pos.len() as u64;
         self.re_report();
     }
 
@@ -1261,7 +1381,7 @@ impl Agent {
         };
         self.counters.chg_recv += deltas.len() as u64;
         for (v, dout, din) in deltas {
-            let e = self.vertices.entry(v).or_default();
+            let e = self.vertices.entry_or_default(v);
             e.g_out += dout;
             e.g_in += din;
             e.dirty = true;
@@ -1352,38 +1472,64 @@ impl Agent {
 
         let verts: Vec<VertexId> = match &filter {
             Some(set) => set.iter().copied().collect(),
-            None => self.vertices.keys().copied().collect(),
+            None => self.vertices.keys().collect(),
         };
         let sketch_only = filter.is_some();
-        for v in verts {
+        self.route_cache.ensure_epoch(self.view.epoch);
+        // Batch-estimate every vertex up front: one row-seed setup for
+        // the whole sweep instead of per-vertex.
+        let ests = self.view.sketch.estimate_many(&verts);
+        for (v, est) in verts.into_iter().zip(ests) {
             if !self.vertices.contains_key(&v) {
                 continue;
             }
-            let est = self.estimate(v);
-            // Out-placements of v's out-edges.
+            // Place v once per retain sweep: both edge directions of v
+            // hash through the same (k, replica-set), so the cache does
+            // the ring walk a single time and the per-edge work is one
+            // second-hash lookup.
             let (mut moved_out, mut moved_in): (MovedEdges, MovedEdges) =
                 (MovedEdges::default(), MovedEdges::default());
-            {
+            let rebuild = {
                 let locator = &self.locator;
+                let placement = self.route_cache.placement(locator, v, || est);
                 let my_id = self.id;
                 let e = self.vertices.get_mut(&v).expect("exists");
-                e.out.retain(|&w| match locator.owner_of_edge(v, w, est) {
-                    Some(owner) if owner != my_id => {
-                        moved_out.entry(owner).or_default().push((v, w));
-                        false
+                let before = (e.out.len(), e.inn.len());
+                e.out
+                    .retain(|&w| match locator.owner_from_placement(placement, w) {
+                        Some(owner) if owner != my_id => {
+                            moved_out.entry(owner).or_default().push((v, w));
+                            false
+                        }
+                        _ => true,
+                    });
+                e.inn
+                    .retain(|&u| match locator.owner_from_placement(placement, u) {
+                        Some(owner) if owner != my_id => {
+                            moved_in.entry(owner).or_default().push((u, v));
+                            false
+                        }
+                        _ => true,
+                    });
+                (before.0 != e.out.len(), before.1 != e.inn.len())
+            };
+            // Retain compacts the adjacency vectors, so the surviving
+            // edges' position indices must be rebuilt.
+            if rebuild.0 || rebuild.1 {
+                let e = self.vertices.get(&v).expect("exists");
+                if rebuild.0 {
+                    for (i, &w) in e.out.iter().enumerate() {
+                        self.out_pos.insert((v, w), i as u32);
                     }
-                    _ => true,
-                });
-                e.inn.retain(|&u| match locator.owner_of_edge(v, u, est) {
-                    Some(owner) if owner != my_id => {
-                        moved_in.entry(owner).or_default().push((u, v));
-                        false
+                }
+                if rebuild.1 {
+                    for (i, &u) in e.inn.iter().enumerate() {
+                        self.in_pos.insert((u, v), i as u32);
                     }
-                    _ => true,
-                });
+                }
             }
             let snapshot = {
-                let e = &self.vertices[&v];
+                let e = self.vertices.get(&v).expect("exists");
                 (
                     StateRecord {
                         vertex: v,
@@ -1396,7 +1542,7 @@ impl Agent {
             };
             for (agent, edges) in moved_out {
                 for &(a, b) in &edges {
-                    self.out_set.remove(&(a, b));
+                    self.out_pos.remove(&(a, b));
                 }
                 bundles.entry(agent).or_default().vertex_edges.push((
                     Side::Out,
@@ -1407,7 +1553,7 @@ impl Agent {
             }
             for (agent, edges) in moved_in {
                 for &(a, b) in &edges {
-                    self.in_set.remove(&(a, b));
+                    self.in_pos.remove(&(a, b));
                 }
                 bundles.entry(agent).or_default().vertex_edges.push((
                     Side::In,
@@ -1481,7 +1627,7 @@ impl Agent {
                 self.push_to(agent, frame);
             }
         }
-        self.metrics.edges = self.out_set.len() as u64;
+        self.metrics.edges = self.out_pos.len() as u64;
         self.send_ready(0, epoch as u32, Phase::Migrate, 0, 0.0, 0);
     }
 
@@ -1491,7 +1637,7 @@ impl Agent {
         };
         self.counters.mig_recv += edges.len() as u64 + 1;
         let v = snap.vertex;
-        let e = self.vertices.entry(v).or_default();
+        let e = self.vertices.entry_or_default(v);
         if g_in_delta != 0 {
             // In-degree handoff piggybacking a meta move.
             e.g_in += g_in_delta;
@@ -1511,20 +1657,16 @@ impl Agent {
         match side {
             Side::Out => {
                 for (a, b) in edges {
-                    if self.out_set.insert((a, b)) {
-                        self.vertices.entry(a).or_default().out.push(b);
-                    }
+                    self.insert_out_edge(a, b);
                 }
             }
             Side::In => {
                 for (a, b) in edges {
-                    if self.in_set.insert((a, b)) {
-                        self.vertices.entry(b).or_default().inn.push(a);
-                    }
+                    self.insert_in_edge(a, b);
                 }
             }
         }
-        self.metrics.edges = self.out_set.len() as u64;
+        self.metrics.edges = self.out_pos.len() as u64;
         self.re_report();
     }
 
@@ -1534,7 +1676,7 @@ impl Agent {
         };
         self.counters.mig_recv += metas.len() as u64;
         for m in metas {
-            let e = self.vertices.entry(m.vertex).or_default();
+            let e = self.vertices.entry_or_default(m.vertex);
             e.g_out += m.out_degree as i64;
             e.is_meta = true;
             e.dirty = e.dirty || m.dirty;
@@ -1555,7 +1697,179 @@ impl Agent {
     fn flush_metrics(&mut self, force: bool) {
         if force || self.metrics_flushed.elapsed() > Duration::from_millis(100) {
             self.metrics_flushed = Instant::now();
+            let (mut hits, mut misses) = self.route_cache.stats();
+            for c in &self.worker_caches {
+                let (h, m) = c.stats();
+                hits += h;
+                misses += m;
+            }
+            self.metrics.owner_cache_hits = hits;
+            self.metrics.owner_cache_misses = misses;
             let _ = self.dir_push.send(self.metrics.encode());
+        }
+    }
+}
+
+/// Dispatch one shard through the kernel for `phase`. Runs on a worker
+/// thread; touches only its own shard, scratch maps, and owner cache.
+fn kernel_shard(
+    phase: Phase,
+    ctx: KernelCtx<'_>,
+    cache: &mut OwnerCache,
+    shard: &mut Shard,
+    out: &mut FxHashMap<AgentId, Vec<(VertexId, u64)>>,
+    out_states: &mut FxHashMap<AgentId, Vec<StateRecord>>,
+) {
+    match phase {
+        Phase::Scatter => scatter_shard(ctx, cache, shard, out),
+        Phase::Combine => combine_shard(ctx, cache, shard, out),
+        Phase::Apply => apply_shard(ctx, cache, shard, out_states),
+        Phase::Migrate => {}
+    }
+}
+
+/// Scatter messages for one shard's eligible vertices, routing each to
+/// the target's aggregation replica via the owner cache.
+fn scatter_shard(
+    ctx: KernelCtx<'_>,
+    cache: &mut OwnerCache,
+    shard: &mut Shard,
+    out: &mut FxHashMap<AgentId, Vec<(VertexId, u64)>>,
+) {
+    let program = ctx.program;
+    for (&v, e) in shard.map.iter_mut() {
+        if !(e.has_state && (e.active || ctx.scatter_all)) {
+            // Scatter clears active flags unconditionally (they are
+            // re-armed by STATE broadcasts at the next apply).
+            e.active = false;
+            continue;
+        }
+        let vctx = VertexCtx {
+            out_degree: e.rep_out_degree,
+            in_degree: 0,
+            n_vertices: ctx.n_vertices,
+            step: ctx.step,
+            global: 0.0,
+        };
+        if let Some(val) = program.scatter_out(v, e.state, &vctx) {
+            for &w in &e.out {
+                let vv = program.along_edge(v, w, val);
+                if let Some(owner) =
+                    cache.owner_of_edge(ctx.locator, w, v, || ctx.sketch.estimate(w))
+                {
+                    out.entry(owner).or_default().push((w, vv));
+                }
+            }
+        }
+        if let Some(val) = program.scatter_in(v, e.state, &vctx) {
+            for &u in &e.inn {
+                let vv = program.along_edge(v, u, val);
+                if let Some(owner) =
+                    cache.owner_of_edge(ctx.locator, u, v, || ctx.sketch.estimate(u))
+                {
+                    out.entry(owner).or_default().push((u, vv));
+                }
+            }
+        }
+        e.active = false;
+    }
+}
+
+/// Forward one shard's scatter partials to their primaries. Touches
+/// only the shard's dirty list — vertices that actually received
+/// messages — instead of scanning the whole map; sorts it so the sent
+/// order is deterministic regardless of arrival order.
+fn combine_shard(
+    ctx: KernelCtx<'_>,
+    cache: &mut OwnerCache,
+    shard: &mut Shard,
+    out: &mut FxHashMap<AgentId, Vec<(VertexId, u64)>>,
+) {
+    let mut dirty = std::mem::take(&mut shard.partial_dirty);
+    dirty.sort_unstable();
+    for v in dirty.drain(..) {
+        let Some(e) = shard.map.get_mut(&v) else {
+            continue;
+        };
+        if !e.has_partial {
+            continue;
+        }
+        if let Some(primary) = cache.primary(ctx.locator, v, || ctx.sketch.estimate(v)) {
+            out.entry(primary).or_default().push((v, e.partial));
+        }
+        e.has_partial = false;
+        e.partial = 0;
+    }
+    // Hand the (drained) buffer back so its capacity is reused.
+    shard.partial_dirty = dirty;
+}
+
+/// Apply one shard's primaries and queue state broadcasts to their
+/// replica sets.
+fn apply_shard(
+    ctx: KernelCtx<'_>,
+    cache: &mut OwnerCache,
+    shard: &mut Shard,
+    out: &mut FxHashMap<AgentId, Vec<StateRecord>>,
+) {
+    let program = ctx.program;
+    for (&v, e) in shard.map.iter_mut() {
+        if !(e.is_meta || e.has_ppartial) {
+            continue;
+        }
+        if cache.primary(ctx.locator, v, || ctx.sketch.estimate(v)) != Some(ctx.my_id) {
+            continue;
+        }
+        let vctx = VertexCtx {
+            out_degree: e.g_out.max(0) as u64,
+            in_degree: e.g_in.max(0) as u64,
+            n_vertices: ctx.n_vertices,
+            step: ctx.step,
+            global: ctx.global,
+        };
+        let mut broadcast = false;
+        if ctx.step == 0 {
+            // Initialization (fresh) / activation (incremental).
+            if !e.has_state {
+                e.state = program.init(v, &vctx);
+                e.has_state = true;
+                e.active = if ctx.reuse {
+                    true // newly appeared vertex in an incremental run
+                } else {
+                    program.initially_active_ctx(v, &vctx)
+                };
+                broadcast = true;
+            } else if ctx.reuse {
+                e.active = e.dirty;
+                broadcast = e.dirty;
+            }
+            e.dirty = false;
+        } else {
+            let has_msgs = e.has_ppartial;
+            if has_msgs || program.applies_without_messages() {
+                let agg = has_msgs.then_some(e.ppartial);
+                let old = e.state;
+                let (new, changed) = program.apply(v, e.state, agg, &vctx);
+                e.state = new;
+                e.has_state = true;
+                e.active = changed;
+                broadcast = changed || new != old || program.scatter_all();
+            } else {
+                e.active = false;
+            }
+        }
+        e.has_ppartial = false;
+        e.ppartial = 0;
+        if broadcast {
+            let rec = StateRecord {
+                vertex: v,
+                state: e.state,
+                out_degree: e.g_out.max(0) as u64,
+                active: e.active,
+            };
+            for &replica in cache.replicas(ctx.locator, v, || ctx.sketch.estimate(v)) {
+                out.entry(replica).or_default().push(rec);
+            }
         }
     }
 }

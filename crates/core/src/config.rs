@@ -50,6 +50,16 @@ pub struct SystemConfig {
     /// Whether the streamer retains every ingested batch so edges
     /// owned by a dead agent can be replayed during recovery.
     pub retain_change_log: bool,
+    /// Worker threads each agent uses for superstep kernels (scatter,
+    /// combine, apply). `0` means auto-detect from the host's
+    /// parallelism. Results are bit-identical for any worker count:
+    /// kernels partition the fixed vertex shards and merge their output
+    /// in shard order.
+    pub workers: usize,
+    /// Whether agents and streamers memoise owner resolution per view
+    /// epoch. On by default; off exists so benchmarks can measure the
+    /// uncached baseline through the identical code path.
+    pub owner_cache: bool,
 }
 
 impl Default for SystemConfig {
@@ -70,6 +80,8 @@ impl Default for SystemConfig {
             quiesce_deadline: Duration::from_secs(60),
             run_deadline: Duration::from_secs(300),
             retain_change_log: true,
+            workers: 1,
+            owner_cache: true,
         }
     }
 }
@@ -81,6 +93,23 @@ impl SystemConfig {
             replication_threshold: self.replication_threshold,
             max_replicas: self.max_replicas,
         }
+    }
+
+    /// Resolved superstep worker count: the configured value, or (at 0)
+    /// the host parallelism capped at 4 — agents share the machine with
+    /// directories, streamers, and each other in the in-process
+    /// deployment, so auto-detection stays modest. Never exceeds the
+    /// shard count (32); extra workers would idle.
+    pub fn workers_effective(&self) -> usize {
+        let n = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(4)
+        } else {
+            self.workers
+        };
+        n.clamp(1, 32)
     }
 }
 
@@ -108,6 +137,20 @@ mod tests {
         assert!(detect < c.quiesce_deadline);
         assert!(c.quiesce_deadline <= c.run_deadline);
         assert!(c.send_policy.retries > 0);
+    }
+
+    #[test]
+    fn workers_effective_resolves_and_clamps() {
+        let mut c = SystemConfig::default();
+        assert!(c.owner_cache);
+        assert_eq!(c.workers_effective(), 1);
+        c.workers = 4;
+        assert_eq!(c.workers_effective(), 4);
+        c.workers = 1000;
+        assert_eq!(c.workers_effective(), 32);
+        c.workers = 0;
+        let auto = c.workers_effective();
+        assert!((1..=4).contains(&auto));
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod directory;
 pub mod metrics;
 pub mod msg;
 pub mod program;
+mod store;
 pub mod streamer;
 
 pub use cluster::{Cluster, ClusterBuilder, RunStats};

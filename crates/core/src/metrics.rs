@@ -26,6 +26,17 @@ pub struct AgentMetrics {
     /// Transient send/request failures that were retried successfully
     /// (chaos observability).
     pub retries_attempted: u64,
+    /// Owner-cache lookups served from the per-epoch memo (summed over
+    /// the agent's routing and worker caches).
+    pub owner_cache_hits: u64,
+    /// Owner placements resolved from scratch (cache misses).
+    pub owner_cache_misses: u64,
+    /// Cumulative wall time in the scatter kernel.
+    pub scatter_nanos: u64,
+    /// Cumulative wall time in the combine kernel.
+    pub combine_nanos: u64,
+    /// Cumulative wall time in the apply kernel.
+    pub apply_nanos: u64,
 }
 
 impl AgentMetrics {
@@ -39,6 +50,11 @@ impl AgentMetrics {
             .u64(self.edges)
             .u64(self.last_step_nanos)
             .u64(self.retries_attempted)
+            .u64(self.owner_cache_hits)
+            .u64(self.owner_cache_misses)
+            .u64(self.scatter_nanos)
+            .u64(self.combine_nanos)
+            .u64(self.apply_nanos)
             .finish()
     }
 
@@ -53,6 +69,11 @@ impl AgentMetrics {
             edges: r.u64()?,
             last_step_nanos: r.u64()?,
             retries_attempted: r.u64()?,
+            owner_cache_hits: r.u64()?,
+            owner_cache_misses: r.u64()?,
+            scatter_nanos: r.u64()?,
+            combine_nanos: r.u64()?,
+            apply_nanos: r.u64()?,
         })
     }
 }
@@ -79,6 +100,16 @@ pub struct ClusterMetrics {
     pub messages_dropped: u64,
     /// Agents declared dead and evicted by failure detection.
     pub agents_recovered: u64,
+    /// Total owner-cache hits across agents.
+    pub owner_cache_hits: u64,
+    /// Total owner-cache misses across agents.
+    pub owner_cache_misses: u64,
+    /// Total scatter-kernel wall time across agents.
+    pub scatter_nanos: u64,
+    /// Total combine-kernel wall time across agents.
+    pub combine_nanos: u64,
+    /// Total apply-kernel wall time across agents.
+    pub apply_nanos: u64,
 }
 
 impl ClusterMetrics {
@@ -90,6 +121,22 @@ impl ClusterMetrics {
         self.edges += m.edges;
         self.max_step_nanos = self.max_step_nanos.max(m.last_step_nanos);
         self.retries_attempted += m.retries_attempted;
+        self.owner_cache_hits += m.owner_cache_hits;
+        self.owner_cache_misses += m.owner_cache_misses;
+        self.scatter_nanos += m.scatter_nanos;
+        self.combine_nanos += m.combine_nanos;
+        self.apply_nanos += m.apply_nanos;
+    }
+
+    /// Fraction of owner lookups served from cache, in `[0, 1]`; 0 when
+    /// no lookups happened.
+    pub fn owner_cache_hit_rate(&self) -> f64 {
+        let total = self.owner_cache_hits + self.owner_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.owner_cache_hits as f64 / total as f64
+        }
     }
 
     /// Encode as a GET_METRICS reply.
@@ -104,6 +151,11 @@ impl ClusterMetrics {
             .u64(self.retries_attempted)
             .u64(self.messages_dropped)
             .u64(self.agents_recovered)
+            .u64(self.owner_cache_hits)
+            .u64(self.owner_cache_misses)
+            .u64(self.scatter_nanos)
+            .u64(self.combine_nanos)
+            .u64(self.apply_nanos)
             .finish()
     }
 
@@ -120,6 +172,11 @@ impl ClusterMetrics {
             retries_attempted: r.u64()?,
             messages_dropped: r.u64()?,
             agents_recovered: r.u64()?,
+            owner_cache_hits: r.u64()?,
+            owner_cache_misses: r.u64()?,
+            scatter_nanos: r.u64()?,
+            combine_nanos: r.u64()?,
+            apply_nanos: r.u64()?,
         })
     }
 }
@@ -138,6 +195,11 @@ mod tests {
             edges: 40,
             last_step_nanos: 50,
             retries_attempted: 60,
+            owner_cache_hits: 70,
+            owner_cache_misses: 80,
+            scatter_nanos: 90,
+            combine_nanos: 100,
+            apply_nanos: 110,
         };
         assert_eq!(AgentMetrics::decode(&m.encode()).unwrap(), m);
     }
@@ -156,6 +218,11 @@ mod tests {
             edges: 3,
             last_step_nanos: 100,
             retries_attempted: 2,
+            owner_cache_hits: 30,
+            owner_cache_misses: 10,
+            scatter_nanos: 7,
+            combine_nanos: 8,
+            apply_nanos: 9,
         });
         c.absorb(&AgentMetrics {
             agent: 2,
@@ -165,6 +232,11 @@ mod tests {
             edges: 4,
             last_step_nanos: 60,
             retries_attempted: 1,
+            owner_cache_hits: 30,
+            owner_cache_misses: 10,
+            scatter_nanos: 1,
+            combine_nanos: 2,
+            apply_nanos: 3,
         });
         c.messages_dropped = 9;
         c.agents_recovered = 1;
@@ -172,6 +244,10 @@ mod tests {
         assert_eq!(c.edges, 7);
         assert_eq!(c.max_step_nanos, 100);
         assert_eq!(c.retries_attempted, 3);
+        assert_eq!(c.owner_cache_hits, 60);
+        assert_eq!(c.owner_cache_misses, 20);
+        assert!((c.owner_cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!((c.scatter_nanos, c.combine_nanos, c.apply_nanos), (8, 10, 12));
         assert_eq!(ClusterMetrics::decode(&c.encode()).unwrap(), c);
     }
 

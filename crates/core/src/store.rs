@@ -1,0 +1,199 @@
+//! Sharded vertex storage for intra-agent parallelism.
+//!
+//! The paper's Agents saturate their cores during supersteps (§4,
+//! Figs 10–14); ours ran every phase on one thread over a single flat
+//! map. [`VertexStore`] splits the map into a *fixed* number of shards
+//! keyed by `wang64(v)`, so the scatter / combine / apply kernels can
+//! hand disjoint shard ranges to a scoped worker pool.
+//!
+//! The shard count is deliberately independent of the worker count:
+//! kernels process shards in index order and merge per-shard output in
+//! index order, so the bytes that leave the agent are identical no
+//! matter how many workers ran — the property the determinism tests
+//! pin down.
+//!
+//! Each shard also carries a *partial dirty list*: vertices whose
+//! `has_partial` flipped on since the last combine. `phase_combine`
+//! then touches only vertices that actually received messages instead
+//! of scanning the whole map.
+
+use crate::agent::VertexEntry;
+use elga_graph::types::VertexId;
+use elga_hash::{wang64, FxHashMap};
+
+/// log2 of the shard count.
+const SHARD_BITS: u32 = 5;
+/// Fixed shard count. A power of two well above any sensible worker
+/// count, small enough that per-shard scratch stays cheap.
+pub(crate) const SHARDS: usize = 1 << SHARD_BITS;
+
+/// Shard index of a vertex. Uses `wang64` (not the raw id) so dense
+/// vertex ranges spread evenly.
+#[inline]
+pub(crate) fn shard_of(v: VertexId) -> usize {
+    (wang64(v) as usize) & (SHARDS - 1)
+}
+
+/// One shard: a slice of the vertex map plus its combine dirty list.
+#[derive(Debug, Default)]
+pub(crate) struct Shard {
+    pub map: FxHashMap<VertexId, VertexEntry>,
+    /// Vertices in this shard with `has_partial` set. Pushed exactly
+    /// once per flip (guarded by the `has_partial` transition), drained
+    /// and sorted by `phase_combine`.
+    pub partial_dirty: Vec<VertexId>,
+}
+
+/// The agent's vertex map, split into [`SHARDS`] fixed shards.
+#[derive(Debug)]
+pub(crate) struct VertexStore {
+    shards: Vec<Shard>,
+    len: usize,
+}
+
+impl Default for VertexStore {
+    fn default() -> Self {
+        VertexStore {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            len: 0,
+        }
+    }
+}
+
+impl VertexStore {
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn get(&self, v: &VertexId) -> Option<&VertexEntry> {
+        self.shards[shard_of(*v)].map.get(v)
+    }
+
+    pub fn get_mut(&mut self, v: &VertexId) -> Option<&mut VertexEntry> {
+        self.shards[shard_of(*v)].map.get_mut(v)
+    }
+
+    pub fn contains_key(&self, v: &VertexId) -> bool {
+        self.shards[shard_of(*v)].map.contains_key(v)
+    }
+
+    /// Entry-or-default, as `FxHashMap::entry(v).or_default()`.
+    pub fn entry_or_default(&mut self, v: VertexId) -> &mut VertexEntry {
+        let idx = shard_of(v);
+        if !self.shards[idx].map.contains_key(&v) {
+            self.len += 1;
+        }
+        self.shards[idx].map.entry(v).or_default()
+    }
+
+    /// Entry-or-default plus the shard's partial dirty list, for
+    /// handlers that flip `has_partial` and must record the flip.
+    pub fn entry_and_dirty(&mut self, v: VertexId) -> (&mut VertexEntry, &mut Vec<VertexId>) {
+        let idx = shard_of(v);
+        if !self.shards[idx].map.contains_key(&v) {
+            self.len += 1;
+        }
+        let shard = &mut self.shards[idx];
+        (shard.map.entry(v).or_default(), &mut shard.partial_dirty)
+    }
+
+    pub fn remove(&mut self, v: &VertexId) -> Option<VertexEntry> {
+        let removed = self.shards[shard_of(*v)].map.remove(v);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    pub fn clear(&mut self) {
+        for s in &mut self.shards {
+            s.map.clear();
+            s.partial_dirty.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Drop all combine dirty lists (run start / recovery reset the
+    /// `has_partial` flags they mirror).
+    pub fn clear_partial_dirty(&mut self) {
+        for s in &mut self.shards {
+            s.partial_dirty.clear();
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&VertexId, &VertexEntry)> {
+        self.shards.iter().flat_map(|s| s.map.iter())
+    }
+
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&VertexId, &mut VertexEntry)> {
+        self.shards.iter_mut().flat_map(|s| s.map.iter_mut())
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.shards.iter().flat_map(|s| s.map.keys().copied())
+    }
+
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut VertexEntry> {
+        self.shards.iter_mut().flat_map(|s| s.map.values_mut())
+    }
+
+    /// The shards themselves, in index order, for the parallel kernels.
+    pub fn shards_mut(&mut self) -> &mut [Shard] {
+        &mut self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for v in 0..10_000u64 {
+            let s = shard_of(v);
+            assert!(s < SHARDS);
+            assert_eq!(s, shard_of(v));
+        }
+    }
+
+    #[test]
+    fn vertices_land_in_their_shard() {
+        let mut store = VertexStore::default();
+        for v in 0..500u64 {
+            store.entry_or_default(v).out.push(v + 1);
+        }
+        assert_eq!(store.len(), 500);
+        for v in 0..500u64 {
+            assert!(store.shards_mut()[shard_of(v)].map.contains_key(&v));
+            assert_eq!(store.get(&v).unwrap().out, vec![v + 1]);
+        }
+        // Every vertex appears exactly once across shards.
+        assert_eq!(store.iter().count(), 500);
+    }
+
+    #[test]
+    fn len_tracks_inserts_and_removes() {
+        let mut store = VertexStore::default();
+        store.entry_or_default(1);
+        store.entry_or_default(2);
+        store.entry_or_default(1); // existing: no double count
+        assert_eq!(store.len(), 2);
+        assert!(store.remove(&1).is_some());
+        assert!(store.remove(&1).is_none());
+        assert_eq!(store.len(), 1);
+        store.clear();
+        assert_eq!(store.len(), 0);
+        assert!(!store.contains_key(&2));
+    }
+
+    #[test]
+    fn dirty_list_lives_with_the_entry_shard() {
+        let mut store = VertexStore::default();
+        let (e, dirty) = store.entry_and_dirty(77);
+        e.has_partial = true;
+        dirty.push(77);
+        assert_eq!(store.shards_mut()[shard_of(77)].partial_dirty, vec![77]);
+        store.clear_partial_dirty();
+        assert!(store.shards_mut()[shard_of(77)].partial_dirty.is_empty());
+    }
+}

@@ -11,7 +11,7 @@
 use crate::config::SystemConfig;
 use crate::msg::{self, packet, DirectoryView, Side};
 use elga_graph::types::EdgeChange;
-use elga_hash::{AgentId, EdgeLocator, FxHashMap};
+use elga_hash::{AgentId, EdgeLocator, FxHashMap, OwnerCache};
 use elga_net::{Addr, Frame, NetError, Outbox, Transport, TransportExt};
 use elga_sketch::DegreeEstimator;
 use std::sync::Arc;
@@ -30,6 +30,9 @@ pub struct Streamer {
     /// Every ingested change, retained (when configured) so edges
     /// lost with a dead agent can be replayed during recovery.
     log: Vec<EdgeChange>,
+    /// Per-view-epoch owner memo: a change batch hashes and estimates
+    /// each distinct source vertex once instead of once per edge.
+    cache: OwnerCache,
 }
 
 impl Streamer {
@@ -46,6 +49,11 @@ impl Streamer {
         )?;
         let view = DirectoryView::decode(&rep).ok_or(NetError::Protocol("bad view"))?;
         let locator = view.locator();
+        let cache = if cfg.owner_cache {
+            OwnerCache::new()
+        } else {
+            OwnerCache::disabled()
+        };
         Ok(Streamer {
             transport,
             cfg,
@@ -54,6 +62,7 @@ impl Streamer {
             locator,
             outboxes: FxHashMap::default(),
             log: Vec::new(),
+            cache,
         })
     }
 
@@ -135,6 +144,12 @@ impl Streamer {
         self.log.len()
     }
 
+    /// Lifetime owner-cache counters `(hits, misses)` for this
+    /// streamer's ingest routing.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
     /// Re-route the entire retained change log after a recovery reset.
     ///
     /// The sketch delta is *not* re-pushed — the view's sketch already
@@ -154,19 +169,47 @@ impl Streamer {
     fn route(&mut self, changes: &[EdgeChange]) -> usize {
         let mut out_batches: FxHashMap<AgentId, Vec<EdgeChange>> = FxHashMap::default();
         let mut in_batches: FxHashMap<AgentId, Vec<EdgeChange>> = FxHashMap::default();
-        for &c in changes {
-            let (u, v) = (c.edge.src, c.edge.dst);
-            if let Some(owner) = self
-                .locator
-                .owner_of_edge(u, v, self.view.sketch.estimate(u))
-            {
-                out_batches.entry(owner).or_default().push(c);
+        if self.cfg.owner_cache {
+            // Batched resolution: both placements of every change in
+            // one pass, with each distinct source vertex hashed and
+            // sketch-estimated once per view epoch.
+            self.cache.ensure_epoch(self.view.epoch);
+            let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(changes.len() * 2);
+            for c in changes {
+                pairs.push((c.edge.src, c.edge.dst));
+                pairs.push((c.edge.dst, c.edge.src));
             }
-            if let Some(owner) = self
-                .locator
-                .owner_of_edge(v, u, self.view.sketch.estimate(v))
+            let mut owners: Vec<Option<AgentId>> = Vec::new();
             {
-                in_batches.entry(owner).or_default().push(c);
+                let sketch = &self.view.sketch;
+                self.cache
+                    .resolve_many(&self.locator, &pairs, |u| sketch.estimate(u), &mut owners);
+            }
+            for (i, &c) in changes.iter().enumerate() {
+                if let Some(owner) = owners[2 * i] {
+                    out_batches.entry(owner).or_default().push(c);
+                }
+                if let Some(owner) = owners[2 * i + 1] {
+                    in_batches.entry(owner).or_default().push(c);
+                }
+            }
+        } else {
+            // Uncached baseline: per-edge resolution, exactly the
+            // pre-cache ingest path.
+            for &c in changes {
+                let (u, v) = (c.edge.src, c.edge.dst);
+                if let Some(owner) = self
+                    .locator
+                    .owner_of_edge(u, v, self.view.sketch.estimate(u))
+                {
+                    out_batches.entry(owner).or_default().push(c);
+                }
+                if let Some(owner) = self
+                    .locator
+                    .owner_of_edge(v, u, self.view.sketch.estimate(v))
+                {
+                    in_batches.entry(owner).or_default().push(c);
+                }
             }
         }
         let mut pushed = 0;

@@ -20,12 +20,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod fx;
 pub mod funcs;
 pub mod locator;
 pub mod ring;
 
+pub use cache::OwnerCache;
 pub use funcs::{abseil64, crc64, mult64, wang64, HashKind};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use locator::{EdgeLocator, LocatorConfig};
+pub use locator::{EdgeLocator, LocatorConfig, VertexPlacement};
 pub use ring::{AgentId, Ring};

@@ -47,6 +47,25 @@ pub struct EdgeLocator {
     config: LocatorConfig,
 }
 
+/// The fully resolved placement of one vertex under a fixed view: its
+/// replication factor, replica set, and the pre-hashed second-level mini
+/// ring. Computing this once per vertex amortises the CMS estimate, the
+/// `O(log P·V)` ring walk, and the replica re-hash over every edge that
+/// shares the source — the memo an [`crate::cache::OwnerCache`] stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexPlacement {
+    /// Replication factor `k` derived from the degree estimate.
+    pub k: u32,
+    /// First replica (ring successor) — the vertex's primary owner.
+    /// `None` only when the ring is empty.
+    pub primary: Option<AgentId>,
+    /// Full replica set in ring order from the successor.
+    pub replicas: Vec<AgentId>,
+    /// Second-level mini ring: `(hash(agent), agent)` sorted ascending.
+    /// Empty when `k == 1` (no second hash needed).
+    minis: Vec<(u64, AgentId)>,
+}
+
 impl EdgeLocator {
     /// Wrap a ring with replication settings.
     pub fn new(ring: Ring, config: LocatorConfig) -> Self {
@@ -125,6 +144,49 @@ impl EdgeLocator {
             }
         }
         best.or(min).expect("nonempty replica set").1
+    }
+
+    /// Resolve the complete placement of vertex `u` once: replication
+    /// factor, replica set, and the sorted second-level mini ring. All
+    /// per-edge owner lookups for `u` then reduce to one hash plus a
+    /// binary search via [`EdgeLocator::owner_from_placement`].
+    pub fn placement(&self, u: u64, estimated_degree: u64) -> VertexPlacement {
+        let k = self.replication_factor(estimated_degree);
+        if k == 1 {
+            let primary = self.ring.owner(u);
+            return VertexPlacement {
+                k,
+                primary,
+                replicas: primary.into_iter().collect(),
+                minis: Vec::new(),
+            };
+        }
+        let replicas = self.ring.owners(u, k as usize);
+        let kind = self.kind();
+        let mut minis: Vec<(u64, AgentId)> =
+            replicas.iter().map(|&a| (kind.hash(a), a)).collect();
+        minis.sort_unstable();
+        VertexPlacement {
+            k,
+            primary: replicas.first().copied(),
+            replicas,
+            minis,
+        }
+    }
+
+    /// Owner of edge `(u, v)` given `u`'s resolved placement. Returns
+    /// exactly what [`EdgeLocator::owner_of_edge`] would for the same
+    /// estimate: the mini ring is sorted by `(hash(agent), agent)`, so
+    /// the successor of `hash(v)` — found by binary search — is the
+    /// smallest entry greater than it, wrapping to the overall minimum.
+    pub fn owner_from_placement(&self, p: &VertexPlacement, v: u64) -> Option<AgentId> {
+        if p.minis.is_empty() {
+            return p.primary;
+        }
+        let hv = self.kind().hash(v);
+        let idx = p.minis.partition_point(|&(pos, _)| pos <= hv);
+        let idx = if idx == p.minis.len() { 0 } else { idx };
+        Some(p.minis[idx].1)
     }
 
     /// Some replica of `u`, chosen by `salt` (e.g. a per-query random
@@ -248,6 +310,40 @@ mod tests {
             let got = loc.any_replica(5, 500, salt).unwrap();
             assert!(replicas.contains(&got));
         }
+    }
+
+    #[test]
+    fn placement_matches_per_edge_resolution() {
+        // The cached path (placement + owner_from_placement) must agree
+        // with the direct path (owner_of_edge) for every (u, v, est),
+        // across k = 1 and k > 1 regimes.
+        for agents in [1u64, 2, 3, 8, 32] {
+            let loc = locator(agents, 100);
+            for u in 0..64u64 {
+                for est in [0u64, 1, 99, 101, 450, 10_000] {
+                    let p = loc.placement(u, est);
+                    assert_eq!(p.k, loc.replication_factor(est));
+                    assert_eq!(p.replicas, loc.replicas_of_vertex(u, est));
+                    assert_eq!(p.primary, loc.ring().owner(u));
+                    for v in 0..64u64 {
+                        assert_eq!(
+                            loc.owner_from_placement(&p, v),
+                            loc.owner_of_edge(u, v, est),
+                            "agents={agents} u={u} v={v} est={est}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placement_on_empty_ring() {
+        let loc = EdgeLocator::new(Ring::new(HashKind::Wang, 4), LocatorConfig::default());
+        let p = loc.placement(1, 0);
+        assert_eq!(p.primary, None);
+        assert!(p.replicas.is_empty());
+        assert_eq!(loc.owner_from_placement(&p, 2), None);
     }
 
     #[test]

@@ -52,6 +52,13 @@ impl DegreeEstimator {
         self.sketch.estimate(v)
     }
 
+    /// Batched [`DegreeEstimator::degree`]: one estimate per vertex, in
+    /// order (see [`CountMinSketch::estimate_many`]).
+    #[inline]
+    pub fn degrees_many(&self, vs: &[u64]) -> Vec<u64> {
+        self.sketch.estimate_many(vs)
+    }
+
     /// Total endpoint count seen (2× the number of non-loop edges).
     pub fn endpoints(&self) -> u64 {
         self.sketch.items()

@@ -53,6 +53,21 @@ fn main() {
         view.n_vertices
     );
 
+    // Kernel and routing telemetry for the whole elastic run.
+    let m = cluster.metrics();
+    println!(
+        "owner cache: {} hits / {} misses ({:.1}% hit rate)",
+        m.owner_cache_hits,
+        m.owner_cache_misses,
+        m.owner_cache_hit_rate() * 100.0
+    );
+    println!(
+        "kernel wall time: scatter {:?}, combine {:?}, apply {:?}",
+        Duration::from_nanos(m.scatter_nanos),
+        Duration::from_nanos(m.combine_nanos),
+        Duration::from_nanos(m.apply_nanos)
+    );
+
     // Scale back down for cost savings.
     while cluster.agent_count() > 4 {
         cluster.remove_last_agent();

@@ -1,0 +1,259 @@
+//! Worker-count determinism: the parallel superstep kernels partition
+//! fixed vertex shards and merge per-shard output in shard index
+//! order, so the bytes each agent emits — and therefore the results —
+//! must not depend on how many worker threads ran them.
+//!
+//! What "bit-identical" can promise depends on the algorithm:
+//!
+//! * WCC combines with `min`, which is order- and duplicate-
+//!   insensitive, so converged labels are bit-exact across worker
+//!   counts in *every* deployment — multi-agent, over TCP, and under
+//!   a fault-injecting transport.
+//! * PageRank combines with f64 addition, which is order-sensitive.
+//!   Within one agent the kernels keep the order fixed, and with a
+//!   single agent the FIFO transport keeps arrival order fixed too, so
+//!   single-agent PageRank is bit-exact. Across multiple agents the
+//!   arrival *interleave* of senders is scheduling-dependent (equally
+//!   so before the parallel kernels), so there the test pins the usual
+//!   1e-9 agreement.
+
+use elga::core::agent::Agent;
+use elga::core::directory::{self, DirectoryRole};
+use elga::core::msg::{self, packet, DirectoryView, RunInfo};
+use elga::core::program::ProgramSpec;
+use elga::core::streamer::Streamer;
+use elga::net::{Addr, FaultPlan, Frame, SendPolicy, TcpTransport, Transport};
+use elga::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Ring with multiplicative chords: connected, degree-skewed, and
+/// large enough that every agent's store crosses the kernels' serial
+/// fast-path threshold (1024 vertices) so multi-worker runs really do
+/// run multi-worker.
+fn big_graph(n: u64) -> Vec<(u64, u64)> {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        if i % 3 == 0 {
+            edges.push((i, (i * 7 + 3) % n));
+        }
+        if i % 97 == 0 {
+            // Mild hubs to vary degree estimates.
+            edges.push((i, (i * 31 + 11) % n));
+            edges.push(((i * 13 + 5) % n, i));
+        }
+    }
+    edges.retain(|&(u, v)| u != v);
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+fn states_for(
+    workers: usize,
+    agents: usize,
+    edges: &[(u64, u64)],
+    spec: impl Into<ProgramSpec>,
+) -> HashMap<u64, u64> {
+    let mut cluster = Cluster::builder().agents(agents).workers(workers).build();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster.run(spec).expect("run");
+    let states = cluster.dump_states();
+    cluster.shutdown();
+    states
+}
+
+#[test]
+fn wcc_bit_identical_across_worker_counts() {
+    let edges = big_graph(6000);
+    let w1 = states_for(1, 2, &edges, Wcc::new());
+    let w4 = states_for(4, 2, &edges, Wcc::new());
+    assert_eq!(w1.len(), 6000);
+    assert_eq!(w1, w4, "WCC labels must not depend on worker count");
+}
+
+#[test]
+fn single_agent_pagerank_bit_identical_across_worker_counts() {
+    let edges = big_graph(3000);
+    let pr = PageRank::new(0.85).with_max_iters(10);
+    let w1 = states_for(1, 1, &edges, pr);
+    let w4 = states_for(4, 1, &edges, pr);
+    assert_eq!(w1.len(), 3000);
+    assert_eq!(
+        w1, w4,
+        "single-agent PageRank must be bit-exact across worker counts"
+    );
+}
+
+#[test]
+fn multi_agent_pagerank_agrees_across_worker_counts() {
+    let edges = big_graph(6000);
+    let pr = PageRank::new(0.85).with_max_iters(10);
+    let w1 = states_for(1, 2, &edges, pr);
+    let w4 = states_for(4, 2, &edges, pr);
+    assert_eq!(w1.len(), w4.len());
+    for (v, &bits) in &w1 {
+        let a = f64::from_bits(bits);
+        let b = f64::from_bits(w4[v]);
+        assert!((a - b).abs() < 1e-9, "v{v}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn wcc_bit_identical_under_chaos_with_workers() {
+    let edges = big_graph(6000);
+    let cfg = SystemConfig {
+        request_timeout: Duration::from_secs(5),
+        send_policy: SendPolicy {
+            retries: 6,
+            base_delay: Duration::from_millis(2),
+            deadline: Duration::from_secs(10),
+        },
+        quiesce_deadline: Duration::from_secs(60),
+        run_deadline: Duration::from_secs(120),
+        ..SystemConfig::default()
+    };
+    let plan = FaultPlan::uniform(0.05, 0.01, Duration::ZERO, Duration::from_millis(5));
+    let mut chaos = Cluster::builder()
+        .agents(4)
+        .config(cfg.clone())
+        .workers(4)
+        .chaos(plan, 0xE16A)
+        .build();
+    let mut clean = Cluster::builder().agents(4).config(cfg).workers(1).build();
+    chaos.ingest_edges(edges.iter().copied());
+    clean.ingest_edges(edges.iter().copied());
+    chaos.run(Wcc::new()).expect("chaos wcc");
+    clean.run(Wcc::new()).expect("clean wcc");
+    let got = chaos.dump_states();
+    let want = clean.dump_states();
+    assert_eq!(got, want, "chaos + 4 workers must match clean + 1 worker");
+    let stats = chaos.fault().expect("chaos handle").stats();
+    assert!(stats.dropped() > 0, "no frames dropped — chaos was a no-op");
+    chaos.shutdown();
+    clean.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------
+
+fn reserve_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("reserve")
+        .local_addr()
+        .expect("addr")
+        .port()
+}
+
+/// Single-agent deployment over real TCP sockets with the given worker
+/// count; runs PageRank then WCC and returns both state dumps.
+fn tcp_states(workers: usize, edges: &[(u64, u64)]) -> (HashMap<u64, u64>, HashMap<u64, u64>) {
+    let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
+    let cfg = SystemConfig {
+        workers,
+        ..SystemConfig::default()
+    };
+    let master = Addr::parse(&format!("tcp://127.0.0.1:{}", reserve_port())).expect("addr");
+    let dir0 = Addr::parse(&format!("tcp://127.0.0.1:{}", reserve_port())).expect("addr");
+    let bus = Addr::parse(&format!("tcp://127.0.0.1:{}", reserve_port())).expect("addr");
+    let _master = directory::spawn_master(transport.clone(), master.clone());
+    let _dir = directory::spawn_directory_at(
+        transport.clone(),
+        cfg.clone(),
+        0,
+        master.clone(),
+        dir0.clone(),
+        DirectoryRole::Lead { bus: bus.clone() },
+    );
+    let agent = Agent::join_at(
+        transport.clone(),
+        cfg.clone(),
+        1,
+        Addr::parse("tcp://127.0.0.1:0").expect("addr"),
+        dir0.clone(),
+        bus.clone(),
+    )
+    .expect("agent join");
+    let agent_handle = agent.spawn();
+
+    let mut streamer =
+        Streamer::connect(transport.clone(), cfg.clone(), dir0.clone()).expect("streamer");
+    let changes: Vec<EdgeChange> = edges
+        .iter()
+        .map(|&(u, v)| EdgeChange::insert(u, v))
+        .collect();
+    streamer.send_batch(&changes).expect("send");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let run_to_done = |spec: ProgramSpec| {
+        let (tag, params) = spec.encode();
+        let sub = transport
+            .subscribe(&bus, &[packet::ADVANCE])
+            .expect("subscribe");
+        let rep = transport
+            .request(
+                &dir0,
+                msg::encode_start(&RunInfo {
+                    run_id: 0,
+                    tag,
+                    params,
+                    reuse_state: false,
+                    asynchronous: false,
+                }),
+                Duration::from_secs(30),
+            )
+            .expect("start");
+        let run_id = rep.reader().u64().expect("run id");
+        loop {
+            let d = sub.recv_timeout(Duration::from_secs(60)).expect("advance");
+            if let Some(adv) = msg::decode_advance(&d.frame) {
+                if adv.run == run_id && adv.done {
+                    break;
+                }
+            }
+        }
+    };
+    let dump = |transport: &Arc<dyn Transport>| {
+        let rep = transport
+            .request(&dir0, Frame::signal(packet::GET_VIEW), Duration::from_secs(5))
+            .expect("view");
+        let view = DirectoryView::decode(&rep).expect("view");
+        let mut out = HashMap::new();
+        for a in &view.agents {
+            let rep = transport
+                .request(&a.addr, Frame::signal(packet::DUMP), Duration::from_secs(30))
+                .expect("dump");
+            let mut r = rep.reader();
+            let n = r.u32().expect("count");
+            for _ in 0..n {
+                out.insert(r.u64().expect("v"), r.u64().expect("state"));
+            }
+        }
+        out
+    };
+
+    run_to_done(PageRank::new(0.85).with_max_iters(10).into());
+    let pagerank = dump(&transport);
+    run_to_done(Wcc::new().into());
+    let wcc = dump(&transport);
+
+    let _ = transport.request(&dir0, Frame::signal(packet::SHUTDOWN), Duration::from_secs(5));
+    if let Ok(out) = transport.sender(&master) {
+        let _ = out.send(Frame::signal(packet::SHUTDOWN));
+    }
+    let _ = agent_handle.join();
+    (pagerank, wcc)
+}
+
+#[test]
+fn tcp_results_bit_identical_across_worker_counts() {
+    let edges = big_graph(2000);
+    let (pr1, wcc1) = tcp_states(1, &edges);
+    let (pr4, wcc4) = tcp_states(4, &edges);
+    assert_eq!(pr1.len(), 2000);
+    assert_eq!(pr1, pr4, "PageRank over TCP must be bit-exact");
+    assert_eq!(wcc1, wcc4, "WCC over TCP must be bit-exact");
+}
