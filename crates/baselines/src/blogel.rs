@@ -213,10 +213,7 @@ mod tests {
         for workers in [1, 2, 4] {
             let engine = BlogelEngine::new(graph(), workers);
             let got = engine.pagerank(0.85, 25);
-            assert!(
-                reference::linf(&got, &expect) < 1e-12,
-                "workers={workers}"
-            );
+            assert!(reference::linf(&got, &expect) < 1e-12, "workers={workers}");
         }
     }
 

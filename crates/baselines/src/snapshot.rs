@@ -137,11 +137,7 @@ impl SnapshotEngine {
 
     /// Materialize the dense CSR and the dense→original id map.
     fn rebuild(&self) -> (Csr, Vec<VertexId>) {
-        let mut ids: Vec<VertexId> = self
-            .edges
-            .iter()
-            .flat_map(|&(u, v)| [u, v])
-            .collect();
+        let mut ids: Vec<VertexId> = self.edges.iter().flat_map(|&(u, v)| [u, v]).collect();
         ids.sort_unstable();
         ids.dedup();
         let index: FxHashMap<VertexId, VertexId> = ids
@@ -363,8 +359,7 @@ mod tests {
             ],
         );
         s.apply_batch(&b1);
-        let mut model: std::collections::HashSet<(u64, u64)> =
-            initial.iter().copied().collect();
+        let mut model: std::collections::HashSet<(u64, u64)> = initial.iter().copied().collect();
         model.remove(&initial[5]);
         model.insert((40, 41));
         model.insert((41, 3));

@@ -181,14 +181,8 @@ mod tests {
     #[test]
     fn insert_fast_path_vs_merge() {
         let mut s = Stinger::new();
-        assert!(matches!(
-            s.insert(1, 2),
-            Some(InsertOutcome::Merged { .. })
-        ));
-        assert!(matches!(
-            s.insert(3, 2),
-            Some(InsertOutcome::Merged { .. })
-        ));
+        assert!(matches!(s.insert(1, 2), Some(InsertOutcome::Merged { .. })));
+        assert!(matches!(s.insert(3, 2), Some(InsertOutcome::Merged { .. })));
         // Closing a triangle: same component already.
         assert_eq!(s.insert(1, 3), Some(InsertOutcome::FastPath));
         assert_eq!(s.insert(1, 3), None, "duplicate");

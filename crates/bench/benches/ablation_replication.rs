@@ -31,7 +31,10 @@ fn main() {
     }
 
     println!("(a) per-agent edge counts over 16 agents");
-    for (label, threshold) in [("replication off", u64::MAX), ("replication on (t=256)", 256)] {
+    for (label, threshold) in [
+        ("replication off", u64::MAX),
+        ("replication on (t=256)", 256),
+    ] {
         let loc = EdgeLocator::new(
             Ring::from_agents(HashKind::Wang, 100, 0..16),
             LocatorConfig {
@@ -53,7 +56,10 @@ fn main() {
     }
 
     println!("\n(b) PageRank per-iteration on the live system");
-    for (label, threshold) in [("replication off", u64::MAX), ("replication on (t=256)", 256u64)] {
+    for (label, threshold) in [
+        ("replication off", u64::MAX),
+        ("replication on (t=256)", 256u64),
+    ] {
         let (mean, ci) = timed_trials(|| {
             let cfg = SystemConfig {
                 replication_threshold: threshold,
@@ -61,9 +67,7 @@ fn main() {
             };
             let mut c = cluster_with(8, cfg);
             c.ingest_edges(edges.iter().copied());
-            let stats = c
-                .run(PageRank::new(0.85).with_max_iters(4))
-                .expect("run");
+            let stats = c.run(PageRank::new(0.85).with_max_iters(4)).expect("run");
             let per_iter = stats.mean_iteration();
             c.shutdown();
             per_iter

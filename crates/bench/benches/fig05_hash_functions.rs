@@ -33,9 +33,7 @@ fn main() {
             };
             let mut c = cluster_with(4, cfg);
             c.ingest_edges(edges.iter().copied());
-            let stats = c
-                .run(PageRank::new(0.85).with_max_iters(4))
-                .expect("run");
+            let stats = c.run(PageRank::new(0.85).with_max_iters(4)).expect("run");
             let per_iter = stats.mean_iteration();
             c.shutdown();
             per_iter

@@ -32,10 +32,7 @@ fn main() {
         let ds = find(name).expect("catalog");
         let (_, edges) = generate(&ds, 43);
         // Symmetrize.
-        let mut sym: Vec<(u64, u64)> = edges
-            .iter()
-            .flat_map(|&(u, v)| [(u, v), (v, u)])
-            .collect();
+        let mut sym: Vec<(u64, u64)> = edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect();
         sym.sort_unstable();
         sym.dedup();
         let m = sym.len();

@@ -79,7 +79,11 @@ fn main() {
 
         elga_times.sort_by(f64::total_cmp);
         stinger_times.sort_by(f64::total_cmp);
-        println!("\n{name} ({} base edges, {} insertions):", base.len(), stream.len());
+        println!(
+            "\n{name} ({} base edges, {} insertions):",
+            base.len(),
+            stream.len()
+        );
         for (sys, t) in [("ElGA", &elga_times), ("STINGER-like", &stinger_times)] {
             println!(
                 "  {:<13} min {:>9.1}µs  p50 {:>9.1}µs  p95 {:>9.1}µs  max {:>9.1}µs",

@@ -27,7 +27,7 @@ fn main() {
     // the snapshot rebuild must be non-trivial, so size the graph up.
     let (_, edges) = generate_sized(&ds, (400_000.0 * scale()) as usize, 71);
     let n_batches = (10.0 * scale()).clamp(5.0, 100.0) as usize; // paper: 100
-    // Paper batch sizes {1, 10, 1000, 100000}, scaled down one decade.
+                                                                 // Paper batch sizes {1, 10, 1000, 100000}, scaled down one decade.
     let batch_sizes = [1usize, 10, 100, 1000];
 
     println!(
@@ -71,8 +71,11 @@ fn main() {
         let mut snap = SnapshotEngine::new(elga_bench::baseline_threads());
         let mut reduced: Vec<(u64, u64)> = edges.clone();
         {
-            let dropped: std::collections::HashSet<_> =
-                dels.changes.iter().map(|c| (c.edge.src, c.edge.dst)).collect();
+            let dropped: std::collections::HashSet<_> = dels
+                .changes
+                .iter()
+                .map(|c| (c.edge.src, c.edge.dst))
+                .collect();
             reduced.retain(|e| !dropped.contains(e));
         }
         snap.load(reduced.iter().copied());

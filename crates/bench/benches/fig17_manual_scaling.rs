@@ -62,7 +62,11 @@ fn main() {
         scale_at.as_secs_f64() * 1e3
     );
     for (i, d) in stats.step_durations.iter().enumerate() {
-        let phase = if i <= 1 { "before/at scale" } else { "after scale-up" };
+        let phase = if i <= 1 {
+            "before/at scale"
+        } else {
+            "after scale-up"
+        };
         println!(
             "  iteration {:>2}: {:>9.2} ms   ({phase})",
             i,

@@ -6,7 +6,7 @@
 //! in-process channel backend vs the real-socket TCP backend for both
 //! REQ/REP round trips and PUSH throughput.
 
-use elga_bench::{banner, mean_ci};
+use elga_bench::{banner, coalesce_record_throughput, mean_ci};
 use elga_net::{Addr, Frame, InProcTransport, TcpTransport, Transport};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -77,7 +77,12 @@ fn main() {
     let (tm, tc) = mean_ci(&tcp_rtt);
     println!("REQ/REP round trip:");
     println!("  inproc {:8.2} ± {:5.2} µs", im * 1e6, ic * 1e6);
-    println!("  tcp    {:8.2} ± {:5.2} µs   ({:.1}x inproc)", tm * 1e6, tc * 1e6, tm / im);
+    println!(
+        "  tcp    {:8.2} ± {:5.2} µs   ({:.1}x inproc)",
+        tm * 1e6,
+        tc * 1e6,
+        tm / im
+    );
 
     let t: Arc<dyn Transport> = Arc::new(InProcTransport::new());
     let inproc_tp = push_throughput(t, Addr::inproc("push"));
@@ -86,4 +91,32 @@ fn main() {
     println!("PUSH throughput:");
     println!("  inproc {:10.0} msgs/s", inproc_tp);
     println!("  tcp    {:10.0} msgs/s", tcp_tp);
+
+    println!("record throughput through the coalescing outbox (16-byte records):");
+    let n = 200_000;
+    for (name, inproc) in [("inproc", true), ("tcp", false)] {
+        let make = |label: &str| -> (Arc<dyn Transport>, Addr) {
+            if inproc {
+                (
+                    Arc::new(InProcTransport::new()),
+                    Addr::inproc(format!("coalesce-{label}")),
+                )
+            } else {
+                (
+                    Arc::new(TcpTransport::new()),
+                    Addr::parse("tcp://127.0.0.1:0").expect("addr"),
+                )
+            }
+        };
+        let (t, a) = make("on");
+        let on = coalesce_record_throughput(t, a, n, true);
+        let (t, a) = make("off");
+        let off = coalesce_record_throughput(t, a, n, false);
+        println!(
+            "  {name:<6} coalescing on {:>12.0} rec/s, off {:>12.0} rec/s   ({:.1}x)",
+            on,
+            off,
+            on / off
+        );
+    }
 }

@@ -82,7 +82,10 @@ fn main() {
     }
     let (s1, _) = mean_ci(&serial);
     let (s4, _) = mean_ci(&parallel);
-    println!("  PageRank x10  workers=1: {s1:.3}s  workers=4: {s4:.3}s  speedup: {:.2}x", s1 / s4);
+    println!(
+        "  PageRank x10  workers=1: {s1:.3}s  workers=4: {s4:.3}s  speedup: {:.2}x",
+        s1 / s4
+    );
 
     let changes: Vec<EdgeChange> = edges
         .iter()

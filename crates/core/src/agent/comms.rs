@@ -1,0 +1,244 @@
+//! The agent's send side: per-destination [`CoalescingOutbox`]es,
+//! phase-end flushes, dead-peer retries, READY reports, and metrics
+//! publication.
+//!
+//! Every data-plane send leaves through a coalescing outbox, whether
+//! the `coalescing` knob is on (records accumulate into large frames,
+//! flushed on size/count thresholds and phase ends) or off (the
+//! outbox degrades to a plain pass-through and callers send eagerly
+//! encoded batches). Either way the per-destination byte stream is a
+//! strict FIFO of the records handed in, which is what keeps sync-mode
+//! results bit-identical across the ablation.
+//!
+//! Flush discipline: the termination protocol (Mattern-style counter
+//! barriers) counts *records*, and a READY/DRAIN report must never
+//! claim a record the wire has not seen. Hence [`Agent::send_ready`]
+//! and the DRAIN handler flush all open frames first, and
+//! [`Agent::on_idle`] flushes once the mailbox drains so async-mode
+//! traffic keeps moving between barriers.
+
+use super::*;
+
+impl Agent {
+    /// The coalescer tuning for sends to `agent`, derived from the
+    /// system config.
+    fn coalesce_config(&self, agent: AgentId) -> CoalesceConfig {
+        let mut c = if self.cfg.coalescing {
+            CoalesceConfig::default()
+        } else {
+            CoalesceConfig::disabled()
+        };
+        if agent == self.id {
+            // Self-sends drain from this same thread: blocking on our
+            // own queue's credit would deadlock.
+            c.credit_bytes = 0;
+        }
+        c
+    }
+
+    fn make_outbox(&self, out: Outbox, agent: AgentId) -> CoalescingOutbox {
+        CoalescingOutbox::new(out, self.coalesce_config(agent)).with_net_stats(self.net.clone())
+    }
+
+    fn outbox(&mut self, agent: AgentId) -> Option<&mut CoalescingOutbox> {
+        if !self.outboxes.contains_key(&agent) {
+            let addr = self
+                .view
+                .addr_of(agent)
+                .cloned()
+                .unwrap_or_else(|| agent_addr(agent));
+            match self.transport.sender(&addr) {
+                Ok(out) => {
+                    let co = self.make_outbox(out, agent);
+                    self.outboxes.insert(agent, co);
+                }
+                Err(_) => return None,
+            }
+        }
+        self.outboxes.get_mut(&agent)
+    }
+
+    /// Run `f` against the (created on demand) outbox for `agent`,
+    /// then hand any frames the transport refused to the retry path.
+    /// This is the append-side twin of [`Agent::push_to`].
+    pub(super) fn with_outbox(&mut self, agent: AgentId, f: impl FnOnce(&mut CoalescingOutbox)) {
+        let failed = match self.outbox(agent) {
+            Some(out) => {
+                f(out);
+                out.has_failed()
+            }
+            None => false,
+        };
+        if failed {
+            self.retry_failed(agent);
+        }
+    }
+
+    /// Send a pre-built frame to `agent`. Any open coalesced frame for
+    /// that destination is flushed first, so record order stays FIFO.
+    pub(super) fn push_to(&mut self, agent: AgentId, frame: Frame) {
+        self.with_outbox(agent, |out| out.send(frame));
+    }
+
+    /// The cached outbox to `agent` is dead (TCP writer broke, or the
+    /// peer's mailbox went away). Retire it, re-push the refused
+    /// frames with fresh senders under the configured policy, and
+    /// re-cache a working outbox; if the peer is really gone, failure
+    /// detection will evict it and recovery re-owns its edges.
+    fn retry_failed(&mut self, agent: AgentId) {
+        let Some(mut dead) = self.outboxes.remove(&agent) else {
+            return;
+        };
+        // Close any open frame; its send fails onto the refused list.
+        dead.flush();
+        self.coalesce_retired.absorb(dead.stats());
+        let frames = dead.take_failed();
+        let addr = self
+            .view
+            .addr_of(agent)
+            .cloned()
+            .unwrap_or_else(|| agent_addr(agent));
+        self.metrics.retries_attempted += 1;
+        let mut all_ok = true;
+        for frame in frames {
+            match self
+                .transport
+                .push_with_retry(&addr, frame, &self.cfg.send_policy)
+            {
+                Ok(retries) => self.metrics.retries_attempted += retries as u64,
+                Err(_) => {
+                    // Peer gone; senders recover on the next view
+                    // update, and the failure detector will reconcile
+                    // the lost records.
+                    all_ok = false;
+                    break;
+                }
+            }
+        }
+        if all_ok {
+            if let Ok(out) = self.transport.sender(&addr) {
+                let co = self.make_outbox(out, agent);
+                self.outboxes.insert(agent, co);
+            }
+        }
+    }
+
+    /// Phase-end flush: close every destination's open frame and push
+    /// it, retrying whatever the transport refuses. Called before
+    /// every READY/DRAIN report and at idle, so barrier counters never
+    /// run ahead of delivered frames.
+    pub(super) fn flush_outboxes(&mut self) {
+        let mut failed: Vec<AgentId> = Vec::new();
+        for (&agent, out) in self.outboxes.iter_mut() {
+            out.flush();
+            if out.has_failed() {
+                failed.push(agent);
+            }
+        }
+        for agent in failed {
+            self.retry_failed(agent);
+        }
+    }
+
+    /// Drop every cached outbox (their addresses went stale with a
+    /// view change), flushing open frames to the old — still live —
+    /// peers first and preserving their counters. Receivers forward
+    /// anything that no longer belongs to them.
+    pub(super) fn retire_outboxes(&mut self) {
+        self.flush_outboxes();
+        for (_, out) in self.outboxes.drain() {
+            self.coalesce_retired.absorb(out.stats());
+        }
+    }
+
+    /// Drop every cached outbox *without* flushing: recovery resets
+    /// all counters, so pushing half-built frames counted under the
+    /// old regime would only corrupt the fresh barrier sums.
+    pub(super) fn discard_outboxes(&mut self) {
+        for (_, out) in self.outboxes.drain() {
+            self.coalesce_retired.absorb(out.stats());
+        }
+    }
+
+    /// Coalescer counters summed across live and retired outboxes.
+    pub(super) fn coalesce_totals(&self) -> CoalesceStats {
+        let mut total = self.coalesce_retired;
+        for out in self.outboxes.values() {
+            total.absorb(out.stats());
+        }
+        total
+    }
+
+    pub(super) fn send_ready(
+        &mut self,
+        run: u64,
+        step: u32,
+        phase: Phase,
+        active: u64,
+        contrib: f64,
+        n_primary: u64,
+    ) {
+        // The report's counters claim these records as sent; make it
+        // true before the directory can act on it.
+        self.flush_outboxes();
+        self.reported = Some((run, step, phase));
+        self.reported_counters = Some(self.counters);
+        self.ready_seq += 1;
+        let rep = ReadyReport {
+            agent: self.id,
+            run,
+            step,
+            phase,
+            counters: self.counters,
+            active,
+            global_contrib: contrib,
+            n_primary,
+            seq: self.ready_seq,
+        };
+        let _ = self.dir_push.send(msg::encode_ready(&rep));
+    }
+
+    /// Re-send the last READY with fresh counters after processing a
+    /// late message (the directory replaces the old report and
+    /// re-evaluates its barrier).
+    pub(super) fn re_report(&mut self) {
+        if let Some((run, step, phase)) = self.reported {
+            let (active, contrib, n_primary) = if phase == Phase::Apply {
+                self.apply_summary()
+            } else if phase == Phase::Scatter {
+                let (c, n) = self.scatter_summary();
+                (0, c, n)
+            } else {
+                (0, 0.0, 0)
+            };
+            self.send_ready(run, step, phase, active, contrib, n_primary);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    /// Data-plane traffic accounting for this agent: per-packet-type
+    /// frames/bytes from its own [`NetStats`] sink plus the coalescer
+    /// flush counters.
+    pub(super) fn comms_snapshot(&self) -> CommsMetrics {
+        CommsMetrics::snapshot(&self.net, &self.coalesce_totals())
+    }
+
+    pub(super) fn flush_metrics(&mut self, force: bool) {
+        if force || self.metrics_flushed.elapsed() > Duration::from_millis(100) {
+            self.metrics_flushed = Instant::now();
+            let (mut hits, mut misses) = self.route_cache.stats();
+            for c in &self.worker_caches {
+                let (h, m) = c.stats();
+                hits += h;
+                misses += m;
+            }
+            self.metrics.owner_cache_hits = hits;
+            self.metrics.owner_cache_misses = misses;
+            self.metrics.comms = self.comms_snapshot();
+            let _ = self.dir_push.send(self.metrics.encode());
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Graph changes: the indexed edge store helpers, change application
+//! with ownership checks and forwarding, and degree-delta accounting.
+
+use super::*;
+
+impl Agent {
+    /// Record out-edge `(u, v)`; false when already present.
+    pub(super) fn insert_out_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if self.out_pos.contains_key(&(u, v)) {
+            return false;
+        }
+        let e = self.vertices.entry_or_default(u);
+        self.out_pos.insert((u, v), e.out.len() as u32);
+        e.out.push(v);
+        true
+    }
+
+    /// Remove out-edge `(u, v)` in O(1): swap_remove at its indexed
+    /// position, then re-index the edge that swapped into the hole.
+    pub(super) fn remove_out_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let Some(pos) = self.out_pos.remove(&(u, v)) else {
+            return false;
+        };
+        let pos = pos as usize;
+        if let Some(e) = self.vertices.get_mut(&u) {
+            e.out.swap_remove(pos);
+            if pos < e.out.len() {
+                let moved = e.out[pos];
+                self.out_pos.insert((u, moved), pos as u32);
+            }
+        }
+        true
+    }
+
+    /// Record in-edge `(u, v)` (stored on `v`); false when present.
+    pub(super) fn insert_in_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if self.in_pos.contains_key(&(u, v)) {
+            return false;
+        }
+        let e = self.vertices.entry_or_default(v);
+        self.in_pos.insert((u, v), e.inn.len() as u32);
+        e.inn.push(u);
+        true
+    }
+
+    /// Remove in-edge `(u, v)` in O(1), as [`Agent::remove_out_edge`].
+    pub(super) fn remove_in_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let Some(pos) = self.in_pos.remove(&(u, v)) else {
+            return false;
+        };
+        let pos = pos as usize;
+        if let Some(e) = self.vertices.get_mut(&v) {
+            e.inn.swap_remove(pos);
+            if pos < e.inn.len() {
+                let moved = e.inn[pos];
+                self.in_pos.insert((moved, v), pos as u32);
+            }
+        }
+        true
+    }
+
+    pub(super) fn on_changes(&mut self, frame: Frame) {
+        let Some((side, hop, changes)) = msg::decode_edge_changes(&frame) else {
+            return;
+        };
+        // Streamer-originated records (hop 0) are unmatched on the
+        // send side (Streamers do not participate in barriers); only
+        // agent-to-agent forwards are double counted. The receive is
+        // counted even when the apply is deferred below: the sender's
+        // chg_sent is already in the barrier sums, and deferring the
+        // matching count would hold settled() false for the whole run
+        // — no barrier (or async termination probe) could ever fire.
+        if hop > 0 {
+            self.counters.chg_recv += changes.len() as u64;
+        }
+        if self.run.is_some() {
+            self.buffered_changes.push(frame);
+            return;
+        }
+        self.apply_changes(side, hop, changes);
+    }
+
+    pub(super) fn apply_changes(&mut self, side: Side, hop: u8, changes: Vec<EdgeChange>) {
+        let mut forwards: FxHashMap<AgentId, Vec<EdgeChange>> = FxHashMap::default();
+        let mut deltas: FxHashMap<VertexId, (i64, i64)> = FxHashMap::default();
+        self.route_cache.ensure_epoch(self.view.epoch);
+        for change in changes {
+            let (u, v) = (change.edge.src, change.edge.dst);
+            let (key, other) = match side {
+                Side::Out => (u, v),
+                Side::In => (v, u),
+            };
+            let owner = {
+                let sketch = &self.view.sketch;
+                self.route_cache
+                    .owner_of_edge(&self.locator, key, other, || sketch.estimate(key))
+            };
+            if owner != Some(self.id) {
+                if let Some(owner) = owner {
+                    if hop < MAX_HOPS {
+                        forwards.entry(owner).or_default().push(change);
+                    }
+                }
+                continue;
+            }
+            let applied = match (side, change.action) {
+                (Side::Out, Action::Insert) => {
+                    self.insert_out_edge(u, v) && {
+                        deltas.entry(u).or_default().0 += 1;
+                        true
+                    }
+                }
+                (Side::Out, Action::Delete) => {
+                    self.remove_out_edge(u, v) && {
+                        deltas.entry(u).or_default().0 -= 1;
+                        true
+                    }
+                }
+                (Side::In, Action::Insert) => {
+                    self.insert_in_edge(u, v) && {
+                        deltas.entry(v).or_default().1 += 1;
+                        true
+                    }
+                }
+                (Side::In, Action::Delete) => {
+                    self.remove_in_edge(u, v) && {
+                        deltas.entry(v).or_default().1 -= 1;
+                        true
+                    }
+                }
+            };
+            if applied {
+                self.metrics.changes += 1;
+            }
+        }
+        let coalescing = self.cfg.coalescing;
+        for (agent, fwd) in forwards {
+            self.counters.chg_sent += fwd.len() as u64;
+            if coalescing {
+                self.with_outbox(agent, |out| {
+                    for c in &fwd {
+                        msg::append_edge_change(out, side, hop + 1, c);
+                    }
+                });
+            } else {
+                for chunk in fwd.chunks(BATCH) {
+                    let frame = msg::encode_edge_changes(side, hop + 1, chunk);
+                    self.push_to(agent, frame);
+                }
+            }
+        }
+        // Report degree deltas to each vertex's primary.
+        let mut delta_batches: FxHashMap<AgentId, Vec<(VertexId, i64, i64)>> = FxHashMap::default();
+        for (v, (dout, din)) in deltas {
+            if let Some(primary) = self.locator.ring().owner(v) {
+                delta_batches
+                    .entry(primary)
+                    .or_default()
+                    .push((v, dout, din));
+            }
+        }
+        for (agent, ds) in delta_batches {
+            self.counters.chg_sent += ds.len() as u64;
+            if coalescing {
+                self.with_outbox(agent, |out| {
+                    for &(v, dout, din) in &ds {
+                        msg::append_deg_delta(out, v, dout, din);
+                    }
+                });
+            } else {
+                for chunk in ds.chunks(BATCH) {
+                    let frame = msg::encode_deg_deltas(chunk);
+                    self.push_to(agent, frame);
+                }
+            }
+        }
+        self.metrics.edges = self.out_pos.len() as u64;
+        self.re_report();
+    }
+
+    pub(super) fn on_deg_delta(&mut self, frame: Frame) {
+        let Some(deltas) = msg::decode_deg_deltas(&frame) else {
+            return;
+        };
+        self.counters.chg_recv += deltas.len() as u64;
+        for (v, dout, din) in deltas {
+            let e = self.vertices.entry_or_default(v);
+            e.g_out += dout;
+            e.g_in += din;
+            e.dirty = true;
+            e.is_meta = e.g_out > 0 || e.g_in > 0;
+            if !e.is_meta {
+                // Vertex vanished from the graph.
+                e.has_state = false;
+                e.active = false;
+                e.dirty = false;
+                if e.is_empty() {
+                    self.vertices.remove(&v);
+                }
+            }
+        }
+        self.re_report();
+    }
+
+    pub(super) fn on_reset_labels(&mut self, frame: Frame) {
+        let Some(labels) = msg::decode_reset_labels(&frame) else {
+            return;
+        };
+        let set: FxHashSet<u64> = labels.into_iter().collect();
+        for (_, e) in self.vertices.iter_mut() {
+            if e.is_meta && e.has_state && set.contains(&e.state) {
+                e.has_state = false;
+                e.state = 0;
+                e.dirty = true;
+            }
+        }
+    }
+}

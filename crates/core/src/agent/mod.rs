@@ -1,0 +1,623 @@
+//! Agents: the workers that hold the graph and run vertex programs
+//! (paper §3.4).
+//!
+//! "Agents are responsible for holding the graph in memory and carrying
+//! out the computation on the graph. ... They operate as a state
+//! machine and, during computation, either execute the algorithms on
+//! their vertices, send updates to other Agents, or receive updates
+//! from Agents. They continuously poll on their communication channel
+//! and act on whatever packet they receive."
+//!
+//! Key behaviors reproduced from the paper:
+//!
+//! * **Ownership checks and forwarding** — every received edge change
+//!   is re-validated against the current view; wrong-destination
+//!   packets are "forwarded to the latest, correct Agent".
+//! * **Buffering** — vertex messages for future phases are stored
+//!   "until the computation can catch up"; edge changes arriving while
+//!   a batch algorithm runs are buffered and applied afterwards.
+//! * **Migration** — on any view change the agent recomputes "the
+//!   correct destination for all current edges" and forwards misplaced
+//!   ones; when leaving, it drains everything and only disconnects
+//!   after the directory confirms.
+//! * **Replication** — high-degree vertices are split: each replica
+//!   holds a slice of the vertex's edges, pre-aggregates its incoming
+//!   messages, and synchronizes state with the primary between
+//!   supersteps.
+//!
+//! The module is organized by concern; this file holds the state
+//! machine (join, dispatch, run lifecycle) and the submodules hold the
+//! rest:
+//!
+//! * [`comms`] — the send side: per-destination coalescing outboxes,
+//!   phase-end flushes, READY reports, and metrics publication.
+//! * [`ingest`] — graph changes: edge indexes, change application and
+//!   forwarding, degree deltas.
+//! * [`superstep`] — the sync phase kernels (scatter/combine/apply),
+//!   the parallel shard workers, and the async event-driven mode.
+//! * [`migrate`] — view adoption and edge/meta migration.
+//! * [`recovery`] — heartbeats and the peer-loss reset.
+
+mod comms;
+mod ingest;
+mod migrate;
+mod recovery;
+mod superstep;
+
+use crate::config::SystemConfig;
+use crate::directory::{agent_addr, bus_addr};
+use crate::metrics::{AgentMetrics, CommsMetrics};
+use crate::msg::{
+    self, packet, Counters, DirectoryView, MetaRecord, Phase, ReadyReport, RunInfo, Side,
+    StateRecord,
+};
+use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
+use crate::store::{Shard, VertexStore, SHARDS};
+use elga_graph::types::{Action, EdgeChange, VertexId};
+use elga_hash::{AgentId, EdgeLocator, FxHashMap, FxHashSet, OwnerCache};
+use elga_net::{
+    Addr, CoalesceConfig, CoalesceStats, CoalescingOutbox, Delivery, Frame, NetError, NetStats,
+    Outbox, Transport, TransportExt,
+};
+use elga_sketch::CountMinSketch;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use superstep::StepScratch;
+
+/// Records per frame on the eager (non-coalescing) ablation path.
+const BATCH: usize = 4096;
+
+/// Forwarding hop cap (views converge long before this).
+const MAX_HOPS: u8 = 64;
+
+/// Per-vertex data held by an agent. One entry serves all three roles
+/// a vertex can have here: replica (edges + state copy), aggregation
+/// target (partials), and primary (authoritative meta).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VertexEntry {
+    /// Local out-edges (this agent owns their out-placement).
+    pub(crate) out: Vec<VertexId>,
+    /// Local in-edges (this agent owns their in-placement).
+    pub(crate) inn: Vec<VertexId>,
+    /// Replica state copy (from STATE broadcasts or local apply).
+    pub(crate) state: u64,
+    /// Whether `state` is initialized.
+    pub(crate) has_state: bool,
+    /// Replica copy of the global out-degree.
+    pub(crate) rep_out_degree: u64,
+    /// Active for the next scatter.
+    pub(crate) active: bool,
+    /// Scatter-phase partial aggregate.
+    pub(crate) partial: u64,
+    pub(crate) has_partial: bool,
+    /// Combine-phase aggregate (primary side).
+    pub(crate) ppartial: u64,
+    pub(crate) has_ppartial: bool,
+    /// §3.2 waiting set (async): messages collected so far toward the
+    /// program's `waits_for` requirement.
+    pub(crate) wait_recv: u64,
+    /// Primary-only: authoritative global degrees.
+    pub(crate) g_out: i64,
+    pub(crate) g_in: i64,
+    /// Primary-only: this agent holds the vertex's meta record.
+    pub(crate) is_meta: bool,
+    /// Primary-only: touched by changes since the last run.
+    pub(crate) dirty: bool,
+}
+
+impl VertexEntry {
+    fn is_empty(&self) -> bool {
+        self.out.is_empty()
+            && self.inn.is_empty()
+            && !self.is_meta
+            && !self.has_state
+            && !self.has_partial
+            && !self.has_ppartial
+    }
+}
+
+/// Per-run execution state.
+struct AgentRun {
+    info: RunInfo,
+    program: Arc<dyn VertexProgram>,
+    /// Latest directive from the directory.
+    step: u32,
+    phase: Phase,
+    n_vertices: u64,
+    global: f64,
+    /// Async event-driven mode entered.
+    async_live: bool,
+}
+
+/// One ElGA agent. Spawned on its own thread by the cluster driver.
+pub struct Agent {
+    id: AgentId,
+    cfg: SystemConfig,
+    transport: Arc<dyn Transport>,
+    mailbox: elga_net::Mailbox,
+    dir_push: Outbox,
+    view: DirectoryView,
+    locator: EdgeLocator,
+    /// Per-destination coalescing outboxes. Sends accumulate into at
+    /// most one open frame per destination; phase boundaries flush.
+    outboxes: FxHashMap<AgentId, CoalescingOutbox>,
+    /// Flush/volume counters of outboxes since retired (view changes,
+    /// dead peers); live outboxes are summed on top at snapshot time.
+    coalesce_retired: CoalesceStats,
+    /// This agent's own data-plane traffic accounting (per packet
+    /// type). Distinct from the transport's cluster-wide `NetStats`:
+    /// every in-process participant shares that transport, so only a
+    /// per-agent sink attributes traffic to its sender/receiver.
+    net: Arc<NetStats>,
+    vertices: VertexStore,
+    /// Position of out-edge `(u, v)` in `vertices[u].out` — O(1)
+    /// duplicate detection *and* O(1) deletion (swap_remove + index
+    /// fix-up instead of an O(deg) scan).
+    out_pos: FxHashMap<(VertexId, VertexId), u32>,
+    /// Position of in-edge `(u, v)` in `vertices[v].inn`.
+    in_pos: FxHashMap<(VertexId, VertexId), u32>,
+    /// Resolved superstep worker count.
+    workers: usize,
+    /// Owner cache for serial paths (change apply, migration, async).
+    route_cache: OwnerCache,
+    /// One owner cache per worker, used by the parallel kernels.
+    worker_caches: Vec<OwnerCache>,
+    scratch: StepScratch,
+    counters: Counters,
+    metrics: AgentMetrics,
+    run: Option<AgentRun>,
+    /// Changes received while a run was active (§3.4: "While a batch is
+    /// running, the graph does not change: any edge changes are
+    /// buffered").
+    buffered_changes: Vec<Frame>,
+    /// Future-phase frames ("If it is for an iteration in the future,
+    /// the packet is stored").
+    buffered_frames: Vec<Frame>,
+    /// Last READY context reported, for re-reporting on late arrivals.
+    reported: Option<(u64, u32, Phase)>,
+    /// Counters snapshot at the last READY send. Sync re-reports are
+    /// debounced to the post-drain idle point and only fire when the
+    /// counters moved, so a burst of late frames costs one READY.
+    reported_counters: Option<Counters>,
+    /// Counter snapshot at the last async idle report.
+    last_idle_counters: Option<Counters>,
+    departing: bool,
+    /// Highest view epoch for which migration ran and was reported.
+    migrated_epoch: u64,
+    metrics_flushed: Instant,
+    /// Last liveness heartbeat pushed to the directory.
+    heartbeat_sent: Instant,
+    /// Monotone READY sequence, so the lead can discard reports a
+    /// retransmitting transport delivered out of order. Never reset —
+    /// not even by recovery — or stale pre-reset reports could
+    /// outrank fresh ones.
+    ready_seq: u64,
+}
+
+impl Agent {
+    /// Bind the mailbox, subscribe to the bus and join through the
+    /// given directory, using the in-process address conventions.
+    pub fn join(
+        transport: Arc<dyn Transport>,
+        cfg: SystemConfig,
+        id: AgentId,
+        directory: Addr,
+    ) -> Result<Agent, NetError> {
+        Agent::join_at(transport, cfg, id, agent_addr(id), directory, bus_addr())
+    }
+
+    /// Deployment-agnostic join: bind the mailbox at `addr` (for TCP,
+    /// a concrete `tcp://host:port`), subscribe to the broadcast bus at
+    /// `bus`, and register with `directory`. Returns the ready-to-run
+    /// agent.
+    pub fn join_at(
+        transport: Arc<dyn Transport>,
+        cfg: SystemConfig,
+        id: AgentId,
+        addr: Addr,
+        directory: Addr,
+        bus: Addr,
+    ) -> Result<Agent, NetError> {
+        let mailbox = transport.bind(&addr)?;
+        let addr = mailbox.addr().clone();
+        // Subscribe broadcasts into the mailbox *before* joining so no
+        // VIEW/START/ADVANCE can be missed.
+        transport.subscribe_forward(
+            &bus,
+            &[
+                packet::VIEW,
+                packet::ADVANCE,
+                packet::START,
+                packet::SHUTDOWN,
+                packet::RESET_LABELS,
+                packet::RECOVER,
+            ],
+            &addr,
+        )?;
+        let join = Frame::builder(packet::JOIN)
+            .u64(id)
+            .bytes(addr.to_string().as_bytes())
+            .finish();
+        let (reply, join_retries) = transport.request_with_retry(
+            &directory,
+            join,
+            cfg.request_timeout,
+            &cfg.send_policy,
+        )?;
+        let (view, run_info) =
+            msg::decode_join_reply(&reply).ok_or(NetError::Protocol("bad join reply"))?;
+        let dir_push = transport.sender(&directory)?;
+        let locator = view.locator();
+        let workers = cfg.workers_effective();
+        let new_cache = || {
+            if cfg.owner_cache {
+                OwnerCache::new()
+            } else {
+                OwnerCache::disabled()
+            }
+        };
+        let mut agent = Agent {
+            id,
+            cfg: cfg.clone(),
+            transport,
+            mailbox,
+            dir_push,
+            view,
+            locator,
+            outboxes: FxHashMap::default(),
+            coalesce_retired: CoalesceStats::default(),
+            net: Arc::new(NetStats::default()),
+            vertices: VertexStore::default(),
+            out_pos: FxHashMap::default(),
+            in_pos: FxHashMap::default(),
+            workers,
+            route_cache: new_cache(),
+            worker_caches: (0..workers).map(|_| new_cache()).collect(),
+            scratch: StepScratch::new(),
+            counters: Counters::default(),
+            metrics: AgentMetrics {
+                agent: id,
+                retries_attempted: join_retries as u64,
+                ..Default::default()
+            },
+            run: None,
+            buffered_changes: Vec::new(),
+            buffered_frames: Vec::new(),
+            reported: None,
+            reported_counters: None,
+            last_idle_counters: None,
+            departing: false,
+            migrated_epoch: 0,
+            metrics_flushed: Instant::now(),
+            heartbeat_sent: Instant::now(),
+            ready_seq: 0,
+        };
+        if let Some(info) = run_info {
+            agent.begin_run(info);
+        }
+        Ok(agent)
+    }
+
+    /// Spawn the agent's thread.
+    pub fn spawn(self) -> std::thread::JoinHandle<()> {
+        std::thread::Builder::new()
+            .name(format!("elga-agent-{}", self.id))
+            .spawn(move || self.run_loop())
+            .expect("spawn agent")
+    }
+
+    fn run_loop(mut self) {
+        loop {
+            match self.mailbox.recv_timeout(Duration::from_millis(20)) {
+                Ok(d) => {
+                    if !self.handle(d) {
+                        break;
+                    }
+                    // Drain opportunistically so idle detection sees a
+                    // truly empty mailbox.
+                    loop {
+                        match self.mailbox.try_recv() {
+                            Ok(Some(d)) => {
+                                if !self.handle(d) {
+                                    return;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => return,
+                        }
+                    }
+                    self.on_idle();
+                    self.maybe_heartbeat();
+                }
+                Err(NetError::Timeout) => {
+                    self.on_idle();
+                    self.flush_metrics(false);
+                    self.maybe_heartbeat();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, d: Delivery) -> bool {
+        let frame = d.frame;
+        self.net.record_recv(frame.packet_type(), frame.len());
+        match frame.packet_type() {
+            packet::VIEW => {
+                if let Some(view) = DirectoryView::decode(&frame) {
+                    self.on_view(view);
+                }
+            }
+            packet::START => {
+                if let Some(info) = msg::decode_start(&frame) {
+                    self.begin_run(info);
+                }
+            }
+            packet::ADVANCE => {
+                if let Some(adv) = msg::decode_advance(&frame) {
+                    self.on_advance(adv);
+                }
+            }
+            packet::VMSG => self.on_vmsg(frame),
+            packet::PARTIAL => self.on_partial(frame),
+            packet::STATE => self.on_state(frame),
+            packet::EDGE_CHANGES => self.on_changes(frame),
+            packet::DEG_DELTA => self.on_deg_delta(frame),
+            packet::MIG_EDGES => self.on_mig_edges(frame),
+            packet::MIG_META => self.on_mig_meta(frame),
+            packet::RESET_LABELS => self.on_reset_labels(frame),
+            packet::QUERY => {
+                if let Some(reply) = d.reply {
+                    let v = frame.reader().u64().unwrap_or(0);
+                    self.metrics.queries += 1;
+                    let entry = self.vertices.get(&v);
+                    let (found, state) = match entry {
+                        Some(e) if e.has_state => (1u8, e.state),
+                        _ => (0u8, 0),
+                    };
+                    let _ = reply.send(
+                        Frame::builder(packet::QUERY_REP)
+                            .u8(found)
+                            .u64(state)
+                            .u64(self.view.batch_id)
+                            .finish(),
+                    );
+                }
+            }
+            packet::DUMP => {
+                if let Some(reply) = d.reply {
+                    let mut pairs: Vec<(VertexId, u64)> = Vec::new();
+                    for (&v, e) in self.vertices.iter() {
+                        if e.is_meta && e.has_state && self.is_primary(v) {
+                            pairs.push((v, e.state));
+                        }
+                    }
+                    let mut b = Frame::builder(packet::DUMP).u32(pairs.len() as u32);
+                    for (v, state) in pairs {
+                        b = b.u64(v).u64(state);
+                    }
+                    let _ = reply.send(b.finish());
+                }
+            }
+            packet::DRAIN => {
+                // A drain round settles only once every counted record
+                // is on the wire; close the open frames first.
+                self.flush_outboxes();
+                self.flush_metrics(true);
+                if let Some(reply) = d.reply {
+                    let rep = Frame::builder(packet::COUNTERS)
+                        .u64(self.counters.vmsg_sent)
+                        .u64(self.counters.vmsg_recv)
+                        .u64(self.counters.part_sent)
+                        .u64(self.counters.part_recv)
+                        .u64(self.counters.state_sent)
+                        .u64(self.counters.state_recv)
+                        .u64(self.counters.mig_sent)
+                        .u64(self.counters.mig_recv)
+                        .u64(self.counters.chg_sent)
+                        .u64(self.counters.chg_recv)
+                        .u64(self.view.epoch)
+                        .finish();
+                    let _ = reply.send(rep);
+                }
+            }
+            packet::RECOVER => {
+                if let Some(rec) = msg::decode_recover(&frame) {
+                    return self.on_recover(rec);
+                }
+            }
+            packet::KILL => {
+                // Crash simulation: die without LEAVE, drains, or
+                // goodbyes. Peers see a dead mailbox; the lead notices
+                // missing heartbeats.
+                return false;
+            }
+            packet::OK
+                // Departure confirmed by the directory.
+                if self.departing => {
+                    return false;
+                }
+            packet::SHUTDOWN => return false,
+            _ => {}
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn is_primary(&self, v: VertexId) -> bool {
+        self.locator.ring().owner(v) == Some(self.id)
+    }
+
+    /// (active, contrib, n_primary) as reported at Apply barriers.
+    fn apply_summary(&self) -> (u64, f64, u64) {
+        let mut active = 0;
+        let mut n_primary = 0;
+        for (&v, e) in self.vertices.iter() {
+            if e.is_meta && self.is_primary(v) {
+                n_primary += 1;
+                if e.active {
+                    active += 1;
+                }
+            }
+        }
+        (active, 0.0, n_primary)
+    }
+
+    /// (contrib, n_primary) as reported at Scatter barriers.
+    fn scatter_summary(&self) -> (f64, u64) {
+        let Some(run) = self.run.as_ref() else {
+            return (0.0, 0);
+        };
+        // Folded in shard order (VertexStore iteration), so the f64 sum
+        // is identical for any worker count.
+        let mut contrib = 0.0;
+        let mut n_primary = 0;
+        for (&v, e) in self.vertices.iter() {
+            if e.is_meta && self.is_primary(v) {
+                n_primary += 1;
+                if e.has_state {
+                    let ctx = VertexCtx {
+                        out_degree: e.g_out.max(0) as u64,
+                        in_degree: e.g_in.max(0) as u64,
+                        n_vertices: run.n_vertices,
+                        step: run.step,
+                        global: 0.0,
+                    };
+                    contrib += run.program.global_contrib(v, e.state, &ctx);
+                }
+            }
+        }
+        (contrib, n_primary)
+    }
+
+    // ------------------------------------------------------------------
+    // Run lifecycle
+    // ------------------------------------------------------------------
+
+    fn begin_run(&mut self, info: RunInfo) {
+        let Some(spec) = ProgramSpec::decode(info.tag, info.params) else {
+            return;
+        };
+        let program = spec.instantiate();
+        if !info.reuse_state {
+            for e in self.vertices.values_mut() {
+                e.has_state = false;
+                e.state = 0;
+                e.active = false;
+            }
+        }
+        for e in self.vertices.values_mut() {
+            e.has_partial = false;
+            e.has_ppartial = false;
+            e.wait_recv = 0;
+        }
+        self.vertices.clear_partial_dirty();
+        self.buffered_frames.clear();
+        self.run = Some(AgentRun {
+            info,
+            program,
+            step: 0,
+            phase: Phase::Scatter,
+            n_vertices: self.view.n_vertices,
+            global: 0.0,
+            async_live: false,
+        });
+        self.reported = None;
+        self.reported_counters = None;
+        self.last_idle_counters = None;
+    }
+
+    fn on_advance(&mut self, adv: msg::Advance) {
+        let Some(run) = self.run.as_mut() else {
+            return;
+        };
+        if adv.run != run.info.run_id {
+            return;
+        }
+        if adv.done {
+            self.finish_run();
+            return;
+        }
+        if run.async_live {
+            // Probe: drain already happened (mailbox FIFO); answer with
+            // current counters.
+            self.send_ready(adv.run, adv.step, Phase::Combine, 0, 0.0, 0);
+            return;
+        }
+        run.step = adv.step;
+        run.phase = adv.phase;
+        run.n_vertices = adv.n_vertices;
+        run.global = adv.global;
+        if run.info.asynchronous && adv.step == 1 && adv.phase == Phase::Scatter {
+            run.async_live = true;
+            self.async_initial_scatter();
+            // A faster peer's initial scatter can race ahead of this
+            // advance; those frames were buffered under the sync rules
+            // and would otherwise be stranded (their send was counted,
+            // their receive never would be — the run could not
+            // terminate). Release them into the async handlers.
+            self.replay_buffered();
+            return;
+        }
+        let t0 = Instant::now();
+        match adv.phase {
+            Phase::Scatter => self.phase_scatter(),
+            Phase::Combine => self.phase_combine(),
+            Phase::Apply => self.phase_apply(),
+            Phase::Migrate => {}
+        }
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.metrics.last_step_nanos = nanos;
+        match adv.phase {
+            Phase::Scatter => self.metrics.scatter_nanos += nanos,
+            Phase::Combine => self.metrics.combine_nanos += nanos,
+            Phase::Apply => self.metrics.apply_nanos += nanos,
+            Phase::Migrate => {}
+        }
+        self.replay_buffered();
+    }
+
+    fn finish_run(&mut self) {
+        self.run = None;
+        self.reported = None;
+        self.reported_counters = None;
+        // Apply the changes that were buffered during the run. Their
+        // receives were counted when they arrived; decode and apply
+        // directly so they are not counted twice.
+        let buffered: Vec<Frame> = std::mem::take(&mut self.buffered_changes);
+        for frame in buffered {
+            if let Some((side, hop, changes)) = msg::decode_edge_changes(&frame) {
+                self.apply_changes(side, hop, changes);
+            }
+        }
+        self.flush_outboxes();
+        self.flush_metrics(true);
+    }
+
+    /// Re-dispatch buffered frames that now match the current phase.
+    fn replay_buffered(&mut self) {
+        let frames: Vec<Frame> = std::mem::take(&mut self.buffered_frames);
+        for frame in frames {
+            match frame.packet_type() {
+                packet::VMSG => self.on_vmsg(frame),
+                packet::PARTIAL => self.on_partial(frame),
+                packet::STATE => self.on_state(frame),
+                _ => {}
+            }
+        }
+    }
+
+    fn current_phase(&self) -> Option<(u64, u32, Phase, bool)> {
+        self.run
+            .as_ref()
+            .map(|r| (r.info.run_id, r.step, r.phase, r.async_live))
+    }
+}

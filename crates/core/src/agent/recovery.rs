@@ -1,0 +1,53 @@
+//! Liveness and failure recovery: heartbeats to the directory and the
+//! full-reset response to a peer's eviction.
+
+use super::*;
+
+impl Agent {
+    /// Push a liveness heartbeat if one is due. Heartbeats are cheap
+    /// pushes; the lead directory evicts us after
+    /// `heartbeat_interval * heartbeat_misses` of silence.
+    pub(super) fn maybe_heartbeat(&mut self) {
+        if self.heartbeat_sent.elapsed() >= self.cfg.heartbeat_interval {
+            self.heartbeat_sent = Instant::now();
+            let _ = self.dir_push.send(msg::encode_heartbeat(self.id));
+        }
+    }
+
+    /// A peer was declared dead. Exact counter reconciliation is
+    /// impossible (messages in flight to/from the dead agent are
+    /// unaccounted on one side), so recovery is a full reset: drop all
+    /// graph state and counters, adopt the post-eviction view, and
+    /// settle the recovery migrate-barrier trivially with zeroed
+    /// counters. The driver then replays the retained change log and
+    /// restarts any aborted run.
+    pub(super) fn on_recover(&mut self, rec: msg::Recover) -> bool {
+        if rec.view.addr_of(self.id).is_none() {
+            // We were the one evicted (a false positive if we are still
+            // alive). Fail-stop: exiting keeps the cluster's view of
+            // the world consistent.
+            return false;
+        }
+        let epoch = rec.epoch;
+        self.vertices.clear();
+        self.out_pos.clear();
+        self.in_pos.clear();
+        // Open frames hold records counted under the pre-reset regime;
+        // pushing them now would corrupt the fresh barrier sums, so
+        // they are discarded along with the stale senders.
+        self.discard_outboxes();
+        self.counters = Counters::default();
+        self.buffered_changes.clear();
+        self.buffered_frames.clear();
+        self.run = None;
+        self.reported = None;
+        self.reported_counters = None;
+        self.last_idle_counters = None;
+        self.metrics.edges = 0;
+        self.view = rec.view;
+        self.locator = self.view.locator();
+        self.migrated_epoch = epoch;
+        self.send_ready(0, epoch as u32, Phase::Migrate, 0, 0.0, 0);
+        true
+    }
+}

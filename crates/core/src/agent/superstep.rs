@@ -1,0 +1,723 @@
+//! Superstep execution: the sync scatter/combine/apply phases, the
+//! parallel shard kernels, the message handlers that feed them, and
+//! the async event-driven mode.
+
+use super::*;
+
+/// Reusable per-superstep buffers. The kernels write per-shard batch
+/// maps which are merged (in shard order, for determinism) into the
+/// `merged` maps before encoding; all inner `Vec`s are cleared but
+/// never dropped, so steady-state supersteps allocate nothing.
+#[derive(Default)]
+pub(super) struct StepScratch {
+    /// Per-shard `(vertex, value)` batches (scatter vmsgs, combine
+    /// partials). Indexed like the vertex shards.
+    per_shard: Vec<FxHashMap<AgentId, Vec<(VertexId, u64)>>>,
+    merged: FxHashMap<AgentId, Vec<(VertexId, u64)>>,
+    /// Per-shard state broadcasts (apply).
+    per_shard_states: Vec<FxHashMap<AgentId, Vec<StateRecord>>>,
+    merged_states: FxHashMap<AgentId, Vec<StateRecord>>,
+}
+
+impl StepScratch {
+    pub(super) fn new() -> Self {
+        StepScratch {
+            per_shard: (0..SHARDS).map(|_| FxHashMap::default()).collect(),
+            per_shard_states: (0..SHARDS).map(|_| FxHashMap::default()).collect(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Shared read-only context handed to the parallel shard kernels.
+#[derive(Clone, Copy)]
+pub(super) struct KernelCtx<'a> {
+    program: &'a dyn VertexProgram,
+    locator: &'a EdgeLocator,
+    sketch: &'a CountMinSketch,
+    my_id: AgentId,
+    n_vertices: u64,
+    step: u32,
+    scatter_all: bool,
+    reuse: bool,
+    global: f64,
+}
+
+impl Agent {
+    // ------------------------------------------------------------------
+    // Sync phases
+    // ------------------------------------------------------------------
+
+    pub(super) fn phase_scatter(&mut self) {
+        let run = self.run.as_ref().expect("scatter without run");
+        let run_id = run.info.run_id;
+        let step = run.step;
+        if step == 0 {
+            // Step 0 is preparation: report the primary vertex count so
+            // the directory can hand `n` to initialization.
+            let (contrib, n_primary) = self.scatter_summary();
+            self.send_ready(run_id, 0, Phase::Scatter, 0, contrib, n_primary);
+            return;
+        }
+        self.run_kernel(Phase::Scatter);
+        let (contrib, n_primary) = self.scatter_summary();
+        self.send_ready(run_id, step, Phase::Scatter, 0, contrib, n_primary);
+    }
+
+    pub(super) fn phase_combine(&mut self) {
+        let run = self.run.as_ref().expect("combine without run");
+        let run_id = run.info.run_id;
+        let step = run.step;
+        self.run_kernel(Phase::Combine);
+        self.send_ready(run_id, step, Phase::Combine, 0, 0.0, 0);
+    }
+
+    pub(super) fn phase_apply(&mut self) {
+        let run = self.run.as_ref().expect("apply without run");
+        let run_id = run.info.run_id;
+        let step = run.step;
+        self.run_kernel(Phase::Apply);
+        let (active, contrib, n_primary) = self.apply_summary();
+        self.send_ready(run_id, step, Phase::Apply, active, contrib, n_primary);
+    }
+
+    /// Run one superstep kernel over all vertex shards on the worker
+    /// pool, then merge and send the per-shard batches.
+    ///
+    /// Determinism: the shard count is fixed (independent of the worker
+    /// count), each shard is processed by exactly one worker, and the
+    /// per-shard batches are merged in shard index order — so the
+    /// per-destination byte streams are identical for any worker count.
+    fn run_kernel(&mut self, phase: Phase) {
+        let run = self.run.as_ref().expect("kernel without run");
+        let program = run.program.clone();
+        let run_id = run.info.run_id;
+        let step = run.step;
+        let ctx = KernelCtx {
+            program: &*program,
+            locator: &self.locator,
+            sketch: &self.view.sketch,
+            my_id: self.id,
+            n_vertices: run.n_vertices,
+            step,
+            scatter_all: program.scatter_all(),
+            reuse: run.info.reuse_state,
+            global: run.global,
+        };
+        let epoch = self.view.epoch;
+        for c in &mut self.worker_caches {
+            c.ensure_epoch(epoch);
+        }
+        // Tiny stores run serially: thread-spawn overhead would dwarf
+        // the kernel. Harmless for determinism — output bytes do not
+        // depend on the worker count.
+        let workers = if self.vertices.len() < 1024 {
+            1
+        } else {
+            self.workers.clamp(1, SHARDS)
+        };
+        let chunk = SHARDS.div_ceil(workers);
+        {
+            let shards = self.vertices.shards_mut();
+            let scratch = &mut self.scratch.per_shard;
+            let scratch_states = &mut self.scratch.per_shard_states;
+            let caches = &mut self.worker_caches;
+            if workers == 1 {
+                // Serial fast path: no thread spawn overhead.
+                let cache = &mut caches[0];
+                for (i, shard) in shards.iter_mut().enumerate() {
+                    kernel_shard(
+                        phase,
+                        ctx,
+                        cache,
+                        shard,
+                        &mut scratch[i],
+                        &mut scratch_states[i],
+                    );
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    let work = shards
+                        .chunks_mut(chunk)
+                        .zip(scratch.chunks_mut(chunk))
+                        .zip(scratch_states.chunks_mut(chunk))
+                        .zip(caches.iter_mut());
+                    for (((sh, sc), scs), cache) in work {
+                        scope.spawn(move || {
+                            for ((shard, out), out_states) in
+                                sh.iter_mut().zip(sc.iter_mut()).zip(scs.iter_mut())
+                            {
+                                kernel_shard(phase, ctx, cache, shard, out, out_states);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        // Merge per-shard batches in shard index order: each
+        // destination's messages end up in the same order no matter how
+        // many workers produced them. The records then leave through
+        // the per-destination coalescing outboxes (or, with coalescing
+        // off, as eagerly encoded `BATCH`-sized frames); both paths
+        // preserve that per-destination order exactly.
+        let coalescing = self.cfg.coalescing;
+        match phase {
+            Phase::Apply => {
+                let mut merged = std::mem::take(&mut self.scratch.merged_states);
+                for shard_states in &mut self.scratch.per_shard_states {
+                    for (&agent, recs) in shard_states.iter_mut() {
+                        if !recs.is_empty() {
+                            merged.entry(agent).or_default().append(recs);
+                        }
+                    }
+                }
+                for (&agent, recs) in merged.iter_mut() {
+                    if recs.is_empty() {
+                        continue;
+                    }
+                    self.counters.state_sent += recs.len() as u64;
+                    if coalescing {
+                        let recs = &recs[..];
+                        self.with_outbox(agent, |out| {
+                            for rec in recs {
+                                msg::append_state(out, run_id, step, rec);
+                            }
+                        });
+                    } else {
+                        for chunk in recs.chunks(BATCH) {
+                            let frame = msg::encode_states(run_id, step, chunk);
+                            self.push_to(agent, frame);
+                        }
+                    }
+                    recs.clear();
+                }
+                self.scratch.merged_states = merged;
+            }
+            _ => {
+                let mut merged = std::mem::take(&mut self.scratch.merged);
+                for shard_batches in &mut self.scratch.per_shard {
+                    for (&agent, msgs) in shard_batches.iter_mut() {
+                        if !msgs.is_empty() {
+                            merged.entry(agent).or_default().append(msgs);
+                        }
+                    }
+                }
+                for (&agent, msgs) in merged.iter_mut() {
+                    if msgs.is_empty() {
+                        continue;
+                    }
+                    if phase == Phase::Scatter {
+                        self.counters.vmsg_sent += msgs.len() as u64;
+                    } else {
+                        self.counters.part_sent += msgs.len() as u64;
+                    }
+                    if coalescing {
+                        let msgs = &msgs[..];
+                        self.with_outbox(agent, |out| {
+                            for &(v, value) in msgs {
+                                if phase == Phase::Scatter {
+                                    msg::append_vmsg(out, run_id, step, v, value);
+                                } else {
+                                    msg::append_partial(out, run_id, step, v, value);
+                                }
+                            }
+                        });
+                    } else {
+                        for chunk in msgs.chunks(BATCH) {
+                            let frame = if phase == Phase::Scatter {
+                                msg::encode_vmsgs(run_id, step, chunk)
+                            } else {
+                                msg::encode_partials(run_id, step, chunk)
+                            };
+                            self.push_to(agent, frame);
+                        }
+                    }
+                    msgs.clear();
+                }
+                self.scratch.merged = merged;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message handlers (sync + async)
+    // ------------------------------------------------------------------
+
+    pub(super) fn on_vmsg(&mut self, frame: Frame) {
+        let Some((run_id, step, msgs)) = msg::decode_vmsgs(&frame) else {
+            return;
+        };
+        match self.current_phase() {
+            Some((cur_run, _, _, true)) if cur_run == run_id => {
+                // Async: apply immediately at the primary.
+                self.counters.vmsg_recv += msgs.len() as u64;
+                self.metrics.vmsgs += msgs.len() as u64;
+                for (v, value) in msgs {
+                    self.async_apply(v, value);
+                }
+                self.re_report_async();
+            }
+            Some((cur_run, cur_step, cur_phase, false))
+                if cur_run == run_id && cur_step == step && cur_phase == Phase::Scatter =>
+            {
+                self.counters.vmsg_recv += msgs.len() as u64;
+                self.metrics.vmsgs += msgs.len() as u64;
+                let program = self.run.as_ref().expect("run").program.clone();
+                for (v, value) in msgs {
+                    let (e, dirty) = self.vertices.entry_and_dirty(v);
+                    if e.has_partial {
+                        e.partial = program.combine(e.partial, value);
+                    } else {
+                        e.partial = value;
+                        e.has_partial = true;
+                        // First partial since the last combine: record
+                        // it so phase_combine only walks receivers.
+                        dirty.push(v);
+                    }
+                }
+                // Late-arrival re-report happens from on_idle, once
+                // per drain batch, not once per frame.
+            }
+            Some((cur_run, _, _, _)) if cur_run == run_id => {
+                // Future step or wrong phase: store until we catch up.
+                self.buffered_frames.push(frame);
+            }
+            _ => {} // stale run
+        }
+    }
+
+    pub(super) fn on_partial(&mut self, frame: Frame) {
+        let Some((run_id, step, parts)) = msg::decode_partials(&frame) else {
+            return;
+        };
+        match self.current_phase() {
+            Some((cur_run, cur_step, cur_phase, false))
+                if cur_run == run_id && cur_step == step && cur_phase == Phase::Combine =>
+            {
+                self.counters.part_recv += parts.len() as u64;
+                let program = self.run.as_ref().expect("run").program.clone();
+                for (v, value) in parts {
+                    let e = self.vertices.entry_or_default(v);
+                    if e.has_ppartial {
+                        e.ppartial = program.combine(e.ppartial, value);
+                    } else {
+                        e.ppartial = value;
+                        e.has_ppartial = true;
+                    }
+                }
+            }
+            Some((cur_run, _, _, _)) if cur_run == run_id => {
+                self.buffered_frames.push(frame);
+            }
+            _ => {}
+        }
+    }
+
+    pub(super) fn on_state(&mut self, frame: Frame) {
+        let Some((run_id, step, recs)) = msg::decode_states(&frame) else {
+            return;
+        };
+        match self.current_phase() {
+            Some((cur_run, _, _, true)) if cur_run == run_id => {
+                // Async: adopt the state and scatter right away.
+                self.counters.state_recv += recs.len() as u64;
+                for rec in recs {
+                    let e = self.vertices.entry_or_default(rec.vertex);
+                    e.state = rec.state;
+                    e.has_state = true;
+                    e.rep_out_degree = rec.out_degree;
+                    e.active = rec.active;
+                    if rec.active {
+                        self.scatter_one(rec.vertex);
+                    }
+                }
+                self.re_report_async();
+            }
+            Some((cur_run, cur_step, cur_phase, false))
+                if cur_run == run_id && cur_step == step && cur_phase == Phase::Apply =>
+            {
+                self.counters.state_recv += recs.len() as u64;
+                for rec in recs {
+                    let e = self.vertices.entry_or_default(rec.vertex);
+                    e.state = rec.state;
+                    e.has_state = true;
+                    e.rep_out_degree = rec.out_degree;
+                    e.active = rec.active;
+                }
+            }
+            Some((cur_run, _, _, _)) if cur_run == run_id => {
+                self.buffered_frames.push(frame);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Async mode
+    // ------------------------------------------------------------------
+
+    /// Initial scatter when entering async mode: all active vertices
+    /// fire once, then execution is event-driven.
+    pub(super) fn async_initial_scatter(&mut self) {
+        let actives: Vec<VertexId> = self
+            .vertices
+            .iter()
+            .filter(|(_, e)| e.active && e.has_state)
+            .map(|(&v, _)| v)
+            .collect();
+        for v in actives {
+            self.scatter_one(v);
+        }
+        self.re_report_async();
+    }
+
+    /// Event-driven single-vertex scatter (async mode): messages route
+    /// straight to the target's primary.
+    pub(super) fn scatter_one(&mut self, v: VertexId) {
+        let run = self.run.as_ref().expect("scatter without run");
+        let program = run.program.clone();
+        let scatter_all = program.scatter_all();
+        let n_vertices = run.n_vertices;
+        let step = run.step;
+        let run_id = run.info.run_id;
+        self.route_cache.ensure_epoch(self.view.epoch);
+        let mut batches: FxHashMap<AgentId, Vec<(VertexId, u64)>> = FxHashMap::default();
+        {
+            let locator = &self.locator;
+            let sketch = &self.view.sketch;
+            let cache = &mut self.route_cache;
+            let Some(e) = self.vertices.get(&v) else {
+                return;
+            };
+            if e.has_state && (e.active || scatter_all) {
+                let ctx = VertexCtx {
+                    out_degree: e.rep_out_degree,
+                    in_degree: 0,
+                    n_vertices,
+                    step,
+                    global: 0.0,
+                };
+                if let Some(val) = program.scatter_out(v, e.state, &ctx) {
+                    for &w in &e.out {
+                        let vv = program.along_edge(v, w, val);
+                        if let Some(owner) = cache.primary(locator, w, || sketch.estimate(w)) {
+                            batches.entry(owner).or_default().push((w, vv));
+                        }
+                    }
+                }
+                if let Some(val) = program.scatter_in(v, e.state, &ctx) {
+                    for &u in &e.inn {
+                        let vv = program.along_edge(v, u, val);
+                        if let Some(owner) = cache.primary(locator, u, || sketch.estimate(u)) {
+                            batches.entry(owner).or_default().push((u, vv));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(e) = self.vertices.get_mut(&v) {
+            e.active = false;
+        }
+        let coalescing = self.cfg.coalescing;
+        for (agent, msgs) in batches {
+            self.counters.vmsg_sent += msgs.len() as u64;
+            if coalescing {
+                self.with_outbox(agent, |out| {
+                    for &(w, vv) in &msgs {
+                        msg::append_vmsg(out, run_id, step, w, vv);
+                    }
+                });
+            } else {
+                for chunk in msgs.chunks(BATCH) {
+                    let frame = msg::encode_vmsgs(run_id, step, chunk);
+                    self.push_to(agent, frame);
+                }
+            }
+        }
+    }
+
+    /// Async apply-at-primary: combine the incoming value, apply, and
+    /// broadcast on change.
+    pub(super) fn async_apply(&mut self, v: VertexId, value: u64) {
+        let run = self.run.as_ref().expect("async apply without run");
+        let program = run.program.clone();
+        let n_vertices = run.n_vertices;
+        let run_id = run.info.run_id;
+        if !self.is_primary(v) {
+            // Stale routing (view changed mid-run is not supported in
+            // async mode); forward to the true primary.
+            if let Some(primary) = self.locator.ring().owner(v) {
+                self.counters.vmsg_sent += 1;
+                self.with_outbox(primary, |out| msg::append_vmsg(out, run_id, 1, v, value));
+            }
+            return;
+        }
+        let e = self.vertices.entry_or_default(v);
+        let ctx = VertexCtx {
+            out_degree: e.g_out.max(0) as u64,
+            in_degree: e.g_in.max(0) as u64,
+            n_vertices,
+            step: 1,
+            global: 0.0,
+        };
+        if !e.has_state {
+            e.state = program.init(v, &ctx);
+            e.has_state = true;
+        }
+        // §3.2 waiting set: collect messages until the program's
+        // requirement is met, then process once with the combined
+        // aggregate.
+        let needed = program.waits_for(v, &ctx);
+        let value = if needed > 0 {
+            if e.has_ppartial {
+                e.ppartial = program.combine(e.ppartial, value);
+            } else {
+                e.ppartial = value;
+                e.has_ppartial = true;
+            }
+            e.wait_recv += 1;
+            if e.wait_recv < needed {
+                return; // still waiting on specific messages
+            }
+            let agg = e.ppartial;
+            e.has_ppartial = false;
+            e.ppartial = 0;
+            e.wait_recv = 0;
+            agg
+        } else {
+            value
+        };
+        let (new, changed) = program.apply(v, e.state, Some(value), &ctx);
+        if changed {
+            e.state = new;
+            e.active = true;
+            let rec = StateRecord {
+                vertex: v,
+                state: new,
+                out_degree: e.g_out.max(0) as u64,
+                active: true,
+            };
+            self.route_cache.ensure_epoch(self.view.epoch);
+            let replicas: Vec<AgentId> = {
+                let sketch = &self.view.sketch;
+                self.route_cache
+                    .replicas(&self.locator, v, || sketch.estimate(v))
+                    .to_vec()
+            };
+            for replica in replicas {
+                self.counters.state_sent += 1;
+                self.with_outbox(replica, |out| msg::append_state(out, run_id, 1, &rec));
+            }
+        }
+    }
+
+    /// Push an idle report when the async counters moved.
+    pub(super) fn re_report_async(&mut self) {
+        // Reports are sent from on_idle; nothing to do here (counters
+        // will differ from the last idle snapshot).
+    }
+
+    pub(super) fn on_idle(&mut self) {
+        // The mailbox drained: whatever the handlers appended must
+        // reach the wire now — peers (and the termination barrier)
+        // cannot make progress on records parked in open frames. A
+        // no-op when nothing is open.
+        self.flush_outboxes();
+        let Some(run) = self.run.as_ref() else {
+            return;
+        };
+        if !run.async_live {
+            // Sync mode: late counted frames (retransmits, delayed
+            // deliveries) moved the counters since the last READY, so
+            // re-send it once now that the mailbox drained. Doing this
+            // here instead of per-frame keeps the barrier live without
+            // flooding the directory under chaos.
+            if self.reported.is_some() && self.reported_counters != Some(self.counters) {
+                self.re_report();
+            }
+            return;
+        }
+        if self.last_idle_counters == Some(self.counters) {
+            return;
+        }
+        self.last_idle_counters = Some(self.counters);
+        let run_id = run.info.run_id;
+        self.ready_seq += 1;
+        let rep = ReadyReport {
+            agent: self.id,
+            run: run_id,
+            step: u32::MAX,
+            phase: Phase::Scatter,
+            counters: self.counters,
+            active: 0,
+            global_contrib: 0.0,
+            n_primary: 0,
+            seq: self.ready_seq,
+        };
+        let _ = self.dir_push.send(msg::encode_ready(&rep));
+    }
+}
+
+/// Dispatch one shard through the kernel for `phase`. Runs on a worker
+/// thread; touches only its own shard, scratch maps, and owner cache.
+fn kernel_shard(
+    phase: Phase,
+    ctx: KernelCtx<'_>,
+    cache: &mut OwnerCache,
+    shard: &mut Shard,
+    out: &mut FxHashMap<AgentId, Vec<(VertexId, u64)>>,
+    out_states: &mut FxHashMap<AgentId, Vec<StateRecord>>,
+) {
+    match phase {
+        Phase::Scatter => scatter_shard(ctx, cache, shard, out),
+        Phase::Combine => combine_shard(ctx, cache, shard, out),
+        Phase::Apply => apply_shard(ctx, cache, shard, out_states),
+        Phase::Migrate => {}
+    }
+}
+
+/// Scatter messages for one shard's eligible vertices, routing each to
+/// the target's aggregation replica via the owner cache.
+fn scatter_shard(
+    ctx: KernelCtx<'_>,
+    cache: &mut OwnerCache,
+    shard: &mut Shard,
+    out: &mut FxHashMap<AgentId, Vec<(VertexId, u64)>>,
+) {
+    let program = ctx.program;
+    for (&v, e) in shard.map.iter_mut() {
+        if !(e.has_state && (e.active || ctx.scatter_all)) {
+            // Scatter clears active flags unconditionally (they are
+            // re-armed by STATE broadcasts at the next apply).
+            e.active = false;
+            continue;
+        }
+        let vctx = VertexCtx {
+            out_degree: e.rep_out_degree,
+            in_degree: 0,
+            n_vertices: ctx.n_vertices,
+            step: ctx.step,
+            global: 0.0,
+        };
+        if let Some(val) = program.scatter_out(v, e.state, &vctx) {
+            for &w in &e.out {
+                let vv = program.along_edge(v, w, val);
+                if let Some(owner) =
+                    cache.owner_of_edge(ctx.locator, w, v, || ctx.sketch.estimate(w))
+                {
+                    out.entry(owner).or_default().push((w, vv));
+                }
+            }
+        }
+        if let Some(val) = program.scatter_in(v, e.state, &vctx) {
+            for &u in &e.inn {
+                let vv = program.along_edge(v, u, val);
+                if let Some(owner) =
+                    cache.owner_of_edge(ctx.locator, u, v, || ctx.sketch.estimate(u))
+                {
+                    out.entry(owner).or_default().push((u, vv));
+                }
+            }
+        }
+        e.active = false;
+    }
+}
+
+/// Forward one shard's scatter partials to their primaries. Touches
+/// only the shard's dirty list — vertices that actually received
+/// messages — instead of scanning the whole map; sorts it so the sent
+/// order is deterministic regardless of arrival order.
+fn combine_shard(
+    ctx: KernelCtx<'_>,
+    cache: &mut OwnerCache,
+    shard: &mut Shard,
+    out: &mut FxHashMap<AgentId, Vec<(VertexId, u64)>>,
+) {
+    let mut dirty = std::mem::take(&mut shard.partial_dirty);
+    dirty.sort_unstable();
+    for v in dirty.drain(..) {
+        let Some(e) = shard.map.get_mut(&v) else {
+            continue;
+        };
+        if !e.has_partial {
+            continue;
+        }
+        if let Some(primary) = cache.primary(ctx.locator, v, || ctx.sketch.estimate(v)) {
+            out.entry(primary).or_default().push((v, e.partial));
+        }
+        e.has_partial = false;
+        e.partial = 0;
+    }
+    // Hand the (drained) buffer back so its capacity is reused.
+    shard.partial_dirty = dirty;
+}
+
+/// Apply one shard's primaries and queue state broadcasts to their
+/// replica sets.
+fn apply_shard(
+    ctx: KernelCtx<'_>,
+    cache: &mut OwnerCache,
+    shard: &mut Shard,
+    out: &mut FxHashMap<AgentId, Vec<StateRecord>>,
+) {
+    let program = ctx.program;
+    for (&v, e) in shard.map.iter_mut() {
+        if !(e.is_meta || e.has_ppartial) {
+            continue;
+        }
+        if cache.primary(ctx.locator, v, || ctx.sketch.estimate(v)) != Some(ctx.my_id) {
+            continue;
+        }
+        let vctx = VertexCtx {
+            out_degree: e.g_out.max(0) as u64,
+            in_degree: e.g_in.max(0) as u64,
+            n_vertices: ctx.n_vertices,
+            step: ctx.step,
+            global: ctx.global,
+        };
+        let mut broadcast = false;
+        if ctx.step == 0 {
+            // Initialization (fresh) / activation (incremental).
+            if !e.has_state {
+                e.state = program.init(v, &vctx);
+                e.has_state = true;
+                e.active = if ctx.reuse {
+                    true // newly appeared vertex in an incremental run
+                } else {
+                    program.initially_active_ctx(v, &vctx)
+                };
+                broadcast = true;
+            } else if ctx.reuse {
+                e.active = e.dirty;
+                broadcast = e.dirty;
+            }
+            e.dirty = false;
+        } else {
+            let has_msgs = e.has_ppartial;
+            if has_msgs || program.applies_without_messages() {
+                let agg = has_msgs.then_some(e.ppartial);
+                let old = e.state;
+                let (new, changed) = program.apply(v, e.state, agg, &vctx);
+                e.state = new;
+                e.has_state = true;
+                e.active = changed;
+                broadcast = changed || new != old || program.scatter_all();
+            } else {
+                e.active = false;
+            }
+        }
+        e.has_ppartial = false;
+        e.ppartial = 0;
+        if broadcast {
+            let rec = StateRecord {
+                vertex: v,
+                state: e.state,
+                out_degree: e.g_out.max(0) as u64,
+                active: e.active,
+            };
+            for &replica in cache.replicas(ctx.locator, v, || ctx.sketch.estimate(v)) {
+                out.entry(replica).or_default().push(rec);
+            }
+        }
+    }
+}

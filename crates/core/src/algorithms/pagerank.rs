@@ -188,13 +188,18 @@ mod tests {
     #[test]
     fn scatter_divides_by_out_degree() {
         let pr = PageRank::new(0.85);
-        let share = pr.scatter_out(0, 0.6f64.to_bits(), &ctx(3, 5, 0.0)).unwrap();
+        let share = pr
+            .scatter_out(0, 0.6f64.to_bits(), &ctx(3, 5, 0.0))
+            .unwrap();
         assert!((f64::from_bits(share) - 0.2).abs() < 1e-15);
     }
 
     #[test]
     fn spec_conversion_keeps_parameters() {
-        let spec: ProgramSpec = PageRank::new(0.9).with_max_iters(7).with_tolerance(0.5).into();
+        let spec: ProgramSpec = PageRank::new(0.9)
+            .with_max_iters(7)
+            .with_tolerance(0.5)
+            .into();
         match spec {
             ProgramSpec::PageRank {
                 damping,

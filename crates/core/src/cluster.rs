@@ -28,8 +28,8 @@ use crate::streamer::Streamer;
 use elga_graph::types::EdgeChange;
 use elga_hash::AgentId;
 use elga_net::{
-    Addr, FaultPlan, FaultyTransport, Frame, InProcTransport, Mailbox, NetError,
-    ReliableTransport, Transport, TransportExt,
+    Addr, FaultPlan, FaultyTransport, Frame, InProcTransport, Mailbox, NetError, ReliableTransport,
+    Transport, TransportExt,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -93,6 +93,15 @@ impl ClusterBuilder {
     /// Results are bit-identical for any worker count.
     pub fn workers(mut self, n: usize) -> Self {
         self.config.workers = n;
+        self
+    }
+
+    /// Whether agents and streamers coalesce same-destination records
+    /// into large frames before sending (default true). Off keeps the
+    /// eager one-frame-per-batch path for ablation; results are
+    /// bit-identical either way.
+    pub fn coalescing(mut self, on: bool) -> Self {
+        self.config.coalescing = on;
         self
     }
 
@@ -233,7 +242,12 @@ impl Cluster {
 
     fn request(&self, frame: Frame) -> Result<Frame, NetError> {
         self.transport
-            .request_with_retry(&self.lead, frame, self.cfg.request_timeout, &self.cfg.send_policy)
+            .request_with_retry(
+                &self.lead,
+                frame,
+                self.cfg.request_timeout,
+                &self.cfg.send_policy,
+            )
             .map(|(rep, _)| rep)
     }
 
@@ -279,8 +293,8 @@ impl Cluster {
                 self.cfg.request_timeout,
             )
             .unwrap_or_else(|_| self.lead.clone());
-            let agent = Agent::join(self.transport.clone(), self.cfg.clone(), id, dir)
-                .expect("agent join");
+            let agent =
+                Agent::join(self.transport.clone(), self.cfg.clone(), id, dir).expect("agent join");
             self.agent_handles.insert(id, agent.spawn());
             ids.push(id);
         }
@@ -505,8 +519,7 @@ impl Cluster {
         }
         let total = handle.started.elapsed();
         let rep = self.request(Frame::signal(packet::RUN_STATUS))?;
-        let status =
-            msg::decode_run_status(&rep).ok_or(NetError::Protocol("bad run status"))?;
+        let status = msg::decode_run_status(&rep).ok_or(NetError::Protocol("bad run status"))?;
         Ok(RunStats {
             run_id: handle.run_id,
             steps: status.steps,
@@ -640,11 +653,7 @@ impl Cluster {
 
     /// Feed a metric observation to an autoscaling policy and apply
     /// its decision (§4.9). Returns the new agent count if scaled.
-    pub fn autoscale_once(
-        &mut self,
-        policy: &mut dyn Autoscaler,
-        metric: f64,
-    ) -> Option<usize> {
+    pub fn autoscale_once(&mut self, policy: &mut dyn Autoscaler, metric: f64) -> Option<usize> {
         let target = policy.observe(metric, Instant::now())?;
         let current = self.agent_count();
         use std::cmp::Ordering;

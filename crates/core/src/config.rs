@@ -60,6 +60,13 @@ pub struct SystemConfig {
     /// epoch. On by default; off exists so benchmarks can measure the
     /// uncached baseline through the identical code path.
     pub owner_cache: bool,
+    /// Whether agents and streamers coalesce same-destination records
+    /// into large frames (with credit-based backpressure) before they
+    /// hit the transport. On by default; off keeps the eager
+    /// one-frame-per-batch path so benchmarks can measure the ablation.
+    /// Results are bit-identical either way: coalescing changes frame
+    /// boundaries, never per-destination record order.
+    pub coalescing: bool,
 }
 
 impl Default for SystemConfig {
@@ -82,6 +89,7 @@ impl Default for SystemConfig {
             retain_change_log: true,
             workers: 1,
             owner_cache: true,
+            coalescing: true,
         }
     }
 }
@@ -143,6 +151,7 @@ mod tests {
     fn workers_effective_resolves_and_clamps() {
         let mut c = SystemConfig::default();
         assert!(c.owner_cache);
+        assert!(c.coalescing);
         assert_eq!(c.workers_effective(), 1);
         c.workers = 4;
         assert_eq!(c.workers_effective(), 4);

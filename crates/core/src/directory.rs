@@ -22,7 +22,10 @@
 
 use crate::config::SystemConfig;
 use crate::metrics::{AgentMetrics, ClusterMetrics};
-use crate::msg::{self, packet, Advance, AgentInfo, Counters, DirectoryView, Phase, ReadyReport, RunInfo, RunStatus};
+use crate::msg::{
+    self, packet, Advance, AgentInfo, Counters, DirectoryView, Phase, ReadyReport, RunInfo,
+    RunStatus,
+};
 use elga_hash::AgentId;
 use elga_net::{Addr, Frame, Mailbox, NetError, Publisher, Transport};
 use elga_sketch::CountMinSketch;
@@ -1041,9 +1044,7 @@ mod tests {
 
     fn test_lead() -> Lead {
         let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
-        let publisher = transport
-            .bind_publisher(&Addr::inproc("test-bus"))
-            .unwrap();
+        let publisher = transport.bind_publisher(&Addr::inproc("test-bus")).unwrap();
         Lead::new(&SystemConfig::default(), publisher, transport)
     }
 
@@ -1072,11 +1073,12 @@ mod tests {
         };
         lead.reports
             .insert(1, ready(1, 7, 2, Phase::Scatter, unsettled));
-        assert!(!lead.barrier_met(&members, 7, 2, Phase::Scatter), "missing member");
-        lead.reports.insert(
-            2,
-            ready(2, 7, 2, Phase::Scatter, Counters::default()),
+        assert!(
+            !lead.barrier_met(&members, 7, 2, Phase::Scatter),
+            "missing member"
         );
+        lead.reports
+            .insert(2, ready(2, 7, 2, Phase::Scatter, Counters::default()));
         assert!(
             !lead.barrier_met(&members, 7, 2, Phase::Scatter),
             "in-flight messages"
@@ -1179,10 +1181,14 @@ mod tests {
         });
         lead.apply_membership();
         let epoch = lead.view.epoch;
-        lead.reports
-            .insert(1, ready(1, 0, epoch as u32, Phase::Migrate, Counters::default()));
-        lead.reports
-            .insert(2, ready(2, 0, epoch as u32, Phase::Migrate, Counters::default()));
+        lead.reports.insert(
+            1,
+            ready(1, 0, epoch as u32, Phase::Migrate, Counters::default()),
+        );
+        lead.reports.insert(
+            2,
+            ready(2, 0, epoch as u32, Phase::Migrate, Counters::default()),
+        );
         lead.evaluate();
         assert_eq!(lead.migrate_epoch, None);
         let run_id = lead.start_run(RunInfo {
@@ -1201,16 +1207,29 @@ mod tests {
         assert_eq!(lead.member_ids(), vec![1]);
         assert_eq!(lead.agents_recovered, 1);
         assert!(lead.run.is_none(), "active run must abort");
-        assert_eq!(lead.ghost, Counters::default(), "ghosts rewind with the reset");
+        assert_eq!(
+            lead.ghost,
+            Counters::default(),
+            "ghosts rewind with the reset"
+        );
         assert_eq!(lead.migrate_epoch, Some(epoch + 1));
         let st = lead.status();
         assert_eq!(st.run_id, run_id);
-        assert!(!st.running && !st.done, "aborted run is neither running nor done");
+        assert!(
+            !st.running && !st.done,
+            "aborted run is neither running nor done"
+        );
         // The lone survivor reports the recover barrier with zeroed
         // counters and the system unwedges.
         lead.reports.insert(
             1,
-            ready(1, 0, (epoch + 1) as u32, Phase::Migrate, Counters::default()),
+            ready(
+                1,
+                0,
+                (epoch + 1) as u32,
+                Phase::Migrate,
+                Counters::default(),
+            ),
         );
         lead.evaluate();
         assert_eq!(lead.migrate_epoch, None);

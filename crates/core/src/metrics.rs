@@ -5,7 +5,181 @@
 
 use crate::msg::packet;
 use elga_hash::AgentId;
-use elga_net::{Frame, FrameReader};
+use elga_net::{CoalesceStats, Frame, FrameReader, NetStats};
+
+/// Frames/bytes sent and received for one packet type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PacketStat {
+    /// Frames sent.
+    pub frames_sent: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Frames received.
+    pub frames_recv: u64,
+    /// Bytes received.
+    pub bytes_recv: u64,
+}
+
+impl PacketStat {
+    fn absorb(&mut self, o: &PacketStat) {
+        self.frames_sent += o.frames_sent;
+        self.bytes_sent += o.bytes_sent;
+        self.frames_recv += o.frames_recv;
+        self.bytes_recv += o.bytes_recv;
+    }
+
+    fn from_net(net: &NetStats, ty: u8) -> PacketStat {
+        let (frames_sent, bytes_sent) = net.sent(ty);
+        let (frames_recv, bytes_recv) = net.received(ty);
+        PacketStat {
+            frames_sent,
+            bytes_sent,
+            frames_recv,
+            bytes_recv,
+        }
+    }
+
+    fn encode_into(&self, b: elga_net::frame::FrameBuilder) -> elga_net::frame::FrameBuilder {
+        b.u64(self.frames_sent)
+            .u64(self.bytes_sent)
+            .u64(self.frames_recv)
+            .u64(self.bytes_recv)
+    }
+
+    fn decode(r: &mut FrameReader<'_>) -> Option<PacketStat> {
+        Some(PacketStat {
+            frames_sent: r.u64()?,
+            bytes_sent: r.u64()?,
+            frames_recv: r.u64()?,
+            bytes_recv: r.u64()?,
+        })
+    }
+}
+
+/// Comms-plane observability: data-plane traffic broken down by packet
+/// type, plus the coalescer's flush-reason counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommsMetrics {
+    /// Scatter vertex messages (VMSG).
+    pub vmsg: PacketStat,
+    /// Partial aggregates (PARTIAL).
+    pub partial: PacketStat,
+    /// State broadcasts (STATE).
+    pub state: PacketStat,
+    /// Edge changes (EDGE_CHANGES).
+    pub edge_changes: PacketStat,
+    /// Degree deltas (DEG_DELTA).
+    pub deg_delta: PacketStat,
+    /// Migration traffic (MIG_EDGES + MIG_META combined).
+    pub migration: PacketStat,
+    /// Coalescer flushes triggered by the byte threshold.
+    pub size_flushes: u64,
+    /// Coalescer flushes triggered by the record-count threshold.
+    pub count_flushes: u64,
+    /// Explicit phase-end flushes.
+    pub explicit_flushes: u64,
+    /// Flushes forced by a packet-type or header switch.
+    pub switch_flushes: u64,
+    /// Times a sender waited on in-flight credit (backpressure).
+    pub backpressure_waits: u64,
+}
+
+impl CommsMetrics {
+    /// Snapshot the data-plane packet types out of an agent-local
+    /// [`NetStats`] and merge in its aggregated coalescer counters.
+    pub fn snapshot(net: &NetStats, coalesce: &CoalesceStats) -> CommsMetrics {
+        let mut migration = PacketStat::from_net(net, packet::MIG_EDGES);
+        migration.absorb(&PacketStat::from_net(net, packet::MIG_META));
+        CommsMetrics {
+            vmsg: PacketStat::from_net(net, packet::VMSG),
+            partial: PacketStat::from_net(net, packet::PARTIAL),
+            state: PacketStat::from_net(net, packet::STATE),
+            edge_changes: PacketStat::from_net(net, packet::EDGE_CHANGES),
+            deg_delta: PacketStat::from_net(net, packet::DEG_DELTA),
+            migration,
+            size_flushes: coalesce.size_flushes,
+            count_flushes: coalesce.count_flushes,
+            explicit_flushes: coalesce.explicit_flushes,
+            switch_flushes: coalesce.switch_flushes,
+            backpressure_waits: coalesce.backpressure_waits,
+        }
+    }
+
+    /// Element-wise sum (cluster aggregation).
+    pub fn absorb(&mut self, o: &CommsMetrics) {
+        self.vmsg.absorb(&o.vmsg);
+        self.partial.absorb(&o.partial);
+        self.state.absorb(&o.state);
+        self.edge_changes.absorb(&o.edge_changes);
+        self.deg_delta.absorb(&o.deg_delta);
+        self.migration.absorb(&o.migration);
+        self.size_flushes += o.size_flushes;
+        self.count_flushes += o.count_flushes;
+        self.explicit_flushes += o.explicit_flushes;
+        self.switch_flushes += o.switch_flushes;
+        self.backpressure_waits += o.backpressure_waits;
+    }
+
+    /// Total data-plane frames sent across all packet types.
+    pub fn frames_sent(&self) -> u64 {
+        [
+            &self.vmsg,
+            &self.partial,
+            &self.state,
+            &self.edge_changes,
+            &self.deg_delta,
+            &self.migration,
+        ]
+        .iter()
+        .map(|p| p.frames_sent)
+        .sum()
+    }
+
+    /// Total data-plane bytes sent across all packet types.
+    pub fn bytes_sent(&self) -> u64 {
+        [
+            &self.vmsg,
+            &self.partial,
+            &self.state,
+            &self.edge_changes,
+            &self.deg_delta,
+            &self.migration,
+        ]
+        .iter()
+        .map(|p| p.bytes_sent)
+        .sum()
+    }
+
+    fn encode_into(&self, b: elga_net::frame::FrameBuilder) -> elga_net::frame::FrameBuilder {
+        let b = self.vmsg.encode_into(b);
+        let b = self.partial.encode_into(b);
+        let b = self.state.encode_into(b);
+        let b = self.edge_changes.encode_into(b);
+        let b = self.deg_delta.encode_into(b);
+        let b = self.migration.encode_into(b);
+        b.u64(self.size_flushes)
+            .u64(self.count_flushes)
+            .u64(self.explicit_flushes)
+            .u64(self.switch_flushes)
+            .u64(self.backpressure_waits)
+    }
+
+    fn decode(r: &mut FrameReader<'_>) -> Option<CommsMetrics> {
+        Some(CommsMetrics {
+            vmsg: PacketStat::decode(r)?,
+            partial: PacketStat::decode(r)?,
+            state: PacketStat::decode(r)?,
+            edge_changes: PacketStat::decode(r)?,
+            deg_delta: PacketStat::decode(r)?,
+            migration: PacketStat::decode(r)?,
+            size_flushes: r.u64()?,
+            count_flushes: r.u64()?,
+            explicit_flushes: r.u64()?,
+            switch_flushes: r.u64()?,
+            backpressure_waits: r.u64()?,
+        })
+    }
+}
 
 /// Cumulative per-agent activity counters, pushed to the agent's
 /// directory.
@@ -37,12 +211,14 @@ pub struct AgentMetrics {
     pub combine_nanos: u64,
     /// Cumulative wall time in the apply kernel.
     pub apply_nanos: u64,
+    /// Comms-plane traffic and coalescer flush counters.
+    pub comms: CommsMetrics,
 }
 
 impl AgentMetrics {
     /// Encode as a METRICS frame.
     pub fn encode(&self) -> Frame {
-        Frame::builder(packet::METRICS)
+        let b = Frame::builder(packet::METRICS)
             .u64(self.agent)
             .u64(self.queries)
             .u64(self.changes)
@@ -54,12 +230,15 @@ impl AgentMetrics {
             .u64(self.owner_cache_misses)
             .u64(self.scatter_nanos)
             .u64(self.combine_nanos)
-            .u64(self.apply_nanos)
-            .finish()
+            .u64(self.apply_nanos);
+        self.comms.encode_into(b).finish()
     }
 
     /// Decode a METRICS frame.
     pub fn decode(frame: &Frame) -> Option<AgentMetrics> {
+        if frame.packet_type() != packet::METRICS {
+            return None;
+        }
         let mut r = frame.reader();
         Some(AgentMetrics {
             agent: r.u64()?,
@@ -74,6 +253,7 @@ impl AgentMetrics {
             scatter_nanos: r.u64()?,
             combine_nanos: r.u64()?,
             apply_nanos: r.u64()?,
+            comms: CommsMetrics::decode(&mut r)?,
         })
     }
 }
@@ -110,6 +290,8 @@ pub struct ClusterMetrics {
     pub combine_nanos: u64,
     /// Total apply-kernel wall time across agents.
     pub apply_nanos: u64,
+    /// Summed comms-plane traffic and coalescer counters.
+    pub comms: CommsMetrics,
 }
 
 impl ClusterMetrics {
@@ -126,6 +308,7 @@ impl ClusterMetrics {
         self.scatter_nanos += m.scatter_nanos;
         self.combine_nanos += m.combine_nanos;
         self.apply_nanos += m.apply_nanos;
+        self.comms.absorb(&m.comms);
     }
 
     /// Fraction of owner lookups served from cache, in `[0, 1]`; 0 when
@@ -141,7 +324,7 @@ impl ClusterMetrics {
 
     /// Encode as a GET_METRICS reply.
     pub fn encode(&self) -> Frame {
-        Frame::builder(packet::GET_METRICS)
+        let b = Frame::builder(packet::GET_METRICS)
             .u64(self.agents)
             .u64(self.queries)
             .u64(self.changes)
@@ -155,12 +338,15 @@ impl ClusterMetrics {
             .u64(self.owner_cache_misses)
             .u64(self.scatter_nanos)
             .u64(self.combine_nanos)
-            .u64(self.apply_nanos)
-            .finish()
+            .u64(self.apply_nanos);
+        self.comms.encode_into(b).finish()
     }
 
     /// Decode a GET_METRICS reply.
     pub fn decode(frame: &Frame) -> Option<ClusterMetrics> {
+        if frame.packet_type() != packet::GET_METRICS {
+            return None;
+        }
         let mut r: FrameReader<'_> = frame.reader();
         Some(ClusterMetrics {
             agents: r.u64()?,
@@ -177,6 +363,7 @@ impl ClusterMetrics {
             scatter_nanos: r.u64()?,
             combine_nanos: r.u64()?,
             apply_nanos: r.u64()?,
+            comms: CommsMetrics::decode(&mut r)?,
         })
     }
 }
@@ -200,6 +387,17 @@ mod tests {
             scatter_nanos: 90,
             combine_nanos: 100,
             apply_nanos: 110,
+            comms: CommsMetrics {
+                vmsg: PacketStat {
+                    frames_sent: 1,
+                    bytes_sent: 2,
+                    frames_recv: 3,
+                    bytes_recv: 4,
+                },
+                size_flushes: 5,
+                backpressure_waits: 6,
+                ..Default::default()
+            },
         };
         assert_eq!(AgentMetrics::decode(&m.encode()).unwrap(), m);
     }
@@ -223,6 +421,10 @@ mod tests {
             scatter_nanos: 7,
             combine_nanos: 8,
             apply_nanos: 9,
+            comms: CommsMetrics {
+                count_flushes: 4,
+                ..Default::default()
+            },
         });
         c.absorb(&AgentMetrics {
             agent: 2,
@@ -237,6 +439,10 @@ mod tests {
             scatter_nanos: 1,
             combine_nanos: 2,
             apply_nanos: 3,
+            comms: CommsMetrics {
+                count_flushes: 5,
+                ..Default::default()
+            },
         });
         c.messages_dropped = 9;
         c.agents_recovered = 1;
@@ -247,7 +453,11 @@ mod tests {
         assert_eq!(c.owner_cache_hits, 60);
         assert_eq!(c.owner_cache_misses, 20);
         assert!((c.owner_cache_hit_rate() - 0.75).abs() < 1e-12);
-        assert_eq!((c.scatter_nanos, c.combine_nanos, c.apply_nanos), (8, 10, 12));
+        assert_eq!(
+            (c.scatter_nanos, c.combine_nanos, c.apply_nanos),
+            (8, 10, 12)
+        );
+        assert_eq!(c.comms.count_flushes, 9);
         assert_eq!(ClusterMetrics::decode(&c.encode()).unwrap(), c);
     }
 
@@ -255,5 +465,39 @@ mod tests {
     fn decode_rejects_short_frames() {
         assert!(AgentMetrics::decode(&Frame::signal(packet::METRICS)).is_none());
         assert!(ClusterMetrics::decode(&Frame::signal(packet::GET_METRICS)).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_wrong_packet_type() {
+        let m = AgentMetrics::default();
+        let c = ClusterMetrics::default();
+        assert!(ClusterMetrics::decode(&m.encode()).is_none());
+        assert!(AgentMetrics::decode(&c.encode()).is_none());
+    }
+
+    #[test]
+    fn comms_snapshot_reads_net_and_coalesce() {
+        let net = NetStats::new();
+        net.record_sent(packet::VMSG, 100);
+        net.record_sent(packet::VMSG, 50);
+        net.record_recv(packet::STATE, 25);
+        net.record_sent(packet::MIG_EDGES, 10);
+        net.record_sent(packet::MIG_META, 20);
+        let coalesce = CoalesceStats {
+            size_flushes: 1,
+            explicit_flushes: 2,
+            ..Default::default()
+        };
+        let comms = CommsMetrics::snapshot(&net, &coalesce);
+        assert_eq!(comms.vmsg.frames_sent, 2);
+        assert_eq!(comms.vmsg.bytes_sent, 150);
+        assert_eq!(comms.state.frames_recv, 1);
+        assert_eq!(comms.state.bytes_recv, 25);
+        assert_eq!(comms.migration.frames_sent, 2);
+        assert_eq!(comms.migration.bytes_sent, 30);
+        assert_eq!(comms.size_flushes, 1);
+        assert_eq!(comms.explicit_flushes, 2);
+        assert_eq!(comms.frames_sent(), 4);
+        assert_eq!(comms.bytes_sent(), 180);
     }
 }

@@ -334,6 +334,13 @@ impl DirectoryView {
     }
 }
 
+/// Reader over `frame`'s payload, or `None` when the packet type is
+/// not `ty` — every decoder starts here so a frame routed to the wrong
+/// decoder surfaces as a parse failure, never a misread.
+fn expect(frame: &Frame, ty: u8) -> Option<FrameReader<'_>> {
+    (frame.packet_type() == ty).then(|| frame.reader())
+}
+
 fn hash_to_u8(h: HashKind) -> u8 {
     match h {
         HashKind::Wang => 0,
@@ -385,7 +392,7 @@ pub fn encode_edge_changes(side: Side, hop: u8, changes: &[EdgeChange]) -> Frame
 
 /// Decode an EDGE_CHANGES frame into `(side, hop, changes)`.
 pub fn decode_edge_changes(frame: &Frame) -> Option<(Side, u8, Vec<EdgeChange>)> {
-    let mut r = frame.reader();
+    let mut r = expect(frame, packet::EDGE_CHANGES)?;
     let side = match r.u8()? {
         0 => Side::Out,
         1 => Side::In,
@@ -429,7 +436,7 @@ pub type DecodedValues = (u64, u32, Vec<(VertexId, u64)>);
 
 /// Decode a VMSG frame.
 pub fn decode_vmsgs(frame: &Frame) -> Option<DecodedValues> {
-    let mut r = frame.reader();
+    let mut r = expect(frame, packet::VMSG)?;
     let run = r.u64()?;
     let step = r.u32()?;
     let n = r.u32()? as usize;
@@ -455,7 +462,7 @@ pub fn encode_partials(run: u64, step: u32, parts: &[(VertexId, u64)]) -> Frame 
 
 /// Decode a PARTIAL frame (same payload as VMSG).
 pub fn decode_partials(frame: &Frame) -> Option<DecodedValues> {
-    let mut r = frame.reader();
+    let mut r = expect(frame, packet::PARTIAL)?;
     let run = r.u64()?;
     let step = r.u32()?;
     let n = r.u32()? as usize;
@@ -497,7 +504,7 @@ pub fn encode_states(run: u64, step: u32, recs: &[StateRecord]) -> Frame {
 
 /// Decode a STATE frame.
 pub fn decode_states(frame: &Frame) -> Option<(u64, u32, Vec<StateRecord>)> {
-    let mut r = frame.reader();
+    let mut r = expect(frame, packet::STATE)?;
     let run = r.u64()?;
     let step = r.u32()?;
     let n = r.u32()? as usize;
@@ -558,7 +565,7 @@ pub fn encode_ready(r: &ReadyReport) -> Frame {
 
 /// Decode a READY frame.
 pub fn decode_ready(frame: &Frame) -> Option<ReadyReport> {
-    let mut r = frame.reader();
+    let mut r = expect(frame, packet::READY)?;
     Some(ReadyReport {
         agent: r.u64()?,
         run: r.u64()?,
@@ -603,7 +610,7 @@ pub fn encode_advance(a: &Advance) -> Frame {
 
 /// Decode an ADVANCE frame.
 pub fn decode_advance(frame: &Frame) -> Option<Advance> {
-    let mut r = frame.reader();
+    let mut r = expect(frame, packet::ADVANCE)?;
     Some(Advance {
         run: r.u64()?,
         step: r.u32()?,
@@ -631,7 +638,7 @@ pub fn encode_mig_meta(recs: &[MetaRecord]) -> Frame {
 
 /// Decode a MIG_META frame.
 pub fn decode_mig_meta(frame: &Frame) -> Option<Vec<MetaRecord>> {
-    let mut r = frame.reader();
+    let mut r = expect(frame, packet::MIG_META)?;
     let n = r.u32()? as usize;
     let mut recs = Vec::with_capacity(n.min(r.remaining() / 27));
     for _ in 0..n {
@@ -677,13 +684,145 @@ pub fn encode_deg_deltas(deltas: &[(VertexId, i64, i64)]) -> Frame {
 
 /// Decode a DEG_DELTA frame.
 pub fn decode_deg_deltas(frame: &Frame) -> Option<Vec<(VertexId, i64, i64)>> {
-    let mut r = frame.reader();
+    let mut r = expect(frame, packet::DEG_DELTA)?;
     let n = r.u32()? as usize;
     let mut out = Vec::with_capacity(n.min(r.remaining() / 24));
     for _ in 0..n {
         out.push((r.u64()?, r.u64()? as i64, r.u64()? as i64));
     }
     Some(out)
+}
+
+// ---------------------------------------------------------------------
+// Append-style encoders
+//
+// Each `append_*` writes ONE record into the destination's open
+// coalescing frame ([`elga_net::CoalescingOutbox`]) instead of building
+// a whole batch frame up front. The byte layout — packet type, header,
+// `u32` record count, records — is identical to the batch `encode_*`
+// counterpart above, so the `decode_*` functions parse coalesced and
+// eagerly built frames alike and sync-mode results stay bit-identical.
+
+/// Coalescing key for `(run, step)` headers: distinct header values
+/// must yield distinct keys so records never land under the wrong
+/// header. Run ids are small monotone counters, so packing them beside
+/// the step is collision-free in practice.
+fn run_step_key(run: u64, step: u32) -> u64 {
+    (run << 32) | u64::from(step)
+}
+
+/// Append one vertex message (`target`, `value`) to `out`'s open VMSG
+/// frame for run/step. Layout matches [`encode_vmsgs`].
+pub fn append_vmsg(
+    out: &mut elga_net::CoalescingOutbox,
+    run: u64,
+    step: u32,
+    target: VertexId,
+    value: u64,
+) {
+    out.append(
+        packet::VMSG,
+        run_step_key(run, step),
+        |b| {
+            b.extend_from_slice(&run.to_le_bytes());
+            b.extend_from_slice(&step.to_le_bytes());
+        },
+        |b| {
+            b.extend_from_slice(&target.to_le_bytes());
+            b.extend_from_slice(&value.to_le_bytes());
+        },
+    );
+}
+
+/// Append one partial aggregate to `out`'s open PARTIAL frame. Layout
+/// matches [`encode_partials`].
+pub fn append_partial(
+    out: &mut elga_net::CoalescingOutbox,
+    run: u64,
+    step: u32,
+    vertex: VertexId,
+    agg: u64,
+) {
+    out.append(
+        packet::PARTIAL,
+        run_step_key(run, step),
+        |b| {
+            b.extend_from_slice(&run.to_le_bytes());
+            b.extend_from_slice(&step.to_le_bytes());
+        },
+        |b| {
+            b.extend_from_slice(&vertex.to_le_bytes());
+            b.extend_from_slice(&agg.to_le_bytes());
+        },
+    );
+}
+
+/// Append one state record to `out`'s open STATE frame. Layout matches
+/// [`encode_states`].
+pub fn append_state(out: &mut elga_net::CoalescingOutbox, run: u64, step: u32, rec: &StateRecord) {
+    let rec = *rec;
+    out.append(
+        packet::STATE,
+        run_step_key(run, step),
+        |b| {
+            b.extend_from_slice(&run.to_le_bytes());
+            b.extend_from_slice(&step.to_le_bytes());
+        },
+        move |b| {
+            b.extend_from_slice(&rec.vertex.to_le_bytes());
+            b.extend_from_slice(&rec.state.to_le_bytes());
+            b.extend_from_slice(&rec.out_degree.to_le_bytes());
+            b.extend_from_slice(&[rec.active as u8]);
+        },
+    );
+}
+
+/// Append one edge change to `out`'s open EDGE_CHANGES frame for
+/// `(side, hop)`. Layout matches [`encode_edge_changes`].
+pub fn append_edge_change(
+    out: &mut elga_net::CoalescingOutbox,
+    side: Side,
+    hop: u8,
+    change: &EdgeChange,
+) {
+    let side_byte: u8 = match side {
+        Side::Out => 0,
+        Side::In => 1,
+    };
+    let change = *change;
+    out.append(
+        packet::EDGE_CHANGES,
+        (u64::from(side_byte) << 8) | u64::from(hop),
+        |b| b.extend_from_slice(&[side_byte, hop]),
+        move |b| {
+            b.extend_from_slice(&[match change.action {
+                Action::Insert => 0,
+                Action::Delete => 1,
+            }]);
+            b.extend_from_slice(&change.edge.src.to_le_bytes());
+            b.extend_from_slice(&change.edge.dst.to_le_bytes());
+        },
+    );
+}
+
+/// Append one degree delta to `out`'s open DEG_DELTA frame. Layout
+/// matches [`encode_deg_deltas`].
+pub fn append_deg_delta(
+    out: &mut elga_net::CoalescingOutbox,
+    vertex: VertexId,
+    dout: i64,
+    din: i64,
+) {
+    out.append(
+        packet::DEG_DELTA,
+        0,
+        |_| {},
+        |b| {
+            b.extend_from_slice(&vertex.to_le_bytes());
+            b.extend_from_slice(&(dout as u64).to_le_bytes());
+            b.extend_from_slice(&(din as u64).to_le_bytes());
+        },
+    );
 }
 
 /// Description of an in-progress run, handed to late-joining agents.
@@ -723,7 +862,7 @@ pub fn encode_join_reply(view: &DirectoryView, run: Option<&RunInfo>) -> Frame {
 
 /// Decode a JOIN reply.
 pub fn decode_join_reply(frame: &Frame) -> Option<(DirectoryView, Option<RunInfo>)> {
-    let mut r = frame.reader();
+    let mut r = expect(frame, packet::JOIN_REP)?;
     let view_bytes = r.bytes()?.to_vec();
     let view = DirectoryView::decode(&Frame::from_bytes(view_bytes.into()))?;
     let run = match r.u8()? {
@@ -754,7 +893,7 @@ pub fn encode_start(run: &RunInfo) -> Frame {
 
 /// Decode a START frame.
 pub fn decode_start(frame: &Frame) -> Option<RunInfo> {
-    let mut r = frame.reader();
+    let mut r = expect(frame, packet::START)?;
     Some(RunInfo {
         run_id: r.u64()?,
         tag: r.u8()?,
@@ -802,7 +941,7 @@ pub fn encode_run_status(s: &RunStatus) -> Frame {
 
 /// Decode a RUN_STATUS reply.
 pub fn decode_run_status(frame: &Frame) -> Option<RunStatus> {
-    let mut r = frame.reader();
+    let mut r = expect(frame, packet::RUN_STATUS_REP)?;
     let run_id = r.u64()?;
     let running = r.u8()? != 0;
     let done = r.u8()? != 0;
@@ -836,7 +975,7 @@ pub fn encode_reset_labels(labels: &[u64]) -> Frame {
 
 /// Decode a RESET_LABELS frame.
 pub fn decode_reset_labels(frame: &Frame) -> Option<Vec<u64>> {
-    let mut r = frame.reader();
+    let mut r = expect(frame, packet::RESET_LABELS)?;
     let n = r.u32()? as usize;
     let mut labels = Vec::with_capacity(n.min(r.remaining() / 8));
     for _ in 0..n {
@@ -864,7 +1003,7 @@ pub fn encode_sketch_delta(sketch: &CountMinSketch) -> Frame {
 
 /// Decode a SKETCH_DELTA frame.
 pub fn decode_sketch_delta(frame: &Frame) -> Option<CountMinSketch> {
-    let mut r = frame.reader();
+    let mut r = expect(frame, packet::SKETCH_DELTA)?;
     let width = r.u32()? as usize;
     let depth = r.u32()? as usize;
     let items = r.u64()?;
@@ -887,7 +1026,7 @@ pub fn encode_heartbeat(agent: AgentId) -> Frame {
 
 /// Decode a HEARTBEAT frame.
 pub fn decode_heartbeat(frame: &Frame) -> Option<AgentId> {
-    frame.reader().u64()
+    expect(frame, packet::HEARTBEAT)?.u64()
 }
 
 /// Failure-recovery broadcast published by the lead directory after it
@@ -1097,7 +1236,10 @@ mod tests {
     #[test]
     fn deg_delta_roundtrip_with_negatives() {
         let deltas = vec![(5u64, -2i64, 3i64), (9, 1, -1)];
-        assert_eq!(decode_deg_deltas(&encode_deg_deltas(&deltas)).unwrap(), deltas);
+        assert_eq!(
+            decode_deg_deltas(&encode_deg_deltas(&deltas)).unwrap(),
+            deltas
+        );
     }
 
     #[test]
@@ -1137,7 +1279,10 @@ mod tests {
             step_nanos: vec![100, 200, 300, 400],
             n_vertices: 55,
         };
-        assert_eq!(decode_run_status(&encode_run_status(&status)).unwrap(), status);
+        assert_eq!(
+            decode_run_status(&encode_run_status(&status)).unwrap(),
+            status
+        );
     }
 
     #[test]
@@ -1185,5 +1330,130 @@ mod tests {
         assert!(decode_ready(&f).is_none());
         let f = Frame::builder(packet::VMSG).u64(1).u32(0).u32(5).finish();
         assert!(decode_vmsgs(&f).is_none());
+    }
+
+    #[test]
+    fn wrong_packet_type_decodes_to_none() {
+        // A VMSG payload under the PARTIAL packet type (and vice versa)
+        // must be rejected even though the layouts agree.
+        let msgs = vec![(1u64, 2u64)];
+        assert!(decode_partials(&encode_vmsgs(0, 0, &msgs)).is_none());
+        assert!(decode_vmsgs(&encode_partials(0, 0, &msgs)).is_none());
+        let junk = Frame::signal(packet::OK);
+        assert!(decode_edge_changes(&junk).is_none());
+        assert!(decode_states(&junk).is_none());
+        assert!(decode_ready(&junk).is_none());
+        assert!(decode_advance(&junk).is_none());
+        assert!(decode_mig_meta(&junk).is_none());
+        assert!(decode_deg_deltas(&junk).is_none());
+        assert!(decode_join_reply(&junk).is_none());
+        assert!(decode_start(&junk).is_none());
+        assert!(decode_run_status(&junk).is_none());
+        assert!(decode_reset_labels(&junk).is_none());
+        assert!(decode_sketch_delta(&junk).is_none());
+        assert!(decode_heartbeat(&junk).is_none());
+    }
+
+    /// Run `f` against a fresh coalescing outbox and return the single
+    /// flushed frame.
+    fn coalesced(f: impl FnOnce(&mut elga_net::CoalescingOutbox)) -> Frame {
+        use elga_net::{CoalesceConfig, CoalescingOutbox, InProcTransport, Transport};
+        let t = InProcTransport::new();
+        let addr = Addr::inproc("msg-append-eq");
+        let mb = t.bind(&addr).unwrap();
+        let mut c = CoalescingOutbox::new(t.sender(&addr).unwrap(), CoalesceConfig::default());
+        f(&mut c);
+        c.flush();
+        mb.recv().unwrap().frame
+    }
+
+    #[test]
+    fn append_vmsg_matches_batch_encoder() {
+        let msgs = vec![(10u64, 0.5f64.to_bits()), (11, 7)];
+        let f = coalesced(|c| {
+            for &(t, v) in &msgs {
+                append_vmsg(c, 3, 4, t, v);
+            }
+        });
+        assert_eq!(f.as_bytes(), encode_vmsgs(3, 4, &msgs).as_bytes());
+    }
+
+    #[test]
+    fn append_partial_matches_batch_encoder() {
+        let parts = vec![(8u64, 21u64), (9, 22)];
+        let f = coalesced(|c| {
+            for &(t, v) in &parts {
+                append_partial(c, 5, 6, t, v);
+            }
+        });
+        assert_eq!(f.as_bytes(), encode_partials(5, 6, &parts).as_bytes());
+    }
+
+    #[test]
+    fn append_state_matches_batch_encoder() {
+        let recs = vec![
+            StateRecord {
+                vertex: 8,
+                state: 0.25f64.to_bits(),
+                out_degree: 12,
+                active: true,
+            },
+            StateRecord {
+                vertex: 9,
+                state: 1,
+                out_degree: 0,
+                active: false,
+            },
+        ];
+        let f = coalesced(|c| {
+            for r in &recs {
+                append_state(c, 1, 2, r);
+            }
+        });
+        assert_eq!(f.as_bytes(), encode_states(1, 2, &recs).as_bytes());
+    }
+
+    #[test]
+    fn append_edge_change_matches_batch_encoder() {
+        let changes = vec![EdgeChange::insert(1, 2), EdgeChange::delete(3, 4)];
+        let f = coalesced(|c| {
+            for ch in &changes {
+                append_edge_change(c, Side::In, 2, ch);
+            }
+        });
+        assert_eq!(
+            f.as_bytes(),
+            encode_edge_changes(Side::In, 2, &changes).as_bytes()
+        );
+    }
+
+    #[test]
+    fn append_deg_delta_matches_batch_encoder() {
+        let deltas = vec![(5u64, -2i64, 3i64), (9, 1, -1)];
+        let f = coalesced(|c| {
+            for &(v, dout, din) in &deltas {
+                append_deg_delta(c, v, dout, din);
+            }
+        });
+        assert_eq!(f.as_bytes(), encode_deg_deltas(&deltas).as_bytes());
+    }
+
+    #[test]
+    fn append_header_switch_preserves_record_order() {
+        // Interleaving steps forces switch flushes; decoded record
+        // order must equal append order within each frame.
+        use elga_net::{CoalesceConfig, CoalescingOutbox, InProcTransport, Transport};
+        let t = InProcTransport::new();
+        let addr = Addr::inproc("msg-append-switch");
+        let mb = t.bind(&addr).unwrap();
+        let mut c = CoalescingOutbox::new(t.sender(&addr).unwrap(), CoalesceConfig::default());
+        append_vmsg(&mut c, 1, 0, 100, 1);
+        append_vmsg(&mut c, 1, 0, 101, 2);
+        append_vmsg(&mut c, 1, 1, 102, 3);
+        c.flush();
+        let (_, s0, m0) = decode_vmsgs(&mb.recv().unwrap().frame).unwrap();
+        assert_eq!((s0, m0), (0, vec![(100, 1), (101, 2)]));
+        let (_, s1, m1) = decode_vmsgs(&mb.recv().unwrap().frame).unwrap();
+        assert_eq!((s1, m1), (1, vec![(102, 3)]));
     }
 }

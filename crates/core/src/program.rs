@@ -274,7 +274,11 @@ impl ProgramSpec {
                 tolerance,
             } => (
                 0,
-                [damping.to_bits(), u64::from(*max_iters), tolerance.to_bits()],
+                [
+                    damping.to_bits(),
+                    u64::from(*max_iters),
+                    tolerance.to_bits(),
+                ],
             ),
             ProgramSpec::Wcc => (1, [0, 0, 0]),
             ProgramSpec::Bfs { source } => (2, [*source, 0, 0]),

@@ -12,11 +12,13 @@ use crate::config::SystemConfig;
 use crate::msg::{self, packet, DirectoryView, Side};
 use elga_graph::types::EdgeChange;
 use elga_hash::{AgentId, EdgeLocator, FxHashMap, OwnerCache};
-use elga_net::{Addr, Frame, NetError, Outbox, Transport, TransportExt};
+use elga_net::{
+    Addr, CoalesceConfig, CoalesceStats, CoalescingOutbox, Frame, NetError, Transport, TransportExt,
+};
 use elga_sketch::DegreeEstimator;
 use std::sync::Arc;
 
-/// Records per EDGE_CHANGES frame.
+/// Records per EDGE_CHANGES frame on the eager (non-coalescing) path.
 const BATCH: usize = 4096;
 
 /// A streaming ingest client.
@@ -26,7 +28,12 @@ pub struct Streamer {
     directory: Addr,
     view: DirectoryView,
     locator: EdgeLocator,
-    outboxes: FxHashMap<AgentId, Outbox>,
+    /// Per-agent coalescing outboxes: change records accumulate into
+    /// large frames (flushed at the end of every routed batch) instead
+    /// of one frame per destination chunk.
+    outboxes: FxHashMap<AgentId, CoalescingOutbox>,
+    /// Counters of outboxes retired by view changes or dead peers.
+    coalesce_retired: CoalesceStats,
     /// Every ingested change, retained (when configured) so edges
     /// lost with a dead agent can be replayed during recovery.
     log: Vec<EdgeChange>,
@@ -61,6 +68,7 @@ impl Streamer {
             view,
             locator,
             outboxes: FxHashMap::default(),
+            coalesce_retired: CoalesceStats::default(),
             log: Vec::new(),
             cache,
         })
@@ -87,21 +95,34 @@ impl Streamer {
         if view.epoch >= self.view.epoch {
             self.view = view;
             self.locator = self.view.locator();
-            self.outboxes.clear();
+            // Outboxes are always flushed by the end of route(), so
+            // retiring them here cannot strand records.
+            for (_, out) in self.outboxes.drain() {
+                self.coalesce_retired.absorb(out.stats());
+            }
         }
     }
 
-    fn outbox(&mut self, agent: AgentId) -> Option<&Outbox> {
+    fn coalesce_config(&self) -> CoalesceConfig {
+        if self.cfg.coalescing {
+            CoalesceConfig::default()
+        } else {
+            CoalesceConfig::disabled()
+        }
+    }
+
+    fn outbox(&mut self, agent: AgentId) -> Option<&mut CoalescingOutbox> {
         if !self.outboxes.contains_key(&agent) {
             let addr = self.view.addr_of(agent)?.clone();
             match self.transport.sender(&addr) {
                 Ok(out) => {
-                    self.outboxes.insert(agent, out);
+                    let co = CoalescingOutbox::new(out, self.coalesce_config());
+                    self.outboxes.insert(agent, co);
                 }
                 Err(_) => return None,
             }
         }
-        self.outboxes.get(&agent)
+        self.outboxes.get_mut(&agent)
     }
 
     /// Send one batch of changes: update the global sketch, adopt the
@@ -115,8 +136,7 @@ impl Streamer {
         // 1. Degree counting: insertions grow the sketch (deletions
         //    leave it in place — count-min never decrements, keeping
         //    the estimate an upper bound; §2.4).
-        let mut delta =
-            DegreeEstimator::new(self.view.sketch.width(), self.view.sketch.depth());
+        let mut delta = DegreeEstimator::new(self.view.sketch.width(), self.view.sketch.depth());
         for c in changes {
             if c.is_insert() {
                 delta.record_edge(c.edge.src, c.edge.dst);
@@ -148,6 +168,16 @@ impl Streamer {
     /// streamer's ingest routing.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
+    }
+
+    /// Lifetime coalescer counters (flush reasons, frames, records,
+    /// bytes) summed over all live and retired outboxes.
+    pub fn coalesce_stats(&self) -> CoalesceStats {
+        let mut total = self.coalesce_retired;
+        for out in self.outboxes.values() {
+            total.absorb(out.stats());
+        }
+        total
     }
 
     /// Re-route the entire retained change log after a recovery reset.
@@ -213,36 +243,100 @@ impl Streamer {
             }
         }
         let mut pushed = 0;
+        let coalescing = self.cfg.coalescing;
         for (side, batches) in [(Side::Out, out_batches), (Side::In, in_batches)] {
             for (agent, recs) in batches {
-                for chunk in recs.chunks(BATCH) {
-                    pushed += chunk.len();
-                    self.push_to(agent, msg::encode_edge_changes(side, 0, chunk));
+                pushed += recs.len();
+                if coalescing {
+                    self.append_to(agent, side, &recs);
+                } else {
+                    for chunk in recs.chunks(BATCH) {
+                        self.push_to(agent, msg::encode_edge_changes(side, 0, chunk));
+                    }
                 }
             }
         }
+        // A routed batch must be on the wire when send_batch returns:
+        // callers quiesce against the agents right after, and records
+        // parked in open frames would be invisible to them.
+        self.flush_outboxes();
         pushed
     }
 
-    /// Push through the cached outbox; on failure, re-resolve the
-    /// address and retry under the configured policy.
+    /// Append the records to `agent`'s open EDGE_CHANGES frame, then
+    /// hand any refused frames to the retry path.
+    fn append_to(&mut self, agent: AgentId, side: Side, recs: &[EdgeChange]) {
+        let failed = match self.outbox(agent) {
+            Some(out) => {
+                for c in recs {
+                    msg::append_edge_change(out, side, 0, c);
+                }
+                out.has_failed()
+            }
+            None => false,
+        };
+        if failed {
+            self.retry_failed(agent);
+        }
+    }
+
+    /// Push a pre-built frame through the cached outbox; on failure,
+    /// re-resolve the address and retry under the configured policy.
     fn push_to(&mut self, agent: AgentId, frame: Frame) {
-        if let Some(out) = self.outbox(agent) {
-            if out.send(frame.clone()).is_ok() {
-                return;
+        let failed = match self.outbox(agent) {
+            Some(out) => {
+                out.send(frame);
+                out.has_failed()
+            }
+            None => false,
+        };
+        if failed {
+            self.retry_failed(agent);
+        }
+    }
+
+    /// Close every destination's open frame and push it, retrying
+    /// whatever the transport refuses.
+    fn flush_outboxes(&mut self) {
+        let mut failed: Vec<AgentId> = Vec::new();
+        for (&agent, out) in self.outboxes.iter_mut() {
+            out.flush();
+            if out.has_failed() {
+                failed.push(agent);
             }
         }
-        self.outboxes.remove(&agent);
+        for agent in failed {
+            self.retry_failed(agent);
+        }
+    }
+
+    /// The cached outbox to `agent` is dead: retire it, re-push the
+    /// refused frames with fresh senders, and re-cache a working one.
+    fn retry_failed(&mut self, agent: AgentId) {
+        let Some(mut dead) = self.outboxes.remove(&agent) else {
+            return;
+        };
+        dead.flush();
+        self.coalesce_retired.absorb(dead.stats());
+        let frames = dead.take_failed();
         let Some(addr) = self.view.addr_of(agent).cloned() else {
             return;
         };
-        if self
-            .transport
-            .push_with_retry(&addr, frame, &self.cfg.send_policy)
-            .is_ok()
-        {
+        let mut all_ok = true;
+        for frame in frames {
+            if self
+                .transport
+                .push_with_retry(&addr, frame, &self.cfg.send_policy)
+                .is_err()
+            {
+                all_ok = false;
+                break;
+            }
+        }
+        if all_ok {
             if let Ok(out) = self.transport.sender(&addr) {
-                self.outboxes.insert(agent, out);
+                let co = CoalescingOutbox::new(out, self.coalesce_config());
+                self.outboxes.insert(agent, co);
             }
         }
     }

@@ -45,9 +45,7 @@ fn pagerank_matches_reference_to_1e8() {
     let edges = small_graph();
     let mut cluster = Cluster::builder().agents(4).build();
     cluster.ingest_edges(edges.iter().copied());
-    let stats = cluster
-        .run(PageRank::new(0.85).with_max_iters(30))
-        .unwrap();
+    let stats = cluster.run(PageRank::new(0.85).with_max_iters(30)).unwrap();
     assert_eq!(stats.steps, 30);
 
     // Reference over densely relabeled ids.
@@ -59,10 +57,7 @@ fn pagerank_matches_reference_to_1e8() {
         .enumerate()
         .map(|(i, &v)| (v, i as u64))
         .collect();
-    let dense_edges: Vec<(u64, u64)> = edges
-        .iter()
-        .map(|&(u, v)| (dense[&u], dense[&v]))
-        .collect();
+    let dense_edges: Vec<(u64, u64)> = edges.iter().map(|&(u, v)| (dense[&u], dense[&v])).collect();
     let csr = Csr::from_edges(Some(ids.len()), &dense_edges);
     let expect = reference::pagerank(&csr, 0.85, 30);
 
@@ -272,15 +267,9 @@ fn deletions_then_reinsertions_roundtrip() {
     let mut cluster = Cluster::builder().agents(3).build();
     cluster.ingest_edges(edges.iter().copied());
     let before = cluster.metrics().edges;
-    cluster.ingest([
-        EdgeChange::delete(0, 1),
-        EdgeChange::delete(2, 3),
-    ]);
+    cluster.ingest([EdgeChange::delete(0, 1), EdgeChange::delete(2, 3)]);
     assert_eq!(cluster.metrics().edges, before - 2);
-    cluster.ingest([
-        EdgeChange::insert(0, 1),
-        EdgeChange::insert(2, 3),
-    ]);
+    cluster.ingest([EdgeChange::insert(0, 1), EdgeChange::insert(2, 3)]);
     assert_eq!(cluster.metrics().edges, before);
     // Graph is intact: WCC unchanged.
     cluster.run(Wcc::new()).unwrap();
@@ -312,10 +301,7 @@ fn mid_run_scaling_preserves_pagerank_exactly() {
     let mut cluster = Cluster::builder().agents(3).build();
     cluster.ingest_edges(edges.iter().copied());
     let handle = cluster
-        .start_run(
-            PageRank::new(0.85).with_max_iters(8),
-            RunOptions::default(),
-        )
+        .start_run(PageRank::new(0.85).with_max_iters(8), RunOptions::default())
         .unwrap();
     // Join mid-run: applied at a superstep boundary with migration.
     cluster.add_agents(3);
@@ -406,9 +392,7 @@ fn queries_run_concurrently_with_computation() {
     });
     // Several runs while queries hammer the agents.
     for _ in 0..3 {
-        cluster
-            .run(PageRank::new(0.85).with_max_iters(5))
-            .unwrap();
+        cluster.run(PageRank::new(0.85).with_max_iters(5)).unwrap();
         cluster.run(Wcc::new()).unwrap();
     }
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -424,16 +408,10 @@ fn ingest_during_run_is_buffered_and_applied_after() {
     let mut cluster = Cluster::builder().agents(3).build();
     cluster.ingest_edges((0..200u64).map(|i| (i, i + 1)));
     let handle = cluster
-        .start_run(
-            PageRank::new(0.85).with_max_iters(8),
-            RunOptions::default(),
-        )
+        .start_run(PageRank::new(0.85).with_max_iters(8), RunOptions::default())
         .unwrap();
     // Push changes mid-run without waiting for quiescence.
-    cluster.ingest_async(&[
-        EdgeChange::insert(500, 501),
-        EdgeChange::delete(0, 1),
-    ]);
+    cluster.ingest_async(&[EdgeChange::insert(500, 501), EdgeChange::delete(0, 1)]);
     cluster.wait_run(handle).unwrap();
     cluster.quiesce().expect("quiesce");
     // The buffered changes took effect after the run finished.

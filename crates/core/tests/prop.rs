@@ -32,6 +32,69 @@ proptest! {
         let _ = ClusterMetrics::decode(&frame);
     }
 
+    /// A frame of one packet type must be rejected by every other
+    /// type's decoder — the 1-byte type tag is load-bearing, so a
+    /// misrouted frame surfaces as `None`, never as garbage records.
+    #[test]
+    fn decoders_reject_wrong_packet_type(
+        run in any::<u64>(),
+        step in any::<u32>(),
+        v in any::<u64>(),
+        val in any::<u64>(),
+    ) {
+        use elga_graph::types::EdgeChange;
+        let vm = msg::encode_vmsgs(run, step, &[(v, val)]);
+        let pt = msg::encode_partials(run, step, &[(v, val)]);
+        let ec = msg::encode_edge_changes(msg::Side::Out, 0, &[EdgeChange::insert(v, val)]);
+        let dd = msg::encode_deg_deltas(&[(v, 1, -1)]);
+        for frame in [&pt, &ec, &dd] {
+            prop_assert!(msg::decode_vmsgs(frame).is_none());
+        }
+        for frame in [&vm, &ec, &dd] {
+            prop_assert!(msg::decode_partials(frame).is_none());
+            prop_assert!(msg::decode_states(frame).is_none());
+        }
+        for frame in [&vm, &pt, &dd] {
+            prop_assert!(msg::decode_edge_changes(frame).is_none());
+        }
+        for frame in [&vm, &pt, &ec] {
+            prop_assert!(msg::decode_deg_deltas(frame).is_none());
+            prop_assert!(msg::decode_ready(frame).is_none());
+            prop_assert!(msg::decode_advance(frame).is_none());
+        }
+    }
+
+    /// Every strict prefix of a valid record-bearing frame must decode
+    /// to `None`: the record count promises bytes the prefix lacks, so
+    /// truncation can never yield a shorter-but-plausible batch.
+    #[test]
+    fn decoders_reject_truncated_frames(
+        run in any::<u64>(),
+        step in any::<u32>(),
+        msgs in prop::collection::vec((any::<u64>(), any::<u64>()), 1..16),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        use elga_graph::types::EdgeChange;
+        let cut = |frame: &Frame| {
+            // Keep at least the type byte; drop at least one byte.
+            let n = frame.len();
+            let keep = 1 + ((n - 1) as f64 * cut_frac) as usize;
+            Frame::from_bytes(frame.as_bytes()[..keep.min(n - 1)].to_vec().into())
+        };
+        let vm = msg::encode_vmsgs(run, step, &msgs);
+        prop_assert!(msg::decode_vmsgs(&cut(&vm)).is_none());
+        let pt = msg::encode_partials(run, step, &msgs);
+        prop_assert!(msg::decode_partials(&cut(&pt)).is_none());
+        let changes: Vec<EdgeChange> =
+            msgs.iter().map(|&(u, v)| EdgeChange::insert(u, v)).collect();
+        let ec = msg::encode_edge_changes(msg::Side::In, 1, &changes);
+        prop_assert!(msg::decode_edge_changes(&cut(&ec)).is_none());
+        let deltas: Vec<(u64, i64, i64)> =
+            msgs.iter().map(|&(v, d)| (v, d as i64, 1)).collect();
+        let dd = msg::encode_deg_deltas(&deltas);
+        prop_assert!(msg::decode_deg_deltas(&cut(&dd)).is_none());
+    }
+
     /// READY reports round-trip exactly for arbitrary field values.
     #[test]
     fn ready_roundtrip(

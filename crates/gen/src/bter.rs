@@ -192,9 +192,7 @@ impl ScaledReplica {
     /// The paper's streaming A-BTER extension: edges as a turnstile
     /// insertion stream, ready to feed Streamers.
     pub fn stream(&self) -> impl Iterator<Item = EdgeChange> + '_ {
-        self.edges
-            .iter()
-            .map(|&(u, v)| EdgeChange::insert(u, v))
+        self.edges.iter().map(|&(u, v)| EdgeChange::insert(u, v))
     }
 
     /// Relative degree-distribution error versus a model — the
@@ -210,7 +208,11 @@ impl ScaledReplica {
             .collect();
         // skip degree-0 bin: isolated vertices are not represented
         let a = &model.degree_counts[1.min(model.degree_counts.len())..];
-        let b = if descaled.len() > 1 { &descaled[1..] } else { &[] };
+        let b = if descaled.len() > 1 {
+            &descaled[1..]
+        } else {
+            &[]
+        };
         stats::histogram_error(a, b)
     }
 }
@@ -267,10 +269,8 @@ mod tests {
     fn clustered_model_produces_triangles() {
         // A model demanding degree-4 vertices with clustering 0.8
         // should yield clustering far above a configuration model.
-        let model = BterModel::from_distributions(
-            vec![0, 0, 0, 0, 200],
-            vec![0.0, 0.0, 0.0, 0.0, 0.8],
-        );
+        let model =
+            BterModel::from_distributions(vec![0, 0, 0, 0, 200], vec![0.0, 0.0, 0.0, 0.0, 0.8]);
         let rep = model.generate(1.0, 9);
         let csr = Csr::from_edges(Some(rep.n as usize), &rep.edges).symmetrized();
         let cc = stats::mean_clustering(&csr, 200);

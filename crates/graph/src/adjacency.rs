@@ -190,12 +190,7 @@ impl AdjacencyStore {
     where
         F: FnMut(Edge) -> bool,
     {
-        let leaving: Vec<Edge> = self
-            .edges
-            .iter()
-            .copied()
-            .filter(|&e| !keep(e))
-            .collect();
+        let leaving: Vec<Edge> = self.edges.iter().copied().filter(|&e| !keep(e)).collect();
         for &e in &leaving {
             self.remove(e.src, e.dst);
         }

@@ -73,8 +73,7 @@ impl Csr {
     /// Build from a dynamic store (vertex ids must already be dense —
     /// generator output always is).
     pub fn from_store(store: &AdjacencyStore) -> Self {
-        let edges: Vec<(VertexId, VertexId)> =
-            store.edges().map(|e| (e.src, e.dst)).collect();
+        let edges: Vec<(VertexId, VertexId)> = store.edges().map(|e| (e.src, e.dst)).collect();
         Csr::from_edges(None, &edges)
     }
 

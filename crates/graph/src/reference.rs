@@ -191,8 +191,7 @@ pub fn dag_levels(csr: &Csr) -> Option<FxHashMap<VertexId, u64>> {
     let n = csr.num_vertices();
     let mut indeg: Vec<usize> = (0..n).map(|v| csr.in_degree(v as VertexId)).collect();
     let mut level = vec![0u64; n];
-    let mut queue: std::collections::VecDeque<usize> =
-        (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
     let mut seen = 0;
     while let Some(u) = queue.pop_front() {
         seen += 1;

@@ -194,7 +194,7 @@ mod tests {
     fn degree_histograms_on_csr() {
         let g = Csr::from_edges(None, &[(0, 1), (0, 2), (1, 2)]);
         assert_eq!(out_degree_histogram(&g), vec![1, 1, 1]); // degs 2,1,0
-        // total degrees: v0=2, v1=2, v2=2
+                                                             // total degrees: v0=2, v1=2, v2=2
         assert_eq!(total_degree_histogram(&g), vec![0, 0, 3]);
     }
 }

@@ -126,9 +126,7 @@ pub fn delete_reinsert_batches(
 pub fn insertions(
     edges: impl IntoIterator<Item = (VertexId, VertexId)>,
 ) -> impl Iterator<Item = EdgeChange> {
-    edges
-        .into_iter()
-        .map(|(u, v)| EdgeChange::insert(u, v))
+    edges.into_iter().map(|(u, v)| EdgeChange::insert(u, v))
 }
 
 #[cfg(test)]
@@ -158,8 +156,7 @@ mod tests {
 
     #[test]
     fn delete_reinsert_roundtrips_the_graph() {
-        let edges: Vec<(VertexId, VertexId)> =
-            (0..50).map(|i| (i, (i * 3 + 1) % 50)).collect();
+        let edges: Vec<(VertexId, VertexId)> = (0..50).map(|i| (i, (i * 3 + 1) % 50)).collect();
         let mut g = AdjacencyStore::from_edges(edges.iter().copied());
         let before = g.edges_sorted();
         let (dels, ins) = delete_reinsert_batches(&edges, 10, 42);
@@ -175,8 +172,7 @@ mod tests {
     fn delete_reinsert_sample_is_distinct() {
         let edges: Vec<(VertexId, VertexId)> = (0..100).map(|i| (i, i + 1)).collect();
         let (dels, _) = delete_reinsert_batches(&edges, 30, 7);
-        let set: std::collections::HashSet<_> =
-            dels.changes.iter().map(|c| c.edge).collect();
+        let set: std::collections::HashSet<_> = dels.changes.iter().map(|c| c.edge).collect();
         assert_eq!(set.len(), 30);
     }
 

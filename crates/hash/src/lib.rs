@@ -21,8 +21,8 @@
 #![warn(missing_docs)]
 
 pub mod cache;
-pub mod fx;
 pub mod funcs;
+pub mod fx;
 pub mod locator;
 pub mod ring;
 

@@ -163,8 +163,7 @@ impl EdgeLocator {
         }
         let replicas = self.ring.owners(u, k as usize);
         let kind = self.kind();
-        let mut minis: Vec<(u64, AgentId)> =
-            replicas.iter().map(|&a| (kind.hash(a), a)).collect();
+        let mut minis: Vec<(u64, AgentId)> = replicas.iter().map(|&a| (kind.hash(a), a)).collect();
         minis.sort_unstable();
         VertexPlacement {
             k,
@@ -267,10 +266,7 @@ mod tests {
     fn edge_owner_is_deterministic() {
         let loc = locator(8, 50);
         for (u, v) in [(1u64, 2u64), (1000, 3), (3, 1000)] {
-            assert_eq!(
-                loc.owner_of_edge(u, v, 500),
-                loc.owner_of_edge(u, v, 500)
-            );
+            assert_eq!(loc.owner_of_edge(u, v, 500), loc.owner_of_edge(u, v, 500));
         }
     }
 
@@ -290,11 +286,7 @@ mod tests {
             .iter()
             .map(|&v| loc.owner_of_edge(u, v, 350).unwrap()) // k = 4
             .collect();
-        let moved = before
-            .iter()
-            .zip(&after)
-            .filter(|(b, a)| b != a)
-            .count();
+        let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
         assert!(
             moved < edges.len() / 2,
             "k 3->4 moved {moved} of {} edges",

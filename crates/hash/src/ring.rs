@@ -56,8 +56,7 @@ impl Ring {
         let mut ids: Vec<AgentId> = agents.into_iter().collect();
         ids.sort_unstable();
         ids.dedup();
-        let mut positions =
-            Vec::with_capacity(ids.len() * virtual_per_agent as usize);
+        let mut positions = Vec::with_capacity(ids.len() * virtual_per_agent as usize);
         for &a in &ids {
             for j in 0..virtual_per_agent {
                 positions.push((ring.virtual_position(a, j), a));

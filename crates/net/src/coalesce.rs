@@ -1,0 +1,515 @@
+//! Coalescing outboxes: batch same-destination, same-packet-type
+//! records into large frames before they hit the transport.
+//!
+//! The paper's throughput rests on batched traffic ("direct memory
+//! copies into network buffers", §3.5); surveyed dynamic-graph systems
+//! likewise identify message coalescing as the dominant throughput
+//! lever. A [`CoalescingOutbox`] wraps one destination's [`Outbox`]
+//! and keeps at most one *open frame* — packet type, caller-written
+//! header, a record-count field, then appended records. Appending a
+//! record of a different packet type (or with a different header)
+//! first flushes the open frame, so the per-destination byte stream is
+//! a strict FIFO of the appended records: coalescing changes frame
+//! boundaries, never record order. That is what keeps sync-mode
+//! results bit-identical with coalescing on or off.
+//!
+//! Flushes happen on four triggers, each counted in
+//! [`CoalesceStats`]:
+//!
+//! * **size** — the open frame reached `max_bytes`;
+//! * **count** — it reached `max_records`;
+//! * **explicit** — a phase boundary called [`CoalescingOutbox::flush`]
+//!   (agents flush before every READY/DRAIN report so barrier counters
+//!   never run ahead of delivered frames);
+//! * a different packet type or header displaced it (counted as
+//!   `switch_flushes`).
+//!
+//! Backpressure is credit-based: each destination has an in-flight
+//! byte budget. Sent frame sizes are tracked against the outbox's
+//! queue depth ([`Outbox::queued`]); once the consumer drains a frame
+//! its bytes are re-credited. A sender that exhausts the budget blocks
+//! (bounding its peer's queue memory) and, past `block_timeout`,
+//! spills anyway — liveness is preserved even if the peer died and the
+//! failure detector has not yet evicted it.
+
+use crate::frame::{pool_give, pool_take, Frame};
+use crate::transport::{NetStats, Outbox};
+use bytes::{BufMut, BytesMut};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`CoalescingOutbox`].
+#[derive(Debug, Clone)]
+pub struct CoalesceConfig {
+    /// Coalesce at all? When `false`, every appended record is sent
+    /// eagerly as its own (count = 1) frame — the ablation baseline.
+    pub enabled: bool,
+    /// Flush the open frame once it holds this many payload bytes.
+    pub max_bytes: usize,
+    /// Flush the open frame once it holds this many records.
+    pub max_records: u32,
+    /// Per-destination in-flight byte budget; `0` disables
+    /// backpressure (required for an agent's outbox to itself, which
+    /// cannot drain while blocked on it).
+    pub credit_bytes: usize,
+    /// How long to block for credit before spilling anyway.
+    pub block_timeout: Duration,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        CoalesceConfig {
+            enabled: true,
+            // ~64 KiB frames: large enough to amortize per-frame costs,
+            // small enough to keep latency and peak buffering modest.
+            max_bytes: 60 * 1024,
+            max_records: 4096,
+            credit_bytes: 16 << 20,
+            block_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+impl CoalesceConfig {
+    /// The eager (no batching, no backpressure) configuration.
+    pub fn disabled() -> Self {
+        CoalesceConfig {
+            enabled: false,
+            credit_bytes: 0,
+            ..CoalesceConfig::default()
+        }
+    }
+}
+
+/// Flush-reason and volume counters for one [`CoalescingOutbox`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Flushes triggered by `max_bytes`.
+    pub size_flushes: u64,
+    /// Flushes triggered by `max_records`.
+    pub count_flushes: u64,
+    /// Explicit phase-end flushes that found an open frame.
+    pub explicit_flushes: u64,
+    /// Flushes forced by a packet-type or header change.
+    pub switch_flushes: u64,
+    /// Times the sender had to wait for in-flight credit.
+    pub backpressure_waits: u64,
+    /// Frames actually handed to the transport.
+    pub frames: u64,
+    /// Records appended.
+    pub records: u64,
+    /// Bytes handed to the transport.
+    pub bytes: u64,
+}
+
+impl CoalesceStats {
+    /// Merge another outbox's counters into this one.
+    pub fn absorb(&mut self, other: &CoalesceStats) {
+        self.size_flushes += other.size_flushes;
+        self.count_flushes += other.count_flushes;
+        self.explicit_flushes += other.explicit_flushes;
+        self.switch_flushes += other.switch_flushes;
+        self.backpressure_waits += other.backpressure_waits;
+        self.frames += other.frames;
+        self.records += other.records;
+        self.bytes += other.bytes;
+    }
+}
+
+/// The frame currently accumulating records.
+struct OpenFrame {
+    buf: BytesMut,
+    /// Offset of the little-endian `u32` record count within `buf`.
+    count_at: usize,
+    records: u32,
+    packet_type: u8,
+    /// Caller-chosen header fingerprint; a differing key displaces the
+    /// open frame so records never land under the wrong header.
+    key: u64,
+}
+
+/// A batching, credit-limited wrapper around one destination's
+/// [`Outbox`]. See the module docs for semantics.
+pub struct CoalescingOutbox {
+    outbox: Outbox,
+    cfg: CoalesceConfig,
+    open: Option<OpenFrame>,
+    /// Sizes of frames sent but (as far as we can tell) not yet taken
+    /// off the queue by the consumer, oldest first.
+    sent_sizes: VecDeque<usize>,
+    in_flight: usize,
+    stats: CoalesceStats,
+    /// Frames the transport refused (peer gone). The owner drains
+    /// these through its retry path.
+    failed: Vec<Frame>,
+    /// Optional per-owner traffic sink: every flushed frame is counted
+    /// here by packet type (an agent passes its own [`NetStats`] so its
+    /// metrics report per-type frames/bytes sent).
+    sink: Option<std::sync::Arc<NetStats>>,
+}
+
+impl CoalescingOutbox {
+    /// Wrap `outbox` with the given tuning.
+    pub fn new(outbox: Outbox, cfg: CoalesceConfig) -> Self {
+        CoalescingOutbox {
+            outbox,
+            cfg,
+            open: None,
+            sent_sizes: VecDeque::new(),
+            in_flight: 0,
+            stats: CoalesceStats::default(),
+            failed: Vec::new(),
+            sink: None,
+        }
+    }
+
+    /// Count every flushed frame (by packet type) into `sink` as well.
+    pub fn with_net_stats(mut self, sink: std::sync::Arc<NetStats>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Append one record to the open `(packet_type, key)` frame,
+    /// opening (and if necessary first flushing) as needed.
+    ///
+    /// `header` writes the frame's post-type header and runs only when
+    /// a new frame is opened; the coalescer itself maintains the `u32`
+    /// record count that follows the header. `record` writes one
+    /// record's bytes. The resulting frames are byte-identical to
+    /// eagerly encoded batches, so existing decoders are untouched.
+    pub fn append(
+        &mut self,
+        packet_type: u8,
+        key: u64,
+        header: impl FnOnce(&mut BytesMut),
+        record: impl FnOnce(&mut BytesMut),
+    ) {
+        let displaced = match &self.open {
+            Some(open) => open.packet_type != packet_type || open.key != key,
+            None => false,
+        };
+        if displaced {
+            self.stats.switch_flushes += 1;
+            self.flush_open();
+        }
+        if self.open.is_none() {
+            let mut buf = pool_take(self.cfg.max_bytes.min(1 << 20) + 64);
+            buf.put_u8(packet_type);
+            header(&mut buf);
+            let count_at = buf.len();
+            buf.put_u32_le(0);
+            self.open = Some(OpenFrame {
+                buf,
+                count_at,
+                records: 0,
+                packet_type,
+                key,
+            });
+        }
+        let open = self.open.as_mut().expect("just opened");
+        record(&mut open.buf);
+        open.records += 1;
+        self.stats.records += 1;
+        if !self.cfg.enabled {
+            self.flush_open();
+        } else if open.records >= self.cfg.max_records {
+            self.stats.count_flushes += 1;
+            self.flush_open();
+        } else if open.buf.len() >= self.cfg.max_bytes {
+            self.stats.size_flushes += 1;
+            self.flush_open();
+        }
+    }
+
+    /// Send a pre-built frame through this destination's stream. Any
+    /// open frame is flushed first so record order stays FIFO.
+    pub fn send(&mut self, frame: Frame) {
+        if self.open.is_some() {
+            self.stats.switch_flushes += 1;
+            self.flush_open();
+        }
+        self.send_now(frame);
+    }
+
+    /// Phase-end flush: push the open frame (if any) to the transport.
+    pub fn flush(&mut self) {
+        if self.open.is_some() {
+            self.stats.explicit_flushes += 1;
+            self.flush_open();
+        }
+    }
+
+    /// Records sitting in the open frame, not yet flushed.
+    pub fn pending_records(&self) -> u32 {
+        self.open.as_ref().map_or(0, |o| o.records)
+    }
+
+    /// Flush-reason and volume counters.
+    pub fn stats(&self) -> &CoalesceStats {
+        &self.stats
+    }
+
+    /// Bytes currently counted against the in-flight credit budget.
+    pub fn in_flight_bytes(&mut self) -> usize {
+        self.reclaim();
+        self.in_flight
+    }
+
+    /// Frames the transport refused, for the owner's retry path.
+    pub fn take_failed(&mut self) -> Vec<Frame> {
+        std::mem::take(&mut self.failed)
+    }
+
+    /// Whether the underlying peer has refused a send.
+    pub fn has_failed(&self) -> bool {
+        !self.failed.is_empty()
+    }
+
+    fn flush_open(&mut self) {
+        let Some(mut open) = self.open.take() else {
+            return;
+        };
+        if open.records == 0 {
+            pool_give(open.buf);
+            return;
+        }
+        let count = open.records.to_le_bytes();
+        open.buf[open.count_at..open.count_at + 4].copy_from_slice(&count);
+        let frame = Frame::from_bytes(open.buf.split().freeze());
+        pool_give(open.buf);
+        self.send_now(frame);
+    }
+
+    /// Credit-check then hand the frame to the transport.
+    fn send_now(&mut self, frame: Frame) {
+        let len = frame.len();
+        if self.cfg.credit_bytes > 0 {
+            self.reclaim();
+            if self.in_flight + len > self.cfg.credit_bytes {
+                self.stats.backpressure_waits += 1;
+                let deadline = Instant::now() + self.cfg.block_timeout;
+                while self.in_flight + len > self.cfg.credit_bytes && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_micros(100));
+                    self.reclaim();
+                }
+                // Past the deadline: spill to preserve liveness (the
+                // peer may be dead; eviction is the detector's job).
+            }
+        }
+        self.stats.frames += 1;
+        self.stats.bytes += len as u64;
+        if let Some(sink) = &self.sink {
+            sink.record_sent(frame.packet_type(), len);
+        }
+        match self.outbox.send(frame.clone()) {
+            Ok(()) => {
+                if self.cfg.credit_bytes > 0 {
+                    self.sent_sizes.push_back(len);
+                    self.in_flight += len;
+                }
+            }
+            Err(_) => self.failed.push(frame),
+        }
+    }
+
+    /// Re-credit frames the consumer has drained. The queue may carry
+    /// other senders' deliveries too, so this is conservative: it only
+    /// re-credits when the queue is provably shorter than our
+    /// outstanding count — credit can lag (blocking a little extra)
+    /// but never run ahead (overcommitting the peer).
+    fn reclaim(&mut self) {
+        let queued = self.outbox.queued();
+        while self.sent_sizes.len() > queued {
+            let len = self.sent_sizes.pop_front().expect("len checked");
+            self.in_flight -= len;
+        }
+    }
+}
+
+impl std::fmt::Debug for CoalescingOutbox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoalescingOutbox")
+            .field("pending_records", &self.pending_records())
+            .field("in_flight", &self.in_flight)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::inproc::InProcTransport;
+    use crate::transport::Transport;
+
+    fn pair(credit: usize) -> (crate::transport::Mailbox, CoalescingOutbox) {
+        let t = InProcTransport::new();
+        let addr = Addr::inproc("coalesce-test");
+        let mb = t.bind(&addr).unwrap();
+        let out = t.sender(&addr).unwrap();
+        let cfg = CoalesceConfig {
+            credit_bytes: credit,
+            block_timeout: Duration::from_millis(50),
+            ..CoalesceConfig::default()
+        };
+        (mb, CoalescingOutbox::new(out, cfg))
+    }
+
+    /// Append `n` 16-byte records under packet type 21 (VMSG-shaped:
+    /// u64 run + u32 step header, u32 count, (u64, u64) records).
+    fn append_n(c: &mut CoalescingOutbox, n: u64) {
+        for i in 0..n {
+            c.append(
+                21,
+                7,
+                |h| {
+                    h.put_u64_le(7);
+                    h.put_u32_le(0);
+                },
+                |r| {
+                    r.put_u64_le(i);
+                    r.put_u64_le(i * 2);
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn records_coalesce_into_one_frame() {
+        let (mb, mut c) = pair(0);
+        append_n(&mut c, 100);
+        assert_eq!(mb.backlog(), 0, "nothing sent before flush");
+        c.flush();
+        let d = mb.recv().unwrap();
+        assert_eq!(d.frame.packet_type(), 21);
+        let mut r = d.frame.reader();
+        assert_eq!(r.u64(), Some(7));
+        assert_eq!(r.u32(), Some(0));
+        assert_eq!(r.u32(), Some(100), "count patched at flush");
+        assert_eq!(r.remaining(), 100 * 16);
+        assert_eq!(c.stats().explicit_flushes, 1);
+        assert_eq!(c.stats().records, 100);
+    }
+
+    #[test]
+    fn count_threshold_flushes() {
+        let (mb, mut c) = pair(0);
+        c.cfg.max_bytes = usize::MAX;
+        let max_records = u64::from(c.cfg.max_records);
+        append_n(&mut c, max_records + 1);
+        assert_eq!(mb.backlog(), 1);
+        assert_eq!(c.stats().count_flushes, 1);
+        assert_eq!(c.pending_records(), 1);
+    }
+
+    #[test]
+    fn size_threshold_flushes() {
+        let (mb, mut c) = pair(0);
+        c.cfg.max_records = u32::MAX;
+        let per_record = 16;
+        let n = (c.cfg.max_bytes / per_record + 2) as u64;
+        append_n(&mut c, n);
+        assert_eq!(mb.backlog(), 1);
+        assert_eq!(c.stats().size_flushes, 1);
+    }
+
+    #[test]
+    fn type_or_key_switch_flushes() {
+        let (mb, mut c) = pair(0);
+        append_n(&mut c, 3);
+        // Different header key: same type, new step.
+        c.append(
+            21,
+            8,
+            |h| {
+                h.put_u64_le(7);
+                h.put_u32_le(1);
+            },
+            |r| r.put_u64_le(1),
+        );
+        assert_eq!(mb.backlog(), 1);
+        assert_eq!(c.stats().switch_flushes, 1);
+        let d = mb.recv().unwrap();
+        let mut r = d.frame.reader();
+        r.u64();
+        r.u32();
+        assert_eq!(r.u32(), Some(3));
+    }
+
+    #[test]
+    fn disabled_sends_each_record_eagerly() {
+        let (mb, mut c) = pair(0);
+        c.cfg.enabled = false;
+        append_n(&mut c, 5);
+        assert_eq!(mb.backlog(), 5);
+        for _ in 0..5 {
+            let d = mb.recv().unwrap();
+            let mut r = d.frame.reader();
+            r.u64();
+            r.u32();
+            assert_eq!(r.u32(), Some(1), "eager frames carry one record");
+        }
+    }
+
+    #[test]
+    fn passthrough_send_preserves_fifo() {
+        let (mb, mut c) = pair(0);
+        append_n(&mut c, 2);
+        c.send(Frame::signal(9));
+        c.flush();
+        // Appended records must arrive before the passthrough frame.
+        assert_eq!(mb.recv().unwrap().frame.packet_type(), 21);
+        assert_eq!(mb.recv().unwrap().frame.packet_type(), 9);
+    }
+
+    #[test]
+    fn backpressure_bounds_receiver_queue() {
+        // Credit for ~4 full frames; a stalled receiver must cap the
+        // sender's queue at the budget (plus one spilled frame after
+        // the block timeout), not the full send volume.
+        let frame_bytes = 60 * 1024;
+        let credit = 4 * frame_bytes;
+        let (mb, mut c) = pair(credit);
+        let records = (16 * frame_bytes / 16) as u64; // ~16 frames' worth
+        let sender = std::thread::spawn(move || {
+            append_n(&mut c, records);
+            c.flush();
+            c
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let stalled_backlog = mb.backlog();
+        assert!(
+            stalled_backlog <= credit / frame_bytes + 1,
+            "stalled receiver saw {stalled_backlog} queued frames; credit allows ~4"
+        );
+        // Drain; the sender finishes and reports waits.
+        let mut got = 0u64;
+        while got < records {
+            let d = mb.recv_timeout(Duration::from_secs(5)).unwrap();
+            let mut r = d.frame.reader();
+            r.u64();
+            r.u32();
+            got += u64::from(r.u32().unwrap());
+        }
+        let c = sender.join().unwrap();
+        assert!(c.stats().backpressure_waits > 0, "sender never waited");
+        assert_eq!(c.stats().records, records);
+    }
+
+    #[test]
+    fn failed_sends_are_handed_back() {
+        let t = InProcTransport::new();
+        let addr = Addr::inproc("coalesce-dead");
+        let mb = t.bind(&addr).unwrap();
+        let out = t.sender(&addr).unwrap();
+        drop(mb);
+        let mut c = CoalescingOutbox::new(out, CoalesceConfig::default());
+        append_n(&mut c, 3);
+        c.flush();
+        assert!(c.has_failed());
+        let failed = c.take_failed();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].packet_type(), 21);
+    }
+}

@@ -315,7 +315,7 @@ impl Transport for FaultyTransport {
                 }
             }
         });
-        Ok(Outbox { tx })
+        Ok(Outbox { tx, stats: None })
     }
 
     fn request(&self, addr: &Addr, frame: Frame, timeout: Duration) -> Result<Frame, NetError> {
@@ -346,6 +346,10 @@ impl Transport for FaultyTransport {
 
     fn subscribe(&self, addr: &Addr, topics: &[u8]) -> Result<Mailbox, NetError> {
         self.inner.subscribe(addr, topics)
+    }
+
+    fn net_stats(&self) -> Option<std::sync::Arc<crate::transport::NetStats>> {
+        self.inner.net_stats()
     }
 
     fn subscribe_forward(&self, addr: &Addr, topics: &[u8], target: &Addr) -> Result<(), NetError> {

@@ -9,6 +9,53 @@
 //! the protocols use.
 
 use bytes::{BufMut, Bytes, BytesMut};
+use std::cell::RefCell;
+
+/// Build buffers larger than this are not returned to the thread-local
+/// pool — one oversized broadcast must not pin megabytes per thread.
+const POOL_MAX_RETAINED: usize = 1 << 20;
+
+/// Buffers kept per thread. Frame construction is single-buffer deep
+/// on every path (builders don't nest), so a small stack suffices.
+const POOL_DEPTH: usize = 8;
+
+thread_local! {
+    static POOL: RefCell<Vec<BytesMut>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Take a build buffer from the thread-local pool (or allocate one).
+///
+/// `reserve` reclaims the buffer's original allocation once every
+/// [`Bytes`] split off by previous [`FrameBuilder::finish`] calls has
+/// been dropped — the steady state of a send loop — so repeated frame
+/// construction on one thread recycles a single allocation instead of
+/// hitting the allocator per frame.
+pub(crate) fn pool_take(capacity: usize) -> BytesMut {
+    let mut buf = POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    buf.reserve(capacity);
+    buf
+}
+
+/// Return a (now empty) build buffer to the thread-local pool.
+pub(crate) fn pool_give(buf: BytesMut) {
+    if buf.capacity() > POOL_MAX_RETAINED {
+        return;
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < POOL_DEPTH {
+            p.push(buf);
+        }
+    });
+}
+
+/// Buffers currently pooled on this thread (test observability).
+#[cfg(test)]
+pub(crate) fn pool_depth() -> usize {
+    POOL.with(|p| p.borrow().len())
+}
 
 /// An immutable wire message. Clones share the underlying buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,8 +75,13 @@ impl Frame {
     }
 
     /// Start building a frame with the given packet type.
+    ///
+    /// The build buffer comes from a thread-local pool: once the frames
+    /// split off earlier on this thread have been dropped, their
+    /// allocation is reclaimed and reused, so steady-state send loops
+    /// do not allocate per frame.
     pub fn builder(packet_type: u8) -> FrameBuilder {
-        let mut buf = BytesMut::with_capacity(64);
+        let mut buf = pool_take(64);
         buf.put_u8(packet_type);
         FrameBuilder { buf }
     }
@@ -130,10 +182,10 @@ impl FrameBuilder {
     }
 
     /// Finish into an immutable [`Frame`].
-    pub fn finish(self) -> Frame {
-        Frame {
-            bytes: self.buf.freeze(),
-        }
+    pub fn finish(mut self) -> Frame {
+        let bytes = self.buf.split().freeze();
+        pool_give(self.buf);
+        Frame { bytes }
     }
 }
 
@@ -253,5 +305,36 @@ mod tests {
         let f = Frame::builder(3).raw(&[0u8; 1024]).finish();
         let g = f.clone();
         assert_eq!(f.as_bytes().as_ptr(), g.as_bytes().as_ptr());
+    }
+
+    #[test]
+    fn pool_recycles_build_buffers() {
+        // finish() must hand the build buffer back to the thread-local
+        // pool, and the next builder must take it from there instead of
+        // the allocator (with real `bytes`, `reserve` then reclaims the
+        // original region once previous frames are dropped).
+        let f = Frame::builder(1).raw(&[7u8; 512]).finish();
+        let depth = pool_depth();
+        assert!(
+            depth >= 1,
+            "finish must return the build buffer to the pool"
+        );
+        drop(f);
+        let _builder = Frame::builder(1);
+        assert_eq!(
+            pool_depth(),
+            depth - 1,
+            "a new builder must reuse a pooled buffer"
+        );
+    }
+
+    #[test]
+    fn pool_survives_live_frames() {
+        // A frame still alive pins its region; the pool must hand out a
+        // distinct buffer rather than corrupt the live frame.
+        let held = Frame::builder(2).raw(&[9u8; 256]).finish();
+        let other = Frame::builder(3).raw(&[1u8; 256]).finish();
+        assert_eq!(held.payload(), &[9u8; 256][..]);
+        assert_eq!(other.payload(), &[1u8; 256][..]);
     }
 }

@@ -9,7 +9,7 @@
 use crate::addr::Addr;
 use crate::frame::Frame;
 use crate::transport::{
-    Delivery, Mailbox, NetError, Outbox, Publisher, ReplyHandle, ReplyRoute, Transport,
+    Delivery, Mailbox, NetError, NetStats, Outbox, Publisher, ReplyHandle, ReplyRoute, Transport,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -45,10 +45,7 @@ impl Hub {
     }
 
     fn subscribers(&mut self, name: &str) -> Arc<Mutex<Vec<Subscriber>>> {
-        self.topics
-            .entry(name.to_string())
-            .or_default()
-            .clone()
+        self.topics.entry(name.to_string()).or_default().clone()
     }
 }
 
@@ -56,6 +53,7 @@ impl Hub {
 #[derive(Default)]
 pub struct InProcTransport {
     hub: Mutex<Hub>,
+    stats: Arc<NetStats>,
 }
 
 impl InProcTransport {
@@ -64,9 +62,15 @@ impl InProcTransport {
         Self::default()
     }
 
+    /// Transport-level traffic counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
     fn inproc_name(addr: &Addr) -> Result<&str, NetError> {
-        addr.as_inproc()
-            .ok_or(NetError::Protocol("in-process transport requires inproc:// addresses"))
+        addr.as_inproc().ok_or(NetError::Protocol(
+            "in-process transport requires inproc:// addresses",
+        ))
     }
 }
 
@@ -79,6 +83,7 @@ impl Transport for InProcTransport {
             Some(rx) => Ok(Mailbox {
                 addr: addr.clone(),
                 rx,
+                stats: Some(self.stats.clone()),
             }),
             None => Err(NetError::AddrInUse(addr.clone())),
         }
@@ -89,12 +94,14 @@ impl Transport for InProcTransport {
         let mut hub = self.hub.lock();
         Ok(Outbox {
             tx: hub.slot(name).tx.clone(),
+            stats: Some(self.stats.clone()),
         })
     }
 
     fn request(&self, addr: &Addr, frame: Frame, timeout: Duration) -> Result<Frame, NetError> {
         let out = self.sender(addr)?;
         let (reply_tx, reply_rx) = bounded(1);
+        self.stats.record_sent(frame.packet_type(), frame.len());
         out.tx
             .send(Delivery {
                 frame,
@@ -112,16 +119,17 @@ impl Transport for InProcTransport {
     fn bind_publisher(&self, addr: &Addr) -> Result<Publisher, NetError> {
         let name = Self::inproc_name(addr)?;
         let subs = self.hub.lock().subscribers(name);
+        let stats = self.stats.clone();
         Ok(Publisher {
             addr: addr.clone(),
             sink: Box::new(move |frame: &Frame| {
                 let mut subs = subs.lock();
                 let mut reached = 0;
                 // Drop subscribers whose mailbox is gone, like ZeroMQ
-                // reaping dead connections.
+                // reaping dead connections. Each delivery is a
+                // reference-counted handle to the one published buffer.
                 subs.retain(|s| {
-                    let matches =
-                        s.topics.is_empty() || s.topics.contains(&frame.packet_type());
+                    let matches = s.topics.is_empty() || s.topics.contains(&frame.packet_type());
                     if !matches {
                         return true;
                     }
@@ -133,7 +141,8 @@ impl Transport for InProcTransport {
                         Err(_) => false,
                     }
                 });
-                reached
+                stats.record_sent_n(frame.packet_type(), frame.len(), reached);
+                reached as usize
             }),
         })
     }
@@ -149,6 +158,7 @@ impl Transport for InProcTransport {
         Ok(Mailbox {
             addr: addr.clone(),
             rx,
+            stats: Some(self.stats.clone()),
         })
     }
 
@@ -166,6 +176,10 @@ impl Transport for InProcTransport {
             tx,
         });
         Ok(())
+    }
+
+    fn net_stats(&self) -> Option<Arc<NetStats>> {
+        Some(self.stats.clone())
     }
 }
 

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod coalesce;
 pub mod fault;
 pub mod frame;
 pub mod inproc;
@@ -39,10 +40,13 @@ pub mod tcp;
 pub mod transport;
 
 pub use addr::Addr;
+pub use coalesce::{CoalesceConfig, CoalesceStats, CoalescingOutbox};
 pub use fault::{FaultPlan, FaultStats, FaultyTransport, RouteFault};
 pub use frame::{Frame, FrameReader};
 pub use inproc::InProcTransport;
 pub use reliable::ReliableTransport;
 pub use retry::{SendPolicy, TransportExt};
 pub use tcp::TcpTransport;
-pub use transport::{Delivery, Mailbox, NetError, Outbox, Publisher, ReplyHandle, Transport};
+pub use transport::{
+    Delivery, Mailbox, NetError, NetStats, Outbox, Publisher, ReplyHandle, Transport,
+};

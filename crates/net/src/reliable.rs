@@ -303,10 +303,7 @@ impl Transport for ReliableTransport {
                     let _ = out.send(ack);
                 }
                 if !windows.entry((nonce, route)).or_default().admit(seq) {
-                    shared
-                        .stats
-                        .dups_suppressed
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.stats.dups_suppressed.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
                 let frame = Frame::from_bytes(bytes::Bytes::copy_from_slice(payload));
@@ -315,7 +312,11 @@ impl Transport for ReliableTransport {
                 }
             }
         });
-        Ok(Mailbox { addr: bound, rx })
+        Ok(Mailbox {
+            addr: bound,
+            rx,
+            stats: None,
+        })
     }
 
     fn sender(&self, addr: &Addr) -> Result<Outbox, NetError> {
@@ -359,7 +360,7 @@ impl Transport for ReliableTransport {
                 }
             }
         });
-        Ok(Outbox { tx })
+        Ok(Outbox { tx, stats: None })
     }
 
     fn request(&self, addr: &Addr, frame: Frame, timeout: Duration) -> Result<Frame, NetError> {
@@ -376,6 +377,10 @@ impl Transport for ReliableTransport {
 
     fn subscribe_forward(&self, addr: &Addr, topics: &[u8], target: &Addr) -> Result<(), NetError> {
         self.shared.inner.subscribe_forward(addr, topics, target)
+    }
+
+    fn net_stats(&self) -> Option<Arc<crate::transport::NetStats>> {
+        self.shared.inner.net_stats()
     }
 }
 

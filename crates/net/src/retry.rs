@@ -156,8 +156,10 @@ mod tests {
     #[test]
     fn transient_classification() {
         assert!(NetError::Timeout.is_transient());
-        assert!(NetError::Io(std::io::Error::from(std::io::ErrorKind::ConnectionRefused))
-            .is_transient());
+        assert!(
+            NetError::Io(std::io::Error::from(std::io::ErrorKind::ConnectionRefused))
+                .is_transient()
+        );
         assert!(!NetError::Disconnected.is_transient());
         assert!(!NetError::Protocol("x").is_transient());
         assert!(!NetError::Io(std::io::Error::from(std::io::ErrorKind::NotFound)).is_transient());
@@ -205,7 +207,10 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, NetError::Protocol(_)));
-        assert!(start.elapsed() < Duration::from_millis(100), "no backoff spent");
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "no backoff spent"
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use crate::addr::Addr;
 use crate::frame::Frame;
 use crate::transport::{
-    Delivery, Mailbox, NetError, Outbox, Publisher, ReplyHandle, ReplyRoute, Transport,
+    Delivery, Mailbox, NetError, NetStats, Outbox, Publisher, ReplyHandle, ReplyRoute, Transport,
 };
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
@@ -28,6 +28,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 const OP_PUSH: u8 = 1;
@@ -92,6 +93,7 @@ fn log_conn_error(what: &str, peer: &str, e: &std::io::Error) {
 #[derive(Default)]
 pub struct TcpTransport {
     req_conns: Mutex<HashMap<SocketAddr, std::sync::Arc<Mutex<Option<TcpStream>>>>>,
+    stats: Arc<NetStats>,
 }
 
 impl TcpTransport {
@@ -100,9 +102,15 @@ impl TcpTransport {
         Self::default()
     }
 
+    /// Transport-level traffic counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
     fn tcp_addr(addr: &Addr) -> Result<SocketAddr, NetError> {
-        addr.as_tcp()
-            .ok_or(NetError::Protocol("tcp transport requires tcp:// addresses"))
+        addr.as_tcp().ok_or(NetError::Protocol(
+            "tcp transport requires tcp:// addresses",
+        ))
     }
 }
 
@@ -175,6 +183,7 @@ impl Transport for TcpTransport {
         Ok(Mailbox {
             addr: Addr::Tcp(local),
             rx,
+            stats: Some(self.stats.clone()),
         })
     }
 
@@ -192,17 +201,15 @@ impl Transport for TcpTransport {
                 }
             }
         });
-        Ok(Outbox { tx })
+        Ok(Outbox {
+            tx,
+            stats: Some(self.stats.clone()),
+        })
     }
 
     fn request(&self, addr: &Addr, frame: Frame, timeout: Duration) -> Result<Frame, NetError> {
         let sock = Self::tcp_addr(addr)?;
-        let slot = self
-            .req_conns
-            .lock()
-            .entry(sock)
-            .or_default()
-            .clone();
+        let slot = self.req_conns.lock().entry(sock).or_default().clone();
         let mut guard = slot.lock();
         if guard.is_none() {
             let s = TcpStream::connect(sock)?;
@@ -213,6 +220,7 @@ impl Transport for TcpTransport {
             return Err(NetError::Disconnected);
         };
         stream.set_read_timeout(Some(timeout))?;
+        self.stats.record_sent(frame.packet_type(), frame.len());
         let outcome = (|| -> Result<Frame, NetError> {
             write_msg(stream, OP_REQ, frame.as_bytes())?;
             let (op, payload) = read_msg(stream).map_err(|e| {
@@ -269,6 +277,7 @@ impl Transport for TcpTransport {
                 });
             }
         });
+        let stats = self.stats.clone();
         Ok(Publisher {
             addr: Addr::Tcp(local),
             sink: Box::new(move |frame: &Frame| {
@@ -287,7 +296,8 @@ impl Transport for TcpTransport {
                         Err(_) => false,
                     }
                 });
-                reached
+                stats.record_sent_n(frame.packet_type(), frame.len(), reached);
+                reached as usize
             }),
         })
     }
@@ -317,7 +327,15 @@ impl Transport for TcpTransport {
                 break;
             }
         });
-        Ok(Mailbox { addr: local, rx })
+        Ok(Mailbox {
+            addr: local,
+            rx,
+            stats: Some(self.stats.clone()),
+        })
+    }
+
+    fn net_stats(&self) -> Option<Arc<NetStats>> {
+        Some(self.stats.clone())
     }
 }
 
@@ -403,7 +421,10 @@ mod tests {
         // matches both filters.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while publ.publish(&Frame::signal(7)) < 2 {
-            assert!(std::time::Instant::now() < deadline, "subscribers never registered");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "subscribers never registered"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
         publ.publish(&Frame::signal(3));

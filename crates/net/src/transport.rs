@@ -4,7 +4,113 @@
 use crate::addr::Addr;
 use crate::frame::Frame;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// One packet type's traffic totals.
+#[derive(Default)]
+struct PacketCounter {
+    frames: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Per-packet-type frame and byte counters for one transport instance.
+///
+/// Every [`Outbox`] push, publisher fan-out, and REQ send records
+/// under the frame's packet type; every [`Mailbox`] receive records on
+/// the other side. Counters are monotonic and lock-free; reads are
+/// `Relaxed` snapshots.
+pub struct NetStats {
+    sent: [PacketCounter; 256],
+    recv: [PacketCounter; 256],
+}
+
+impl Default for NetStats {
+    fn default() -> Self {
+        NetStats {
+            sent: std::array::from_fn(|_| PacketCounter::default()),
+            recv: std::array::from_fn(|_| PacketCounter::default()),
+        }
+    }
+}
+
+impl NetStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one sent frame of `packet_type`.
+    pub fn record_sent(&self, packet_type: u8, bytes: usize) {
+        self.record_sent_n(packet_type, bytes, 1);
+    }
+
+    /// Count `copies` identical sent frames of `packet_type` (broadcast).
+    pub fn record_sent_n(&self, packet_type: u8, bytes: usize, copies: u64) {
+        let c = &self.sent[packet_type as usize];
+        c.frames.fetch_add(copies, Ordering::Relaxed);
+        c.bytes.fetch_add(bytes as u64 * copies, Ordering::Relaxed);
+    }
+
+    /// Count one received frame of `packet_type`.
+    pub fn record_recv(&self, packet_type: u8, bytes: usize) {
+        let c = &self.recv[packet_type as usize];
+        c.frames.fetch_add(1, Ordering::Relaxed);
+        c.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// `(frames, bytes)` sent under `packet_type`.
+    pub fn sent(&self, packet_type: u8) -> (u64, u64) {
+        let c = &self.sent[packet_type as usize];
+        (
+            c.frames.load(Ordering::Relaxed),
+            c.bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `(frames, bytes)` received under `packet_type`.
+    pub fn received(&self, packet_type: u8) -> (u64, u64) {
+        let c = &self.recv[packet_type as usize];
+        (
+            c.frames.load(Ordering::Relaxed),
+            c.bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `(frames, bytes)` sent across all packet types.
+    pub fn total_sent(&self) -> (u64, u64) {
+        self.sent.iter().fold((0, 0), |(f, b), c| {
+            (
+                f + c.frames.load(Ordering::Relaxed),
+                b + c.bytes.load(Ordering::Relaxed),
+            )
+        })
+    }
+
+    /// `(frames, bytes)` received across all packet types.
+    pub fn total_received(&self) -> (u64, u64) {
+        self.recv.iter().fold((0, 0), |(f, b), c| {
+            (
+                f + c.frames.load(Ordering::Relaxed),
+                b + c.bytes.load(Ordering::Relaxed),
+            )
+        })
+    }
+}
+
+impl std::fmt::Debug for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (sf, sb) = self.total_sent();
+        let (rf, rb) = self.total_received();
+        f.debug_struct("NetStats")
+            .field("sent_frames", &sf)
+            .field("sent_bytes", &sb)
+            .field("recv_frames", &rf)
+            .field("recv_bytes", &rb)
+            .finish()
+    }
+}
 
 /// Errors surfaced by the messaging layer.
 #[derive(Debug)]
@@ -119,9 +225,18 @@ impl Delivery {
 pub struct Mailbox {
     pub(crate) addr: Addr,
     pub(crate) rx: Receiver<Delivery>,
+    /// Receive-side traffic counters of the owning transport, when the
+    /// backend tracks them.
+    pub(crate) stats: Option<Arc<NetStats>>,
 }
 
 impl Mailbox {
+    fn note(&self, d: &Delivery) {
+        if let Some(stats) = &self.stats {
+            stats.record_recv(d.frame.packet_type(), d.frame.len());
+        }
+    }
+
     /// The bound address.
     pub fn addr(&self) -> &Addr {
         &self.addr
@@ -129,21 +244,28 @@ impl Mailbox {
 
     /// Block until a message arrives or all senders are gone.
     pub fn recv(&self) -> Result<Delivery, NetError> {
-        self.rx.recv().map_err(|_| NetError::Disconnected)
+        let d = self.rx.recv().map_err(|_| NetError::Disconnected)?;
+        self.note(&d);
+        Ok(d)
     }
 
     /// Block up to `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Delivery, NetError> {
-        self.rx.recv_timeout(timeout).map_err(|e| match e {
+        let d = self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => NetError::Timeout,
             RecvTimeoutError::Disconnected => NetError::Disconnected,
-        })
+        })?;
+        self.note(&d);
+        Ok(d)
     }
 
     /// Non-blocking receive; `Ok(None)` when the mailbox is empty.
     pub fn try_recv(&self) -> Result<Option<Delivery>, NetError> {
         match self.rx.try_recv() {
-            Ok(d) => Ok(Some(d)),
+            Ok(d) => {
+                self.note(&d);
+                Ok(Some(d))
+            }
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => Err(NetError::Disconnected),
         }
@@ -161,14 +283,29 @@ impl Mailbox {
 #[derive(Debug, Clone)]
 pub struct Outbox {
     pub(crate) tx: Sender<Delivery>,
+    /// Send-side traffic counters of the owning transport, when the
+    /// backend tracks them.
+    pub(crate) stats: Option<Arc<NetStats>>,
 }
 
 impl Outbox {
     /// Queue a frame for delivery. Fails only if the peer is gone.
     pub fn send(&self, frame: Frame) -> Result<(), NetError> {
+        if let Some(stats) = &self.stats {
+            stats.record_sent(frame.packet_type(), frame.len());
+        }
         self.tx
             .send(Delivery::push(frame))
             .map_err(|_| NetError::Disconnected)
+    }
+
+    /// Frames queued behind this handle that the consumer has not yet
+    /// taken (approximate under concurrency). For the in-process
+    /// backend this is the peer's mailbox backlog; for TCP it is the
+    /// connection writer's queue. [`crate::CoalescingOutbox`] uses it
+    /// to bound in-flight bytes.
+    pub fn queued(&self) -> usize {
+        self.tx.len()
     }
 }
 
@@ -194,6 +331,11 @@ impl Publisher {
     /// Publish a frame to every subscriber whose topic filter matches
     /// the frame's packet type. Returns the number of subscribers
     /// reached (useful for tests; ZeroMQ offers no such feedback).
+    ///
+    /// Frames are `Bytes`-backed, so each subscriber receives a cheap
+    /// reference-counted handle to the same buffer: one allocation per
+    /// broadcast regardless of subscriber count (TCP subscribers pay
+    /// the unavoidable socket copy, but no heap copy).
     pub fn publish(&self, frame: &Frame) -> usize {
         (self.sink)(frame)
     }
@@ -224,12 +366,7 @@ pub trait Transport: Send + Sync + 'static {
     /// both direct and broadcast traffic (the paper's agents poll one
     /// communication channel, §3.4). The default implementation relays
     /// through a thread; backends may wire it directly.
-    fn subscribe_forward(
-        &self,
-        addr: &Addr,
-        topics: &[u8],
-        target: &Addr,
-    ) -> Result<(), NetError> {
+    fn subscribe_forward(&self, addr: &Addr, topics: &[u8], target: &Addr) -> Result<(), NetError> {
         let sub = self.subscribe(addr, topics)?;
         let out = self.sender(target)?;
         std::thread::spawn(move || {
@@ -240,5 +377,12 @@ pub trait Transport: Send + Sync + 'static {
             }
         });
         Ok(())
+    }
+
+    /// Transport-level traffic counters ([`NetStats`]), when the
+    /// backend tracks them. Wrapper transports delegate to their inner
+    /// backend.
+    fn net_stats(&self) -> Option<Arc<NetStats>> {
+        None
     }
 }

@@ -151,10 +151,9 @@ fn coordinator() {
     let dir_addr = tcp(dir);
     let bus_addr = tcp(bus);
 
-    let edges: Vec<(u64, u64)> =
-        elga::gen::powerlaw::power_law(300, 1500, 2.0, 7)
-            .into_iter()
-            .collect();
+    let edges: Vec<(u64, u64)> = elga::gen::powerlaw::power_law(300, 1500, 2.0, 7)
+        .into_iter()
+        .collect();
     let mut streamer =
         Streamer::connect(transport.clone(), cfg.clone(), dir_addr.clone()).expect("streamer");
     let changes: Vec<EdgeChange> = edges
@@ -201,8 +200,7 @@ fn coordinator() {
     println!("PageRank (10 iters) across processes: {dt:?}");
 
     // Validate against the local reference.
-    let proxy =
-        ClientProxy::connect(transport.clone(), cfg, dir_addr.clone()).expect("proxy");
+    let proxy = ClientProxy::connect(transport.clone(), cfg, dir_addr.clone()).expect("proxy");
     let truth = reference::wcc(edges.iter().copied());
     let sample: Vec<u64> = truth.keys().copied().take(5).collect();
     let mut mass = 0.0;
@@ -213,13 +211,18 @@ fn coordinator() {
     }
     println!("rank mass across processes: {mass:.6}");
     for v in sample {
-        println!("  query vertex {v}: rank {:?}", proxy
-            .query_primary(v)
-            .map(|r| f64::from_bits(r.state)));
+        println!(
+            "  query vertex {v}: rank {:?}",
+            proxy.query_primary(v).map(|r| f64::from_bits(r.state))
+        );
     }
 
     // Tear down: broadcast SHUTDOWN, stop the master, reap children.
-    let _ = transport.request(&dir_addr, Frame::signal(packet::SHUTDOWN), Duration::from_secs(5));
+    let _ = transport.request(
+        &dir_addr,
+        Frame::signal(packet::SHUTDOWN),
+        Duration::from_secs(5),
+    );
     if let Ok(out) = transport.sender(&tcp(master)) {
         let _ = out.send(Frame::signal(packet::SHUTDOWN));
     }

@@ -68,6 +68,33 @@ fn main() {
         Duration::from_nanos(m.apply_nanos)
     );
 
+    // Comms-plane telemetry: per-packet-type traffic and what made the
+    // coalescer close its frames.
+    let c = &m.comms;
+    println!("comms (frames sent / bytes sent / frames recv / bytes recv):");
+    for (name, p) in [
+        ("vmsg", &c.vmsg),
+        ("partial", &c.partial),
+        ("state", &c.state),
+        ("edge_changes", &c.edge_changes),
+        ("deg_delta", &c.deg_delta),
+        ("migration", &c.migration),
+    ] {
+        println!(
+            "  {name:<12} {:>8} / {:>10} / {:>8} / {:>10}",
+            p.frames_sent, p.bytes_sent, p.frames_recv, p.bytes_recv
+        );
+    }
+    println!(
+        "  total data-plane: {} frames, {} bytes sent",
+        c.frames_sent(),
+        c.bytes_sent()
+    );
+    println!(
+        "coalescer flushes: {} size, {} count, {} explicit, {} switch; {} backpressure waits",
+        c.size_flushes, c.count_flushes, c.explicit_flushes, c.switch_flushes, c.backpressure_waits
+    );
+
     // Scale back down for cost savings.
     while cluster.agent_count() > 4 {
         cluster.remove_last_agent();

@@ -49,7 +49,7 @@ pub mod prelude {
     pub use elga_core::autoscale::{Autoscaler, EmaAutoscaler};
     pub use elga_core::cluster::{Cluster, ClusterBuilder};
     pub use elga_core::config::SystemConfig;
-    pub use elga_core::program::{VertexProgram, ExecutionMode};
+    pub use elga_core::program::{ExecutionMode, VertexProgram};
     pub use elga_graph::{Batch, EdgeChange, VertexId};
     pub use elga_hash::{EdgeLocator, HashKind, LocatorConfig, Ring};
     pub use elga_sketch::CountMinSketch;

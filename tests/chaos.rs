@@ -137,7 +137,11 @@ fn killed_agent_is_evicted_and_run_restarts_to_correct_results() {
         .expect("run must complete despite the crash");
 
     let (ids, dense) = densify(&edges);
-    assert_eq!(stats.n_vertices, ids.len() as u64, "replay restored every vertex");
+    assert_eq!(
+        stats.n_vertices,
+        ids.len() as u64,
+        "replay restored every vertex"
+    );
     assert_eq!(cluster.agent_count(), 3, "victim evicted from the view");
     assert!(!cluster.agent_ids().contains(&victim));
     assert!(cluster.metrics().agents_recovered >= 1);

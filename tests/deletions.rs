@@ -19,9 +19,7 @@ fn hub_deletion_storm_leaves_a_consistent_graph() {
 
     // A hub with 20k out-edges plus a ring so the graph stays connected
     // for the survivors.
-    let mut inserts: Vec<EdgeChange> = (1..=SPOKES)
-        .map(|s| EdgeChange::insert(HUB, s))
-        .collect();
+    let mut inserts: Vec<EdgeChange> = (1..=SPOKES).map(|s| EdgeChange::insert(HUB, s)).collect();
     for s in 1..SPOKES {
         inserts.push(EdgeChange::insert(s, s + 1));
     }

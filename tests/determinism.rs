@@ -16,6 +16,12 @@
 //!   arrival *interleave* of senders is scheduling-dependent (equally
 //!   so before the parallel kernels), so there the test pins the usual
 //!   1e-9 agreement.
+//!
+//! The same contract covers the comms plane's coalescing ablation:
+//! coalescing packs the identical record stream into different frame
+//! boundaries, never a different per-destination order, so every
+//! bit-exactness promise above must hold with coalescing on or off —
+//! in-process, over TCP, and under chaos.
 
 use elga::core::agent::Agent;
 use elga::core::directory::{self, DirectoryRole};
@@ -54,10 +60,15 @@ fn big_graph(n: u64) -> Vec<(u64, u64)> {
 fn states_for(
     workers: usize,
     agents: usize,
+    coalescing: bool,
     edges: &[(u64, u64)],
     spec: impl Into<ProgramSpec>,
 ) -> HashMap<u64, u64> {
-    let mut cluster = Cluster::builder().agents(agents).workers(workers).build();
+    let mut cluster = Cluster::builder()
+        .agents(agents)
+        .workers(workers)
+        .coalescing(coalescing)
+        .build();
     cluster.ingest_edges(edges.iter().copied());
     cluster.run(spec).expect("run");
     let states = cluster.dump_states();
@@ -68,8 +79,8 @@ fn states_for(
 #[test]
 fn wcc_bit_identical_across_worker_counts() {
     let edges = big_graph(6000);
-    let w1 = states_for(1, 2, &edges, Wcc::new());
-    let w4 = states_for(4, 2, &edges, Wcc::new());
+    let w1 = states_for(1, 2, true, &edges, Wcc::new());
+    let w4 = states_for(4, 2, true, &edges, Wcc::new());
     assert_eq!(w1.len(), 6000);
     assert_eq!(w1, w4, "WCC labels must not depend on worker count");
 }
@@ -78,8 +89,8 @@ fn wcc_bit_identical_across_worker_counts() {
 fn single_agent_pagerank_bit_identical_across_worker_counts() {
     let edges = big_graph(3000);
     let pr = PageRank::new(0.85).with_max_iters(10);
-    let w1 = states_for(1, 1, &edges, pr);
-    let w4 = states_for(4, 1, &edges, pr);
+    let w1 = states_for(1, 1, true, &edges, pr);
+    let w4 = states_for(4, 1, true, &edges, pr);
     assert_eq!(w1.len(), 3000);
     assert_eq!(
         w1, w4,
@@ -91,14 +102,35 @@ fn single_agent_pagerank_bit_identical_across_worker_counts() {
 fn multi_agent_pagerank_agrees_across_worker_counts() {
     let edges = big_graph(6000);
     let pr = PageRank::new(0.85).with_max_iters(10);
-    let w1 = states_for(1, 2, &edges, pr);
-    let w4 = states_for(4, 2, &edges, pr);
+    let w1 = states_for(1, 2, true, &edges, pr);
+    let w4 = states_for(4, 2, true, &edges, pr);
     assert_eq!(w1.len(), w4.len());
     for (v, &bits) in &w1 {
         let a = f64::from_bits(bits);
         let b = f64::from_bits(w4[v]);
         assert!((a - b).abs() < 1e-9, "v{v}: {a} vs {b}");
     }
+}
+
+#[test]
+fn results_bit_identical_with_coalescing_off() {
+    // Coalescing only repacks frame boundaries, so it composes with
+    // every other determinism axis: coalescing-on + 4 workers must
+    // match coalescing-off + 1 worker bit for bit.
+    let edges = big_graph(6000);
+    let on = states_for(4, 2, true, &edges, Wcc::new());
+    let off = states_for(1, 2, false, &edges, Wcc::new());
+    assert_eq!(on.len(), 6000);
+    assert_eq!(on, off, "WCC must be bit-exact across coalescing modes");
+
+    let edges = big_graph(3000);
+    let pr = PageRank::new(0.85).with_max_iters(10);
+    let on = states_for(4, 1, true, &edges, pr);
+    let off = states_for(1, 1, false, &edges, pr);
+    assert_eq!(
+        on, off,
+        "single-agent PageRank must be bit-exact across coalescing modes"
+    );
 }
 
 #[test]
@@ -136,6 +168,54 @@ fn wcc_bit_identical_under_chaos_with_workers() {
     clean.shutdown();
 }
 
+#[test]
+fn wcc_bit_identical_under_chaos_with_coalescing() {
+    // Retries may duplicate or reorder whole frames; coalesced frames
+    // carry more records each, so this is the sharpest test that frame
+    // boundaries never leak into results. The chaotic coalescing-on
+    // cluster must match a clean coalescing-off one.
+    let edges = big_graph(6000);
+    let cfg = SystemConfig {
+        request_timeout: Duration::from_secs(5),
+        send_policy: SendPolicy {
+            retries: 6,
+            base_delay: Duration::from_millis(2),
+            deadline: Duration::from_secs(10),
+        },
+        quiesce_deadline: Duration::from_secs(60),
+        run_deadline: Duration::from_secs(120),
+        ..SystemConfig::default()
+    };
+    let plan = FaultPlan::uniform(0.05, 0.01, Duration::ZERO, Duration::from_millis(5));
+    let mut chaos = Cluster::builder()
+        .agents(4)
+        .config(cfg.clone())
+        .workers(4)
+        .coalescing(true)
+        .chaos(plan, 0xC0A1)
+        .build();
+    let mut clean = Cluster::builder()
+        .agents(4)
+        .config(cfg)
+        .workers(1)
+        .coalescing(false)
+        .build();
+    chaos.ingest_edges(edges.iter().copied());
+    clean.ingest_edges(edges.iter().copied());
+    chaos.run(Wcc::new()).expect("chaos wcc");
+    clean.run(Wcc::new()).expect("clean wcc");
+    let got = chaos.dump_states();
+    let want = clean.dump_states();
+    assert_eq!(
+        got, want,
+        "chaos + coalescing on must match clean + coalescing off"
+    );
+    let stats = chaos.fault().expect("chaos handle").stats();
+    assert!(stats.dropped() > 0, "no frames dropped — chaos was a no-op");
+    chaos.shutdown();
+    clean.shutdown();
+}
+
 // ---------------------------------------------------------------------
 // TCP transport
 // ---------------------------------------------------------------------
@@ -150,10 +230,15 @@ fn reserve_port() -> u16 {
 
 /// Single-agent deployment over real TCP sockets with the given worker
 /// count; runs PageRank then WCC and returns both state dumps.
-fn tcp_states(workers: usize, edges: &[(u64, u64)]) -> (HashMap<u64, u64>, HashMap<u64, u64>) {
+fn tcp_states(
+    workers: usize,
+    coalescing: bool,
+    edges: &[(u64, u64)],
+) -> (HashMap<u64, u64>, HashMap<u64, u64>) {
     let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
     let cfg = SystemConfig {
         workers,
+        coalescing,
         ..SystemConfig::default()
     };
     let master = Addr::parse(&format!("tcp://127.0.0.1:{}", reserve_port())).expect("addr");
@@ -218,13 +303,21 @@ fn tcp_states(workers: usize, edges: &[(u64, u64)]) -> (HashMap<u64, u64>, HashM
     };
     let dump = |transport: &Arc<dyn Transport>| {
         let rep = transport
-            .request(&dir0, Frame::signal(packet::GET_VIEW), Duration::from_secs(5))
+            .request(
+                &dir0,
+                Frame::signal(packet::GET_VIEW),
+                Duration::from_secs(5),
+            )
             .expect("view");
         let view = DirectoryView::decode(&rep).expect("view");
         let mut out = HashMap::new();
         for a in &view.agents {
             let rep = transport
-                .request(&a.addr, Frame::signal(packet::DUMP), Duration::from_secs(30))
+                .request(
+                    &a.addr,
+                    Frame::signal(packet::DUMP),
+                    Duration::from_secs(30),
+                )
                 .expect("dump");
             let mut r = rep.reader();
             let n = r.u32().expect("count");
@@ -240,7 +333,11 @@ fn tcp_states(workers: usize, edges: &[(u64, u64)]) -> (HashMap<u64, u64>, HashM
     run_to_done(Wcc::new().into());
     let wcc = dump(&transport);
 
-    let _ = transport.request(&dir0, Frame::signal(packet::SHUTDOWN), Duration::from_secs(5));
+    let _ = transport.request(
+        &dir0,
+        Frame::signal(packet::SHUTDOWN),
+        Duration::from_secs(5),
+    );
     if let Ok(out) = transport.sender(&master) {
         let _ = out.send(Frame::signal(packet::SHUTDOWN));
     }
@@ -251,9 +348,25 @@ fn tcp_states(workers: usize, edges: &[(u64, u64)]) -> (HashMap<u64, u64>, HashM
 #[test]
 fn tcp_results_bit_identical_across_worker_counts() {
     let edges = big_graph(2000);
-    let (pr1, wcc1) = tcp_states(1, &edges);
-    let (pr4, wcc4) = tcp_states(4, &edges);
+    let (pr1, wcc1) = tcp_states(1, true, &edges);
+    let (pr4, wcc4) = tcp_states(4, true, &edges);
     assert_eq!(pr1.len(), 2000);
     assert_eq!(pr1, pr4, "PageRank over TCP must be bit-exact");
     assert_eq!(wcc1, wcc4, "WCC over TCP must be bit-exact");
+}
+
+#[test]
+fn tcp_results_bit_identical_with_coalescing_off() {
+    let edges = big_graph(2000);
+    let (pr_on, wcc_on) = tcp_states(4, true, &edges);
+    let (pr_off, wcc_off) = tcp_states(1, false, &edges);
+    assert_eq!(pr_on.len(), 2000);
+    assert_eq!(
+        pr_on, pr_off,
+        "PageRank over TCP must be bit-exact across coalescing and worker counts"
+    );
+    assert_eq!(
+        wcc_on, wcc_off,
+        "WCC over TCP must be bit-exact across coalescing and worker counts"
+    );
 }

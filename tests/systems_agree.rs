@@ -20,10 +20,7 @@ fn densify(edges: &[(u64, u64)]) -> (Vec<u64>, Vec<(u64, u64)>) {
         .enumerate()
         .map(|(i, &v)| (v, i as u64))
         .collect();
-    let dense = edges
-        .iter()
-        .map(|&(u, v)| (index[&u], index[&v]))
-        .collect();
+    let dense = edges.iter().map(|&(u, v)| (index[&u], index[&v])).collect();
     (ids, dense)
 }
 

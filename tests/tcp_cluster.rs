@@ -119,8 +119,8 @@ fn wcc_and_pagerank_over_tcp_sockets() {
     std::thread::sleep(Duration::from_millis(200));
     run_to_done(Wcc::new().into());
 
-    let mut proxy = ClientProxy::connect(transport.clone(), cfg.clone(), dir0.clone())
-        .expect("proxy");
+    let mut proxy =
+        ClientProxy::connect(transport.clone(), cfg.clone(), dir0.clone()).expect("proxy");
     let expect = reference::wcc(edges.iter().copied());
     for (&v, &label) in &expect {
         let got = proxy.query(v).map(|r| r.state);
@@ -137,7 +137,11 @@ fn wcc_and_pagerank_over_tcp_sockets() {
     assert!((mass - 1.0).abs() < 1e-9, "rank mass over tcp: {mass}");
 
     // Shut the whole deployment down over the wire.
-    let _ = transport.request(&dir0, Frame::signal(packet::SHUTDOWN), Duration::from_secs(5));
+    let _ = transport.request(
+        &dir0,
+        Frame::signal(packet::SHUTDOWN),
+        Duration::from_secs(5),
+    );
     if let Ok(out) = transport.sender(&master) {
         let _ = out.send(Frame::signal(packet::SHUTDOWN));
     }
