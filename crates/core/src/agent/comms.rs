@@ -37,7 +37,13 @@ impl Agent {
     }
 
     fn make_outbox(&self, out: Outbox, agent: AgentId) -> CoalescingOutbox {
-        CoalescingOutbox::new(out, self.coalesce_config(agent)).with_net_stats(self.net.clone())
+        let co = CoalescingOutbox::new(out, self.coalesce_config(agent))
+            .with_net_stats(self.net.clone());
+        if self.tracer.enabled() {
+            co.with_tracer(self.tracer.clone())
+        } else {
+            co
+        }
     }
 
     fn outbox(&mut self, agent: AgentId) -> Option<&mut CoalescingOutbox> {

@@ -43,10 +43,14 @@ impl Agent {
         };
         self.view = view;
         self.locator = self.view.locator();
+        self.tracer
+            .instant(EventKind::ViewAdopt, epoch, self.view.agents.len() as u64);
         if filter.is_none() {
             // Membership changed: the cached senders' addresses are
             // stale. Flush what they hold (the old peers are still
             // alive and will forward) before dropping them.
+            self.tracer
+                .instant(EventKind::ViewRetire, epoch, self.outboxes.len() as u64);
             self.retire_outboxes();
         }
         if !self.departing && self.view.addr_of(self.id).is_none() {
@@ -216,6 +220,15 @@ impl Agent {
         // record-coalesced; they still leave through the coalescing
         // outboxes so ordering against in-flight appends holds.
         for (agent, bundle) in bundles {
+            if self.tracer.enabled() {
+                let records = bundle.metas.len() as u64
+                    + bundle
+                        .vertex_edges
+                        .iter()
+                        .map(|(_, _, _, edges)| edges.len() as u64 + 1)
+                        .sum::<u64>();
+                self.tracer.instant(EventKind::MigrateSend, agent, records);
+            }
             if !bundle.metas.is_empty() {
                 for chunk in bundle.metas.chunks(BATCH) {
                     self.counters.mig_sent += chunk.len() as u64;
@@ -237,6 +250,8 @@ impl Agent {
             return;
         };
         self.counters.mig_recv += edges.len() as u64 + 1;
+        self.tracer
+            .instant(EventKind::MigrateRecv, edges.len() as u64 + 1, 0);
         let v = snap.vertex;
         let e = self.vertices.entry_or_default(v);
         if g_in_delta != 0 {
@@ -276,6 +291,8 @@ impl Agent {
             return;
         };
         self.counters.mig_recv += metas.len() as u64;
+        self.tracer
+            .instant(EventKind::MigrateRecv, metas.len() as u64, 0);
         for m in metas {
             let e = self.vertices.entry_or_default(m.vertex);
             e.g_out += m.out_degree as i64;

@@ -60,6 +60,7 @@ use elga_net::{
     Outbox, Transport, TransportExt,
 };
 use elga_sketch::CountMinSketch;
+use elga_trace::{EventKind, Tracer};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -193,6 +194,10 @@ pub struct Agent {
     /// not even by recovery — or stale pre-reset reports could
     /// outrank fresh ones.
     ready_seq: u64,
+    /// Event recorder (phase spans, view changes, migrations,
+    /// recoveries). Disabled unless `cfg.tracing`; drained over the
+    /// wire by TRACE_DUMP.
+    tracer: Arc<Tracer>,
 }
 
 impl Agent {
@@ -292,6 +297,7 @@ impl Agent {
             metrics_flushed: Instant::now(),
             heartbeat_sent: Instant::now(),
             ready_seq: 0,
+            tracer: Arc::new(Tracer::from_flag(cfg.tracing)),
         };
         if let Some(info) = run_info {
             agent.begin_run(info);
@@ -422,6 +428,15 @@ impl Agent {
                         .u64(self.counters.chg_sent)
                         .u64(self.counters.chg_recv)
                         .u64(self.view.epoch)
+                        .finish();
+                    let _ = reply.send(rep);
+                }
+            }
+            packet::TRACE_DUMP => {
+                if let Some(reply) = d.reply {
+                    let (events, dropped) = self.tracer.drain();
+                    let rep = Frame::builder(packet::TRACE_DUMP)
+                        .raw(&elga_trace::encode_events(&events, dropped))
                         .finish();
                     let _ = reply.send(rep);
                 }
@@ -558,7 +573,10 @@ impl Agent {
         run.global = adv.global;
         if run.info.asynchronous && adv.step == 1 && adv.phase == Phase::Scatter {
             run.async_live = true;
+            let t0 = Instant::now();
             self.async_initial_scatter();
+            self.tracer
+                .span(EventKind::PhaseScatter, t0, adv.run, u64::from(adv.step));
             // A faster peer's initial scatter can race ahead of this
             // advance; those frames were buffered under the sync rules
             // and would otherwise be stranded (their send was counted,
@@ -576,11 +594,23 @@ impl Agent {
         }
         let nanos = t0.elapsed().as_nanos() as u64;
         self.metrics.last_step_nanos = nanos;
-        match adv.phase {
-            Phase::Scatter => self.metrics.scatter_nanos += nanos,
-            Phase::Combine => self.metrics.combine_nanos += nanos,
-            Phase::Apply => self.metrics.apply_nanos += nanos,
-            Phase::Migrate => {}
+        let span_kind = match adv.phase {
+            Phase::Scatter => {
+                self.metrics.scatter_nanos += nanos;
+                Some(EventKind::PhaseScatter)
+            }
+            Phase::Combine => {
+                self.metrics.combine_nanos += nanos;
+                Some(EventKind::PhaseCombine)
+            }
+            Phase::Apply => {
+                self.metrics.apply_nanos += nanos;
+                Some(EventKind::PhaseApply)
+            }
+            Phase::Migrate => None,
+        };
+        if let Some(kind) = span_kind {
+            self.tracer.span(kind, t0, adv.run, u64::from(adv.step));
         }
         self.replay_buffered();
     }

@@ -29,6 +29,8 @@ impl Agent {
             return false;
         }
         let epoch = rec.epoch;
+        self.tracer
+            .instant(EventKind::RecoveryTrigger, epoch, rec.dead_agent);
         self.vertices.clear();
         self.out_pos.clear();
         self.in_pos.clear();

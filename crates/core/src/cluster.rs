@@ -153,6 +153,7 @@ impl ClusterBuilder {
             streamer: None,
             proxy: None,
             alive: true,
+            trace_tracks: Vec::new(),
         };
         cluster.add_agents(self.agents);
         cluster.quiesce().expect("initial quiesce");
@@ -217,6 +218,10 @@ pub struct Cluster {
     streamer: Option<Streamer>,
     proxy: Option<ClientProxy>,
     alive: bool,
+    /// Trace buffers salvaged from participants that already left
+    /// (departed agents drained just before their LEAVE). Merged into
+    /// [`Cluster::collect_traces`] output.
+    trace_tracks: Vec<(String, Vec<elga_trace::TraceEvent>)>,
 }
 
 impl Cluster {
@@ -305,9 +310,52 @@ impl Cluster {
     /// and disconnects only once the directory confirms the drain
     /// (§3.4.3).
     pub fn remove_agent(&mut self, id: AgentId) {
-        let _ = self.request(Frame::builder(packet::LEAVE).u64(id).finish());
-        if let Some(handle) = self.agent_handles.remove(&id) {
-            let _ = handle.join();
+        self.remove_agent_batch(&[id]);
+    }
+
+    /// Gracefully remove the `n` most recently added agents in a
+    /// single view change. One LEAVE frame carries every departing id,
+    /// so the directory runs one membership update and one migration
+    /// barrier total — not one per agent as a `remove_agent` loop
+    /// would. Returns the removed ids (may be fewer than `n` if the
+    /// cluster is smaller).
+    pub fn remove_agents(&mut self, n: usize) -> Vec<AgentId> {
+        let mut ids: Vec<AgentId> = self.agent_handles.keys().copied().collect();
+        ids.sort_unstable();
+        let keep = ids.len().saturating_sub(n);
+        let departing: Vec<AgentId> = ids.split_off(keep);
+        self.remove_agent_batch(&departing);
+        departing
+    }
+
+    fn remove_agent_batch(&mut self, ids: &[AgentId]) {
+        if ids.is_empty() {
+            return;
+        }
+        // Departing agents take their trace buffers with them; salvage
+        // the events before the LEAVE makes the mailbox unreachable.
+        if self.cfg.tracing {
+            let view = self.view();
+            for &id in ids {
+                let Some(info) = view.agents.iter().find(|a| a.id == id) else {
+                    continue;
+                };
+                if let Ok(rep) = self.request_agent(&info.addr, Frame::signal(packet::TRACE_DUMP)) {
+                    if let Some((events, _dropped)) = elga_trace::decode_events(rep.payload()) {
+                        self.trace_tracks.push((format!("agent-{id}"), events));
+                    }
+                }
+            }
+        }
+        let mut b = Frame::builder(packet::LEAVE);
+        for &id in ids {
+            b = b.u64(id);
+        }
+        let _ = self.request(b.finish());
+        for id in ids {
+            if let Some(handle) = self.agent_handles.remove(id) {
+                let _ = handle.join();
+            }
         }
     }
 
@@ -635,15 +683,45 @@ impl Cluster {
     /// Aggregated agent metrics from the directory. A DRAIN round
     /// first forces every agent to flush its report, so the aggregate
     /// reflects all work finished before this call.
+    ///
+    /// An unreachable agent is retried once against a re-fetched view
+    /// (it may have moved or departed between the view fetch and the
+    /// request). If any *current* member still cannot be drained, the
+    /// aggregate is marked [`ClusterMetrics::partial`] rather than
+    /// silently passing off stale numbers as fresh ones;
+    /// [`ClusterMetrics::agents_drained`] counts the reports that did
+    /// land.
     pub fn metrics(&self) -> ClusterMetrics {
+        let mut failed: Vec<AgentId> = Vec::new();
+        let mut drained: u64 = 0;
         for a in &self.view().agents {
-            let _ = self.request_agent(&a.addr, Frame::signal(packet::DRAIN));
+            match self.request_agent(&a.addr, Frame::signal(packet::DRAIN)) {
+                Ok(_) => drained += 1,
+                Err(_) => failed.push(a.id),
+            }
+        }
+        let mut partial = false;
+        if !failed.is_empty() {
+            let fresh = self.view();
+            for id in failed {
+                // Evicted or departed since the first round: not a
+                // member any more, so its absence is not partiality.
+                let Some(info) = fresh.agents.iter().find(|a| a.id == id) else {
+                    continue;
+                };
+                match self.request_agent(&info.addr, Frame::signal(packet::DRAIN)) {
+                    Ok(_) => drained += 1,
+                    Err(_) => partial = true,
+                }
+            }
         }
         let mut agg = self
             .request(Frame::signal(packet::GET_METRICS))
             .ok()
             .and_then(|f| ClusterMetrics::decode(&f))
             .unwrap_or_default();
+        agg.agents_drained = drained;
+        agg.partial = partial;
         // The fault layer is driver-owned; agents never see drops.
         if let Some(fault) = &self.fault {
             agg.messages_dropped = fault.stats().dropped();
@@ -662,13 +740,57 @@ impl Cluster {
                 self.add_agents(target - current);
             }
             Ordering::Less => {
-                for _ in 0..(current - target) {
-                    self.remove_last_agent();
-                }
+                // One batched LEAVE: a single view change and one
+                // migration barrier regardless of how far down we go.
+                self.remove_agents(current - target);
             }
             Ordering::Equal => {}
         }
         Some(target)
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing
+    // ------------------------------------------------------------------
+
+    /// Drain every participant's trace buffer into named tracks: the
+    /// lead directory, each live agent, the streamer (if one was
+    /// created), plus buffers salvaged from agents that already
+    /// departed. Draining consumes events — a second call returns only
+    /// what happened since. Empty unless [`SystemConfig::tracing`] is
+    /// on.
+    pub fn collect_traces(&mut self) -> Vec<(String, Vec<elga_trace::TraceEvent>)> {
+        let mut tracks = std::mem::take(&mut self.trace_tracks);
+        if !self.cfg.tracing {
+            return tracks;
+        }
+        if let Ok(rep) = self.request(Frame::signal(packet::TRACE_DUMP)) {
+            if let Some((events, _dropped)) = elga_trace::decode_events(rep.payload()) {
+                tracks.push(("directory-0".to_string(), events));
+            }
+        }
+        for a in &self.view().agents {
+            if let Ok(rep) = self.request_agent(&a.addr, Frame::signal(packet::TRACE_DUMP)) {
+                if let Some((events, _dropped)) = elga_trace::decode_events(rep.payload()) {
+                    tracks.push((format!("agent-{}", a.id), events));
+                }
+            }
+        }
+        if let Some(s) = &self.streamer {
+            let (events, _dropped) = s.tracer().drain();
+            if !events.is_empty() {
+                tracks.push(("streamer".to_string(), events));
+            }
+        }
+        tracks
+    }
+
+    /// [`Cluster::collect_traces`] rendered as Chrome-trace JSON — load
+    /// the string in Perfetto or `chrome://tracing`; each participant
+    /// gets its own named track.
+    pub fn chrome_trace(&mut self) -> String {
+        let tracks = self.collect_traces();
+        elga_trace::chrome_trace_json(&tracks)
     }
 
     // ------------------------------------------------------------------

@@ -67,6 +67,12 @@ pub struct SystemConfig {
     /// Results are bit-identical either way: coalescing changes frame
     /// boundaries, never per-destination record order.
     pub coalescing: bool,
+    /// Whether participants record trace events (superstep phases,
+    /// view changes, migrations, recoveries, coalescer flushes) into
+    /// per-participant ring buffers, collectable as Chrome-trace JSON.
+    /// Off by default; the disabled path is one relaxed atomic load
+    /// (or an unset `Option`), so benchmarks are unaffected.
+    pub tracing: bool,
 }
 
 impl Default for SystemConfig {
@@ -90,6 +96,7 @@ impl Default for SystemConfig {
             workers: 1,
             owner_cache: true,
             coalescing: true,
+            tracing: false,
         }
     }
 }
@@ -152,6 +159,7 @@ mod tests {
         let mut c = SystemConfig::default();
         assert!(c.owner_cache);
         assert!(c.coalescing);
+        assert!(!c.tracing, "tracing must be opt-in");
         assert_eq!(c.workers_effective(), 1);
         c.workers = 4;
         assert_eq!(c.workers_effective(), 4);

@@ -29,6 +29,7 @@ use crate::msg::{
 use elga_hash::AgentId;
 use elga_net::{Addr, Frame, Mailbox, NetError, Publisher, Transport};
 use elga_sketch::CountMinSketch;
+use elga_trace::{EventKind, Tracer};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -86,6 +87,9 @@ struct Lead {
     last_seen: HashMap<AgentId, Instant>,
     /// Agents declared dead and evicted by failure detection.
     agents_recovered: u64,
+    /// Event recorder (view changes, heartbeat misses, recoveries);
+    /// disabled unless `cfg.tracing`.
+    tracer: Arc<Tracer>,
 }
 
 impl Lead {
@@ -120,6 +124,7 @@ impl Lead {
             last_status: RunStatus::default(),
             last_seen: HashMap::new(),
             agents_recovered: 0,
+            tracer: Arc::new(Tracer::from_flag(cfg.tracing)),
         }
     }
 
@@ -187,6 +192,11 @@ impl Lead {
             let _ = self.view.sketch.merge(&s);
         }
         self.view.epoch += 1;
+        self.tracer.instant(
+            EventKind::ViewAdopt,
+            self.view.epoch,
+            self.view.agents.len() as u64,
+        );
         self.migrate_epoch = Some(self.view.epoch);
         self.migrate_members = self.member_ids();
         self.migrate_members.extend(self.departing.iter().copied());
@@ -280,6 +290,8 @@ impl Lead {
             };
         }
         self.view.epoch += 1;
+        self.tracer
+            .instant(EventKind::RecoveryTrigger, self.view.epoch, dead);
         self.migrate_epoch = Some(self.view.epoch);
         self.migrate_members = self.member_ids();
         self.agents_recovered += 1;
@@ -837,6 +849,8 @@ fn lead_loop(
         if cfg.failure_detection && checked.elapsed() >= cfg.heartbeat_interval {
             checked = Instant::now();
             for dead in lead.dead_agents(window) {
+                lead.tracer
+                    .instant(EventKind::HeartbeatMiss, dead, window.as_millis() as u64);
                 lead.recover(dead);
             }
         }
@@ -896,8 +910,16 @@ fn lead_loop(
                 }
             }
             packet::LEAVE => {
-                if let Some(id) = d.frame.reader().u64() {
+                // One frame may carry any number of departing ids;
+                // queueing them all before one apply_membership retires
+                // the whole batch in a single view change + migration.
+                let mut r = d.frame.reader();
+                let mut any = false;
+                while let Some(id) = r.u64() {
                     lead.pending_leaves.push(id);
+                    any = true;
+                }
+                if any {
                     if !lead.busy() {
                         lead.apply_membership();
                     }
@@ -977,6 +999,15 @@ fn lead_loop(
                 }
                 if let Some(reply) = d.reply {
                     let _ = reply.send(agg.encode());
+                }
+            }
+            packet::TRACE_DUMP => {
+                if let Some(reply) = d.reply {
+                    let (events, dropped) = lead.tracer.drain();
+                    let rep = Frame::builder(packet::TRACE_DUMP)
+                        .raw(&elga_trace::encode_events(&events, dropped))
+                        .finish();
+                    let _ = reply.send(rep);
                 }
             }
             packet::RESET_LABELS => {

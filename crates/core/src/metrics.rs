@@ -280,6 +280,13 @@ pub struct ClusterMetrics {
     pub messages_dropped: u64,
     /// Agents declared dead and evicted by failure detection.
     pub agents_recovered: u64,
+    /// Agents whose counters were successfully drained into this
+    /// aggregate (set by the driver's collection pass).
+    pub agents_drained: u64,
+    /// `true` when at least one live agent could not be drained (even
+    /// after a retry against the refreshed view), so the cumulative
+    /// totals undercount that agent's most recent activity.
+    pub partial: bool,
     /// Total owner-cache hits across agents.
     pub owner_cache_hits: u64,
     /// Total owner-cache misses across agents.
@@ -334,12 +341,160 @@ impl ClusterMetrics {
             .u64(self.retries_attempted)
             .u64(self.messages_dropped)
             .u64(self.agents_recovered)
+            .u64(self.agents_drained)
+            .u8(self.partial as u8)
             .u64(self.owner_cache_hits)
             .u64(self.owner_cache_misses)
             .u64(self.scatter_nanos)
             .u64(self.combine_nanos)
             .u64(self.apply_nanos);
         self.comms.encode_into(b).finish()
+    }
+
+    /// Render as Prometheus text exposition format (one gauge/counter
+    /// per field, `elga_` prefix), suitable for a textfile collector
+    /// or a debug endpoint.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP elga_{name} {help}\n# TYPE elga_{name} {kind}\nelga_{name} {value}\n"
+            ));
+        };
+        metric("agents", "gauge", "Registered agents.", self.agents);
+        metric(
+            "agents_drained",
+            "gauge",
+            "Agents drained into this aggregate.",
+            self.agents_drained,
+        );
+        metric(
+            "metrics_partial",
+            "gauge",
+            "1 when at least one live agent could not be drained.",
+            self.partial as u64,
+        );
+        metric(
+            "queries_total",
+            "counter",
+            "Client queries served.",
+            self.queries,
+        );
+        metric(
+            "changes_total",
+            "counter",
+            "Edge-change records applied.",
+            self.changes,
+        );
+        metric(
+            "vmsgs_total",
+            "counter",
+            "Vertex messages processed.",
+            self.vmsgs,
+        );
+        metric("edges", "gauge", "Out-placement edges held.", self.edges);
+        metric(
+            "max_step_nanos",
+            "gauge",
+            "Slowest agent's last superstep (ns).",
+            self.max_step_nanos,
+        );
+        metric(
+            "retries_total",
+            "counter",
+            "Transient failures retried.",
+            self.retries_attempted,
+        );
+        metric(
+            "messages_dropped_total",
+            "counter",
+            "Frames dropped by an injected fault layer.",
+            self.messages_dropped,
+        );
+        metric(
+            "agents_recovered_total",
+            "counter",
+            "Agents evicted by failure detection.",
+            self.agents_recovered,
+        );
+        metric(
+            "owner_cache_hits_total",
+            "counter",
+            "Owner-cache hits.",
+            self.owner_cache_hits,
+        );
+        metric(
+            "owner_cache_misses_total",
+            "counter",
+            "Owner-cache misses.",
+            self.owner_cache_misses,
+        );
+        metric(
+            "scatter_nanos_total",
+            "counter",
+            "Scatter-kernel wall time (ns).",
+            self.scatter_nanos,
+        );
+        metric(
+            "combine_nanos_total",
+            "counter",
+            "Combine-kernel wall time (ns).",
+            self.combine_nanos,
+        );
+        metric(
+            "apply_nanos_total",
+            "counter",
+            "Apply-kernel wall time (ns).",
+            self.apply_nanos,
+        );
+        metric(
+            "coalesce_size_flushes_total",
+            "counter",
+            "Coalescer flushes at the byte threshold.",
+            self.comms.size_flushes,
+        );
+        metric(
+            "coalesce_count_flushes_total",
+            "counter",
+            "Coalescer flushes at the record threshold.",
+            self.comms.count_flushes,
+        );
+        metric(
+            "coalesce_explicit_flushes_total",
+            "counter",
+            "Explicit phase-end coalescer flushes.",
+            self.comms.explicit_flushes,
+        );
+        metric(
+            "coalesce_switch_flushes_total",
+            "counter",
+            "Coalescer flushes forced by a type/header switch.",
+            self.comms.switch_flushes,
+        );
+        metric(
+            "backpressure_waits_total",
+            "counter",
+            "Sends that waited on in-flight credit.",
+            self.comms.backpressure_waits,
+        );
+        for (name, stat) in [
+            ("vmsg", &self.comms.vmsg),
+            ("partial", &self.comms.partial),
+            ("state", &self.comms.state),
+            ("edge_changes", &self.comms.edge_changes),
+            ("deg_delta", &self.comms.deg_delta),
+            ("migration", &self.comms.migration),
+        ] {
+            out.push_str(&format!(
+                "elga_frames_sent_total{{type=\"{name}\"}} {}\n",
+                stat.frames_sent
+            ));
+            out.push_str(&format!(
+                "elga_bytes_sent_total{{type=\"{name}\"}} {}\n",
+                stat.bytes_sent
+            ));
+        }
+        out
     }
 
     /// Decode a GET_METRICS reply.
@@ -358,6 +513,8 @@ impl ClusterMetrics {
             retries_attempted: r.u64()?,
             messages_dropped: r.u64()?,
             agents_recovered: r.u64()?,
+            agents_drained: r.u64()?,
+            partial: r.u8()? != 0,
             owner_cache_hits: r.u64()?,
             owner_cache_misses: r.u64()?,
             scatter_nanos: r.u64()?,
@@ -446,6 +603,8 @@ mod tests {
         });
         c.messages_dropped = 9;
         c.agents_recovered = 1;
+        c.agents_drained = 2;
+        c.partial = true;
         assert_eq!(c.queries, 12);
         assert_eq!(c.edges, 7);
         assert_eq!(c.max_step_nanos, 100);
@@ -473,6 +632,41 @@ mod tests {
         let c = ClusterMetrics::default();
         assert!(ClusterMetrics::decode(&m.encode()).is_none());
         assert!(AgentMetrics::decode(&c.encode()).is_none());
+    }
+
+    #[test]
+    fn prometheus_rendering_exposes_fields() {
+        let c = ClusterMetrics {
+            agents: 4,
+            agents_drained: 3,
+            partial: true,
+            queries: 12,
+            comms: CommsMetrics {
+                vmsg: PacketStat {
+                    frames_sent: 7,
+                    bytes_sent: 700,
+                    ..Default::default()
+                },
+                backpressure_waits: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let text = c.to_prometheus();
+        assert!(text.contains("elga_agents 4\n"));
+        assert!(text.contains("elga_agents_drained 3\n"));
+        assert!(text.contains("elga_metrics_partial 1\n"));
+        assert!(text.contains("elga_queries_total 12\n"));
+        assert!(text.contains("elga_backpressure_waits_total 2\n"));
+        assert!(text.contains("elga_frames_sent_total{type=\"vmsg\"} 7\n"));
+        assert!(text.contains("# TYPE elga_queries_total counter\n"));
+        // Every line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.splitn(2, ' ').count() == 2,
+                "bad exposition line: {line}"
+            );
+        }
     }
 
     #[test]

@@ -86,6 +86,9 @@ pub mod packet {
     /// Test-harness kill switch (push to an Agent): die immediately
     /// without the polite LEAVE protocol, simulating a crash.
     pub const KILL: u8 = 34;
+    /// Drain a participant's trace ring buffer (request; reply carries
+    /// `elga_trace::encode_events` bytes).
+    pub const TRACE_DUMP: u8 = 35;
 }
 
 /// Superstep phases (see crate docs). `Migrate` barriers elastic

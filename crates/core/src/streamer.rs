@@ -16,7 +16,9 @@ use elga_net::{
     Addr, CoalesceConfig, CoalesceStats, CoalescingOutbox, Frame, NetError, Transport, TransportExt,
 };
 use elga_sketch::DegreeEstimator;
+use elga_trace::{EventKind, Tracer};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Records per EDGE_CHANGES frame on the eager (non-coalescing) path.
 const BATCH: usize = 4096;
@@ -40,6 +42,9 @@ pub struct Streamer {
     /// Per-view-epoch owner memo: a change batch hashes and estimates
     /// each distinct source vertex once instead of once per edge.
     cache: OwnerCache,
+    /// Event recorder (view adoption, recovery replay, coalescer
+    /// flushes); disabled unless `cfg.tracing`.
+    tracer: Arc<Tracer>,
 }
 
 impl Streamer {
@@ -61,6 +66,7 @@ impl Streamer {
         } else {
             OwnerCache::disabled()
         };
+        let tracer = Arc::new(Tracer::from_flag(cfg.tracing));
         Ok(Streamer {
             transport,
             cfg,
@@ -71,7 +77,14 @@ impl Streamer {
             coalesce_retired: CoalesceStats::default(),
             log: Vec::new(),
             cache,
+            tracer,
         })
+    }
+
+    /// The streamer's event recorder; the cluster drains it directly
+    /// when collecting traces (streamers have no mailbox to query).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The streamer's current view of the system.
@@ -95,6 +108,11 @@ impl Streamer {
         if view.epoch >= self.view.epoch {
             self.view = view;
             self.locator = self.view.locator();
+            self.tracer.instant(
+                EventKind::ViewAdopt,
+                self.view.epoch,
+                self.view.agents.len() as u64,
+            );
             // Outboxes are always flushed by the end of route(), so
             // retiring them here cannot strand records.
             for (_, out) in self.outboxes.drain() {
@@ -116,7 +134,10 @@ impl Streamer {
             let addr = self.view.addr_of(agent)?.clone();
             match self.transport.sender(&addr) {
                 Ok(out) => {
-                    let co = CoalescingOutbox::new(out, self.coalesce_config());
+                    let mut co = CoalescingOutbox::new(out, self.coalesce_config());
+                    if self.tracer.enabled() {
+                        co = co.with_tracer(self.tracer.clone());
+                    }
                     self.outboxes.insert(agent, co);
                 }
                 Err(_) => return None,
@@ -187,10 +208,13 @@ impl Streamer {
     /// same degree estimates — and the records are not re-logged.
     /// Returns the number of change records pushed.
     pub fn replay(&mut self) -> Result<usize, NetError> {
+        let t0 = Instant::now();
         self.refresh()?;
         let log = std::mem::take(&mut self.log);
         let pushed = self.route(&log);
         self.log = log;
+        self.tracer
+            .span(EventKind::RecoveryReplay, t0, pushed as u64, 0);
         Ok(pushed)
     }
 
@@ -335,7 +359,10 @@ impl Streamer {
         }
         if all_ok {
             if let Ok(out) = self.transport.sender(&addr) {
-                let co = CoalescingOutbox::new(out, self.coalesce_config());
+                let mut co = CoalescingOutbox::new(out, self.coalesce_config());
+                if self.tracer.enabled() {
+                    co = co.with_tracer(self.tracer.clone());
+                }
                 self.outboxes.insert(agent, co);
             }
         }

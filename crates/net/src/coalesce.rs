@@ -35,7 +35,9 @@
 use crate::frame::{pool_give, pool_take, Frame};
 use crate::transport::{NetStats, Outbox};
 use bytes::{BufMut, BytesMut};
+use elga_trace::{flush_reason, EventKind, Tracer};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tuning for a [`CoalescingOutbox`].
@@ -146,6 +148,10 @@ pub struct CoalescingOutbox {
     /// here by packet type (an agent passes its own [`NetStats`] so its
     /// metrics report per-type frames/bytes sent).
     sink: Option<std::sync::Arc<NetStats>>,
+    /// Optional event tracer: flush reasons and backpressure waits are
+    /// recorded into the owner's ring buffer. `None` (the default)
+    /// keeps the hot append path free of even the atomic check.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl CoalescingOutbox {
@@ -160,6 +166,7 @@ impl CoalescingOutbox {
             stats: CoalesceStats::default(),
             failed: Vec::new(),
             sink: None,
+            tracer: None,
         }
     }
 
@@ -167,6 +174,22 @@ impl CoalescingOutbox {
     pub fn with_net_stats(mut self, sink: std::sync::Arc<NetStats>) -> Self {
         self.sink = Some(sink);
         self
+    }
+
+    /// Record flush and backpressure events into `tracer` as well.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Trace one counted flush; called with the open frame still in
+    /// place so the event carries its byte size.
+    #[inline]
+    fn trace_flush(&self, reason: u64) {
+        if let Some(t) = &self.tracer {
+            let bytes = self.open.as_ref().map_or(0, |o| o.buf.len() as u64);
+            t.instant(EventKind::CoalesceFlush, reason, bytes);
+        }
     }
 
     /// Append one record to the open `(packet_type, key)` frame,
@@ -190,6 +213,7 @@ impl CoalescingOutbox {
         };
         if displaced {
             self.stats.switch_flushes += 1;
+            self.trace_flush(flush_reason::SWITCH);
             self.flush_open();
         }
         if self.open.is_none() {
@@ -214,9 +238,11 @@ impl CoalescingOutbox {
             self.flush_open();
         } else if open.records >= self.cfg.max_records {
             self.stats.count_flushes += 1;
+            self.trace_flush(flush_reason::COUNT);
             self.flush_open();
         } else if open.buf.len() >= self.cfg.max_bytes {
             self.stats.size_flushes += 1;
+            self.trace_flush(flush_reason::SIZE);
             self.flush_open();
         }
     }
@@ -226,6 +252,7 @@ impl CoalescingOutbox {
     pub fn send(&mut self, frame: Frame) {
         if self.open.is_some() {
             self.stats.switch_flushes += 1;
+            self.trace_flush(flush_reason::SWITCH);
             self.flush_open();
         }
         self.send_now(frame);
@@ -235,6 +262,7 @@ impl CoalescingOutbox {
     pub fn flush(&mut self) {
         if self.open.is_some() {
             self.stats.explicit_flushes += 1;
+            self.trace_flush(flush_reason::EXPLICIT);
             self.flush_open();
         }
     }
@@ -287,13 +315,17 @@ impl CoalescingOutbox {
             self.reclaim();
             if self.in_flight + len > self.cfg.credit_bytes {
                 self.stats.backpressure_waits += 1;
-                let deadline = Instant::now() + self.cfg.block_timeout;
+                let waited_from = Instant::now();
+                let deadline = waited_from + self.cfg.block_timeout;
                 while self.in_flight + len > self.cfg.credit_bytes && Instant::now() < deadline {
                     std::thread::sleep(Duration::from_micros(100));
                     self.reclaim();
                 }
                 // Past the deadline: spill to preserve liveness (the
                 // peer may be dead; eviction is the detector's job).
+                if let Some(t) = &self.tracer {
+                    t.span(EventKind::BackpressureWait, waited_from, len as u64, 0);
+                }
             }
         }
         self.stats.frames += 1;
@@ -495,6 +527,35 @@ mod tests {
         let c = sender.join().unwrap();
         assert!(c.stats().backpressure_waits > 0, "sender never waited");
         assert_eq!(c.stats().records, records);
+    }
+
+    #[test]
+    fn tracer_records_flush_reasons() {
+        let (_mb, mut c) = pair(0);
+        let tracer = Arc::new(Tracer::new(64));
+        c = c.with_tracer(tracer.clone());
+        c.cfg.max_bytes = usize::MAX;
+        let max_records = u64::from(c.cfg.max_records);
+        append_n(&mut c, max_records); // count flush
+        c.append(
+            22,
+            7,
+            |h| {
+                h.put_u64_le(7);
+                h.put_u32_le(0);
+            },
+            |r| r.put_u64_le(0),
+        ); // opens a fresh type-22 frame (previous one already flushed)
+        c.flush(); // explicit flush of the open type-22 frame
+        let (events, dropped) = tracer.drain();
+        assert_eq!(dropped, 0);
+        let reasons: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::CoalesceFlush)
+            .map(|e| e.a)
+            .collect();
+        assert_eq!(reasons, vec![flush_reason::COUNT, flush_reason::EXPLICIT]);
+        assert!(events.iter().all(|e| e.b > 0), "flush events carry bytes");
     }
 
     #[test]

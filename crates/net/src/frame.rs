@@ -31,9 +31,7 @@ thread_local! {
 /// construction on one thread recycles a single allocation instead of
 /// hitting the allocator per frame.
 pub(crate) fn pool_take(capacity: usize) -> BytesMut {
-    let mut buf = POOL
-        .with(|p| p.borrow_mut().pop())
-        .unwrap_or_default();
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
     buf.reserve(capacity);
     buf
 }

@@ -1,11 +1,20 @@
 //! Manual elasticity (paper Figure 17): start PageRank on a small
 //! cluster, scale up 4× mid-computation — ElGA migrates edges at a
-//! superstep boundary and continues — then scale back down once the
-//! work is done.
+//! superstep boundary and continues — crash an agent to exercise
+//! failure detection and recovery, then scale back down (one batched
+//! view change) once the work is done.
 //!
 //! ```sh
 //! cargo run --release --example elastic_pagerank
+//! cargo run --release --example elastic_pagerank -- --trace trace.json
 //! ```
+//!
+//! With `--trace FILE`, every participant records phase spans, view
+//! changes, migrations, recovery, and coalescer events into a ring
+//! buffer; the merged Chrome-trace JSON written to FILE loads directly
+//! in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`, one
+//! track per agent/directory/streamer. A Prometheus-style text dump of
+//! the cluster metrics is printed alongside.
 
 use elga::core::program::RunOptions;
 use elga::gen::catalog::find;
@@ -13,11 +22,34 @@ use elga::prelude::*;
 use std::time::Duration;
 
 fn main() {
+    let trace_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace" => path = args.next(),
+                other => {
+                    eprintln!("usage: elastic_pagerank [--trace FILE] (got {other:?})");
+                    std::process::exit(2);
+                }
+            }
+        }
+        path
+    };
+
     let gowalla = find("Gowalla").expect("catalog dataset");
     let (_, edges) = gowalla.generate(2e-6, 17);
     println!("Gowalla-like graph: {} edges", edges.len());
 
-    let mut cluster = Cluster::builder().agents(4).build();
+    let cfg = SystemConfig {
+        tracing: trace_path.is_some(),
+        // Fast failure detection so the crash segment below resolves in
+        // milliseconds, not the production-scale default of seconds.
+        heartbeat_interval: Duration::from_millis(25),
+        heartbeat_misses: 12,
+        ..SystemConfig::default()
+    };
+    let mut cluster = Cluster::builder().agents(4).config(cfg).build();
     cluster.ingest_edges(edges.iter().copied());
 
     // Kick off a 6-iteration PageRank without blocking.
@@ -39,7 +71,23 @@ fn main() {
     }
     println!("agents during run: {}", cluster.agent_count());
 
-    // Verify results survived the migration: total rank mass is 1.
+    // Crash an agent mid-run: the lead notices the heartbeat silence,
+    // evicts it, and the driver replays the change log and restarts.
+    let victim = *cluster.agent_ids().last().expect("agents");
+    let handle = cluster
+        .start_run(PageRank::new(0.85).with_max_iters(6), RunOptions::default())
+        .expect("start recovery run");
+    std::thread::sleep(Duration::from_millis(5));
+    cluster.kill_agent(victim);
+    println!("killed agent {victim} mid-run; waiting for recovery");
+    let stats = cluster.wait_run(handle).expect("recovered run");
+    println!(
+        "recovered run finished: {} supersteps on {} agents",
+        stats.steps,
+        cluster.agent_count()
+    );
+
+    // Verify results survived migration and recovery: rank mass is 1.
     let view = cluster.view();
     let mass: f64 = edges
         .iter()
@@ -95,12 +143,16 @@ fn main() {
         c.size_flushes, c.count_flushes, c.explicit_flushes, c.switch_flushes, c.backpressure_waits
     );
 
-    // Scale back down for cost savings.
-    while cluster.agent_count() > 4 {
-        cluster.remove_last_agent();
-    }
+    // Scale back down for cost savings: one batched LEAVE retires all
+    // surplus agents in a single view change and migration barrier.
+    let surplus = cluster.agent_count().saturating_sub(4);
+    let removed = cluster.remove_agents(surplus);
     cluster.quiesce().expect("quiesce");
-    println!("scaled back down to {} agents", cluster.agent_count());
+    println!(
+        "scaled back down by {} agents (one view change) to {}",
+        removed.len(),
+        cluster.agent_count()
+    );
     // Results are still served after the scale-down.
     let sample = edges[0].0;
     println!(
@@ -108,5 +160,16 @@ fn main() {
         sample,
         cluster.query_f64(sample).expect("rank")
     );
+
+    if let Some(path) = trace_path {
+        let json = cluster.chrome_trace();
+        std::fs::write(&path, &json).expect("write trace");
+        println!(
+            "wrote {} bytes of Chrome-trace JSON to {path} — open in https://ui.perfetto.dev",
+            json.len()
+        );
+        println!("--- prometheus metrics ---");
+        print!("{}", cluster.metrics().to_prometheus());
+    }
     cluster.shutdown();
 }

@@ -11,6 +11,10 @@
 //! * [`gen`] — workload generators and the dataset catalog.
 //! * [`core`] — the ElGA system: directories, agents, streamers, client
 //!   proxies, vertex programs, elasticity and autoscaling.
+//! * [`trace`] — the event-tracing layer: per-participant ring buffers
+//!   and Chrome-trace export (enable with [`SystemConfig::tracing`]).
+//!
+//! [`SystemConfig::tracing`]: elga_core::config::SystemConfig::tracing
 //! * [`baselines`] — Blogel-like, GraphX-like, STINGER-like, GAPbs-like
 //!   comparators used by the evaluation harnesses.
 //!
@@ -42,6 +46,7 @@ pub use elga_graph as graph;
 pub use elga_hash as hash;
 pub use elga_net as net;
 pub use elga_sketch as sketch;
+pub use elga_trace as trace;
 
 /// Convenient single-import surface for examples and applications.
 pub mod prelude {

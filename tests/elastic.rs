@@ -1,0 +1,262 @@
+//! Elasticity tests: the Figure 18 autoscaler loop end to end, batched
+//! scale-down cost (one view change, not n), honest partial-aware
+//! metrics aggregation, and the event-tracing layer across a full
+//! elastic lifecycle.
+//!
+//! Result-stability contract across scale events follows
+//! `tests/determinism.rs`: WCC combines with `min` and is bit-exact in
+//! every deployment, so it pins bit-equality; multi-agent PageRank sums
+//! floats in scheduling-dependent arrival order, so it pins the usual
+//! 1e-9 agreement.
+
+use elga::net::SendPolicy;
+use elga::prelude::*;
+use elga::trace::EventKind;
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// The chaos-test ring with chords: connected, mildly degree-skewed,
+/// small enough that scale events dominate the runtime.
+fn chain_graph(n: u64) -> Vec<(u64, u64)> {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        if i % 3 == 0 {
+            edges.push((i, (i * 7 + 3) % n));
+        }
+    }
+    edges.retain(|&(u, v)| u != v);
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[test]
+fn scale_down_by_n_is_one_view_change() {
+    let edges = chain_graph(400);
+    let mut cluster = Cluster::builder().agents(6).build();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster.run(Wcc::new()).expect("wcc before scale-down");
+    let want = cluster.dump_states();
+
+    let epoch_before = cluster.view().epoch;
+    let removed = cluster.remove_agents(3);
+    assert_eq!(removed.len(), 3, "asked for three departures");
+    assert_eq!(cluster.agent_count(), 3);
+    for id in &removed {
+        assert!(
+            !cluster.agent_ids().contains(id),
+            "agent {id} still in view"
+        );
+    }
+    assert_eq!(
+        cluster.view().epoch,
+        epoch_before + 1,
+        "batched scale-down must cost exactly one view change"
+    );
+
+    // The survivors own every edge the departers migrated away.
+    cluster.run(Wcc::new()).expect("wcc after scale-down");
+    assert_eq!(
+        cluster.dump_states(),
+        want,
+        "WCC must be bit-exact across the batched leave"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn autoscaler_follows_step_function_load() {
+    let edges = chain_graph(600);
+    let mut cluster = Cluster::builder().agents(2).build();
+    cluster.ingest_edges(edges.iter().copied());
+
+    let pr = PageRank::new(0.85).with_max_iters(8);
+    cluster.run(pr).expect("pagerank at 2 agents");
+    let pr_want = cluster.dump_states();
+    cluster.run(Wcc::new()).expect("wcc at 2 agents");
+    let wcc_want = cluster.dump_states();
+
+    // A near-instant EMA (1 ms window, no cooldown) collapses the
+    // paper's minutes-long Figure 18 loop into one driver call per
+    // load step while keeping the real policy in the path.
+    let mut policy =
+        EmaAutoscaler::new(Duration::from_millis(1), 50.0, 2, 8).with_cooldown(Duration::ZERO);
+
+    // Load steps up: 400 units at 50 per agent → target 8. Joins take
+    // effect at the next barrier; quiesce waits the migration out.
+    assert_eq!(cluster.autoscale_once(&mut policy, 400.0), Some(8));
+    cluster.quiesce().expect("quiesce after scale-up");
+    assert_eq!(
+        cluster.agent_count(),
+        8,
+        "cluster follows the scale-up target"
+    );
+
+    cluster.run(Wcc::new()).expect("wcc at 8 agents");
+    assert_eq!(
+        cluster.dump_states(),
+        wcc_want,
+        "WCC must be bit-exact across scale-up"
+    );
+
+    // Load steps down: the EMA has long since forgotten the spike, so
+    // 80 units → target 2, applied as ONE batched leave.
+    let epoch_before = cluster.view().epoch;
+    assert_eq!(cluster.autoscale_once(&mut policy, 80.0), Some(2));
+    assert_eq!(
+        cluster.agent_count(),
+        2,
+        "cluster follows the scale-down target"
+    );
+    assert_eq!(
+        cluster.view().epoch,
+        epoch_before + 1,
+        "autoscaler scale-down by six agents must be one view change"
+    );
+
+    cluster.run(Wcc::new()).expect("wcc after scale-down");
+    assert_eq!(
+        cluster.dump_states(),
+        wcc_want,
+        "WCC must be bit-exact across scale-down"
+    );
+    cluster.run(pr).expect("pagerank after scale cycle");
+    let pr_got = cluster.dump_states();
+    assert_eq!(pr_got.len(), pr_want.len());
+    for (v, &bits) in &pr_want {
+        let a = f64::from_bits(bits);
+        let b = f64::from_bits(pr_got[v]);
+        assert!((a - b).abs() < 1e-9, "pagerank v{v}: {a} vs {b}");
+    }
+
+    // A steady load at the current target is a no-op.
+    assert_eq!(cluster.autoscale_once(&mut policy, 80.0), None);
+    assert_eq!(cluster.agent_count(), 2);
+    cluster.shutdown();
+}
+
+#[test]
+fn metrics_reports_partial_when_drain_target_unreachable() {
+    let cfg = SystemConfig {
+        // No eviction: the dead agent must stay in the view so the
+        // DRAIN retry exercises the partial path rather than the
+        // member-departed path.
+        failure_detection: false,
+        request_timeout: Duration::from_millis(500),
+        send_policy: SendPolicy {
+            retries: 1,
+            base_delay: Duration::from_millis(1),
+            deadline: Duration::from_secs(1),
+        },
+        ..SystemConfig::default()
+    };
+    let mut cluster = Cluster::builder().agents(4).config(cfg).build();
+    cluster.ingest_edges(chain_graph(100).iter().copied());
+    cluster.run(Wcc::new()).expect("wcc");
+
+    let m = cluster.metrics();
+    assert!(!m.partial, "all agents reachable — aggregate is complete");
+    assert_eq!(m.agents_drained, 4);
+
+    let victim = *cluster.agent_ids().last().expect("agents");
+    cluster.kill_agent(victim);
+    let m = cluster.metrics();
+    assert!(
+        m.partial,
+        "an unreachable DRAIN target must mark the aggregate partial"
+    );
+    assert_eq!(m.agents_drained, 3, "three of four reports landed");
+    cluster.shutdown();
+}
+
+#[test]
+fn tracing_captures_phases_views_and_migrations() {
+    let cfg = SystemConfig {
+        tracing: true,
+        ..SystemConfig::default()
+    };
+    let mut cluster = Cluster::builder().agents(2).config(cfg).build();
+    cluster.ingest_edges(chain_graph(300).iter().copied());
+    cluster
+        .run(PageRank::new(0.85).with_max_iters(4))
+        .expect("pagerank");
+
+    // Scale up (join migration), run, then retire one agent (leave
+    // migration); the departer's buffer is salvaged before its LEAVE.
+    cluster.add_agents(2);
+    cluster
+        .run(PageRank::new(0.85).with_max_iters(4))
+        .expect("pagerank scaled");
+    let removed = cluster.remove_agents(1);
+    assert_eq!(removed.len(), 1);
+
+    let tracks = cluster.collect_traces();
+    let names: Vec<&str> = tracks.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(
+        names.contains(&"directory-0"),
+        "lead directory track missing: {names:?}"
+    );
+    assert!(
+        names.contains(&"streamer"),
+        "streamer track missing: {names:?}"
+    );
+    assert!(
+        names.contains(&format!("agent-{}", removed[0]).as_str()),
+        "departed agent's salvaged track missing: {names:?}"
+    );
+    assert!(
+        names.iter().filter(|n| n.starts_with("agent-")).count() >= 3,
+        "expected the departer plus live agents: {names:?}"
+    );
+
+    let kinds: HashSet<EventKind> = tracks
+        .iter()
+        .flat_map(|(_, evs)| evs.iter().map(|e| e.kind))
+        .collect();
+    for kind in [
+        EventKind::PhaseScatter,
+        EventKind::PhaseCombine,
+        EventKind::PhaseApply,
+        EventKind::ViewAdopt,
+        EventKind::MigrateSend,
+        EventKind::MigrateRecv,
+    ] {
+        assert!(kinds.contains(&kind), "no {kind:?} event in {kinds:?}");
+    }
+
+    // Phase spans carry durations; the JSON export names every track.
+    let has_span = tracks
+        .iter()
+        .flat_map(|(_, evs)| evs)
+        .any(|e| e.kind == EventKind::PhaseScatter && e.dur_nanos > 0);
+    assert!(has_span, "phase spans must record nonzero durations");
+    let json = elga::trace::chrome_trace_json(&tracks);
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("thread_name"));
+    assert!(json.contains("\"scatter\"") && json.contains("\"view_adopt\""));
+
+    // Draining consumed the buffers: a second collection has no phase
+    // events (at most bookkeeping from the collection itself).
+    let again = cluster.collect_traces();
+    assert!(
+        !again
+            .iter()
+            .flat_map(|(_, evs)| evs)
+            .any(|e| e.kind == EventKind::PhaseScatter),
+        "drain must consume events"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn tracing_disabled_collects_nothing() {
+    let mut cluster = Cluster::builder().agents(2).build();
+    cluster.ingest_edges(chain_graph(60).iter().copied());
+    cluster.run(Wcc::new()).expect("wcc");
+    assert!(
+        cluster.collect_traces().is_empty(),
+        "tracing off must record and collect nothing"
+    );
+    cluster.shutdown();
+}
