@@ -200,6 +200,7 @@ impl Agent {
             global_contrib: contrib,
             n_primary,
             seq: self.ready_seq,
+            epoch: self.view.epoch,
         };
         let _ = self.dir_push.send(msg::encode_ready(&rep));
     }

@@ -56,6 +56,17 @@ impl Agent {
         if !self.departing && self.view.addr_of(self.id).is_none() {
             self.departing = true;
         }
+        if let Some(run) = self.run.as_mut() {
+            if run.async_live {
+                // A view change landed mid-async-run. Pause: suppress
+                // idle reports (the directory's migrate barrier is the
+                // one consuming READYs now) while frames keep flowing
+                // under the adopted view. The directory re-publishes
+                // the async advance once the barrier settles; that
+                // resume re-scatters the surviving frontier.
+                run.paused = true;
+            }
+        }
         self.migrated_epoch = epoch;
         self.migrate(epoch, filter);
     }
@@ -175,7 +186,13 @@ impl Agent {
             }
             let is_primary_now = self.is_primary(v);
             let e = self.vertices.get_mut(&v).expect("exists");
-            if e.is_meta && !is_primary_now {
+            // The primary meta record moves with primaryship — and so
+            // does the async run state (a pending combined partial and
+            // its waiting-set progress), which can exist even where no
+            // meta record does (messages beat the meta to a previous
+            // primary). `has_meta` tells the receiver which parts of
+            // the record to adopt.
+            if (e.is_meta || e.has_ppartial || e.wait_recv > 0) && !is_primary_now {
                 let meta = MetaRecord {
                     vertex: v,
                     state: e.state,
@@ -183,6 +200,10 @@ impl Agent {
                     active: e.active,
                     dirty: e.dirty,
                     has_state: e.has_state,
+                    has_meta: e.is_meta,
+                    ppartial: e.ppartial,
+                    has_ppartial: e.has_ppartial,
+                    wait_recv: e.wait_recv,
                 };
                 // g_in travels via a degree delta piggybacked in the
                 // meta record's move: encode as a second meta with the
@@ -211,6 +232,9 @@ impl Agent {
                 e.g_out = 0;
                 e.g_in = 0;
                 e.dirty = false;
+                e.has_ppartial = false;
+                e.ppartial = 0;
+                e.wait_recv = 0;
             }
             if self.vertices.get(&v).is_some_and(|e| e.is_empty()) {
                 self.vertices.remove(&v);
@@ -293,16 +317,35 @@ impl Agent {
         self.counters.mig_recv += metas.len() as u64;
         self.tracer
             .instant(EventKind::MigrateRecv, metas.len() as u64, 0);
+        let program = self.run.as_ref().map(|r| r.program.clone());
         for m in metas {
             let e = self.vertices.entry_or_default(m.vertex);
-            e.g_out += m.out_degree as i64;
-            e.is_meta = true;
-            e.dirty = e.dirty || m.dirty;
+            if m.has_meta {
+                e.g_out += m.out_degree as i64;
+                e.is_meta = true;
+                e.dirty = e.dirty || m.dirty;
+            }
             e.active = e.active || m.active;
             if m.has_state {
                 e.state = m.state;
                 e.has_state = true;
                 e.rep_out_degree = e.rep_out_degree.max(m.out_degree);
+            }
+            if m.has_ppartial {
+                // Async run state handoff: fold the sender's pending
+                // combined partial into ours (both sides may have
+                // collected messages for the same waiting set).
+                if e.has_ppartial {
+                    if let Some(p) = &program {
+                        e.ppartial = p.combine(e.ppartial, m.ppartial);
+                    } else {
+                        e.ppartial = m.ppartial;
+                    }
+                } else {
+                    e.ppartial = m.ppartial;
+                    e.has_ppartial = true;
+                }
+                e.wait_recv += m.wait_recv;
             }
         }
         self.re_report();

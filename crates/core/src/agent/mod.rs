@@ -129,6 +129,13 @@ struct AgentRun {
     global: f64,
     /// Async event-driven mode entered.
     async_live: bool,
+    /// Async execution is paused for a mid-run view change: idle
+    /// reports are suppressed (the migrate barrier is the one consuming
+    /// READYs, and re-reports keep it fresh as counters move) until the
+    /// directory re-publishes the async advance. Frames keep being
+    /// processed — buffering them would strand counted sends and wedge
+    /// the barrier's settled-counters check.
+    paused: bool,
 }
 
 /// One ElGA agent. Spawned on its own thread by the cluster driver.
@@ -544,6 +551,7 @@ impl Agent {
             n_vertices: self.view.n_vertices,
             global: 0.0,
             async_live: false,
+            paused: false,
         });
         self.reported = None;
         self.reported_counters = None;
@@ -562,9 +570,24 @@ impl Agent {
             return;
         }
         if run.async_live {
-            // Probe: drain already happened (mailbox FIFO); answer with
-            // current counters.
-            self.send_ready(adv.run, adv.step, Phase::Combine, 0, 0.0, 0);
+            if adv.phase == Phase::Scatter {
+                // Resume after a mid-run view change: the migrate
+                // barrier settled and the directory re-published the
+                // async advance. Re-scatter the surviving frontier
+                // under the adopted view and release the frames that
+                // were buffered while paused.
+                run.paused = false;
+                run.step = adv.step;
+                run.phase = Phase::Scatter;
+                run.n_vertices = adv.n_vertices;
+                self.last_idle_counters = None;
+                self.async_rescatter();
+                self.replay_buffered();
+            } else {
+                // Probe: drain already happened (mailbox FIFO); answer
+                // with current counters.
+                self.send_ready(adv.run, adv.step, Phase::Combine, 0, 0.0, 0);
+            }
             return;
         }
         run.step = adv.step;

@@ -282,7 +282,11 @@ impl Agent {
                 // Future step or wrong phase: store until we catch up.
                 self.buffered_frames.push(frame);
             }
-            _ => {} // stale run
+            // Stale run: the sender had not yet seen our ADVANCE(done)
+            // or RECOVER when it flushed. Drop the frame — its receive
+            // will never be counted, but neither will the finished
+            // run's barrier consult these counters again.
+            _ => self.metrics.stale_frames += 1,
         }
     }
 
@@ -309,7 +313,7 @@ impl Agent {
             Some((cur_run, _, _, _)) if cur_run == run_id => {
                 self.buffered_frames.push(frame);
             }
-            _ => {}
+            _ => self.metrics.stale_frames += 1, // stale run: drop
         }
     }
 
@@ -348,7 +352,7 @@ impl Agent {
             Some((cur_run, _, _, _)) if cur_run == run_id => {
                 self.buffered_frames.push(frame);
             }
-            _ => {}
+            _ => self.metrics.stale_frames += 1, // stale run: drop
         }
     }
 
@@ -371,10 +375,106 @@ impl Agent {
         self.re_report_async();
     }
 
+    /// Resume after a mid-run view change: every primary re-broadcasts
+    /// its authoritative state — marked active — to the vertex's
+    /// (new-view) replica set. Replicas adopt the state and re-scatter
+    /// their local edge slices, which regenerates everything a moved
+    /// placement can lose: messages that were in flight toward departed
+    /// primaries, and state copies that went stale on freshly migrated
+    /// edges. The round costs one message per edge — the same as async
+    /// initialization — and keeps §3.2 waiting sets aligned, since
+    /// every receiver sees exactly one message per in-edge.
+    pub(super) fn async_rescatter(&mut self) {
+        // Waiting sets completed by a migration merge (the final
+        // message landed at the old primary) have no further incoming
+        // message to trigger their apply; drain them first so their
+        // progress is not held against the fresh round.
+        let waiting: Vec<VertexId> = self
+            .vertices
+            .iter()
+            .filter(|(_, e)| e.has_ppartial && e.wait_recv > 0)
+            .map(|(&v, _)| v)
+            .collect();
+        for v in waiting {
+            self.async_try_complete(v);
+        }
+        let Some(run) = self.run.as_ref() else {
+            return;
+        };
+        let run_id = run.info.run_id;
+        let owned: Vec<(VertexId, StateRecord)> = self
+            .vertices
+            .iter()
+            .filter(|&(&v, e)| e.is_meta && e.has_state && self.is_primary(v))
+            .map(|(&v, e)| {
+                (
+                    v,
+                    StateRecord {
+                        vertex: v,
+                        state: e.state,
+                        out_degree: e.g_out.max(0) as u64,
+                        active: true,
+                    },
+                )
+            })
+            .collect();
+        let count = owned.len() as u64;
+        self.route_cache.ensure_epoch(self.view.epoch);
+        for (v, rec) in owned {
+            let replicas: Vec<AgentId> = {
+                let sketch = &self.view.sketch;
+                self.route_cache
+                    .replicas(&self.locator, v, || sketch.estimate(v))
+                    .to_vec()
+            };
+            for replica in replicas {
+                self.counters.state_sent += 1;
+                self.with_outbox(replica, |out| msg::append_state(out, run_id, 1, &rec));
+            }
+        }
+        self.tracer
+            .instant(EventKind::AsyncRescatter, self.view.epoch, count);
+    }
+
+    /// Complete `v`'s waiting set if the program's requirement is
+    /// already met — possible after a migration merged two primaries'
+    /// progress, leaving no further message to trigger the apply.
+    fn async_try_complete(&mut self, v: VertexId) {
+        let Some(run) = self.run.as_ref() else {
+            return;
+        };
+        let program = run.program.clone();
+        let n_vertices = run.n_vertices;
+        let Some(e) = self.vertices.get_mut(&v) else {
+            return;
+        };
+        if !(e.has_ppartial && e.wait_recv > 0) {
+            return;
+        }
+        let ctx = VertexCtx {
+            out_degree: e.g_out.max(0) as u64,
+            in_degree: e.g_in.max(0) as u64,
+            n_vertices,
+            step: 1,
+            global: 0.0,
+        };
+        let needed = program.waits_for(v, &ctx);
+        if needed == 0 || e.wait_recv < needed {
+            return;
+        }
+        let agg = e.ppartial;
+        e.has_ppartial = false;
+        e.ppartial = 0;
+        e.wait_recv = 0;
+        self.async_commit(v, agg);
+    }
+
     /// Event-driven single-vertex scatter (async mode): messages route
     /// straight to the target's primary.
     pub(super) fn scatter_one(&mut self, v: VertexId) {
-        let run = self.run.as_ref().expect("scatter without run");
+        let Some(run) = self.run.as_ref() else {
+            return;
+        };
         let program = run.program.clone();
         let scatter_all = program.scatter_all();
         let n_vertices = run.n_vertices;
@@ -439,14 +539,23 @@ impl Agent {
     /// Async apply-at-primary: combine the incoming value, apply, and
     /// broadcast on change.
     pub(super) fn async_apply(&mut self, v: VertexId, value: u64) {
-        let run = self.run.as_ref().expect("async apply without run");
+        let Some(run) = self.run.as_ref() else {
+            return;
+        };
         let program = run.program.clone();
         let n_vertices = run.n_vertices;
         let run_id = run.info.run_id;
         if !self.is_primary(v) {
-            // Stale routing (view changed mid-run is not supported in
-            // async mode); forward to the true primary.
-            if let Some(primary) = self.locator.ring().owner(v) {
+            // Stale routing: the sender resolved `v` under an older
+            // view. Re-resolve against the adopted epoch and forward to
+            // the vertex's current primary.
+            self.route_cache.ensure_epoch(self.view.epoch);
+            let primary = {
+                let sketch = &self.view.sketch;
+                self.route_cache
+                    .primary(&self.locator, v, || sketch.estimate(v))
+            };
+            if let Some(primary) = primary {
                 self.counters.vmsg_sent += 1;
                 self.with_outbox(primary, |out| msg::append_vmsg(out, run_id, 1, v, value));
             }
@@ -487,6 +596,27 @@ impl Agent {
         } else {
             value
         };
+        self.async_commit(v, value);
+    }
+
+    /// The apply-and-broadcast tail of the async path: run the
+    /// program's apply with the combined `value` and, on change,
+    /// broadcast the new state to the vertex's replica set.
+    fn async_commit(&mut self, v: VertexId, value: u64) {
+        let Some(run) = self.run.as_ref() else {
+            return;
+        };
+        let program = run.program.clone();
+        let n_vertices = run.n_vertices;
+        let run_id = run.info.run_id;
+        let e = self.vertices.entry_or_default(v);
+        let ctx = VertexCtx {
+            out_degree: e.g_out.max(0) as u64,
+            in_degree: e.g_in.max(0) as u64,
+            n_vertices,
+            step: 1,
+            global: 0.0,
+        };
         let (new, changed) = program.apply(v, e.state, Some(value), &ctx);
         if changed {
             e.state = new;
@@ -526,8 +656,10 @@ impl Agent {
         let Some(run) = self.run.as_ref() else {
             return;
         };
-        if !run.async_live {
-            // Sync mode: late counted frames (retransmits, delayed
+        if !run.async_live || run.paused {
+            // Sync mode — or an async run paused for a mid-run view
+            // change, where the migrate barrier is the one consuming
+            // READYs: late counted frames (retransmits, delayed
             // deliveries) moved the counters since the last READY, so
             // re-send it once now that the mailbox drained. Doing this
             // here instead of per-frame keeps the barrier live without
@@ -553,6 +685,7 @@ impl Agent {
             global_contrib: 0.0,
             n_primary: 0,
             seq: self.ready_seq,
+            epoch: self.view.epoch,
         };
         let _ = self.dir_push.send(msg::encode_ready(&rep));
     }

@@ -70,6 +70,26 @@ impl VertexProgram for PageRank {
         "pagerank"
     }
 
+    /// PageRank opts out of asynchronous execution. The §3.2 waiting
+    /// sets count messages without tracking *rounds*, which is exactly
+    /// right for DAG-shaped dependencies (`DagLevel`: every vertex
+    /// receives `in_degree` messages in total) but wrong on a cyclic
+    /// graph: a fast in-neighbor's round-2 contribution can complete a
+    /// waiting set before a slow in-neighbor's round-1 contribution
+    /// arrives, so the apply sums two ranks from one neighbor and none
+    /// from another — the iteration drifts off the power method and
+    /// need never quiesce. A correct asynchronous PageRank is the
+    /// delta-accumulation formulation (fold the incoming residual into
+    /// the rank, scatter `d·residual/out_degree`), which needs
+    /// delta-typed messages the engine's apply/scatter contract does
+    /// not express yet. Until it does, PageRank always takes the
+    /// barriered path; a positive tolerance still gives it early
+    /// termination there (the lead stops once no vertex moves by more
+    /// than `tolerance`).
+    fn supports_async(&self) -> bool {
+        false
+    }
+
     fn init(&self, _v: VertexId, ctx: &VertexCtx) -> u64 {
         (1.0 / ctx.n_vertices.max(1) as f64).to_bits()
     }
@@ -218,5 +238,14 @@ mod tests {
     #[should_panic(expected = "damping")]
     fn invalid_damping_rejected() {
         PageRank::new(1.5);
+    }
+
+    #[test]
+    fn stays_on_the_barriered_path() {
+        // Waiting sets can't express rounds on cyclic graphs, so
+        // PageRank declines async execution even with a tolerance (see
+        // `supports_async`).
+        assert!(!PageRank::new(0.85).supports_async());
+        assert!(!PageRank::new(0.85).with_tolerance(1e-10).supports_async());
     }
 }

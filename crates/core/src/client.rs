@@ -98,20 +98,42 @@ impl ClientProxy {
         (found != 0).then_some(QueryResult { state, batch_id })
     }
 
-    /// Query a random replica of `v` (the paper's fast path), falling
-    /// back to the primary when the replica has no state yet.
+    /// Query a random replica of `v` (the paper's fast path), walking
+    /// the remaining replicas when it is unreachable or has no state
+    /// yet, and finally refreshing the view once and retrying the
+    /// adopted primary before giving up.
     pub fn query(&mut self, v: VertexId) -> Option<QueryResult> {
         self.salt = self.salt.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let est = self.view.sketch.estimate(v);
-        let replica = self.locator.any_replica(v, est, self.salt)?;
-        if let Some(r) = self.query_agent(replica, v) {
+        let sampled = self.locator.any_replica(v, est, self.salt)?;
+        if let Some(r) = self.query_agent(sampled, v) {
             return Some(r);
         }
-        let primary = self.locator.ring().owner(v)?;
-        if primary != replica {
-            return self.query_agent(primary, v);
+        // Walk the rest of the replica set, ending on the primary —
+        // it always holds the authoritative state.
+        let mut candidates: Vec<elga_hash::AgentId> = self
+            .locator
+            .replicas_of_vertex(v, est)
+            .into_iter()
+            .filter(|&a| a != sampled)
+            .collect();
+        if let Some(primary) = self.locator.ring().owner(v) {
+            candidates.retain(|&a| a != primary);
+            if primary != sampled {
+                candidates.push(primary);
+            }
         }
-        None
+        for agent in candidates {
+            if let Some(r) = self.query_agent(agent, v) {
+                return Some(r);
+            }
+        }
+        // Every replica under the cached view failed: the view may be
+        // stale (agents joined, left, or were evicted). Refresh once
+        // and ask the adopted primary.
+        self.refresh().ok()?;
+        let primary = self.locator.ring().owner(v)?;
+        self.query_agent(primary, v)
     }
 
     /// Query the primary replica directly (authoritative state; used

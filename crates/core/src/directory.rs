@@ -333,6 +333,13 @@ impl Lead {
                     run.step = adv.step;
                     run.phase = adv.phase;
                     run.step_started = Instant::now();
+                    if run.info.asynchronous && adv.phase == Phase::Scatter {
+                        // Releasing (or re-releasing) the agents into
+                        // event-driven execution: the resumed advance
+                        // is answered by idle reports, not a sync
+                        // barrier.
+                        run.async_live = true;
+                    }
                 }
                 self.publish(msg::encode_advance(&adv));
             } else if !self.busy() {
@@ -426,6 +433,22 @@ impl Lead {
                     self.finish_run();
                     return;
                 }
+                // Elastic scaling happens at superstep boundaries: if
+                // membership changed mid-run, migrate first and resume
+                // after (§3.4.3 / Figure 17). Checked before the async
+                // transition so a change queued during async
+                // initialization migrates now; the resume then doubles
+                // as the async release (`next` is exactly the step-1
+                // scatter advance, and the resume path re-arms
+                // `async_live`).
+                if !self.pending_joins.is_empty()
+                    || !self.pending_leaves.is_empty()
+                    || !self.pending_sketch.is_empty()
+                {
+                    self.resume = Some(next);
+                    self.apply_membership();
+                    return;
+                }
                 if self.run.as_ref().expect("run").info.asynchronous {
                     // Initialization done; release the agents into
                     // event-driven execution.
@@ -444,17 +467,6 @@ impl Lead {
                     self.publish(msg::encode_advance(&adv));
                     return;
                 }
-                // Elastic scaling happens at superstep boundaries: if
-                // membership changed mid-run, migrate first and resume
-                // after (§3.4.3 / Figure 17).
-                if !self.pending_joins.is_empty()
-                    || !self.pending_leaves.is_empty()
-                    || !self.pending_sketch.is_empty()
-                {
-                    self.resume = Some(next);
-                    self.apply_membership();
-                    return;
-                }
                 let run = self.run.as_mut().expect("run");
                 run.step = next.step;
                 run.phase = Phase::Scatter;
@@ -467,6 +479,33 @@ impl Lead {
     /// Async termination: all agents idle with settled counters twice
     /// in a row. Returns true when it made progress.
     fn evaluate_async(&mut self) -> bool {
+        // A membership or sketch change arrived mid-async-run: pause
+        // the run behind a migrate barrier. Any outstanding probe is
+        // void (its responses predate the migration traffic), so the
+        // probe state resets; once the barrier settles, the resume
+        // advance re-releases the agents and termination detection
+        // starts over.
+        if !self.pending_joins.is_empty()
+            || !self.pending_leaves.is_empty()
+            || !self.pending_sketch.is_empty()
+        {
+            let resume = {
+                let run = self.run.as_mut().expect("run");
+                run.probe = 0;
+                run.last_probe_sums = None;
+                Advance {
+                    run: run.info.run_id,
+                    step: 1,
+                    phase: Phase::Scatter,
+                    n_vertices: run.n_vertices,
+                    global: 0.0,
+                    done: false,
+                }
+            };
+            self.resume = Some(resume);
+            self.apply_membership();
+            return true;
+        }
         let members = self.member_ids();
         let (run_id, probe, last_sums, n_vertices) = {
             let run = self.run.as_ref().expect("run");
@@ -487,7 +526,9 @@ impl Lead {
             if !all {
                 return false;
             }
-            let sums = self.summed(&members).expect("all reported");
+            let Some(sums) = self.summed(&members) else {
+                return false;
+            };
             if sums.settled() && last_sums == Some(sums) {
                 self.finish_run();
                 return true;
@@ -508,17 +549,21 @@ impl Lead {
             // fire again until responses arrive.
             return false;
         }
-        // Idle detection: every agent has sent an idle report and the
-        // sums are settled -> start probing.
+        // Idle detection: every agent has sent an idle report — under
+        // the current view epoch, so quiescence observed before a view
+        // change can never terminate the run it resumed — and the sums
+        // are settled -> start probing.
         let all_idle = members.iter().all(|id| {
-            self.reports
-                .get(id)
-                .is_some_and(|r| r.run == run_id && r.step == u32::MAX)
+            self.reports.get(id).is_some_and(|r| {
+                r.run == run_id && r.step == u32::MAX && r.epoch == self.view.epoch
+            })
         });
         if !all_idle {
             return false;
         }
-        let sums = self.summed(&members).expect("all reported");
+        let Some(sums) = self.summed(&members) else {
+            return false;
+        };
         if !sums.settled() {
             return false;
         }
@@ -870,7 +915,12 @@ fn lead_loop(
                         .get(&rep.agent)
                         .is_some_and(|old| old.seq > rep.seq);
                     if !stale {
+                        // Only idle reports from the current epoch can
+                        // restart probes: a report that predates an
+                        // adopted view describes traffic the resumed
+                        // run has already re-scattered.
                         let probe_reset = rep.step == u32::MAX
+                            && rep.epoch == lead.view.epoch
                             && lead.run.as_ref().is_some_and(|r| {
                                 r.async_live && r.probe > 0 && r.info.run_id == rep.run
                             });
@@ -1090,6 +1140,14 @@ mod tests {
             global_contrib: 0.0,
             n_primary: 0,
             seq: 0,
+            epoch: 0,
+        }
+    }
+
+    fn idle(agent: AgentId, run: u64, epoch: u64) -> ReadyReport {
+        ReadyReport {
+            epoch,
+            ..ready(agent, run, u32::MAX, Phase::Scatter, Counters::default())
         }
     }
 
@@ -1197,6 +1255,157 @@ mod tests {
         assert_eq!(st.run_id, 1);
         assert!(!st.running);
         assert!(st.done);
+    }
+
+    #[test]
+    fn async_run_pauses_for_membership_and_resumes() {
+        let mut lead = test_lead();
+        lead.pending_joins.push(AgentInfo {
+            id: 1,
+            addr: agent_addr(1),
+        });
+        lead.apply_membership();
+        let epoch = lead.view.epoch;
+        lead.reports.insert(
+            1,
+            ready(1, 0, epoch as u32, Phase::Migrate, Counters::default()),
+        );
+        lead.evaluate();
+        assert_eq!(lead.migrate_epoch, None);
+        let run_id = lead.start_run(RunInfo {
+            run_id: 0,
+            tag: 1, // WCC
+            params: [0, 0, 0],
+            reuse_state: false,
+            asynchronous: true,
+        });
+        // Drive the sync initialization barriers (step 0).
+        lead.reports
+            .insert(1, ready(1, run_id, 0, Phase::Scatter, Counters::default()));
+        lead.evaluate();
+        lead.reports
+            .insert(1, ready(1, run_id, 0, Phase::Combine, Counters::default()));
+        lead.evaluate();
+        let mut apply = ready(1, run_id, 0, Phase::Apply, Counters::default());
+        apply.active = 1; // not converged: release into async
+        lead.reports.insert(1, apply);
+        lead.evaluate();
+        assert!(lead.run.as_ref().unwrap().async_live);
+        // A joiner arrives mid-async-run: the run pauses behind a
+        // migrate barrier instead of mis-routing against a stale view.
+        lead.pending_joins.push(AgentInfo {
+            id: 2,
+            addr: agent_addr(2),
+        });
+        lead.evaluate();
+        let e2 = lead.view.epoch;
+        assert_eq!(e2, epoch + 1);
+        assert_eq!(lead.migrate_epoch, Some(e2));
+        assert!(
+            lead.resume.is_some(),
+            "paused run must carry a resume point"
+        );
+        assert!(lead.run.is_some(), "the run survives the view change");
+        lead.reports.insert(
+            1,
+            ready(1, 0, e2 as u32, Phase::Migrate, Counters::default()),
+        );
+        lead.reports.insert(
+            2,
+            ready(2, 0, e2 as u32, Phase::Migrate, Counters::default()),
+        );
+        lead.evaluate();
+        assert_eq!(lead.migrate_epoch, None);
+        assert!(lead.resume.is_none());
+        {
+            let run = lead.run.as_ref().unwrap();
+            assert!(run.async_live, "resume re-releases async execution");
+            assert_eq!(run.probe, 0, "probe state resets across the pause");
+        }
+        // Idle reports from before the view change are not trusted.
+        lead.reports.insert(1, idle(1, run_id, epoch));
+        lead.reports.insert(2, idle(2, run_id, epoch));
+        lead.evaluate();
+        assert_eq!(
+            lead.run.as_ref().unwrap().probe,
+            0,
+            "stale-epoch idle reports must not start a probe"
+        );
+        // Fresh idle reports start the confirmation probe; two
+        // identical settled rounds finish the run.
+        lead.reports.insert(1, idle(1, run_id, e2));
+        lead.reports.insert(2, idle(2, run_id, e2));
+        lead.evaluate();
+        assert_eq!(lead.run.as_ref().unwrap().probe, 1);
+        lead.reports
+            .insert(1, ready(1, run_id, 1, Phase::Combine, Counters::default()));
+        lead.reports
+            .insert(2, ready(2, run_id, 1, Phase::Combine, Counters::default()));
+        lead.evaluate();
+        assert!(
+            lead.run.is_none(),
+            "double-confirmed quiescence ends the run"
+        );
+        assert!(lead.status().done);
+    }
+
+    #[test]
+    fn membership_queued_during_async_init_migrates_before_release() {
+        let mut lead = test_lead();
+        lead.pending_joins.push(AgentInfo {
+            id: 1,
+            addr: agent_addr(1),
+        });
+        lead.apply_membership();
+        let epoch = lead.view.epoch;
+        lead.reports.insert(
+            1,
+            ready(1, 0, epoch as u32, Phase::Migrate, Counters::default()),
+        );
+        lead.evaluate();
+        let run_id = lead.start_run(RunInfo {
+            run_id: 0,
+            tag: 1, // WCC
+            params: [0, 0, 0],
+            reuse_state: false,
+            asynchronous: true,
+        });
+        lead.reports
+            .insert(1, ready(1, run_id, 0, Phase::Scatter, Counters::default()));
+        lead.evaluate();
+        lead.reports
+            .insert(1, ready(1, run_id, 0, Phase::Combine, Counters::default()));
+        lead.evaluate();
+        // Membership changes while step-0 initialization is finishing:
+        // the migration must run before the async release.
+        lead.pending_joins.push(AgentInfo {
+            id: 2,
+            addr: agent_addr(2),
+        });
+        let mut apply = ready(1, run_id, 0, Phase::Apply, Counters::default());
+        apply.active = 1;
+        lead.reports.insert(1, apply);
+        lead.evaluate();
+        let e2 = lead.view.epoch;
+        assert_eq!(e2, epoch + 1);
+        assert_eq!(lead.migrate_epoch, Some(e2));
+        assert!(
+            !lead.run.as_ref().unwrap().async_live,
+            "release deferred until the migration settles"
+        );
+        lead.reports.insert(
+            1,
+            ready(1, 0, e2 as u32, Phase::Migrate, Counters::default()),
+        );
+        lead.reports.insert(
+            2,
+            ready(2, 0, e2 as u32, Phase::Migrate, Counters::default()),
+        );
+        lead.evaluate();
+        assert_eq!(lead.migrate_epoch, None);
+        let run = lead.run.as_ref().unwrap();
+        assert!(run.async_live, "resume doubles as the async release");
+        assert_eq!((run.step, run.phase), (1, Phase::Scatter));
     }
 
     #[test]

@@ -211,6 +211,10 @@ pub struct AgentMetrics {
     pub combine_nanos: u64,
     /// Cumulative wall time in the apply kernel.
     pub apply_nanos: u64,
+    /// Data-plane frames for a finished or aborted run that arrived
+    /// after the agent moved on (dropped, not applied — see the
+    /// stale-run arms in the agent's frame dispatch).
+    pub stale_frames: u64,
     /// Comms-plane traffic and coalescer flush counters.
     pub comms: CommsMetrics,
 }
@@ -230,7 +234,8 @@ impl AgentMetrics {
             .u64(self.owner_cache_misses)
             .u64(self.scatter_nanos)
             .u64(self.combine_nanos)
-            .u64(self.apply_nanos);
+            .u64(self.apply_nanos)
+            .u64(self.stale_frames);
         self.comms.encode_into(b).finish()
     }
 
@@ -253,6 +258,7 @@ impl AgentMetrics {
             scatter_nanos: r.u64()?,
             combine_nanos: r.u64()?,
             apply_nanos: r.u64()?,
+            stale_frames: r.u64()?,
             comms: CommsMetrics::decode(&mut r)?,
         })
     }
@@ -297,6 +303,9 @@ pub struct ClusterMetrics {
     pub combine_nanos: u64,
     /// Total apply-kernel wall time across agents.
     pub apply_nanos: u64,
+    /// Total stale-run data-plane frames dropped across agents (frames
+    /// for an already-finished or aborted run).
+    pub stale_frames: u64,
     /// Summed comms-plane traffic and coalescer counters.
     pub comms: CommsMetrics,
 }
@@ -315,6 +324,7 @@ impl ClusterMetrics {
         self.scatter_nanos += m.scatter_nanos;
         self.combine_nanos += m.combine_nanos;
         self.apply_nanos += m.apply_nanos;
+        self.stale_frames += m.stale_frames;
         self.comms.absorb(&m.comms);
     }
 
@@ -347,7 +357,8 @@ impl ClusterMetrics {
             .u64(self.owner_cache_misses)
             .u64(self.scatter_nanos)
             .u64(self.combine_nanos)
-            .u64(self.apply_nanos);
+            .u64(self.apply_nanos)
+            .u64(self.stale_frames);
         self.comms.encode_into(b).finish()
     }
 
@@ -448,6 +459,12 @@ impl ClusterMetrics {
             self.apply_nanos,
         );
         metric(
+            "stale_frames_total",
+            "counter",
+            "Stale-run data-plane frames dropped.",
+            self.stale_frames,
+        );
+        metric(
             "coalesce_size_flushes_total",
             "counter",
             "Coalescer flushes at the byte threshold.",
@@ -520,6 +537,7 @@ impl ClusterMetrics {
             scatter_nanos: r.u64()?,
             combine_nanos: r.u64()?,
             apply_nanos: r.u64()?,
+            stale_frames: r.u64()?,
             comms: CommsMetrics::decode(&mut r)?,
         })
     }
@@ -544,6 +562,7 @@ mod tests {
             scatter_nanos: 90,
             combine_nanos: 100,
             apply_nanos: 110,
+            stale_frames: 120,
             comms: CommsMetrics {
                 vmsg: PacketStat {
                     frames_sent: 1,
@@ -578,6 +597,7 @@ mod tests {
             scatter_nanos: 7,
             combine_nanos: 8,
             apply_nanos: 9,
+            stale_frames: 2,
             comms: CommsMetrics {
                 count_flushes: 4,
                 ..Default::default()
@@ -596,6 +616,7 @@ mod tests {
             scatter_nanos: 1,
             combine_nanos: 2,
             apply_nanos: 3,
+            stale_frames: 1,
             comms: CommsMetrics {
                 count_flushes: 5,
                 ..Default::default()
@@ -616,6 +637,7 @@ mod tests {
             (c.scatter_nanos, c.combine_nanos, c.apply_nanos),
             (8, 10, 12)
         );
+        assert_eq!(c.stale_frames, 3);
         assert_eq!(c.comms.count_flushes, 9);
         assert_eq!(ClusterMetrics::decode(&c.encode()).unwrap(), c);
     }
@@ -641,6 +663,7 @@ mod tests {
             agents_drained: 3,
             partial: true,
             queries: 12,
+            stale_frames: 5,
             comms: CommsMetrics {
                 vmsg: PacketStat {
                     frames_sent: 7,
@@ -657,6 +680,7 @@ mod tests {
         assert!(text.contains("elga_agents_drained 3\n"));
         assert!(text.contains("elga_metrics_partial 1\n"));
         assert!(text.contains("elga_queries_total 12\n"));
+        assert!(text.contains("elga_stale_frames_total 5\n"));
         assert!(text.contains("elga_backpressure_waits_total 2\n"));
         assert!(text.contains("elga_frames_sent_total{type=\"vmsg\"} 7\n"));
         assert!(text.contains("# TYPE elga_queries_total counter\n"));

@@ -548,6 +548,11 @@ pub struct ReadyReport {
     /// one it already holds, so a stale snapshot can never overwrite a
     /// fresh one and wedge a barrier.
     pub seq: u64,
+    /// The reporter's adopted view epoch. Async idle reports are only
+    /// trusted when this matches the lead's current epoch, so a report
+    /// predating a mid-run migration can never settle the restarted
+    /// termination detector against post-migration counters.
+    pub epoch: u64,
 }
 
 /// Encode a READY frame.
@@ -563,6 +568,7 @@ pub fn encode_ready(r: &ReadyReport) -> Frame {
         .f64(r.global_contrib)
         .u64(r.n_primary)
         .u64(r.seq)
+        .u64(r.epoch)
         .finish()
 }
 
@@ -579,6 +585,7 @@ pub fn decode_ready(frame: &Frame) -> Option<ReadyReport> {
         global_contrib: r.f64()?,
         n_primary: r.u64()?,
         seq: r.u64()?,
+        epoch: r.u64()?,
     })
 }
 
@@ -634,7 +641,11 @@ pub fn encode_mig_meta(recs: &[MetaRecord]) -> Frame {
             .u64(m.out_degree)
             .u8(m.active as u8)
             .u8(m.dirty as u8)
-            .u8(m.has_state as u8);
+            .u8(m.has_state as u8)
+            .u8(m.has_meta as u8)
+            .u64(m.ppartial)
+            .u8(m.has_ppartial as u8)
+            .u64(m.wait_recv);
     }
     b.finish()
 }
@@ -643,7 +654,7 @@ pub fn encode_mig_meta(recs: &[MetaRecord]) -> Frame {
 pub fn decode_mig_meta(frame: &Frame) -> Option<Vec<MetaRecord>> {
     let mut r = expect(frame, packet::MIG_META)?;
     let n = r.u32()? as usize;
-    let mut recs = Vec::with_capacity(n.min(r.remaining() / 27));
+    let mut recs = Vec::with_capacity(n.min(r.remaining() / 45));
     for _ in 0..n {
         recs.push(MetaRecord {
             vertex: r.u64()?,
@@ -652,12 +663,23 @@ pub fn decode_mig_meta(frame: &Frame) -> Option<Vec<MetaRecord>> {
             active: r.u8()? != 0,
             dirty: r.u8()? != 0,
             has_state: r.u8()? != 0,
+            has_meta: r.u8()? != 0,
+            ppartial: r.u64()?,
+            has_ppartial: r.u8()? != 0,
+            wait_recv: r.u64()?,
         });
     }
     Some(recs)
 }
 
 /// Primary-side vertex metadata moved during migration.
+///
+/// Besides the meta payload (global out-degree, dirty flag), the record
+/// carries the vertex's *async run state* — the §3.2 waiting-set
+/// progress that lives only at the primary. Migrating it keeps an
+/// asynchronous run correct across a mid-run view change: the new
+/// primary resumes the waiting set exactly where the old one left off
+/// instead of waiting forever for messages that were already consumed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetaRecord {
     /// The vertex.
@@ -672,6 +694,17 @@ pub struct MetaRecord {
     pub dirty: bool,
     /// Whether `state` is initialized.
     pub has_state: bool,
+    /// Whether this record carries primary metadata (`out_degree`,
+    /// existence). False for records shipped solely to hand off async
+    /// run state for a vertex whose meta lives elsewhere.
+    pub has_meta: bool,
+    /// Pending combined partial of an async waiting set (meaningless
+    /// when `has_ppartial` is false).
+    pub ppartial: u64,
+    /// Whether `ppartial` holds a combined value.
+    pub has_ppartial: bool,
+    /// Messages received so far toward the vertex's waiting set.
+    pub wait_recv: u64,
 }
 
 /// Encode degree deltas: `[(vertex, out_delta, in_delta)]` sent to each
@@ -1185,6 +1218,7 @@ mod tests {
             global_contrib: 0.125,
             n_primary: 77,
             seq: 12,
+            epoch: 6,
         };
         assert_eq!(decode_ready(&encode_ready(&rep)).unwrap(), rep);
 
@@ -1217,14 +1251,34 @@ mod tests {
 
     #[test]
     fn mig_meta_roundtrip() {
-        let recs = vec![MetaRecord {
-            vertex: 3,
-            state: 99,
-            out_degree: 4,
-            active: true,
-            dirty: false,
-            has_state: true,
-        }];
+        let recs = vec![
+            MetaRecord {
+                vertex: 3,
+                state: 99,
+                out_degree: 4,
+                active: true,
+                dirty: false,
+                has_state: true,
+                has_meta: true,
+                ppartial: 0,
+                has_ppartial: false,
+                wait_recv: 0,
+            },
+            // Pure async-state handoff: no meta payload, but a live
+            // waiting set mid-accumulation.
+            MetaRecord {
+                vertex: 7,
+                state: 0,
+                out_degree: 0,
+                active: false,
+                dirty: false,
+                has_state: false,
+                has_meta: false,
+                ppartial: 41,
+                has_ppartial: true,
+                wait_recv: 2,
+            },
+        ];
         assert_eq!(decode_mig_meta(&encode_mig_meta(&recs)).unwrap(), recs);
     }
 

@@ -202,6 +202,9 @@ impl Streamer {
     }
 
     /// Re-route the entire retained change log after a recovery reset.
+    /// The reset wipes every survivor regardless of execution mode, so
+    /// the driver replays this log before restarting either a
+    /// synchronous or an asynchronous run.
     ///
     /// The sketch delta is *not* re-pushed — the view's sketch already
     /// counts every logged batch, and the replayed edges must see the

@@ -107,6 +107,7 @@ proptest! {
         contrib in any::<f64>(),
         n_primary in any::<u64>(),
         seq in any::<u64>(),
+        epoch in any::<u64>(),
     ) {
         prop_assume!(!contrib.is_nan());
         let rep = ReadyReport {
@@ -130,6 +131,7 @@ proptest! {
             global_contrib: contrib,
             n_primary,
             seq,
+            epoch,
         };
         prop_assert_eq!(msg::decode_ready(&msg::encode_ready(&rep)).unwrap(), rep);
     }

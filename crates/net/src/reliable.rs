@@ -10,8 +10,13 @@
 //! * every PUSH is wrapped in a `SEQ` envelope carrying a per-route
 //!   sequence number and an acknowledgement return address;
 //! * the receiving side ACKs each envelope, suppresses duplicates by
-//!   sequence number, and forwards the original frame to the bound
-//!   mailbox;
+//!   sequence number, and forwards the original frames to the bound
+//!   mailbox *in sequence order* — a frame that overtook a dropped
+//!   predecessor is parked until the retransmit fills the hole. The
+//!   FIFO matters beyond accounting: ZeroMQ (the paper's substrate)
+//!   delivers per-route in order, and the asynchronous engine's
+//!   replica state adoption is overwrite-based, so reordered state
+//!   broadcasts would strand replicas on stale values;
 //! * a retransmit thread re-sends unacknowledged envelopes with
 //!   exponential backoff, giving up after [`GIVE_UP`] (at which point
 //!   the peer is presumed dead — heartbeat-based failure detection in
@@ -30,7 +35,7 @@ use crate::frame::Frame;
 use crate::transport::{Delivery, Mailbox, NetError, Outbox, Publisher, Transport};
 use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
@@ -69,24 +74,82 @@ struct Pending {
     deadline: Instant,
 }
 
-/// Per-(sender, route) duplicate suppression: everything below `floor`
-/// has been seen; `above` holds seen sequence numbers >= floor.
+/// Per-(sender, route) dedup *and* reorder buffer: everything below
+/// `floor` has been delivered; `held` parks admitted frames whose
+/// predecessors are still in flight so delivery stays in sequence
+/// order. ZeroMQ — the substrate the paper's system is built on —
+/// guarantees per-route FIFO, and the asynchronous engine leans on it:
+/// replica state adoption is overwrite-based, so two reordered state
+/// broadcasts would leave a replica permanently stale. Sync mode only
+/// needs the counting barriers, but async correctness needs FIFO too.
+///
+/// A hole at `floor` that persists past the sender's give-up horizon
+/// can never be filled — the sender stopped retransmitting it — so the
+/// window skips it rather than accumulating every later frame for the
+/// life of the route.
 #[derive(Default)]
-struct DedupWindow {
+struct ReorderWindow {
     floor: u64,
-    above: HashSet<u64>,
+    held: HashMap<u64, Frame>,
+    /// The hole currently blocking `floor`, and when it was first
+    /// observed (i.e. when a later seq arrived while `floor` was
+    /// still missing). `None` = no hole.
+    stalled: Option<(u64, Instant)>,
 }
 
-impl DedupWindow {
-    /// Returns true when `seq` is fresh (first sighting).
-    fn admit(&mut self, seq: u64) -> bool {
-        if seq < self.floor || !self.above.insert(seq) {
-            return false;
+impl ReorderWindow {
+    /// Returns `None` when `seq` was already seen (duplicate), else the
+    /// frames now deliverable, in sequence order — possibly empty if
+    /// `frame` must wait for a predecessor. `horizon` is the
+    /// sender-side give-up bound: a hole older than this is declared
+    /// permanently lost and skipped, releasing the frames parked
+    /// behind it.
+    fn admit(
+        &mut self,
+        seq: u64,
+        frame: Frame,
+        now: Instant,
+        horizon: Duration,
+    ) -> Option<Vec<Frame>> {
+        if seq < self.floor {
+            return None;
         }
-        while self.above.remove(&self.floor) {
+        match self.held.entry(seq) {
+            std::collections::hash_map::Entry::Occupied(_) => return None,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(frame);
+            }
+        }
+        let mut ready = Vec::new();
+        self.drain(&mut ready);
+        if self.held.is_empty() {
+            self.stalled = None;
+            return Some(ready);
+        }
+        match self.stalled {
+            // The same hole is still blocking us; once it outlives the
+            // give-up horizon the sender has abandoned it, so jump the
+            // floor to the next seq we actually hold.
+            Some((hole, since)) if hole == self.floor => {
+                if now.duration_since(since) >= horizon {
+                    if let Some(&next) = self.held.keys().min() {
+                        self.floor = next;
+                        self.drain(&mut ready);
+                    }
+                    self.stalled = (!self.held.is_empty()).then_some((self.floor, now));
+                }
+            }
+            // A new hole (or the first one): start its clock.
+            _ => self.stalled = Some((self.floor, now)),
+        }
+        Some(ready)
+    }
+
+    fn drain(&mut self, out: &mut Vec<Frame>) {
+        while let Some(f) = self.held.remove(&self.floor) {
+            out.push(f);
             self.floor += 1;
         }
-        true
     }
 }
 
@@ -257,9 +320,10 @@ impl Transport for ReliableTransport {
         let (tx, rx) = unbounded::<Delivery>();
         let shared = Arc::downgrade(&self.shared);
         std::thread::spawn(move || {
-            // Dedup state per sending transport instance and route.
-            let mut windows: HashMap<(u64, u64), DedupWindow> = HashMap::new();
-            while let Ok(d) = inner_mb.recv() {
+            // Dedup + reorder state per sending transport instance and
+            // route.
+            let mut windows: HashMap<(u64, u64), ReorderWindow> = HashMap::new();
+            'relay: while let Ok(d) = inner_mb.recv() {
                 if d.frame.packet_type() != SEQ {
                     // REQ deliveries, bus forwards, raw pushes: pass
                     // through untouched (reply handle intact).
@@ -302,13 +366,23 @@ impl Transport for ReliableTransport {
                 if let Some(out) = out {
                     let _ = out.send(ack);
                 }
-                if !windows.entry((nonce, route)).or_default().admit(seq) {
-                    shared.stats.dups_suppressed.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
                 let frame = Frame::from_bytes(bytes::Bytes::copy_from_slice(payload));
-                if tx.send(Delivery::push(frame)).is_err() {
-                    break;
+                match windows.entry((nonce, route)).or_default().admit(
+                    seq,
+                    frame,
+                    Instant::now(),
+                    GIVE_UP,
+                ) {
+                    None => {
+                        shared.stats.dups_suppressed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(ready) => {
+                        for f in ready {
+                            if tx.send(Delivery::push(f)).is_err() {
+                                break 'relay;
+                            }
+                        }
+                    }
                 }
             }
         });
@@ -433,16 +507,18 @@ mod tests {
         }
         let got = collect(&mb, n as usize, Duration::from_secs(30));
         assert_eq!(got.len(), n as usize, "every frame must arrive");
-        let mut seen: Vec<u64> = got
+        let seen: Vec<u64> = got
             .iter()
             .map(|f| {
                 assert_eq!(f.packet_type(), 7);
                 f.reader().u64().unwrap()
             })
             .collect();
-        seen.sort_unstable();
-        seen.dedup();
-        assert_eq!(seen.len(), n as usize, "exactly once, no dups");
+        assert_eq!(
+            seen,
+            (0..n).collect::<Vec<u64>>(),
+            "exactly once, no dups, and in send order"
+        );
         assert!(t.stats().retransmits() > 0, "drops must force retransmits");
     }
 
@@ -461,6 +537,96 @@ mod tests {
             .unwrap();
         assert_eq!(rep.packet_type(), 10);
         handle.join().unwrap();
+    }
+
+    fn tagged(s: u64) -> Frame {
+        Frame::builder(1).u64(s).finish()
+    }
+
+    fn tags(frames: &[Frame]) -> Vec<u64> {
+        frames.iter().map(|f| f.reader().u64().unwrap()).collect()
+    }
+
+    #[test]
+    fn reorder_window_delivers_in_sequence_order() {
+        let mut w = ReorderWindow::default();
+        let t0 = Instant::now();
+        let h = Duration::from_secs(10);
+        assert_eq!(tags(&w.admit(0, tagged(0), t0, h).unwrap()), [0]);
+        // 2 and 3 overtake 1: parked, nothing deliverable yet.
+        assert_eq!(w.admit(2, tagged(2), t0, h).unwrap(), []);
+        assert_eq!(w.admit(3, tagged(3), t0, h).unwrap(), []);
+        // The hole fills: the whole backlog drains in order.
+        assert_eq!(tags(&w.admit(1, tagged(1), t0, h).unwrap()), [1, 2, 3]);
+        assert_eq!(w.floor, 4);
+        assert!(w.held.is_empty());
+    }
+
+    #[test]
+    fn reorder_window_skips_holes_older_than_the_give_up_horizon() {
+        let mut w = ReorderWindow::default();
+        let t0 = Instant::now();
+        let h = Duration::from_millis(50);
+        assert_eq!(tags(&w.admit(0, tagged(0), t0, h).unwrap()), [0]);
+        // seq 1 is lost forever (sender gave up); later seqs park
+        // behind the hole.
+        for s in 2..100 {
+            assert_eq!(w.admit(s, tagged(s), t0, h).unwrap(), []);
+        }
+        assert_eq!(w.floor, 1);
+        assert_eq!(w.held.len(), 98, "backlog parked while the hole is live");
+        // Horizon passes: the next admit declares seq 1 lost, jumps the
+        // floor, and releases the backlog in order.
+        let released = w.admit(100, tagged(100), t0 + h, h).unwrap();
+        assert_eq!(tags(&released), (2..=100).collect::<Vec<u64>>());
+        assert_eq!(w.floor, 101);
+        assert!(w.held.is_empty(), "skipped hole must release the backlog");
+        // The lost seq arriving absurdly late is still suppressed.
+        assert!(w.admit(1, tagged(1), t0 + h, h).is_none());
+        // A fresh hole starts its own clock rather than reusing the
+        // expired one.
+        assert_eq!(w.admit(102, tagged(102), t0 + h, h).unwrap(), []);
+        assert_eq!(w.floor, 101);
+        assert_eq!(
+            w.admit(103, tagged(103), t0 + h + Duration::from_millis(1), h)
+                .unwrap(),
+            []
+        );
+        assert_eq!(w.floor, 101, "new hole must wait out its own horizon");
+        assert_eq!(
+            tags(&w.admit(104, tagged(104), t0 + h + h, h).unwrap()),
+            [102, 103, 104]
+        );
+        assert_eq!(w.floor, 105);
+    }
+
+    #[test]
+    fn reorder_window_suppresses_dups_without_a_hole() {
+        let mut w = ReorderWindow::default();
+        let t0 = Instant::now();
+        let h = Duration::from_secs(10);
+        for s in 0..10 {
+            assert_eq!(tags(&w.admit(s, tagged(s), t0, h).unwrap()), [s]);
+            assert!(
+                w.admit(s, tagged(s), t0, h).is_none(),
+                "second sighting is a dup"
+            );
+        }
+        assert_eq!(w.floor, 10);
+        assert!(w.held.is_empty());
+    }
+
+    #[test]
+    fn reorder_window_suppresses_dups_of_parked_frames() {
+        let mut w = ReorderWindow::default();
+        let t0 = Instant::now();
+        let h = Duration::from_secs(10);
+        assert_eq!(w.admit(1, tagged(1), t0, h).unwrap(), []);
+        assert!(
+            w.admit(1, tagged(1), t0, h).is_none(),
+            "retransmit of a parked frame is a dup"
+        );
+        assert_eq!(tags(&w.admit(0, tagged(0), t0, h).unwrap()), [0, 1]);
     }
 
     #[test]

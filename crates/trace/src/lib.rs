@@ -87,11 +87,16 @@ pub enum EventKind {
     /// The failure detector saw a silent agent (`a` = agent,
     /// `b` = window millis).
     HeartbeatMiss = 11,
+    /// An async-mode agent resumed after a mid-run view change by
+    /// re-broadcasting its primary vertices' states for re-scatter
+    /// under the adopted view (`a` = epoch, `b` = vertices
+    /// re-broadcast).
+    AsyncRescatter = 12,
 }
 
 impl EventKind {
     /// All kinds, for iteration in tests and exporters.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::PhaseScatter,
         EventKind::PhaseCombine,
         EventKind::PhaseApply,
@@ -104,6 +109,7 @@ impl EventKind {
         EventKind::CoalesceFlush,
         EventKind::BackpressureWait,
         EventKind::HeartbeatMiss,
+        EventKind::AsyncRescatter,
     ];
 
     /// Wire tag.
@@ -131,6 +137,7 @@ impl EventKind {
             EventKind::CoalesceFlush => "coalesce_flush",
             EventKind::BackpressureWait => "backpressure_wait",
             EventKind::HeartbeatMiss => "heartbeat_miss",
+            EventKind::AsyncRescatter => "async_rescatter",
         }
     }
 
@@ -373,6 +380,7 @@ fn push_args(ev: &TraceEvent, out: &mut String) {
         EventKind::CoalesceFlush => ("reason", Some("bytes")),
         EventKind::BackpressureWait => ("bytes", None),
         EventKind::HeartbeatMiss => ("agent", Some("window_ms")),
+        EventKind::AsyncRescatter => ("epoch", Some("vertices")),
     };
     out.push_str("{\"");
     out.push_str(ka);

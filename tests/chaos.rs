@@ -6,7 +6,7 @@
 //! Every fault sequence is driven by a fixed seed, so failures here
 //! reproduce deterministically.
 
-use elga::core::program::RunOptions;
+use elga::core::program::{ExecutionMode, RunOptions};
 use elga::graph::csr::Csr;
 use elga::graph::reference;
 use elga::net::{FaultPlan, SendPolicy};
@@ -102,6 +102,82 @@ fn chaos_pagerank_and_wcc_match_fault_free_results() {
 
     chaos.shutdown();
     clean.shutdown();
+}
+
+#[test]
+fn chaos_async_wcc_matches_reference() {
+    // The asynchronous engine's termination detection (idle reports +
+    // double probe) must hold over a transport that drops, delays and
+    // duplicates frames: the reliability layer recovers every frame,
+    // and the probe only confirms once the recovered counters settle
+    // twice with identical sums.
+    let edges = chain_graph(120);
+    let plan = FaultPlan::uniform(0.05, 0.01, Duration::ZERO, Duration::from_millis(5));
+    let mut chaos = Cluster::builder()
+        .agents(4)
+        .config(chaos_config())
+        .chaos(plan, 0xA51C)
+        .build();
+    chaos.ingest_edges(edges.iter().copied());
+    chaos
+        .run_with(
+            Wcc::new(),
+            RunOptions {
+                reuse_state: false,
+                mode: ExecutionMode::Async,
+            },
+        )
+        .expect("chaos async wcc");
+    let truth = reference::wcc(edges.iter().copied());
+    for &(u, _) in &edges {
+        assert_eq!(chaos.query_u64(u), Some(truth[&u]), "wcc v{u}");
+    }
+    let stats = chaos.fault().expect("chaos handle").stats();
+    assert!(stats.dropped() > 0, "no frames dropped — chaos was a no-op");
+    chaos.shutdown();
+}
+
+#[test]
+fn killed_agent_mid_async_run_recovers_to_correct_results() {
+    // An agent dying mid-async-run leaves its primaries unprocessed,
+    // so the run cannot quiesce until failure detection evicts it and
+    // RECOVER aborts the run; the driver then replays the retained
+    // change log and restarts the run — still asynchronous. The graph
+    // is large enough that the KILL (sent the instant the run starts)
+    // always lands while the run is live.
+    let edges = chain_graph(2000);
+    let cfg = SystemConfig {
+        heartbeat_interval: Duration::from_millis(25),
+        heartbeat_misses: 12,
+        quiesce_deadline: Duration::from_secs(30),
+        run_deadline: Duration::from_secs(60),
+        ..SystemConfig::default()
+    };
+    let mut cluster = Cluster::builder().agents(4).config(cfg).build();
+    cluster.ingest_edges(edges.iter().copied());
+
+    let handle = cluster
+        .start_run(
+            Wcc::new(),
+            RunOptions {
+                reuse_state: false,
+                mode: ExecutionMode::Async,
+            },
+        )
+        .expect("start async run");
+    let victim = cluster.agent_ids()[1];
+    cluster.kill_agent(victim);
+    cluster
+        .wait_run(handle)
+        .expect("async run must complete despite the crash");
+
+    assert_eq!(cluster.agent_count(), 3, "victim evicted from the view");
+    assert!(cluster.metrics().agents_recovered >= 1);
+    let truth = reference::wcc(edges.iter().copied());
+    for &(u, _) in &edges {
+        assert_eq!(cluster.query_u64(u), Some(truth[&u]), "wcc v{u}");
+    }
+    cluster.shutdown();
 }
 
 #[test]

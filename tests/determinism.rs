@@ -26,7 +26,7 @@
 use elga::core::agent::Agent;
 use elga::core::directory::{self, DirectoryRole};
 use elga::core::msg::{self, packet, DirectoryView, RunInfo};
-use elga::core::program::ProgramSpec;
+use elga::core::program::{ProgramSpec, RunOptions};
 use elga::core::streamer::Streamer;
 use elga::net::{Addr, FaultPlan, Frame, SendPolicy, TcpTransport, Transport};
 use elga::prelude::*;
@@ -214,6 +214,44 @@ fn wcc_bit_identical_under_chaos_with_coalescing() {
     assert!(stats.dropped() > 0, "no frames dropped — chaos was a no-op");
     chaos.shutdown();
     clean.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Async vs sync fixpoint equivalence
+// ---------------------------------------------------------------------
+
+fn states_for_mode(
+    mode: ExecutionMode,
+    agents: usize,
+    edges: &[(u64, u64)],
+    spec: impl Into<ProgramSpec>,
+) -> HashMap<u64, u64> {
+    let mut cluster = Cluster::builder().agents(agents).build();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster
+        .run_with(
+            spec,
+            RunOptions {
+                reuse_state: false,
+                mode,
+            },
+        )
+        .expect("run");
+    let states = cluster.dump_states();
+    cluster.shutdown();
+    states
+}
+
+#[test]
+fn async_wcc_matches_sync_bit_exact() {
+    // WCC's fixpoint (the component-wide minimum) does not depend on
+    // message ordering, so the event-driven asynchronous execution must
+    // land on exactly the bits the barrier-stepped one does.
+    let edges = big_graph(2000);
+    let sync = states_for_mode(ExecutionMode::Sync, 3, &edges, Wcc::new());
+    let asynch = states_for_mode(ExecutionMode::Async, 3, &edges, Wcc::new());
+    assert_eq!(sync.len(), 2000);
+    assert_eq!(sync, asynch, "async WCC must match sync bit for bit");
 }
 
 // ---------------------------------------------------------------------

@@ -9,6 +9,7 @@
 //! floats in scheduling-dependent arrival order, so it pins the usual
 //! 1e-9 agreement.
 
+use elga::core::program::RunOptions;
 use elga::net::SendPolicy;
 use elga::prelude::*;
 use elga::trace::EventKind;
@@ -133,6 +134,72 @@ fn autoscaler_follows_step_function_load() {
     // A steady load at the current target is a no-op.
     assert_eq!(cluster.autoscale_once(&mut policy, 80.0), None);
     assert_eq!(cluster.agent_count(), 2);
+    cluster.shutdown();
+}
+
+#[test]
+fn async_run_survives_scale_up_batched_scale_down_and_crash() {
+    // The full mode × elasticity × fault matrix in one run: while an
+    // asynchronous WCC run is live, one agent joins, three leave in a
+    // single batched view change, and one crashes (evicted by failure
+    // detection, run aborted, change log replayed, run restarted —
+    // still asynchronous). The converged labels must be bit-identical
+    // to an undisturbed synchronous run's.
+    let edges = chain_graph(3000);
+
+    let mut clean = Cluster::builder().agents(4).build();
+    clean.ingest_edges(edges.iter().copied());
+    clean.run(Wcc::new()).expect("undisturbed sync wcc");
+    let want = clean.dump_states();
+    clean.shutdown();
+
+    let cfg = SystemConfig {
+        // Fast failure detection so eviction of the crashed agent does
+        // not dominate the test.
+        heartbeat_interval: Duration::from_millis(25),
+        heartbeat_misses: 12,
+        quiesce_deadline: Duration::from_secs(60),
+        run_deadline: Duration::from_secs(120),
+        ..SystemConfig::default()
+    };
+    let mut cluster = Cluster::builder().agents(6).config(cfg).build();
+    cluster.ingest_edges(edges.iter().copied());
+
+    let handle = cluster
+        .start_run(
+            Wcc::new(),
+            RunOptions {
+                reuse_state: false,
+                mode: ExecutionMode::Async,
+            },
+        )
+        .expect("start async run");
+
+    // Join mid-run: the directory pauses the async run, migrates, and
+    // re-releases it under the new view.
+    let added = cluster.add_agents(1);
+    assert_eq!(added.len(), 1);
+    // Batched scale-down mid-run: one LEAVE carrying all three
+    // departures (the single-view-change cost is pinned by
+    // `scale_down_by_n_is_one_view_change`; here the point is that the
+    // live async run absorbs it).
+    let removed = cluster.remove_agents(3);
+    assert_eq!(removed.len(), 3);
+    // Crash mid-run: no drain, no goodbye.
+    let victim = cluster.agent_ids()[0];
+    cluster.kill_agent(victim);
+
+    cluster
+        .wait_run(handle)
+        .expect("async run survives join, batched leave, and crash");
+    assert_eq!(cluster.agent_count(), 3, "victim evicted");
+    assert!(!cluster.agent_ids().contains(&victim));
+
+    assert_eq!(
+        cluster.dump_states(),
+        want,
+        "async labels after the elastic storm must match the undisturbed sync run"
+    );
     cluster.shutdown();
 }
 
