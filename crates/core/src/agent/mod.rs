@@ -38,6 +38,7 @@
 //! * [`migrate`] — view adoption and edge/meta migration.
 //! * [`recovery`] — heartbeats and the peer-loss reset.
 
+mod checkpoint;
 mod comms;
 mod ingest;
 mod migrate;
@@ -57,7 +58,7 @@ use elga_graph::types::{Action, EdgeChange, VertexId};
 use elga_hash::{AgentId, EdgeLocator, FxHashMap, FxHashSet, OwnerCache};
 use elga_net::{
     Addr, CoalesceConfig, CoalesceStats, CoalescingOutbox, Delivery, Frame, NetError, NetStats,
-    Outbox, Transport, TransportExt,
+    Outbox, ReplyHandle, Transport, TransportExt,
 };
 use elga_sketch::CountMinSketch;
 use elga_trace::{EventKind, Tracer};
@@ -205,6 +206,11 @@ pub struct Agent {
     /// recoveries). Disabled unless `cfg.tracing`; drained over the
     /// wire by TRACE_DUMP.
     tracer: Arc<Tracer>,
+    /// Durable checkpoint store, opened lazily from
+    /// `cfg.checkpoint_dir` at the first CKPT_SAVE and kept for the
+    /// agent's lifetime (the disk-fault injector's RNG must advance
+    /// across writes, not replay the same damage each generation).
+    ckpt_store: Option<elga_ckpt::CheckpointStore>,
 }
 
 impl Agent {
@@ -305,6 +311,7 @@ impl Agent {
             heartbeat_sent: Instant::now(),
             ready_seq: 0,
             tracer: Arc::new(Tracer::from_flag(cfg.tracing)),
+            ckpt_store: None,
         };
         if let Some(info) = run_info {
             agent.begin_run(info);
@@ -383,6 +390,9 @@ impl Agent {
             packet::DEG_DELTA => self.on_deg_delta(frame),
             packet::MIG_EDGES => self.on_mig_edges(frame),
             packet::MIG_META => self.on_mig_meta(frame),
+            packet::CKPT_SAVE => self.on_ckpt_save(&frame, d.reply),
+            packet::CKPT_EDGES => self.on_ckpt_edges(frame),
+            packet::CKPT_META => self.on_ckpt_meta(frame),
             packet::RESET_LABELS => self.on_reset_labels(frame),
             packet::QUERY => {
                 if let Some(reply) = d.reply {

@@ -18,19 +18,22 @@
 
 use crate::agent::Agent;
 use crate::autoscale::Autoscaler;
+use crate::ckpt_codec;
 use crate::client::{ClientProxy, QueryResult};
 use crate::config::SystemConfig;
 use crate::directory::{self, bus_addr, directory_addr, master_addr};
 use crate::metrics::ClusterMetrics;
-use crate::msg::{self, packet, Counters, DirectoryView, RunInfo};
+use crate::msg::{self, packet, Counters, DirectoryView, RunInfo, Side};
 use crate::program::{ProgramSpec, RunOptions};
 use crate::streamer::Streamer;
+use elga_ckpt::CheckpointStore;
 use elga_graph::types::EdgeChange;
 use elga_hash::AgentId;
 use elga_net::{
-    Addr, FaultPlan, FaultyTransport, Frame, InProcTransport, Mailbox, NetError, ReliableTransport,
-    Transport, TransportExt,
+    Addr, DiskFault, FaultPlan, FaultyTransport, Frame, InProcTransport, Mailbox, NetError,
+    ReliableTransport, Transport, TransportExt,
 };
+use elga_trace::{EventKind, Tracer};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -115,6 +118,33 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enable durable checkpointing into `dir` (shorthand for
+    /// `SystemConfig::checkpoint_dir`). Recovery then loads the newest
+    /// valid generation and replays only the change-log suffix past
+    /// its watermark.
+    pub fn checkpoints(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.config.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Take a checkpoint automatically after every `n` quiesced ingest
+    /// calls' batches (0 disables the automatic trigger; explicit
+    /// [`Cluster::checkpoint`] calls always work).
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.config.checkpoint_interval_batches = n;
+        self
+    }
+
+    /// Inject disk faults (torn writes, bit corruption) into agent
+    /// checkpoint writes, deterministically seeded. The driver's
+    /// read-back scrub and recovery validation must absorb every one —
+    /// a damaged generation is fallen past, never restored from.
+    pub fn disk_chaos(mut self, fault: DiskFault, seed: u64) -> Self {
+        self.config.disk_fault = Some(fault);
+        self.config.disk_fault_seed = seed;
+        self
+    }
+
     /// Assemble and start the cluster.
     pub fn build(self) -> Cluster {
         let (transport, fault): (Arc<dyn Transport>, Option<Arc<FaultyTransport>>) =
@@ -141,6 +171,7 @@ impl ClusterBuilder {
                 master.clone(),
             ));
         }
+        let tracer = Arc::new(Tracer::from_flag(self.config.tracing));
         let mut cluster = Cluster {
             transport,
             fault,
@@ -154,6 +185,10 @@ impl ClusterBuilder {
             proxy: None,
             alive: true,
             trace_tracks: Vec::new(),
+            ckpt_store: None,
+            batches_since_ckpt: 0,
+            recovery: RecoveryStats::default(),
+            tracer,
         };
         cluster.add_agents(self.agents);
         cluster.quiesce().expect("initial quiesce");
@@ -222,6 +257,55 @@ pub struct Cluster {
     /// (departed agents drained just before their LEAVE). Merged into
     /// [`Cluster::collect_traces`] output.
     trace_tracks: Vec<(String, Vec<elga_trace::TraceEvent>)>,
+    /// Driver-side, fault-free checkpoint store: scrubs and commits
+    /// generations the agents wrote (possibly through an injector) and
+    /// reads them back during recovery. Opened lazily.
+    ckpt_store: Option<CheckpointStore>,
+    /// Quiesced ingest batches since the last automatic checkpoint.
+    batches_since_ckpt: u64,
+    /// Driver-side recovery/restore accounting, merged into
+    /// [`Cluster::metrics`].
+    recovery: RecoveryStats,
+    /// Driver-side event recorder (checkpoint restores, end-to-end
+    /// recovery spans); drained as the `driver` track by
+    /// [`Cluster::collect_traces`].
+    tracer: Arc<Tracer>,
+}
+
+/// Driver-side recovery and checkpoint-restore accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Completed recoveries driven by this cluster handle.
+    pub recoveries: u64,
+    /// Total recovery wall time, RECOVER receipt through restored
+    /// cluster (run restarted if one was aborted), in nanoseconds.
+    pub recovery_nanos: u64,
+    /// Recoveries that restored from a checkpoint generation.
+    pub ckpt_restores: u64,
+    /// Wall time spent reading, re-routing, and re-injecting shards.
+    pub ckpt_restore_nanos: u64,
+    /// Committed generations skipped as damaged before a valid one was
+    /// found (the fallback ladder length, summed over recoveries).
+    pub ckpt_fallbacks: u64,
+    /// Change records replayed from the retained log.
+    pub replayed_records: u64,
+}
+
+/// Outcome of one [`Cluster::checkpoint`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Generation written.
+    pub generation: u64,
+    /// View epoch at the cut.
+    pub epoch: u64,
+    /// Change-stream watermark the generation covers.
+    pub watermark: u64,
+    /// Whether the manifest was committed after the read-back scrub.
+    /// False means a shard write failed or did not survive validation;
+    /// earlier generations and the full change log stay intact.
+    pub committed: bool,
+    /// Total payload bytes across shards.
+    pub bytes: u64,
 }
 
 impl Cluster {
@@ -401,19 +485,41 @@ impl Cluster {
     }
 
     /// Stream edge changes into the system and wait for quiescence.
+    /// With `checkpoint_interval_batches` configured, a checkpoint is
+    /// taken automatically once enough batches have accumulated.
     pub fn ingest(&mut self, changes: impl IntoIterator<Item = EdgeChange>) {
+        let mut batches = 0u64;
         let mut buf = Vec::with_capacity(INGEST_BATCH);
         for c in changes {
             buf.push(c);
             if buf.len() == INGEST_BATCH {
                 self.streamer().send_batch(&buf).expect("ingest");
+                batches += 1;
                 buf.clear();
             }
         }
         if !buf.is_empty() {
             self.streamer().send_batch(&buf).expect("ingest");
+            batches += 1;
         }
         self.quiesce().expect("quiesce after ingest");
+        self.maybe_checkpoint(batches);
+    }
+
+    /// Automatic-checkpoint trigger: fires once `batches` more ingest
+    /// batches push the running count past the configured interval. A
+    /// failed (uncommitted) checkpoint is not an error here — the
+    /// change log was left intact, so recovery still works; the next
+    /// interval retries with a fresh generation number.
+    fn maybe_checkpoint(&mut self, batches: u64) {
+        if self.cfg.checkpoint_interval_batches == 0 || self.cfg.checkpoint_dir.is_none() {
+            return;
+        }
+        self.batches_since_ckpt += batches;
+        if self.batches_since_ckpt >= self.cfg.checkpoint_interval_batches {
+            self.batches_since_ckpt = 0;
+            let _ = self.checkpoint();
+        }
     }
 
     /// Convenience: ingest plain edges as insertions.
@@ -475,6 +581,267 @@ impl Cluster {
             last = ok.then_some(sum);
             std::thread::sleep(Duration::from_micros(200));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// The driver's fault-free checkpoint store, opened lazily.
+    fn driver_store(&mut self) -> Result<&mut CheckpointStore, NetError> {
+        if self.ckpt_store.is_none() {
+            let dir = self
+                .cfg
+                .checkpoint_dir
+                .as_ref()
+                .ok_or(NetError::Protocol("checkpointing not configured"))?;
+            // Deliberately without the injector: the driver's job is to
+            // validate what the (possibly lying) agent disks produced.
+            self.ckpt_store = Some(
+                CheckpointStore::open(dir)
+                    .map_err(|_| NetError::Protocol("checkpoint directory unavailable"))?,
+            );
+        }
+        Ok(self.ckpt_store.as_mut().expect("just set"))
+    }
+
+    /// Take a durable checkpoint: quiesce, have every agent write its
+    /// shard of a new generation at the current change-stream
+    /// watermark, scrub the shards back through checksum validation,
+    /// commit the manifest, prune old generations, and truncate the
+    /// streamer's retained change log to the oldest watermark still
+    /// covered by a retained generation.
+    ///
+    /// A failed shard write or scrub (e.g. injected torn writes) leaves
+    /// the generation manifest-less and therefore invisible to
+    /// recovery, and the change log untruncated: checkpointing degrades
+    /// to the previous generation (or full replay), never to a wrong
+    /// answer. Such an outcome is reported as `committed: false`, not
+    /// an error.
+    pub fn checkpoint(&mut self) -> Result<CheckpointReport, NetError> {
+        if self.cfg.checkpoint_dir.is_none() {
+            return Err(NetError::Protocol("checkpointing not configured"));
+        }
+        self.quiesce()?;
+        let view = self.view();
+        let watermark = self.streamer().ingested_records();
+        let generation = self
+            .driver_store()?
+            .generations()
+            .last()
+            .copied()
+            .unwrap_or(0)
+            + 1;
+        let mut report = CheckpointReport {
+            generation,
+            epoch: view.epoch,
+            watermark,
+            committed: false,
+            bytes: 0,
+        };
+        let mut all_ok = true;
+        for a in &view.agents {
+            let rep = self.request_agent(
+                &a.addr,
+                msg::encode_ckpt_save(generation, view.epoch, watermark),
+            )?;
+            match msg::decode_ckpt_save_reply(&rep) {
+                Some(r) if r.ok => report.bytes += r.bytes,
+                _ => all_ok = false,
+            }
+        }
+        if !all_ok {
+            return Ok(report);
+        }
+        let agents: Vec<u64> = view.agents.iter().map(|a| a.id).collect();
+        let keep = self.cfg.checkpoint_keep.max(1);
+        let store = self.driver_store()?;
+        if store
+            .commit(generation, view.epoch, watermark, &agents)
+            .is_err()
+        {
+            return Ok(report);
+        }
+        report.committed = true;
+        let _ = store.prune(keep);
+        // The log must still reach back to every retained generation's
+        // watermark, or the fallback ladder would leave a replay gap.
+        let oldest = store
+            .generations()
+            .iter()
+            .filter_map(|&g| store.manifest(g).ok())
+            .map(|m| m.watermark)
+            .min()
+            .unwrap_or(watermark);
+        self.streamer().truncate_log(oldest);
+        Ok(report)
+    }
+
+    /// Driver-side recovery and checkpoint-restore counters.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Change-log accounting: `(retained records, retained bytes,
+    /// log base, lifetime ingested records)` of the embedded streamer.
+    /// The log base is the global stream index of the oldest retained
+    /// record — everything before it must be covered by a checkpoint.
+    pub fn change_log_stats(&mut self) -> (u64, u64, u64, u64) {
+        let s = self.streamer();
+        (
+            s.retained_changes() as u64,
+            s.retained_bytes(),
+            s.log_base(),
+            s.ingested_records(),
+        )
+    }
+
+    /// Rebuild graph state after the survivors' recovery reset: load
+    /// the newest valid checkpoint generation (walking the fallback
+    /// ladder past damaged ones) and replay only the change-log suffix
+    /// past its watermark; without checkpointing, replay the whole
+    /// retained log. Returns the number of change records replayed.
+    ///
+    /// Fails with [`NetError::RecoveryUnavailable`] when no combination
+    /// of checkpoint and retained log covers the ingested stream —
+    /// immediately and explicitly, instead of timing out a deadline on
+    /// an answer that could only be wrong.
+    fn restore_state(&mut self) -> Result<u64, NetError> {
+        if self.streamer.is_none() || self.streamer().ingested_records() == 0 {
+            // Nothing was ever ingested; nothing to rebuild.
+            return Ok(0);
+        }
+        if self.cfg.checkpoint_dir.is_some() {
+            let min_watermark = self.streamer().log_base();
+            match self.driver_store()?.latest_valid(min_watermark) {
+                Some(valid) => {
+                    let t0 = Instant::now();
+                    let bytes = self.restore_generation(&valid.manifest)?;
+                    // The injected frames are uncounted; the DRAIN
+                    // round's FIFO ordering behind them is what
+                    // guarantees they were applied.
+                    self.quiesce()?;
+                    let replayed = self.streamer().replay_from(valid.manifest.watermark)? as u64;
+                    self.recovery.ckpt_restores += 1;
+                    self.recovery.ckpt_restore_nanos += t0.elapsed().as_nanos() as u64;
+                    self.recovery.ckpt_fallbacks += valid.fallbacks;
+                    self.tracer
+                        .span(EventKind::CkptRestore, t0, valid.manifest.generation, bytes);
+                    Ok(replayed)
+                }
+                None if min_watermark == 0 => {
+                    // No generation usable, but the log is complete.
+                    Ok(self.streamer().replay()? as u64)
+                }
+                None => Err(NetError::RecoveryUnavailable(
+                    "no valid checkpoint generation covers the truncated change log",
+                )),
+            }
+        } else if self.cfg.retain_change_log {
+            Ok(self.streamer().replay()? as u64)
+        } else {
+            Err(NetError::RecoveryUnavailable(
+                "change-log retention is off and no checkpoint directory is configured",
+            ))
+        }
+    }
+
+    /// Read every shard of `m`, re-route each record under the current
+    /// (post-recovery) view — including the dead agent's surviving
+    /// shard — and push the results to the new owners as uncounted
+    /// CKPT_EDGES / CKPT_META frames. Returns total payload bytes read.
+    fn restore_generation(&mut self, m: &elga_ckpt::Manifest) -> Result<u64, NetError> {
+        /// Groups per CKPT_EDGES frame / records per CKPT_META frame.
+        const CHUNK: usize = 1024;
+        let view = self.view();
+        let locator = view.locator();
+        let mut edge_batches: HashMap<AgentId, Vec<msg::CkptEdgeGroup>> = HashMap::new();
+        let mut meta_batches: HashMap<AgentId, Vec<msg::CkptMetaRecord>> = HashMap::new();
+        let mut bytes = 0u64;
+        for &agent in &m.agents {
+            let (_header, payload) = self
+                .driver_store()?
+                .read_shard(m.generation, agent)
+                .map_err(|_| NetError::Protocol("validated checkpoint shard unreadable"))?;
+            bytes += payload.len() as u64;
+            let records = ckpt_codec::decode_payload(&payload)
+                .ok_or(NetError::Protocol("checkpoint payload malformed"))?;
+            for rec in records {
+                let v = rec.vertex;
+                let est = view.sketch.estimate(v);
+                let mut outs: HashMap<AgentId, Vec<u64>> = HashMap::new();
+                for &w in &rec.out {
+                    if let Some(owner) = locator.owner_of_edge(v, w, est) {
+                        outs.entry(owner).or_default().push(w);
+                    }
+                }
+                let mut inns: HashMap<AgentId, Vec<u64>> = HashMap::new();
+                for &u in &rec.inn {
+                    if let Some(owner) = locator.owner_of_edge(v, u, est) {
+                        inns.entry(owner).or_default().push(u);
+                    }
+                }
+                for (side, groups) in [(Side::Out, outs), (Side::In, inns)] {
+                    for (dest, others) in groups {
+                        edge_batches
+                            .entry(dest)
+                            .or_default()
+                            .push(msg::CkptEdgeGroup {
+                                side,
+                                vertex: v,
+                                state: rec.state,
+                                has_state: rec.has_state,
+                                rep_out_degree: rec.rep_out_degree,
+                                active: rec.active,
+                                others,
+                            });
+                    }
+                }
+                if rec.is_meta || rec.g_out != 0 || rec.g_in != 0 || rec.dirty {
+                    if let Some(primary) = locator.ring().owner(v) {
+                        meta_batches
+                            .entry(primary)
+                            .or_default()
+                            .push(msg::CkptMetaRecord {
+                                vertex: v,
+                                state: rec.state,
+                                has_state: rec.has_state,
+                                active: rec.active,
+                                dirty: rec.dirty,
+                                is_meta: rec.is_meta,
+                                g_out: rec.g_out,
+                                g_in: rec.g_in,
+                            });
+                    }
+                }
+            }
+        }
+        for (dest, groups) in edge_batches {
+            for chunk in groups.chunks(CHUNK) {
+                self.push_to_agent(&view, dest, msg::encode_ckpt_edges(chunk))?;
+            }
+        }
+        for (dest, recs) in meta_batches {
+            for chunk in recs.chunks(CHUNK) {
+                self.push_to_agent(&view, dest, msg::encode_ckpt_meta(chunk))?;
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// Push one restore frame to an agent under the given view.
+    fn push_to_agent(
+        &self,
+        view: &DirectoryView,
+        agent: AgentId,
+        frame: Frame,
+    ) -> Result<(), NetError> {
+        let addr = view
+            .addr_of(agent)
+            .ok_or(NetError::Protocol("restore target missing from view"))?;
+        self.transport
+            .push_with_retry(addr, frame, &self.cfg.send_policy)
+            .map(|_| ())
     }
 
     // ------------------------------------------------------------------
@@ -582,10 +949,11 @@ impl Cluster {
     }
 
     /// Drive recovery after the lead evicted a dead agent: reap its
-    /// thread, wait for the survivors' reset barrier to settle, replay
-    /// the retained change log into the rebuilt membership, and — when
-    /// the failure aborted this handle's run — restart it (the handle
-    /// adopts the new run id).
+    /// thread, wait for the survivors' reset barrier to settle, rebuild
+    /// state (checkpoint restore plus change-log suffix replay, or full
+    /// replay — see [`Cluster::restore_state`]), and — when the failure
+    /// aborted this handle's run — restart it (the handle adopts the
+    /// new run id).
     fn recover_and_restart(
         &mut self,
         handle: &mut RunHandle,
@@ -598,12 +966,11 @@ impl Cluster {
             return Ok(());
         }
         handle.recovered_epoch = rec.epoch;
+        let t0 = Instant::now();
         // Survivors report the zeroed-counter migrate barrier; once it
         // settles the system is empty and consistent.
         self.quiesce()?;
-        if let Some(streamer) = self.streamer.as_mut() {
-            streamer.replay()?;
-        }
+        let replayed = self.restore_state()?;
         self.quiesce()?;
         if rec.aborted_run == handle.run_id {
             let info = run_info(&handle.spec, handle.options);
@@ -613,6 +980,11 @@ impl Cluster {
                 .u64()
                 .ok_or(NetError::Protocol("bad start reply"))?;
         }
+        self.recovery.recoveries += 1;
+        self.recovery.recovery_nanos += t0.elapsed().as_nanos() as u64;
+        self.recovery.replayed_records += replayed;
+        self.tracer
+            .span(EventKind::RecoveryDone, t0, rec.epoch, replayed);
         Ok(())
     }
 
@@ -726,6 +1098,14 @@ impl Cluster {
         if let Some(fault) = &self.fault {
             agg.messages_dropped = fault.stats().dropped();
         }
+        // Recovery is driven from here, so its accounting is too — the
+        // directory aggregate cannot know it.
+        agg.recoveries = self.recovery.recoveries;
+        agg.recovery_nanos = self.recovery.recovery_nanos;
+        agg.ckpt_restores = self.recovery.ckpt_restores;
+        agg.ckpt_restore_nanos = self.recovery.ckpt_restore_nanos;
+        agg.ckpt_fallbacks = self.recovery.ckpt_fallbacks;
+        agg.replayed_records = self.recovery.replayed_records;
         agg
     }
 
@@ -781,6 +1161,10 @@ impl Cluster {
             if !events.is_empty() {
                 tracks.push(("streamer".to_string(), events));
             }
+        }
+        let (events, _dropped) = self.tracer.drain();
+        if !events.is_empty() {
+            tracks.push(("driver".to_string(), events));
         }
         tracks
     }

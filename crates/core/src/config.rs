@@ -1,7 +1,8 @@
 //! System-wide configuration.
 
 use elga_hash::{HashKind, LocatorConfig};
-use elga_net::SendPolicy;
+use elga_net::{DiskFault, SendPolicy};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Tunables shared by every Participant. The defaults follow the
@@ -73,6 +74,28 @@ pub struct SystemConfig {
     /// Off by default; the disabled path is one relaxed atomic load
     /// (or an unset `Option`), so benchmarks are unaffected.
     pub tracing: bool,
+    /// Directory for durable checkpoints. `None` (the default)
+    /// disables checkpointing entirely; recovery then replays the
+    /// whole retained change log, as before.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Take a checkpoint automatically after this many ingested
+    /// batches (0 disables the automatic trigger; explicit
+    /// `Cluster::checkpoint` calls still work).
+    pub checkpoint_interval_batches: u64,
+    /// Checkpoint generations retained on disk. Older generations are
+    /// pruned after each successful commit; keeping ≥2 means a
+    /// corrupt newest generation still has a fallback.
+    pub checkpoint_keep: usize,
+    /// Soft cap on retained change-log records before the streamer
+    /// emits a `ChangeLogWarn` trace event (0 disables the warning).
+    /// Advisory only — the log is never dropped below a checkpoint
+    /// watermark.
+    pub change_log_cap: u64,
+    /// Disk-fault injection applied to checkpoint writes (chaos
+    /// testing only). `None` outside chaos runs.
+    pub disk_fault: Option<DiskFault>,
+    /// Seed for the disk-fault injector's deterministic RNG.
+    pub disk_fault_seed: u64,
 }
 
 impl Default for SystemConfig {
@@ -97,6 +120,12 @@ impl Default for SystemConfig {
             owner_cache: true,
             coalescing: true,
             tracing: false,
+            checkpoint_dir: None,
+            checkpoint_interval_batches: 0,
+            checkpoint_keep: 2,
+            change_log_cap: 0,
+            disk_fault: None,
+            disk_fault_seed: 0,
         }
     }
 }
@@ -152,6 +181,19 @@ mod tests {
         assert!(detect < c.quiesce_deadline);
         assert!(c.quiesce_deadline <= c.run_deadline);
         assert!(c.send_policy.retries > 0);
+    }
+
+    #[test]
+    fn checkpointing_defaults_off_with_a_fallback_window() {
+        let c = SystemConfig::default();
+        assert!(c.checkpoint_dir.is_none(), "checkpointing is opt-in");
+        assert_eq!(c.checkpoint_interval_batches, 0);
+        assert!(
+            c.checkpoint_keep >= 2,
+            "must retain a fallback generation for corrupt-newest recovery"
+        );
+        assert_eq!(c.change_log_cap, 0, "log warning is opt-in");
+        assert!(c.disk_fault.is_none(), "no fault injection outside chaos");
     }
 
     #[test]

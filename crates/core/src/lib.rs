@@ -55,6 +55,7 @@
 pub mod agent;
 pub mod algorithms;
 pub mod autoscale;
+pub mod ckpt_codec;
 pub mod client;
 pub mod cluster;
 pub mod config;
@@ -65,6 +66,6 @@ pub mod program;
 mod store;
 pub mod streamer;
 
-pub use cluster::{Cluster, ClusterBuilder, RunStats};
+pub use cluster::{CheckpointReport, Cluster, ClusterBuilder, RecoveryStats, RunStats};
 pub use config::SystemConfig;
 pub use program::{ExecutionMode, ProgramSpec, VertexCtx, VertexProgram};

@@ -215,6 +215,12 @@ pub struct AgentMetrics {
     /// after the agent moved on (dropped, not applied — see the
     /// stale-run arms in the agent's frame dispatch).
     pub stale_frames: u64,
+    /// Checkpoint shards durably written (CKPT_SAVE successes).
+    pub ckpt_writes: u64,
+    /// Cumulative wall time serializing and writing checkpoint shards.
+    pub ckpt_write_nanos: u64,
+    /// Cumulative checkpoint payload bytes written.
+    pub ckpt_bytes: u64,
     /// Comms-plane traffic and coalescer flush counters.
     pub comms: CommsMetrics,
 }
@@ -235,7 +241,10 @@ impl AgentMetrics {
             .u64(self.scatter_nanos)
             .u64(self.combine_nanos)
             .u64(self.apply_nanos)
-            .u64(self.stale_frames);
+            .u64(self.stale_frames)
+            .u64(self.ckpt_writes)
+            .u64(self.ckpt_write_nanos)
+            .u64(self.ckpt_bytes);
         self.comms.encode_into(b).finish()
     }
 
@@ -259,6 +268,9 @@ impl AgentMetrics {
             combine_nanos: r.u64()?,
             apply_nanos: r.u64()?,
             stale_frames: r.u64()?,
+            ckpt_writes: r.u64()?,
+            ckpt_write_nanos: r.u64()?,
+            ckpt_bytes: r.u64()?,
             comms: CommsMetrics::decode(&mut r)?,
         })
     }
@@ -306,6 +318,28 @@ pub struct ClusterMetrics {
     /// Total stale-run data-plane frames dropped across agents (frames
     /// for an already-finished or aborted run).
     pub stale_frames: u64,
+    /// Total checkpoint shards durably written across agents.
+    pub ckpt_writes: u64,
+    /// Total wall time serializing and writing checkpoint shards.
+    pub ckpt_write_nanos: u64,
+    /// Total checkpoint payload bytes written across agents.
+    pub ckpt_bytes: u64,
+    /// Recoveries completed end-to-end (driver-merged: the driver
+    /// orchestrates recovery, so the directory aggregate cannot know).
+    pub recoveries: u64,
+    /// Total end-to-end recovery wall time (driver-merged).
+    pub recovery_nanos: u64,
+    /// Recoveries restored from a checkpoint generation (driver-merged).
+    pub ckpt_restores: u64,
+    /// Wall time reading + re-injecting checkpoint shards
+    /// (driver-merged).
+    pub ckpt_restore_nanos: u64,
+    /// Damaged committed generations skipped by recovery's fallback
+    /// ladder (driver-merged).
+    pub ckpt_fallbacks: u64,
+    /// Change records replayed from the retained log during recovery
+    /// (driver-merged).
+    pub replayed_records: u64,
     /// Summed comms-plane traffic and coalescer counters.
     pub comms: CommsMetrics,
 }
@@ -325,6 +359,9 @@ impl ClusterMetrics {
         self.combine_nanos += m.combine_nanos;
         self.apply_nanos += m.apply_nanos;
         self.stale_frames += m.stale_frames;
+        self.ckpt_writes += m.ckpt_writes;
+        self.ckpt_write_nanos += m.ckpt_write_nanos;
+        self.ckpt_bytes += m.ckpt_bytes;
         self.comms.absorb(&m.comms);
     }
 
@@ -358,7 +395,16 @@ impl ClusterMetrics {
             .u64(self.scatter_nanos)
             .u64(self.combine_nanos)
             .u64(self.apply_nanos)
-            .u64(self.stale_frames);
+            .u64(self.stale_frames)
+            .u64(self.ckpt_writes)
+            .u64(self.ckpt_write_nanos)
+            .u64(self.ckpt_bytes)
+            .u64(self.recoveries)
+            .u64(self.recovery_nanos)
+            .u64(self.ckpt_restores)
+            .u64(self.ckpt_restore_nanos)
+            .u64(self.ckpt_fallbacks)
+            .u64(self.replayed_records);
         self.comms.encode_into(b).finish()
     }
 
@@ -465,6 +511,60 @@ impl ClusterMetrics {
             self.stale_frames,
         );
         metric(
+            "ckpt_writes_total",
+            "counter",
+            "Checkpoint shards durably written.",
+            self.ckpt_writes,
+        );
+        metric(
+            "ckpt_write_nanos_total",
+            "counter",
+            "Wall time writing checkpoint shards (ns).",
+            self.ckpt_write_nanos,
+        );
+        metric(
+            "ckpt_bytes_total",
+            "counter",
+            "Checkpoint payload bytes written.",
+            self.ckpt_bytes,
+        );
+        metric(
+            "recoveries_total",
+            "counter",
+            "End-to-end recoveries completed.",
+            self.recoveries,
+        );
+        metric(
+            "recovery_nanos_total",
+            "counter",
+            "End-to-end recovery wall time (ns).",
+            self.recovery_nanos,
+        );
+        metric(
+            "ckpt_restores_total",
+            "counter",
+            "Recoveries restored from a checkpoint.",
+            self.ckpt_restores,
+        );
+        metric(
+            "ckpt_restore_nanos_total",
+            "counter",
+            "Wall time restoring checkpoint shards (ns).",
+            self.ckpt_restore_nanos,
+        );
+        metric(
+            "ckpt_fallbacks_total",
+            "counter",
+            "Damaged checkpoint generations skipped.",
+            self.ckpt_fallbacks,
+        );
+        metric(
+            "replayed_records_total",
+            "counter",
+            "Change records replayed during recovery.",
+            self.replayed_records,
+        );
+        metric(
             "coalesce_size_flushes_total",
             "counter",
             "Coalescer flushes at the byte threshold.",
@@ -538,6 +638,15 @@ impl ClusterMetrics {
             combine_nanos: r.u64()?,
             apply_nanos: r.u64()?,
             stale_frames: r.u64()?,
+            ckpt_writes: r.u64()?,
+            ckpt_write_nanos: r.u64()?,
+            ckpt_bytes: r.u64()?,
+            recoveries: r.u64()?,
+            recovery_nanos: r.u64()?,
+            ckpt_restores: r.u64()?,
+            ckpt_restore_nanos: r.u64()?,
+            ckpt_fallbacks: r.u64()?,
+            replayed_records: r.u64()?,
             comms: CommsMetrics::decode(&mut r)?,
         })
     }
@@ -563,6 +672,9 @@ mod tests {
             combine_nanos: 100,
             apply_nanos: 110,
             stale_frames: 120,
+            ckpt_writes: 130,
+            ckpt_write_nanos: 140,
+            ckpt_bytes: 150,
             comms: CommsMetrics {
                 vmsg: PacketStat {
                     frames_sent: 1,
@@ -598,6 +710,9 @@ mod tests {
             combine_nanos: 8,
             apply_nanos: 9,
             stale_frames: 2,
+            ckpt_writes: 1,
+            ckpt_write_nanos: 10,
+            ckpt_bytes: 100,
             comms: CommsMetrics {
                 count_flushes: 4,
                 ..Default::default()
@@ -617,6 +732,9 @@ mod tests {
             combine_nanos: 2,
             apply_nanos: 3,
             stale_frames: 1,
+            ckpt_writes: 2,
+            ckpt_write_nanos: 20,
+            ckpt_bytes: 200,
             comms: CommsMetrics {
                 count_flushes: 5,
                 ..Default::default()
@@ -638,7 +756,18 @@ mod tests {
             (8, 10, 12)
         );
         assert_eq!(c.stale_frames, 3);
+        assert_eq!(
+            (c.ckpt_writes, c.ckpt_write_nanos, c.ckpt_bytes),
+            (3, 30, 300)
+        );
         assert_eq!(c.comms.count_flushes, 9);
+        // Driver-side recovery fields survive the wire roundtrip too.
+        c.recoveries = 2;
+        c.recovery_nanos = 123;
+        c.ckpt_restores = 1;
+        c.ckpt_restore_nanos = 45;
+        c.ckpt_fallbacks = 1;
+        c.replayed_records = 67;
         assert_eq!(ClusterMetrics::decode(&c.encode()).unwrap(), c);
     }
 
@@ -664,6 +793,10 @@ mod tests {
             partial: true,
             queries: 12,
             stale_frames: 5,
+            ckpt_writes: 6,
+            recoveries: 2,
+            ckpt_fallbacks: 1,
+            replayed_records: 40,
             comms: CommsMetrics {
                 vmsg: PacketStat {
                     frames_sent: 7,
@@ -681,6 +814,10 @@ mod tests {
         assert!(text.contains("elga_metrics_partial 1\n"));
         assert!(text.contains("elga_queries_total 12\n"));
         assert!(text.contains("elga_stale_frames_total 5\n"));
+        assert!(text.contains("elga_ckpt_writes_total 6\n"));
+        assert!(text.contains("elga_recoveries_total 2\n"));
+        assert!(text.contains("elga_ckpt_fallbacks_total 1\n"));
+        assert!(text.contains("elga_replayed_records_total 40\n"));
         assert!(text.contains("elga_backpressure_waits_total 2\n"));
         assert!(text.contains("elga_frames_sent_total{type=\"vmsg\"} 7\n"));
         assert!(text.contains("# TYPE elga_queries_total counter\n"));

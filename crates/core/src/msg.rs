@@ -89,6 +89,18 @@ pub mod packet {
     /// Drain a participant's trace ring buffer (request; reply carries
     /// `elga_trace::encode_events` bytes).
     pub const TRACE_DUMP: u8 = 35;
+    /// Checkpoint request (REQ to an Agent): serialize and durably
+    /// write one shard of the named generation; the reply reports the
+    /// write outcome.
+    pub const CKPT_SAVE: u8 = 36;
+    /// Checkpoint restore: edge records re-routed by the driver under
+    /// the post-recovery view (push, driver → Agent). Same vocabulary
+    /// as MIG_EDGES but *uncounted* — restore injection happens outside
+    /// any barrier and must not disturb the Mattern counters.
+    pub const CKPT_EDGES: u8 = 37;
+    /// Checkpoint restore: primary-side meta records (push, driver →
+    /// Agent). Uncounted, like CKPT_EDGES.
+    pub const CKPT_META: u8 = 38;
 }
 
 /// Superstep phases (see crate docs). `Migrate` barriers elastic
@@ -729,6 +741,197 @@ pub fn decode_deg_deltas(frame: &Frame) -> Option<Vec<(VertexId, i64, i64)>> {
     Some(out)
 }
 
+/// Encode a CKPT_SAVE request: write one shard of checkpoint
+/// `generation` at view `epoch`, covering the first `watermark`
+/// ingested change records.
+pub fn encode_ckpt_save(generation: u64, epoch: u64, watermark: u64) -> Frame {
+    Frame::builder(packet::CKPT_SAVE)
+        .u64(generation)
+        .u64(epoch)
+        .u64(watermark)
+        .finish()
+}
+
+/// Decode a CKPT_SAVE request into `(generation, epoch, watermark)`.
+pub fn decode_ckpt_save(frame: &Frame) -> Option<(u64, u64, u64)> {
+    let mut r = expect(frame, packet::CKPT_SAVE)?;
+    Some((r.u64()?, r.u64()?, r.u64()?))
+}
+
+/// One agent's reply to a CKPT_SAVE request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CkptSaveReport {
+    /// Whether the shard file was written, fsynced and renamed into
+    /// place. False leaves the generation uncommittable — the driver
+    /// must not write a manifest for it.
+    pub ok: bool,
+    /// Serialized payload bytes (0 on failure).
+    pub bytes: u64,
+    /// Wall time spent serializing and writing, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Encode a CKPT_SAVE reply.
+pub fn encode_ckpt_save_reply(r: &CkptSaveReport) -> Frame {
+    Frame::builder(packet::CKPT_SAVE)
+        .u8(r.ok as u8)
+        .u64(r.bytes)
+        .u64(r.nanos)
+        .finish()
+}
+
+/// Decode a CKPT_SAVE reply.
+pub fn decode_ckpt_save_reply(frame: &Frame) -> Option<CkptSaveReport> {
+    let mut r = expect(frame, packet::CKPT_SAVE)?;
+    Some(CkptSaveReport {
+        ok: r.u8()? != 0,
+        bytes: r.u64()?,
+        nanos: r.u64()?,
+    })
+}
+
+/// One restored vertex's edges for one placement side, re-routed by
+/// the driver under the post-recovery view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptEdgeGroup {
+    /// Which placement the group targets.
+    pub side: Side,
+    /// The vertex the edges belong to.
+    pub vertex: VertexId,
+    /// Replica-visible program state (meaningless when `has_state` is
+    /// false).
+    pub state: u64,
+    /// Whether `state` is initialized.
+    pub has_state: bool,
+    /// Replica-visible out-degree snapshot (scatter denominators).
+    pub rep_out_degree: u64,
+    /// Active flag.
+    pub active: bool,
+    /// The other endpoints: targets of out-edges (`side == Out`) or
+    /// sources of in-edges (`side == In`).
+    pub others: Vec<VertexId>,
+}
+
+/// Encode a batch of restored edge groups.
+pub fn encode_ckpt_edges(groups: &[CkptEdgeGroup]) -> Frame {
+    let mut b = Frame::builder(packet::CKPT_EDGES).u32(groups.len() as u32);
+    for g in groups {
+        b = b
+            .u8(match g.side {
+                Side::Out => 0,
+                Side::In => 1,
+            })
+            .u64(g.vertex)
+            .u64(g.state)
+            .u8(g.has_state as u8)
+            .u64(g.rep_out_degree)
+            .u8(g.active as u8)
+            .u32(g.others.len() as u32);
+        for &w in &g.others {
+            b = b.u64(w);
+        }
+    }
+    b.finish()
+}
+
+/// Decode a CKPT_EDGES frame.
+pub fn decode_ckpt_edges(frame: &Frame) -> Option<Vec<CkptEdgeGroup>> {
+    let mut r = expect(frame, packet::CKPT_EDGES)?;
+    let n = r.u32()? as usize;
+    // 31 bytes is the minimum (edgeless) group encoding.
+    let mut groups = Vec::with_capacity(n.min(r.remaining() / 31));
+    for _ in 0..n {
+        let side = match r.u8()? {
+            0 => Side::Out,
+            1 => Side::In,
+            _ => return None,
+        };
+        let vertex = r.u64()?;
+        let state = r.u64()?;
+        let has_state = r.u8()? != 0;
+        let rep_out_degree = r.u64()?;
+        let active = r.u8()? != 0;
+        let m = r.u32()? as usize;
+        let mut others = Vec::with_capacity(m.min(r.remaining() / 8));
+        for _ in 0..m {
+            others.push(r.u64()?);
+        }
+        groups.push(CkptEdgeGroup {
+            side,
+            vertex,
+            state,
+            has_state,
+            rep_out_degree,
+            active,
+            others,
+        });
+    }
+    Some(groups)
+}
+
+/// Primary-side vertex metadata restored from a checkpoint.
+///
+/// Unlike [`MetaRecord`] this carries *both* global degrees — a
+/// checkpoint payload has no migration-style piggyback path for
+/// `g_in` — and no async run state: checkpoints are taken only at
+/// quiesced batch boundaries, where no run is in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CkptMetaRecord {
+    /// The vertex.
+    pub vertex: VertexId,
+    /// Encoded program state (meaningless when `has_state` is false).
+    pub state: u64,
+    /// Whether `state` is initialized.
+    pub has_state: bool,
+    /// Active flag.
+    pub active: bool,
+    /// Touched by changes since the last run.
+    pub dirty: bool,
+    /// Whether the vertex existed as a primary (meta) entry.
+    pub is_meta: bool,
+    /// Global out-degree accumulated at the primary.
+    pub g_out: i64,
+    /// Global in-degree accumulated at the primary.
+    pub g_in: i64,
+}
+
+/// Encode a batch of restored meta records.
+pub fn encode_ckpt_meta(recs: &[CkptMetaRecord]) -> Frame {
+    let mut b = Frame::builder(packet::CKPT_META).u32(recs.len() as u32);
+    for m in recs {
+        b = b
+            .u64(m.vertex)
+            .u64(m.state)
+            .u8(m.has_state as u8)
+            .u8(m.active as u8)
+            .u8(m.dirty as u8)
+            .u8(m.is_meta as u8)
+            .u64(m.g_out as u64)
+            .u64(m.g_in as u64);
+    }
+    b.finish()
+}
+
+/// Decode a CKPT_META frame.
+pub fn decode_ckpt_meta(frame: &Frame) -> Option<Vec<CkptMetaRecord>> {
+    let mut r = expect(frame, packet::CKPT_META)?;
+    let n = r.u32()? as usize;
+    let mut recs = Vec::with_capacity(n.min(r.remaining() / 36));
+    for _ in 0..n {
+        recs.push(CkptMetaRecord {
+            vertex: r.u64()?,
+            state: r.u64()?,
+            has_state: r.u8()? != 0,
+            active: r.u8()? != 0,
+            dirty: r.u8()? != 0,
+            is_meta: r.u8()? != 0,
+            g_out: r.u64()? as i64,
+            g_in: r.u64()? as i64,
+        });
+    }
+    Some(recs)
+}
+
 // ---------------------------------------------------------------------
 // Append-style encoders
 //
@@ -1167,6 +1370,76 @@ mod tests {
     #[test]
     fn view_decode_rejects_other_packets() {
         assert!(DirectoryView::decode(&Frame::signal(packet::OK)).is_none());
+    }
+
+    #[test]
+    fn ckpt_save_request_and_reply_roundtrip() {
+        let f = encode_ckpt_save(3, 9, 120_000);
+        assert_eq!(decode_ckpt_save(&f), Some((3, 9, 120_000)));
+        // The reply reuses the packet type (REQ/REP pair, like DUMP).
+        let report = CkptSaveReport {
+            ok: true,
+            bytes: 4096,
+            nanos: 1_234_567,
+        };
+        let decoded = decode_ckpt_save_reply(&encode_ckpt_save_reply(&report)).unwrap();
+        assert_eq!(decoded, report);
+        assert!(decode_ckpt_save(&Frame::signal(packet::OK)).is_none());
+    }
+
+    #[test]
+    fn ckpt_edges_roundtrip() {
+        let groups = vec![
+            CkptEdgeGroup {
+                side: Side::Out,
+                vertex: 7,
+                state: 99,
+                has_state: true,
+                rep_out_degree: 12,
+                active: true,
+                others: vec![1, 2, 3],
+            },
+            CkptEdgeGroup {
+                side: Side::In,
+                vertex: 8,
+                state: 0,
+                has_state: false,
+                rep_out_degree: 0,
+                active: false,
+                others: vec![],
+            },
+        ];
+        let got = decode_ckpt_edges(&encode_ckpt_edges(&groups)).unwrap();
+        assert_eq!(got, groups);
+    }
+
+    #[test]
+    fn ckpt_meta_roundtrip_preserves_both_degrees() {
+        let recs = vec![
+            CkptMetaRecord {
+                vertex: 5,
+                state: 17,
+                has_state: true,
+                active: true,
+                dirty: false,
+                is_meta: true,
+                g_out: 3,
+                g_in: -2,
+            },
+            CkptMetaRecord {
+                vertex: 6,
+                state: 0,
+                has_state: false,
+                active: false,
+                dirty: true,
+                is_meta: false,
+                g_out: 0,
+                g_in: 0,
+            },
+        ];
+        let got = decode_ckpt_meta(&encode_ckpt_meta(&recs)).unwrap();
+        assert_eq!(got, recs);
+        assert!(decode_ckpt_meta(&encode_ckpt_edges(&[])).is_none());
     }
 
     #[test]

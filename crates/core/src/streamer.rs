@@ -36,9 +36,17 @@ pub struct Streamer {
     outboxes: FxHashMap<AgentId, CoalescingOutbox>,
     /// Counters of outboxes retired by view changes or dead peers.
     coalesce_retired: CoalesceStats,
-    /// Every ingested change, retained (when configured) so edges
-    /// lost with a dead agent can be replayed during recovery.
+    /// Retained suffix of the change stream: everything ingested since
+    /// the last checkpoint-driven truncation, so edges lost with a dead
+    /// agent can be replayed during recovery.
     log: Vec<EdgeChange>,
+    /// Lifetime count of ingested change records, retained or not.
+    /// `ingested - log.len()` is the global stream index of `log[0]` —
+    /// the *log base* every checkpoint watermark is compared against.
+    ingested: u64,
+    /// Latched once the retained log exceeds `cfg.change_log_cap`, so
+    /// the warning fires once per excursion instead of once per batch.
+    log_warned: bool,
     /// Per-view-epoch owner memo: a change batch hashes and estimates
     /// each distinct source vertex once instead of once per edge.
     cache: OwnerCache,
@@ -76,6 +84,8 @@ impl Streamer {
             outboxes: FxHashMap::default(),
             coalesce_retired: CoalesceStats::default(),
             log: Vec::new(),
+            ingested: 0,
+            log_warned: false,
             cache,
             tracer,
         })
@@ -172,8 +182,20 @@ impl Streamer {
         if let Some(view) = DirectoryView::decode(&rep) {
             self.adopt(view);
         }
+        self.ingested += changes.len() as u64;
         if self.cfg.retain_change_log {
             self.log.extend_from_slice(changes);
+            let cap = self.cfg.change_log_cap;
+            if cap > 0 && self.log.len() as u64 > cap {
+                if !self.log_warned {
+                    self.tracer.instant(
+                        EventKind::ChangeLogWarn,
+                        self.log.len() as u64,
+                        self.retained_bytes(),
+                    );
+                }
+                self.log_warned = true;
+            }
         }
 
         // 2. Route each change to both placements.
@@ -183,6 +205,40 @@ impl Streamer {
     /// Number of change records retained for recovery replay.
     pub fn retained_changes(&self) -> usize {
         self.log.len()
+    }
+
+    /// Approximate heap bytes held by the retained change log.
+    pub fn retained_bytes(&self) -> u64 {
+        (self.log.len() * std::mem::size_of::<EdgeChange>()) as u64
+    }
+
+    /// Lifetime count of ingested change records (retained or not).
+    /// Checkpoint watermarks are cut at this value.
+    pub fn ingested_records(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Global stream index of the first retained record — the oldest
+    /// point the log alone can replay from. With retention disabled
+    /// this equals [`ingested_records`](Self::ingested_records), so a
+    /// recovery source must cover the stream exactly up to the present.
+    pub fn log_base(&self) -> u64 {
+        self.ingested - self.log.len() as u64
+    }
+
+    /// Drop retained records already covered by a durable checkpoint:
+    /// everything before stream index `watermark`. Clamped to the
+    /// retained range; never touches records past the watermark.
+    pub fn truncate_log(&mut self, watermark: u64) {
+        let drop = watermark
+            .saturating_sub(self.log_base())
+            .min(self.log.len() as u64) as usize;
+        if drop > 0 {
+            self.log.drain(..drop);
+        }
+        if self.cfg.change_log_cap == 0 || self.log.len() as u64 <= self.cfg.change_log_cap {
+            self.log_warned = false;
+        }
     }
 
     /// Lifetime owner-cache counters `(hits, misses)` for this
@@ -211,14 +267,31 @@ impl Streamer {
     /// same degree estimates — and the records are not re-logged.
     /// Returns the number of change records pushed.
     pub fn replay(&mut self) -> Result<usize, NetError> {
+        self.replay_from(self.log_base())
+    }
+
+    /// Re-route the retained records at stream index `watermark` and
+    /// beyond — the suffix a checkpoint at that watermark does not
+    /// cover. `watermark` below the log base is clamped (the missing
+    /// prefix is simply not replayable from the log). Returns the
+    /// number of change records replayed.
+    pub fn replay_from(&mut self, watermark: u64) -> Result<usize, NetError> {
         let t0 = Instant::now();
         self.refresh()?;
+        let skip = watermark
+            .saturating_sub(self.log_base())
+            .min(self.log.len() as u64) as usize;
         let log = std::mem::take(&mut self.log);
-        let pushed = self.route(&log);
+        let replayed = log.len() - skip;
+        let pushed = self.route(&log[skip..]);
         self.log = log;
-        self.tracer
-            .span(EventKind::RecoveryReplay, t0, pushed as u64, 0);
-        Ok(pushed)
+        self.tracer.span(
+            EventKind::RecoveryReplay,
+            t0,
+            replayed as u64,
+            pushed as u64,
+        );
+        Ok(replayed)
     }
 
     /// Route each change to its two placements: the out-edge record to

@@ -138,15 +138,20 @@ impl FaultStats {
 }
 
 /// SplitMix64: tiny, seedable, good-enough PRNG so `elga-net` does not
-/// grow a `rand` dependency just for chaos testing.
-struct SplitMix64(u64);
+/// grow a `rand` dependency just for chaos testing. Public because the
+/// checkpoint store's disk-fault injector reuses the same stream.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    /// A generator seeded with `seed`; the same seed yields the same
+    /// sequence forever.
+    pub fn new(seed: u64) -> Self {
         Self(seed)
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -155,17 +160,53 @@ impl SplitMix64 {
     }
 
     /// Uniform f64 in [0, 1).
-    fn next_f64(&mut self) -> f64 {
+    pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform u64 in [0, bound).
-    fn below(&mut self, bound: u64) -> u64 {
+    pub fn below(&mut self, bound: u64) -> u64 {
         if bound == 0 {
             0
         } else {
             self.next_u64() % bound
         }
+    }
+}
+
+/// Storage-fault parameters for checkpoint writes — the disk analog of
+/// [`RouteFault`]. Probabilities are rolled once per file write from a
+/// seeded [`SplitMix64`], so a fixed seed makes the fault sequence on a
+/// given writer deterministic.
+///
+/// Faults model a *lying* disk: the writer is not told its file is
+/// damaged, exactly as a powered-off drive cache or a crash between
+/// `write` and `fsync` behaves. The damage is only discoverable by
+/// reading the file back and checking its length and checksum, which is
+/// precisely what the checkpoint commit scrub and the restore-time
+/// validation do.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DiskFault {
+    /// Probability in `[0, 1]` that a write is torn: only a prefix of
+    /// the bytes reaches the file (a crash mid-write).
+    pub torn_write: f64,
+    /// Probability in `[0, 1]` that one byte of the written file is
+    /// flipped (silent media corruption).
+    pub corrupt: f64,
+}
+
+impl DiskFault {
+    /// A plan that tears and corrupts with the given probabilities.
+    pub fn new(torn_write: f64, corrupt: f64) -> Self {
+        Self {
+            torn_write,
+            corrupt,
+        }
+    }
+
+    /// True when no fault can ever fire.
+    pub fn is_benign(&self) -> bool {
+        self.torn_write <= 0.0 && self.corrupt <= 0.0
     }
 }
 

@@ -41,7 +41,7 @@ pub mod transport;
 
 pub use addr::Addr;
 pub use coalesce::{CoalesceConfig, CoalesceStats, CoalescingOutbox};
-pub use fault::{FaultPlan, FaultStats, FaultyTransport, RouteFault};
+pub use fault::{DiskFault, FaultPlan, FaultStats, FaultyTransport, RouteFault, SplitMix64};
 pub use frame::{Frame, FrameReader};
 pub use inproc::InProcTransport;
 pub use reliable::ReliableTransport;

@@ -125,6 +125,10 @@ pub enum NetError {
     Protocol(&'static str),
     /// Underlying socket error.
     Io(std::io::Error),
+    /// A crashed peer's state cannot be rebuilt: there is no valid
+    /// checkpoint on disk and no retained change log to replay. The
+    /// cluster fails fast instead of limping to a deadline timeout.
+    RecoveryUnavailable(&'static str),
 }
 
 impl std::fmt::Display for NetError {
@@ -135,6 +139,9 @@ impl std::fmt::Display for NetError {
             NetError::Timeout => write!(f, "operation timed out"),
             NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
             NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::RecoveryUnavailable(why) => {
+                write!(f, "recovery unavailable: {why}")
+            }
         }
     }
 }
@@ -159,7 +166,10 @@ impl NetError {
                     | std::io::ErrorKind::ConnectionAborted
                     | std::io::ErrorKind::Interrupted
             ),
-            NetError::AddrInUse(_) | NetError::Disconnected | NetError::Protocol(_) => false,
+            NetError::AddrInUse(_)
+            | NetError::Disconnected
+            | NetError::Protocol(_)
+            | NetError::RecoveryUnavailable(_) => false,
         }
     }
 }

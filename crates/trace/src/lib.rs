@@ -76,8 +76,8 @@ pub enum EventKind {
     MigrateRecv = 6,
     /// Recovery began (`a` = new epoch, `b` = dead agent).
     RecoveryTrigger = 7,
-    /// The streamer re-routed its retained change log (span;
-    /// `a` = records replayed).
+    /// The streamer re-routed retained change records (span;
+    /// `a` = records replayed, `b` = placement records pushed).
     RecoveryReplay = 8,
     /// A coalescing outbox closed a frame (`a` = [`flush_reason`],
     /// `b` = frame bytes).
@@ -92,11 +92,23 @@ pub enum EventKind {
     /// under the adopted view (`a` = epoch, `b` = vertices
     /// re-broadcast).
     AsyncRescatter = 12,
+    /// An agent serialized and durably wrote one checkpoint shard
+    /// (span; `a` = checkpoint generation, `b` = payload bytes).
+    CkptWrite = 13,
+    /// A checkpoint shard was loaded and re-injected during recovery
+    /// (span; `a` = checkpoint generation, `b` = payload bytes).
+    CkptRestore = 14,
+    /// The streamer's retained change log exceeded its configured cap
+    /// (`a` = retained records, `b` = retained bytes).
+    ChangeLogWarn = 15,
+    /// Recovery finished end-to-end: eviction through restored cluster
+    /// (span; `a` = new epoch, `b` = change records replayed).
+    RecoveryDone = 16,
 }
 
 impl EventKind {
     /// All kinds, for iteration in tests and exporters.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::PhaseScatter,
         EventKind::PhaseCombine,
         EventKind::PhaseApply,
@@ -110,6 +122,10 @@ impl EventKind {
         EventKind::BackpressureWait,
         EventKind::HeartbeatMiss,
         EventKind::AsyncRescatter,
+        EventKind::CkptWrite,
+        EventKind::CkptRestore,
+        EventKind::ChangeLogWarn,
+        EventKind::RecoveryDone,
     ];
 
     /// Wire tag.
@@ -138,6 +154,10 @@ impl EventKind {
             EventKind::BackpressureWait => "backpressure_wait",
             EventKind::HeartbeatMiss => "heartbeat_miss",
             EventKind::AsyncRescatter => "async_rescatter",
+            EventKind::CkptWrite => "ckpt_write",
+            EventKind::CkptRestore => "ckpt_restore",
+            EventKind::ChangeLogWarn => "change_log_warn",
+            EventKind::RecoveryDone => "recovery_done",
         }
     }
 
@@ -150,6 +170,9 @@ impl EventKind {
                 | EventKind::PhaseApply
                 | EventKind::RecoveryReplay
                 | EventKind::BackpressureWait
+                | EventKind::CkptWrite
+                | EventKind::CkptRestore
+                | EventKind::RecoveryDone
         )
     }
 }
@@ -376,11 +399,14 @@ fn push_args(ev: &TraceEvent, out: &mut String) {
         EventKind::MigrateSend => ("dest", Some("records")),
         EventKind::MigrateRecv => ("records", None),
         EventKind::RecoveryTrigger => ("epoch", Some("dead_agent")),
-        EventKind::RecoveryReplay => ("records", None),
+        EventKind::RecoveryReplay => ("records", Some("pushed")),
         EventKind::CoalesceFlush => ("reason", Some("bytes")),
         EventKind::BackpressureWait => ("bytes", None),
         EventKind::HeartbeatMiss => ("agent", Some("window_ms")),
         EventKind::AsyncRescatter => ("epoch", Some("vertices")),
+        EventKind::CkptWrite | EventKind::CkptRestore => ("generation", Some("bytes")),
+        EventKind::ChangeLogWarn => ("records", Some("bytes")),
+        EventKind::RecoveryDone => ("epoch", Some("replayed")),
     };
     out.push_str("{\"");
     out.push_str(ka);

@@ -1,0 +1,269 @@
+//! Hermetic shim for the `criterion` crate. See `shims/README.md`.
+//!
+//! A minimal wall-clock harness with criterion's API shape: groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. It times each
+//! benchmark for roughly `measurement_time` after a warm-up and prints
+//! one mean-per-iteration line — no statistics engine, no HTML
+//! reports, no comparison to saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Function name plus a parameter rendering.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Parameter-only id (the group supplies the function name).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("?"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Runs one benchmark body repeatedly and records the mean.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    mean_nanos: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly: warm up, then measure for roughly the
+    /// configured measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let deadline = start + self.measure;
+        let mut iters = 0u64;
+        while Instant::now() < deadline {
+            // Batch iterations so the clock isn't read per-call for
+            // nanosecond-scale bodies.
+            for _ in 0..64 {
+                std::hint::black_box(f());
+            }
+            iters += 64;
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.mean_nanos = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// Top-level harness handle; also the builder for timing settings.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples upstream criterion would take; this shim only
+    /// records it (one aggregate measurement is taken regardless).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Target duration of the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Duration of the warm-up run before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        self.run(None, id.into(), f);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, group: Option<&str>, id: BenchmarkId, mut f: F) {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            measure: self.measurement_time,
+            mean_nanos: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let label = match group {
+            Some(g) => format!("{g}/{}", id.render()),
+            None => id.render(),
+        };
+        println!(
+            "bench {label:<48} {:>12.1} ns/iter ({} iters)",
+            b.mean_nanos, b.iters
+        );
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let name = self.name.clone();
+        self.criterion.run(Some(&name), id.into(), f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let name = self.name.clone();
+        self.criterion.run(Some(&name), id.into(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (bookkeeping no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Opaque value barrier; re-exported for parity with upstream.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function from named benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` from one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bencher_measures_and_counts() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| black_box(0)));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert_eq!(BenchmarkId::new("f", 3).render(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).render(), "7");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+}

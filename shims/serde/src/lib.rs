@@ -1,0 +1,15 @@
+//! Hermetic shim for `serde`. See `shims/README.md`.
+//!
+//! The workspace uses serde only as derive annotations on config and
+//! sketch types — no serializer is ever invoked (the wire format is
+//! hand-rolled in `elga-net`). This shim keeps those annotations
+//! compiling: marker traits in the value namespace, no-op derive
+//! macros in the macro namespace, same import paths as upstream.
+
+/// Marker trait; upstream: types that can be serialized.
+pub trait Serialize {}
+
+/// Marker trait; upstream: types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Hermetic shim for `serde_derive`. See `shims/README.md`.
+//!
+//! The workspace only *annotates* types with `Serialize`/`Deserialize`
+//! — nothing serializes at runtime (wire encoding is hand-rolled in
+//! `elga-net`). These derives therefore expand to nothing: the
+//! attribute parses and compiles, and the marker traits in the `serde`
+//! shim are simply never implemented.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

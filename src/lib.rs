@@ -8,6 +8,8 @@
 //! * [`sketch`] — count-min sketch degree estimation.
 //! * [`graph`] — edge-change streams, batches, adjacency stores, CSR.
 //! * [`net`] — shared-nothing messaging (REQ/REP, PUSH, PUB/SUB).
+//! * [`ckpt`] — the durable checkpoint store behind bounded recovery:
+//!   atomic, checksummed, generation-tagged shard files.
 //! * [`gen`] — workload generators and the dataset catalog.
 //! * [`core`] — the ElGA system: directories, agents, streamers, client
 //!   proxies, vertex programs, elasticity and autoscaling.
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use elga_baselines as baselines;
+pub use elga_ckpt as ckpt;
 pub use elga_core as core;
 pub use elga_gen as gen;
 pub use elga_graph as graph;

@@ -1,0 +1,393 @@
+//! Durable checkpointing and bounded recovery: checkpoints truncate
+//! the retained change log, recovery restores the newest valid
+//! generation and replays only the suffix, and injected disk faults
+//! (torn writes, corruption) degrade to an older generation or a
+//! refused commit — never to a wrong answer.
+//!
+//! Every fault sequence is either deterministic on-disk damage or a
+//! fixed-seed injector, so failures reproduce exactly.
+
+use elga::core::program::{ExecutionMode, RunOptions};
+use elga::graph::reference;
+use elga::net::{DiskFault, NetError};
+use elga::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A deterministic ring-with-chords graph (same shape as the chaos
+/// suite): connected, skewed enough to exercise routing.
+fn chain_graph(n: u64) -> Vec<(u64, u64)> {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        if i % 3 == 0 {
+            edges.push((i, (i * 7 + 3) % n));
+        }
+    }
+    edges.retain(|&(u, v)| u != v);
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Fresh checkpoint directory under the system temp dir, unique per
+/// test so parallel runs never collide.
+fn ckpt_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("elga-ckpt-it-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Fast failure detection so crash tests turn around quickly.
+fn recovery_config() -> SystemConfig {
+    SystemConfig {
+        heartbeat_interval: Duration::from_millis(25),
+        heartbeat_misses: 12,
+        quiesce_deadline: Duration::from_secs(30),
+        run_deadline: Duration::from_secs(60),
+        ..SystemConfig::default()
+    }
+}
+
+/// Damage every shard of `generation` with a torn write: keep only the
+/// first half of the file, exactly what a crash mid-checkpoint leaves.
+fn tear_generation(dir: &PathBuf, generation: u64) {
+    let prefix = format!("g{generation:08}-");
+    let mut torn = 0;
+    for entry in fs::read_dir(dir).expect("checkpoint dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name.starts_with(&prefix) && name.ends_with(".shard") {
+            let data = fs::read(&path).expect("read shard");
+            fs::write(&path, &data[..data.len() / 2]).expect("tear shard");
+            torn += 1;
+        }
+    }
+    assert!(torn > 0, "no shards found for generation {generation}");
+}
+
+#[test]
+fn checkpoint_truncates_log_and_tracks_watermarks() {
+    let dir = ckpt_dir("arith");
+    let first = chain_graph(60);
+    let second: Vec<(u64, u64)> = chain_graph(90)
+        .into_iter()
+        .filter(|e| !first.contains(e))
+        .collect();
+    let third = [(300u64, 301u64), (301, 302), (302, 300)];
+    let mut cluster = Cluster::builder().agents(3).checkpoints(&dir).build();
+
+    cluster.ingest_edges(first.iter().copied());
+    let w1 = first.len() as u64;
+    let (retained, bytes, base, ingested) = cluster.change_log_stats();
+    assert_eq!((retained, base, ingested), (w1, 0, w1));
+    assert!(bytes > 0);
+
+    // Generation 1 commits at watermark w1; with only one retained
+    // generation the log truncates all the way to it.
+    let rep = cluster.checkpoint().expect("checkpoint 1");
+    assert!(rep.committed, "clean disk must commit");
+    assert_eq!((rep.generation, rep.watermark), (1, w1));
+    assert!(rep.bytes > 0);
+    let (retained, _, base, ingested) = cluster.change_log_stats();
+    assert_eq!((retained, base, ingested), (0, w1, w1));
+
+    // Generation 2: the default keep=2 retains generation 1 too, so
+    // the log may only truncate to w1 — the fallback ladder must still
+    // be able to replay from the older generation's watermark.
+    cluster.ingest_edges(second.iter().copied());
+    let w2 = w1 + second.len() as u64;
+    let rep = cluster.checkpoint().expect("checkpoint 2");
+    assert!(rep.committed);
+    assert_eq!((rep.generation, rep.watermark), (2, w2));
+    let (retained, _, base, ingested) = cluster.change_log_stats();
+    assert_eq!((retained, base, ingested), (second.len() as u64, w1, w2));
+
+    // Generation 3 prunes generation 1; the oldest retained watermark
+    // advances to w2 and the log drops the second batch.
+    cluster.ingest_edges(third.iter().copied());
+    let w3 = w2 + third.len() as u64;
+    let rep = cluster.checkpoint().expect("checkpoint 3");
+    assert!(rep.committed);
+    assert_eq!((rep.generation, rep.watermark), (3, w3));
+    let (retained, _, base, _) = cluster.change_log_stats();
+    assert_eq!((retained, base), (third.len() as u64, w2));
+
+    cluster.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_after_checkpoint_replays_only_the_suffix() {
+    let dir = ckpt_dir("suffix");
+    let edges = chain_graph(600);
+    let (first, second) = edges.split_at(edges.len() / 2);
+    let mut cluster = Cluster::builder()
+        .agents(4)
+        .config(recovery_config())
+        .checkpoints(&dir)
+        .build();
+
+    cluster.ingest_edges(first.iter().copied());
+    assert!(cluster.checkpoint().expect("checkpoint").committed);
+    cluster.ingest_edges(second.iter().copied());
+
+    let handle = cluster
+        .start_run(Wcc::new(), RunOptions::default())
+        .expect("start run");
+    let victim = cluster.agent_ids()[1];
+    cluster.kill_agent(victim);
+    cluster
+        .wait_run(handle)
+        .expect("run must complete despite the crash");
+
+    // Recovery restored the checkpoint and replayed only the records
+    // past its watermark — not the whole stream.
+    let rec = cluster.recovery_stats();
+    assert_eq!(rec.recoveries, 1);
+    assert_eq!(rec.ckpt_restores, 1);
+    assert_eq!(rec.ckpt_fallbacks, 0);
+    assert_eq!(rec.replayed_records, second.len() as u64);
+    assert!(rec.recovery_nanos > 0 && rec.ckpt_restore_nanos > 0);
+    // The victim's counters died with it; the three survivors' shard
+    // writes remain visible in the aggregate.
+    let m = cluster.metrics();
+    assert!(m.ckpt_writes >= 3, "surviving agents wrote shards");
+    assert!(m.ckpt_bytes > 0);
+    assert_eq!(m.ckpt_restores, 1);
+    assert_eq!(m.replayed_records, second.len() as u64);
+
+    let truth = reference::wcc(edges.iter().copied());
+    for &(u, _) in &edges {
+        assert_eq!(cluster.query_u64(u), Some(truth[&u]), "wcc v{u}");
+    }
+    cluster.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Shared body for the torn-generation fallback tests: commit two
+/// generations, tear every shard of the newest (exactly what a crash
+/// mid-checkpoint-write leaves behind), crash an agent mid-run, and
+/// require recovery to fall back one generation, replay the longer
+/// suffix, and land bit-exact on an undisturbed run's states.
+fn torn_generation_falls_back(mode: ExecutionMode, tag: &str) {
+    let dir = ckpt_dir(tag);
+    let edges = chain_graph(600);
+    let third = edges.len() / 3;
+    let (a, rest) = edges.split_at(third);
+    let (b, c) = rest.split_at(third);
+    let opts = RunOptions {
+        reuse_state: false,
+        mode,
+    };
+
+    let mut cluster = Cluster::builder()
+        .agents(4)
+        .config(recovery_config())
+        .checkpoints(&dir)
+        .build();
+    cluster.ingest_edges(a.iter().copied());
+    assert!(cluster.checkpoint().expect("gen 1").committed);
+    cluster.ingest_edges(b.iter().copied());
+    assert!(cluster.checkpoint().expect("gen 2").committed);
+    cluster.ingest_edges(c.iter().copied());
+
+    // Generation 2 committed, then its shards were damaged on disk.
+    tear_generation(&dir, 2);
+
+    let handle = cluster.start_run(Wcc::new(), opts).expect("start run");
+    let victim = cluster.agent_ids()[1];
+    cluster.kill_agent(victim);
+    cluster
+        .wait_run(handle)
+        .expect("run must complete despite crash and torn checkpoint");
+
+    // The newest generation failed validation, so recovery fell back a
+    // generation and replayed the longer suffix (batches b and c).
+    let rec = cluster.recovery_stats();
+    assert_eq!(rec.ckpt_restores, 1);
+    assert_eq!(rec.ckpt_fallbacks, 1);
+    assert_eq!(rec.replayed_records, (b.len() + c.len()) as u64);
+
+    // Bit-exact against an undisturbed cluster running the same graph.
+    let mut clean = Cluster::builder()
+        .agents(4)
+        .config(recovery_config())
+        .build();
+    clean.ingest_edges(edges.iter().copied());
+    clean.run_with(Wcc::new(), opts).expect("clean run");
+    let got = cluster.dump_states();
+    let want = clean.dump_states();
+    assert_eq!(got, want, "recovered states must be bit-exact");
+
+    let truth = reference::wcc(edges.iter().copied());
+    for &(u, _) in &edges {
+        assert_eq!(cluster.query_u64(u), Some(truth[&u]), "wcc v{u}");
+    }
+    cluster.shutdown();
+    clean.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_generation_falls_back_sync() {
+    torn_generation_falls_back(ExecutionMode::Sync, "fallback-sync");
+}
+
+#[test]
+fn torn_generation_falls_back_async() {
+    torn_generation_falls_back(ExecutionMode::Async, "fallback-async");
+}
+
+#[test]
+fn injected_torn_writes_refuse_to_commit_and_recovery_survives() {
+    // Every agent-side shard write is torn (probability 1.0): the
+    // driver's read-back scrub must refuse the manifest, leave the
+    // change log whole, and recovery must degrade to full replay.
+    let dir = ckpt_dir("refuse");
+    let edges = chain_graph(300);
+    let mut cluster = Cluster::builder()
+        .agents(4)
+        .config(recovery_config())
+        .checkpoints(&dir)
+        .disk_chaos(DiskFault::new(1.0, 0.0), 0xD15C)
+        .build();
+    cluster.ingest_edges(edges.iter().copied());
+
+    let rep = cluster
+        .checkpoint()
+        .expect("checkpoint call itself succeeds");
+    assert!(!rep.committed, "torn shards must never commit");
+    let (retained, _, base, ingested) = cluster.change_log_stats();
+    assert_eq!(
+        (retained, base),
+        (ingested, 0),
+        "a refused commit must not truncate the log"
+    );
+
+    let handle = cluster
+        .start_run(Wcc::new(), RunOptions::default())
+        .expect("start run");
+    let victim = cluster.agent_ids()[1];
+    cluster.kill_agent(victim);
+    cluster
+        .wait_run(handle)
+        .expect("full replay still recovers");
+
+    let rec = cluster.recovery_stats();
+    assert_eq!(rec.ckpt_restores, 0, "no valid generation to restore");
+    assert_eq!(rec.replayed_records, edges.len() as u64, "full replay");
+
+    let truth = reference::wcc(edges.iter().copied());
+    for &(u, _) in &edges {
+        assert_eq!(cluster.query_u64(u), Some(truth[&u]), "wcc v{u}");
+    }
+    cluster.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_generations_damaged_with_truncated_log_fails_fast() {
+    // Two committed generations, log truncated past the stream origin,
+    // then every shard of both generations is damaged: no combination
+    // of checkpoint + log covers the stream, so recovery must fail
+    // fast with RecoveryUnavailable — not silently produce a partial
+    // graph and not burn the run deadline.
+    let dir = ckpt_dir("unavailable");
+    let edges = chain_graph(300);
+    let (first, second) = edges.split_at(edges.len() / 2);
+    let mut cluster = Cluster::builder()
+        .agents(4)
+        .config(recovery_config())
+        .checkpoints(&dir)
+        .build();
+    cluster.ingest_edges(first.iter().copied());
+    assert!(cluster.checkpoint().expect("gen 1").committed);
+    cluster.ingest_edges(second.iter().copied());
+    assert!(cluster.checkpoint().expect("gen 2").committed);
+    let (_, _, base, _) = cluster.change_log_stats();
+    assert!(base > 0, "log must be truncated for this scenario");
+    tear_generation(&dir, 1);
+    tear_generation(&dir, 2);
+
+    let handle = cluster
+        .start_run(Wcc::new(), RunOptions::default())
+        .expect("start run");
+    let victim = cluster.agent_ids()[1];
+    cluster.kill_agent(victim);
+    let err = cluster.wait_run(handle).expect_err("recovery must fail");
+    assert!(
+        matches!(err, NetError::RecoveryUnavailable(_)),
+        "expected RecoveryUnavailable, got {err:?}"
+    );
+    cluster.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_without_log_or_checkpoint_fails_fast_not_timeout() {
+    // retain_change_log = false and no checkpoint directory: an agent
+    // crash is unrecoverable by construction. The driver must say so
+    // immediately — the seed behavior was a quiesce-deadline timeout
+    // that looked like a hang and hid the misconfiguration.
+    let cfg = SystemConfig {
+        retain_change_log: false,
+        ..recovery_config()
+    };
+    let run_deadline = cfg.run_deadline;
+    let mut cluster = Cluster::builder().agents(4).config(cfg).build();
+    cluster.ingest_edges(chain_graph(300).iter().copied());
+
+    let started = std::time::Instant::now();
+    let handle = cluster
+        .start_run(Wcc::new(), RunOptions::default())
+        .expect("start run");
+    let victim = cluster.agent_ids()[1];
+    cluster.kill_agent(victim);
+    let err = cluster.wait_run(handle).expect_err("recovery must fail");
+    assert!(
+        matches!(err, NetError::RecoveryUnavailable(_)),
+        "expected RecoveryUnavailable, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < run_deadline / 2,
+        "must fail fast, not ride out a deadline"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn interval_checkpoints_fire_automatically() {
+    // checkpoint_interval_batches = 1: every quiesced ingest ends in
+    // an automatic checkpoint, so the log stays bounded without any
+    // explicit checkpoint() calls.
+    let dir = ckpt_dir("auto");
+    let mut cluster = Cluster::builder()
+        .agents(3)
+        .checkpoints(&dir)
+        .checkpoint_every(1)
+        .build();
+    let edges = chain_graph(120);
+    let (first, second) = edges.split_at(edges.len() / 2);
+    cluster.ingest_edges(first.iter().copied());
+    cluster.ingest_edges(second.iter().copied());
+
+    let (retained, _, base, ingested) = cluster.change_log_stats();
+    assert_eq!(ingested, edges.len() as u64);
+    assert!(
+        retained < ingested,
+        "automatic checkpoints must truncate the log"
+    );
+    assert_eq!(
+        base,
+        first.len() as u64,
+        "keep=2 retains the older watermark"
+    );
+    assert!(
+        cluster.metrics().ckpt_writes >= 6,
+        "two generations × three agents"
+    );
+    cluster.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
