@@ -1,0 +1,288 @@
+//! Hot-path decode microbenchmark: borrowed zero-copy views vs the
+//! materializing `Vec` decoders they replaced.
+//!
+//! Every scatter/combine/ingest receive used to decode its frame into
+//! freshly allocated `Vec`s of records before consuming them. The
+//! borrowed views (`msg::Records`) parse records in place off the
+//! frame's pooled receive buffer instead. This bench reconstructs the
+//! old `Vec` baseline locally and measures both paths over many
+//! distinct frames (so the working set exceeds cache and the copy cost
+//! is real), reporting records/second.
+//!
+//! Writes `BENCH_decode.json` at the workspace root (override with
+//! `ELGA_BENCH_DECODE_OUT`).
+
+use elga_bench::{banner, mean_ci, trials};
+use elga_core::msg::{self, packet, StateRecord};
+use elga_graph::types::{Action, EdgeChange};
+use elga_net::Frame;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Distinct frames per pass — spreads the working set (~16 MiB per
+/// record type) far past cache so the baseline's allocate-copy-read
+/// round trip pays for memory.
+const FRAMES: usize = 256;
+/// Records per frame (~64 KiB of 16-byte records, the coalescer's
+/// flush size).
+const RECS: usize = 4096;
+
+// ---------------------------------------------------------------------
+// The pre-view baseline, reconstructed: decode the whole frame into
+// owned Vecs (exactly what `decode_vmsgs` & friends returned before
+// they became borrowing), then consume.
+// ---------------------------------------------------------------------
+
+#[allow(clippy::type_complexity)]
+fn vec_decode_vmsgs(frame: &Frame) -> Option<(u64, u32, Vec<(u64, u64)>)> {
+    if frame.packet_type() != packet::VMSG {
+        return None;
+    }
+    let mut r = frame.reader();
+    let run = r.u64()?;
+    let step = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((r.u64()?, r.u64()?));
+    }
+    Some((run, step, out))
+}
+
+fn vec_decode_states(frame: &Frame) -> Option<(u64, u32, Vec<StateRecord>)> {
+    if frame.packet_type() != packet::STATE {
+        return None;
+    }
+    let mut r = frame.reader();
+    let run = r.u64()?;
+    let step = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(StateRecord {
+            vertex: r.u64()?,
+            state: r.u64()?,
+            out_degree: r.u64()?,
+            active: r.u8()? != 0,
+        });
+    }
+    Some((run, step, out))
+}
+
+fn vec_decode_edge_changes(frame: &Frame) -> Option<(u8, u8, Vec<EdgeChange>)> {
+    if frame.packet_type() != packet::EDGE_CHANGES {
+        return None;
+    }
+    let mut r = frame.reader();
+    let side = r.u8()?;
+    let hop = r.u8()?;
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let action = match r.u8()? {
+            0 => Action::Insert,
+            1 => Action::Delete,
+            _ => return None,
+        };
+        let (src, dst) = (r.u64()?, r.u64()?);
+        out.push(match action {
+            Action::Insert => EdgeChange::insert(src, dst),
+            Action::Delete => EdgeChange::delete(src, dst),
+        });
+    }
+    Some((side, hop, out))
+}
+
+// ---------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------
+
+struct Pair {
+    name: &'static str,
+    view_rps: f64,
+    vec_rps: f64,
+}
+
+impl Pair {
+    fn speedup(&self) -> f64 {
+        self.view_rps / self.vec_rps
+    }
+}
+
+/// Time `consume` over every frame, `trials()` times; records/second.
+fn measure(frames: &[Frame], mut consume: impl FnMut(&Frame) -> u64) -> f64 {
+    let total = (frames.len() * RECS) as f64;
+    let mut samples = Vec::new();
+    for _ in 0..trials().max(3) {
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for f in frames {
+            acc = acc.wrapping_add(consume(f));
+        }
+        black_box(acc);
+        samples.push(total / t0.elapsed().as_secs_f64());
+    }
+    mean_ci(&samples).0
+}
+
+fn bench_vmsgs() -> Pair {
+    let frames: Vec<Frame> = (0..FRAMES as u64)
+        .map(|i| {
+            let recs: Vec<(u64, u64)> = (0..RECS as u64)
+                .map(|j| (i * RECS as u64 + j, j.wrapping_mul(0x9e3779b9)))
+                .collect();
+            msg::encode_vmsgs(7, 3, &recs)
+        })
+        .collect();
+    let view_rps = measure(&frames, |f| {
+        let view = msg::decode_vmsgs(f).expect("vmsg view");
+        let mut acc = 0u64;
+        for (v, x) in view.records {
+            acc = acc.wrapping_add(v ^ x);
+        }
+        acc
+    });
+    let vec_rps = measure(&frames, |f| {
+        let (_, _, recs) = vec_decode_vmsgs(f).expect("vmsg vec");
+        let mut acc = 0u64;
+        for (v, x) in recs {
+            acc = acc.wrapping_add(v ^ x);
+        }
+        acc
+    });
+    Pair {
+        name: "vmsg",
+        view_rps,
+        vec_rps,
+    }
+}
+
+fn bench_states() -> Pair {
+    let frames: Vec<Frame> = (0..FRAMES as u64)
+        .map(|i| {
+            let recs: Vec<StateRecord> = (0..RECS as u64)
+                .map(|j| StateRecord {
+                    vertex: i * RECS as u64 + j,
+                    state: j ^ 0xfeed,
+                    out_degree: j % 31,
+                    active: j % 3 == 0,
+                })
+                .collect();
+            msg::encode_states(7, 3, &recs)
+        })
+        .collect();
+    let view_rps = measure(&frames, |f| {
+        let view = msg::decode_states(f).expect("state view");
+        let mut acc = 0u64;
+        for rec in view.records {
+            acc = acc
+                .wrapping_add(rec.vertex ^ rec.state ^ rec.out_degree)
+                .wrapping_add(rec.active as u64);
+        }
+        acc
+    });
+    let vec_rps = measure(&frames, |f| {
+        let (_, _, recs) = vec_decode_states(f).expect("state vec");
+        let mut acc = 0u64;
+        for rec in recs {
+            acc = acc
+                .wrapping_add(rec.vertex ^ rec.state ^ rec.out_degree)
+                .wrapping_add(rec.active as u64);
+        }
+        acc
+    });
+    Pair {
+        name: "state",
+        view_rps,
+        vec_rps,
+    }
+}
+
+fn bench_edge_changes() -> Pair {
+    let frames: Vec<Frame> = (0..FRAMES as u64)
+        .map(|i| {
+            let recs: Vec<EdgeChange> = (0..RECS as u64)
+                .map(|j| {
+                    let (u, v) = (i * RECS as u64 + j, j.wrapping_mul(31));
+                    if j % 2 == 0 {
+                        EdgeChange::insert(u, v)
+                    } else {
+                        EdgeChange::delete(u, v)
+                    }
+                })
+                .collect();
+            msg::encode_edge_changes(msg::Side::Out, 1, &recs)
+        })
+        .collect();
+    let view_rps = measure(&frames, |f| {
+        let view = msg::decode_edge_changes(f).expect("changes view");
+        let mut acc = 0u64;
+        for c in view.records {
+            acc = acc.wrapping_add(c.edge.src ^ c.edge.dst);
+        }
+        acc
+    });
+    let vec_rps = measure(&frames, |f| {
+        let (_, _, recs) = vec_decode_edge_changes(f).expect("changes vec");
+        let mut acc = 0u64;
+        for c in recs {
+            acc = acc.wrapping_add(c.edge.src ^ c.edge.dst);
+        }
+        acc
+    });
+    Pair {
+        name: "edge_change",
+        view_rps,
+        vec_rps,
+    }
+}
+
+fn main() {
+    banner(
+        "decode microbench",
+        "borrowed zero-copy views vs materializing Vec decoders",
+    );
+    println!("({FRAMES} frames x {RECS} records per type, decode + fold every record)");
+    println!(
+        "{:>12} {:>16} {:>16} {:>9}",
+        "record", "view rec/s", "vec rec/s", "speedup"
+    );
+    let pairs = [bench_vmsgs(), bench_states(), bench_edge_changes()];
+    for p in &pairs {
+        println!(
+            "{:>12} {:>16.0} {:>16.0} {:>8.2}x",
+            p.name,
+            p.view_rps,
+            p.vec_rps,
+            p.speedup()
+        );
+    }
+    write_json(&pairs);
+}
+
+/// Hand-rolled JSON (the workspace carries no serializer dependency).
+fn write_json(pairs: &[Pair]) {
+    let path = std::env::var("ELGA_BENCH_DECODE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode.json").to_string()
+    });
+    let mut body = String::from("{\n  \"figure\": \"decode_micro\",\n");
+    body.push_str(&format!(
+        "  \"frames\": {FRAMES},\n  \"records_per_frame\": {RECS},\n  \"rows\": [\n"
+    ));
+    for (i, p) in pairs.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"record\": \"{}\", \"view_rec_per_sec\": {:.0}, \"vec_rec_per_sec\": {:.0}, \
+             \"speedup\": {:.2}}}{}\n",
+            p.name,
+            p.view_rps,
+            p.vec_rps,
+            p.speedup(),
+            if i + 1 == pairs.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

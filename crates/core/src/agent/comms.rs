@@ -228,8 +228,16 @@ impl Agent {
 
     /// Data-plane traffic accounting for this agent: per-packet-type
     /// frames/bytes from its own [`NetStats`] sink plus the coalescer
-    /// flush counters.
+    /// flush counters. RX pool hits/misses are recorded by the
+    /// transport's receive loops, not the agent's private sink, so
+    /// they are drained (claimed once) into the private sink first —
+    /// with a shared in-process transport the counts distribute across
+    /// agents but sum exactly cluster-wide.
     pub(super) fn comms_snapshot(&self) -> CommsMetrics {
+        if let Some(ts) = self.transport.net_stats() {
+            let (h, m) = ts.drain_rx_pool();
+            self.net.record_rx_pool(h, m);
+        }
         CommsMetrics::snapshot(&self.net, &self.coalesce_totals())
     }
 

@@ -60,9 +60,12 @@ impl Agent {
     }
 
     pub(super) fn on_changes(&mut self, frame: Frame) {
-        let Some((side, hop, changes)) = msg::decode_edge_changes(&frame) else {
+        // The view borrows the frame's pooled receive buffer; records
+        // stream straight from it into apply_changes with no Vec.
+        let Some(view) = msg::decode_edge_changes(&frame) else {
             return;
         };
+        let (side, hop) = (view.side, view.hop);
         // Streamer-originated records (hop 0) are unmatched on the
         // send side (Streamers do not participate in barriers); only
         // agent-to-agent forwards are double counted. The receive is
@@ -71,16 +74,21 @@ impl Agent {
         // matching count would hold settled() false for the whole run
         // — no barrier (or async termination probe) could ever fire.
         if hop > 0 {
-            self.counters.chg_recv += changes.len() as u64;
+            self.counters.chg_recv += view.records.len() as u64;
         }
         if self.run.is_some() {
             self.buffered_changes.push(frame);
             return;
         }
-        self.apply_changes(side, hop, changes);
+        self.apply_changes(side, hop, view.records);
     }
 
-    pub(super) fn apply_changes(&mut self, side: Side, hop: u8, changes: Vec<EdgeChange>) {
+    pub(super) fn apply_changes(
+        &mut self,
+        side: Side,
+        hop: u8,
+        changes: impl IntoIterator<Item = EdgeChange>,
+    ) {
         let mut forwards: FxHashMap<AgentId, Vec<EdgeChange>> = FxHashMap::default();
         let mut deltas: FxHashMap<VertexId, (i64, i64)> = FxHashMap::default();
         self.route_cache.ensure_epoch(self.view.epoch);

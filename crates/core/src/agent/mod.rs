@@ -383,11 +383,14 @@ impl Agent {
                     self.on_advance(adv);
                 }
             }
-            packet::VMSG => self.on_vmsg(frame),
-            packet::PARTIAL => self.on_partial(frame),
-            packet::STATE => self.on_state(frame),
-            packet::EDGE_CHANGES => self.on_changes(frame),
-            packet::DEG_DELTA => self.on_deg_delta(frame),
+            // Data-plane receives: time decode + consume together (a
+            // borrowed view makes them inseparable) so the per-agent
+            // cost of the hot path is observable as `decode_nanos`.
+            packet::VMSG => self.timed_data_plane(frame, Self::on_vmsg),
+            packet::PARTIAL => self.timed_data_plane(frame, Self::on_partial),
+            packet::STATE => self.timed_data_plane(frame, Self::on_state),
+            packet::EDGE_CHANGES => self.timed_data_plane(frame, Self::on_changes),
+            packet::DEG_DELTA => self.timed_data_plane(frame, Self::on_deg_delta),
             packet::MIG_EDGES => self.on_mig_edges(frame),
             packet::MIG_META => self.on_mig_meta(frame),
             packet::CKPT_SAVE => self.on_ckpt_save(&frame, d.reply),
@@ -657,12 +660,19 @@ impl Agent {
         // directly so they are not counted twice.
         let buffered: Vec<Frame> = std::mem::take(&mut self.buffered_changes);
         for frame in buffered {
-            if let Some((side, hop, changes)) = msg::decode_edge_changes(&frame) {
-                self.apply_changes(side, hop, changes);
+            if let Some(view) = msg::decode_edge_changes(&frame) {
+                self.apply_changes(view.side, view.hop, view.records);
             }
         }
         self.flush_outboxes();
         self.flush_metrics(true);
+    }
+
+    /// Run a data-plane frame handler under the `decode_nanos` clock.
+    fn timed_data_plane(&mut self, frame: Frame, f: fn(&mut Self, Frame)) {
+        let t0 = std::time::Instant::now();
+        f(self, frame);
+        self.metrics.decode_nanos += t0.elapsed().as_nanos() as u64;
     }
 
     /// Re-dispatch buffered frames that now match the current phase.

@@ -28,6 +28,12 @@ impl Agent {
             // the world consistent.
             return false;
         }
+        if rec.epoch <= self.migrated_epoch {
+            // Duplicate broadcast (chaos transport, or the lead
+            // re-publishing an open barrier): already handled; resetting
+            // again would wipe state replayed since.
+            return true;
+        }
         let epoch = rec.epoch;
         self.tracer
             .instant(EventKind::RecoveryTrigger, epoch, rec.dead_agent);

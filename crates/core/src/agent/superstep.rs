@@ -244,15 +244,19 @@ impl Agent {
     // ------------------------------------------------------------------
 
     pub(super) fn on_vmsg(&mut self, frame: Frame) {
-        let Some((run_id, step, msgs)) = msg::decode_vmsgs(&frame) else {
+        // The decoded view borrows the frame's pooled receive buffer;
+        // records are parsed in place as the loops below consume them,
+        // with no intermediate Vec.
+        let Some(view) = msg::decode_vmsgs(&frame) else {
             return;
         };
+        let (run_id, step) = (view.run, view.step);
         match self.current_phase() {
             Some((cur_run, _, _, true)) if cur_run == run_id => {
                 // Async: apply immediately at the primary.
-                self.counters.vmsg_recv += msgs.len() as u64;
-                self.metrics.vmsgs += msgs.len() as u64;
-                for (v, value) in msgs {
+                self.counters.vmsg_recv += view.records.len() as u64;
+                self.metrics.vmsgs += view.records.len() as u64;
+                for (v, value) in view.records {
                     self.async_apply(v, value);
                 }
                 self.re_report_async();
@@ -260,10 +264,10 @@ impl Agent {
             Some((cur_run, cur_step, cur_phase, false))
                 if cur_run == run_id && cur_step == step && cur_phase == Phase::Scatter =>
             {
-                self.counters.vmsg_recv += msgs.len() as u64;
-                self.metrics.vmsgs += msgs.len() as u64;
+                self.counters.vmsg_recv += view.records.len() as u64;
+                self.metrics.vmsgs += view.records.len() as u64;
                 let program = self.run.as_ref().expect("run").program.clone();
-                for (v, value) in msgs {
+                for (v, value) in view.records {
                     let (e, dirty) = self.vertices.entry_and_dirty(v);
                     if e.has_partial {
                         e.partial = program.combine(e.partial, value);
@@ -291,16 +295,17 @@ impl Agent {
     }
 
     pub(super) fn on_partial(&mut self, frame: Frame) {
-        let Some((run_id, step, parts)) = msg::decode_partials(&frame) else {
+        let Some(view) = msg::decode_partials(&frame) else {
             return;
         };
+        let (run_id, step) = (view.run, view.step);
         match self.current_phase() {
             Some((cur_run, cur_step, cur_phase, false))
                 if cur_run == run_id && cur_step == step && cur_phase == Phase::Combine =>
             {
-                self.counters.part_recv += parts.len() as u64;
+                self.counters.part_recv += view.records.len() as u64;
                 let program = self.run.as_ref().expect("run").program.clone();
-                for (v, value) in parts {
+                for (v, value) in view.records {
                     let e = self.vertices.entry_or_default(v);
                     if e.has_ppartial {
                         e.ppartial = program.combine(e.ppartial, value);
@@ -318,14 +323,15 @@ impl Agent {
     }
 
     pub(super) fn on_state(&mut self, frame: Frame) {
-        let Some((run_id, step, recs)) = msg::decode_states(&frame) else {
+        let Some(view) = msg::decode_states(&frame) else {
             return;
         };
+        let (run_id, step) = (view.run, view.step);
         match self.current_phase() {
             Some((cur_run, _, _, true)) if cur_run == run_id => {
                 // Async: adopt the state and scatter right away.
-                self.counters.state_recv += recs.len() as u64;
-                for rec in recs {
+                self.counters.state_recv += view.records.len() as u64;
+                for rec in view.records {
                     let e = self.vertices.entry_or_default(rec.vertex);
                     e.state = rec.state;
                     e.has_state = true;
@@ -340,8 +346,8 @@ impl Agent {
             Some((cur_run, cur_step, cur_phase, false))
                 if cur_run == run_id && cur_step == step && cur_phase == Phase::Apply =>
             {
-                self.counters.state_recv += recs.len() as u64;
-                for rec in recs {
+                self.counters.state_recv += view.records.len() as u64;
+                for rec in view.records {
                     let e = self.vertices.entry_or_default(rec.vertex);
                     e.state = rec.state;
                     e.has_state = true;

@@ -87,6 +87,14 @@ struct Lead {
     last_seen: HashMap<AgentId, Instant>,
     /// Agents declared dead and evicted by failure detection.
     agents_recovered: u64,
+    /// The broadcast that opened the outstanding migrate barrier
+    /// (VIEW or RECOVER), kept for re-publication: a joiner whose bus
+    /// subscription registers a moment after its JOIN is handled
+    /// misses the original broadcast, and without a repeat it can
+    /// never send the READY that settles the barrier.
+    barrier_broadcast: Option<Frame>,
+    /// When the barrier broadcast was last published.
+    barrier_published: Instant,
     /// Event recorder (view changes, heartbeat misses, recoveries);
     /// disabled unless `cfg.tracing`.
     tracer: Arc<Tracer>,
@@ -124,7 +132,25 @@ impl Lead {
             last_status: RunStatus::default(),
             last_seen: HashMap::new(),
             agents_recovered: 0,
+            barrier_broadcast: None,
+            barrier_published: Instant::now(),
             tracer: Arc::new(Tracer::from_flag(cfg.tracing)),
+        }
+    }
+
+    /// Re-publish the broadcast that opened the current migrate
+    /// barrier if it has been outstanding for a while. Subscriptions
+    /// race joins (an agent subscribes, then JOINs; the view bump
+    /// publishes during JOIN handling), so the opening broadcast can
+    /// be lost; adoption is idempotent on the agent side, making a
+    /// periodic repeat safe and sufficient for liveness.
+    fn republish_barrier(&mut self, interval: Duration) {
+        if self.migrate_epoch.is_none() || self.barrier_published.elapsed() < interval {
+            return;
+        }
+        if let Some(f) = self.barrier_broadcast.clone() {
+            self.barrier_published = Instant::now();
+            self.publish(f);
         }
     }
 
@@ -200,7 +226,10 @@ impl Lead {
         self.migrate_epoch = Some(self.view.epoch);
         self.migrate_members = self.member_ids();
         self.migrate_members.extend(self.departing.iter().copied());
-        self.publish(self.view.encode());
+        let frame = self.view.encode();
+        self.barrier_broadcast = Some(frame.clone());
+        self.barrier_published = Instant::now();
+        self.publish(frame);
     }
 
     /// Send the post-drain OK to departed agents and absorb their
@@ -295,12 +324,15 @@ impl Lead {
         self.migrate_epoch = Some(self.view.epoch);
         self.migrate_members = self.member_ids();
         self.agents_recovered += 1;
-        self.publish(msg::encode_recover(&msg::Recover {
+        let frame = msg::encode_recover(&msg::Recover {
             epoch: self.view.epoch,
             dead_agent: dead,
             aborted_run: aborted,
             view: self.view.clone(),
-        }));
+        });
+        self.barrier_broadcast = Some(frame.clone());
+        self.barrier_published = Instant::now();
+        self.publish(frame);
         // Zero survivors: the barrier is trivially met.
         self.evaluate();
     }
@@ -326,6 +358,7 @@ impl Lead {
                 return false;
             }
             self.migrate_epoch = None;
+            self.barrier_broadcast = None;
             self.release_departers();
             self.migrate_members.clear();
             if let Some(adv) = self.resume.take() {
@@ -899,6 +932,7 @@ fn lead_loop(
                 lead.recover(dead);
             }
         }
+        lead.republish_barrier(cfg.heartbeat_interval);
         let d = match mailbox.recv_timeout(Duration::from_millis(20)) {
             Ok(d) => d,
             Err(NetError::Timeout) => continue,

@@ -82,6 +82,12 @@ pub struct CommsMetrics {
     pub switch_flushes: u64,
     /// Times a sender waited on in-flight credit (backpressure).
     pub backpressure_waits: u64,
+    /// Wire messages served out of an existing RX batch allocation
+    /// (zero-copy receive pool hits).
+    pub rx_pool_hits: u64,
+    /// RX batch allocations (one per bulk read that promoted bytes to
+    /// a fresh shared batch).
+    pub rx_pool_misses: u64,
 }
 
 impl CommsMetrics {
@@ -90,6 +96,7 @@ impl CommsMetrics {
     pub fn snapshot(net: &NetStats, coalesce: &CoalesceStats) -> CommsMetrics {
         let mut migration = PacketStat::from_net(net, packet::MIG_EDGES);
         migration.absorb(&PacketStat::from_net(net, packet::MIG_META));
+        let (rx_pool_hits, rx_pool_misses) = net.rx_pool();
         CommsMetrics {
             vmsg: PacketStat::from_net(net, packet::VMSG),
             partial: PacketStat::from_net(net, packet::PARTIAL),
@@ -102,6 +109,8 @@ impl CommsMetrics {
             explicit_flushes: coalesce.explicit_flushes,
             switch_flushes: coalesce.switch_flushes,
             backpressure_waits: coalesce.backpressure_waits,
+            rx_pool_hits,
+            rx_pool_misses,
         }
     }
 
@@ -118,6 +127,8 @@ impl CommsMetrics {
         self.explicit_flushes += o.explicit_flushes;
         self.switch_flushes += o.switch_flushes;
         self.backpressure_waits += o.backpressure_waits;
+        self.rx_pool_hits += o.rx_pool_hits;
+        self.rx_pool_misses += o.rx_pool_misses;
     }
 
     /// Total data-plane frames sent across all packet types.
@@ -162,6 +173,8 @@ impl CommsMetrics {
             .u64(self.explicit_flushes)
             .u64(self.switch_flushes)
             .u64(self.backpressure_waits)
+            .u64(self.rx_pool_hits)
+            .u64(self.rx_pool_misses)
     }
 
     fn decode(r: &mut FrameReader<'_>) -> Option<CommsMetrics> {
@@ -177,6 +190,8 @@ impl CommsMetrics {
             explicit_flushes: r.u64()?,
             switch_flushes: r.u64()?,
             backpressure_waits: r.u64()?,
+            rx_pool_hits: r.u64()?,
+            rx_pool_misses: r.u64()?,
         })
     }
 }
@@ -211,6 +226,11 @@ pub struct AgentMetrics {
     pub combine_nanos: u64,
     /// Cumulative wall time in the apply kernel.
     pub apply_nanos: u64,
+    /// Cumulative wall time in data-plane receive handlers (VMSG /
+    /// PARTIAL / STATE / EDGE_CHANGES / DEG_DELTA). With borrowed
+    /// decoders, parsing happens in place as records are consumed, so
+    /// this clock covers decode + consume together.
+    pub decode_nanos: u64,
     /// Data-plane frames for a finished or aborted run that arrived
     /// after the agent moved on (dropped, not applied — see the
     /// stale-run arms in the agent's frame dispatch).
@@ -241,6 +261,7 @@ impl AgentMetrics {
             .u64(self.scatter_nanos)
             .u64(self.combine_nanos)
             .u64(self.apply_nanos)
+            .u64(self.decode_nanos)
             .u64(self.stale_frames)
             .u64(self.ckpt_writes)
             .u64(self.ckpt_write_nanos)
@@ -267,6 +288,7 @@ impl AgentMetrics {
             scatter_nanos: r.u64()?,
             combine_nanos: r.u64()?,
             apply_nanos: r.u64()?,
+            decode_nanos: r.u64()?,
             stale_frames: r.u64()?,
             ckpt_writes: r.u64()?,
             ckpt_write_nanos: r.u64()?,
@@ -315,6 +337,9 @@ pub struct ClusterMetrics {
     pub combine_nanos: u64,
     /// Total apply-kernel wall time across agents.
     pub apply_nanos: u64,
+    /// Total data-plane receive-handler wall time across agents
+    /// (decode + consume; see [`AgentMetrics::decode_nanos`]).
+    pub decode_nanos: u64,
     /// Total stale-run data-plane frames dropped across agents (frames
     /// for an already-finished or aborted run).
     pub stale_frames: u64,
@@ -358,6 +383,7 @@ impl ClusterMetrics {
         self.scatter_nanos += m.scatter_nanos;
         self.combine_nanos += m.combine_nanos;
         self.apply_nanos += m.apply_nanos;
+        self.decode_nanos += m.decode_nanos;
         self.stale_frames += m.stale_frames;
         self.ckpt_writes += m.ckpt_writes;
         self.ckpt_write_nanos += m.ckpt_write_nanos;
@@ -395,6 +421,7 @@ impl ClusterMetrics {
             .u64(self.scatter_nanos)
             .u64(self.combine_nanos)
             .u64(self.apply_nanos)
+            .u64(self.decode_nanos)
             .u64(self.stale_frames)
             .u64(self.ckpt_writes)
             .u64(self.ckpt_write_nanos)
@@ -505,6 +532,12 @@ impl ClusterMetrics {
             self.apply_nanos,
         );
         metric(
+            "decode_nanos_total",
+            "counter",
+            "Data-plane receive-handler wall time (ns).",
+            self.decode_nanos,
+        );
+        metric(
             "stale_frames_total",
             "counter",
             "Stale-run data-plane frames dropped.",
@@ -594,6 +627,18 @@ impl ClusterMetrics {
             "Sends that waited on in-flight credit.",
             self.comms.backpressure_waits,
         );
+        metric(
+            "rx_pool_hits_total",
+            "counter",
+            "Receives served from an existing pooled batch buffer.",
+            self.comms.rx_pool_hits,
+        );
+        metric(
+            "rx_pool_misses_total",
+            "counter",
+            "Receives that allocated a fresh batch buffer.",
+            self.comms.rx_pool_misses,
+        );
         for (name, stat) in [
             ("vmsg", &self.comms.vmsg),
             ("partial", &self.comms.partial),
@@ -637,6 +682,7 @@ impl ClusterMetrics {
             scatter_nanos: r.u64()?,
             combine_nanos: r.u64()?,
             apply_nanos: r.u64()?,
+            decode_nanos: r.u64()?,
             stale_frames: r.u64()?,
             ckpt_writes: r.u64()?,
             ckpt_write_nanos: r.u64()?,
@@ -671,6 +717,7 @@ mod tests {
             scatter_nanos: 90,
             combine_nanos: 100,
             apply_nanos: 110,
+            decode_nanos: 115,
             stale_frames: 120,
             ckpt_writes: 130,
             ckpt_write_nanos: 140,
@@ -709,6 +756,7 @@ mod tests {
             scatter_nanos: 7,
             combine_nanos: 8,
             apply_nanos: 9,
+            decode_nanos: 11,
             stale_frames: 2,
             ckpt_writes: 1,
             ckpt_write_nanos: 10,
@@ -731,6 +779,7 @@ mod tests {
             scatter_nanos: 1,
             combine_nanos: 2,
             apply_nanos: 3,
+            decode_nanos: 4,
             stale_frames: 1,
             ckpt_writes: 2,
             ckpt_write_nanos: 20,
@@ -755,6 +804,7 @@ mod tests {
             (c.scatter_nanos, c.combine_nanos, c.apply_nanos),
             (8, 10, 12)
         );
+        assert_eq!(c.decode_nanos, 15);
         assert_eq!(c.stale_frames, 3);
         assert_eq!(
             (c.ckpt_writes, c.ckpt_write_nanos, c.ckpt_bytes),

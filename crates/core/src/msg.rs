@@ -303,10 +303,19 @@ impl DirectoryView {
 
     /// Decode a VIEW frame.
     pub fn decode(frame: &Frame) -> Option<DirectoryView> {
-        if frame.packet_type() != packet::VIEW {
+        Self::decode_slice(frame.as_bytes())
+    }
+
+    /// Decode a VIEW encoding from raw bytes (first byte is the packet
+    /// type). Lets a view nested inside another message — a join reply
+    /// or recover broadcast — be parsed straight from the borrowed
+    /// length-prefixed field, with no intermediate copy into a fresh
+    /// `Frame`.
+    pub fn decode_slice(buf: &[u8]) -> Option<DirectoryView> {
+        if buf.first() != Some(&packet::VIEW) {
             return None;
         }
-        let mut r = frame.reader();
+        let mut r = FrameReader::new(&buf[1..]);
         let epoch = r.u64()?;
         let batch_id = r.u64()?;
         let n_vertices = r.u64()?;
@@ -354,6 +363,198 @@ impl DirectoryView {
 /// decoder surfaces as a parse failure, never a misread.
 fn expect(frame: &Frame, ty: u8) -> Option<FrameReader<'_>> {
     (frame.packet_type() == ty).then(|| frame.reader())
+}
+
+/// A fixed-stride packed wire record, parsed in place from a frame
+/// payload.
+///
+/// Records are `STRIDE` bytes of little-endian fields with no padding.
+/// `validate` pre-screens one raw chunk (e.g. the EDGE_CHANGES action
+/// byte must be 0 or 1); once a [`Records`] view is constructed, every
+/// chunk has passed it and `parse` runs infallibly during iteration.
+pub trait WireRecord: Sized {
+    /// Bytes per record on the wire.
+    const STRIDE: usize;
+
+    /// Whether a raw `STRIDE`-byte chunk is a well-formed record.
+    fn validate(_chunk: &[u8]) -> bool {
+        true
+    }
+
+    /// Parse a validated `STRIDE`-byte chunk.
+    fn parse(chunk: &[u8]) -> Self;
+}
+
+#[inline]
+fn le_u64(chunk: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(chunk[at..at + 8].try_into().unwrap())
+}
+
+/// A borrowed, validated view over the packed record region of a frame
+/// payload.
+///
+/// Construction checks the record count against the region length
+/// (exact multiple of the stride — trailing bytes are malformed, not
+/// ignored) and validates every record once; iteration then parses in
+/// place with zero per-record allocation. The records live in the
+/// frame's pooled, `Arc`-shared receive buffer for as long as the
+/// frame is alive; the view borrows the frame, so consuming a view
+/// never outlives its bytes.
+#[derive(Debug)]
+pub struct Records<'a, T> {
+    buf: &'a [u8],
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+// Manual impls: the view is a fat pointer regardless of `T`, so no
+// `T: Copy` bound (derive would add one).
+impl<T> Clone for Records<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Records<'_, T> {}
+
+/// Iterator over a [`Records`] view, parsing each record in place.
+///
+/// A concrete struct rather than an `iter::Map` with a fn pointer so
+/// `T::parse` stays statically dispatched — the per-record parse
+/// inlines into the consumer's loop.
+#[derive(Debug, Clone)]
+pub struct RecordsIter<'a, T> {
+    chunks: std::slice::ChunksExact<'a, u8>,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: WireRecord> Iterator for RecordsIter<'_, T> {
+    type Item = T;
+
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        self.chunks.next().map(T::parse)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.chunks.size_hint()
+    }
+}
+
+impl<T: WireRecord> ExactSizeIterator for RecordsIter<'_, T> {}
+
+impl<T: WireRecord> DoubleEndedIterator for RecordsIter<'_, T> {
+    fn next_back(&mut self) -> Option<T> {
+        self.chunks.next_back().map(T::parse)
+    }
+}
+
+impl<'a, T: WireRecord> Records<'a, T> {
+    fn new(buf: &'a [u8], n: usize) -> Option<Self> {
+        if buf.len() != n.checked_mul(T::STRIDE)? {
+            return None;
+        }
+        if !buf.chunks_exact(T::STRIDE).all(T::validate) {
+            return None;
+        }
+        Some(Records {
+            buf,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Record count.
+    pub fn len(&self) -> usize {
+        self.buf.len() / T::STRIDE
+    }
+
+    /// True when the view holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Iterate, parsing each record off the borrowed payload.
+    pub fn iter(&self) -> RecordsIter<'a, T> {
+        (*self).into_iter()
+    }
+
+    /// Materialize into a `Vec` (tests and cold paths only — the hot
+    /// path iterates).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().collect()
+    }
+}
+
+impl<'a, T: WireRecord> IntoIterator for Records<'a, T> {
+    type Item = T;
+    type IntoIter = RecordsIter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        RecordsIter {
+            chunks: self.buf.chunks_exact(T::STRIDE),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// VMSG / PARTIAL record: `(target, value)`, 16 bytes.
+impl WireRecord for (VertexId, u64) {
+    const STRIDE: usize = 16;
+
+    #[inline]
+    fn parse(chunk: &[u8]) -> Self {
+        (le_u64(chunk, 0), le_u64(chunk, 8))
+    }
+}
+
+/// STATE record: vertex + state + out-degree + active flag, 25 bytes.
+impl WireRecord for StateRecord {
+    const STRIDE: usize = 25;
+
+    #[inline]
+    fn parse(chunk: &[u8]) -> Self {
+        StateRecord {
+            vertex: le_u64(chunk, 0),
+            state: le_u64(chunk, 8),
+            out_degree: le_u64(chunk, 16),
+            active: chunk[24] != 0,
+        }
+    }
+}
+
+/// EDGE_CHANGES record: action byte + src + dst, 17 bytes.
+impl WireRecord for EdgeChange {
+    const STRIDE: usize = 17;
+
+    #[inline]
+    fn validate(chunk: &[u8]) -> bool {
+        chunk[0] <= 1
+    }
+
+    #[inline]
+    fn parse(chunk: &[u8]) -> Self {
+        EdgeChange {
+            action: if chunk[0] == 0 {
+                Action::Insert
+            } else {
+                Action::Delete
+            },
+            edge: (le_u64(chunk, 1), le_u64(chunk, 9)).into(),
+        }
+    }
+}
+
+/// DEG_DELTA record: vertex + out-delta + in-delta, 24 bytes.
+impl WireRecord for (VertexId, i64, i64) {
+    const STRIDE: usize = 24;
+
+    #[inline]
+    fn parse(chunk: &[u8]) -> Self {
+        (
+            le_u64(chunk, 0),
+            le_u64(chunk, 8) as i64,
+            le_u64(chunk, 16) as i64,
+        )
+    }
 }
 
 fn hash_to_u8(h: HashKind) -> u8 {
@@ -405,8 +606,22 @@ pub fn encode_edge_changes(side: Side, hop: u8, changes: &[EdgeChange]) -> Frame
     b.finish()
 }
 
-/// Decode an EDGE_CHANGES frame into `(side, hop, changes)`.
-pub fn decode_edge_changes(frame: &Frame) -> Option<(Side, u8, Vec<EdgeChange>)> {
+/// Borrowed EDGE_CHANGES payload: placement side, forwarding hop, and
+/// the packed change records parsed in place off the frame.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeChangesView<'a> {
+    /// Which placement the records target.
+    pub side: Side,
+    /// Forwarding hop count.
+    pub hop: u8,
+    /// The packed records.
+    pub records: Records<'a, EdgeChange>,
+}
+
+/// Decode an EDGE_CHANGES frame into a borrowed view. `None` on a
+/// wrong packet type, a bad side or action byte, or a record region
+/// that is not exactly `n` records long.
+pub fn decode_edge_changes(frame: &Frame) -> Option<EdgeChangesView<'_>> {
     let mut r = expect(frame, packet::EDGE_CHANGES)?;
     let side = match r.u8()? {
         0 => Side::Out,
@@ -415,23 +630,11 @@ pub fn decode_edge_changes(frame: &Frame) -> Option<(Side, u8, Vec<EdgeChange>)>
     };
     let hop = r.u8()?;
     let n = r.u32()? as usize;
-    // Never trust a wire length: bound the preallocation by what the
-    // payload could actually hold (17 bytes per record).
-    let mut changes = Vec::with_capacity(n.min(r.remaining() / 17));
-    for _ in 0..n {
-        let action = match r.u8()? {
-            0 => Action::Insert,
-            1 => Action::Delete,
-            _ => return None,
-        };
-        let src = r.u64()?;
-        let dst = r.u64()?;
-        changes.push(EdgeChange {
-            action,
-            edge: (src, dst).into(),
-        });
-    }
-    Some((side, hop, changes))
+    Some(EdgeChangesView {
+        side,
+        hop,
+        records: Records::new(r.rest(), n)?,
+    })
 }
 
 /// Encode vertex messages: `(run, step, [(target, value)])`.
@@ -446,20 +649,33 @@ pub fn encode_vmsgs(run: u64, step: u32, msgs: &[(VertexId, u64)]) -> Frame {
     b.finish()
 }
 
-/// Decoded vertex-message payload: `(run, step, [(target, value)])`.
-pub type DecodedValues = (u64, u32, Vec<(VertexId, u64)>);
+/// Borrowed VMSG / PARTIAL payload: run header plus packed
+/// `(target, value)` records parsed in place off the frame.
+#[derive(Debug, Clone, Copy)]
+pub struct ValuesView<'a> {
+    /// Run id.
+    pub run: u64,
+    /// Superstep.
+    pub step: u32,
+    /// The packed records.
+    pub records: Records<'a, (VertexId, u64)>,
+}
 
-/// Decode a VMSG frame.
-pub fn decode_vmsgs(frame: &Frame) -> Option<DecodedValues> {
-    let mut r = expect(frame, packet::VMSG)?;
+fn decode_values(frame: &Frame, ty: u8) -> Option<ValuesView<'_>> {
+    let mut r = expect(frame, ty)?;
     let run = r.u64()?;
     let step = r.u32()?;
     let n = r.u32()? as usize;
-    let mut msgs = Vec::with_capacity(n.min(r.remaining() / 16));
-    for _ in 0..n {
-        msgs.push((r.u64()?, r.u64()?));
-    }
-    Some((run, step, msgs))
+    Some(ValuesView {
+        run,
+        step,
+        records: Records::new(r.rest(), n)?,
+    })
+}
+
+/// Decode a VMSG frame into a borrowed view.
+pub fn decode_vmsgs(frame: &Frame) -> Option<ValuesView<'_>> {
+    decode_values(frame, packet::VMSG)
 }
 
 /// Encode partial aggregates: `(run, step, [(vertex, agg)])`. Shares
@@ -475,17 +691,9 @@ pub fn encode_partials(run: u64, step: u32, parts: &[(VertexId, u64)]) -> Frame 
     b.finish()
 }
 
-/// Decode a PARTIAL frame (same payload as VMSG).
-pub fn decode_partials(frame: &Frame) -> Option<DecodedValues> {
-    let mut r = expect(frame, packet::PARTIAL)?;
-    let run = r.u64()?;
-    let step = r.u32()?;
-    let n = r.u32()? as usize;
-    let mut parts = Vec::with_capacity(n.min(r.remaining() / 16));
-    for _ in 0..n {
-        parts.push((r.u64()?, r.u64()?));
-    }
-    Some((run, step, parts))
+/// Decode a PARTIAL frame (same payload as VMSG) into a borrowed view.
+pub fn decode_partials(frame: &Frame) -> Option<ValuesView<'_>> {
+    decode_values(frame, packet::PARTIAL)
 }
 
 /// One state-broadcast record.
@@ -517,22 +725,29 @@ pub fn encode_states(run: u64, step: u32, recs: &[StateRecord]) -> Frame {
     b.finish()
 }
 
-/// Decode a STATE frame.
-pub fn decode_states(frame: &Frame) -> Option<(u64, u32, Vec<StateRecord>)> {
+/// Borrowed STATE payload: run header plus packed [`StateRecord`]s
+/// parsed in place off the frame.
+#[derive(Debug, Clone, Copy)]
+pub struct StatesView<'a> {
+    /// Run id.
+    pub run: u64,
+    /// Superstep.
+    pub step: u32,
+    /// The packed records.
+    pub records: Records<'a, StateRecord>,
+}
+
+/// Decode a STATE frame into a borrowed view.
+pub fn decode_states(frame: &Frame) -> Option<StatesView<'_>> {
     let mut r = expect(frame, packet::STATE)?;
     let run = r.u64()?;
     let step = r.u32()?;
     let n = r.u32()? as usize;
-    let mut recs = Vec::with_capacity(n.min(r.remaining() / 25));
-    for _ in 0..n {
-        recs.push(StateRecord {
-            vertex: r.u64()?,
-            state: r.u64()?,
-            out_degree: r.u64()?,
-            active: r.u8()? != 0,
-        });
-    }
-    Some((run, step, recs))
+    Some(StatesView {
+        run,
+        step,
+        records: Records::new(r.rest(), n)?,
+    })
 }
 
 /// A barrier report from an agent.
@@ -730,15 +945,11 @@ pub fn encode_deg_deltas(deltas: &[(VertexId, i64, i64)]) -> Frame {
     b.finish()
 }
 
-/// Decode a DEG_DELTA frame.
-pub fn decode_deg_deltas(frame: &Frame) -> Option<Vec<(VertexId, i64, i64)>> {
+/// Decode a DEG_DELTA frame into a borrowed record view.
+pub fn decode_deg_deltas(frame: &Frame) -> Option<Records<'_, (VertexId, i64, i64)>> {
     let mut r = expect(frame, packet::DEG_DELTA)?;
     let n = r.u32()? as usize;
-    let mut out = Vec::with_capacity(n.min(r.remaining() / 24));
-    for _ in 0..n {
-        out.push((r.u64()?, r.u64()? as i64, r.u64()? as i64));
-    }
-    Some(out)
+    Records::new(r.rest(), n)
 }
 
 /// Encode a CKPT_SAVE request: write one shard of checkpoint
@@ -1102,8 +1313,7 @@ pub fn encode_join_reply(view: &DirectoryView, run: Option<&RunInfo>) -> Frame {
 /// Decode a JOIN reply.
 pub fn decode_join_reply(frame: &Frame) -> Option<(DirectoryView, Option<RunInfo>)> {
     let mut r = expect(frame, packet::JOIN_REP)?;
-    let view_bytes = r.bytes()?.to_vec();
-    let view = DirectoryView::decode(&Frame::from_bytes(view_bytes.into()))?;
+    let view = DirectoryView::decode_slice(r.bytes()?)?;
     let run = match r.u8()? {
         0 => None,
         _ => Some(RunInfo {
@@ -1303,8 +1513,7 @@ pub fn decode_recover(frame: &Frame) -> Option<Recover> {
     let epoch = r.u64()?;
     let dead_agent = r.u64()?;
     let aborted_run = r.u64()?;
-    let view_bytes = r.bytes()?.to_vec();
-    let view = DirectoryView::decode(&Frame::from_bytes(view_bytes.into()))?;
+    let view = DirectoryView::decode_slice(r.bytes()?)?;
     Some(Recover {
         epoch,
         dead_agent,
@@ -1446,19 +1655,24 @@ mod tests {
     fn edge_changes_roundtrip() {
         let changes = vec![EdgeChange::insert(1, 2), EdgeChange::delete(3, 4)];
         let f = encode_edge_changes(Side::In, 2, &changes);
-        let (side, hop, got) = decode_edge_changes(&f).unwrap();
-        assert_eq!(side, Side::In);
-        assert_eq!(hop, 2);
-        assert_eq!(got, changes);
+        let view = decode_edge_changes(&f).unwrap();
+        assert_eq!(view.side, Side::In);
+        assert_eq!(view.hop, 2);
+        assert_eq!(view.records.len(), changes.len());
+        assert_eq!(view.records.to_vec(), changes);
     }
 
     #[test]
     fn vmsg_and_partial_roundtrip() {
         let msgs = vec![(10u64, 0.5f64.to_bits()), (11, 7)];
         let f = encode_vmsgs(3, 4, &msgs);
-        assert_eq!(decode_vmsgs(&f).unwrap(), (3, 4, msgs.clone()));
+        let view = decode_vmsgs(&f).unwrap();
+        assert_eq!((view.run, view.step), (3, 4));
+        assert_eq!(view.records.to_vec(), msgs);
         let f = encode_partials(3, 4, &msgs);
-        assert_eq!(decode_partials(&f).unwrap(), (3, 4, msgs));
+        let view = decode_partials(&f).unwrap();
+        assert_eq!((view.run, view.step), (3, 4));
+        assert_eq!(view.records.to_vec(), msgs);
     }
 
     #[test]
@@ -1470,7 +1684,9 @@ mod tests {
             active: true,
         }];
         let f = encode_states(1, 2, &recs);
-        assert_eq!(decode_states(&f).unwrap(), (1, 2, recs));
+        let view = decode_states(&f).unwrap();
+        assert_eq!((view.run, view.step), (1, 2));
+        assert_eq!(view.records.to_vec(), recs);
     }
 
     #[test]
@@ -1567,7 +1783,9 @@ mod tests {
     fn deg_delta_roundtrip_with_negatives() {
         let deltas = vec![(5u64, -2i64, 3i64), (9, 1, -1)];
         assert_eq!(
-            decode_deg_deltas(&encode_deg_deltas(&deltas)).unwrap(),
+            decode_deg_deltas(&encode_deg_deltas(&deltas))
+                .unwrap()
+                .to_vec(),
             deltas
         );
     }
@@ -1781,9 +1999,14 @@ mod tests {
         append_vmsg(&mut c, 1, 0, 101, 2);
         append_vmsg(&mut c, 1, 1, 102, 3);
         c.flush();
-        let (_, s0, m0) = decode_vmsgs(&mb.recv().unwrap().frame).unwrap();
-        assert_eq!((s0, m0), (0, vec![(100, 1), (101, 2)]));
-        let (_, s1, m1) = decode_vmsgs(&mb.recv().unwrap().frame).unwrap();
-        assert_eq!((s1, m1), (1, vec![(102, 3)]));
+        let f0 = mb.recv().unwrap().frame;
+        let v0 = decode_vmsgs(&f0).unwrap();
+        assert_eq!(
+            (v0.step, v0.records.to_vec()),
+            (0, vec![(100, 1), (101, 2)])
+        );
+        let f1 = mb.recv().unwrap().frame;
+        let v1 = decode_vmsgs(&f1).unwrap();
+        assert_eq!((v1.step, v1.records.to_vec()), (1, vec![(102, 3)]));
     }
 }

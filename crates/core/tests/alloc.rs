@@ -1,0 +1,132 @@
+//! Pins the zero-allocation guarantee of the borrowed wire decoders:
+//! decoding a frame into a view and iterating every record must not
+//! touch the heap. A counting global allocator makes any regression —
+//! an accidental `Vec` in a decoder, a `to_vec()` on the hot path —
+//! fail loudly instead of silently costing an allocation per record.
+//!
+//! This lives in its own integration-test binary with a single `#[test]`
+//! so no sibling test thread can allocate while the counter is armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use elga_core::msg::{self, StateRecord};
+use elga_graph::types::EdgeChange;
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Run `f` with the allocation counter armed; return how many heap
+/// allocations (alloc + realloc) happened while it ran. The counter is
+/// process-global, so a concurrent harness thread can inflate a single
+/// reading — callers take the minimum over several runs.
+fn allocations_in(f: &mut impl FnMut()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// Minimum armed-allocation count over `runs` invocations of `f` —
+/// filters out unrelated allocations from other process threads.
+fn min_allocations(runs: usize, mut f: impl FnMut()) -> u64 {
+    (0..runs).map(|_| allocations_in(&mut f)).min().unwrap()
+}
+
+#[test]
+fn decode_and_iterate_allocates_nothing() {
+    const N: usize = 1024;
+    let vmsgs: Vec<(u64, u64)> = (0..N as u64).map(|i| (i, i.wrapping_mul(31))).collect();
+    let states: Vec<StateRecord> = (0..N as u64)
+        .map(|i| StateRecord {
+            vertex: i,
+            state: i ^ 0xfeed,
+            out_degree: i % 17,
+            active: i % 3 == 0,
+        })
+        .collect();
+    let changes: Vec<EdgeChange> = (0..N as u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                EdgeChange::insert(i, i + 1)
+            } else {
+                EdgeChange::delete(i, i + 1)
+            }
+        })
+        .collect();
+    let deltas: Vec<(u64, i64, i64)> = (0..N as u64).map(|i| (i, i as i64, -(i as i64))).collect();
+
+    // Encode outside the armed window — encoding allocates by design.
+    let vm = msg::encode_vmsgs(7, 3, &vmsgs);
+    let pt = msg::encode_partials(7, 3, &vmsgs);
+    let st = msg::encode_states(7, 3, &states);
+    let ec = msg::encode_edge_changes(msg::Side::Out, 1, &changes);
+    let dd = msg::encode_deg_deltas(&deltas);
+
+    // Warm up once so any lazy one-time setup isn't billed to decode.
+    let mut sum = 0u64;
+    for (v, x) in msg::decode_vmsgs(&vm).unwrap().records {
+        sum ^= v ^ x;
+    }
+    black_box(sum);
+
+    let allocs = min_allocations(8, || {
+        let mut acc = 0u64;
+        let view = msg::decode_vmsgs(&vm).unwrap();
+        for (v, x) in view.records {
+            acc = acc.wrapping_add(v ^ x);
+        }
+        let view = msg::decode_partials(&pt).unwrap();
+        for (v, x) in view.records {
+            acc = acc.wrapping_add(v.wrapping_mul(x));
+        }
+        let view = msg::decode_states(&st).unwrap();
+        for rec in view.records {
+            acc = acc.wrapping_add(rec.vertex ^ rec.state ^ rec.out_degree);
+            acc = acc.wrapping_add(rec.active as u64);
+        }
+        let view = msg::decode_edge_changes(&ec).unwrap();
+        for c in view.records {
+            acc = acc.wrapping_add(c.edge.src ^ c.edge.dst);
+        }
+        let view = msg::decode_deg_deltas(&dd).unwrap();
+        for (v, dout, din) in view {
+            acc = acc
+                .wrapping_add(v)
+                .wrapping_add(dout as u64)
+                .wrapping_add(din as u64);
+        }
+        black_box(acc);
+    });
+    assert_eq!(
+        allocs, 0,
+        "decoding and iterating {N} records of each type must not allocate"
+    );
+}

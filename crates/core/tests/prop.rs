@@ -95,6 +95,72 @@ proptest! {
         prop_assert!(msg::decode_deg_deltas(&cut(&dd)).is_none());
     }
 
+    /// A record region that is not an exact multiple of the stride is
+    /// malformed: appending 1..stride-1 trailing bytes to a valid frame
+    /// must flip every borrowed decoder to `None` (trailing bytes are
+    /// rejected, never silently ignored).
+    #[test]
+    fn decoders_reject_misaligned_trailing_bytes(
+        run in any::<u64>(),
+        step in any::<u32>(),
+        msgs in prop::collection::vec((any::<u64>(), any::<u64>()), 1..16),
+        pad in prop::collection::vec(any::<u8>(), 1..15),
+    ) {
+        use elga_graph::types::EdgeChange;
+        let extend = |frame: &Frame, n: usize| {
+            let mut bytes = frame.as_bytes().to_vec();
+            bytes.extend_from_slice(&pad[..n]);
+            Frame::from_bytes(bytes.into())
+        };
+        // Strides: vmsg/partial 16, edge-change 17, deg-delta 24.
+        let vm = msg::encode_vmsgs(run, step, &msgs);
+        prop_assert!(msg::decode_vmsgs(&extend(&vm, pad.len())).is_none());
+        let pt = msg::encode_partials(run, step, &msgs);
+        prop_assert!(msg::decode_partials(&extend(&pt, pad.len())).is_none());
+        let changes: Vec<EdgeChange> =
+            msgs.iter().map(|&(u, v)| EdgeChange::insert(u, v)).collect();
+        let ec = msg::encode_edge_changes(msg::Side::Out, 0, &changes);
+        prop_assert!(msg::decode_edge_changes(&extend(&ec, pad.len())).is_none());
+        let deltas: Vec<(u64, i64, i64)> =
+            msgs.iter().map(|&(v, d)| (v, d as i64, -1)).collect();
+        let dd = msg::encode_deg_deltas(&deltas);
+        prop_assert!(msg::decode_deg_deltas(&extend(&dd, pad.len())).is_none());
+    }
+
+    /// Borrowed views round-trip: iterating a decoded view yields the
+    /// exact records that were encoded, in order.
+    #[test]
+    fn borrowed_views_roundtrip(
+        run in any::<u64>(),
+        step in any::<u32>(),
+        msgs in prop::collection::vec((any::<u64>(), any::<u64>()), 0..64,),
+        hop in any::<u8>(),
+    ) {
+        use elga_graph::types::EdgeChange;
+        let vm = msg::encode_vmsgs(run, step, &msgs);
+        let view = msg::decode_vmsgs(&vm).unwrap();
+        prop_assert_eq!((view.run, view.step), (run, step));
+        prop_assert_eq!(view.records.len(), msgs.len());
+        prop_assert_eq!(view.records.to_vec(), msgs.clone());
+        let changes: Vec<EdgeChange> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| {
+                if i % 2 == 0 { EdgeChange::insert(u, v) } else { EdgeChange::delete(u, v) }
+            })
+            .collect();
+        let ec = msg::encode_edge_changes(msg::Side::In, hop, &changes);
+        let view = msg::decode_edge_changes(&ec).unwrap();
+        prop_assert_eq!((view.side, view.hop), (msg::Side::In, hop));
+        prop_assert_eq!(view.records.to_vec(), changes);
+        let deltas: Vec<(u64, i64, i64)> = msgs
+            .iter()
+            .map(|&(v, d)| (v, d as i64, (d as i64).wrapping_neg()))
+            .collect();
+        let dd = msg::encode_deg_deltas(&deltas);
+        prop_assert_eq!(msg::decode_deg_deltas(&dd).unwrap().to_vec(), deltas);
+    }
+
     /// READY reports round-trip exactly for arbitrary field values.
     #[test]
     fn ready_roundtrip(
@@ -155,9 +221,10 @@ proptest! {
                 active,
             })
             .collect();
-        let (r2, s2, back) =
-            msg::decode_states(&msg::encode_states(run, step, &records)).unwrap();
-        prop_assert_eq!((r2, s2), (run, step));
+        let frame = msg::encode_states(run, step, &records);
+        let view = msg::decode_states(&frame).unwrap();
+        prop_assert_eq!((view.run, view.step), (run, step));
+        let back: Vec<StateRecord> = view.records.into_iter().collect();
         prop_assert_eq!(back, records);
     }
 

@@ -196,6 +196,14 @@ pub struct FrameReader<'a> {
 }
 
 impl<'a> FrameReader<'a> {
+    /// Reader over a raw byte slice (no packet-type byte). Lets nested
+    /// encodings — a view embedded in a join reply, say — be parsed
+    /// straight from a borrowed length-prefixed field without copying
+    /// it into a fresh [`Frame`] first.
+    pub fn new(buf: &'a [u8]) -> Self {
+        FrameReader { buf }
+    }
+
     /// Read a `u8`.
     pub fn u8(&mut self) -> Option<u8> {
         let (&first, rest) = self.buf.split_first()?;

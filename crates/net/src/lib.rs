@@ -36,6 +36,7 @@ pub mod frame;
 pub mod inproc;
 pub mod reliable;
 pub mod retry;
+mod rx;
 pub mod tcp;
 pub mod transport;
 

@@ -1,0 +1,360 @@
+//! Pooled receive slabs and vectored writes for the TCP backend.
+//!
+//! The TX side already recycles build buffers through a thread-local
+//! pool (`frame::pool_take`); this module gives the RX side the same
+//! discipline. Each connection reader owns a [`RecvBuf`]: it bulk-reads
+//! the socket into a staging buffer (many wire messages per syscall),
+//! then moves the complete-message prefix — without copying it — into
+//! one shared allocation and hands each payload out as a zero-copy
+//! [`Bytes`] slice of that batch. The per-message `Vec<u8>` of the old
+//! reader is gone; allocation happens once per read batch, amortized
+//! across every message it carried.
+//!
+//! A frame retained past its batch (e.g. an agent buffering a
+//! future-phase frame) pins the whole batch allocation until it drops —
+//! that is the RX pool invalidation rule documented in DESIGN.md.
+//!
+//! On the write side, [`write_all_vectored`] gathers a whole message —
+//! or a batch of queued messages — into one `writev`, so a coalesced
+//! flush is a single syscall instead of one `write` for the header and
+//! another for the payload.
+
+use crate::transport::NetStats;
+use bytes::Bytes;
+use std::io::{self, IoSlice, Read, Write};
+use std::sync::Arc;
+
+/// Largest accepted wire message; guards against corrupt length
+/// prefixes.
+pub(crate) const MAX_WIRE_LEN: usize = 256 << 20;
+
+/// Read window per `read` syscall. Big enough to drain many coalesced
+/// frames at once without zeroing megabytes for a one-off reply.
+const READ_WINDOW: usize = 64 * 1024;
+
+/// Most slices handed to one `writev`; past this the batch is split.
+const MAX_IOV: usize = 64;
+
+/// A pooled receive buffer for one connection.
+///
+/// Wire format parsed here: `u32` little-endian length, one opcode
+/// byte, then the payload (`length` counts opcode + payload).
+pub(crate) struct RecvBuf {
+    /// Socket bytes not yet promoted to a batch: at most one partial
+    /// message plus whatever the last read appended.
+    staging: Vec<u8>,
+    /// Current batch of complete messages, shared by every payload
+    /// sliced from it.
+    batch: Bytes,
+    /// Parse offset into `batch`.
+    pos: usize,
+    stats: Option<Arc<NetStats>>,
+}
+
+impl RecvBuf {
+    pub(crate) fn new(stats: Option<Arc<NetStats>>) -> Self {
+        RecvBuf {
+            staging: Vec::new(),
+            batch: Bytes::new(),
+            pos: 0,
+            stats,
+        }
+    }
+
+    /// Read the next wire message, returning its opcode and a
+    /// zero-copy handle on its payload. Blocks (honoring the stream's
+    /// read timeout) until a full message is buffered.
+    pub(crate) fn read_msg(&mut self, stream: &mut impl Read) -> io::Result<(u8, Bytes)> {
+        if self.pos >= self.batch.len() {
+            self.refill(stream)?;
+        }
+        // The batch holds only complete, length-validated messages.
+        let head = &self.batch[self.pos..];
+        let len = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
+        let op = head[4];
+        let payload = self.batch.slice(self.pos + 5..self.pos + 4 + len);
+        self.pos += 4 + len;
+        if let Some(stats) = &self.stats {
+            stats.record_rx_pool(1, 0);
+        }
+        Ok((op, payload))
+    }
+
+    /// Read until the staging buffer holds at least one complete
+    /// message, then promote the complete prefix into a fresh shared
+    /// batch. The prefix *moves* into the batch allocation; only a
+    /// trailing partial message (if any) is copied forward.
+    fn refill(&mut self, stream: &mut impl Read) -> io::Result<()> {
+        let done = loop {
+            match complete_prefix(&self.staging)? {
+                0 => {}
+                k => break k,
+            }
+            let old = self.staging.len();
+            self.staging.resize(old + READ_WINDOW, 0);
+            match stream.read(&mut self.staging[old..]) {
+                Ok(0) => {
+                    self.staging.truncate(old);
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-message",
+                    ));
+                }
+                Ok(n) => self.staging.truncate(old + n),
+                Err(e) => {
+                    self.staging.truncate(old);
+                    return Err(e);
+                }
+            }
+        };
+        let tail = self.staging.split_off(done);
+        let prefix = std::mem::replace(&mut self.staging, tail);
+        self.batch = Bytes::from(prefix);
+        self.pos = 0;
+        if let Some(stats) = &self.stats {
+            stats.record_rx_pool(0, 1);
+        }
+        Ok(())
+    }
+}
+
+/// How many leading bytes of `buf` form whole wire messages. Validates
+/// every length prefix it can see; corrupt lengths surface here before
+/// any message from the batch is delivered.
+fn complete_prefix(buf: &[u8]) -> io::Result<usize> {
+    let mut at = 0;
+    while buf.len() - at >= 5 {
+        let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_WIRE_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad wire length",
+            ));
+        }
+        let total = 4 + len;
+        if buf.len() - at < total {
+            break;
+        }
+        at += total;
+    }
+    Ok(at)
+}
+
+/// Write every byte of every part with as few `writev` syscalls as the
+/// kernel allows. Hand-rolled partial-write handling (the std
+/// `write_all_vectored` is unstable): track a cursor of
+/// (part index, offset) and rebuild the slice table after each call.
+pub(crate) fn write_all_vectored(w: &mut impl Write, parts: &[&[u8]]) -> io::Result<()> {
+    let mut idx = 0;
+    let mut off = 0;
+    while idx < parts.len() {
+        if off >= parts[idx].len() {
+            idx += 1;
+            off = 0;
+            continue;
+        }
+        let mut iov = [IoSlice::new(&[]); MAX_IOV];
+        let mut n = 0;
+        iov[n] = IoSlice::new(&parts[idx][off..]);
+        n += 1;
+        for p in parts[idx + 1..].iter().take(MAX_IOV - 1) {
+            iov[n] = IoSlice::new(p);
+            n += 1;
+        }
+        let mut written = w.write_vectored(&iov[..n])?;
+        if written == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "failed to write whole message",
+            ));
+        }
+        while written > 0 {
+            let avail = parts[idx].len() - off;
+            if written >= avail {
+                written -= avail;
+                idx += 1;
+                off = 0;
+            } else {
+                off += written;
+                written = 0;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Wire header for one message: length prefix + opcode.
+pub(crate) fn wire_head(op: u8, payload_len: usize) -> [u8; 5] {
+    let len = (payload_len + 1) as u32;
+    let mut head = [0u8; 5];
+    head[..4].copy_from_slice(&len.to_le_bytes());
+    head[4] = op;
+    head
+}
+
+/// One message, one `writev`.
+pub(crate) fn write_msg(stream: &mut impl Write, op: u8, payload: &[u8]) -> io::Result<()> {
+    let head = wire_head(op, payload.len());
+    write_all_vectored(stream, &[&head, payload])
+}
+
+/// A batch of queued frames as one gather-write: every header and
+/// payload lands in a single `writev` (split only past [`MAX_IOV`]
+/// slices or a short kernel write).
+pub(crate) fn write_frame_batch(
+    stream: &mut impl Write,
+    op: u8,
+    frames: &[crate::frame::Frame],
+) -> io::Result<()> {
+    let heads: Vec<[u8; 5]> = frames.iter().map(|f| wire_head(op, f.len())).collect();
+    let mut parts: Vec<&[u8]> = Vec::with_capacity(frames.len() * 2);
+    for (head, frame) in heads.iter().zip(frames) {
+        parts.push(head);
+        parts.push(frame.as_bytes());
+    }
+    write_all_vectored(stream, &parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that accepts at most `cap` bytes per call, forcing the
+    /// partial-write paths.
+    struct Dribble {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            let mut left = self.cap;
+            let mut wrote = 0;
+            for b in bufs {
+                if left == 0 {
+                    break;
+                }
+                let n = b.len().min(left);
+                self.out.extend_from_slice(&b[..n]);
+                left -= n;
+                wrote += n;
+            }
+            Ok(wrote)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_survives_partial_writes() {
+        for cap in [1, 3, 7, 1000] {
+            let mut w = Dribble {
+                out: Vec::new(),
+                cap,
+            };
+            let parts: Vec<&[u8]> = vec![b"alpha", b"", b"beta", b"gamma-delta"];
+            write_all_vectored(&mut w, &parts).unwrap();
+            assert_eq!(w.out, b"alphabetagamma-delta");
+        }
+    }
+
+    #[test]
+    fn vectored_write_spills_past_max_iov() {
+        let payloads: Vec<Vec<u8>> = (0..200u8).map(|i| vec![i; 3]).collect();
+        let parts: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let mut w = Dribble {
+            out: Vec::new(),
+            cap: usize::MAX,
+        };
+        write_all_vectored(&mut w, &parts).unwrap();
+        let want: Vec<u8> = payloads.concat();
+        assert_eq!(w.out, want);
+    }
+
+    #[test]
+    fn recv_buf_reassembles_split_messages() {
+        // Two messages delivered across awkward chunk boundaries.
+        let mut wire = Vec::new();
+        write_msg(&mut wire, 1, b"hello").unwrap();
+        write_msg(&mut wire, 3, b"worlds").unwrap();
+        struct Chunked {
+            data: Vec<u8>,
+            pos: usize,
+            step: usize,
+        }
+        impl Read for Chunked {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let n = self.step.min(self.data.len() - self.pos).min(buf.len());
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        for step in [1, 2, 5, 64] {
+            let mut r = Chunked {
+                data: wire.clone(),
+                pos: 0,
+                step,
+            };
+            let mut rb = RecvBuf::new(None);
+            let (op, payload) = rb.read_msg(&mut r).unwrap();
+            assert_eq!((op, &payload[..]), (1, &b"hello"[..]));
+            let (op, payload) = rb.read_msg(&mut r).unwrap();
+            assert_eq!((op, &payload[..]), (3, &b"worlds"[..]));
+            // Stream exhausted mid-nothing: next read reports EOF.
+            assert_eq!(
+                rb.read_msg(&mut r).unwrap_err().kind(),
+                io::ErrorKind::UnexpectedEof
+            );
+        }
+    }
+
+    #[test]
+    fn recv_buf_rejects_bad_lengths() {
+        for bad in [0u32, (MAX_WIRE_LEN as u32) + 1] {
+            let mut wire = bad.to_le_bytes().to_vec();
+            wire.extend_from_slice(&[0u8; 8]);
+            let mut rb = RecvBuf::new(None);
+            let err = rb.read_msg(&mut &wire[..]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+    }
+
+    #[test]
+    fn recv_buf_amortizes_allocation_across_a_batch() {
+        // 64 messages arriving back-to-back must be served out of a
+        // handful of batch allocations (hits), not one alloc each.
+        let mut wire = Vec::new();
+        for i in 0..64u64 {
+            write_msg(&mut wire, 1, &i.to_le_bytes()).unwrap();
+        }
+        let stats = Arc::new(NetStats::new());
+        let mut rb = RecvBuf::new(Some(stats.clone()));
+        let mut cursor = &wire[..];
+        let mut payloads = Vec::new();
+        for i in 0..64u64 {
+            let (op, payload) = rb.read_msg(&mut cursor).unwrap();
+            assert_eq!(op, 1);
+            assert_eq!(&payload[..], &i.to_le_bytes());
+            payloads.push(payload);
+        }
+        // Payloads from one batch share a single allocation: the Bytes
+        // views are contiguous slices of the same region.
+        assert_eq!(
+            unsafe { payloads[0].as_ptr().add(13) },
+            payloads[1].as_ptr()
+        );
+        let (hits, misses) = stats.rx_pool();
+        assert_eq!(hits, 64, "every message is a pool hit");
+        assert!(
+            misses <= 2,
+            "batch allocations must be amortized (got {misses} misses)"
+        );
+    }
+}

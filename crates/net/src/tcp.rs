@@ -19,14 +19,13 @@
 
 use crate::addr::Addr;
 use crate::frame::Frame;
+use crate::rx::{write_frame_batch, write_msg, RecvBuf};
 use crate::transport::{
     Delivery, Mailbox, NetError, NetStats, Outbox, Publisher, ReplyHandle, ReplyRoute, Transport,
 };
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
@@ -36,35 +35,29 @@ const OP_REQ: u8 = 2;
 const OP_REP: u8 = 3;
 const OP_SUB: u8 = 4;
 
-/// Largest accepted wire message; guards against corrupt length
-/// prefixes.
-const MAX_WIRE_LEN: usize = 256 << 20;
+/// Most frames gathered into one `writev` by a writer thread. Bounds
+/// the slice table while still letting a burst of queued flushes leave
+/// in a single syscall.
+const WRITE_BATCH: usize = 32;
 
-fn write_msg(stream: &mut TcpStream, op: u8, payload: &[u8]) -> std::io::Result<()> {
-    let len = (payload.len() + 1) as u32;
-    let mut head = [0u8; 5];
-    head[..4].copy_from_slice(&len.to_le_bytes());
-    head[4] = op;
-    stream.write_all(&head)?;
-    stream.write_all(payload)
-}
-
-fn read_msg(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
-    // Read length + opcode as one 5-byte header so the payload lands
-    // directly in its final buffer (no O(n) shift to peel the opcode).
-    let mut head = [0u8; 5];
-    stream.read_exact(&mut head)?;
-    let len = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
-    if len == 0 || len > MAX_WIRE_LEN {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "bad wire length",
-        ));
+/// Drain `rx` and write everything queued as gather-batches until the
+/// channel closes or the peer goes away.
+fn run_writer(mut stream: TcpStream, rx: Receiver<Frame>, op: u8, what: &str, peer: &str) {
+    let mut batch: Vec<Frame> = Vec::with_capacity(WRITE_BATCH);
+    while let Ok(frame) = rx.recv() {
+        batch.push(frame);
+        while batch.len() < WRITE_BATCH {
+            match rx.try_recv() {
+                Ok(f) => batch.push(f),
+                Err(_) => break,
+            }
+        }
+        if let Err(e) = write_frame_batch(&mut stream, op, &batch) {
+            log_conn_error(what, peer, &e);
+            return;
+        }
+        batch.clear();
     }
-    let op = head[4];
-    let mut buf = vec![0u8; len - 1];
-    stream.read_exact(&mut buf)?;
-    Ok((op, buf))
 }
 
 /// Connection teardowns that are part of normal peer lifecycle; not
@@ -89,10 +82,17 @@ fn log_conn_error(what: &str, peer: &str, e: &std::io::Error) {
     }
 }
 
+/// A cached REQ connection: the socket plus its receive slab (replies
+/// may straddle reads, so the slab must persist across requests).
+struct ReqConn {
+    stream: TcpStream,
+    rbuf: RecvBuf,
+}
+
 /// TCP backend. Keeps a cache of REQ connections per peer.
 #[derive(Default)]
 pub struct TcpTransport {
-    req_conns: Mutex<HashMap<SocketAddr, std::sync::Arc<Mutex<Option<TcpStream>>>>>,
+    req_conns: Mutex<HashMap<SocketAddr, std::sync::Arc<Mutex<Option<ReqConn>>>>>,
     stats: Arc<NetStats>,
 }
 
@@ -116,13 +116,14 @@ impl TcpTransport {
 
 /// Serve one inbound connection on a bound PULL/REP endpoint: PUSH
 /// frames go to the mailbox; REQ frames carry a reply handle routed to
-/// this connection's writer thread.
-fn serve_conn(mut stream: TcpStream, inbox: Sender<Delivery>) {
+/// this connection's writer thread. Payloads are split zero-copy off a
+/// pooled receive slab, never copied into fresh `Vec<u8>`s.
+fn serve_conn(mut stream: TcpStream, inbox: Sender<Delivery>, stats: Arc<NetStats>) {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "<unknown>".into());
-    let mut writer = match stream.try_clone() {
+    let writer = match stream.try_clone() {
         Ok(w) => w,
         Err(e) => {
             log_conn_error("clone stream", &peer, &e);
@@ -131,16 +132,10 @@ fn serve_conn(mut stream: TcpStream, inbox: Sender<Delivery>) {
     };
     let (rep_tx, rep_rx) = unbounded::<Frame>();
     let writer_peer = peer.clone();
-    std::thread::spawn(move || {
-        while let Ok(frame) = rep_rx.recv() {
-            if let Err(e) = write_msg(&mut writer, OP_REP, frame.as_bytes()) {
-                log_conn_error("write reply", &writer_peer, &e);
-                break;
-            }
-        }
-    });
+    std::thread::spawn(move || run_writer(writer, rep_rx, OP_REP, "write reply", &writer_peer));
+    let mut rbuf = RecvBuf::new(Some(stats));
     loop {
-        let (op, payload) = match read_msg(&mut stream) {
+        let (op, payload) = match rbuf.read_msg(&mut stream) {
             Ok(msg) => msg,
             Err(e) => {
                 log_conn_error("read", &peer, &e);
@@ -150,7 +145,7 @@ fn serve_conn(mut stream: TcpStream, inbox: Sender<Delivery>) {
         if payload.is_empty() {
             break; // frames must carry a packet type
         }
-        let frame = Frame::from_bytes(Bytes::from(payload));
+        let frame = Frame::from_bytes(payload);
         let delivery = match op {
             OP_PUSH => Delivery::push(frame),
             OP_REQ => Delivery {
@@ -173,11 +168,13 @@ impl Transport for TcpTransport {
         let listener = TcpListener::bind(sock)?;
         let local = listener.local_addr()?;
         let (tx, rx) = unbounded();
+        let stats = self.stats.clone();
         std::thread::spawn(move || {
             for stream in listener.incoming().flatten() {
                 let _ = stream.set_nodelay(true);
                 let inbox = tx.clone();
-                std::thread::spawn(move || serve_conn(stream, inbox));
+                let stats = stats.clone();
+                std::thread::spawn(move || serve_conn(stream, inbox, stats));
             }
         });
         Ok(Mailbox {
@@ -194,11 +191,22 @@ impl Transport for TcpTransport {
         let (tx, rx) = unbounded::<Delivery>();
         let peer = sock.to_string();
         std::thread::spawn(move || {
+            // Gather everything queued behind a send into one writev:
+            // a coalesced flush (or a burst of them) is one syscall.
+            let mut batch: Vec<Frame> = Vec::with_capacity(WRITE_BATCH);
             while let Ok(d) = rx.recv() {
-                if let Err(e) = write_msg(&mut stream, OP_PUSH, d.frame.as_bytes()) {
+                batch.push(d.frame);
+                while batch.len() < WRITE_BATCH {
+                    match rx.try_recv() {
+                        Ok(d) => batch.push(d.frame),
+                        Err(_) => break,
+                    }
+                }
+                if let Err(e) = write_frame_batch(&mut stream, OP_PUSH, &batch) {
                     log_conn_error("write push", &peer, &e);
                     break;
                 }
+                batch.clear();
             }
         });
         Ok(Outbox {
@@ -214,16 +222,19 @@ impl Transport for TcpTransport {
         if guard.is_none() {
             let s = TcpStream::connect(sock)?;
             s.set_nodelay(true)?;
-            *guard = Some(s);
+            *guard = Some(ReqConn {
+                stream: s,
+                rbuf: RecvBuf::new(Some(self.stats.clone())),
+            });
         }
-        let Some(stream) = guard.as_mut() else {
+        let Some(conn) = guard.as_mut() else {
             return Err(NetError::Disconnected);
         };
-        stream.set_read_timeout(Some(timeout))?;
+        conn.stream.set_read_timeout(Some(timeout))?;
         self.stats.record_sent(frame.packet_type(), frame.len());
         let outcome = (|| -> Result<Frame, NetError> {
-            write_msg(stream, OP_REQ, frame.as_bytes())?;
-            let (op, payload) = read_msg(stream).map_err(|e| {
+            write_msg(&mut conn.stream, OP_REQ, frame.as_bytes())?;
+            let (op, payload) = conn.rbuf.read_msg(&mut conn.stream).map_err(|e| {
                 if matches!(
                     e.kind(),
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
@@ -236,7 +247,7 @@ impl Transport for TcpTransport {
             if op != OP_REP || payload.is_empty() {
                 return Err(NetError::Protocol("expected REP frame"));
             }
-            Ok(Frame::from_bytes(Bytes::from(payload)))
+            Ok(Frame::from_bytes(payload))
         })();
         if outcome.is_err() {
             // Drop the connection: a timed-out REQ would otherwise
@@ -259,7 +270,7 @@ impl Transport for TcpTransport {
                 let subs = accept_subs.clone();
                 std::thread::spawn(move || {
                     // First message must be a subscription.
-                    let Ok((OP_SUB, topics)) = read_msg(&mut stream) else {
+                    let Ok((OP_SUB, topics)) = RecvBuf::new(None).read_msg(&mut stream) else {
                         return;
                     };
                     let peer = stream
@@ -267,13 +278,8 @@ impl Transport for TcpTransport {
                         .map(|a| a.to_string())
                         .unwrap_or_else(|_| "<unknown>".into());
                     let (tx, rx) = unbounded::<Frame>();
-                    subs.lock().push((topics, tx));
-                    while let Ok(frame) = rx.recv() {
-                        if let Err(e) = write_msg(&mut stream, OP_PUSH, frame.as_bytes()) {
-                            log_conn_error("write publication", &peer, &e);
-                            break;
-                        }
-                    }
+                    subs.lock().push((topics.to_vec(), tx));
+                    run_writer(stream, rx, OP_PUSH, "write publication", &peer);
                 });
             }
         });
@@ -310,21 +316,23 @@ impl Transport for TcpTransport {
         let (tx, rx) = unbounded();
         let local = Addr::Tcp(stream.local_addr()?);
         let peer = sock.to_string();
-        std::thread::spawn(move || loop {
-            let payload = match read_msg(&mut stream) {
-                Ok((OP_PUSH, payload)) => payload,
-                Ok(_) => break, // publishers only ever push
-                Err(e) => {
-                    log_conn_error("read subscription", &peer, &e);
+        let stats = self.stats.clone();
+        std::thread::spawn(move || {
+            let mut rbuf = RecvBuf::new(Some(stats));
+            loop {
+                let payload = match rbuf.read_msg(&mut stream) {
+                    Ok((OP_PUSH, payload)) => payload,
+                    Ok(_) => break, // publishers only ever push
+                    Err(e) => {
+                        log_conn_error("read subscription", &peer, &e);
+                        break;
+                    }
+                };
+                if payload.is_empty()
+                    || tx.send(Delivery::push(Frame::from_bytes(payload))).is_err()
+                {
                     break;
                 }
-            };
-            if payload.is_empty()
-                || tx
-                    .send(Delivery::push(Frame::from_bytes(Bytes::from(payload))))
-                    .is_err()
-            {
-                break;
             }
         });
         Ok(Mailbox {

@@ -24,6 +24,8 @@ struct PacketCounter {
 pub struct NetStats {
     sent: [PacketCounter; 256],
     recv: [PacketCounter; 256],
+    rx_pool_hits: AtomicU64,
+    rx_pool_misses: AtomicU64,
 }
 
 impl Default for NetStats {
@@ -31,6 +33,8 @@ impl Default for NetStats {
         NetStats {
             sent: std::array::from_fn(|_| PacketCounter::default()),
             recv: std::array::from_fn(|_| PacketCounter::default()),
+            rx_pool_hits: AtomicU64::new(0),
+            rx_pool_misses: AtomicU64::new(0),
         }
     }
 }
@@ -51,6 +55,37 @@ impl NetStats {
         let c = &self.sent[packet_type as usize];
         c.frames.fetch_add(copies, Ordering::Relaxed);
         c.bytes.fetch_add(bytes as u64 * copies, Ordering::Relaxed);
+    }
+
+    /// Fold in RX slab accounting from a receive loop: `hits` messages
+    /// parsed out of already-reserved slab capacity, `misses` that
+    /// forced the slab to grow (or re-reserve after frames pinned it).
+    pub fn record_rx_pool(&self, hits: u64, misses: u64) {
+        if hits != 0 {
+            self.rx_pool_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses != 0 {
+            self.rx_pool_misses.fetch_add(misses, Ordering::Relaxed);
+        }
+    }
+
+    /// `(hits, misses)` of the RX slab pool across all receive loops.
+    pub fn rx_pool(&self) -> (u64, u64) {
+        (
+            self.rx_pool_hits.load(Ordering::Relaxed),
+            self.rx_pool_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Take the RX pool counters, resetting them to zero. Lets exactly
+    /// one consumer claim transport-level counts even when several
+    /// agents share one transport — each drained hit/miss is
+    /// attributed once cluster-wide.
+    pub fn drain_rx_pool(&self) -> (u64, u64) {
+        (
+            self.rx_pool_hits.swap(0, Ordering::Relaxed),
+            self.rx_pool_misses.swap(0, Ordering::Relaxed),
+        )
     }
 
     /// Count one received frame of `packet_type`.

@@ -11,10 +11,15 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
-/// An immutable byte buffer; clones share the underlying storage.
+/// An immutable byte buffer; clones share the underlying storage. A
+/// `Bytes` may view a sub-range of its allocation ([`Bytes::slice`]),
+/// so many wire messages carved out of one receive slab share a single
+/// `Arc` without copying.
 #[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -25,38 +30,66 @@ impl Bytes {
 
     /// A buffer owning a copy of `slice`.
     pub fn copy_from_slice(slice: &[u8]) -> Self {
-        Bytes {
-            data: Arc::new(slice.to_vec()),
-        }
+        Bytes::from(slice.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// True when the buffer holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
+    }
+
+    /// A zero-copy view of `range` (relative to this view) sharing the
+    /// same allocation.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or reversed.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::new(v) }
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -146,9 +179,7 @@ impl BytesMut {
 
     /// Convert into an immutable shared [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes {
-            data: Arc::new(self.buf),
-        }
+        Bytes::from(self.buf)
     }
 
     /// Append a byte slice.
@@ -238,6 +269,27 @@ mod tests {
         let c = b.clone();
         assert_eq!(b.as_ptr(), c.as_ptr());
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn slices_share_storage_and_nest() {
+        let b = Bytes::from((0u8..32).collect::<Vec<_>>());
+        let mid = b.slice(8..24);
+        assert_eq!(mid.len(), 16);
+        assert_eq!(mid[0], 8);
+        assert_eq!(mid.as_ptr(), unsafe { b.as_ptr().add(8) });
+        // Sub-slicing is relative to the view, not the allocation.
+        let inner = mid.slice(4..=7);
+        assert_eq!(&inner[..], &[12, 13, 14, 15]);
+        let all = mid.slice(..);
+        assert_eq!(all, mid);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_rejects_overrun() {
+        let b = Bytes::from(vec![0u8; 4]);
+        let _ = b.slice(2..8);
     }
 
     #[test]
