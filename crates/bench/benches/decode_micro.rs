@@ -63,6 +63,7 @@ fn vec_decode_states(frame: &Frame) -> Option<(u64, u32, Vec<StateRecord>)> {
             vertex: r.u64()?,
             state: r.u64()?,
             out_degree: r.u64()?,
+            aux: r.u64()?,
             active: r.u8()? != 0,
         });
     }
@@ -165,6 +166,7 @@ fn bench_states() -> Pair {
                     vertex: i * RECS as u64 + j,
                     state: j ^ 0xfeed,
                     out_degree: j % 31,
+                    aux: 0,
                     active: j % 3 == 0,
                 })
                 .collect();

@@ -389,12 +389,7 @@ fn coordinator() {
             m_last = m;
         }
         let (rate, _) = mean_ci(&rates);
-        let (hits, misses) = (m_last.comms.rx_pool_hits, m_last.comms.rx_pool_misses);
-        let hit_rate = if hits + misses == 0 {
-            0.0
-        } else {
-            hits as f64 / (hits + misses) as f64
-        };
+        let hit_rate = m_last.comms.rx_pool_hit_rate();
         println!(
             "{:>7} {:>10} {:>10} {:>16.0} {:>11.1}% {:>14.2}",
             agents,

@@ -73,9 +73,11 @@ impl Agent {
     }
 
     /// Snapshot every vertex entry this agent holds. Run-state fields
-    /// (partials, async waiting sets) are intentionally dropped:
-    /// checkpoints are taken only at quiesced batch boundaries, where
-    /// that state is vacant.
+    /// (partials, async waiting sets, replica pending deltas) are
+    /// intentionally dropped: checkpoints are taken only at quiesced
+    /// batch boundaries, where that state is vacant. Parked residuals
+    /// are NOT run state — they persist across batches — so they ride
+    /// the record and survive recovery.
     fn checkpoint_records(&self) -> Vec<CkptVertexRecord> {
         let mut records = Vec::with_capacity(self.vertices.len());
         for (&v, e) in self.vertices.iter() {
@@ -89,6 +91,8 @@ impl Agent {
                 dirty: e.dirty,
                 g_out: e.g_out,
                 g_in: e.g_in,
+                residual: e.residual,
+                has_residual: e.has_residual,
                 out: e.out.clone(),
                 inn: e.inn.clone(),
             });
@@ -150,6 +154,20 @@ impl Agent {
                 e.state = m.state;
                 e.has_state = true;
                 e.rep_out_degree = e.rep_out_degree.max(m.g_out.max(0) as u64);
+            }
+            if m.has_residual {
+                // At most one shard carried this vertex's primary
+                // entry, but merge defensively like `on_mig_meta` in
+                // case a correction landed before restore finished.
+                e.residual = if e.has_residual {
+                    match self.delta_seed.as_ref() {
+                        Some(s) => s.program.merge_residual(e.residual, m.residual),
+                        None => (f64::from_bits(e.residual) + f64::from_bits(m.residual)).to_bits(),
+                    }
+                } else {
+                    m.residual
+                };
+                e.has_residual = true;
             }
         }
     }

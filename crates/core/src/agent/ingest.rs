@@ -91,6 +91,7 @@ impl Agent {
     ) {
         let mut forwards: FxHashMap<AgentId, Vec<EdgeChange>> = FxHashMap::default();
         let mut deltas: FxHashMap<VertexId, (i64, i64)> = FxHashMap::default();
+        let mut residuals: FxHashMap<AgentId, Vec<(VertexId, u64)>> = FxHashMap::default();
         self.route_cache.ensure_epoch(self.view.epoch);
         for change in changes {
             let (u, v) = (change.edge.src, change.edge.dst);
@@ -139,6 +140,32 @@ impl Agent {
             };
             if applied {
                 self.metrics.changes += 1;
+                // Residual correction (delta engine): the out-placement
+                // holder of `(u, v)` knows the share `d·p_u/D_u` this
+                // edge carries and tells `v`'s primary to gain (insert)
+                // or lose (delete) it. The local `(state,
+                // rep_out_degree)` pair is exact even when stale: the
+                // primary's degree rescale keeps every edge's share
+                // invariant, so any broadcast-consistent pair yields
+                // the same share.
+                if side == Side::Out {
+                    if let Some(seed) = &self.delta_seed {
+                        if let Some(e) = self.vertices.get(&u) {
+                            if e.has_state {
+                                if let Some(delta) = seed.program.edge_change_residual(
+                                    u,
+                                    e.state,
+                                    e.rep_out_degree,
+                                    change.action == Action::Insert,
+                                ) {
+                                    if let Some(primary) = self.locator.ring().owner(v) {
+                                        residuals.entry(primary).or_default().push((v, delta));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
         let coalescing = self.cfg.coalescing;
@@ -182,7 +209,65 @@ impl Agent {
                 }
             }
         }
+        // Residual corrections ride the same chg_* counter class as
+        // the changes that caused them, so the ingest barrier settles
+        // only once every correction landed.
+        for (agent, rs) in residuals {
+            self.counters.chg_sent += rs.len() as u64;
+            if coalescing {
+                self.with_outbox(agent, |out| {
+                    for &(w, d) in &rs {
+                        msg::append_residual(out, w, d);
+                    }
+                });
+            } else {
+                for chunk in rs.chunks(BATCH) {
+                    let frame = msg::encode_residuals(chunk);
+                    self.push_to(agent, frame);
+                }
+            }
+        }
         self.metrics.edges = self.out_pos.len() as u64;
+        self.re_report();
+    }
+
+    /// Merge residual corrections into their vertices (at the
+    /// primary). The program that defines the merge is the armed delta
+    /// seed; without one (e.g. a correction straggling past a recovery
+    /// reset) the values are summed as f64 bits — the encoding every
+    /// residual program in this workspace uses.
+    pub(super) fn apply_residuals(&mut self, recs: impl IntoIterator<Item = (VertexId, u64)>) {
+        let program = self.delta_seed.as_ref().map(|s| Arc::clone(&s.program));
+        for (v, delta) in recs {
+            let e = self.vertices.entry_or_default(v);
+            e.residual = if e.has_residual {
+                match &program {
+                    Some(p) => p.merge_residual(e.residual, delta),
+                    None => (f64::from_bits(e.residual) + f64::from_bits(delta)).to_bits(),
+                }
+            } else {
+                delta
+            };
+            e.has_residual = true;
+        }
+    }
+
+    pub(super) fn on_residual(&mut self, frame: Frame) {
+        let n = match msg::decode_residuals(&frame) {
+            Some(recs) => recs.len() as u64,
+            None => return,
+        };
+        // Counted on arrival even when buffered, like edge changes:
+        // the sender's chg_sent is already in the barrier sums.
+        self.counters.chg_recv += n;
+        if self.run.is_some() {
+            self.buffered_changes.push(frame);
+            return;
+        }
+        let Some(recs) = msg::decode_residuals(&frame) else {
+            return;
+        };
+        self.apply_residuals(recs);
         self.re_report();
     }
 
@@ -191,8 +276,30 @@ impl Agent {
             return;
         };
         self.counters.chg_recv += deltas.len() as u64;
+        let program = self.delta_seed.as_ref().map(|s| Arc::clone(&s.program));
         for (v, dout, din) in deltas {
             let e = self.vertices.entry_or_default(v);
+            // Residual correction (delta engine): an out-degree change
+            // rescales the primary's value so every surviving edge's
+            // share is unchanged; the rescale remainder moves into the
+            // residual. Updating `rep_out_degree` alongside keeps this
+            // entry's own share pair consistent for later batches.
+            if dout != 0 && e.has_state {
+                if let Some(p) = &program {
+                    let d0 = e.g_out.max(0) as u64;
+                    let d1 = (e.g_out + dout).max(0) as u64;
+                    if let Some((new_state, radj)) = p.rescale_on_degree_change(e.state, d0, d1) {
+                        e.state = new_state;
+                        e.residual = if e.has_residual {
+                            p.merge_residual(e.residual, radj)
+                        } else {
+                            radj
+                        };
+                        e.has_residual = true;
+                        e.rep_out_degree = d1;
+                    }
+                }
+            }
             e.g_out += dout;
             e.g_in += din;
             e.dirty = true;
@@ -202,6 +309,8 @@ impl Agent {
                 e.has_state = false;
                 e.active = false;
                 e.dirty = false;
+                e.residual = 0;
+                e.has_residual = false;
                 if e.is_empty() {
                     self.vertices.remove(&v);
                 }

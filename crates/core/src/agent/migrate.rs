@@ -149,6 +149,14 @@ impl Agent {
                         vertex: v,
                         state: e.state,
                         out_degree: e.rep_out_degree,
+                        // A delta run's un-scattered pending delta moves
+                        // with the edge slice so the new owner pushes it
+                        // for the migrated edges (aux == 0 = none).
+                        aux: if e.has_pending_delta {
+                            e.pending_delta
+                        } else {
+                            0
+                        },
                         active: e.active,
                     },
                     e.has_state,
@@ -192,7 +200,8 @@ impl Agent {
             // meta record does (messages beat the meta to a previous
             // primary). `has_meta` tells the receiver which parts of
             // the record to adopt.
-            if (e.is_meta || e.has_ppartial || e.wait_recv > 0) && !is_primary_now {
+            if (e.is_meta || e.has_ppartial || e.wait_recv > 0 || e.has_residual) && !is_primary_now
+            {
                 let meta = MetaRecord {
                     vertex: v,
                     state: e.state,
@@ -204,6 +213,8 @@ impl Agent {
                     ppartial: e.ppartial,
                     has_ppartial: e.has_ppartial,
                     wait_recv: e.wait_recv,
+                    residual: e.residual,
+                    has_residual: e.has_residual,
                 };
                 // g_in travels via a degree delta piggybacked in the
                 // meta record's move: encode as a second meta with the
@@ -221,6 +232,7 @@ impl Agent {
                                 vertex: v,
                                 state: g_in as u64,
                                 out_degree: 0,
+                                aux: 0,
                                 active: false,
                             },
                             false,
@@ -235,6 +247,8 @@ impl Agent {
                 e.has_ppartial = false;
                 e.ppartial = 0;
                 e.wait_recv = 0;
+                e.residual = 0;
+                e.has_residual = false;
             }
             if self.vertices.get(&v).is_some_and(|e| e.is_empty()) {
                 self.vertices.remove(&v);
@@ -294,6 +308,14 @@ impl Agent {
             // first through a MIG_META (scatter shares divide by it).
             e.rep_out_degree = e.rep_out_degree.max(snap.out_degree);
         }
+        if snap.aux != 0 && !e.has_pending_delta {
+            // Un-scattered delta moving with the edge slice. If we
+            // already hold the same broadcast (has_pending_delta), our
+            // copy covers the migrated-in edges too — adopting again
+            // would double-push.
+            e.pending_delta = snap.aux;
+            e.has_pending_delta = true;
+        }
         match side {
             Side::Out => {
                 for (a, b) in edges {
@@ -318,6 +340,11 @@ impl Agent {
         self.tracer
             .instant(EventKind::MigrateRecv, metas.len() as u64, 0);
         let program = self.run.as_ref().map(|r| r.program.clone());
+        // Residuals merge with the residual program's own rule; the
+        // armed delta seed covers the between-runs window.
+        let merger = program
+            .clone()
+            .or_else(|| self.delta_seed.as_ref().map(|s| Arc::clone(&s.program)));
         for m in metas {
             let e = self.vertices.entry_or_default(m.vertex);
             if m.has_meta {
@@ -347,6 +374,17 @@ impl Agent {
                 }
                 e.wait_recv += m.wait_recv;
             }
+            if m.has_residual {
+                e.residual = if e.has_residual {
+                    match &merger {
+                        Some(p) => p.merge_residual(e.residual, m.residual),
+                        None => (f64::from_bits(e.residual) + f64::from_bits(m.residual)).to_bits(),
+                    }
+                } else {
+                    m.residual
+                };
+                e.has_residual = true;
+            }
         }
         self.re_report();
     }
@@ -368,6 +406,7 @@ fn encode_mig_edges(
         .u64(snap.vertex)
         .u64(snap.state)
         .u64(snap.out_degree)
+        .u64(snap.aux)
         .u8(snap.active as u8)
         .u8(has_state as u8)
         .u64(if edges.is_empty() && !has_state {
@@ -396,6 +435,7 @@ fn decode_mig_edges(frame: &Frame) -> Option<DecodedMigEdges> {
     let vertex = r.u64()?;
     let state = r.u64()?;
     let out_degree = r.u64()?;
+    let aux = r.u64()?;
     let active = r.u8()? != 0;
     let has_state = r.u8()? != 0;
     let g_in_delta = r.u64()? as i64;
@@ -410,6 +450,7 @@ fn decode_mig_edges(frame: &Frame) -> Option<DecodedMigEdges> {
             vertex,
             state,
             out_degree,
+            aux,
             active,
         },
         has_state,
@@ -428,6 +469,7 @@ mod tests {
             vertex: 5,
             state: 42,
             out_degree: 3,
+            aux: 0.25f64.to_bits(),
             active: true,
         };
         let edges = vec![(5u64, 6u64), (5, 7)];
@@ -446,6 +488,7 @@ mod tests {
             vertex: 9,
             state: 7, // the in-degree delta
             out_degree: 0,
+            aux: 0,
             active: false,
         };
         let f = encode_mig_edges(Side::Out, &snap, false, &[]);

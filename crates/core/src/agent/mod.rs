@@ -52,7 +52,7 @@ use crate::msg::{
     self, packet, Counters, DirectoryView, MetaRecord, Phase, ReadyReport, RunInfo, Side,
     StateRecord,
 };
-use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
+use crate::program::{DeltaKind, ProgramSpec, VertexCtx, VertexProgram};
 use crate::store::{Shard, VertexStore, SHARDS};
 use elga_graph::types::{Action, EdgeChange, VertexId};
 use elga_hash::{AgentId, EdgeLocator, FxHashMap, FxHashSet, OwnerCache};
@@ -106,6 +106,17 @@ pub(crate) struct VertexEntry {
     pub(crate) is_meta: bool,
     /// Primary-only: touched by changes since the last run.
     pub(crate) dirty: bool,
+    /// Primary-only: unapplied residual of the incremental (delta)
+    /// formulation. Accumulated by ingest-time corrections between
+    /// runs, folded into `state` during a delta run, and carried across
+    /// runs when it stays below the program's tolerance.
+    pub(crate) residual: u64,
+    pub(crate) has_residual: bool,
+    /// Replica-side: the applied delta broadcast by the primary in the
+    /// last STATE record, to be pushed along local out-edges at the
+    /// next scatter. Transient within a sync delta superstep.
+    pub(crate) pending_delta: u64,
+    pub(crate) has_pending_delta: bool,
 }
 
 impl VertexEntry {
@@ -116,6 +127,8 @@ impl VertexEntry {
             && !self.has_state
             && !self.has_partial
             && !self.has_ppartial
+            && !self.has_residual
+            && !self.has_pending_delta
     }
 }
 
@@ -137,6 +150,18 @@ struct AgentRun {
     /// processed — buffering them would strand counted sends and wedge
     /// the barrier's settled-counters check.
     paused: bool,
+}
+
+/// What the agent remembers about the last residual-capable program
+/// between runs, so ingest-time corrections can be computed while no
+/// run is in flight (that is exactly when batches are applied).
+pub(crate) struct DeltaSeed {
+    /// The residual program (its `merge_residual`,
+    /// `rescale_on_degree_change`, `edge_change_residual` hooks).
+    pub(crate) program: Arc<dyn VertexProgram>,
+    /// `n_vertices` the last run converged under; 0 = unknown (no run
+    /// finished yet), in which case the teleport reseed is skipped.
+    pub(crate) n: u64,
 }
 
 /// One ElGA agent. Spawned on its own thread by the cluster driver.
@@ -176,6 +201,18 @@ pub struct Agent {
     counters: Counters,
     metrics: AgentMetrics,
     run: Option<AgentRun>,
+    /// Armed by `begin_run` for residual-kind programs and kept after
+    /// the run finishes: between runs, ingest uses it to turn edge
+    /// changes into residual corrections (§ DESIGN.md "Incremental
+    /// execution"). Cleared by recovery resets and non-residual runs.
+    delta_seed: Option<DeltaSeed>,
+    /// Primaries whose residual absorbed an async push since the last
+    /// mailbox drain. Folding once per drain (instead of per arrival)
+    /// batches every queued push to a vertex into one apply+broadcast —
+    /// without it, tight tolerances turn the event-driven path into one
+    /// broadcast per message and the run's cost explodes from O(E) per
+    /// effective round toward the number of residual-carrying walks.
+    delta_hot: FxHashSet<VertexId>,
     /// Changes received while a run was active (§3.4: "While a batch is
     /// running, the graph does not change: any edge changes are
     /// buffered").
@@ -300,6 +337,8 @@ impl Agent {
                 ..Default::default()
             },
             run: None,
+            delta_seed: None,
+            delta_hot: FxHashSet::default(),
             buffered_changes: Vec::new(),
             buffered_frames: Vec::new(),
             reported: None,
@@ -391,6 +430,7 @@ impl Agent {
             packet::STATE => self.timed_data_plane(frame, Self::on_state),
             packet::EDGE_CHANGES => self.timed_data_plane(frame, Self::on_changes),
             packet::DEG_DELTA => self.timed_data_plane(frame, Self::on_deg_delta),
+            packet::RESIDUAL => self.timed_data_plane(frame, Self::on_residual),
             packet::MIG_EDGES => self.on_mig_edges(frame),
             packet::MIG_META => self.on_mig_meta(frame),
             packet::CKPT_SAVE => self.on_ckpt_save(&frame, d.reply),
@@ -518,7 +558,10 @@ impl Agent {
         for (&v, e) in self.vertices.iter() {
             if e.is_meta && self.is_primary(v) {
                 n_primary += 1;
-                if e.has_state {
+                // Delta runs move mass only through residual pushes;
+                // the global term (PageRank's dangling mass) is not
+                // part of the residual invariant, so suppress it.
+                if e.has_state && !run.info.delta {
                     let ctx = VertexCtx {
                         out_degree: e.g_out.max(0) as u64,
                         in_degree: e.g_in.max(0) as u64,
@@ -547,14 +590,33 @@ impl Agent {
                 e.has_state = false;
                 e.state = 0;
                 e.active = false;
+                e.residual = 0;
+                e.has_residual = false;
             }
         }
         for e in self.vertices.values_mut() {
             e.has_partial = false;
             e.has_ppartial = false;
             e.wait_recv = 0;
+            e.pending_delta = 0;
+            e.has_pending_delta = false;
         }
+        // Remember the residual program across the run so ingest can
+        // turn the next batch's edge changes into corrections. The
+        // previous seed's `n` survives for the same program: it is the
+        // vertex count the carried-over residuals were computed under,
+        // needed for the step-0 teleport reseed.
+        self.delta_seed = if program.delta_kind() == DeltaKind::Residual {
+            let prev_n = self.delta_seed.as_ref().map_or(0, |s| s.n);
+            Some(DeltaSeed {
+                program: Arc::clone(&program),
+                n: prev_n,
+            })
+        } else {
+            None
+        };
         self.vertices.clear_partial_dirty();
+        self.delta_hot.clear();
         self.buffered_frames.clear();
         self.run = Some(AgentRun {
             info,
@@ -652,7 +714,16 @@ impl Agent {
     }
 
     fn finish_run(&mut self) {
+        // Pin the vertex count the surviving residuals were computed
+        // under: the next run's step-0 reseed shifts the teleport term
+        // if the count moved. 0 stays "unknown" (reseed skipped).
+        if let (Some(run), Some(seed)) = (self.run.as_ref(), self.delta_seed.as_mut()) {
+            if run.n_vertices != 0 {
+                seed.n = run.n_vertices;
+            }
+        }
         self.run = None;
+        self.delta_hot.clear();
         self.reported = None;
         self.reported_counters = None;
         // Apply the changes that were buffered during the run. Their
@@ -660,8 +731,17 @@ impl Agent {
         // directly so they are not counted twice.
         let buffered: Vec<Frame> = std::mem::take(&mut self.buffered_changes);
         for frame in buffered {
-            if let Some(view) = msg::decode_edge_changes(&frame) {
-                self.apply_changes(view.side, view.hop, view.records);
+            match frame.packet_type() {
+                packet::RESIDUAL => {
+                    if let Some(recs) = msg::decode_residuals(&frame) {
+                        self.apply_residuals(recs);
+                    }
+                }
+                _ => {
+                    if let Some(view) = msg::decode_edge_changes(&frame) {
+                        self.apply_changes(view.side, view.hop, view.records);
+                    }
+                }
             }
         }
         self.flush_outboxes();

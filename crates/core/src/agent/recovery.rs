@@ -48,6 +48,10 @@ impl Agent {
         self.buffered_changes.clear();
         self.buffered_frames.clear();
         self.run = None;
+        // Residual seed dies with the state it described; the driver's
+        // change-log replay re-dirties vertices for a fresh run.
+        self.delta_seed = None;
+        self.delta_hot.clear();
         self.reported = None;
         self.reported_counters = None;
         self.last_idle_counters = None;

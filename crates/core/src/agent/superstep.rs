@@ -41,6 +41,12 @@ pub(super) struct KernelCtx<'a> {
     scatter_all: bool,
     reuse: bool,
     global: f64,
+    /// Residual delta run: frontier seeded from accumulated residuals,
+    /// scatter pushes applied deltas instead of full states.
+    delta: bool,
+    /// Vertex count the carried-over residuals were computed under
+    /// (0 = unknown); drives the step-0 teleport reseed.
+    prev_n: u64,
 }
 
 impl Agent {
@@ -103,6 +109,8 @@ impl Agent {
             scatter_all: program.scatter_all(),
             reuse: run.info.reuse_state,
             global: run.global,
+            delta: run.info.delta,
+            prev_n: self.delta_seed.as_ref().map_or(0, |s| s.n),
         };
         let epoch = self.view.epoch;
         for c in &mut self.worker_caches {
@@ -329,15 +337,22 @@ impl Agent {
         let (run_id, step) = (view.run, view.step);
         match self.current_phase() {
             Some((cur_run, _, _, true)) if cur_run == run_id => {
-                // Async: adopt the state and scatter right away.
+                // Async: adopt the state and scatter right away. Delta
+                // runs push the applied delta the record carries (zero
+                // aux — e.g. a rescatter refresh — pushes nothing).
                 self.counters.state_recv += view.records.len() as u64;
+                let delta_run = self.run.as_ref().is_some_and(|r| r.info.delta);
                 for rec in view.records {
                     let e = self.vertices.entry_or_default(rec.vertex);
                     e.state = rec.state;
                     e.has_state = true;
                     e.rep_out_degree = rec.out_degree;
                     e.active = rec.active;
-                    if rec.active {
+                    if delta_run {
+                        if rec.aux != 0 {
+                            self.scatter_delta_one(rec.vertex, rec.aux);
+                        }
+                    } else if rec.active {
                         self.scatter_one(rec.vertex);
                     }
                 }
@@ -347,12 +362,18 @@ impl Agent {
                 if cur_run == run_id && cur_step == step && cur_phase == Phase::Apply =>
             {
                 self.counters.state_recv += view.records.len() as u64;
+                let delta_run = self.run.as_ref().is_some_and(|r| r.info.delta);
                 for rec in view.records {
                     let e = self.vertices.entry_or_default(rec.vertex);
                     e.state = rec.state;
                     e.has_state = true;
                     e.rep_out_degree = rec.out_degree;
                     e.active = rec.active;
+                    if delta_run {
+                        // Scattered at the next Scatter phase.
+                        e.pending_delta = rec.aux;
+                        e.has_pending_delta = true;
+                    }
                 }
             }
             Some((cur_run, _, _, _)) if cur_run == run_id => {
@@ -367,8 +388,26 @@ impl Agent {
     // ------------------------------------------------------------------
 
     /// Initial scatter when entering async mode: all active vertices
-    /// fire once, then execution is event-driven.
+    /// fire once, then execution is event-driven. Delta runs fire the
+    /// pending deltas the step-0 apply broadcast instead.
     pub(super) fn async_initial_scatter(&mut self) {
+        if self.run.as_ref().is_some_and(|r| r.info.delta) {
+            let pending: Vec<(VertexId, u64)> = self
+                .vertices
+                .iter()
+                .filter(|(_, e)| e.has_pending_delta)
+                .map(|(&v, e)| (v, e.pending_delta))
+                .collect();
+            for (v, delta) in pending {
+                if let Some(e) = self.vertices.get_mut(&v) {
+                    e.pending_delta = 0;
+                    e.has_pending_delta = false;
+                }
+                self.scatter_delta_one(v, delta);
+            }
+            self.re_report_async();
+            return;
+        }
         let actives: Vec<VertexId> = self
             .vertices
             .iter()
@@ -419,6 +458,10 @@ impl Agent {
                         vertex: v,
                         state: e.state,
                         out_degree: e.g_out.max(0) as u64,
+                        // A refresh, not an applied delta: replicas on
+                        // delta runs must not re-push (aux == 0 is the
+                        // "nothing to scatter" sentinel).
+                        aux: 0,
                         active: true,
                     },
                 )
@@ -440,6 +483,19 @@ impl Agent {
         }
         self.tracer
             .instant(EventKind::AsyncRescatter, self.view.epoch, count);
+        // Delta runs: residuals that were hot when the pause hit — or
+        // that migrated in with their vertices — have no arriving
+        // message left to re-trigger them. Mark every above-zero parked
+        // residual hot so the next idle drain folds it.
+        if self.run.as_ref().is_some_and(|r| r.info.delta) {
+            let parked: Vec<VertexId> = self
+                .vertices
+                .iter()
+                .filter(|&(&v, e)| e.is_meta && e.has_residual && self.is_primary(v))
+                .map(|(&v, _)| v)
+                .collect();
+            self.delta_hot.extend(parked);
+        }
     }
 
     /// Complete `v`'s waiting set if the program's requirement is
@@ -473,6 +529,61 @@ impl Agent {
         e.ppartial = 0;
         e.wait_recv = 0;
         self.async_commit(v, agg);
+    }
+
+    /// Event-driven single-vertex delta push (async delta mode): the
+    /// applied delta a primary just broadcast is transformed by
+    /// `scatter_delta` and routed along this replica's local out-edge
+    /// slice to each target's primary.
+    pub(super) fn scatter_delta_one(&mut self, v: VertexId, delta: u64) {
+        let Some(run) = self.run.as_ref() else {
+            return;
+        };
+        let program = run.program.clone();
+        let n_vertices = run.n_vertices;
+        let step = run.step;
+        let run_id = run.info.run_id;
+        self.route_cache.ensure_epoch(self.view.epoch);
+        let mut batches: FxHashMap<AgentId, Vec<(VertexId, u64)>> = FxHashMap::default();
+        {
+            let locator = &self.locator;
+            let sketch = &self.view.sketch;
+            let cache = &mut self.route_cache;
+            let Some(e) = self.vertices.get(&v) else {
+                return;
+            };
+            let ctx = VertexCtx {
+                out_degree: e.rep_out_degree,
+                in_degree: 0,
+                n_vertices,
+                step,
+                global: 0.0,
+            };
+            if let Some(val) = program.scatter_delta(v, e.state, delta, &ctx) {
+                for &w in &e.out {
+                    let vv = program.along_edge(v, w, val);
+                    if let Some(owner) = cache.primary(locator, w, || sketch.estimate(w)) {
+                        batches.entry(owner).or_default().push((w, vv));
+                    }
+                }
+            }
+        }
+        let coalescing = self.cfg.coalescing;
+        for (agent, msgs) in batches {
+            self.counters.vmsg_sent += msgs.len() as u64;
+            if coalescing {
+                self.with_outbox(agent, |out| {
+                    for &(w, vv) in &msgs {
+                        msg::append_vmsg(out, run_id, step, w, vv);
+                    }
+                });
+            } else {
+                for chunk in msgs.chunks(BATCH) {
+                    let frame = msg::encode_vmsgs(run_id, step, chunk);
+                    self.push_to(agent, frame);
+                }
+            }
+        }
     }
 
     /// Event-driven single-vertex scatter (async mode): messages route
@@ -567,6 +678,13 @@ impl Agent {
             }
             return;
         }
+        if run.info.delta {
+            // Residual pushes accumulate commutatively; the §3.2
+            // waiting-set machinery (which exists to impose rounds on
+            // non-commutative programs) does not apply.
+            self.async_delta_commit(v, value);
+            return;
+        }
         let e = self.vertices.entry_or_default(v);
         let ctx = VertexCtx {
             out_degree: e.g_out.max(0) as u64,
@@ -605,6 +723,119 @@ impl Agent {
         self.async_commit(v, value);
     }
 
+    /// The async-delta apply-at-primary head: merge the pushed delta
+    /// into the vertex's residual and mark the vertex hot. The fold +
+    /// broadcast happen in [`Self::drain_delta_hot`] once the mailbox
+    /// empties, so every push queued behind this one lands in the same
+    /// fold — one broadcast per vertex per drain instead of one per
+    /// arriving message.
+    fn async_delta_commit(&mut self, v: VertexId, value: u64) {
+        let Some(run) = self.run.as_ref() else {
+            return;
+        };
+        let program = run.program.clone();
+        let e = self.vertices.entry_or_default(v);
+        e.residual = if e.has_residual {
+            program.merge_residual(e.residual, value)
+        } else {
+            value
+        };
+        e.has_residual = true;
+        self.delta_hot.insert(v);
+    }
+
+    /// Fold every hot residual and broadcast the applied deltas.
+    ///
+    /// Runs at mailbox-idle, *before* the idle READY report: the
+    /// termination barrier only ever sees counters taken with an empty
+    /// hot set, so it cannot settle while an above-tolerance residual
+    /// is still waiting to fire. During a mid-run pause the hot set is
+    /// left alone — the migrate machinery moves parked residuals with
+    /// their vertices and [`Self::async_rescatter`] re-marks them on
+    /// resume.
+    pub(super) fn drain_delta_hot(&mut self) {
+        if self.delta_hot.is_empty() {
+            return;
+        }
+        let Some(run) = self.run.as_ref() else {
+            self.delta_hot.clear();
+            return;
+        };
+        if !run.info.delta || !run.async_live {
+            self.delta_hot.clear();
+            return;
+        }
+        if run.paused {
+            return;
+        }
+        let program = run.program.clone();
+        let n_vertices = run.n_vertices;
+        let run_id = run.info.run_id;
+        let hot: Vec<VertexId> = self.delta_hot.drain().collect();
+        self.route_cache.ensure_epoch(self.view.epoch);
+        for v in hot {
+            let mut broadcast: Option<StateRecord> = None;
+            {
+                let Some(e) = self.vertices.get_mut(&v) else {
+                    continue;
+                };
+                let ctx = VertexCtx {
+                    out_degree: e.g_out.max(0) as u64,
+                    in_degree: e.g_in.max(0) as u64,
+                    n_vertices,
+                    step: 1,
+                    global: 0.0,
+                };
+                if !e.has_state {
+                    let (s, r0) = program.delta_init(v, &ctx);
+                    e.state = s;
+                    e.has_state = true;
+                    e.residual = if e.has_residual {
+                        program.merge_residual(r0, e.residual)
+                    } else {
+                        r0
+                    };
+                    e.has_residual = true;
+                }
+                if !e.has_residual {
+                    continue;
+                }
+                match program.fold_residual(v, e.state, e.residual, &ctx) {
+                    Some((new, applied)) => {
+                        e.state = new;
+                        e.residual = 0;
+                        e.has_residual = false;
+                        e.active = true;
+                        broadcast = Some(StateRecord {
+                            vertex: v,
+                            state: new,
+                            out_degree: e.g_out.max(0) as u64,
+                            aux: applied,
+                            active: true,
+                        });
+                    }
+                    None => {
+                        // Below tolerance: stays parked in `e.residual`
+                        // for the next batch.
+                        e.active = false;
+                    }
+                }
+            }
+            if let Some(rec) = broadcast {
+                let replicas: Vec<AgentId> = {
+                    let sketch = &self.view.sketch;
+                    self.route_cache
+                        .replicas(&self.locator, v, || sketch.estimate(v))
+                        .to_vec()
+                };
+                for replica in replicas {
+                    self.counters.state_sent += 1;
+                    self.with_outbox(replica, |out| msg::append_state(out, run_id, 1, &rec));
+                }
+            }
+        }
+    }
+
     /// The apply-and-broadcast tail of the async path: run the
     /// program's apply with the combined `value` and, on change,
     /// broadcast the new state to the vertex's replica set.
@@ -631,6 +862,7 @@ impl Agent {
                 vertex: v,
                 state: new,
                 out_degree: e.g_out.max(0) as u64,
+                aux: 0,
                 active: true,
             };
             self.route_cache.ensure_epoch(self.view.epoch);
@@ -654,6 +886,11 @@ impl Agent {
     }
 
     pub(super) fn on_idle(&mut self) {
+        // Fold the residuals that accumulated while the mailbox was
+        // busy. Must precede the flush and the idle report: the folds
+        // append broadcasts, and the barrier may only see counters
+        // taken with an empty hot set.
+        self.drain_delta_hot();
         // The mailbox drained: whatever the handlers appended must
         // reach the wire now — peers (and the termination barrier)
         // cannot make progress on records parked in open frames. A
@@ -724,6 +961,38 @@ fn scatter_shard(
     out: &mut FxHashMap<AgentId, Vec<(VertexId, u64)>>,
 ) {
     let program = ctx.program;
+    if ctx.delta {
+        // Delta runs scatter the applied delta the primary broadcast
+        // last apply, not the full state, and only along out-edges —
+        // the residual invariant is directed.
+        for (&v, e) in shard.map.iter_mut() {
+            e.active = false;
+            if !e.has_pending_delta {
+                continue;
+            }
+            let delta = e.pending_delta;
+            e.pending_delta = 0;
+            e.has_pending_delta = false;
+            let vctx = VertexCtx {
+                out_degree: e.rep_out_degree,
+                in_degree: 0,
+                n_vertices: ctx.n_vertices,
+                step: ctx.step,
+                global: 0.0,
+            };
+            if let Some(val) = program.scatter_delta(v, e.state, delta, &vctx) {
+                for &w in &e.out {
+                    let vv = program.along_edge(v, w, val);
+                    if let Some(owner) =
+                        cache.owner_of_edge(ctx.locator, w, v, || ctx.sketch.estimate(w))
+                    {
+                        out.entry(owner).or_default().push((w, vv));
+                    }
+                }
+            }
+        }
+        return;
+    }
     for (&v, e) in shard.map.iter_mut() {
         if !(e.has_state && (e.active || ctx.scatter_all)) {
             // Scatter clears active flags unconditionally (they are
@@ -815,7 +1084,61 @@ fn apply_shard(
             global: ctx.global,
         };
         let mut broadcast = false;
-        if ctx.step == 0 {
+        let mut aux = 0u64;
+        if ctx.delta {
+            // Residual formulation: the frontier is whatever carries an
+            // above-tolerance residual, regardless of step. Step 0
+            // additionally folds in new-vertex seeds and the teleport
+            // reseed; later steps merge the combined pushed deltas.
+            let mut residual = e.has_residual.then_some(e.residual);
+            if ctx.step == 0 {
+                if !e.has_state {
+                    let (s, r0) = program.delta_init(v, &vctx);
+                    e.state = s;
+                    e.has_state = true;
+                    residual = Some(match residual {
+                        Some(r) => program.merge_residual(r0, r),
+                        None => r0,
+                    });
+                }
+                if ctx.prev_n != 0 {
+                    if let Some(adj) = program.reseed_residual(ctx.prev_n, &vctx) {
+                        residual = Some(match residual {
+                            Some(r) => program.merge_residual(r, adj),
+                            None => adj,
+                        });
+                    }
+                }
+                // Dirty flags seed the monotone path, not this one.
+                e.dirty = false;
+            } else if e.has_ppartial {
+                let agg = e.ppartial;
+                residual = Some(match residual {
+                    Some(r) => program.merge_residual(r, agg),
+                    None => agg,
+                });
+            }
+            match residual {
+                Some(r) => match program.fold_residual(v, e.state, r, &vctx) {
+                    Some((new, applied)) => {
+                        e.state = new;
+                        e.has_state = true;
+                        e.residual = 0;
+                        e.has_residual = false;
+                        e.active = true;
+                        broadcast = true;
+                        aux = applied;
+                    }
+                    None => {
+                        // Below tolerance: park it for the next batch.
+                        e.residual = r;
+                        e.has_residual = true;
+                        e.active = false;
+                    }
+                },
+                None => e.active = false,
+            }
+        } else if ctx.step == 0 {
             // Initialization (fresh) / activation (incremental).
             if !e.has_state {
                 e.state = program.init(v, &vctx);
@@ -852,6 +1175,7 @@ fn apply_shard(
                 vertex: v,
                 state: e.state,
                 out_degree: e.g_out.max(0) as u64,
+                aux,
                 active: e.active,
             };
             for &replica in cache.replicas(ctx.locator, v, || ctx.sketch.estimate(v)) {

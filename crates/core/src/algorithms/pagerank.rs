@@ -6,7 +6,7 @@
 //! redistributed uniformly through the directory's global reduce so
 //! results match the single-threaded reference to `1e-8` (§4.3).
 
-use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
+use crate::program::{DeltaKind, ProgramSpec, VertexCtx, VertexProgram};
 use elga_graph::types::VertexId;
 
 /// Vertex-centric PageRank.
@@ -70,24 +70,19 @@ impl VertexProgram for PageRank {
         "pagerank"
     }
 
-    /// PageRank opts out of asynchronous execution. The §3.2 waiting
-    /// sets count messages without tracking *rounds*, which is exactly
-    /// right for DAG-shaped dependencies (`DagLevel`: every vertex
-    /// receives `in_degree` messages in total) but wrong on a cyclic
-    /// graph: a fast in-neighbor's round-2 contribution can complete a
-    /// waiting set before a slow in-neighbor's round-1 contribution
-    /// arrives, so the apply sums two ranks from one neighbor and none
-    /// from another — the iteration drifts off the power method and
-    /// need never quiesce. A correct asynchronous PageRank is the
-    /// delta-accumulation formulation (fold the incoming residual into
-    /// the rank, scatter `d·residual/out_degree`), which needs
-    /// delta-typed messages the engine's apply/scatter contract does
-    /// not express yet. Until it does, PageRank always takes the
-    /// barriered path; a positive tolerance still gives it early
-    /// termination there (the lead stops once no vertex moves by more
-    /// than `tolerance`).
+    /// PageRank is async-legal through its *residual* delta
+    /// formulation (and only through it): residual pushes accumulate
+    /// commutatively — the apply is an f64 add of `d·delta/out_degree`
+    /// shares — so event-driven processing needs no notion of rounds.
+    /// The classic message formulation stays barriered (waiting sets
+    /// count messages without tracking rounds, which drifts off the
+    /// power method on cycles; see PR 5); the engine routes async
+    /// PageRank through the delta path automatically. A tolerance is
+    /// required for the pushes to quiesce, so the zero-tolerance
+    /// configuration still declines async and the run is downgraded to
+    /// the barriered path.
     fn supports_async(&self) -> bool {
-        false
+        self.tolerance > 0.0
     }
 
     fn init(&self, _v: VertexId, ctx: &VertexCtx) -> u64 {
@@ -141,6 +136,112 @@ impl VertexProgram for PageRank {
 
     fn max_steps(&self) -> Option<u32> {
         Some(self.max_iters)
+    }
+
+    // --- Residual (delta) formulation --------------------------------
+    //
+    // Next to each vertex's applied rank `p` the engine keeps a
+    // residual `r` of not-yet-applied probability mass, maintaining the
+    // invariant  r_v = (1-d)/n + d·Σ_{u→v} p_u/D_u − p_v  for the
+    // dangling-mass-free linear system. A fold moves `r` into `p` and
+    // pushes `d·r/D_v` along each out-edge; below-tolerance residuals
+    // simply wait for the next batch. Edge changes convert into
+    // residual corrections at ingest time (`rescale_on_degree_change`
+    // + `edge_change_residual`): the per-edge share `p/D` is invariant
+    // under the degree rescaling, so stale replica copies of `(p, D)`
+    // still compute exact corrections. Dangling mass is *not*
+    // redistributed on this path (documented in DESIGN.md): on
+    // dangling-free graphs the fixpoint coincides with classic
+    // PageRank; dangling vertices just hold their mass.
+
+    fn delta_kind(&self) -> DeltaKind {
+        if self.tolerance > 0.0 {
+            DeltaKind::Residual
+        } else {
+            DeltaKind::None
+        }
+    }
+
+    /// Fresh vertices start at zero rank with the whole teleport term
+    /// pending as residual.
+    fn delta_init(&self, _v: VertexId, ctx: &VertexCtx) -> (u64, u64) {
+        let n = ctx.n_vertices.max(1) as f64;
+        (0f64.to_bits(), ((1.0 - self.damping) / n).to_bits())
+    }
+
+    fn fold_residual(
+        &self,
+        _v: VertexId,
+        state: u64,
+        residual: u64,
+        _ctx: &VertexCtx,
+    ) -> Option<(u64, u64)> {
+        let r = f64::from_bits(residual);
+        if r.abs() <= self.tolerance {
+            return None;
+        }
+        let p = f64::from_bits(state);
+        Some(((p + r).to_bits(), residual))
+    }
+
+    fn scatter_delta(&self, _v: VertexId, _state: u64, delta: u64, ctx: &VertexCtx) -> Option<u64> {
+        if ctx.out_degree == 0 {
+            return None;
+        }
+        let d = f64::from_bits(delta);
+        if d == 0.0 {
+            return None;
+        }
+        Some((self.damping * d / ctx.out_degree as f64).to_bits())
+    }
+
+    /// Ohsaka-style scaling: rescale `p` so the per-edge share `p/D`
+    /// is unchanged for surviving edges, compensating in the residual.
+    /// A previously dangling vertex (`d0 == 0`) can't scale from a
+    /// zero denominator; its whole rank moves back into the residual
+    /// and redistributes through the next fold.
+    fn rescale_on_degree_change(&self, state: u64, d0: u64, d1: u64) -> Option<(u64, u64)> {
+        if d0 == d1 {
+            return None;
+        }
+        let p0 = f64::from_bits(state);
+        if d0 == 0 {
+            return Some((0f64.to_bits(), p0.to_bits()));
+        }
+        let p1 = p0 * d1 as f64 / d0 as f64;
+        Some((p1.to_bits(), (p0 - p1).to_bits()))
+    }
+
+    /// An inserted edge `(u, w)` owes `w` the share `d·p_u/D_u`; a
+    /// deleted edge takes it back. `share_degree` is `u`'s pre-batch
+    /// out-degree as last broadcast — zero means `u` was dangling, in
+    /// which case the rescale above already routed its mass.
+    fn edge_change_residual(
+        &self,
+        _u: VertexId,
+        state: u64,
+        share_degree: u64,
+        insert: bool,
+    ) -> Option<u64> {
+        if share_degree == 0 {
+            return None;
+        }
+        let share = self.damping * f64::from_bits(state) / share_degree as f64;
+        if share == 0.0 {
+            return None;
+        }
+        Some(if insert { share } else { -share }.to_bits())
+    }
+
+    /// The teleport term is `(1-d)/n`; when the vertex count moved
+    /// between runs every vertex's residual shifts by the difference.
+    fn reseed_residual(&self, old_n: u64, ctx: &VertexCtx) -> Option<u64> {
+        let n1 = ctx.n_vertices.max(1);
+        if old_n == 0 || old_n == n1 {
+            return None;
+        }
+        let adj = (1.0 - self.damping) * (1.0 / n1 as f64 - 1.0 / old_n as f64);
+        Some(adj.to_bits())
     }
 }
 
@@ -241,11 +342,78 @@ mod tests {
     }
 
     #[test]
-    fn stays_on_the_barriered_path() {
-        // Waiting sets can't express rounds on cyclic graphs, so
-        // PageRank declines async execution even with a tolerance (see
-        // `supports_async`).
+    fn async_requires_a_tolerance() {
+        // The residual formulation makes PageRank async-legal, but the
+        // pushes only quiesce with a positive tolerance; the classic
+        // zero-tolerance configuration stays on the barriered path.
         assert!(!PageRank::new(0.85).supports_async());
-        assert!(!PageRank::new(0.85).with_tolerance(1e-10).supports_async());
+        assert_eq!(PageRank::new(0.85).delta_kind(), DeltaKind::None);
+        let pr = PageRank::new(0.85).with_tolerance(1e-10);
+        assert!(pr.supports_async());
+        assert_eq!(pr.delta_kind(), DeltaKind::Residual);
+    }
+
+    #[test]
+    fn fold_respects_tolerance_and_moves_mass() {
+        let pr = PageRank::new(0.85).with_tolerance(1e-3);
+        let c = ctx(2, 10, 0.0);
+        assert!(pr
+            .fold_residual(0, 0.2f64.to_bits(), 1e-4f64.to_bits(), &c)
+            .is_none());
+        let (state, delta) = pr
+            .fold_residual(0, 0.2f64.to_bits(), 0.05f64.to_bits(), &c)
+            .expect("above tolerance");
+        assert!((f64::from_bits(state) - 0.25).abs() < 1e-15);
+        assert_eq!(f64::from_bits(delta), 0.05);
+        // The frontier push divides the damped delta by out-degree.
+        let share = pr.scatter_delta(0, state, delta, &c).unwrap();
+        assert!((f64::from_bits(share) - 0.85 * 0.05 / 2.0).abs() < 1e-15);
+        assert_eq!(pr.scatter_delta(0, state, delta, &ctx(0, 10, 0.0)), None);
+    }
+
+    #[test]
+    fn rescale_keeps_the_per_edge_share_invariant() {
+        let pr = PageRank::new(0.85).with_tolerance(1e-9);
+        // Degree 4 -> 5: p scales by 5/4, share p/D unchanged, and the
+        // residual absorbs the difference so total mass is conserved.
+        let (p1, radj) = pr.rescale_on_degree_change(0.4f64.to_bits(), 4, 5).unwrap();
+        assert!((f64::from_bits(p1) - 0.5).abs() < 1e-15);
+        assert!((f64::from_bits(p1) / 5.0 - 0.4 / 4.0).abs() < 1e-15);
+        assert!((f64::from_bits(radj) - (0.4 - 0.5)).abs() < 1e-15);
+        // A previously dangling vertex moves its whole rank back into
+        // the residual.
+        let (p1, radj) = pr.rescale_on_degree_change(0.3f64.to_bits(), 0, 2).unwrap();
+        assert_eq!(f64::from_bits(p1), 0.0);
+        assert_eq!(f64::from_bits(radj), 0.3);
+        assert!(pr
+            .rescale_on_degree_change(0.3f64.to_bits(), 3, 3)
+            .is_none());
+    }
+
+    #[test]
+    fn edge_change_residual_is_the_signed_share() {
+        let pr = PageRank::new(0.85).with_tolerance(1e-9);
+        let ins = pr
+            .edge_change_residual(1, 0.4f64.to_bits(), 4, true)
+            .unwrap();
+        assert!((f64::from_bits(ins) - 0.85 * 0.1).abs() < 1e-15);
+        let del = pr
+            .edge_change_residual(1, 0.4f64.to_bits(), 4, false)
+            .unwrap();
+        assert!((f64::from_bits(del) + 0.85 * 0.1).abs() < 1e-15);
+        // Dangling source: nothing to push, the rescale handles it.
+        assert!(pr
+            .edge_change_residual(1, 0.4f64.to_bits(), 0, true)
+            .is_none());
+    }
+
+    #[test]
+    fn reseed_shifts_the_teleport_term() {
+        let pr = PageRank::new(0.85).with_tolerance(1e-9);
+        let c = ctx(1, 20, 0.0);
+        assert!(pr.reseed_residual(20, &c).is_none());
+        assert!(pr.reseed_residual(0, &c).is_none());
+        let adj = f64::from_bits(pr.reseed_residual(10, &c).unwrap());
+        assert!((adj - 0.15 * (1.0 / 20.0 - 1.0 / 10.0)).abs() < 1e-15);
     }
 }

@@ -6,7 +6,7 @@
 //! (`edge_weight`), keeping results comparable.
 
 use super::UNREACHED;
-use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
+use crate::program::{DeltaKind, ProgramSpec, VertexCtx, VertexProgram};
 use elga_graph::reference::edge_weight;
 use elga_graph::types::VertexId;
 
@@ -75,6 +75,15 @@ impl VertexProgram for Sssp {
 
     fn initially_active(&self, v: VertexId) -> bool {
         v == self.source
+    }
+
+    /// Distance relaxation is a monotone fold, so insertion batches
+    /// recompute incrementally via reuse + dirty activation (exactly
+    /// like WCC). A deletion can lengthen shortest paths, which the
+    /// monotone merge cannot revoke — deletion batches need a fresh
+    /// (non-reuse) run; DESIGN.md documents the fallback.
+    fn delta_kind(&self) -> DeltaKind {
+        DeltaKind::Monotone
     }
 }
 

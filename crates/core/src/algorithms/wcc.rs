@@ -7,7 +7,7 @@
 //! ElGA's asynchronous mode and the incremental (insertion) case the
 //! paper measures in Figures 13 and 15.
 
-use crate::program::{ProgramSpec, VertexCtx, VertexProgram};
+use crate::program::{DeltaKind, ProgramSpec, VertexCtx, VertexProgram};
 use elga_graph::types::VertexId;
 
 /// Vertex-centric WCC: labels converge to the minimum vertex id in
@@ -65,6 +65,17 @@ impl VertexProgram for Wcc {
 
     fn scatter_in(&self, _v: VertexId, state: u64, _ctx: &VertexCtx) -> Option<u64> {
         Some(state)
+    }
+
+    /// Min-propagation is a monotone fold: a reuse-state run after a
+    /// batch of insertions is exact with dirty-vertex activation (the
+    /// touched endpoints re-scatter their labels and the frontier
+    /// expands only where the minimum improves). Deletions can raise a
+    /// label, which monotone merging cannot express — the driver
+    /// resets the affected label class (`Cluster::reset_labels`)
+    /// before the incremental run.
+    fn delta_kind(&self) -> DeltaKind {
+        DeltaKind::Monotone
     }
 }
 

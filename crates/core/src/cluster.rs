@@ -797,7 +797,7 @@ impl Cluster {
                             });
                     }
                 }
-                if rec.is_meta || rec.g_out != 0 || rec.g_in != 0 || rec.dirty {
+                if rec.is_meta || rec.g_out != 0 || rec.g_in != 0 || rec.dirty || rec.has_residual {
                     if let Some(primary) = locator.ring().owner(v) {
                         meta_batches
                             .entry(primary)
@@ -811,6 +811,8 @@ impl Cluster {
                                 is_meta: rec.is_meta,
                                 g_out: rec.g_out,
                                 g_in: rec.g_in,
+                                residual: rec.residual,
+                                has_residual: rec.has_residual,
                             });
                     }
                 }
@@ -1205,14 +1207,27 @@ impl Cluster {
 }
 
 /// Build the wire `RunInfo` for a spec (run id assigned by the lead).
+///
+/// Resolves the run's execution flavor once, at the driver: a program
+/// that declines async (e.g. exact PageRank with `tolerance == 0`) is
+/// downgraded to synchronous here, and the incremental-delta engine is
+/// engaged for residual programs whenever previous state can exist —
+/// either carried over explicitly (`reuse_state`) or implicitly by the
+/// async path committing directly onto primaries.
 fn run_info(spec: &ProgramSpec, options: RunOptions) -> RunInfo {
+    let program = spec.instantiate();
+    let asynchronous =
+        matches!(options.mode, crate::program::ExecutionMode::Async) && program.supports_async();
+    let delta = program.delta_kind() == crate::program::DeltaKind::Residual
+        && (options.reuse_state || asynchronous);
     let (tag, params) = spec.encode();
     RunInfo {
         run_id: 0,
         tag,
         params,
         reuse_state: options.reuse_state,
-        asynchronous: matches!(options.mode, crate::program::ExecutionMode::Async),
+        asynchronous,
+        delta,
     }
 }
 

@@ -1281,6 +1281,7 @@ mod tests {
             params: [0, 0, 0],
             reuse_state: false,
             asynchronous: false,
+            delta: false,
         });
         assert_eq!(run_id, 1);
         // Empty membership: every barrier is trivially met, so the run
@@ -1312,6 +1313,7 @@ mod tests {
             params: [0, 0, 0],
             reuse_state: false,
             asynchronous: true,
+            delta: false,
         });
         // Drive the sync initialization barriers (step 0).
         lead.reports
@@ -1403,6 +1405,7 @@ mod tests {
             params: [0, 0, 0],
             reuse_state: false,
             asynchronous: true,
+            delta: false,
         });
         lead.reports
             .insert(1, ready(1, run_id, 0, Phase::Scatter, Counters::default()));
@@ -1471,6 +1474,7 @@ mod tests {
             params: [0, 0, 0],
             reuse_state: false,
             asynchronous: false,
+            delta: false,
         });
         assert!(lead.run.is_some());
         lead.ghost = Counters {

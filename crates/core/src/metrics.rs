@@ -114,6 +114,16 @@ impl CommsMetrics {
         }
     }
 
+    /// Fraction of wire messages served from an existing RX batch
+    /// allocation; 0 before any traffic.
+    pub fn rx_pool_hit_rate(&self) -> f64 {
+        let total = self.rx_pool_hits + self.rx_pool_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.rx_pool_hits as f64 / total as f64
+    }
+
     /// Element-wise sum (cluster aggregation).
     pub fn absorb(&mut self, o: &CommsMetrics) {
         self.vmsg.absorb(&o.vmsg);

@@ -101,6 +101,13 @@ pub mod packet {
     /// Checkpoint restore: primary-side meta records (push, driver →
     /// Agent). Uncounted, like CKPT_EDGES.
     pub const CKPT_META: u8 = 38;
+    /// Ingest-time residual corrections for incremental (delta) runs:
+    /// `(vertex, residual)` pushes routed to the vertex's primary,
+    /// merged into its stored residual via the program's
+    /// `merge_residual`. Counted under the change class (`chg_*`) like
+    /// DEG_DELTA — corrections travel with the batch, never inside a
+    /// run's barriers.
+    pub const RESIDUAL: u8 = 39;
 }
 
 /// Superstep phases (see crate docs). `Migrate` barriers elastic
@@ -506,9 +513,11 @@ impl WireRecord for (VertexId, u64) {
     }
 }
 
-/// STATE record: vertex + state + out-degree + active flag, 25 bytes.
+/// STATE record: vertex + state + out-degree + aux + active flag,
+/// 33 bytes. `aux` carries the applied delta on incremental runs
+/// (zero otherwise).
 impl WireRecord for StateRecord {
-    const STRIDE: usize = 25;
+    const STRIDE: usize = 33;
 
     #[inline]
     fn parse(chunk: &[u8]) -> Self {
@@ -516,7 +525,8 @@ impl WireRecord for StateRecord {
             vertex: le_u64(chunk, 0),
             state: le_u64(chunk, 8),
             out_degree: le_u64(chunk, 16),
-            active: chunk[24] != 0,
+            aux: le_u64(chunk, 24),
+            active: chunk[32] != 0,
         }
     }
 }
@@ -705,6 +715,9 @@ pub struct StateRecord {
     pub state: u64,
     /// Its global out-degree.
     pub out_degree: u64,
+    /// On incremental (delta) runs: the applied delta the replicas
+    /// scatter via `scatter_delta`. Zero on full runs.
+    pub aux: u64,
     /// Whether it is active next superstep.
     pub active: bool,
 }
@@ -720,6 +733,7 @@ pub fn encode_states(run: u64, step: u32, recs: &[StateRecord]) -> Frame {
             .u64(rec.vertex)
             .u64(rec.state)
             .u64(rec.out_degree)
+            .u64(rec.aux)
             .u8(rec.active as u8);
     }
     b.finish()
@@ -872,7 +886,9 @@ pub fn encode_mig_meta(recs: &[MetaRecord]) -> Frame {
             .u8(m.has_meta as u8)
             .u64(m.ppartial)
             .u8(m.has_ppartial as u8)
-            .u64(m.wait_recv);
+            .u64(m.wait_recv)
+            .u64(m.residual)
+            .u8(m.has_residual as u8);
     }
     b.finish()
 }
@@ -881,7 +897,7 @@ pub fn encode_mig_meta(recs: &[MetaRecord]) -> Frame {
 pub fn decode_mig_meta(frame: &Frame) -> Option<Vec<MetaRecord>> {
     let mut r = expect(frame, packet::MIG_META)?;
     let n = r.u32()? as usize;
-    let mut recs = Vec::with_capacity(n.min(r.remaining() / 45));
+    let mut recs = Vec::with_capacity(n.min(r.remaining() / 54));
     for _ in 0..n {
         recs.push(MetaRecord {
             vertex: r.u64()?,
@@ -894,6 +910,8 @@ pub fn decode_mig_meta(frame: &Frame) -> Option<Vec<MetaRecord>> {
             ppartial: r.u64()?,
             has_ppartial: r.u8()? != 0,
             wait_recv: r.u64()?,
+            residual: r.u64()?,
+            has_residual: r.u8()? != 0,
         });
     }
     Some(recs)
@@ -932,6 +950,13 @@ pub struct MetaRecord {
     pub has_ppartial: bool,
     /// Messages received so far toward the vertex's waiting set.
     pub wait_recv: u64,
+    /// Unapplied residual of an incremental run (meaningless when
+    /// `has_residual` is false). Residuals live only at the primary, so
+    /// migrating them with the meta bundle keeps delta runs exact
+    /// across a mid-run view change.
+    pub residual: u64,
+    /// Whether `residual` holds an accumulated delta.
+    pub has_residual: bool,
 }
 
 /// Encode degree deltas: `[(vertex, out_delta, in_delta)]` sent to each
@@ -948,6 +973,26 @@ pub fn encode_deg_deltas(deltas: &[(VertexId, i64, i64)]) -> Frame {
 /// Decode a DEG_DELTA frame into a borrowed record view.
 pub fn decode_deg_deltas(frame: &Frame) -> Option<Records<'_, (VertexId, i64, i64)>> {
     let mut r = expect(frame, packet::DEG_DELTA)?;
+    let n = r.u32()? as usize;
+    Records::new(r.rest(), n)
+}
+
+/// Encode residual corrections: `[(vertex, delta)]` sent to each
+/// vertex's primary at ingest time so the next incremental run's
+/// frontier and mass budget reflect the batch's edge changes. `delta`
+/// is program-encoded (f64 bits for PageRank) and merged with the
+/// program's `merge_residual`.
+pub fn encode_residuals(residuals: &[(VertexId, u64)]) -> Frame {
+    let mut b = Frame::builder(packet::RESIDUAL).u32(residuals.len() as u32);
+    for &(v, delta) in residuals {
+        b = b.u64(v).u64(delta);
+    }
+    b.finish()
+}
+
+/// Decode a RESIDUAL frame into a borrowed record view.
+pub fn decode_residuals(frame: &Frame) -> Option<Records<'_, (VertexId, u64)>> {
+    let mut r = expect(frame, packet::RESIDUAL)?;
     let n = r.u32()? as usize;
     Records::new(r.rest(), n)
 }
@@ -1104,6 +1149,11 @@ pub struct CkptMetaRecord {
     pub g_out: i64,
     /// Global in-degree accumulated at the primary.
     pub g_in: i64,
+    /// Unapplied incremental-run residual carried across the restart
+    /// (meaningless when `has_residual` is false).
+    pub residual: u64,
+    /// Whether `residual` holds an accumulated delta.
+    pub has_residual: bool,
 }
 
 /// Encode a batch of restored meta records.
@@ -1118,7 +1168,9 @@ pub fn encode_ckpt_meta(recs: &[CkptMetaRecord]) -> Frame {
             .u8(m.dirty as u8)
             .u8(m.is_meta as u8)
             .u64(m.g_out as u64)
-            .u64(m.g_in as u64);
+            .u64(m.g_in as u64)
+            .u64(m.residual)
+            .u8(m.has_residual as u8);
     }
     b.finish()
 }
@@ -1127,7 +1179,7 @@ pub fn encode_ckpt_meta(recs: &[CkptMetaRecord]) -> Frame {
 pub fn decode_ckpt_meta(frame: &Frame) -> Option<Vec<CkptMetaRecord>> {
     let mut r = expect(frame, packet::CKPT_META)?;
     let n = r.u32()? as usize;
-    let mut recs = Vec::with_capacity(n.min(r.remaining() / 36));
+    let mut recs = Vec::with_capacity(n.min(r.remaining() / 45));
     for _ in 0..n {
         recs.push(CkptMetaRecord {
             vertex: r.u64()?,
@@ -1138,6 +1190,8 @@ pub fn decode_ckpt_meta(frame: &Frame) -> Option<Vec<CkptMetaRecord>> {
             is_meta: r.u8()? != 0,
             g_out: r.u64()? as i64,
             g_in: r.u64()? as i64,
+            residual: r.u64()?,
+            has_residual: r.u8()? != 0,
         });
     }
     Some(recs)
@@ -1222,7 +1276,22 @@ pub fn append_state(out: &mut elga_net::CoalescingOutbox, run: u64, step: u32, r
             b.extend_from_slice(&rec.vertex.to_le_bytes());
             b.extend_from_slice(&rec.state.to_le_bytes());
             b.extend_from_slice(&rec.out_degree.to_le_bytes());
+            b.extend_from_slice(&rec.aux.to_le_bytes());
             b.extend_from_slice(&[rec.active as u8]);
+        },
+    );
+}
+
+/// Append one residual correction (`target`, signed-encoded `delta`) to
+/// `out`'s open RESIDUAL frame. Layout matches [`encode_residuals`].
+pub fn append_residual(out: &mut elga_net::CoalescingOutbox, target: VertexId, delta: u64) {
+    out.append(
+        packet::RESIDUAL,
+        0,
+        |_| {},
+        move |b| {
+            b.extend_from_slice(&target.to_le_bytes());
+            b.extend_from_slice(&delta.to_le_bytes());
         },
     );
 }
@@ -1288,6 +1357,11 @@ pub struct RunInfo {
     pub reuse_state: bool,
     /// Async flag.
     pub asynchronous: bool,
+    /// Whether this run executes the residual delta formulation:
+    /// frontier seeded from ingest-time corrections, unchanged vertices
+    /// untouched. Resolved by the driver from the program's
+    /// [`DeltaKind`](crate::program::DeltaKind) so every agent agrees.
+    pub delta: bool,
 }
 
 /// Encode a JOIN reply: the view plus an optional in-progress run.
@@ -1304,7 +1378,8 @@ pub fn encode_join_reply(view: &DirectoryView, run: Option<&RunInfo>) -> Frame {
                 .u64(r.params[1])
                 .u64(r.params[2])
                 .u8(r.reuse_state as u8)
-                .u8(r.asynchronous as u8);
+                .u8(r.asynchronous as u8)
+                .u8(r.delta as u8);
         }
     }
     b.finish()
@@ -1322,6 +1397,7 @@ pub fn decode_join_reply(frame: &Frame) -> Option<(DirectoryView, Option<RunInfo
             params: [r.u64()?, r.u64()?, r.u64()?],
             reuse_state: r.u8()? != 0,
             asynchronous: r.u8()? != 0,
+            delta: r.u8()? != 0,
         }),
     };
     Some((view, run))
@@ -1337,6 +1413,7 @@ pub fn encode_start(run: &RunInfo) -> Frame {
         .u64(run.params[2])
         .u8(run.reuse_state as u8)
         .u8(run.asynchronous as u8)
+        .u8(run.delta as u8)
         .finish()
 }
 
@@ -1349,6 +1426,7 @@ pub fn decode_start(frame: &Frame) -> Option<RunInfo> {
         params: [r.u64()?, r.u64()?, r.u64()?],
         reuse_state: r.u8()? != 0,
         asynchronous: r.u8()? != 0,
+        delta: r.u8()? != 0,
     })
 }
 
@@ -1634,6 +1712,8 @@ mod tests {
                 is_meta: true,
                 g_out: 3,
                 g_in: -2,
+                residual: 0.25f64.to_bits(),
+                has_residual: true,
             },
             CkptMetaRecord {
                 vertex: 6,
@@ -1644,6 +1724,8 @@ mod tests {
                 is_meta: false,
                 g_out: 0,
                 g_in: 0,
+                residual: 0,
+                has_residual: false,
             },
         ];
         let got = decode_ckpt_meta(&encode_ckpt_meta(&recs)).unwrap();
@@ -1681,6 +1763,7 @@ mod tests {
             vertex: 8,
             state: 0.25f64.to_bits(),
             out_degree: 12,
+            aux: 0.0625f64.to_bits(),
             active: true,
         }];
         let f = encode_states(1, 2, &recs);
@@ -1752,6 +1835,8 @@ mod tests {
                 ppartial: 0,
                 has_ppartial: false,
                 wait_recv: 0,
+                residual: 0.5f64.to_bits(),
+                has_residual: true,
             },
             // Pure async-state handoff: no meta payload, but a live
             // waiting set mid-accumulation.
@@ -1766,6 +1851,8 @@ mod tests {
                 ppartial: 41,
                 has_ppartial: true,
                 wait_recv: 2,
+                residual: 0,
+                has_residual: false,
             },
         ];
         assert_eq!(decode_mig_meta(&encode_mig_meta(&recs)).unwrap(), recs);
@@ -1799,6 +1886,7 @@ mod tests {
             params: [1, 2, 3],
             reuse_state: true,
             asynchronous: false,
+            delta: true,
         };
         let (v2, r2) = decode_join_reply(&encode_join_reply(&view, Some(&run))).unwrap();
         assert_eq!(v2.epoch, view.epoch);
@@ -1815,6 +1903,7 @@ mod tests {
             params: [0, 0, 0],
             reuse_state: false,
             asynchronous: true,
+            delta: false,
         };
         assert_eq!(decode_start(&encode_start(&run)).unwrap(), run);
 
@@ -1944,12 +2033,14 @@ mod tests {
                 vertex: 8,
                 state: 0.25f64.to_bits(),
                 out_degree: 12,
+                aux: 0.125f64.to_bits(),
                 active: true,
             },
             StateRecord {
                 vertex: 9,
                 state: 1,
                 out_degree: 0,
+                aux: 0,
                 active: false,
             },
         ];
@@ -1959,6 +2050,23 @@ mod tests {
             }
         });
         assert_eq!(f.as_bytes(), encode_states(1, 2, &recs).as_bytes());
+    }
+
+    #[test]
+    fn residual_roundtrip_and_append_match() {
+        let residuals = vec![(4u64, 0.5f64.to_bits()), (11, (-0.25f64).to_bits())];
+        let batch = encode_residuals(&residuals);
+        assert_eq!(
+            decode_residuals(&batch).unwrap().to_vec(),
+            residuals,
+            "batch roundtrip"
+        );
+        let f = coalesced(|c| {
+            for &(v, d) in &residuals {
+                append_residual(c, v, d);
+            }
+        });
+        assert_eq!(f.as_bytes(), batch.as_bytes());
     }
 
     #[test]

@@ -142,6 +142,116 @@ pub trait VertexProgram: Send + Sync {
     fn max_steps(&self) -> Option<u32> {
         None
     }
+
+    // --- Incremental (delta) formulation -----------------------------
+    //
+    // A program may declare how it recomputes *incrementally* after a
+    // batch of edge changes, instead of re-executing over the whole
+    // graph. Two strategies exist (see DESIGN.md "Incremental
+    // execution"):
+    //
+    // * [`DeltaKind::Monotone`] — the fixpoint is a monotone fold
+    //   (min/max) of `combine`, so reuse-state runs are already exact:
+    //   vertices touched by the batch re-scatter their values and the
+    //   frontier expands only where the fold improves (WCC, SSSP
+    //   insertions).
+    // * [`DeltaKind::Residual`] — the program keeps, next to each
+    //   vertex's applied state, a *residual* of not-yet-applied mass.
+    //   Edge changes convert into residual corrections at ingest time;
+    //   a delta run folds residuals above tolerance into state and
+    //   pushes `scatter_delta` values only along the affected frontier
+    //   (delta-PageRank).
+
+    /// The program's incremental strategy. [`DeltaKind::None`] means a
+    /// reuse-state run falls back to the dirty-vertex activation path.
+    fn delta_kind(&self) -> DeltaKind {
+        DeltaKind::None
+    }
+
+    /// Fresh-vertex initialization on a *residual* delta run:
+    /// `(state, residual)`. The default starts from `init` with no
+    /// pending residual.
+    fn delta_init(&self, v: VertexId, ctx: &VertexCtx) -> (u64, u64) {
+        (self.init(v, ctx), self.residual_identity())
+    }
+
+    /// Identity element of [`VertexProgram::merge_residual`].
+    fn residual_identity(&self) -> u64 {
+        self.identity()
+    }
+
+    /// Commutative, associative merge of two residual values.
+    fn merge_residual(&self, a: u64, b: u64) -> u64 {
+        self.combine(a, b)
+    }
+
+    /// Decide whether the accumulated residual is significant enough
+    /// to fold into the state: `Some((new_state, applied_delta))`
+    /// applies and activates the vertex, `None` keeps accumulating.
+    fn fold_residual(
+        &self,
+        _v: VertexId,
+        _state: u64,
+        _residual: u64,
+        _ctx: &VertexCtx,
+    ) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// Value sent along each out-edge after a fold applied `delta`
+    /// (the frontier push of a residual run). Defaults to the full
+    /// re-scatter, which is what monotone programs want (their delta
+    /// *is* the new state).
+    fn scatter_delta(&self, v: VertexId, state: u64, _delta: u64, ctx: &VertexCtx) -> Option<u64> {
+        self.scatter_out(v, state, ctx)
+    }
+
+    /// Ingest-time correction at a vertex's *primary* when its global
+    /// out-degree changes `d0 -> d1` between runs: returns
+    /// `(new_state, residual_adjustment)` or `None` when state is
+    /// unaffected. Delta-PageRank rescales so the per-edge share
+    /// `state / degree` stays invariant (Ohsaka et al.-style scaling).
+    fn rescale_on_degree_change(&self, _state: u64, _d0: u64, _d1: u64) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// Ingest-time residual pushed to the target of a changed edge
+    /// `(u, w)`, computed where the change applies from `u`'s
+    /// replica-visible `state` and pre-batch out-degree `share_degree`
+    /// (both stale copies of the last broadcast, which the scaling
+    /// invariant keeps exact). `None` pushes nothing.
+    fn edge_change_residual(
+        &self,
+        _u: VertexId,
+        _state: u64,
+        _share_degree: u64,
+        _insert: bool,
+    ) -> Option<u64> {
+        None
+    }
+
+    /// Per-vertex residual adjustment when the global vertex count
+    /// changed `old_n -> ctx.n_vertices` since the state was computed
+    /// (PageRank's teleport term is `(1-d)/n`). Applied once at step 0
+    /// of a reuse-state residual run.
+    fn reseed_residual(&self, _old_n: u64, _ctx: &VertexCtx) -> Option<u64> {
+        None
+    }
+}
+
+/// How a program recomputes incrementally (see the trait docs above).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeltaKind {
+    /// No delta formulation: reuse-state runs use dirty-vertex
+    /// activation and re-converge from whatever state is left.
+    #[default]
+    None,
+    /// Monotone fold: reuse + dirty activation is already exact for
+    /// insertions; deletions need a label reset (WCC) or a fresh run.
+    Monotone,
+    /// Residual accumulation: ingest converts edge changes into
+    /// residuals, runs fold and push only the affected frontier.
+    Residual,
 }
 
 /// Registry for [`ProgramSpec::Custom`] programs: specs travel the wire

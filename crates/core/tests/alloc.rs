@@ -69,6 +69,7 @@ fn decode_and_iterate_allocates_nothing() {
             vertex: i,
             state: i ^ 0xfeed,
             out_degree: i % 17,
+            aux: 0,
             active: i % 3 == 0,
         })
         .collect();

@@ -218,6 +218,7 @@ proptest! {
                 vertex,
                 state,
                 out_degree,
+                aux: state ^ out_degree,
                 active,
             })
             .collect();

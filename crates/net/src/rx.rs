@@ -4,11 +4,15 @@
 //! pool (`frame::pool_take`); this module gives the RX side the same
 //! discipline. Each connection reader owns a [`RecvBuf`]: it bulk-reads
 //! the socket into a staging buffer (many wire messages per syscall),
-//! then moves the complete-message prefix — without copying it — into
-//! one shared allocation and hands each payload out as a zero-copy
-//! [`Bytes`] slice of that batch. The per-message `Vec<u8>` of the old
-//! reader is gone; allocation happens once per read batch, amortized
-//! across every message it carried.
+//! opportunistically drains whatever else the kernel already buffered
+//! (see [`RxSource`]), then moves the complete-message prefix — without
+//! copying it — into one shared allocation and hands each payload out
+//! as a zero-copy [`Bytes`] slice of that batch. The per-message
+//! `Vec<u8>` of the old reader is gone; allocation happens once per
+//! read batch, amortized across every message it carried. Read windows
+//! adapt to the observed message-size EWMA, so a stream of small
+//! replies doesn't zero 64 KiB per wakeup while bulk data still drains
+//! in few syscalls.
 //!
 //! A frame retained past its batch (e.g. an agent buffering a
 //! future-phase frame) pins the whole batch allocation until it drops —
@@ -22,15 +26,58 @@
 use crate::transport::NetStats;
 use bytes::Bytes;
 use std::io::{self, IoSlice, Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 
 /// Largest accepted wire message; guards against corrupt length
 /// prefixes.
 pub(crate) const MAX_WIRE_LEN: usize = 256 << 20;
 
-/// Read window per `read` syscall. Big enough to drain many coalesced
-/// frames at once without zeroing megabytes for a one-off reply.
+/// Ceiling on the adaptive read window. Big enough to drain many
+/// coalesced frames at once without zeroing megabytes for a one-off
+/// reply.
 const READ_WINDOW: usize = 64 * 1024;
+
+/// Floor on the adaptive read window: even a stream of tiny replies
+/// reserves enough to batch a burst of them.
+const MIN_READ_WINDOW: usize = 4 * 1024;
+
+/// Messages a refill should be able to capture at the EWMA size. 16
+/// keeps the hit:miss ratio of a saturated stream at roughly 16:1
+/// while staying close to the floor for reply-sized traffic.
+const WINDOW_MSGS: usize = 16;
+
+/// A readable source that can additionally report bytes the kernel has
+/// already buffered, without blocking. [`RecvBuf::refill`] uses this to
+/// drain a whole in-flight burst into one batch allocation instead of
+/// promoting a batch per wakeup — the difference between a ~0.5 and a
+/// ~0.9 RX pool hit rate under coalesced load.
+pub(crate) trait RxSource: Read {
+    /// Non-blocking read into `buf`. `Some(n)` means `n > 0` bytes
+    /// were already available and copied; `None` means nothing is
+    /// pending, the source cannot poll, or the read failed (errors are
+    /// deliberately swallowed here — the next blocking read surfaces
+    /// them, after the complete batch in hand was delivered).
+    fn read_available(&mut self, _buf: &mut [u8]) -> Option<usize> {
+        None
+    }
+}
+
+impl RxSource for TcpStream {
+    fn read_available(&mut self, buf: &mut [u8]) -> Option<usize> {
+        self.set_nonblocking(true).ok()?;
+        let r = self.read(buf);
+        let _ = self.set_nonblocking(false);
+        match r {
+            Ok(n) if n > 0 => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// Byte-slice sources (tests, pre-read buffers) block never, so the
+/// default "can't poll" behavior is already right.
+impl RxSource for &[u8] {}
 
 /// Most slices handed to one `writev`; past this the batch is split.
 const MAX_IOV: usize = 64;
@@ -48,6 +95,9 @@ pub(crate) struct RecvBuf {
     batch: Bytes,
     /// Parse offset into `batch`.
     pos: usize,
+    /// EWMA of wire message size (header included), driving the
+    /// adaptive read window.
+    avg_msg: usize,
     stats: Option<Arc<NetStats>>,
 }
 
@@ -57,14 +107,22 @@ impl RecvBuf {
             staging: Vec::new(),
             batch: Bytes::new(),
             pos: 0,
+            avg_msg: MIN_READ_WINDOW / WINDOW_MSGS,
             stats,
         }
+    }
+
+    /// Read window for the next syscall: sized so a refill can capture
+    /// [`WINDOW_MSGS`] messages of the observed size in one go, within
+    /// [`MIN_READ_WINDOW`]..[`READ_WINDOW`].
+    fn window(&self) -> usize {
+        (self.avg_msg * WINDOW_MSGS).clamp(MIN_READ_WINDOW, READ_WINDOW)
     }
 
     /// Read the next wire message, returning its opcode and a
     /// zero-copy handle on its payload. Blocks (honoring the stream's
     /// read timeout) until a full message is buffered.
-    pub(crate) fn read_msg(&mut self, stream: &mut impl Read) -> io::Result<(u8, Bytes)> {
+    pub(crate) fn read_msg(&mut self, stream: &mut impl RxSource) -> io::Result<(u8, Bytes)> {
         if self.pos >= self.batch.len() {
             self.refill(stream)?;
         }
@@ -74,6 +132,8 @@ impl RecvBuf {
         let op = head[4];
         let payload = self.batch.slice(self.pos + 5..self.pos + 4 + len);
         self.pos += 4 + len;
+        // alpha = 1/8 EWMA, never decaying to zero.
+        self.avg_msg = (self.avg_msg * 7 / 8 + (4 + len) / 8).max(1);
         if let Some(stats) = &self.stats {
             stats.record_rx_pool(1, 0);
         }
@@ -81,17 +141,18 @@ impl RecvBuf {
     }
 
     /// Read until the staging buffer holds at least one complete
-    /// message, then promote the complete prefix into a fresh shared
-    /// batch. The prefix *moves* into the batch allocation; only a
-    /// trailing partial message (if any) is copied forward.
-    fn refill(&mut self, stream: &mut impl Read) -> io::Result<()> {
-        let done = loop {
+    /// message, then opportunistically drain whatever else the kernel
+    /// already buffered, then promote the complete prefix into a fresh
+    /// shared batch. The prefix *moves* into the batch allocation; only
+    /// a trailing partial message (if any) is copied forward.
+    fn refill(&mut self, stream: &mut impl RxSource) -> io::Result<()> {
+        let mut done = loop {
             match complete_prefix(&self.staging)? {
                 0 => {}
                 k => break k,
             }
             let old = self.staging.len();
-            self.staging.resize(old + READ_WINDOW, 0);
+            self.staging.resize(old + self.window(), 0);
             match stream.read(&mut self.staging[old..]) {
                 Ok(0) => {
                     self.staging.truncate(old);
@@ -107,6 +168,27 @@ impl RecvBuf {
                 }
             }
         };
+        // Opportunistic drain: messages the kernel already holds join
+        // this batch instead of each forcing its own promotion. One
+        // wakeup, one allocation, the whole burst.
+        loop {
+            let old = self.staging.len();
+            let window = self.window();
+            self.staging.resize(old + window, 0);
+            match stream.read_available(&mut self.staging[old..]) {
+                Some(n) => {
+                    self.staging.truncate(old + n);
+                    done = complete_prefix(&self.staging)?;
+                    if n < window {
+                        break; // kernel buffer drained
+                    }
+                }
+                None => {
+                    self.staging.truncate(old);
+                    break;
+                }
+            }
+        }
         let tail = self.staging.split_off(done);
         let prefix = std::mem::replace(&mut self.staging, tail);
         self.batch = Bytes::from(prefix);
@@ -296,6 +378,7 @@ mod tests {
                 Ok(n)
             }
         }
+        impl RxSource for Chunked {}
         for step in [1, 2, 5, 64] {
             let mut r = Chunked {
                 data: wire.clone(),
@@ -356,5 +439,96 @@ mod tests {
             misses <= 2,
             "batch allocations must be amortized (got {misses} misses)"
         );
+    }
+
+    /// A source that serves one blocking message at a time but exposes
+    /// the rest through `read_available` — the shape of a TCP socket
+    /// whose kernel buffer filled while the reader slept.
+    struct Bursty {
+        data: Vec<u8>,
+        pos: usize,
+        first_msg: usize,
+    }
+
+    impl Read for Bursty {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            // Blocking read: only the first message's bytes.
+            let n = self
+                .first_msg
+                .saturating_sub(self.pos)
+                .min(buf.len())
+                .min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    impl RxSource for Bursty {
+        fn read_available(&mut self, buf: &mut [u8]) -> Option<usize> {
+            let n = (self.data.len() - self.pos).min(buf.len());
+            if n == 0 {
+                return None;
+            }
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Some(n)
+        }
+    }
+
+    #[test]
+    fn opportunistic_drain_joins_pending_messages_to_the_batch() {
+        // 32 messages; the blocking read yields only the first, the
+        // rest sit "in the kernel". The drain must fold them into the
+        // same batch: one miss total, not one per wakeup.
+        let mut wire = Vec::new();
+        let mut first_msg = 0;
+        for i in 0..32u64 {
+            write_msg(&mut wire, 2, &i.to_le_bytes()).unwrap();
+            if i == 0 {
+                first_msg = wire.len();
+            }
+        }
+        let stats = Arc::new(NetStats::new());
+        let mut rb = RecvBuf::new(Some(stats.clone()));
+        let mut src = Bursty {
+            data: wire,
+            pos: 0,
+            first_msg,
+        };
+        for i in 0..32u64 {
+            let (op, payload) = rb.read_msg(&mut src).unwrap();
+            assert_eq!((op, &payload[..]), (2, &i.to_le_bytes()[..]));
+        }
+        let (hits, misses) = stats.rx_pool();
+        assert_eq!(hits, 32);
+        assert_eq!(misses, 1, "drained burst must share one batch");
+        assert!(stats.rx_pool_hit_rate() > 0.95);
+    }
+
+    #[test]
+    fn read_window_adapts_to_message_size() {
+        let mut rb = RecvBuf::new(None);
+        assert_eq!(rb.window(), MIN_READ_WINDOW);
+        // A run of large messages grows the window toward the cap...
+        let mut wire = Vec::new();
+        for _ in 0..64 {
+            write_msg(&mut wire, 1, &[0u8; 16 * 1024]).unwrap();
+        }
+        let mut cursor = &wire[..];
+        for _ in 0..64 {
+            rb.read_msg(&mut cursor).unwrap();
+        }
+        assert_eq!(rb.window(), READ_WINDOW);
+        // ...and a long run of tiny replies shrinks it back down.
+        let mut wire = Vec::new();
+        for _ in 0..256 {
+            write_msg(&mut wire, 1, b"ok").unwrap();
+        }
+        let mut cursor = &wire[..];
+        for _ in 0..256 {
+            rb.read_msg(&mut cursor).unwrap();
+        }
+        assert_eq!(rb.window(), MIN_READ_WINDOW);
     }
 }

@@ -84,6 +84,10 @@ fn log_conn_error(what: &str, peer: &str, e: &std::io::Error) {
 
 /// A cached REQ connection: the socket plus its receive slab (replies
 /// may straddle reads, so the slab must persist across requests).
+/// The slab carries no pool stats: request/reply is stop-and-wait by
+/// protocol — exactly one reply per refill — so counting it would pin
+/// the reported hit rate near 0.5 no matter how well the data-plane
+/// batches.
 struct ReqConn {
     stream: TcpStream,
     rbuf: RecvBuf,
@@ -224,7 +228,7 @@ impl Transport for TcpTransport {
             s.set_nodelay(true)?;
             *guard = Some(ReqConn {
                 stream: s,
-                rbuf: RecvBuf::new(Some(self.stats.clone())),
+                rbuf: RecvBuf::new(None),
             });
         }
         let Some(conn) = guard.as_mut() else {
@@ -316,9 +320,10 @@ impl Transport for TcpTransport {
         let (tx, rx) = unbounded();
         let local = Addr::Tcp(stream.local_addr()?);
         let peer = sock.to_string();
-        let stats = self.stats.clone();
         std::thread::spawn(move || {
-            let mut rbuf = RecvBuf::new(Some(stats));
+            // No pool stats: subscriptions carry sporadic control-plane
+            // broadcasts (ADVANCE/RECOVER), inherently one per refill.
+            let mut rbuf = RecvBuf::new(None);
             loop {
                 let payload = match rbuf.read_msg(&mut stream) {
                     Ok((OP_PUSH, payload)) => payload,

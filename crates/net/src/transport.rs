@@ -69,12 +69,28 @@ impl NetStats {
         }
     }
 
-    /// `(hits, misses)` of the RX slab pool across all receive loops.
+    /// `(hits, misses)` of the RX slab pool across data-plane receive
+    /// loops (mailbox connections). Request/reply and subscription
+    /// slabs are excluded: their one-message-per-refill shape is
+    /// protocol-inherent (stop-and-wait replies, sporadic broadcasts),
+    /// not a property of the pool.
     pub fn rx_pool(&self) -> (u64, u64) {
         (
             self.rx_pool_hits.load(Ordering::Relaxed),
             self.rx_pool_misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Fraction of messages served from an existing batch allocation
+    /// (`hits / (hits + misses)`; 0 before any traffic). Each miss is
+    /// one batch promotion, so this is the amortization factor of the
+    /// RX slab pool.
+    pub fn rx_pool_hit_rate(&self) -> f64 {
+        let (hits, misses) = self.rx_pool();
+        if hits + misses == 0 {
+            return 0.0;
+        }
+        hits as f64 / (hits + misses) as f64
     }
 
     /// Take the RX pool counters, resetting them to zero. Lets exactly

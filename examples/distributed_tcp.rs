@@ -178,6 +178,7 @@ fn coordinator() {
                     params,
                     reuse_state: false,
                     asynchronous: false,
+                    delta: false,
                 }),
                 Duration::from_secs(30),
             )

@@ -391,3 +391,80 @@ fn interval_checkpoints_fire_automatically() {
     cluster.shutdown();
     let _ = fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn parked_residuals_survive_checkpoint_and_recovery() {
+    // Incremental PageRank parks batch corrections as per-vertex
+    // residuals between runs. A checkpoint taken at that boundary must
+    // carry them: after a crash + restore, the incremental run folds
+    // the restored residuals and still lands on the full-recompute
+    // answer. (Change-log records replayed past the watermark get no
+    // corrections — the residual seed dies with the crash — so this
+    // test checkpoints after the batch, leaving an empty suffix.)
+    let dir = ckpt_dir("residual");
+    let edges = chain_graph(400);
+    let batch: Vec<EdgeChange> = (0..400u64)
+        .step_by(9)
+        .filter(|&i| (i * 11 + 5) % 400 != i)
+        .map(|i| EdgeChange::insert(i, (i * 11 + 5) % 400))
+        .collect();
+    let pr = PageRank::new(0.85)
+        .with_max_iters(300)
+        .with_tolerance(1e-10);
+
+    let mut cluster = Cluster::builder()
+        .agents(4)
+        .config(recovery_config())
+        .checkpoints(&dir)
+        .build();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster.run(pr).expect("initial pagerank");
+    // The batch converts to residual corrections at ingest; checkpoint
+    // with those residuals parked and nothing left in the log.
+    cluster.ingest(batch.iter().copied());
+    assert!(cluster.checkpoint().expect("checkpoint").committed);
+
+    let handle = cluster
+        .start_run(
+            pr,
+            RunOptions {
+                reuse_state: true,
+                mode: ExecutionMode::Sync,
+            },
+        )
+        .expect("start incremental run");
+    let victim = cluster.agent_ids()[1];
+    cluster.kill_agent(victim);
+    cluster
+        .wait_run(handle)
+        .expect("incremental run survives the crash");
+    let rec = cluster.recovery_stats();
+    assert_eq!(rec.recoveries, 1);
+    assert_eq!(rec.ckpt_restores, 1);
+    assert_eq!(rec.replayed_records, 0, "checkpoint covered the batch");
+    let got = cluster.dump_states();
+    cluster.shutdown();
+
+    // Full recompute over the final graph: the incremental answer is
+    // only reachable if the restored residuals carried the batch.
+    let mut full: Vec<(u64, u64)> = edges;
+    full.extend(batch.iter().map(|c| (c.edge.src, c.edge.dst)));
+    full.sort_unstable();
+    full.dedup();
+    let mut clean = Cluster::builder().agents(4).build();
+    clean.ingest_edges(full.iter().copied());
+    clean.run(pr).expect("full recompute");
+    let want = clean.dump_states();
+    clean.shutdown();
+
+    assert_eq!(got.len(), want.len());
+    for (v, &bits) in &want {
+        let w = f64::from_bits(bits);
+        let g = f64::from_bits(got[v]);
+        assert!(
+            (w - g).abs() < 1e-5,
+            "residuals lost in recovery: v{v} full={w} incremental={g}"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

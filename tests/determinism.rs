@@ -254,6 +254,32 @@ fn async_wcc_matches_sync_bit_exact() {
     assert_eq!(sync, asynch, "async WCC must match sync bit for bit");
 }
 
+#[test]
+fn async_pagerank_matches_sync_within_tolerance() {
+    // PageRank is not order-independent, but the residual formulation
+    // is: every push carries mass that lands exactly once regardless of
+    // arrival order, and the run ends only when all residuals sit below
+    // tolerance. Sync and async therefore land within an accumulated-
+    // tolerance ball (~ n * tol / (1 - d)) of the same fixpoint — far
+    // below the 1e-5 asserted here.
+    let edges = big_graph(1000);
+    let pr = PageRank::new(0.85)
+        .with_max_iters(300)
+        .with_tolerance(1e-10);
+    let sync = states_for_mode(ExecutionMode::Sync, 3, &edges, pr);
+    let asynch = states_for_mode(ExecutionMode::Async, 3, &edges, pr);
+    assert_eq!(sync.len(), 1000);
+    assert_eq!(sync.len(), asynch.len());
+    for (v, &bits) in &sync {
+        let s = f64::from_bits(bits);
+        let a = f64::from_bits(asynch[v]);
+        assert!(
+            (s - a).abs() < 1e-5,
+            "async pagerank diverged at v{v}: sync={s} async={a}"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------
 // TCP transport
 // ---------------------------------------------------------------------
@@ -325,6 +351,7 @@ fn tcp_states(
                     params,
                     reuse_state: false,
                     asynchronous: false,
+                    delta: false,
                 }),
                 Duration::from_secs(30),
             )

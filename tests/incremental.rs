@@ -1,0 +1,367 @@
+//! Incremental (delta) execution vs full recompute.
+//!
+//! The delta engine must be an *optimization*, never a semantics
+//! change. What "must match" means depends on the algorithm:
+//!
+//! * WCC and SSSP recompute incrementally through monotone
+//!   re-activation (reuse + dirty frontier), so an incremental run over
+//!   an insertion batch must land on exactly the bits a fresh run over
+//!   the final graph produces.
+//! * PageRank recomputes through the residual formulation; folds park
+//!   below-tolerance residuals, so incremental and full recompute each
+//!   sit within a tolerance-bounded ball of the true fixpoint. The
+//!   tests pin agreement at a bound far above the accumulated
+//!   tolerance but far below any real divergence (a wrong or double
+//!   correction shifts ranks by whole shares, orders of magnitude
+//!   more).
+//!
+//! Residual PageRank does not redistribute dangling mass (documented
+//! in DESIGN.md), so every graph here keeps a ring backbone: out-degree
+//! is always >= 1 and the classic and residual fixpoints coincide.
+
+use elga::core::program::RunOptions;
+use elga::net::{FaultPlan, SendPolicy};
+use elga::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+const TOL: f64 = 1e-10;
+/// Agreement bound for tolerance-based PageRank comparisons: comfortably
+/// above n * TOL / (1 - d) yet far below one mis-routed share.
+const AGREE: f64 = 1e-5;
+
+fn pagerank() -> PageRank {
+    PageRank::new(0.85).with_max_iters(300).with_tolerance(TOL)
+}
+
+/// Ring with chords: connected, degree-skewed, dangling-free.
+fn base_graph(n: u64) -> Vec<(u64, u64)> {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        if i % 3 == 0 {
+            edges.push((i, (i * 7 + 3) % n));
+        }
+    }
+    edges.retain(|&(u, v)| u != v);
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Three change batches over `base_graph(n)`: chord insertions, mixed
+/// deletions + insertions, then a batch that grows the vertex set (the
+/// teleport term shifts, exercising the step-0 residual reseed).
+fn change_batches(n: u64) -> Vec<Vec<EdgeChange>> {
+    let mut b1 = Vec::new();
+    for i in (0..n).step_by(10) {
+        let w = (i * 11 + 5) % n;
+        if w != i {
+            b1.push(EdgeChange::insert(i, w));
+        }
+    }
+    let mut b2 = Vec::new();
+    for i in (0..n).step_by(6) {
+        let w = (i * 7 + 3) % n;
+        if w != i {
+            // These chords exist in the base graph (6 | i implies 3 | i).
+            b2.push(EdgeChange::delete(i, w));
+        }
+    }
+    for i in (0..n).step_by(7) {
+        let w = (i * 13 + 1) % n;
+        if w != i {
+            b2.push(EdgeChange::insert(i, w));
+        }
+    }
+    // New vertices n and n+1 splice into the ring shape without
+    // breaking dangling-freeness.
+    let b3 = vec![
+        EdgeChange::insert(n, 0),
+        EdgeChange::insert(n - 1, n),
+        EdgeChange::insert(n + 1, n / 2),
+        EdgeChange::insert(n / 2, n + 1),
+    ];
+    vec![b1, b2, b3]
+}
+
+/// Apply `batches` to `base`, yielding the final edge set.
+fn final_edges(base: &[(u64, u64)], batches: &[Vec<EdgeChange>]) -> Vec<(u64, u64)> {
+    let mut set: HashSet<(u64, u64)> = base.iter().copied().collect();
+    for batch in batches {
+        for c in batch {
+            let e = (c.edge.src, c.edge.dst);
+            match c.action {
+                elga::graph::types::Action::Insert => {
+                    set.insert(e);
+                }
+                elga::graph::types::Action::Delete => {
+                    set.remove(&e);
+                }
+            }
+        }
+    }
+    let mut edges: Vec<_> = set.into_iter().collect();
+    edges.sort_unstable();
+    edges
+}
+
+fn full_recompute(agents: usize, edges: &[(u64, u64)]) -> HashMap<u64, u64> {
+    let mut cluster = Cluster::builder().agents(agents).build();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster.run(pagerank()).expect("full recompute");
+    let states = cluster.dump_states();
+    cluster.shutdown();
+    states
+}
+
+fn assert_ranks_agree(got: &HashMap<u64, u64>, want: &HashMap<u64, u64>, what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: vertex sets differ");
+    for (v, &bits) in want {
+        let a = f64::from_bits(bits);
+        let b = f64::from_bits(got[v]);
+        assert!(
+            (a - b).abs() < AGREE,
+            "{what}: v{v} diverged: full={a} incremental={b}"
+        );
+    }
+}
+
+#[test]
+fn delta_pagerank_matches_full_recompute_across_batches() {
+    let n = 800;
+    let base = base_graph(n);
+    let batches = change_batches(n);
+
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(base.iter().copied());
+    // Fresh run: classic path (delta needs previous state to exist).
+    cluster.run(pagerank()).expect("initial pagerank");
+    // Each batch converts to residual corrections at ingest; the
+    // reuse_state run folds them through the delta engine.
+    for batch in &batches {
+        cluster.ingest(batch.iter().copied());
+        let stats = cluster
+            .run_with(
+                pagerank(),
+                RunOptions {
+                    reuse_state: true,
+                    mode: ExecutionMode::Sync,
+                },
+            )
+            .expect("incremental pagerank");
+        assert!(stats.steps >= 1);
+    }
+    let got = cluster.dump_states();
+    cluster.shutdown();
+
+    let want = full_recompute(3, &final_edges(&base, &batches));
+    assert_ranks_agree(&got, &want, "sync delta across three batches");
+}
+
+#[test]
+fn async_delta_pagerank_matches_full_recompute() {
+    let n = 600;
+    let base = base_graph(n);
+    let batches = change_batches(n);
+
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(base.iter().copied());
+    // Async PageRank runs on the delta path from a cold start too:
+    // delta_init seeds the teleport residual, no previous run needed.
+    for (i, batch) in batches.iter().enumerate() {
+        if i > 0 {
+            cluster.ingest(batch.iter().copied());
+        }
+        cluster
+            .run_with(
+                pagerank(),
+                RunOptions {
+                    reuse_state: i > 0,
+                    mode: ExecutionMode::Async,
+                },
+            )
+            .expect("async incremental pagerank");
+    }
+    // The last batch was never ingested above; do it + one final run.
+    cluster.ingest(batches[0].iter().copied());
+    let _ = cluster
+        .run_with(
+            pagerank(),
+            RunOptions {
+                reuse_state: true,
+                mode: ExecutionMode::Async,
+            },
+        )
+        .expect("final async incremental");
+    let got = cluster.dump_states();
+    cluster.shutdown();
+
+    let mut all = batches;
+    all.rotate_left(1); // order is irrelevant to the final edge set
+    let want = full_recompute(3, &final_edges(&base, &all));
+    assert_ranks_agree(&got, &want, "async delta");
+}
+
+#[test]
+fn incremental_wcc_matches_full_recompute_bit_exact() {
+    let n = 2000;
+    let base = base_graph(n);
+    let inserts: Vec<EdgeChange> = (0..n)
+        .step_by(13)
+        .filter(|&i| (i * 17 + 9) % n != i)
+        .map(|i| EdgeChange::insert(i, (i * 17 + 9) % n))
+        .collect();
+
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(base.iter().copied());
+    cluster.run(Wcc::new()).expect("initial wcc");
+    cluster.ingest(inserts.iter().copied());
+    cluster
+        .run_with(
+            Wcc::new(),
+            RunOptions {
+                reuse_state: true,
+                mode: ExecutionMode::Sync,
+            },
+        )
+        .expect("incremental wcc");
+    let got = cluster.dump_states();
+    cluster.shutdown();
+
+    let mut full = Cluster::builder().agents(3).build();
+    full.ingest_edges(final_edges(&base, &[inserts]).iter().copied());
+    full.run(Wcc::new()).expect("full wcc");
+    let want = full.dump_states();
+    full.shutdown();
+
+    assert_eq!(got, want, "incremental WCC must be bit-exact");
+}
+
+#[test]
+fn incremental_sssp_matches_full_recompute_bit_exact() {
+    let n = 2000;
+    let base = base_graph(n);
+    let inserts: Vec<EdgeChange> = (0..n)
+        .step_by(11)
+        .filter(|&i| (i * 23 + 7) % n != i)
+        .map(|i| EdgeChange::insert(i, (i * 23 + 7) % n))
+        .collect();
+
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(base.iter().copied());
+    cluster.run(Sssp::new(0)).expect("initial sssp");
+    cluster.ingest(inserts.iter().copied());
+    cluster
+        .run_with(
+            Sssp::new(0),
+            RunOptions {
+                reuse_state: true,
+                mode: ExecutionMode::Sync,
+            },
+        )
+        .expect("incremental sssp");
+    let got = cluster.dump_states();
+    cluster.shutdown();
+
+    let mut full = Cluster::builder().agents(3).build();
+    full.ingest_edges(final_edges(&base, &[inserts]).iter().copied());
+    full.run(Sssp::new(0)).expect("full sssp");
+    let want = full.dump_states();
+    full.shutdown();
+
+    assert_eq!(
+        got, want,
+        "incremental SSSP over insertions must be bit-exact"
+    );
+}
+
+#[test]
+fn delta_pagerank_survives_mid_run_view_change() {
+    let n = 800;
+    let base = base_graph(n);
+    let batches = change_batches(n);
+
+    let cfg = SystemConfig {
+        quiesce_deadline: Duration::from_secs(60),
+        run_deadline: Duration::from_secs(120),
+        ..SystemConfig::default()
+    };
+    let mut cluster = Cluster::builder().agents(3).config(cfg).build();
+    cluster.ingest_edges(base.iter().copied());
+    cluster.run(pagerank()).expect("initial pagerank");
+    cluster.ingest(batches.iter().flatten().copied());
+
+    // Scale events land mid-incremental-run: parked residuals and
+    // in-flight pending deltas must migrate with their vertices.
+    let handle = cluster
+        .start_run(
+            pagerank(),
+            RunOptions {
+                reuse_state: true,
+                mode: ExecutionMode::Sync,
+            },
+        )
+        .expect("start incremental run");
+    let added = cluster.add_agents(1);
+    assert_eq!(added.len(), 1);
+    let removed = cluster.remove_agents(2);
+    assert_eq!(removed.len(), 2);
+    cluster
+        .wait_run(handle)
+        .expect("incremental run absorbs scale events");
+    let got = cluster.dump_states();
+    cluster.shutdown();
+
+    let want = full_recompute(3, &final_edges(&base, &batches));
+    assert_ranks_agree(&got, &want, "delta run across a mid-run view change");
+}
+
+#[test]
+fn delta_pagerank_under_chaos_matches_clean_full_recompute() {
+    let n = 600;
+    let base = base_graph(n);
+    let batches = change_batches(n);
+
+    let cfg = SystemConfig {
+        request_timeout: Duration::from_secs(5),
+        send_policy: SendPolicy {
+            retries: 6,
+            base_delay: Duration::from_millis(2),
+            deadline: Duration::from_secs(10),
+        },
+        quiesce_deadline: Duration::from_secs(60),
+        run_deadline: Duration::from_secs(120),
+        ..SystemConfig::default()
+    };
+    // Residual corrections and delta pushes ride ordinary PUSH frames,
+    // so the reliable layer's exactly-once accounting must keep the
+    // f64 sums exact under drops and duplicating retries.
+    let plan = FaultPlan::uniform(0.05, 0.01, Duration::ZERO, Duration::from_millis(5));
+    let mut chaos = Cluster::builder()
+        .agents(3)
+        .config(cfg)
+        .chaos(plan, 0xDE17A)
+        .build();
+    chaos.ingest_edges(base.iter().copied());
+    chaos.run(pagerank()).expect("initial pagerank under chaos");
+    for batch in &batches {
+        chaos.ingest(batch.iter().copied());
+        chaos
+            .run_with(
+                pagerank(),
+                RunOptions {
+                    reuse_state: true,
+                    mode: ExecutionMode::Sync,
+                },
+            )
+            .expect("incremental pagerank under chaos");
+    }
+    let got = chaos.dump_states();
+    let stats = chaos.fault().expect("chaos handle").stats();
+    assert!(stats.dropped() > 0, "no frames dropped — chaos was a no-op");
+    chaos.shutdown();
+
+    let want = full_recompute(3, &final_edges(&base, &batches));
+    assert_ranks_agree(&got, &want, "delta runs under chaos transport");
+}

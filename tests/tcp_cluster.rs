@@ -99,6 +99,7 @@ fn wcc_and_pagerank_over_tcp_sockets() {
                     params,
                     reuse_state: false,
                     asynchronous: false,
+                    delta: false,
                 }),
                 Duration::from_secs(30),
             )
