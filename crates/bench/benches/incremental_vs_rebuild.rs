@@ -25,8 +25,9 @@ use elga_core::program::{ExecutionMode, RunOptions};
 use elga_graph::types::EdgeChange;
 use std::time::Instant;
 
-/// Ring with sparse chords: connected, dangling-free (the residual
-/// formulation does not redistribute dangling mass), and — crucially —
+/// Ring with sparse chords: connected, dangling-free (so delta and
+/// full runs agree without exercising the dangling-redistribution
+/// rounds, which cost extra barriers), and — crucially —
 /// high-diameter. On an expander, a batch's rank perturbation reaches
 /// every vertex before decaying below tolerance and "the affected
 /// frontier" is the whole graph; the sparse-chord ring keeps the

@@ -115,6 +115,11 @@ impl Agent {
             }
             if g.has_state {
                 e.rep_out_degree = e.rep_out_degree.max(g.rep_out_degree);
+                // Checkpoints are cut at quiesced batch boundaries, so
+                // the restored states are a completed-run snapshot:
+                // serve them (tagged run 0 — the id went unrecorded).
+                e.snap = e.state;
+                e.has_snap = true;
             }
             e.active = e.active || g.active;
             match g.side {
@@ -154,6 +159,10 @@ impl Agent {
                 e.state = m.state;
                 e.has_state = true;
                 e.rep_out_degree = e.rep_out_degree.max(m.g_out.max(0) as u64);
+                // As in `on_ckpt_edges`: restored states are a
+                // consistent completed-run cut — serve them.
+                e.snap = e.state;
+                e.has_snap = true;
             }
             if m.has_residual {
                 // At most one shard carried this vertex's primary

@@ -277,6 +277,7 @@ impl Agent {
         };
         self.counters.chg_recv += deltas.len() as u64;
         let program = self.delta_seed.as_ref().map(|s| Arc::clone(&s.program));
+        let mut dangling = 0.0;
         for (v, dout, din) in deltas {
             let e = self.vertices.entry_or_default(v);
             // Residual correction (delta engine): an out-degree change
@@ -289,6 +290,10 @@ impl Agent {
                     let d0 = e.g_out.max(0) as u64;
                     let d1 = (e.g_out + dout).max(0) as u64;
                     if let Some((new_state, radj)) = p.rescale_on_degree_change(e.state, d0, d1) {
+                        // A sink gaining edges stops holding dangling
+                        // mass (and vice versa); the change folds into
+                        // the run-level redistribution accumulator.
+                        dangling += p.dangling_mass(new_state, d1) - p.dangling_mass(e.state, d0);
                         e.state = new_state;
                         e.residual = if e.has_residual {
                             p.merge_residual(e.residual, radj)
@@ -305,7 +310,13 @@ impl Agent {
             e.dirty = true;
             e.is_meta = e.g_out > 0 || e.g_in > 0;
             if !e.is_meta {
-                // Vertex vanished from the graph.
+                // Vertex vanished from the graph; any dangling mass it
+                // still held leaves with it.
+                if e.has_state {
+                    if let Some(p) = &program {
+                        dangling -= p.dangling_mass(e.state, e.g_out.max(0) as u64);
+                    }
+                }
                 e.has_state = false;
                 e.active = false;
                 e.dirty = false;
@@ -316,6 +327,7 @@ impl Agent {
                 }
             }
         }
+        self.dangling_acc += dangling;
         self.re_report();
     }
 

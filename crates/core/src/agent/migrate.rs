@@ -215,6 +215,8 @@ impl Agent {
                     wait_recv: e.wait_recv,
                     residual: e.residual,
                     has_residual: e.has_residual,
+                    snap: e.snap,
+                    has_snap: e.has_snap,
                 };
                 // g_in travels via a degree delta piggybacked in the
                 // meta record's move: encode as a second meta with the
@@ -270,7 +272,8 @@ impl Agent {
             if !bundle.metas.is_empty() {
                 for chunk in bundle.metas.chunks(BATCH) {
                     self.counters.mig_sent += chunk.len() as u64;
-                    self.push_to(agent, msg::encode_mig_meta(chunk));
+                    let frame = msg::encode_mig_meta(chunk, self.snap_run, self.snap_watermark);
+                    self.push_to(agent, frame);
                 }
             }
             for (side, snap, has_state, edges) in bundle.vertex_edges {
@@ -280,7 +283,24 @@ impl Agent {
             }
         }
         self.metrics.edges = self.out_pos.len() as u64;
-        self.send_ready(0, epoch as u32, Phase::Migrate, 0, 0.0, 0);
+        // Dangling-mass handoff (delta engine): while an async delta
+        // run is live the migrate READY carries the cumulative report
+        // (the lead folds a departer's final value before dropping its
+        // seen entry); a departer outside such a run hands its
+        // unreported accumulator over for the lead to carry into the
+        // next delta run's Scatter reduce.
+        let async_delta = self
+            .run
+            .as_ref()
+            .is_some_and(|r| r.async_live && r.info.delta);
+        let contrib = if async_delta {
+            self.dangling_report()
+        } else if self.departing {
+            std::mem::take(&mut self.dangling_acc)
+        } else {
+            0.0
+        };
+        self.send_ready(0, epoch as u32, Phase::Migrate, 0, contrib, 0);
     }
 
     pub(super) fn on_mig_edges(&mut self, frame: Frame) {
@@ -333,9 +353,17 @@ impl Agent {
     }
 
     pub(super) fn on_mig_meta(&mut self, frame: Frame) {
-        let Some(metas) = msg::decode_mig_meta(&frame) else {
+        let Some((snap_run, snap_watermark, metas)) = msg::decode_mig_meta(&frame) else {
             return;
         };
+        // Adopt the sender's serving-snapshot tag when it is newer:
+        // every agent that finished the last run carries the same tag,
+        // so this only moves a joiner (tag 0, no snaps of its own yet)
+        // up to the tag of the snaps now migrating in.
+        if snap_run > self.snap_run {
+            self.snap_run = snap_run;
+            self.snap_watermark = snap_watermark;
+        }
         self.counters.mig_recv += metas.len() as u64;
         self.tracer
             .instant(EventKind::MigrateRecv, metas.len() as u64, 0);
@@ -384,6 +412,13 @@ impl Agent {
                     m.residual
                 };
                 e.has_residual = true;
+            }
+            if m.has_snap {
+                // Serving snapshot follows primaryship. Both sides can
+                // only hold the same completed run's value, so adopt
+                // unconditionally.
+                e.snap = m.snap;
+                e.has_snap = true;
             }
         }
         self.re_report();

@@ -117,6 +117,13 @@ pub(crate) struct VertexEntry {
     /// next scatter. Transient within a sync delta superstep.
     pub(crate) pending_delta: u64,
     pub(crate) has_pending_delta: bool,
+    /// Double-buffered copy of `state` taken when the last run
+    /// *completed*. Queries serve this buffer, never the live `state`,
+    /// so readers cannot observe torn mid-superstep values while the
+    /// next run is writing. Tagged agent-wide by
+    /// [`Agent::snap_run`] / [`Agent::snap_watermark`].
+    pub(crate) snap: u64,
+    pub(crate) has_snap: bool,
 }
 
 impl VertexEntry {
@@ -129,7 +136,18 @@ impl VertexEntry {
             && !self.has_ppartial
             && !self.has_residual
             && !self.has_pending_delta
+            && !self.has_snap
     }
+}
+
+/// One standing subscription (client-registered vertex interest).
+/// Value deltas ride a dedicated per-client [`CoalescingOutbox`] — the
+/// same credit/backpressure machinery as the agent planes — and are
+/// UNCOUNTED: like queries, subscription traffic is client-plane and
+/// must not move the Mattern barrier counters.
+struct Subscription {
+    outbox: CoalescingOutbox,
+    vertices: FxHashSet<VertexId>,
 }
 
 /// Per-run execution state.
@@ -150,6 +168,10 @@ struct AgentRun {
     /// processed — buffering them would strand counted sends and wedge
     /// the barrier's settled-counters check.
     paused: bool,
+    /// Highest dangling-redistribution round applied (async delta
+    /// runs); rounds arrive as `Phase::Apply` advances and a
+    /// retransmitting bus may repeat them.
+    dangling_round: u32,
 }
 
 /// What the agent remembers about the last residual-capable program
@@ -213,6 +235,15 @@ pub struct Agent {
     /// broadcast per message and the run's cost explodes from O(E) per
     /// effective round toward the number of residual-carrying walks.
     delta_hot: FxHashSet<VertexId>,
+    /// Unreported local change in dangling mass (delta engine): state
+    /// changes at sinks (applies, folds), ingest-time rescales, and
+    /// vertex vanishes accumulate here until the next report drains it.
+    dangling_acc: f64,
+    /// Cumulative dangling mass reported for the current async delta
+    /// run. Every READY sent while such a run is live carries it, so
+    /// the lead can telescope per-report differences into a pending
+    /// redistribution — idempotent under re-sends and reorderings.
+    dangling_cum: f64,
     /// Changes received while a run was active (§3.4: "While a batch is
     /// running, the graph does not change: any edge changes are
     /// buffered").
@@ -248,6 +279,22 @@ pub struct Agent {
     /// agent's lifetime (the disk-fault injector's RNG must advance
     /// across writes, not replay the same damage each generation).
     ckpt_store: Option<elga_ckpt::CheckpointStore>,
+    /// Run id of the last completed run whose states were copied into
+    /// the per-vertex `snap` buffers (0 = no run completed here yet;
+    /// restored checkpoints also report 0, their run id being
+    /// unrecorded).
+    snap_run: u64,
+    /// Ingest batch watermark (`view.batch_id`) current when that run
+    /// completed. Every query answer carries the `(snap_run,
+    /// snap_watermark)` pair, so a client knows exactly which
+    /// completed computation it read.
+    snap_watermark: u64,
+    /// Standing subscriptions by client-chosen id.
+    subs: FxHashMap<u64, Subscription>,
+    /// Reverse index: watched vertex → subscribing ids. Kept in sync
+    /// with `subs` so the post-run push sweep costs O(changed ∩
+    /// watched), not O(changed × subscriptions).
+    watchers: FxHashMap<VertexId, Vec<u64>>,
 }
 
 impl Agent {
@@ -339,6 +386,8 @@ impl Agent {
             run: None,
             delta_seed: None,
             delta_hot: FxHashSet::default(),
+            dangling_acc: 0.0,
+            dangling_cum: 0.0,
             buffered_changes: Vec::new(),
             buffered_frames: Vec::new(),
             reported: None,
@@ -351,6 +400,10 @@ impl Agent {
             ready_seq: 0,
             tracer: Arc::new(Tracer::from_flag(cfg.tracing)),
             ckpt_store: None,
+            snap_run: 0,
+            snap_watermark: 0,
+            subs: FxHashMap::default(),
+            watchers: FxHashMap::default(),
         };
         if let Some(info) = run_info {
             agent.begin_run(info);
@@ -441,18 +494,47 @@ impl Agent {
                 if let Some(reply) = d.reply {
                     let v = frame.reader().u64().unwrap_or(0);
                     self.metrics.queries += 1;
-                    let entry = self.vertices.get(&v);
-                    let (found, state) = match entry {
-                        Some(e) if e.has_state => (1u8, e.state),
-                        _ => (0u8, 0),
-                    };
+                    let a = self.answer_query(v);
                     let _ = reply.send(
                         Frame::builder(packet::QUERY_REP)
-                            .u8(found)
-                            .u64(state)
-                            .u64(self.view.batch_id)
+                            .u8(a.found)
+                            .u64(a.state)
+                            .u64(self.snap_watermark)
+                            .u64(self.snap_run)
                             .finish(),
                     );
+                }
+            }
+            packet::QUERY_BATCH => {
+                if let Some(reply) = d.reply {
+                    if let Some(recs) = msg::decode_query_batch(&frame) {
+                        self.metrics.queries += recs.len() as u64;
+                        self.metrics.query_batches += 1;
+                        let answers: Vec<msg::QueryAnswer> =
+                            recs.iter().map(|v| self.answer_query(v)).collect();
+                        let _ = reply.send(msg::encode_query_batch_rep(
+                            self.snap_run,
+                            self.snap_watermark,
+                            &answers,
+                        ));
+                    }
+                }
+            }
+            packet::SUB_REG => {
+                if let Some((addr, sub, recs)) = msg::decode_sub_reg(&frame) {
+                    self.on_sub_reg(addr, sub, recs.iter().collect());
+                    if let Some(reply) = d.reply {
+                        let _ = reply.send(Frame::signal(packet::OK));
+                    }
+                }
+            }
+            packet::ARM_DELTA => {
+                if let Some((tag, params, n)) = msg::decode_arm_delta(&frame) {
+                    let ok = self.on_arm_delta(tag, params, n);
+                    if let Some(reply) = d.reply {
+                        let _ = reply
+                            .send(Frame::builder(packet::ARM_DELTA).u8(ok as u8).finish());
+                    }
                 }
             }
             packet::DUMP => {
@@ -558,9 +640,9 @@ impl Agent {
         for (&v, e) in self.vertices.iter() {
             if e.is_meta && self.is_primary(v) {
                 n_primary += 1;
-                // Delta runs move mass only through residual pushes;
-                // the global term (PageRank's dangling mass) is not
-                // part of the residual invariant, so suppress it.
+                // Full runs recompute the global term (PageRank's
+                // dangling mass) from scratch each step; delta runs
+                // report the *change* below instead.
                 if e.has_state && !run.info.delta {
                     let ctx = VertexCtx {
                         out_degree: e.g_out.max(0) as u64,
@@ -573,7 +655,230 @@ impl Agent {
                 }
             }
         }
+        if run.info.delta {
+            // Delta runs report the accumulated change in locally-held
+            // dangling mass (ingest rescales/vanishes plus apply-time
+            // folds at sinks); the lead's Scatter reduce sums it into
+            // the step's global for uniform redistribution. Read
+            // non-destructively — a re-report must replace the lead's
+            // copy with the same value — and cleared when the Combine
+            // advance confirms the reduce absorbed it.
+            contrib = self.dangling_acc;
+        }
         (contrib, n_primary)
+    }
+
+    /// Cumulative dangling-mass report for async delta runs: fold the
+    /// unreported accumulator into the per-run running total and
+    /// return it. Carried by every READY while such a run is live.
+    fn dangling_report(&mut self) -> f64 {
+        self.dangling_cum += std::mem::take(&mut self.dangling_acc);
+        self.dangling_cum
+    }
+
+    /// Apply a dangling-redistribution round (async delta runs): merge
+    /// each primary's uniform share of `global` — the pending mass the
+    /// lead collected from cumulative reports — into its residual and
+    /// mark it hot, so the next drain folds shares above tolerance and
+    /// parks the rest.
+    fn dangling_redistribute(&mut self, global: f64) {
+        let Some(run) = self.run.as_ref() else {
+            return;
+        };
+        let program = Arc::clone(&run.program);
+        let n_vertices = run.n_vertices;
+        let id = self.id;
+        let locator = &self.locator;
+        let mut hot: Vec<VertexId> = Vec::new();
+        for (&v, e) in self.vertices.iter_mut() {
+            if !e.is_meta || locator.ring().owner(v) != Some(id) {
+                continue;
+            }
+            let ctx = VertexCtx {
+                out_degree: e.g_out.max(0) as u64,
+                in_degree: e.g_in.max(0) as u64,
+                n_vertices,
+                step: 1,
+                global,
+            };
+            if let Some(adj) = program.dangling_residual(&ctx) {
+                e.residual = if e.has_residual {
+                    program.merge_residual(e.residual, adj)
+                } else {
+                    adj
+                };
+                e.has_residual = true;
+                hot.push(v);
+            }
+        }
+        self.delta_hot.extend(hot);
+    }
+
+    // ------------------------------------------------------------------
+    // Query serving
+    // ------------------------------------------------------------------
+
+    /// Answer a point query from the snapshot buffer. Live `state` is
+    /// never served: mid-run it is torn (some vertices stepped, some
+    /// not), and the snapshot is exactly the last completed run's
+    /// values. A vertex with no entry at the agent that owns its meta
+    /// record does not exist — that answer is authoritative
+    /// ([`msg::ANSWER_GONE`]) and lets clients stop searching.
+    fn answer_query(&self, v: VertexId) -> msg::QueryAnswer {
+        match self.vertices.get(&v) {
+            Some(e) if e.has_snap => msg::QueryAnswer {
+                vertex: v,
+                state: e.snap,
+                found: msg::ANSWER_HIT,
+            },
+            Some(_) => msg::QueryAnswer {
+                vertex: v,
+                state: 0,
+                found: msg::ANSWER_MISS,
+            },
+            None => msg::QueryAnswer {
+                vertex: v,
+                state: 0,
+                found: if self.is_primary(v) {
+                    msg::ANSWER_GONE
+                } else {
+                    msg::ANSWER_MISS
+                },
+            },
+        }
+    }
+
+    /// SUB_REG: install (or replace; empty set cancels) a standing
+    /// subscription. The push channel is a dedicated per-client
+    /// coalescing outbox, so delta floods to slow clients hit the same
+    /// credit/backpressure ceiling as agent-plane traffic.
+    fn on_sub_reg(&mut self, addr: Addr, sub: u64, vertices: Vec<VertexId>) {
+        if let Some(old) = self.subs.remove(&sub) {
+            for v in old.vertices {
+                let emptied = match self.watchers.get_mut(&v) {
+                    Some(ids) => {
+                        ids.retain(|&s| s != sub);
+                        ids.is_empty()
+                    }
+                    None => false,
+                };
+                if emptied {
+                    self.watchers.remove(&v);
+                }
+            }
+        }
+        if vertices.is_empty() {
+            self.metrics.subscriptions = self.subs.len() as u64;
+            return;
+        }
+        let Ok(out) = self.transport.sender(&addr) else {
+            return;
+        };
+        let cfg = if self.cfg.coalescing {
+            CoalesceConfig::default()
+        } else {
+            CoalesceConfig::disabled()
+        };
+        let outbox = CoalescingOutbox::new(out, cfg).with_net_stats(self.net.clone());
+        for &v in &vertices {
+            self.watchers.entry(v).or_default().push(sub);
+        }
+        self.subs.insert(
+            sub,
+            Subscription {
+                outbox,
+                vertices: vertices.into_iter().collect(),
+            },
+        );
+        self.metrics.subscriptions = self.subs.len() as u64;
+    }
+
+    /// ARM_DELTA (driver REQ, checkpoint restore): re-arm the
+    /// ingest-time delta seed ahead of a log-suffix replay. The
+    /// recovery reset wiped the seed with everything else; without it
+    /// the replayed edge changes would mutate degrees but generate no
+    /// residual corrections, and the next incremental run would
+    /// converge against a silently stale frontier.
+    fn on_arm_delta(&mut self, tag: u8, params: [u64; 3], n: u64) -> bool {
+        let Some(spec) = ProgramSpec::decode(tag, params) else {
+            return false;
+        };
+        let program = spec.instantiate();
+        if program.delta_kind() != DeltaKind::Residual {
+            return false;
+        }
+        self.delta_seed = Some(DeltaSeed { program, n });
+        true
+    }
+
+    /// Publish a completed run to the serving plane: copy every
+    /// settled state into its query snapshot buffer, advance the
+    /// agent-wide snapshot tag, and push value deltas to matching
+    /// subscriptions. Runs at ADVANCE(done): the termination barrier
+    /// already confirmed every STATE broadcast of the run was received
+    /// and processed, so `state` holds the completed value on replicas
+    /// too — and since queries are handled on this same thread, the
+    /// buffer flip is atomic with respect to readers.
+    fn snapshot_states(&mut self) {
+        let Some(run) = self.run.as_ref() else {
+            return;
+        };
+        let run_id = run.info.run_id;
+        self.snap_run = run_id;
+        self.snap_watermark = self.view.batch_id;
+        let id = self.id;
+        let locator = &self.locator;
+        let track = !self.subs.is_empty();
+        let mut changed: Vec<(VertexId, u64)> = Vec::new();
+        let mut emptied: Vec<VertexId> = Vec::new();
+        for (&v, e) in self.vertices.iter_mut() {
+            if !e.has_state {
+                // The vertex vanished (or lost its state) since the
+                // snapshot was taken; the old value stayed servable
+                // until this run completed, and expires with it.
+                if e.has_snap {
+                    e.snap = 0;
+                    e.has_snap = false;
+                    if e.is_empty() {
+                        emptied.push(v);
+                    }
+                }
+                continue;
+            }
+            let moved = !e.has_snap || e.snap != e.state;
+            e.snap = e.state;
+            e.has_snap = true;
+            // Collect from the primary only, so a subscriber hears
+            // each change exactly once no matter how many replicas
+            // hold state copies.
+            if track && moved && e.is_meta && locator.ring().owner(v) == Some(id) {
+                changed.push((v, e.state));
+            }
+        }
+        for v in emptied {
+            self.vertices.remove(&v);
+        }
+        if changed.is_empty() {
+            return;
+        }
+        // Deterministic push order regardless of map iteration.
+        changed.sort_unstable();
+        let mut pushed = 0u64;
+        for (v, state) in changed {
+            let Some(ids) = self.watchers.get(&v) else {
+                continue;
+            };
+            for &sub in ids {
+                if let Some(s) = self.subs.get_mut(&sub) {
+                    msg::append_sub_push(&mut s.outbox, sub, run_id, self.snap_watermark, v, state);
+                    pushed += 1;
+                }
+            }
+        }
+        self.metrics.sub_pushes += pushed;
+        for s in self.subs.values_mut() {
+            s.outbox.flush();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -593,13 +898,35 @@ impl Agent {
                 e.residual = 0;
                 e.has_residual = false;
             }
+            // A from-scratch run recomputes every vertex; dangling-mass
+            // deltas accumulated against the discarded states are moot.
+            self.dangling_acc = 0.0;
         }
-        for e in self.vertices.values_mut() {
+        // The cumulative report is per-run by construction.
+        self.dangling_cum = 0.0;
+        let mut stale = Vec::new();
+        for (&v, e) in self.vertices.iter_mut() {
             e.has_partial = false;
             e.has_ppartial = false;
             e.wait_recv = 0;
             e.pending_delta = 0;
             e.has_pending_delta = false;
+            // A parked correction addressed to a vertex with no edges
+            // and no state belongs to a dead incarnation: within its
+            // (now settled) batch, the deg-delta that vanished the
+            // vertex raced ahead of the correction, which then landed
+            // on the emptied entry. Purge it, or a later re-created
+            // vertex inherits mass owed to its predecessor.
+            if e.has_residual && !e.is_meta && !e.has_state {
+                e.residual = 0;
+                e.has_residual = false;
+                if e.is_empty() {
+                    stale.push(v);
+                }
+            }
+        }
+        for v in stale {
+            self.vertices.remove(&v);
         }
         // Remember the residual program across the run so ingest can
         // turn the next batch's edge changes into corrections. The
@@ -627,6 +954,7 @@ impl Agent {
             global: 0.0,
             async_live: false,
             paused: false,
+            dangling_round: 0,
         });
         self.reported = None;
         self.reported_counters = None;
@@ -658,10 +986,25 @@ impl Agent {
                 self.last_idle_counters = None;
                 self.async_rescatter();
                 self.replay_buffered();
+            } else if adv.phase == Phase::Apply {
+                // Dangling-mass redistribution round: fold the uniform
+                // share of the published pending mass into every
+                // primary's residual. The round guard makes a
+                // re-published advance idempotent; dropping the idle
+                // snapshot forces a fresh report even when every share
+                // parks below tolerance, so the round always answers.
+                if adv.step > run.dangling_round {
+                    run.dangling_round = adv.step;
+                    self.dangling_redistribute(adv.global);
+                    self.last_idle_counters = None;
+                }
             } else {
                 // Probe: drain already happened (mailbox FIFO); answer
-                // with current counters.
-                self.send_ready(adv.run, adv.step, Phase::Combine, 0, 0.0, 0);
+                // with current counters (and the cumulative dangling
+                // report, so no fold's mass can slip past termination).
+                let delta = run.info.delta;
+                let contrib = if delta { self.dangling_report() } else { 0.0 };
+                self.send_ready(adv.run, adv.step, Phase::Combine, 0, contrib, 0);
             }
             return;
         }
@@ -669,6 +1012,12 @@ impl Agent {
         run.phase = adv.phase;
         run.n_vertices = adv.n_vertices;
         run.global = adv.global;
+        if run.info.delta && adv.phase == Phase::Combine {
+            // The step's Scatter reduce absorbed the reported
+            // dangling-mass accumulator into `global`; clear it so the
+            // next step reports only new changes.
+            self.dangling_acc = 0.0;
+        }
         if run.info.asynchronous && adv.step == 1 && adv.phase == Phase::Scatter {
             run.async_live = true;
             let t0 = Instant::now();
@@ -714,6 +1063,9 @@ impl Agent {
     }
 
     fn finish_run(&mut self) {
+        // Flip the serving snapshot and notify subscribers before the
+        // run is dropped (the sweep needs its id and program context).
+        self.snapshot_states();
         // Pin the vertex count the surviving residuals were computed
         // under: the next run's step-0 reseed shifts the teleport term
         // if the count moved. 0 stays "unknown" (reseed skipped).

@@ -49,12 +49,21 @@ impl Agent {
         self.buffered_frames.clear();
         self.run = None;
         // Residual seed dies with the state it described; the driver's
-        // change-log replay re-dirties vertices for a fresh run.
+        // change-log replay re-dirties vertices for a fresh run. (The
+        // driver re-arms the seed before a checkpoint-restore replay so
+        // the replayed suffix regenerates its residual corrections.)
         self.delta_seed = None;
         self.delta_hot.clear();
+        self.dangling_acc = 0.0;
+        self.dangling_cum = 0.0;
         self.reported = None;
         self.reported_counters = None;
         self.last_idle_counters = None;
+        // The serving snapshots died with the vertex entries; the tag
+        // must not claim a run whose values are gone. (A checkpoint
+        // restore re-seeds the snapshots, still under tag 0.)
+        self.snap_run = 0;
+        self.snap_watermark = 0;
         self.metrics.edges = 0;
         self.view = rec.view;
         self.locator = self.view.locator();

@@ -17,6 +17,9 @@ pub(super) struct StepScratch {
     /// Per-shard state broadcasts (apply).
     per_shard_states: Vec<FxHashMap<AgentId, Vec<StateRecord>>>,
     merged_states: FxHashMap<AgentId, Vec<StateRecord>>,
+    /// Per-shard dangling-mass change from this step's folds (delta
+    /// apply); summed in shard order for determinism.
+    per_shard_dangling: Vec<f64>,
 }
 
 impl StepScratch {
@@ -24,6 +27,7 @@ impl StepScratch {
         StepScratch {
             per_shard: (0..SHARDS).map(|_| FxHashMap::default()).collect(),
             per_shard_states: (0..SHARDS).map(|_| FxHashMap::default()).collect(),
+            per_shard_dangling: vec![0.0; SHARDS],
             ..Default::default()
         }
     }
@@ -47,6 +51,10 @@ pub(super) struct KernelCtx<'a> {
     /// Vertex count the carried-over residuals were computed under
     /// (0 = unknown); drives the step-0 teleport reseed.
     prev_n: u64,
+    /// Per-vertex dangling term baked into carried states (from
+    /// [`msg::RunInfo::dangling_base`]); seeds vertices that first
+    /// appear in this run.
+    dangling_base: f64,
 }
 
 impl Agent {
@@ -111,11 +119,13 @@ impl Agent {
             global: run.global,
             delta: run.info.delta,
             prev_n: self.delta_seed.as_ref().map_or(0, |s| s.n),
+            dangling_base: run.info.dangling_base,
         };
         let epoch = self.view.epoch;
         for c in &mut self.worker_caches {
             c.ensure_epoch(epoch);
         }
+        self.scratch.per_shard_dangling.fill(0.0);
         // Tiny stores run serially: thread-spawn overhead would dwarf
         // the kernel. Harmless for determinism — output bytes do not
         // depend on the worker count.
@@ -129,6 +139,7 @@ impl Agent {
             let shards = self.vertices.shards_mut();
             let scratch = &mut self.scratch.per_shard;
             let scratch_states = &mut self.scratch.per_shard_states;
+            let scratch_dangling = &mut self.scratch.per_shard_dangling;
             let caches = &mut self.worker_caches;
             if workers == 1 {
                 // Serial fast path: no thread spawn overhead.
@@ -141,6 +152,7 @@ impl Agent {
                         shard,
                         &mut scratch[i],
                         &mut scratch_states[i],
+                        &mut scratch_dangling[i],
                     );
                 }
             } else {
@@ -149,18 +161,34 @@ impl Agent {
                         .chunks_mut(chunk)
                         .zip(scratch.chunks_mut(chunk))
                         .zip(scratch_states.chunks_mut(chunk))
+                        .zip(scratch_dangling.chunks_mut(chunk))
                         .zip(caches.iter_mut());
-                    for (((sh, sc), scs), cache) in work {
+                    for ((((sh, sc), scs), scd), cache) in work {
                         scope.spawn(move || {
-                            for ((shard, out), out_states) in
-                                sh.iter_mut().zip(sc.iter_mut()).zip(scs.iter_mut())
+                            for (((shard, out), out_states), out_dangling) in sh
+                                .iter_mut()
+                                .zip(sc.iter_mut())
+                                .zip(scs.iter_mut())
+                                .zip(scd.iter_mut())
                             {
-                                kernel_shard(phase, ctx, cache, shard, out, out_states);
+                                kernel_shard(
+                                    phase,
+                                    ctx,
+                                    cache,
+                                    shard,
+                                    out,
+                                    out_states,
+                                    out_dangling,
+                                );
                             }
                         });
                     }
                 });
             }
+        }
+        if phase == Phase::Apply {
+            // Shard-order sum: deterministic for any worker count.
+            self.dangling_acc += self.scratch.per_shard_dangling.iter().sum::<f64>();
         }
         // Merge per-shard batches in shard index order: each
         // destination's messages end up in the same order no matter how
@@ -771,8 +799,10 @@ impl Agent {
         let program = run.program.clone();
         let n_vertices = run.n_vertices;
         let run_id = run.info.run_id;
+        let dangling_base = run.info.dangling_base;
         let hot: Vec<VertexId> = self.delta_hot.drain().collect();
         self.route_cache.ensure_epoch(self.view.epoch);
+        let mut dangling = 0.0;
         for v in hot {
             let mut broadcast: Option<StateRecord> = None;
             {
@@ -787,7 +817,11 @@ impl Agent {
                     global: 0.0,
                 };
                 if !e.has_state {
-                    let (s, r0) = program.delta_init(v, &ctx);
+                    let (s, mut r0) = program.delta_init(v, &ctx);
+                    // Same newcomer seeding as the sync step-0 apply.
+                    if let Some(seed) = program.dangling_seed_residual(dangling_base, &ctx) {
+                        r0 = program.merge_residual(r0, seed);
+                    }
                     e.state = s;
                     e.has_state = true;
                     e.residual = if e.has_residual {
@@ -802,6 +836,11 @@ impl Agent {
                 }
                 match program.fold_residual(v, e.state, e.residual, &ctx) {
                     Some((new, applied)) => {
+                        // Folds at sinks move global dangling mass;
+                        // the change rides the next idle report.
+                        let g_out = e.g_out.max(0) as u64;
+                        dangling += program.dangling_mass(new, g_out)
+                            - program.dangling_mass(e.state, g_out);
                         e.state = new;
                         e.residual = 0;
                         e.has_residual = false;
@@ -834,6 +873,7 @@ impl Agent {
                 }
             }
         }
+        self.dangling_acc += dangling;
     }
 
     /// The apply-and-broadcast tail of the async path: run the
@@ -916,7 +956,11 @@ impl Agent {
             return;
         }
         self.last_idle_counters = Some(self.counters);
-        let run_id = run.info.run_id;
+        let (run_id, delta) = (run.info.run_id, run.info.delta);
+        // Async delta runs report the *cumulative* dangling-mass change
+        // since release; the lead telescopes per-agent differences into
+        // redistribution rounds, so stale or re-sent values self-correct.
+        let global_contrib = if delta { self.dangling_report() } else { 0.0 };
         self.ready_seq += 1;
         let rep = ReadyReport {
             agent: self.id,
@@ -925,7 +969,7 @@ impl Agent {
             phase: Phase::Scatter,
             counters: self.counters,
             active: 0,
-            global_contrib: 0.0,
+            global_contrib,
             n_primary: 0,
             seq: self.ready_seq,
             epoch: self.view.epoch,
@@ -943,11 +987,12 @@ fn kernel_shard(
     shard: &mut Shard,
     out: &mut FxHashMap<AgentId, Vec<(VertexId, u64)>>,
     out_states: &mut FxHashMap<AgentId, Vec<StateRecord>>,
+    out_dangling: &mut f64,
 ) {
     match phase {
         Phase::Scatter => scatter_shard(ctx, cache, shard, out),
         Phase::Combine => combine_shard(ctx, cache, shard, out),
-        Phase::Apply => apply_shard(ctx, cache, shard, out_states),
+        Phase::Apply => apply_shard(ctx, cache, shard, out_states, out_dangling),
         Phase::Migrate => {}
     }
 }
@@ -1067,6 +1112,7 @@ fn apply_shard(
     cache: &mut OwnerCache,
     shard: &mut Shard,
     out: &mut FxHashMap<AgentId, Vec<StateRecord>>,
+    out_dangling: &mut f64,
 ) {
     let program = ctx.program;
     for (&v, e) in shard.map.iter_mut() {
@@ -1091,9 +1137,26 @@ fn apply_shard(
             // additionally folds in new-vertex seeds and the teleport
             // reseed; later steps merge the combined pushed deltas.
             let mut residual = e.has_residual.then_some(e.residual);
+            // The global reduce carries this step's reported
+            // dangling-mass change; every primary owes/receives its
+            // uniform share as a residual correction.
+            if ctx.global != 0.0 {
+                if let Some(adj) = program.dangling_residual(&vctx) {
+                    residual = Some(match residual {
+                        Some(r) => program.merge_residual(r, adj),
+                        None => adj,
+                    });
+                }
+            }
             if ctx.step == 0 {
-                if !e.has_state {
-                    let (s, r0) = program.delta_init(v, &vctx);
+                let fresh = !e.has_state;
+                if fresh {
+                    let (s, mut r0) = program.delta_init(v, &vctx);
+                    // A newcomer never baked the pre-run d·S/n term
+                    // into its state; hand it the equivalent residual.
+                    if let Some(seed) = program.dangling_seed_residual(ctx.dangling_base, &vctx) {
+                        r0 = program.merge_residual(r0, seed);
+                    }
                     e.state = s;
                     e.has_state = true;
                     residual = Some(match residual {
@@ -1101,7 +1164,9 @@ fn apply_shard(
                         None => r0,
                     });
                 }
-                if ctx.prev_n != 0 {
+                // The teleport reseed corrects *carried* state; a vertex
+                // just seeded by `delta_init` already used the new n.
+                if ctx.prev_n != 0 && !fresh {
                     if let Some(adj) = program.reseed_residual(ctx.prev_n, &vctx) {
                         residual = Some(match residual {
                             Some(r) => program.merge_residual(r, adj),
@@ -1121,6 +1186,11 @@ fn apply_shard(
             match residual {
                 Some(r) => match program.fold_residual(v, e.state, r, &vctx) {
                     Some((new, applied)) => {
+                        // A fold at a sink changes the global dangling
+                        // mass; the change reports at the next scatter.
+                        let g_out = e.g_out.max(0) as u64;
+                        *out_dangling += program.dangling_mass(new, g_out)
+                            - program.dangling_mass(e.state, g_out);
                         e.state = new;
                         e.has_state = true;
                         e.residual = 0;

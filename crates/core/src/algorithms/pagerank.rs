@@ -149,10 +149,12 @@ impl VertexProgram for PageRank {
     // residual corrections at ingest time (`rescale_on_degree_change`
     // + `edge_change_residual`): the per-edge share `p/D` is invariant
     // under the degree rescaling, so stale replica copies of `(p, D)`
-    // still compute exact corrections. Dangling mass is *not*
-    // redistributed on this path (documented in DESIGN.md): on
-    // dangling-free graphs the fixpoint coincides with classic
-    // PageRank; dangling vertices just hold their mass.
+    // still compute exact corrections. Dangling mass redistributes
+    // through the `dangling_*` hooks: agents track the change in
+    // dangling-held rank (folds at sinks, rescales at ingest) and each
+    // reported change `ΔS` lands back as a `d·ΔS/n` residual at every
+    // vertex, so the delta fixpoint matches the full recompute's
+    // `p = (1-d)/n + d(Σ p/D + S/n)` on graphs with sinks too.
 
     fn delta_kind(&self) -> DeltaKind {
         if self.tolerance > 0.0 {
@@ -242,6 +244,41 @@ impl VertexProgram for PageRank {
         }
         let adj = (1.0 - self.damping) * (1.0 / n1 as f64 - 1.0 / old_n as f64);
         Some(adj.to_bits())
+    }
+
+    /// A sink holds its whole rank as dangling mass.
+    fn dangling_mass(&self, state: u64, out_degree: u64) -> f64 {
+        if out_degree == 0 {
+            f64::from_bits(state)
+        } else {
+            0.0
+        }
+    }
+
+    /// A reported dangling change `ΔS` (in `ctx.global`) owes every
+    /// vertex the uniform share `d·ΔS/n` — the delta of the full
+    /// formulation's `d·S/n` term.
+    fn dangling_residual(&self, ctx: &VertexCtx) -> Option<u64> {
+        if ctx.global == 0.0 {
+            return None;
+        }
+        Some((self.damping * ctx.global / ctx.n_vertices.max(1) as f64).to_bits())
+    }
+
+    fn dangling_epsilon(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// A vertex appearing mid-history never absorbed the baked-in
+    /// `d·S/n` dangling term its peers carry in their converged ranks;
+    /// seed it the equivalent `d·base` so both cohorts sit on the same
+    /// fixpoint. (The lead's step-0 rebase shift only corrects vertices
+    /// that already hold the old term.)
+    fn dangling_seed_residual(&self, base: f64, _ctx: &VertexCtx) -> Option<u64> {
+        if base == 0.0 {
+            return None;
+        }
+        Some((self.damping * base).to_bits())
     }
 }
 

@@ -7,9 +7,20 @@
 //! then the last consistent hash is bypassed and one replica is chosen
 //! at random" (§3.4.1) — with a fallback to the primary, which always
 //! holds the authoritative state.
+//!
+//! Answers are *snapshot-consistent*: agents serve a double-buffered
+//! copy of the last completed run's values, tagged with that run's id
+//! and the ingest batch watermark current when it finished, so a
+//! reader never observes torn mid-superstep state. An agent's answer
+//! is one of three things — a hit, a non-authoritative miss ("no
+//! snapshot here, try another replica"), or an *authoritative*
+//! negative from the vertex's primary ("this vertex does not exist"),
+//! which short-circuits the replica walk instead of burning a view
+//! refresh and another round of requests on a vertex that was never
+//! there.
 
 use crate::config::SystemConfig;
-use crate::msg::{packet, DirectoryView};
+use crate::msg::{self, packet, DirectoryView};
 use elga_graph::types::VertexId;
 use elga_hash::EdgeLocator;
 use elga_net::{Addr, Frame, NetError, Transport, TransportExt};
@@ -20,9 +31,26 @@ use std::sync::Arc;
 pub struct QueryResult {
     /// Encoded program state (decode with the algorithm's `decode`).
     pub state: u64,
-    /// The batch clock at the answering agent — the staleness handle
-    /// of Definition 2.6.
+    /// The ingest batch watermark at the answering agent when the
+    /// served snapshot was taken — the staleness handle of
+    /// Definition 2.6.
     pub batch_id: u64,
+    /// Id of the completed run the snapshot belongs to (0 when the
+    /// values were restored from a checkpoint, whose run id went
+    /// unrecorded).
+    pub run: u64,
+}
+
+/// One agent's answer to a point query, before the walk policy is
+/// applied.
+enum AgentAnswer {
+    /// Transport failure or undecodable reply: try another replica.
+    Unreachable,
+    /// The agent holds no snapshot for the vertex (not authoritative).
+    Miss,
+    /// The vertex's primary says it does not exist: stop searching.
+    Gone,
+    Hit(QueryResult),
 }
 
 /// A query client.
@@ -80,34 +108,48 @@ impl ClientProxy {
         &self.view
     }
 
-    fn query_agent(&self, agent: elga_hash::AgentId, v: VertexId) -> Option<QueryResult> {
-        let addr = self.view.addr_of(agent)?.clone();
-        let (rep, _) = self
-            .transport
-            .request_with_retry(
-                &addr,
-                Frame::builder(packet::QUERY).u64(v).finish(),
-                self.cfg.request_timeout,
-                &self.cfg.send_policy,
-            )
-            .ok()?;
+    fn query_agent(&self, agent: elga_hash::AgentId, v: VertexId) -> AgentAnswer {
+        let Some(addr) = self.view.addr_of(agent).cloned() else {
+            return AgentAnswer::Unreachable;
+        };
+        let Ok((rep, _)) = self.transport.request_with_retry(
+            &addr,
+            Frame::builder(packet::QUERY).u64(v).finish(),
+            self.cfg.request_timeout,
+            &self.cfg.send_policy,
+        ) else {
+            return AgentAnswer::Unreachable;
+        };
         let mut r = rep.reader();
-        let found = r.u8()?;
-        let state = r.u64()?;
-        let batch_id = r.u64()?;
-        (found != 0).then_some(QueryResult { state, batch_id })
+        let (Some(found), Some(state), Some(batch_id), Some(run)) =
+            (r.u8(), r.u64(), r.u64(), r.u64())
+        else {
+            return AgentAnswer::Unreachable;
+        };
+        match found {
+            msg::ANSWER_HIT => AgentAnswer::Hit(QueryResult {
+                state,
+                batch_id,
+                run,
+            }),
+            msg::ANSWER_GONE => AgentAnswer::Gone,
+            _ => AgentAnswer::Miss,
+        }
     }
 
     /// Query a random replica of `v` (the paper's fast path), walking
     /// the remaining replicas when it is unreachable or has no state
     /// yet, and finally refreshing the view once and retrying the
-    /// adopted primary before giving up.
+    /// adopted primary before giving up. An authoritative negative
+    /// from the primary ends the walk immediately.
     pub fn query(&mut self, v: VertexId) -> Option<QueryResult> {
         self.salt = self.salt.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let est = self.view.sketch.estimate(v);
         let sampled = self.locator.any_replica(v, est, self.salt)?;
-        if let Some(r) = self.query_agent(sampled, v) {
-            return Some(r);
+        match self.query_agent(sampled, v) {
+            AgentAnswer::Hit(r) => return Some(r),
+            AgentAnswer::Gone => return None,
+            _ => {}
         }
         // Walk the rest of the replica set, ending on the primary —
         // it always holds the authoritative state.
@@ -124,22 +166,30 @@ impl ClientProxy {
             }
         }
         for agent in candidates {
-            if let Some(r) = self.query_agent(agent, v) {
-                return Some(r);
+            match self.query_agent(agent, v) {
+                AgentAnswer::Hit(r) => return Some(r),
+                AgentAnswer::Gone => return None,
+                _ => {}
             }
         }
-        // Every replica under the cached view failed: the view may be
-        // stale (agents joined, left, or were evicted). Refresh once
-        // and ask the adopted primary.
+        // Every replica under the cached view failed or had no
+        // snapshot: the view may be stale (agents joined, left, or
+        // were evicted). Refresh once and ask the adopted primary.
         self.refresh().ok()?;
         let primary = self.locator.ring().owner(v)?;
-        self.query_agent(primary, v)
+        match self.query_agent(primary, v) {
+            AgentAnswer::Hit(r) => Some(r),
+            _ => None,
+        }
     }
 
     /// Query the primary replica directly (authoritative state; used
     /// by the correctness tests).
     pub fn query_primary(&self, v: VertexId) -> Option<QueryResult> {
         let primary = self.locator.ring().owner(v)?;
-        self.query_agent(primary, v)
+        match self.query_agent(primary, v) {
+            AgentAnswer::Hit(r) => Some(r),
+            _ => None,
+        }
     }
 }

@@ -52,6 +52,18 @@ struct Run {
     last_probe_sums: Option<Counters>,
     /// Async mode entered (after initialization phases).
     async_live: bool,
+    /// Delta runs: dangling-mass change reported but not yet
+    /// redistributed (async protocol; sync runs ride the per-step
+    /// global reduce instead).
+    dangling_pending: f64,
+    /// Last cumulative dangling value seen per agent; reports
+    /// telescope `new - seen` into `dangling_pending`, which makes
+    /// re-sent or stale values self-correcting.
+    dangling_seen: HashMap<AgentId, f64>,
+    /// Id of the last redistribution round published.
+    dangling_round: u32,
+    /// Threshold below which redistribution stops (from the program).
+    dangling_eps: f64,
 }
 
 /// The lead directory's full coordination state. Separated from the
@@ -95,6 +107,22 @@ struct Lead {
     barrier_broadcast: Option<Frame>,
     /// When the barrier broadcast was last published.
     barrier_published: Instant,
+    /// Dangling-mass accumulator handed over by departing agents
+    /// (their unreported ingest-era changes); absorbed into the next
+    /// delta run's first scatter reduce.
+    dangling_carry: f64,
+    /// Running total of the system's dangling mass `S`, tracked from
+    /// the reported deltas (and re-based exactly by every full run's
+    /// final scatter reduce). With [`Lead::dangling_n`] it names the
+    /// `d·S/n` term baked into the carried vertex state, so a delta
+    /// run starting under a different vertex count can publish the
+    /// equivalent mass shift `S·(n0−n1)/n0` and re-base the term —
+    /// the dangling analogue of the per-vertex teleport reseed.
+    dangling_mass: f64,
+    /// Vertex count `dangling_mass` was last redistributed under;
+    /// 0 = unknown (no run yet, or a recovery reset), which skips the
+    /// re-base shift.
+    dangling_n: u64,
     /// Event recorder (view changes, heartbeat misses, recoveries);
     /// disabled unless `cfg.tracing`.
     tracer: Arc<Tracer>,
@@ -134,8 +162,31 @@ impl Lead {
             agents_recovered: 0,
             barrier_broadcast: None,
             barrier_published: Instant::now(),
+            dangling_carry: 0.0,
+            dangling_mass: 0.0,
+            dangling_n: 0,
             tracer: Arc::new(Tracer::from_flag(cfg.tracing)),
         }
+    }
+
+    /// Fold a report's cumulative dangling-mass value into the run's
+    /// pending redistribution (async delta runs only). Every READY an
+    /// agent sends while such a run is live carries its cumulative
+    /// value, so differences telescope to the true total even across
+    /// re-sends, migrations, and departures.
+    fn note_dangling(&mut self, rep: &ReadyReport) {
+        let Some(run) = self.run.as_mut() else {
+            return;
+        };
+        if !(run.async_live && run.info.delta && run.info.run_id == rep.run) {
+            return;
+        }
+        let seen = run
+            .dangling_seen
+            .insert(rep.agent, rep.global_contrib)
+            .unwrap_or(0.0);
+        run.dangling_pending += rep.global_contrib - seen;
+        self.dangling_mass += rep.global_contrib - seen;
     }
 
     /// Re-publish the broadcast that opened the current migrate
@@ -238,6 +289,19 @@ impl Lead {
         for id in self.departing.drain(..) {
             if let Some(rep) = self.reports.remove(&id) {
                 self.ghost = self.ghost.add(&rep.counters);
+                // A departer's final READY carries its dangling-mass
+                // report. Mid-async-run it is the final cumulative
+                // value: telescope it against the seen-map entry being
+                // retired. Otherwise it is the unreported accumulator,
+                // carried into the next delta run's scatter reduce.
+                match self.run.as_mut() {
+                    Some(run) if run.async_live && run.info.delta => {
+                        let seen = run.dangling_seen.remove(&id).unwrap_or(0.0);
+                        run.dangling_pending += rep.global_contrib - seen;
+                        self.dangling_mass += rep.global_contrib - seen;
+                    }
+                    _ => self.dangling_carry += rep.global_contrib,
+                }
             }
             self.metrics.remove(&id);
             // The agent's mailbox address is conventional.
@@ -297,9 +361,15 @@ impl Lead {
             let _ = self.view.sketch.merge(&s);
         }
         // The reset rewinds every cumulative counter to zero,
-        // survivors and ghosts alike.
+        // survivors and ghosts alike. Dangling carry describes
+        // pre-crash state the replay will regenerate.
         self.reports.clear();
         self.ghost = Counters::default();
+        self.dangling_carry = 0.0;
+        // The dangling base describes state the reset wiped; unknown
+        // (n = 0) until a finished run re-establishes it.
+        self.dangling_mass = 0.0;
+        self.dangling_n = 0;
         self.resume = None;
         let aborted = self
             .run
@@ -414,6 +484,27 @@ impl Lead {
                     let r = &self.reports[id];
                     n += r.n_primary;
                     global += r.global_contrib;
+                }
+                // Delta runs report dangling-mass *changes* here;
+                // departed agents' handed-over accumulators join the
+                // same reduce so their mass is not lost. At step 0 the
+                // published global additionally re-bases the dangling
+                // term when the vertex count moved between runs: the
+                // carried state bakes in d·S/n0, the run needs d·S/n1,
+                // and a shift of S·(n0−n1)/n0 mass makes the uniform
+                // share close the difference exactly.
+                if self.run.as_ref().is_some_and(|r| r.info.delta) {
+                    let delta_s = global + std::mem::take(&mut self.dangling_carry);
+                    global = delta_s;
+                    let step = self.run.as_ref().expect("run").step;
+                    if step == 0 {
+                        if self.dangling_n != 0 && self.dangling_n != n {
+                            global += self.dangling_mass * (self.dangling_n as f64 - n as f64)
+                                / self.dangling_n as f64;
+                        }
+                        self.dangling_n = n;
+                    }
+                    self.dangling_mass += delta_s;
                 }
                 self.view.n_vertices = n;
                 let run = self.run.as_mut().expect("run");
@@ -539,6 +630,33 @@ impl Lead {
             self.apply_membership();
             return true;
         }
+        // Reported dangling-mass changes above the program's epsilon
+        // redistribute before termination detection may proceed: the
+        // round's advance tells every agent to fold the uniform share
+        // into its primaries' residuals. Clearing the reports (and the
+        // agents re-reporting after the merge) forces a fresh idle
+        // round, so the run cannot terminate past an unmerged share.
+        {
+            let run = self.run.as_mut().expect("run");
+            if run.info.delta && run.dangling_pending.abs() > run.dangling_eps {
+                let pending = run.dangling_pending;
+                run.dangling_pending = 0.0;
+                run.dangling_round += 1;
+                run.probe = 0;
+                run.last_probe_sums = None;
+                let adv = Advance {
+                    run: run.info.run_id,
+                    step: run.dangling_round,
+                    phase: Phase::Apply,
+                    n_vertices: run.n_vertices,
+                    global: pending,
+                    done: false,
+                };
+                self.reports.clear();
+                self.publish(msg::encode_advance(&adv));
+                return false;
+            }
+        }
         let members = self.member_ids();
         let (run_id, probe, last_sums, n_vertices) = {
             let run = self.run.as_ref().expect("run");
@@ -640,6 +758,15 @@ impl Lead {
 
     fn finish_run(&mut self) {
         let run = self.run.take().expect("finishing without run");
+        if run.info.delta {
+            self.dangling_n = run.n_vertices;
+        } else {
+            // A full run's final scatter reduce summed the dangling
+            // mass exactly; re-base the running total on it (healing
+            // any f64 drift the delta tracking accumulated).
+            self.dangling_mass = run.global;
+            self.dangling_n = run.n_vertices;
+        }
         let adv = Advance {
             run: run.info.run_id,
             step: run.step,
@@ -680,9 +807,26 @@ impl Lead {
         run_id
     }
 
-    fn launch_run(&mut self, info: RunInfo) {
+    fn launch_run(&mut self, mut info: RunInfo) {
+        // Ship the per-vertex dangling term baked into the carried
+        // states: vertices first appearing in this run seed it as a
+        // residual instead (they never absorbed it into their state).
+        info.dangling_base = if info.delta && self.dangling_n != 0 {
+            self.dangling_mass / self.dangling_n as f64
+        } else {
+            0.0
+        };
         let spec = crate::program::ProgramSpec::decode(info.tag, info.params);
-        let max_steps = spec.as_ref().and_then(|s| s.instantiate().max_steps());
+        let prog = spec.as_ref().map(|s| s.instantiate());
+        let max_steps = prog.as_ref().and_then(|p| p.max_steps());
+        let dangling_eps = prog
+            .as_ref()
+            .map_or(f64::INFINITY, |p| p.dangling_epsilon());
+        if !info.delta {
+            // A full run recomputes every vertex from scratch; mass
+            // handed over by past departures is subsumed by it.
+            self.dangling_carry = 0.0;
+        }
         self.reports.clear();
         let now = Instant::now();
         let run_id = info.run_id;
@@ -699,6 +843,10 @@ impl Lead {
             probe: 0,
             last_probe_sums: None,
             async_live: false,
+            dangling_pending: 0.0,
+            dangling_seen: HashMap::new(),
+            dangling_round: 0,
+            dangling_eps,
         });
         self.last_status = RunStatus {
             run_id,
@@ -958,6 +1106,7 @@ fn lead_loop(
                             && lead.run.as_ref().is_some_and(|r| {
                                 r.async_live && r.probe > 0 && r.info.run_id == rep.run
                             });
+                        lead.note_dangling(&rep);
                         lead.reports.insert(rep.agent, rep);
                         if probe_reset {
                             lead.restart_probe();
@@ -1096,6 +1245,31 @@ fn lead_loop(
             }
             packet::RESET_LABELS => {
                 lead.publish(d.frame.clone());
+                if let Some(reply) = d.reply {
+                    let _ = reply.send(Frame::signal(packet::OK));
+                }
+            }
+            packet::DANGLING_GET => {
+                // Driver fetching the converged dangling book `(S, n)`
+                // for the checkpoint manifest.
+                if let Some(reply) = d.reply {
+                    let _ = reply.send(msg::encode_dangling_rep(
+                        lead.dangling_mass,
+                        lead.dangling_n,
+                    ));
+                }
+            }
+            packet::DANGLING_SET => {
+                // Checkpoint restore re-anchoring the telescoped
+                // dangling series: adopt the manifest's converged
+                // `(S, n)` and absorb the replayed suffix's drift as a
+                // carry, folded into the next delta run's scatter
+                // reduce exactly like a departer's residue.
+                if let Some((mass, n, carry)) = msg::decode_dangling_set(&d.frame) {
+                    lead.dangling_mass = mass;
+                    lead.dangling_n = n;
+                    lead.dangling_carry += carry;
+                }
                 if let Some(reply) = d.reply {
                     let _ = reply.send(Frame::signal(packet::OK));
                 }
@@ -1282,6 +1456,7 @@ mod tests {
             reuse_state: false,
             asynchronous: false,
             delta: false,
+            dangling_base: 0.0,
         });
         assert_eq!(run_id, 1);
         // Empty membership: every barrier is trivially met, so the run
@@ -1314,6 +1489,7 @@ mod tests {
             reuse_state: false,
             asynchronous: true,
             delta: false,
+            dangling_base: 0.0,
         });
         // Drive the sync initialization barriers (step 0).
         lead.reports
@@ -1406,6 +1582,7 @@ mod tests {
             reuse_state: false,
             asynchronous: true,
             delta: false,
+            dangling_base: 0.0,
         });
         lead.reports
             .insert(1, ready(1, run_id, 0, Phase::Scatter, Counters::default()));
@@ -1475,6 +1652,7 @@ mod tests {
             reuse_state: false,
             asynchronous: false,
             delta: false,
+            dangling_base: 0.0,
         });
         assert!(lead.run.is_some());
         lead.ghost = Counters {

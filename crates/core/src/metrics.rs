@@ -251,6 +251,13 @@ pub struct AgentMetrics {
     pub ckpt_write_nanos: u64,
     /// Cumulative checkpoint payload bytes written.
     pub ckpt_bytes: u64,
+    /// QUERY_BATCH frames served (their per-vertex answers also count
+    /// into `queries`).
+    pub query_batches: u64,
+    /// Standing subscriptions currently registered.
+    pub subscriptions: u64,
+    /// Subscription value-delta records pushed after completed runs.
+    pub sub_pushes: u64,
     /// Comms-plane traffic and coalescer flush counters.
     pub comms: CommsMetrics,
 }
@@ -275,7 +282,10 @@ impl AgentMetrics {
             .u64(self.stale_frames)
             .u64(self.ckpt_writes)
             .u64(self.ckpt_write_nanos)
-            .u64(self.ckpt_bytes);
+            .u64(self.ckpt_bytes)
+            .u64(self.query_batches)
+            .u64(self.subscriptions)
+            .u64(self.sub_pushes);
         self.comms.encode_into(b).finish()
     }
 
@@ -303,6 +313,9 @@ impl AgentMetrics {
             ckpt_writes: r.u64()?,
             ckpt_write_nanos: r.u64()?,
             ckpt_bytes: r.u64()?,
+            query_batches: r.u64()?,
+            subscriptions: r.u64()?,
+            sub_pushes: r.u64()?,
             comms: CommsMetrics::decode(&mut r)?,
         })
     }
@@ -375,6 +388,12 @@ pub struct ClusterMetrics {
     /// Change records replayed from the retained log during recovery
     /// (driver-merged).
     pub replayed_records: u64,
+    /// Total QUERY_BATCH frames served across agents.
+    pub query_batches: u64,
+    /// Standing subscriptions registered across agents.
+    pub subscriptions: u64,
+    /// Subscription value-delta records pushed across agents.
+    pub sub_pushes: u64,
     /// Summed comms-plane traffic and coalescer counters.
     pub comms: CommsMetrics,
 }
@@ -398,6 +417,9 @@ impl ClusterMetrics {
         self.ckpt_writes += m.ckpt_writes;
         self.ckpt_write_nanos += m.ckpt_write_nanos;
         self.ckpt_bytes += m.ckpt_bytes;
+        self.query_batches += m.query_batches;
+        self.subscriptions += m.subscriptions;
+        self.sub_pushes += m.sub_pushes;
         self.comms.absorb(&m.comms);
     }
 
@@ -441,7 +463,10 @@ impl ClusterMetrics {
             .u64(self.ckpt_restores)
             .u64(self.ckpt_restore_nanos)
             .u64(self.ckpt_fallbacks)
-            .u64(self.replayed_records);
+            .u64(self.replayed_records)
+            .u64(self.query_batches)
+            .u64(self.subscriptions)
+            .u64(self.sub_pushes);
         self.comms.encode_into(b).finish()
     }
 
@@ -473,6 +498,24 @@ impl ClusterMetrics {
             "counter",
             "Client queries served.",
             self.queries,
+        );
+        metric(
+            "query_batches_total",
+            "counter",
+            "Batched multi-vertex query frames served.",
+            self.query_batches,
+        );
+        metric(
+            "subscriptions",
+            "gauge",
+            "Standing vertex subscriptions registered.",
+            self.subscriptions,
+        );
+        metric(
+            "sub_pushes_total",
+            "counter",
+            "Subscription value-delta records pushed.",
+            self.sub_pushes,
         );
         metric(
             "changes_total",
@@ -703,6 +746,9 @@ impl ClusterMetrics {
             ckpt_restore_nanos: r.u64()?,
             ckpt_fallbacks: r.u64()?,
             replayed_records: r.u64()?,
+            query_batches: r.u64()?,
+            subscriptions: r.u64()?,
+            sub_pushes: r.u64()?,
             comms: CommsMetrics::decode(&mut r)?,
         })
     }
@@ -732,6 +778,9 @@ mod tests {
             ckpt_writes: 130,
             ckpt_write_nanos: 140,
             ckpt_bytes: 150,
+            query_batches: 160,
+            subscriptions: 170,
+            sub_pushes: 180,
             comms: CommsMetrics {
                 vmsg: PacketStat {
                     frames_sent: 1,
@@ -771,6 +820,9 @@ mod tests {
             ckpt_writes: 1,
             ckpt_write_nanos: 10,
             ckpt_bytes: 100,
+            query_batches: 2,
+            subscriptions: 1,
+            sub_pushes: 4,
             comms: CommsMetrics {
                 count_flushes: 4,
                 ..Default::default()
@@ -794,6 +846,9 @@ mod tests {
             ckpt_writes: 2,
             ckpt_write_nanos: 20,
             ckpt_bytes: 200,
+            query_batches: 3,
+            subscriptions: 2,
+            sub_pushes: 6,
             comms: CommsMetrics {
                 count_flushes: 5,
                 ..Default::default()

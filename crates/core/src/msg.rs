@@ -108,6 +108,43 @@ pub mod packet {
     /// DEG_DELTA — corrections travel with the batch, never inside a
     /// run's barriers.
     pub const RESIDUAL: u8 = 39;
+    /// Batched multi-vertex query (REQ, client → Agent): a
+    /// [`Records`]-framed list of vertex ids, answered by one
+    /// QUERY_BATCH_REP. The batch form of QUERY — one round trip and
+    /// one frame pair for any number of vertices.
+    pub const QUERY_BATCH: u8 = 40;
+    /// Reply to QUERY_BATCH: per-vertex `(vertex, found, state)`
+    /// records plus the snapshot tag (run id + batch watermark) the
+    /// answers were served under.
+    pub const QUERY_BATCH_REP: u8 = 41;
+    /// Standing-subscription registration (REQ, client → Agent): the
+    /// client's push address plus the vertex set it watches. The agent
+    /// pushes SUB_PUSH deltas whenever a completed run changed a
+    /// watched vertex.
+    pub const SUB_REG: u8 = 42;
+    /// Subscription push (Agent → client): `(vertex, state)` records
+    /// tagged with the completed run id and batch watermark. Uncounted
+    /// client-plane traffic, flushed through the per-destination
+    /// coalescers like every other bulk record stream.
+    pub const SUB_PUSH: u8 = 43;
+    /// Re-arm the residual delta seed after a checkpoint restore (REQ,
+    /// driver → Agent): program spec plus the vertex count the restored
+    /// states converged under. The recovery reset wipes the seed; the
+    /// replayed log suffix regenerates its residual corrections only if
+    /// the seed is re-armed *before* the replay routes the changes.
+    pub const ARM_DELTA: u8 = 44;
+    /// Read the lead's dangling-mass book `(S, n)` (REQ, driver →
+    /// lead); answered with DANGLING_REP. Captured into checkpoint
+    /// manifests so a restore can rebuild the book.
+    pub const DANGLING_GET: u8 = 45;
+    /// Reply to DANGLING_GET.
+    pub const DANGLING_REP: u8 = 46;
+    /// Restore the lead's dangling-mass book after a checkpoint
+    /// restore (REQ, driver → lead): the manifest's `(S, n)` plus a
+    /// carry term for mass the restored states hold beyond `S` (the
+    /// agents' unreported accumulators died with them; the driver
+    /// recomputes the difference from the restored shards).
+    pub const DANGLING_SET: u8 = 47;
 }
 
 /// Superstep phases (see crate docs). `Migrate` barriers elastic
@@ -567,6 +604,57 @@ impl WireRecord for (VertexId, i64, i64) {
     }
 }
 
+/// QUERY_BATCH record: one bare vertex id, 8 bytes.
+impl WireRecord for VertexId {
+    const STRIDE: usize = 8;
+
+    #[inline]
+    fn parse(chunk: &[u8]) -> Self {
+        le_u64(chunk, 0)
+    }
+}
+
+/// Answer code in a query reply: the responding replica holds no state
+/// for the vertex. Not authoritative — the caller should try another
+/// replica.
+pub const ANSWER_MISS: u8 = 0;
+/// Answer code in a query reply: vertex found, its state is valid.
+pub const ANSWER_HIT: u8 = 1;
+/// Answer code in a query reply: the responding agent is the vertex's
+/// primary under the current view and the vertex does not exist. An
+/// authoritative negative — callers stop searching.
+pub const ANSWER_GONE: u8 = 2;
+
+/// One vertex's answer inside a QUERY_BATCH_REP frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryAnswer {
+    /// The queried vertex.
+    pub vertex: VertexId,
+    /// Program state (meaningless unless `found == ANSWER_HIT`).
+    pub state: u64,
+    /// [`ANSWER_MISS`], [`ANSWER_HIT`] or [`ANSWER_GONE`].
+    pub found: u8,
+}
+
+/// QUERY_BATCH_REP record: vertex + state + answer code, 17 bytes.
+impl WireRecord for QueryAnswer {
+    const STRIDE: usize = 17;
+
+    #[inline]
+    fn validate(chunk: &[u8]) -> bool {
+        chunk[16] <= ANSWER_GONE
+    }
+
+    #[inline]
+    fn parse(chunk: &[u8]) -> Self {
+        QueryAnswer {
+            vertex: le_u64(chunk, 0),
+            state: le_u64(chunk, 8),
+            found: chunk[16],
+        }
+    }
+}
+
 fn hash_to_u8(h: HashKind) -> u8 {
     match h {
         HashKind::Wang => 0,
@@ -872,9 +960,16 @@ pub fn decode_advance(frame: &Frame) -> Option<Advance> {
     })
 }
 
-/// Encode one migrated vertex-metadata record batch.
-pub fn encode_mig_meta(recs: &[MetaRecord]) -> Frame {
-    let mut b = Frame::builder(packet::MIG_META).u32(recs.len() as u32);
+/// Encode one migrated vertex-metadata record batch. The header
+/// carries the sender's serving-snapshot tag `(snap_run,
+/// snap_watermark)` so a joining agent adopting migrated snaps also
+/// adopts the tag they belong to — otherwise it would serve correct
+/// values under run 0 and look checkpoint-restored to clients.
+pub fn encode_mig_meta(recs: &[MetaRecord], snap_run: u64, snap_watermark: u64) -> Frame {
+    let mut b = Frame::builder(packet::MIG_META)
+        .u64(snap_run)
+        .u64(snap_watermark)
+        .u32(recs.len() as u32);
     for m in recs {
         b = b
             .u64(m.vertex)
@@ -888,16 +983,21 @@ pub fn encode_mig_meta(recs: &[MetaRecord]) -> Frame {
             .u8(m.has_ppartial as u8)
             .u64(m.wait_recv)
             .u64(m.residual)
-            .u8(m.has_residual as u8);
+            .u8(m.has_residual as u8)
+            .u64(m.snap)
+            .u8(m.has_snap as u8);
     }
     b.finish()
 }
 
-/// Decode a MIG_META frame.
-pub fn decode_mig_meta(frame: &Frame) -> Option<Vec<MetaRecord>> {
+/// Decode a MIG_META frame: the sender's `(snap_run, snap_watermark)`
+/// serving tag plus the metadata records.
+pub fn decode_mig_meta(frame: &Frame) -> Option<(u64, u64, Vec<MetaRecord>)> {
     let mut r = expect(frame, packet::MIG_META)?;
+    let snap_run = r.u64()?;
+    let snap_watermark = r.u64()?;
     let n = r.u32()? as usize;
-    let mut recs = Vec::with_capacity(n.min(r.remaining() / 54));
+    let mut recs = Vec::with_capacity(n.min(r.remaining() / 63));
     for _ in 0..n {
         recs.push(MetaRecord {
             vertex: r.u64()?,
@@ -912,9 +1012,11 @@ pub fn decode_mig_meta(frame: &Frame) -> Option<Vec<MetaRecord>> {
             wait_recv: r.u64()?,
             residual: r.u64()?,
             has_residual: r.u8()? != 0,
+            snap: r.u64()?,
+            has_snap: r.u8()? != 0,
         });
     }
-    Some(recs)
+    Some((snap_run, snap_watermark, recs))
 }
 
 /// Primary-side vertex metadata moved during migration.
@@ -957,6 +1059,12 @@ pub struct MetaRecord {
     pub residual: u64,
     /// Whether `residual` holds an accumulated delta.
     pub has_residual: bool,
+    /// Query-serving snapshot (the vertex's value at the last completed
+    /// run; meaningless when `has_snap` is false). Moves with
+    /// primaryship so snapshot reads survive view changes.
+    pub snap: u64,
+    /// Whether `snap` holds a completed-run value.
+    pub has_snap: bool,
 }
 
 /// Encode degree deltas: `[(vertex, out_delta, in_delta)]` sent to each
@@ -995,6 +1103,169 @@ pub fn decode_residuals(frame: &Frame) -> Option<Records<'_, (VertexId, u64)>> {
     let mut r = expect(frame, packet::RESIDUAL)?;
     let n = r.u32()? as usize;
     Records::new(r.rest(), n)
+}
+
+/// Encode a QUERY_BATCH request: point-lookup `vertices` in one frame.
+pub fn encode_query_batch(vertices: &[VertexId]) -> Frame {
+    let mut b = Frame::builder(packet::QUERY_BATCH).u32(vertices.len() as u32);
+    for &v in vertices {
+        b = b.u64(v);
+    }
+    b.finish()
+}
+
+/// Decode a QUERY_BATCH request into a borrowed record view.
+pub fn decode_query_batch(frame: &Frame) -> Option<Records<'_, VertexId>> {
+    let mut r = expect(frame, packet::QUERY_BATCH)?;
+    let n = r.u32()? as usize;
+    Records::new(r.rest(), n)
+}
+
+/// Encode a QUERY_BATCH reply: per-vertex answers tagged with the
+/// snapshot they were read from — the last *completed* run (`run`, 0
+/// when none has finished yet) and the ingest batch watermark current
+/// when that run finished. All answers in one reply come from the same
+/// snapshot; a client never observes torn mid-superstep state.
+pub fn encode_query_batch_rep(run: u64, watermark: u64, answers: &[QueryAnswer]) -> Frame {
+    let mut b = Frame::builder(packet::QUERY_BATCH_REP)
+        .u64(run)
+        .u64(watermark)
+        .u32(answers.len() as u32);
+    for a in answers {
+        b = b.u64(a.vertex).u64(a.state).u8(a.found);
+    }
+    b.finish()
+}
+
+/// Decode a QUERY_BATCH reply into `(run, watermark, answers)`.
+pub fn decode_query_batch_rep(frame: &Frame) -> Option<(u64, u64, Records<'_, QueryAnswer>)> {
+    let mut r = expect(frame, packet::QUERY_BATCH_REP)?;
+    let (run, watermark) = (r.u64()?, r.u64()?);
+    let n = r.u32()? as usize;
+    Some((run, watermark, Records::new(r.rest(), n)?))
+}
+
+/// Encode a SUB_REG request: register standing subscription `sub`
+/// (client-chosen id, unique per push address) covering `vertices`;
+/// the agent pushes value deltas to `addr` after each completed run.
+/// An empty vertex list cancels the subscription.
+pub fn encode_sub_reg(addr: &Addr, sub: u64, vertices: &[VertexId]) -> Frame {
+    let mut b = Frame::builder(packet::SUB_REG)
+        .bytes(addr.to_string().as_bytes())
+        .u64(sub)
+        .u32(vertices.len() as u32);
+    for &v in vertices {
+        b = b.u64(v);
+    }
+    b.finish()
+}
+
+/// Decode a SUB_REG request into `(push address, sub id, vertices)`.
+pub fn decode_sub_reg(frame: &Frame) -> Option<(Addr, u64, Records<'_, VertexId>)> {
+    let mut r = expect(frame, packet::SUB_REG)?;
+    let addr = Addr::parse(std::str::from_utf8(r.bytes()?).ok()?).ok()?;
+    let sub = r.u64()?;
+    let n = r.u32()? as usize;
+    Some((addr, sub, Records::new(r.rest(), n)?))
+}
+
+/// Append one changed `(vertex, state)` pair to `out`'s open SUB_PUSH
+/// frame for subscription `sub`, tagged like a query reply with the
+/// completed run id and its ingest batch watermark.
+pub fn append_sub_push(
+    out: &mut elga_net::CoalescingOutbox,
+    sub: u64,
+    run: u64,
+    watermark: u64,
+    vertex: VertexId,
+    state: u64,
+) {
+    out.append(
+        packet::SUB_PUSH,
+        sub,
+        |b| {
+            b.extend_from_slice(&sub.to_le_bytes());
+            b.extend_from_slice(&run.to_le_bytes());
+            b.extend_from_slice(&watermark.to_le_bytes());
+        },
+        move |b| {
+            b.extend_from_slice(&vertex.to_le_bytes());
+            b.extend_from_slice(&state.to_le_bytes());
+        },
+    );
+}
+
+/// A decoded SUB_PUSH: `(sub, run, watermark, records)`.
+pub type SubPush<'a> = (u64, u64, u64, Records<'a, (VertexId, u64)>);
+
+/// Decode a SUB_PUSH frame into `(sub, run, watermark, records)`.
+pub fn decode_sub_push(frame: &Frame) -> Option<SubPush<'_>> {
+    let mut r = expect(frame, packet::SUB_PUSH)?;
+    let (sub, run, watermark) = (r.u64()?, r.u64()?, r.u64()?);
+    let n = r.u32()? as usize;
+    Some((sub, run, watermark, Records::new(r.rest(), n)?))
+}
+
+/// Encode an ARM_DELTA request: before replaying a log suffix onto a
+/// restored cluster, re-arm every agent's ingest-time delta seed with
+/// the program (`tag`, `params`) and the vertex count `n` the restored
+/// states converged under, so the replay regenerates the same residual
+/// corrections live ingest would have produced.
+pub fn encode_arm_delta(tag: u8, params: [u64; 3], n: u64) -> Frame {
+    Frame::builder(packet::ARM_DELTA)
+        .u8(tag)
+        .u64(params[0])
+        .u64(params[1])
+        .u64(params[2])
+        .u64(n)
+        .finish()
+}
+
+/// Decode an ARM_DELTA request into `(tag, params, n)`.
+pub fn decode_arm_delta(frame: &Frame) -> Option<(u8, [u64; 3], u64)> {
+    let mut r = expect(frame, packet::ARM_DELTA)?;
+    Some((r.u8()?, [r.u64()?, r.u64()?, r.u64()?], r.u64()?))
+}
+
+/// Encode a DANGLING_GET request (no payload): read the lead
+/// directory's dangling-mass book.
+pub fn encode_dangling_get() -> Frame {
+    Frame::builder(packet::DANGLING_GET).finish()
+}
+
+/// Encode a DANGLING_GET reply: the lead's converged dangling mass and
+/// the vertex count it was accumulated under.
+pub fn encode_dangling_rep(mass: f64, n: u64) -> Frame {
+    Frame::builder(packet::DANGLING_REP)
+        .f64(mass)
+        .u64(n)
+        .finish()
+}
+
+/// Decode a DANGLING_GET reply into `(mass, n)`.
+pub fn decode_dangling_rep(frame: &Frame) -> Option<(f64, u64)> {
+    let mut r = expect(frame, packet::DANGLING_REP)?;
+    Some((r.f64()?, r.u64()?))
+}
+
+/// Encode a DANGLING_SET request: seed the lead's dangling-mass book
+/// after a checkpoint restore. `mass`/`n` reinstate the book the
+/// manifest recorded at checkpoint time; `carry` is the dangling-mass
+/// drift between the restored states and that book (log-suffix changes
+/// whose unreported accumulators died with the old agents), absorbed
+/// into the global term at the next delta run's first reduction.
+pub fn encode_dangling_set(mass: f64, n: u64, carry: f64) -> Frame {
+    Frame::builder(packet::DANGLING_SET)
+        .f64(mass)
+        .u64(n)
+        .f64(carry)
+        .finish()
+}
+
+/// Decode a DANGLING_SET request into `(mass, n, carry)`.
+pub fn decode_dangling_set(frame: &Frame) -> Option<(f64, u64, f64)> {
+    let mut r = expect(frame, packet::DANGLING_SET)?;
+    Some((r.f64()?, r.u64()?, r.f64()?))
 }
 
 /// Encode a CKPT_SAVE request: write one shard of checkpoint
@@ -1362,6 +1633,13 @@ pub struct RunInfo {
     /// untouched. Resolved by the driver from the program's
     /// [`DeltaKind`](crate::program::DeltaKind) so every agent agrees.
     pub delta: bool,
+    /// Per-vertex dangling term already baked into the carried states
+    /// (total dangling mass / vertex count at the previous
+    /// convergence). Filled in by the lead when it launches a delta
+    /// run; vertices that first appear in this run receive it as a
+    /// seed residual, since unlike pre-existing vertices they never
+    /// absorbed the term into their state.
+    pub dangling_base: f64,
 }
 
 /// Encode a JOIN reply: the view plus an optional in-progress run.
@@ -1379,7 +1657,8 @@ pub fn encode_join_reply(view: &DirectoryView, run: Option<&RunInfo>) -> Frame {
                 .u64(r.params[2])
                 .u8(r.reuse_state as u8)
                 .u8(r.asynchronous as u8)
-                .u8(r.delta as u8);
+                .u8(r.delta as u8)
+                .f64(r.dangling_base);
         }
     }
     b.finish()
@@ -1398,6 +1677,7 @@ pub fn decode_join_reply(frame: &Frame) -> Option<(DirectoryView, Option<RunInfo
             reuse_state: r.u8()? != 0,
             asynchronous: r.u8()? != 0,
             delta: r.u8()? != 0,
+            dangling_base: r.f64()?,
         }),
     };
     Some((view, run))
@@ -1414,6 +1694,7 @@ pub fn encode_start(run: &RunInfo) -> Frame {
         .u8(run.reuse_state as u8)
         .u8(run.asynchronous as u8)
         .u8(run.delta as u8)
+        .f64(run.dangling_base)
         .finish()
 }
 
@@ -1427,6 +1708,7 @@ pub fn decode_start(frame: &Frame) -> Option<RunInfo> {
         reuse_state: r.u8()? != 0,
         asynchronous: r.u8()? != 0,
         delta: r.u8()? != 0,
+        dangling_base: r.f64()?,
     })
 }
 
@@ -1837,6 +2119,8 @@ mod tests {
                 wait_recv: 0,
                 residual: 0.5f64.to_bits(),
                 has_residual: true,
+                snap: 98,
+                has_snap: true,
             },
             // Pure async-state handoff: no meta payload, but a live
             // waiting set mid-accumulation.
@@ -1853,9 +2137,14 @@ mod tests {
                 wait_recv: 2,
                 residual: 0,
                 has_residual: false,
+                snap: 0,
+                has_snap: false,
             },
         ];
-        assert_eq!(decode_mig_meta(&encode_mig_meta(&recs)).unwrap(), recs);
+        assert_eq!(
+            decode_mig_meta(&encode_mig_meta(&recs, 6, 11)).unwrap(),
+            (6, 11, recs)
+        );
     }
 
     #[test]
@@ -1887,6 +2176,7 @@ mod tests {
             reuse_state: true,
             asynchronous: false,
             delta: true,
+            dangling_base: 0.25,
         };
         let (v2, r2) = decode_join_reply(&encode_join_reply(&view, Some(&run))).unwrap();
         assert_eq!(v2.epoch, view.epoch);
@@ -1904,6 +2194,7 @@ mod tests {
             reuse_state: false,
             asynchronous: true,
             delta: false,
+            dangling_base: 0.0,
         };
         assert_eq!(decode_start(&encode_start(&run)).unwrap(), run);
 
@@ -2067,6 +2358,66 @@ mod tests {
             }
         });
         assert_eq!(f.as_bytes(), batch.as_bytes());
+    }
+
+    #[test]
+    fn query_batch_roundtrip() {
+        let vertices = vec![3u64, 99, 1 << 50];
+        let f = encode_query_batch(&vertices);
+        assert_eq!(decode_query_batch(&f).unwrap().to_vec(), vertices);
+        let answers = vec![
+            QueryAnswer {
+                vertex: 3,
+                state: 0.5f64.to_bits(),
+                found: ANSWER_HIT,
+            },
+            QueryAnswer {
+                vertex: 99,
+                state: 0,
+                found: ANSWER_GONE,
+            },
+        ];
+        let rep = encode_query_batch_rep(7, 120_000, &answers);
+        let (run, watermark, recs) = decode_query_batch_rep(&rep).unwrap();
+        assert_eq!((run, watermark), (7, 120_000));
+        assert_eq!(recs.to_vec(), answers);
+    }
+
+    #[test]
+    fn sub_reg_roundtrip() {
+        let addr = Addr::parse("inproc://client-7-sub").unwrap();
+        let vertices = vec![5u64, 6, 7];
+        let f = encode_sub_reg(&addr, 42, &vertices);
+        let (a, sub, recs) = decode_sub_reg(&f).unwrap();
+        assert_eq!(a, addr);
+        assert_eq!(sub, 42);
+        assert_eq!(recs.to_vec(), vertices);
+    }
+
+    #[test]
+    fn sub_push_coalesced_roundtrip() {
+        let pushes = vec![(10u64, 0.125f64.to_bits()), (11, 9u64)];
+        let f = coalesced(|c| {
+            for &(v, s) in &pushes {
+                append_sub_push(c, 42, 3, 500, v, s);
+            }
+        });
+        let (sub, run, watermark, recs) = decode_sub_push(&f).unwrap();
+        assert_eq!((sub, run, watermark), (42, 3, 500));
+        assert_eq!(recs.to_vec(), pushes);
+    }
+
+    #[test]
+    fn arm_delta_and_dangling_roundtrip() {
+        let f = encode_arm_delta(2, [0.85f64.to_bits(), 7, 9], 1000);
+        assert_eq!(
+            decode_arm_delta(&f),
+            Some((2, [0.85f64.to_bits(), 7, 9], 1000))
+        );
+        let f = encode_dangling_rep(0.25, 900);
+        assert_eq!(decode_dangling_rep(&f), Some((0.25, 900)));
+        let f = encode_dangling_set(0.25, 900, -0.0625);
+        assert_eq!(decode_dangling_set(&f), Some((0.25, 900, -0.0625)));
     }
 
     #[test]

@@ -175,6 +175,18 @@ pub trait VertexProgram: Send + Sync {
         (self.init(v, ctx), self.residual_identity())
     }
 
+    /// Seed residual owed to a vertex that first appears in a delta
+    /// run. `base` is the per-vertex dangling term already baked into
+    /// every carried state (total dangling mass over vertex count at
+    /// the previous convergence, from
+    /// [`RunInfo::dangling_base`](crate::msg::RunInfo)); pre-existing
+    /// vertices hold it in their state, so a newcomer must receive the
+    /// equivalent mass as a residual or it converges short of the
+    /// rebuilt fixpoint.
+    fn dangling_seed_residual(&self, _base: f64, _ctx: &VertexCtx) -> Option<u64> {
+        None
+    }
+
     /// Identity element of [`VertexProgram::merge_residual`].
     fn residual_identity(&self) -> u64 {
         self.identity()
@@ -236,6 +248,31 @@ pub trait VertexProgram: Send + Sync {
     /// of a reuse-state residual run.
     fn reseed_residual(&self, _old_n: u64, _ctx: &VertexCtx) -> Option<u64> {
         None
+    }
+
+    /// The share of `state` that counts toward the program's global
+    /// reduce term (PageRank: the whole rank of a zero-out-degree
+    /// vertex). Delta runs track *changes* to the sum of this quantity
+    /// — folds at dangling primaries, ingest-time rescales — and
+    /// redistribute them through [`VertexProgram::dangling_residual`],
+    /// closing the loop the directory's global reduce provides on full
+    /// runs.
+    fn dangling_mass(&self, _state: u64, _out_degree: u64) -> f64 {
+        0.0
+    }
+
+    /// Residual correction every primary receives when `ctx.global`
+    /// carries a freshly reported dangling-mass change (PageRank:
+    /// `d·global/n`). `None` when the program has no global term.
+    fn dangling_residual(&self, _ctx: &VertexCtx) -> Option<u64> {
+        None
+    }
+
+    /// Threshold below which the directory stops issuing dangling-mass
+    /// redistribution rounds on an async delta run. The default
+    /// (`INFINITY`) disables redistribution entirely.
+    fn dangling_epsilon(&self) -> f64 {
+        f64::INFINITY
     }
 }
 

@@ -179,6 +179,7 @@ fn coordinator() {
                     reuse_state: false,
                     asynchronous: false,
                     delta: false,
+                    dangling_base: 0.0,
                 }),
                 Duration::from_secs(30),
             )

@@ -13,6 +13,8 @@
 //! * [`gen`] — workload generators and the dataset catalog.
 //! * [`core`] — the ElGA system: directories, agents, streamers, client
 //!   proxies, vertex programs, elasticity and autoscaling.
+//! * [`query`] — the continuous-query serving plane: batched point
+//!   reads, standing subscriptions, snapshot-consistent answers.
 //! * [`trace`] — the event-tracing layer: per-participant ring buffers
 //!   and Chrome-trace export (enable with [`SystemConfig::tracing`]).
 //!
@@ -48,6 +50,7 @@ pub use elga_gen as gen;
 pub use elga_graph as graph;
 pub use elga_hash as hash;
 pub use elga_net as net;
+pub use elga_query as query;
 pub use elga_sketch as sketch;
 pub use elga_trace as trace;
 
@@ -60,5 +63,6 @@ pub mod prelude {
     pub use elga_core::program::{ExecutionMode, VertexProgram};
     pub use elga_graph::{Batch, EdgeChange, VertexId};
     pub use elga_hash::{EdgeLocator, HashKind, LocatorConfig, Ring};
+    pub use elga_query::{QueryClient, SnapshotValue, SubUpdate};
     pub use elga_sketch::CountMinSketch;
 }

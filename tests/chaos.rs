@@ -148,7 +148,7 @@ fn killed_agent_mid_async_run_recovers_to_correct_results() {
     let edges = chain_graph(2000);
     let cfg = SystemConfig {
         heartbeat_interval: Duration::from_millis(25),
-        heartbeat_misses: 12,
+        heartbeat_misses: 40,
         quiesce_deadline: Duration::from_secs(30),
         run_deadline: Duration::from_secs(60),
         ..SystemConfig::default()
@@ -185,9 +185,11 @@ fn killed_agent_is_evicted_and_run_restarts_to_correct_results() {
     let edges = chain_graph(150);
     let cfg = SystemConfig {
         // Fast failure detection so the test turns around quickly:
-        // 25ms heartbeats, dead after 12 missed (300ms of silence).
+        // 25ms heartbeats, dead after 40 missed (1s of silence —
+        // enough slack that scheduler starvation on a loaded runner
+        // cannot read as death).
         heartbeat_interval: Duration::from_millis(25),
-        heartbeat_misses: 12,
+        heartbeat_misses: 40,
         quiesce_deadline: Duration::from_secs(30),
         run_deadline: Duration::from_secs(60),
         ..SystemConfig::default()

@@ -43,7 +43,7 @@ fn ckpt_dir(tag: &str) -> PathBuf {
 fn recovery_config() -> SystemConfig {
     SystemConfig {
         heartbeat_interval: Duration::from_millis(25),
-        heartbeat_misses: 12,
+        heartbeat_misses: 40,
         quiesce_deadline: Duration::from_secs(30),
         run_deadline: Duration::from_secs(60),
         ..SystemConfig::default()
@@ -398,9 +398,10 @@ fn parked_residuals_survive_checkpoint_and_recovery() {
     // residuals between runs. A checkpoint taken at that boundary must
     // carry them: after a crash + restore, the incremental run folds
     // the restored residuals and still lands on the full-recompute
-    // answer. (Change-log records replayed past the watermark get no
-    // corrections — the residual seed dies with the crash — so this
-    // test checkpoints after the batch, leaving an empty suffix.)
+    // answer. This test checkpoints after the batch (empty replay
+    // suffix) so the *parked* residuals alone carry the correction;
+    // `replayed_suffix_regenerates_residual_corrections` covers the
+    // complementary suffix-replay path.
     let dir = ckpt_dir("residual");
     let edges = chain_graph(400);
     let batch: Vec<EdgeChange> = (0..400u64)
@@ -464,6 +465,105 @@ fn parked_residuals_survive_checkpoint_and_recovery() {
         assert!(
             (w - g).abs() < 1e-5,
             "residuals lost in recovery: v{v} full={w} incremental={g}"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replayed_suffix_regenerates_residual_corrections() {
+    // The complement of `parked_residuals_survive_checkpoint_and
+    // _recovery`: here the checkpoint is cut *before* the batch, so
+    // after the crash the batch lives only in the change-log suffix.
+    // The seed behavior dropped it silently — recovery replayed the
+    // suffix with no residual seed armed, so the replayed changes
+    // re-dirtied vertices without the mass behind them and the
+    // incremental run converged to a wrong answer. The driver now
+    // re-arms every agent's delta seed before the replay and
+    // re-anchors the lead's dangling book from the manifest, so the
+    // replayed suffix regenerates its corrections exactly as live
+    // ingest would have. Sink vertices make the dangling book
+    // load-bearing too.
+    let dir = ckpt_dir("suffix-residual");
+    let mut edges = chain_graph(400);
+    // Sinks: vertices with inbound edges and no outbound ones, whose
+    // leaked mass the dangling redistribution must account for.
+    for i in (0..400u64).step_by(7) {
+        edges.push((i, 1000 + i));
+    }
+    // The batch both adds fresh sinks and converts existing ones into
+    // non-sinks, moving dangling mass in both directions.
+    let batch: Vec<EdgeChange> = (0..400u64)
+        .step_by(9)
+        .flat_map(|i| {
+            [
+                EdgeChange::insert(i, (i * 11 + 5) % 400),
+                EdgeChange::insert(1000 + ((i / 9) * 7 % 400), i),
+                EdgeChange::insert((i * 13 + 1) % 400, 2000 + i),
+            ]
+        })
+        .filter(|c| c.edge.src != c.edge.dst)
+        .collect();
+    let pr = PageRank::new(0.85)
+        .with_max_iters(300)
+        .with_tolerance(1e-10);
+
+    let mut cluster = Cluster::builder()
+        .agents(4)
+        .config(recovery_config())
+        .checkpoints(&dir)
+        .build();
+    cluster.ingest_edges(edges.iter().copied());
+    cluster.run(pr).expect("initial pagerank");
+    // Cut the generation BEFORE the batch: the batch becomes the
+    // replayed suffix after the crash.
+    assert!(cluster.checkpoint().expect("checkpoint").committed);
+    cluster.ingest(batch.iter().copied());
+
+    let handle = cluster
+        .start_run(
+            pr,
+            RunOptions {
+                reuse_state: true,
+                mode: ExecutionMode::Sync,
+            },
+        )
+        .expect("start incremental run");
+    let victim = cluster.agent_ids()[1];
+    cluster.kill_agent(victim);
+    cluster
+        .wait_run(handle)
+        .expect("incremental run survives the crash");
+    let rec = cluster.recovery_stats();
+    assert_eq!(rec.recoveries, 1);
+    assert_eq!(rec.ckpt_restores, 1);
+    assert_eq!(
+        rec.replayed_records,
+        batch.len() as u64,
+        "the batch must be replayed from the log, not the checkpoint"
+    );
+    let got = cluster.dump_states();
+    cluster.shutdown();
+
+    // Full recompute over the final graph: reachable only if the
+    // replayed suffix regenerated its residual corrections.
+    let mut full: Vec<(u64, u64)> = edges;
+    full.extend(batch.iter().map(|c| (c.edge.src, c.edge.dst)));
+    full.sort_unstable();
+    full.dedup();
+    let mut clean = Cluster::builder().agents(4).build();
+    clean.ingest_edges(full.iter().copied());
+    clean.run(pr).expect("full recompute");
+    let want = clean.dump_states();
+    clean.shutdown();
+
+    assert_eq!(got.len(), want.len());
+    for (v, &bits) in &want {
+        let w = f64::from_bits(bits);
+        let g = f64::from_bits(got[v]);
+        assert!(
+            (w - g).abs() < 1e-5,
+            "suffix corrections lost in recovery: v{v} full={w} incremental={g}"
         );
     }
     let _ = fs::remove_dir_all(&dir);

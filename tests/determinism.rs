@@ -352,6 +352,7 @@ fn tcp_states(
                     reuse_state: false,
                     asynchronous: false,
                     delta: false,
+                    dangling_base: 0.0,
                 }),
                 Duration::from_secs(30),
             )

@@ -15,9 +15,10 @@
 //!   correction shifts ranks by whole shares, orders of magnitude
 //!   more).
 //!
-//! Residual PageRank does not redistribute dangling mass (documented
-//! in DESIGN.md), so every graph here keeps a ring backbone: out-degree
-//! is always >= 1 and the classic and residual fixpoints coincide.
+//! Residual PageRank redistributes dangling mass through the run-level
+//! accumulator protocol (sync: per-step scatter reduce; async:
+//! cumulative reports telescoped into redistribution rounds), so the
+//! graphs here include sink-heavy shapes alongside the ring backbones.
 
 use elga::core::program::RunOptions;
 use elga::net::{FaultPlan, SendPolicy};
@@ -83,6 +84,44 @@ fn change_batches(n: u64) -> Vec<Vec<EdgeChange>> {
         EdgeChange::insert(n / 2, n + 1),
     ];
     vec![b1, b2, b3]
+}
+
+/// Ring backbone plus hanging sinks: every fifth ring vertex points at
+/// a dedicated sink with no out-edges, so a fixed share of the mass is
+/// dangling and must be redistributed for the classic and residual
+/// fixpoints to coincide.
+fn dangling_graph(n: u64) -> Vec<(u64, u64)> {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        if i % 5 == 0 {
+            edges.push((i, n + i / 5));
+        }
+    }
+    edges
+}
+
+/// Change batches over `dangling_graph(n)` that move mass in and out
+/// of the dangling set: some sinks gain out-edges (stop dangling),
+/// some ring vertices lose their chord, and brand-new sinks appear.
+fn dangling_batches(n: u64) -> Vec<Vec<EdgeChange>> {
+    // Former sinks re-enter the ring: their held mass stops counting
+    // as dangling and starts flowing along the new edge.
+    let b1: Vec<EdgeChange> = (0..n)
+        .step_by(15)
+        .map(|i| EdgeChange::insert(n + i / 5, (i + 2) % n))
+        .collect();
+    // New sinks appear (fresh vertices with in-edges only), and some
+    // existing sink chords are deleted outright — the sink vertex
+    // vanishes and its mass leaves the dangling set with it.
+    let mut b2: Vec<EdgeChange> = (0..n)
+        .step_by(9)
+        .map(|i| EdgeChange::insert(i, 2 * n + i / 9))
+        .collect();
+    for i in (0..n).step_by(25) {
+        b2.push(EdgeChange::delete(i, n + i / 5));
+    }
+    vec![b1, b2]
 }
 
 /// Apply `batches` to `base`, yielding the final edge set.
@@ -201,6 +240,77 @@ fn async_delta_pagerank_matches_full_recompute() {
     all.rotate_left(1); // order is irrelevant to the final edge set
     let want = full_recompute(3, &final_edges(&base, &all));
     assert_ranks_agree(&got, &want, "async delta");
+}
+
+#[test]
+fn delta_pagerank_redistributes_dangling_mass_sync() {
+    let n = 600;
+    let base = dangling_graph(n);
+    let batches = dangling_batches(n);
+
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(base.iter().copied());
+    cluster.run(pagerank()).expect("initial pagerank");
+    for batch in &batches {
+        cluster.ingest(batch.iter().copied());
+        cluster
+            .run_with(
+                pagerank(),
+                RunOptions {
+                    reuse_state: true,
+                    mode: ExecutionMode::Sync,
+                },
+            )
+            .expect("incremental pagerank over sinks");
+    }
+    let got = cluster.dump_states();
+    cluster.shutdown();
+
+    let want = full_recompute(3, &final_edges(&base, &batches));
+    assert_ranks_agree(&got, &want, "sync delta on a dangling-heavy graph");
+}
+
+#[test]
+fn delta_pagerank_redistributes_dangling_mass_async() {
+    let n = 400;
+    let base = dangling_graph(n);
+    let batches = dangling_batches(n);
+
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(base.iter().copied());
+    // Cold-start async run is already on the delta path: the entire
+    // dangling share flows through the cumulative-report protocol.
+    for (i, batch) in batches.iter().enumerate() {
+        if i > 0 {
+            cluster.ingest(batch.iter().copied());
+        }
+        cluster
+            .run_with(
+                pagerank(),
+                RunOptions {
+                    reuse_state: i > 0,
+                    mode: ExecutionMode::Async,
+                },
+            )
+            .expect("async incremental pagerank over sinks");
+    }
+    cluster.ingest(batches[0].iter().copied());
+    cluster
+        .run_with(
+            pagerank(),
+            RunOptions {
+                reuse_state: true,
+                mode: ExecutionMode::Async,
+            },
+        )
+        .expect("final async incremental over sinks");
+    let got = cluster.dump_states();
+    cluster.shutdown();
+
+    let mut all = batches;
+    all.rotate_left(1);
+    let want = full_recompute(3, &final_edges(&base, &all));
+    assert_ranks_agree(&got, &want, "async delta on a dangling-heavy graph");
 }
 
 #[test]

@@ -1,0 +1,347 @@
+//! The continuous-query serving plane: batched point reads agree with
+//! the proxy's one-vertex loop, standing subscriptions agree with
+//! polling, snapshot reads are never torn (across live runs, elastic
+//! view changes, and crash recovery), and authoritative negative
+//! answers take the fast path — no view refresh burned on a vertex
+//! that simply does not exist.
+
+use elga::core::client::ClientProxy;
+use elga::core::msg::packet;
+use elga::core::program::RunOptions;
+use elga::prelude::*;
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Deterministic ring-with-chords graph (shared shape with the
+/// checkpoint suite): connected, skewed enough to exercise routing.
+fn chain_graph(n: u64) -> Vec<(u64, u64)> {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        if i % 3 == 0 {
+            edges.push((i, (i * 7 + 3) % n));
+        }
+    }
+    edges.retain(|&(u, v)| u != v);
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+fn ckpt_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("elga-query-it-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn recovery_config() -> SystemConfig {
+    SystemConfig {
+        heartbeat_interval: Duration::from_millis(25),
+        heartbeat_misses: 40,
+        quiesce_deadline: Duration::from_secs(30),
+        run_deadline: Duration::from_secs(60),
+        ..SystemConfig::default()
+    }
+}
+
+fn query_client(cluster: &Cluster) -> QueryClient {
+    QueryClient::connect(
+        cluster.transport(),
+        cluster.config().clone(),
+        cluster.lead_directory(),
+    )
+    .expect("query client connects")
+}
+
+fn client_proxy(cluster: &Cluster) -> ClientProxy {
+    ClientProxy::connect(
+        cluster.transport(),
+        cluster.config().clone(),
+        cluster.lead_directory(),
+    )
+    .expect("client proxy connects")
+}
+
+/// A batch over present and absent vertices answers exactly like the
+/// proxy's per-vertex `query_primary` loop: same hits, same misses,
+/// same encoded states — and every hit carries the completed run's tag.
+#[test]
+fn batched_reads_match_primary_loop() {
+    let n = 300u64;
+    let mut cluster = Cluster::builder().agents(4).build();
+    cluster.ingest_edges(chain_graph(n).iter().copied());
+    let stats = cluster
+        .run(PageRank::new(0.85).with_max_iters(30))
+        .expect("pagerank");
+
+    let client = query_client(&cluster);
+    let proxy = client_proxy(&cluster);
+
+    // 0..n exist; n..n+40 were never created.
+    let asked: Vec<u64> = (0..n + 40).collect();
+    let batched = client.query_batch(&asked);
+    assert_eq!(batched.len(), asked.len());
+
+    for (&v, got) in asked.iter().zip(&batched) {
+        let want = proxy.query_primary(v);
+        match (got, want) {
+            (Some(b), Some(p)) => {
+                assert_eq!(b.state, p.state, "v{v}: batch disagrees with proxy");
+                assert_eq!(b.run, stats.run_id, "v{v}: hit tagged a foreign run");
+                assert_eq!(b.run, p.run, "v{v}: batch and proxy run tags differ");
+            }
+            (None, None) => assert!(v >= n, "v{v} exists but both paths missed it"),
+            (b, p) => panic!("v{v}: batch={b:?} proxy={p:?} disagree on existence"),
+        }
+    }
+    // One snapshot per sweep: every hit shares one (run, watermark).
+    let tags: Vec<(u64, u64)> = batched
+        .iter()
+        .flatten()
+        .map(|s| (s.run, s.watermark))
+        .collect();
+    assert!(
+        tags.windows(2).all(|w| w[0] == w[1]),
+        "tags differ within a sweep: {tags:?}"
+    );
+
+    let m = cluster.metrics();
+    assert!(
+        m.query_batches >= 4,
+        "expected one QUERY_BATCH per agent, got {}",
+        m.query_batches
+    );
+    assert!(
+        m.queries >= asked.len() as u64,
+        "batch vertices not counted as queries"
+    );
+    cluster.shutdown();
+}
+
+/// An authoritative "vertex not found" from the primary ends the search
+/// immediately: no replica walk escalation, no view refresh round trip.
+#[test]
+fn negative_answer_is_authoritative_and_cheap() {
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(chain_graph(120).iter().copied());
+    cluster.run(Degree::new()).expect("degree");
+
+    let client = query_client(&cluster);
+    let mut proxy = client_proxy(&cluster);
+    assert!(proxy.query(7).is_some(), "existing vertex must resolve");
+
+    let stats = cluster
+        .transport()
+        .net_stats()
+        .expect("inproc transport tracks stats");
+    let views_before = stats.sent(packet::GET_VIEW).0;
+    for absent in [999_983u64, 424_242, 777_216] {
+        assert!(proxy.query(absent).is_none(), "v{absent} should not exist");
+        assert_eq!(client.query_batch(&[absent]), vec![None]);
+    }
+    let views_after = stats.sent(packet::GET_VIEW).0;
+    assert_eq!(
+        views_before, views_after,
+        "authoritative miss must not burn a view refresh"
+    );
+    cluster.shutdown();
+}
+
+/// Push equals poll: the first completed run pushes every watched
+/// vertex, later runs push only changed values, and folding the pushes
+/// together reproduces exactly what a fresh batched read returns.
+#[test]
+fn subscriptions_match_polled_batches() {
+    let n = 200u64;
+    let mut cluster = Cluster::builder().agents(3).build();
+    cluster.ingest_edges(chain_graph(n).iter().copied());
+
+    let mut client = query_client(&cluster);
+    let mut watched: Vec<u64> = (0..n).step_by(5).collect();
+    watched.push(900_000); // never exists; must never be pushed
+    let sub = client.subscribe(&watched).expect("subscribe");
+
+    let r1 = cluster
+        .run(PageRank::new(0.85).with_max_iters(40))
+        .expect("first run");
+    cluster.quiesce().expect("quiesce flushes sub pushes");
+    let mut merged = client.latest_for(sub, Duration::from_secs(5));
+    let polled = client.query_batch(&watched);
+    for (&v, p) in watched.iter().zip(&polled) {
+        match p {
+            Some(snap) => {
+                let pushed = merged
+                    .get(&v)
+                    .unwrap_or_else(|| panic!("v{v}: first run must push every watched vertex"));
+                assert_eq!(pushed, snap, "v{v}: push disagrees with poll");
+                assert_eq!(pushed.run, r1.run_id);
+            }
+            None => assert!(!merged.contains_key(&v), "v{v}: pushed but unreadable"),
+        }
+    }
+
+    // Perturb the graph; the next run pushes only what moved.
+    cluster.ingest_edges((0..40u64).map(|i| (i * 3 % n, (i * 17 + 2) % n)));
+    let r2 = cluster
+        .run(PageRank::new(0.85).with_max_iters(40))
+        .expect("second run");
+    cluster.quiesce().expect("quiesce flushes sub pushes");
+    let second = client.latest_for(sub, Duration::from_secs(5));
+    assert!(!second.is_empty(), "perturbed run pushed nothing");
+    for (v, snap) in second {
+        assert_eq!(snap.run, r2.run_id, "v{v}: stale push run tag");
+        merged.insert(v, snap);
+    }
+    let polled = client.query_batch(&watched);
+    for (&v, p) in watched.iter().zip(&polled) {
+        match p {
+            Some(snap) => assert_eq!(
+                merged.get(&v),
+                Some(snap),
+                "v{v}: folded pushes diverge from a fresh read"
+            ),
+            None => assert!(!merged.contains_key(&v)),
+        }
+    }
+
+    let m = cluster.metrics();
+    assert!(m.subscriptions >= 1, "subscription not registered");
+    assert!(
+        m.sub_pushes as usize >= watched.len() - 1,
+        "first run must push all watched"
+    );
+
+    // Cancelled subscriptions stay silent.
+    client.unsubscribe(sub).expect("unsubscribe");
+    cluster
+        .run(PageRank::new(0.85).with_max_iters(5))
+        .expect("third run");
+    cluster.quiesce().expect("quiesce");
+    assert!(
+        client.poll_updates(Duration::from_millis(200)).is_empty(),
+        "cancelled subscription still receives pushes"
+    );
+    cluster.shutdown();
+}
+
+/// Readers racing a live run never observe torn mid-superstep state:
+/// every answer is exactly the previous completed run's value (tagged
+/// with that run) or exactly the new run's value (tagged with it) —
+/// never an intermediate power-iteration value.
+#[test]
+fn snapshots_never_torn_during_live_run() {
+    let n = 400u64;
+    let mut cluster = Cluster::builder().agents(4).build();
+    cluster.ingest_edges(chain_graph(n).iter().copied());
+    let pr = PageRank::new(0.85)
+        .with_max_iters(200)
+        .with_tolerance(1e-12);
+
+    let r1 = cluster.run(pr).expect("first run");
+    let client = query_client(&cluster);
+    let asked: Vec<u64> = (0..n).collect();
+    let s1: Vec<Option<SnapshotValue>> = client.query_batch(&asked);
+    assert!(s1.iter().all(|s| s.is_some_and(|s| s.run == r1.run_id)));
+
+    // Change the graph so run 2 converges to genuinely different
+    // values, then hammer reads while it executes.
+    cluster.ingest_edges((0..n).step_by(4).map(|i| (i, (i * 29 + 11) % n)));
+    let handle = cluster
+        .start_run(pr, RunOptions::default())
+        .expect("start second run");
+    let mut observed: Vec<Vec<Option<SnapshotValue>>> = Vec::new();
+    for _ in 0..20 {
+        observed.push(client.query_batch(&asked));
+    }
+    let r2 = cluster.wait_run(handle).expect("second run");
+    let s2 = client.query_batch(&asked);
+    assert!(s2.iter().all(|s| s.is_some_and(|s| s.run == r2.run_id)));
+
+    let mut saw = HashMap::new();
+    for sweep in &observed {
+        for ((&v, got), (old, new)) in asked.iter().zip(sweep).zip(s1.iter().zip(&s2)) {
+            let Some(got) = got else { continue };
+            *saw.entry(got.run).or_insert(0u64) += 1;
+            if got.run == r1.run_id {
+                assert_eq!(Some(*got), *old, "v{v}: torn read under run-1 tag");
+            } else if got.run == r2.run_id {
+                assert_eq!(Some(*got), *new, "v{v}: torn read under run-2 tag");
+            } else {
+                panic!("v{v}: answer tagged unknown run {}", got.run);
+            }
+        }
+    }
+    assert!(!saw.is_empty(), "no answers observed around the live run");
+    cluster.shutdown();
+}
+
+/// Snapshot answers survive the control plane's hard events: agents
+/// joining (snapshots migrate with primaryship), agents leaving, and a
+/// crash recovered from a checkpoint — values always equal one
+/// completed run's states, never a mixture.
+#[test]
+fn snapshots_survive_elasticity_and_recovery() {
+    let dir = ckpt_dir("elastic");
+    let n = 240u64;
+    let mut cluster = Cluster::builder()
+        .agents(3)
+        .config(recovery_config())
+        .checkpoints(&dir)
+        .build();
+    cluster.ingest_edges(chain_graph(n).iter().copied());
+    let pr = PageRank::new(0.85).with_max_iters(60);
+    let r1 = cluster.run(pr).expect("first run");
+
+    let mut client = query_client(&cluster);
+    let asked: Vec<u64> = (0..n).collect();
+    let s1 = client.query_batch(&asked);
+    assert!(s1.iter().all(|s| s.is_some_and(|s| s.run == r1.run_id)));
+
+    // Join: primaryship (and the snapshots riding it) migrates.
+    let joined = cluster.add_agents(1);
+    client.refresh().expect("refresh after join");
+    assert_eq!(client.query_batch(&asked), s1, "join tore the snapshot");
+
+    // Leave: the departing agent hands its vertices (and snaps) back.
+    cluster.remove_agent(joined[0]);
+    client.refresh().expect("refresh after leave");
+    assert_eq!(client.query_batch(&asked), s1, "leave tore the snapshot");
+
+    // Crash mid-run: recovery restores the checkpoint, replays the
+    // suffix, and restarts the run; once it completes, served answers
+    // equal the finished run's states exactly — one tag, no mixture.
+    assert!(cluster.checkpoint().expect("checkpoint").committed);
+    cluster.ingest_edges((0..30u64).map(|i| (i * 7 % n, (i * 13 + 1) % n)));
+    let handle = cluster
+        .start_run(pr, RunOptions::default())
+        .expect("start post-checkpoint run");
+    let victim = cluster.agent_ids()[1];
+    cluster.kill_agent(victim);
+    cluster.wait_run(handle).expect("run survives the crash");
+    assert_eq!(cluster.metrics().recoveries, 1);
+
+    client.refresh().expect("refresh after recovery");
+    let served = client.query_batch(&asked);
+    let truth = cluster.dump_states();
+    let tags: Vec<(u64, u64)> = served
+        .iter()
+        .flatten()
+        .map(|s| (s.run, s.watermark))
+        .collect();
+    assert_eq!(tags.len(), asked.len(), "vertices lost across recovery");
+    assert!(
+        tags.windows(2).all(|w| w[0] == w[1]),
+        "mixed tags after recovery: {tags:?}"
+    );
+    for (&v, s) in asked.iter().zip(&served) {
+        assert_eq!(
+            s.unwrap().state,
+            truth[&v],
+            "v{v}: served answer diverges from state"
+        );
+    }
+    cluster.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -100,6 +100,7 @@ fn wcc_and_pagerank_over_tcp_sockets() {
                     reuse_state: false,
                     asynchronous: false,
                     delta: false,
+                    dangling_base: 0.0,
                 }),
                 Duration::from_secs(30),
             )
@@ -113,27 +114,49 @@ fn wcc_and_pagerank_over_tcp_sockets() {
                 }
             }
         }
+        run_id
     };
 
     // Give ingest a moment to settle (no driver-side quiesce here; the
     // run start is serialized by the directory's migrate barrier).
     std::thread::sleep(Duration::from_millis(200));
-    run_to_done(Wcc::new().into());
+    let wcc_run = run_to_done(Wcc::new().into());
+
+    // Agents flip their double-buffered serving snapshot when *they*
+    // process the done broadcast — a query racing straight off the bus
+    // can still see the previous snapshot (or a miss). The answer's
+    // run tag says which completed run it belongs to; poll until it is
+    // the one we watched finish.
+    let query_run = |proxy: &mut ClientProxy, v: u64, run: u64| -> u64 {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match proxy.query(v) {
+                Some(r) if r.run == run => return r.state,
+                _ if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10))
+                }
+                got => panic!("vertex {v}: no run-{run} answer over tcp (last: {got:?})"),
+            }
+        }
+    };
 
     let mut proxy =
         ClientProxy::connect(transport.clone(), cfg.clone(), dir0.clone()).expect("proxy");
     let expect = reference::wcc(edges.iter().copied());
     for (&v, &label) in &expect {
-        let got = proxy.query(v).map(|r| r.state);
-        assert_eq!(got, Some(label), "vertex {v} over tcp");
+        assert_eq!(
+            query_run(&mut proxy, v, wcc_run),
+            label,
+            "vertex {v} over tcp"
+        );
     }
 
     // And PageRank across the same sockets.
-    run_to_done(PageRank::new(0.85).with_max_iters(10).into());
+    let pr_run = run_to_done(PageRank::new(0.85).with_max_iters(10).into());
     proxy.refresh().expect("refresh");
     let mass: f64 = expect
         .keys()
-        .filter_map(|&v| proxy.query_primary(v).map(|r| f64::from_bits(r.state)))
+        .map(|&v| f64::from_bits(query_run(&mut proxy, v, pr_run)))
         .sum();
     assert!((mass - 1.0).abs() < 1e-9, "rank mass over tcp: {mass}");
 
